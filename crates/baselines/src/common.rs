@@ -1,0 +1,208 @@
+//! Shared machinery for the baseline estimators.
+//!
+//! All legacy protocols hash the *tag ID* with a reader-broadcast seed
+//! (none of them have BFCE's pre-stored `RN` trick), and most implement
+//! p-persistence by comparing a second hash against the probability — the
+//! classic "virtual frame extension" realization. The sizing helper
+//! [`required_trials`] is the conservative sigma_max bound the BFCE paper
+//! quotes for ZOE: the number of independent Bernoulli slot observations
+//! needed so the idle-ratio inversion is an `(epsilon, delta)` estimate at
+//! load `lambda`.
+
+use rfid_hash::mix::{bucket, mix_pair, unit_f64};
+use rfid_sim::Tag;
+
+/// ZOE's variance-optimal per-slot load: `lambda* ~ 1.594` (the root of
+/// the first-order condition for minimizing `(e^lambda - 1)/lambda^2`).
+pub const ZOE_OPTIMAL_LAMBDA: f64 = 1.594;
+
+/// Whether a tag participates in a Bernoulli experiment keyed by `seed`
+/// with probability `p` — deterministic per (tag, seed).
+#[inline]
+pub fn participates(tag: &Tag, seed: u32, p: f64) -> bool {
+    unit_f64(mix_pair(tag.id, seed as u64)) < p
+}
+
+/// The uniform slot a tag selects in an `f`-slot frame keyed by `seed`.
+#[inline]
+pub fn uniform_slot(tag: &Tag, seed: u32, f: usize) -> usize {
+    // Decorrelate from the participation draw with a distinct stream tag.
+    bucket(mix_pair(tag.id ^ 0x5EED_0000_0000_0001, seed as u64), f)
+}
+
+/// Response plan: every tag responds in slot 0 of a single-slot frame with
+/// probability `p` (ZOE's per-slot experiment).
+pub fn single_slot_plan(seed: u32, p: f64) -> impl Fn(&Tag, &mut Vec<usize>) + Sync {
+    move |tag, out| {
+        if participates(tag, seed, p) {
+            out.push(0);
+        }
+    }
+}
+
+/// Response plan: uniform slot in `[0, f)` with persistence `p`
+/// (SRC/UPE/EZB-style balanced frame).
+pub fn uniform_frame_plan(
+    seed: u32,
+    f: usize,
+    p: f64,
+) -> impl Fn(&Tag, &mut Vec<usize>) + Sync {
+    move |tag, out| {
+        if participates(tag, seed, p) {
+            out.push(uniform_slot(tag, seed, f));
+        }
+    }
+}
+
+/// Response plan: geometric slot — slot `j` (0-based) with probability
+/// `2^-(j+1)`, capped at `f - 1` (LOF/PET frames).
+pub fn geometric_frame_plan(seed: u32, f: usize) -> impl Fn(&Tag, &mut Vec<usize>) + Sync {
+    move |tag, out| {
+        let level = rfid_hash::geometric_level(tag.id, seed, f as u32);
+        out.push((level - 1) as usize);
+    }
+}
+
+/// Conservative number of independent slot observations for an
+/// `(epsilon, ·)` estimate at load `lambda`, with the two-sided normal
+/// bound `d` and the sigma_max = 0.5 worst case — the formula the BFCE
+/// paper quotes for ZOE's slot budget:
+/// `ceil( (d * 0.5 / (e^-lambda (1 - e^(-eps*lambda))))^2 )`.
+pub fn required_trials(epsilon: f64, d: f64, lambda: f64) -> u64 {
+    assert!(epsilon > 0.0 && epsilon < 1.0, "epsilon out of range");
+    assert!(d > 0.0, "d must be positive");
+    assert!(lambda > 0.0, "lambda must be positive");
+    let denom = (-lambda).exp() * (1.0 - (-epsilon * lambda).exp());
+    assert!(denom > 0.0, "degenerate sizing denominator");
+    let root = d * 0.5 / denom;
+    (root * root).ceil() as u64
+}
+
+/// Clamp an idle-slot count away from the degenerate 0 / total endpoints
+/// so `ln` stays finite: 0 becomes 0.5 and `total` becomes `total - 0.5`
+/// (the standard continuity correction).
+pub fn clamped_rho(idle: usize, total: usize) -> f64 {
+    assert!(total > 0, "no observations");
+    let idle = (idle as f64).clamp(0.5, total as f64 - 0.5);
+    idle / total as f64
+}
+
+/// Median of a non-empty slice (average of the middle pair for even
+/// lengths).
+pub fn median(xs: &mut [f64]) -> f64 {
+    assert!(!xs.is_empty(), "median of empty slice");
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("NaN in median input"));
+    let n = xs.len();
+    if n % 2 == 1 {
+        xs[n / 2]
+    } else {
+        0.5 * (xs[n / 2 - 1] + xs[n / 2])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rfid_stats::d_for_delta;
+
+    fn tag(id: u64) -> Tag {
+        Tag { id, rn: 0 }
+    }
+
+    #[test]
+    fn participation_rate_tracks_p() {
+        for p in [0.1, 0.5, 0.9] {
+            let hits = (0..100_000u64)
+                .filter(|&i| participates(&tag(i), 7, p))
+                .count() as f64
+                / 100_000.0;
+            assert!((hits - p).abs() < 0.01, "p = {p}: rate {hits}");
+        }
+    }
+
+    #[test]
+    fn participation_is_deterministic_and_seed_sensitive() {
+        let t = tag(42);
+        assert_eq!(participates(&t, 1, 0.5), participates(&t, 1, 0.5));
+        let flips = (0..64u32)
+            .filter(|&s| participates(&t, s, 0.5) != participates(&t, s + 64, 0.5))
+            .count();
+        assert!(flips > 10, "seeds barely change outcomes");
+    }
+
+    #[test]
+    fn uniform_slots_are_uniform() {
+        let f = 64usize;
+        let mut counts = vec![0u64; f];
+        for i in 0..64_000u64 {
+            counts[uniform_slot(&tag(i), 3, f)] += 1;
+        }
+        assert!(rfid_stats::uniformity_test(&counts, 0.001));
+    }
+
+    #[test]
+    fn slot_and_participation_are_decorrelated() {
+        // Among participants at p = 0.5, slots must still be uniform.
+        let f = 32usize;
+        let mut counts = vec![0u64; f];
+        for i in 0..200_000u64 {
+            let t = tag(i);
+            if participates(&t, 9, 0.5) {
+                counts[uniform_slot(&t, 9, f)] += 1;
+            }
+        }
+        assert!(rfid_stats::uniformity_test(&counts, 0.001));
+    }
+
+    #[test]
+    fn zoe_slot_budget_matches_hand_computation() {
+        // (0.05, 0.05) at lambda*: d = 1.95996, denominator
+        // e^-1.594 * (1 - e^-0.0797) = 0.203..*0.0766.. -> ~3966 slots.
+        let d = d_for_delta(0.05);
+        let m = required_trials(0.05, d, ZOE_OPTIMAL_LAMBDA);
+        assert!((3800..4100).contains(&m), "m = {m}");
+        // Looser epsilon needs ~quadratically fewer slots.
+        let m_loose = required_trials(0.2, d, ZOE_OPTIMAL_LAMBDA);
+        assert!(m_loose < m / 10, "m_loose = {m_loose}");
+    }
+
+    #[test]
+    fn required_trials_grows_off_the_optimal_load() {
+        let d = d_for_delta(0.05);
+        let at_opt = required_trials(0.05, d, ZOE_OPTIMAL_LAMBDA);
+        let overloaded = required_trials(0.05, d, 2.0 * ZOE_OPTIMAL_LAMBDA);
+        let underloaded = required_trials(0.05, d, 0.3 * ZOE_OPTIMAL_LAMBDA);
+        assert!(overloaded > 2 * at_opt, "overloaded = {overloaded}");
+        assert!(underloaded > at_opt, "underloaded = {underloaded}");
+    }
+
+    #[test]
+    fn clamped_rho_stays_interior() {
+        assert_eq!(clamped_rho(0, 100), 0.005);
+        assert_eq!(clamped_rho(100, 100), 0.995);
+        assert_eq!(clamped_rho(50, 100), 0.5);
+    }
+
+    #[test]
+    fn median_odd_even() {
+        assert_eq!(median(&mut [3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&mut [4.0, 1.0, 3.0, 2.0]), 2.5);
+        assert_eq!(median(&mut [7.0]), 7.0);
+    }
+
+    #[test]
+    fn geometric_plan_levels_decay() {
+        let f = 32usize;
+        let plan = geometric_frame_plan(5, f);
+        let mut counts = vec![0u64; f];
+        let mut out = Vec::new();
+        for i in 0..100_000u64 {
+            out.clear();
+            plan(&tag(i), &mut out);
+            counts[out[0]] += 1;
+        }
+        // Slot 0 gets ~half, slot 1 ~quarter.
+        assert!((counts[0] as f64 / 100_000.0 - 0.5).abs() < 0.01);
+        assert!((counts[1] as f64 / 100_000.0 - 0.25).abs() < 0.01);
+    }
+}

@@ -1,0 +1,159 @@
+//! EZB — the Enhanced Zero-Based estimator of Kodialam, Nandagopal & Lau
+//! (INFOCOM 2007).
+//!
+//! EZB improves on UPE by using only the *number of empty slots* across
+//! multiple frames — a statistic the reader can collect from 1-bit
+//! busy/idle observations, with no need to distinguish singletons from
+//! collisions (and hence no anonymity leak, the paper's motivation). Each
+//! round is a balanced frame; the averaged empty fraction inverts through
+//! `rho = e^(-p n / f)`.
+
+use crate::common::{clamped_rho, required_trials, uniform_frame_plan, ZOE_OPTIMAL_LAMBDA};
+use crate::lof::Lof;
+use rand::RngCore;
+use rfid_sim::{
+    Accuracy, CardinalityEstimator, EstimationReport, PhaseReport, RfidSystem,
+};
+use rfid_stats::d_for_delta;
+
+/// The EZB estimator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Ezb {
+    /// Frame size per round (bit-slots).
+    pub frame: usize,
+}
+
+impl Default for Ezb {
+    fn default() -> Self {
+        Self { frame: 1024 }
+    }
+}
+
+impl CardinalityEstimator for Ezb {
+    fn name(&self) -> &'static str {
+        "EZB"
+    }
+
+    fn estimate(
+        &self,
+        system: &mut RfidSystem,
+        accuracy: Accuracy,
+        rng: &mut dyn RngCore,
+    ) -> EstimationReport {
+        let mut warnings = Vec::new();
+        let start = system.air_time();
+        let f = self.frame;
+
+        let n_r = Lof {
+            rounds: 1,
+            frame: 32,
+        }
+        .rough_estimate(system, rng)
+        .max(1.0);
+        let after_rough = system.air_time();
+
+        let p = (ZOE_OPTIMAL_LAMBDA * f as f64 / n_r).min(1.0);
+        let d = d_for_delta(accuracy.delta);
+        let trials = required_trials(accuracy.epsilon, d, ZOE_OPTIMAL_LAMBDA);
+        let rounds = trials.div_ceil(f as u64).max(1);
+
+        let mut idle = 0usize;
+        for _ in 0..rounds {
+            let seed = rng.next_u32();
+            system.turnaround();
+            system.broadcast(64);
+            let frame = system.run_bitslot_frame(f, &uniform_frame_plan(seed, f, p));
+            idle += frame.idle_count();
+        }
+        let total = rounds as usize * f;
+        if idle == 0 || idle == total {
+            warnings.push("degenerate EZB observations; rho clamped".into());
+        }
+        let rho = clamped_rho(idle, total);
+        let n_hat = -(f as f64) * rho.ln() / p;
+
+        let end = system.air_time();
+        EstimationReport {
+            n_hat,
+            air: end.since(&start),
+            phases: vec![
+                PhaseReport {
+                    name: "rough (LOF)".into(),
+                    air: after_rough.since(&start),
+                },
+                PhaseReport {
+                    name: format!("zero frames x{rounds}"),
+                    air: end.since(&after_rough),
+                },
+            ],
+            rounds: 1 + rounds,
+            warnings,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use rfid_sim::{Tag, TagPopulation};
+
+    fn system_with(n: usize) -> RfidSystem {
+        let tags = (0..n as u64)
+            .map(|i| Tag {
+                id: i * 19 + 11,
+                rn: i as u32,
+            })
+            .collect();
+        RfidSystem::new(TagPopulation::new(tags))
+    }
+
+    #[test]
+    fn estimates_meet_paper_default_accuracy_usually() {
+        for (seed, truth) in [(1u64, 5_000usize), (2, 50_000), (3, 500_000)] {
+            let mut sys = system_with(truth);
+            let mut rng = StdRng::seed_from_u64(seed);
+            let report =
+                Ezb::default().estimate(&mut sys, Accuracy::paper_default(), &mut rng);
+            let rel = report.relative_error(truth);
+            assert!(rel < 0.08, "n = {truth}: rel = {rel}");
+        }
+    }
+
+    #[test]
+    fn uses_bitslots_not_aloha() {
+        let mut sys = system_with(10_000);
+        let mut rng = StdRng::seed_from_u64(4);
+        let report =
+            Ezb::default().estimate(&mut sys, Accuracy::paper_default(), &mut rng);
+        assert_eq!(report.air.aloha_slots, 0);
+        assert!(report.air.bitslots > 1024);
+    }
+
+    #[test]
+    fn much_cheaper_than_upe() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut sys = system_with(10_000);
+        let ezb =
+            Ezb::default().estimate(&mut sys, Accuracy::paper_default(), &mut rng);
+        let mut sys2 = system_with(10_000);
+        let upe = crate::upe::Upe::default().estimate(
+            &mut sys2,
+            Accuracy::paper_default(),
+            &mut rng,
+        );
+        assert!(ezb.air.total_us() < upe.air.total_us() / 4.0);
+    }
+
+    #[test]
+    fn empty_population_warns_and_returns_small() {
+        let mut sys = system_with(0);
+        let mut rng = StdRng::seed_from_u64(6);
+        let report =
+            Ezb::default().estimate(&mut sys, Accuracy::paper_default(), &mut rng);
+        // p clamps to 1, all slots idle -> clamped rho -> tiny estimate.
+        assert!(report.n_hat < 5.0, "n_hat = {}", report.n_hat);
+        assert!(!report.warnings.is_empty());
+    }
+}

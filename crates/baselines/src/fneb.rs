@@ -1,0 +1,213 @@
+//! FNEB — the First-Non-Empty-Based estimator of Han et al.
+//! (INFOCOM 2010).
+//!
+//! Every tag picks a uniform slot in a large frame; the reader senses
+//! slots in order and stops at the **first busy slot**. That position is
+//! geometric with success probability `q = 1 - (1 - 1/f)^n`, so the mean
+//! position over many frames inverts to `n`. The frame size is tuned from
+//! a rough estimate so `q` stays small (positions carry information);
+//! tight accuracy needs many repetitions — FNEB trades simplicity for
+//! air time, like its contemporaries.
+//!
+//! Implementation note: the reader never observes slots past the first
+//! busy one, so instead of materializing a potentially multi-million-slot
+//! frame the estimator computes each tag's slot and takes the minimum
+//! (exactly the same observable), then senses the watched prefix through
+//! the channel model.
+
+use crate::common::uniform_slot;
+use crate::lof::Lof;
+use rand::RngCore;
+use rfid_sim::parallel::par_fold;
+use rfid_sim::{
+    Accuracy, CardinalityEstimator, EstimationReport, PhaseReport, RfidSystem,
+};
+use rfid_stats::d_for_delta;
+
+/// The FNEB estimator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fneb {
+    /// Target mean first-busy position (frame size ~ target * n_rough).
+    pub target_position: f64,
+    /// Upper bound on repetition rounds.
+    pub max_rounds: u64,
+}
+
+impl Default for Fneb {
+    fn default() -> Self {
+        Self {
+            target_position: 20.0,
+            max_rounds: 2_048,
+        }
+    }
+}
+
+impl CardinalityEstimator for Fneb {
+    fn name(&self) -> &'static str {
+        "FNEB"
+    }
+
+    fn estimate(
+        &self,
+        system: &mut RfidSystem,
+        accuracy: Accuracy,
+        rng: &mut dyn RngCore,
+    ) -> EstimationReport {
+        let mut warnings = Vec::new();
+        let start = system.air_time();
+
+        let n_r = Lof {
+            rounds: 1,
+            frame: 32,
+        }
+        .rough_estimate(system, rng)
+        .max(1.0);
+        let after_rough = system.air_time();
+
+        // Frame sized so E[first busy] ~ target_position.
+        let f = ((self.target_position * n_r).ceil() as usize).max(64);
+        // Relative error of the mean-position inversion is ~ 1/sqrt(rounds);
+        // meet (epsilon, delta) via rounds = (d / epsilon)^2, capped.
+        let d = d_for_delta(accuracy.delta);
+        let rounds = (((d / accuracy.epsilon).powi(2)).ceil() as u64)
+            .clamp(8, self.max_rounds);
+        if rounds == self.max_rounds {
+            warnings.push(format!(
+                "round budget capped at {}; accuracy not guaranteed",
+                self.max_rounds
+            ));
+        }
+
+        let mut position_sum = 0.0f64;
+        for _ in 0..rounds {
+            let seed = rng.next_u32();
+            system.turnaround();
+            system.broadcast(32);
+            // True first-responder slot = min over tags; also count how
+            // many tags share it (they all transmit before the reader
+            // terminates the frame — the round's energy cost).
+            let (true_min, responders_at_min) = par_fold(
+                system.population().tags(),
+                20_000,
+                || (usize::MAX, 0u64),
+                |acc, tag| {
+                    let slot = uniform_slot(tag, seed, f);
+                    match slot.cmp(&acc.0) {
+                        std::cmp::Ordering::Less => *acc = (slot, 1),
+                        std::cmp::Ordering::Equal => acc.1 += 1,
+                        std::cmp::Ordering::Greater => {}
+                    }
+                },
+                |acc, other| match other.0.cmp(&acc.0) {
+                    std::cmp::Ordering::Less => *acc = other,
+                    std::cmp::Ordering::Equal => acc.1 += other.1,
+                    std::cmp::Ordering::Greater => {}
+                },
+            );
+            system.charge_tag_responses(responders_at_min);
+            // Sense the watched prefix through the channel (a noisy channel
+            // can fire early or push the stop later).
+            let watched = true_min.saturating_add(1).min(f);
+            let mut counts = vec![0u32; watched];
+            if true_min < f {
+                counts[true_min] = 1;
+            }
+            let sensed = system.sense_counts(&counts);
+            let observed_pos = (0..sensed.observed())
+                .find(|&i| sensed.is_busy(i))
+                .map(|i| i + 1)
+                .unwrap_or(f + 1);
+            system.charge_bitslots(observed_pos.min(f) as u64);
+            position_sum += observed_pos as f64;
+        }
+
+        let mean_pos = position_sum / rounds as f64;
+        // Invert E[pos] = 1/q, q = 1 - (1 - 1/f)^n.
+        let q_hat = (1.0 / mean_pos).min(1.0 - 1e-12);
+        let n_hat = (1.0 - q_hat).ln() / (1.0 - 1.0 / f as f64).ln();
+
+        let end = system.air_time();
+        EstimationReport {
+            n_hat,
+            air: end.since(&start),
+            phases: vec![
+                PhaseReport {
+                    name: "rough (LOF)".into(),
+                    air: after_rough.since(&start),
+                },
+                PhaseReport {
+                    name: format!("first-busy probes x{rounds}"),
+                    air: end.since(&after_rough),
+                },
+            ],
+            rounds: 1 + rounds,
+            warnings,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use rfid_sim::{Tag, TagPopulation};
+
+    fn system_with(n: usize) -> RfidSystem {
+        let tags = (0..n as u64)
+            .map(|i| Tag {
+                id: i * 23 + 2,
+                rn: i as u32,
+            })
+            .collect();
+        RfidSystem::new(TagPopulation::new(tags))
+    }
+
+    #[test]
+    fn estimates_track_truth() {
+        for (seed, truth) in [(1u64, 2_000usize), (2, 20_000)] {
+            let mut sys = system_with(truth);
+            let mut rng = StdRng::seed_from_u64(seed);
+            let report =
+                Fneb::default().estimate(&mut sys, Accuracy::new(0.1, 0.1), &mut rng);
+            let rel = report.relative_error(truth);
+            assert!(rel < 0.15, "n = {truth}: rel = {rel}");
+        }
+    }
+
+    #[test]
+    fn observed_slots_stay_near_target_position() {
+        let mut sys = system_with(10_000);
+        let mut rng = StdRng::seed_from_u64(3);
+        let report =
+            Fneb::default().estimate(&mut sys, Accuracy::new(0.2, 0.2), &mut rng);
+        let probes = report.rounds - 1;
+        let mean_watched = report.phases[1].air.bitslots as f64 / probes as f64;
+        assert!(
+            (5.0..60.0).contains(&mean_watched),
+            "mean watched = {mean_watched}"
+        );
+    }
+
+    #[test]
+    fn rounds_cap_produces_warning() {
+        let fneb = Fneb {
+            target_position: 20.0,
+            max_rounds: 16,
+        };
+        let mut sys = system_with(5_000);
+        let mut rng = StdRng::seed_from_u64(4);
+        let report = fneb.estimate(&mut sys, Accuracy::new(0.05, 0.05), &mut rng);
+        assert!(report.warnings.iter().any(|w| w.contains("capped")));
+    }
+
+    #[test]
+    fn empty_population_returns_near_zero() {
+        let mut sys = system_with(0);
+        let mut rng = StdRng::seed_from_u64(5);
+        let report =
+            Fneb::default().estimate(&mut sys, Accuracy::new(0.2, 0.2), &mut rng);
+        // Every probe runs off the end of the frame: q_hat ~ 1/(f+1).
+        assert!(report.n_hat < 5.0, "n_hat = {}", report.n_hat);
+    }
+}

@@ -1,0 +1,266 @@
+//! MLE — the Maximum Likelihood Estimator of Li et al. (INFOCOM 2010),
+//! designed for energy-constrained active tags.
+//!
+//! The reader runs several balanced frames with *decreasing* persistence
+//! probabilities (saving tag transmissions, the scheme's goal) and fits
+//! `n` by maximizing the joint likelihood of the observed busy counts:
+//! with `lambda_i = p_i n / f`, each frame contributes
+//! `b_i ln(1 - e^-lambda_i) - (f - b_i) lambda_i` to the log-likelihood.
+//! The score is strictly decreasing in `n`, so the MLE is found by
+//! bisection on the score function ([`mle_solve`]).
+
+use crate::common::{uniform_frame_plan, ZOE_OPTIMAL_LAMBDA};
+use crate::lof::Lof;
+use rand::RngCore;
+use rfid_sim::{
+    Accuracy, CardinalityEstimator, EstimationReport, PhaseReport, RfidSystem,
+};
+use rfid_stats::d_for_delta;
+
+/// One frame's sufficient statistics: persistence, frame size, busy count.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FrameObservation {
+    /// Persistence probability the frame ran with.
+    pub p: f64,
+    /// Frame size in slots.
+    pub f: usize,
+    /// Observed busy slots.
+    pub busy: usize,
+}
+
+/// Score (derivative of the joint log-likelihood w.r.t. `n`, up to the
+/// positive factor `1/f`):
+/// `sum_i p_i * ( b_i * e^-lambda_i / (1 - e^-lambda_i) - (f_i - b_i) )`.
+fn score(observations: &[FrameObservation], n: f64) -> f64 {
+    observations
+        .iter()
+        .map(|o| {
+            let lambda = o.p * n / o.f as f64;
+            let e = (-lambda).exp();
+            let occupied_term = if o.busy == 0 {
+                0.0
+            } else {
+                o.busy as f64 * e / (1.0 - e).max(1e-300)
+            };
+            o.p * (occupied_term - (o.f - o.busy) as f64)
+        })
+        .sum()
+}
+
+/// Maximum-likelihood `n` for a set of frame observations, by bisection on
+/// the (strictly decreasing) score. Returns `None` when every frame was
+/// empty (likelihood maximized at `n = 0`) or every slot of every frame
+/// was busy (no finite maximizer).
+pub fn mle_solve(observations: &[FrameObservation], n_max: f64) -> Option<f64> {
+    assert!(!observations.is_empty(), "no observations");
+    assert!(n_max > 1.0, "n_max must exceed 1");
+    if observations.iter().all(|o| o.busy == 0) {
+        return None;
+    }
+    if observations.iter().all(|o| o.busy == o.f) {
+        return None;
+    }
+    let (mut lo, mut hi) = (1e-9, n_max);
+    if score(observations, hi) > 0.0 {
+        // Maximizer beyond the bracket: saturated in practice.
+        return None;
+    }
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if score(observations, mid) > 0.0 {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    Some(0.5 * (lo + hi))
+}
+
+/// The MLE estimator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Mle {
+    /// Frame size per round (bit-slots).
+    pub frame: usize,
+    /// Upper bound on rounds.
+    pub max_rounds: u64,
+}
+
+impl Default for Mle {
+    fn default() -> Self {
+        Self {
+            frame: 256,
+            max_rounds: 256,
+        }
+    }
+}
+
+impl CardinalityEstimator for Mle {
+    fn name(&self) -> &'static str {
+        "MLE"
+    }
+
+    fn estimate(
+        &self,
+        system: &mut RfidSystem,
+        accuracy: Accuracy,
+        rng: &mut dyn RngCore,
+    ) -> EstimationReport {
+        let mut warnings = Vec::new();
+        let start = system.air_time();
+        let f = self.frame;
+
+        let n_r = Lof {
+            rounds: 1,
+            frame: 32,
+        }
+        .rough_estimate(system, rng)
+        .max(1.0);
+        let after_rough = system.air_time();
+
+        // Total Bernoulli observations needed at the optimal load; the ML
+        // fit extracts the same information as the zero estimator.
+        let d = d_for_delta(accuracy.delta);
+        let trials =
+            crate::common::required_trials(accuracy.epsilon, d, ZOE_OPTIMAL_LAMBDA);
+        let rounds = trials.div_ceil(f as u64).clamp(2, self.max_rounds);
+        if rounds == self.max_rounds {
+            warnings.push(format!("round budget capped at {}", self.max_rounds));
+        }
+
+        let p0 = (ZOE_OPTIMAL_LAMBDA * f as f64 / n_r).min(1.0);
+        let mut observations = Vec::with_capacity(rounds as usize);
+        for i in 0..rounds {
+            // Energy-saving schedule: alternate full / half / quarter
+            // persistence.
+            let p = (p0 / 2f64.powi((i % 3) as i32)).max(1e-9);
+            let seed = rng.next_u32();
+            system.turnaround();
+            system.broadcast(64);
+            let frame = system.run_bitslot_frame(f, &uniform_frame_plan(seed, f, p));
+            observations.push(FrameObservation {
+                p,
+                f,
+                busy: frame.busy_count(),
+            });
+        }
+
+        let n_hat = match mle_solve(&observations, 1e10) {
+            Some(n) => n,
+            None => {
+                warnings.push("likelihood degenerate; falling back to 0".into());
+                0.0
+            }
+        };
+
+        let end = system.air_time();
+        EstimationReport {
+            n_hat,
+            air: end.since(&start),
+            phases: vec![
+                PhaseReport {
+                    name: "rough (LOF)".into(),
+                    air: after_rough.since(&start),
+                },
+                PhaseReport {
+                    name: format!("ML frames x{rounds}"),
+                    air: end.since(&after_rough),
+                },
+            ],
+            rounds: 1 + rounds,
+            warnings,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use rfid_sim::{Tag, TagPopulation};
+
+    fn system_with(n: usize) -> RfidSystem {
+        let tags = (0..n as u64)
+            .map(|i| Tag {
+                id: i * 31 + 3,
+                rn: i as u32,
+            })
+            .collect();
+        RfidSystem::new(TagPopulation::new(tags))
+    }
+
+    #[test]
+    fn solver_recovers_n_from_exact_expectations() {
+        // Feed the solver busy counts equal to their expectations; the MLE
+        // must sit at the true n.
+        let n = 40_000.0;
+        let f = 512usize;
+        let obs: Vec<FrameObservation> = [0.01, 0.005, 0.0025]
+            .iter()
+            .map(|&p| {
+                let lambda = p * n / f as f64;
+                FrameObservation {
+                    p,
+                    f,
+                    busy: ((1.0 - (-lambda).exp()) * f as f64).round() as usize,
+                }
+            })
+            .collect();
+        let got = mle_solve(&obs, 1e9).unwrap();
+        assert!(
+            ((got - n) / n).abs() < 0.01,
+            "MLE {got} vs truth {n}"
+        );
+    }
+
+    #[test]
+    fn solver_degenerate_cases() {
+        let all_empty = [FrameObservation {
+            p: 0.1,
+            f: 64,
+            busy: 0,
+        }];
+        assert_eq!(mle_solve(&all_empty, 1e6), None);
+        let all_busy = [FrameObservation {
+            p: 0.1,
+            f: 64,
+            busy: 64,
+        }];
+        assert_eq!(mle_solve(&all_busy, 1e6), None);
+    }
+
+    #[test]
+    fn estimates_track_truth() {
+        for (seed, truth) in [(1u64, 5_000usize), (2, 50_000)] {
+            let mut sys = system_with(truth);
+            let mut rng = StdRng::seed_from_u64(seed);
+            let report =
+                Mle::default().estimate(&mut sys, Accuracy::new(0.1, 0.1), &mut rng);
+            let rel = report.relative_error(truth);
+            assert!(rel < 0.15, "n = {truth}: rel = {rel}");
+        }
+    }
+
+    #[test]
+    fn persistence_schedule_halves() {
+        // The schedule must actually save tag energy: later frames use
+        // smaller p. Verified indirectly: the estimator still converges
+        // with the mixed schedule (covered above) and the schedule
+        // generator is deterministic.
+        let p0 = 0.8f64;
+        let ps: Vec<f64> = (0..6).map(|i| p0 / 2f64.powi(i % 3)).collect();
+        assert_eq!(ps[0], 0.8);
+        assert_eq!(ps[1], 0.4);
+        assert_eq!(ps[2], 0.2);
+        assert_eq!(ps[3], 0.8);
+    }
+
+    #[test]
+    fn empty_population_estimates_zero() {
+        let mut sys = system_with(0);
+        let mut rng = StdRng::seed_from_u64(3);
+        let report =
+            Mle::default().estimate(&mut sys, Accuracy::new(0.1, 0.1), &mut rng);
+        assert_eq!(report.n_hat, 0.0);
+    }
+}

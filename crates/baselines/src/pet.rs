@@ -1,0 +1,220 @@
+//! PET — the Probabilistic Estimating Tree of Zheng & Li (TMC 2012).
+//!
+//! PET hashes every tag to a geometric *level* and walks the implicit
+//! binary tree with single-slot probes: "is any tag at level >= L?". A
+//! binary search over levels needs `O(log log n)` probes to find the
+//! highest occupied level `L*`, whose expectation tracks `log2(n)` — the
+//! same Flajolet–Martin statistic LOF reads from a whole frame, collected
+//! with exponentially fewer slots. Averaging `L*` over independent rounds
+//! sharpens the constant-factor estimate.
+//!
+//! Like LOF, PET is a rough estimator: it powers rough phases and is
+//! benchmarked here for the historical record, not for `(epsilon, delta)`
+//! guarantees.
+
+use rand::RngCore;
+use rfid_hash::geometric_level;
+use rfid_sim::{
+    Accuracy, CardinalityEstimator, EstimationReport, PhaseReport, RfidSystem, Tag,
+};
+
+/// The PET estimator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pet {
+    /// Independent estimating trees to average.
+    pub rounds: u32,
+    /// Depth of each tree (32 levels cover n up to ~2^31).
+    pub max_level: u32,
+}
+
+impl Default for Pet {
+    fn default() -> Self {
+        Self {
+            rounds: 24,
+            max_level: 32,
+        }
+    }
+}
+
+impl Pet {
+    /// One single-slot probe: does any tag sit at `level >= threshold`
+    /// under `seed`? Charges one (seed + level) broadcast and one bit-slot.
+    fn probe(
+        &self,
+        system: &mut RfidSystem,
+        seed: u32,
+        threshold: u32,
+        first: bool,
+    ) -> bool {
+        if !first {
+            system.turnaround();
+        }
+        // 32-bit seed + 8-bit level threshold.
+        system.broadcast(40);
+        let max_level = self.max_level;
+        let plan = move |tag: &Tag, out: &mut Vec<usize>| {
+            if geometric_level(tag.id, seed, max_level) >= threshold {
+                out.push(0);
+            }
+        };
+        let frame = system.run_bitslot_frame(1, &plan);
+        frame.is_busy(0)
+    }
+
+    /// Binary-search the highest occupied level of one tree; 0 when even
+    /// level 1 is unoccupied (empty population).
+    fn highest_occupied(
+        &self,
+        system: &mut RfidSystem,
+        seed: u32,
+        first_round: bool,
+    ) -> (u32, u32) {
+        if !self.probe(system, seed, 1, first_round) {
+            return (0, 1);
+        }
+        let mut probes = 1u32;
+        // Invariant: level `lo` is occupied, level `hi + 1` is not.
+        let mut lo = 1u32;
+        let mut hi = self.max_level;
+        while lo < hi {
+            let mid = (lo + hi).div_ceil(2);
+            probes += 1;
+            if self.probe(system, seed, mid, false) {
+                lo = mid;
+            } else {
+                hi = mid - 1;
+            }
+        }
+        (lo, probes)
+    }
+}
+
+impl CardinalityEstimator for Pet {
+    fn name(&self) -> &'static str {
+        "PET"
+    }
+
+    fn estimate(
+        &self,
+        system: &mut RfidSystem,
+        _accuracy: Accuracy,
+        rng: &mut dyn RngCore,
+    ) -> EstimationReport {
+        assert!(self.rounds >= 1, "PET needs at least one round");
+        let start = system.air_time();
+        let mut level_sum = 0.0f64;
+        let mut total_probes = 0u64;
+        let mut any_occupied = false;
+        for round in 0..self.rounds {
+            let seed = rng.next_u32();
+            let (level, probes) = self.highest_occupied(system, seed, round == 0);
+            any_occupied |= level > 0;
+            level_sum += level as f64;
+            total_probes += probes as u64;
+        }
+        let mean_level = level_sum / self.rounds as f64;
+        // The highest occupied geometric level is the same FM statistic as
+        // LOF's first-idle position (shifted by one): E[L*] ~ log2(phi n).
+        let n_hat = if any_occupied {
+            crate::lof::FM_CORRECTION * 2f64.powf(mean_level - 1.0)
+        } else {
+            0.0
+        };
+        let air = system.air_time().since(&start);
+        EstimationReport {
+            n_hat,
+            air,
+            phases: vec![PhaseReport {
+                name: format!("tree probes x{total_probes}"),
+                air,
+            }],
+            rounds: self.rounds as u64,
+            warnings: vec![
+                "PET is a rough (constant-factor) estimator; the accuracy \
+                 requirement is not enforced"
+                    .into(),
+            ],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use rfid_sim::TagPopulation;
+
+    fn system_with(n: usize) -> RfidSystem {
+        let tags = (0..n as u64)
+            .map(|i| Tag {
+                id: i * 37 + 13,
+                rn: i as u32,
+            })
+            .collect();
+        RfidSystem::new(TagPopulation::new(tags))
+    }
+
+    #[test]
+    fn rough_estimate_within_a_constant_factor() {
+        for truth in [1_000usize, 30_000, 300_000] {
+            let mut sys = system_with(truth);
+            let mut rng = StdRng::seed_from_u64(truth as u64 + 1);
+            let report =
+                Pet::default().estimate(&mut sys, Accuracy::paper_default(), &mut rng);
+            let ratio = report.n_hat / truth as f64;
+            assert!(
+                (0.3..3.0).contains(&ratio),
+                "n = {truth}: n_hat = {} (ratio {ratio})",
+                report.n_hat
+            );
+        }
+    }
+
+    #[test]
+    fn probe_count_is_logarithmic_not_linear() {
+        let mut sys = system_with(100_000);
+        let mut rng = StdRng::seed_from_u64(2);
+        let pet = Pet::default();
+        let report = pet.estimate(&mut sys, Accuracy::paper_default(), &mut rng);
+        // Binary search over 32 levels: <= 6 probes per round.
+        let max_probes = pet.rounds as u64 * 7;
+        assert!(
+            report.air.bitslots <= max_probes,
+            "{} probes for {} rounds",
+            report.air.bitslots,
+            pet.rounds
+        );
+    }
+
+    #[test]
+    fn empty_population_estimates_zero_quickly() {
+        let mut sys = system_with(0);
+        let mut rng = StdRng::seed_from_u64(3);
+        let report =
+            Pet::default().estimate(&mut sys, Accuracy::paper_default(), &mut rng);
+        assert_eq!(report.n_hat, 0.0);
+        // One probe per round suffices when level 1 is empty.
+        assert_eq!(report.air.bitslots, Pet::default().rounds as u64);
+    }
+
+    #[test]
+    fn pet_is_cheaper_than_lof_per_information() {
+        // Same FM statistic, but PET's binary search touches ~6 slots per
+        // round vs LOF's 32.
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut sys = system_with(50_000);
+        let pet = Pet {
+            rounds: 10,
+            max_level: 32,
+        }
+        .estimate(&mut sys, Accuracy::paper_default(), &mut rng);
+        let mut sys2 = system_with(50_000);
+        let lof = crate::lof::Lof::default().estimate(
+            &mut sys2,
+            Accuracy::paper_default(),
+            &mut rng,
+        );
+        assert!(pet.air.bitslots < lof.air.bitslots);
+    }
+}

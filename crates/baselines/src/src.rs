@@ -1,0 +1,230 @@
+//! SRC — the enhanced two-phase counting protocol of Chen, Zhou & Yu
+//! ("Understanding RFID Counting Protocols", MobiCom 2013), as set up by
+//! the BFCE paper's comparison (Section V-C).
+//!
+//! Phase 1 obtains a constant-factor rough estimate with `O(log log n)`
+//! slots (realized here as one LOF geometric frame). Phase 2 runs a
+//! *balanced frame*: the reader announces a frame of `s = Theta(1/eps^2)`
+//! bit-slots and a persistence probability chosen so the expected per-slot
+//! load is the variance-optimal `lambda* ~ 1.594` given the rough estimate;
+//! the idle fraction inverts to a per-round estimate that is
+//! `(epsilon, 0.2)`-accurate. To reach error probability `delta < 0.2` the
+//! BFCE paper repeats phase 2 `m` times — the smallest (odd) `m` with
+//! `sum_{i=(m+1)/2}^m C(m,i) 0.8^i 0.2^(m-i) >= 1 - delta` — and takes a
+//! majority vote, realized as the median of the per-round estimates.
+//!
+//! Unlike ZOE, SRC broadcasts only once per *frame*, so its reader-side
+//! traffic is negligible; unlike BFCE, its slot count scales with
+//! `1/eps^2` and it must be sized conservatively (sigma_max plus a safety
+//! factor for the factor-2 rough estimate), which is why BFCE's optimized
+//! single frame still wins at tight accuracy.
+
+use crate::common::{
+    clamped_rho, median, required_trials, uniform_frame_plan, ZOE_OPTIMAL_LAMBDA,
+};
+use crate::lof::Lof;
+use rand::RngCore;
+use rfid_sim::{
+    Accuracy, CardinalityEstimator, EstimationReport, PhaseReport, RfidSystem,
+};
+use rfid_stats::{d_for_delta, majority_rounds};
+
+/// The SRC estimator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[allow(clippy::derive_partial_eq_without_eq)]
+pub struct Src {
+    /// Per-round error probability (the BFCE paper's setup fixes 0.2).
+    pub per_round_delta: f64,
+    /// Multiplicative sizing slack on the per-round frame, covering the
+    /// load mismatch a factor-2 rough estimate can cause.
+    pub sizing_slack: f64,
+    /// LOF rounds in phase 1 (one geometric frame by default).
+    pub rough_rounds: u32,
+}
+
+impl Default for Src {
+    fn default() -> Self {
+        Self {
+            per_round_delta: 0.2,
+            sizing_slack: 2.0,
+            rough_rounds: 1,
+        }
+    }
+}
+
+impl Src {
+    /// Per-round frame size for a given `epsilon`.
+    pub fn round_frame_size(&self, epsilon: f64) -> usize {
+        let d0 = d_for_delta(self.per_round_delta);
+        let base = required_trials(epsilon, d0, ZOE_OPTIMAL_LAMBDA);
+        ((base as f64) * self.sizing_slack).ceil() as usize
+    }
+
+    /// Number of phase-2 rounds for a target `delta`.
+    pub fn rounds_for(&self, delta: f64) -> u64 {
+        if delta >= self.per_round_delta {
+            1
+        } else {
+            majority_rounds(delta, 1.0 - self.per_round_delta)
+        }
+    }
+}
+
+impl CardinalityEstimator for Src {
+    fn name(&self) -> &'static str {
+        "SRC"
+    }
+
+    fn estimate(
+        &self,
+        system: &mut RfidSystem,
+        accuracy: Accuracy,
+        rng: &mut dyn RngCore,
+    ) -> EstimationReport {
+        let mut warnings = Vec::new();
+        let start = system.air_time();
+
+        // Phase 1: rough constant-factor estimate.
+        let lof = Lof {
+            rounds: self.rough_rounds,
+            frame: 32,
+        };
+        let n_r = lof.rough_estimate(system, rng).max(1.0);
+        let after_rough = system.air_time();
+
+        // Phase 2: m balanced frames, median vote.
+        let s = self.round_frame_size(accuracy.epsilon);
+        let m = self.rounds_for(accuracy.delta);
+        let p = (ZOE_OPTIMAL_LAMBDA * s as f64 / n_r).min(1.0);
+        let mut estimates = Vec::with_capacity(m as usize);
+        for _ in 0..m {
+            let seed = rng.next_u32();
+            system.turnaround();
+            // Seed plus persistence parameter.
+            system.broadcast(64);
+            let plan = uniform_frame_plan(seed, s, p);
+            let frame = system.run_bitslot_frame(s, &plan);
+            let idle = frame.idle_count();
+            if idle == 0 || idle == s {
+                warnings.push("degenerate SRC frame; rho clamped".into());
+            }
+            let rho = clamped_rho(idle, s);
+            estimates.push(-(s as f64) * rho.ln() / p);
+        }
+        let n_hat = median(&mut estimates);
+        let end = system.air_time();
+
+        EstimationReport {
+            n_hat,
+            air: end.since(&start),
+            phases: vec![
+                PhaseReport {
+                    name: "rough (LOF)".into(),
+                    air: after_rough.since(&start),
+                },
+                PhaseReport {
+                    name: format!("balanced frames x{m}"),
+                    air: end.since(&after_rough),
+                },
+            ],
+            rounds: self.rough_rounds as u64 + m,
+            warnings,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use rfid_sim::{Tag, TagPopulation};
+
+    fn system_with(n: usize) -> RfidSystem {
+        let tags = (0..n as u64)
+            .map(|i| Tag {
+                id: i * 13 + 1,
+                rn: i as u32,
+            })
+            .collect();
+        RfidSystem::new(TagPopulation::new(tags))
+    }
+
+    #[test]
+    fn round_structure_follows_the_binomial_rule() {
+        let src = Src::default();
+        assert_eq!(src.rounds_for(0.05), 7);
+        assert_eq!(src.rounds_for(0.10), 5);
+        assert_eq!(src.rounds_for(0.15), 3);
+        assert_eq!(src.rounds_for(0.20), 1);
+        assert_eq!(src.rounds_for(0.30), 1);
+    }
+
+    #[test]
+    fn frame_size_scales_inverse_quadratically() {
+        let src = Src::default();
+        let s5 = src.round_frame_size(0.05);
+        let s10 = src.round_frame_size(0.10);
+        let ratio = s5 as f64 / s10 as f64;
+        assert!((3.5..4.5).contains(&ratio), "ratio = {ratio}");
+        // Absolute scale sanity: thousands at 5%.
+        assert!((2500..5000).contains(&s5), "s5 = {s5}");
+    }
+
+    #[test]
+    fn estimates_land_within_epsilon_usually() {
+        for (seed, truth) in [(1u64, 10_000usize), (2, 100_000), (3, 500_000)] {
+            let mut sys = system_with(truth);
+            let mut rng = StdRng::seed_from_u64(seed);
+            let report =
+                Src::default().estimate(&mut sys, Accuracy::paper_default(), &mut rng);
+            let rel = report.relative_error(truth);
+            assert!(rel < 0.07, "n = {truth}: rel = {rel}");
+        }
+    }
+
+    #[test]
+    fn execution_time_sits_between_bfce_and_zoe() {
+        // At (0.05, 0.05): 7 frames of ~3400 bit-slots ~ 0.45 s —
+        // sub-second but above BFCE's 0.19 s.
+        let mut sys = system_with(100_000);
+        let mut rng = StdRng::seed_from_u64(4);
+        let report =
+            Src::default().estimate(&mut sys, Accuracy::paper_default(), &mut rng);
+        let secs = report.air.total_seconds();
+        assert!((0.2..1.5).contains(&secs), "SRC time = {secs}s");
+        // Tag time dominates (few broadcasts) — the opposite of ZOE.
+        assert!(report.air.tag_us > report.air.reader_us);
+    }
+
+    #[test]
+    fn reader_traffic_is_per_round_not_per_slot() {
+        let mut sys = system_with(20_000);
+        let mut rng = StdRng::seed_from_u64(5);
+        let report =
+            Src::default().estimate(&mut sys, Accuracy::paper_default(), &mut rng);
+        // 1 LOF broadcast + 7 round broadcasts.
+        assert_eq!(report.air.reader_messages, 8);
+    }
+
+    #[test]
+    fn loose_delta_runs_one_round() {
+        let mut sys = system_with(20_000);
+        let mut rng = StdRng::seed_from_u64(6);
+        let report =
+            Src::default().estimate(&mut sys, Accuracy::new(0.05, 0.3), &mut rng);
+        assert_eq!(report.rounds, 2); // 1 LOF + 1 balanced frame
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let run = |seed| {
+            let mut sys = system_with(30_000);
+            let mut rng = StdRng::seed_from_u64(seed);
+            Src::default()
+                .estimate(&mut sys, Accuracy::paper_default(), &mut rng)
+                .n_hat
+        };
+        assert_eq!(run(7), run(7));
+    }
+}

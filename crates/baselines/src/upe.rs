@@ -1,0 +1,206 @@
+//! UPE — the Unified Probabilistic Estimator of Kodialam & Nandagopal
+//! (MobiCom 2006), the first framed-slotted-Aloha cardinality estimator.
+//!
+//! UPE observes classic Aloha frames where the reader distinguishes empty,
+//! singleton and collision slots. With per-slot load `lambda = p n / f`,
+//! the expected empty fraction is `e^-lambda` and the expected collision
+//! fraction is `1 - e^-lambda (1 + lambda)`. This implementation uses the
+//! zero estimator (the statistically stronger of the two) for the final
+//! answer and cross-checks it against the collision estimator, flagging
+//! disagreement; [`collision_lambda`] exposes the collision inversion.
+//!
+//! Because Aloha slots must be long enough to detect a singleton reply
+//! (16 bits here, per C1G2's RN16), UPE pays ~16x the per-slot cost of the
+//! bit-slot protocols — the generational gap the later schemes close.
+
+use crate::common::{clamped_rho, required_trials, uniform_frame_plan, ZOE_OPTIMAL_LAMBDA};
+use crate::lof::Lof;
+use rand::RngCore;
+use rfid_sim::{
+    Accuracy, CardinalityEstimator, EstimationReport, PhaseReport, RfidSystem,
+};
+use rfid_stats::d_for_delta;
+
+/// Invert the collision fraction: find `lambda` with
+/// `1 - e^-lambda (1 + lambda) = collision_frac` (bisection; the left side
+/// is strictly increasing in `lambda`).
+pub fn collision_lambda(collision_frac: f64) -> Option<f64> {
+    if !(0.0..1.0).contains(&collision_frac) {
+        return None;
+    }
+    if collision_frac == 0.0 {
+        return Some(0.0);
+    }
+    let g = |l: f64| 1.0 - (-l).exp() * (1.0 + l);
+    let (mut lo, mut hi) = (0.0f64, 60.0f64);
+    if g(hi) < collision_frac {
+        return None;
+    }
+    for _ in 0..80 {
+        let mid = 0.5 * (lo + hi);
+        if g(mid) < collision_frac {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    Some(0.5 * (lo + hi))
+}
+
+/// The UPE estimator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Upe {
+    /// Aloha frame size per round.
+    pub frame: usize,
+}
+
+impl Default for Upe {
+    fn default() -> Self {
+        Self { frame: 1024 }
+    }
+}
+
+impl CardinalityEstimator for Upe {
+    fn name(&self) -> &'static str {
+        "UPE"
+    }
+
+    fn estimate(
+        &self,
+        system: &mut RfidSystem,
+        accuracy: Accuracy,
+        rng: &mut dyn RngCore,
+    ) -> EstimationReport {
+        let mut warnings = Vec::new();
+        let start = system.air_time();
+        let f = self.frame;
+
+        // Rough estimate to tune the persistence.
+        let n_r = Lof {
+            rounds: 1,
+            frame: 32,
+        }
+        .rough_estimate(system, rng)
+        .max(1.0);
+        let after_rough = system.air_time();
+
+        let p = (ZOE_OPTIMAL_LAMBDA * f as f64 / n_r).min(1.0);
+        let d = d_for_delta(accuracy.delta);
+        let trials = required_trials(accuracy.epsilon, d, ZOE_OPTIMAL_LAMBDA);
+        let rounds = trials.div_ceil(f as u64).max(1);
+
+        let mut empties = 0usize;
+        let mut collisions = 0usize;
+        for _ in 0..rounds {
+            let seed = rng.next_u32();
+            system.turnaround();
+            system.broadcast(64);
+            let frame = system.run_aloha_frame(f, &uniform_frame_plan(seed, f, p));
+            empties += frame.empties();
+            collisions += frame.collisions();
+        }
+        let total = rounds as usize * f;
+        if empties == 0 || empties == total {
+            warnings.push("degenerate UPE observations; rho clamped".into());
+        }
+        let rho = clamped_rho(empties, total);
+        let n_hat = -(f as f64) * rho.ln() / p;
+
+        // Collision cross-check (the "unified" part of UPE).
+        let coll_frac = collisions as f64 / total as f64;
+        match collision_lambda(coll_frac) {
+            Some(l) => {
+                let n_ce = l * f as f64 / p;
+                if n_ce > 0.0 && (n_ce - n_hat).abs() > 0.5 * n_hat.max(1.0) {
+                    warnings.push(format!(
+                        "zero/collision estimators disagree: ZE {n_hat:.0} vs CE {n_ce:.0}"
+                    ));
+                }
+            }
+            None => warnings.push("collision fraction saturated".into()),
+        }
+
+        let end = system.air_time();
+        EstimationReport {
+            n_hat,
+            air: end.since(&start),
+            phases: vec![
+                PhaseReport {
+                    name: "rough (LOF)".into(),
+                    air: after_rough.since(&start),
+                },
+                PhaseReport {
+                    name: format!("aloha frames x{rounds}"),
+                    air: end.since(&after_rough),
+                },
+            ],
+            rounds: 1 + rounds,
+            warnings,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use rfid_sim::{Tag, TagPopulation};
+
+    fn system_with(n: usize) -> RfidSystem {
+        let tags = (0..n as u64)
+            .map(|i| Tag {
+                id: i * 17 + 9,
+                rn: i as u32,
+            })
+            .collect();
+        RfidSystem::new(TagPopulation::new(tags))
+    }
+
+    #[test]
+    fn collision_lambda_round_trips() {
+        for l in [0.1f64, 0.5, 1.594, 3.0, 8.0] {
+            let frac = 1.0 - (-l).exp() * (1.0 + l);
+            let got = collision_lambda(frac).unwrap();
+            assert!((got - l).abs() < 1e-9, "lambda {l} -> {got}");
+        }
+        assert_eq!(collision_lambda(0.0), Some(0.0));
+        assert!(collision_lambda(1.0).is_none());
+        assert!(collision_lambda(-0.1).is_none());
+    }
+
+    #[test]
+    fn estimates_are_reasonable() {
+        for (seed, truth) in [(1u64, 5_000usize), (2, 50_000)] {
+            let mut sys = system_with(truth);
+            let mut rng = StdRng::seed_from_u64(seed);
+            let report =
+                Upe::default().estimate(&mut sys, Accuracy::paper_default(), &mut rng);
+            let rel = report.relative_error(truth);
+            assert!(rel < 0.1, "n = {truth}: rel = {rel}");
+        }
+    }
+
+    #[test]
+    fn aloha_slots_dominate_cost() {
+        let mut sys = system_with(20_000);
+        let mut rng = StdRng::seed_from_u64(3);
+        let report =
+            Upe::default().estimate(&mut sys, Accuracy::paper_default(), &mut rng);
+        assert!(report.air.aloha_slots >= 1024);
+        // UPE pays dearly for the 16-bit slots: slower than a second.
+        assert!(report.air.total_seconds() > 1.0);
+    }
+
+    #[test]
+    fn rounds_scale_with_epsilon() {
+        let mut sys = system_with(20_000);
+        let mut rng = StdRng::seed_from_u64(4);
+        let tight =
+            Upe::default().estimate(&mut sys, Accuracy::new(0.05, 0.05), &mut rng);
+        sys.reset_ledger();
+        let loose =
+            Upe::default().estimate(&mut sys, Accuracy::new(0.3, 0.05), &mut rng);
+        assert!(tight.rounds > loose.rounds);
+    }
+}

@@ -1,0 +1,104 @@
+//! Property-based tests for the baseline estimators' pure kernels.
+
+use proptest::prelude::*;
+use rfid_baselines::a3::round_relative_variance;
+use rfid_baselines::common::{clamped_rho, median, required_trials};
+use rfid_baselines::mle::{mle_solve, FrameObservation};
+use rfid_baselines::upe::collision_lambda;
+use rfid_stats::d_for_delta;
+
+proptest! {
+    #[test]
+    fn collision_lambda_inverts_the_collision_curve(l in 0.001f64..20.0) {
+        // Beyond lambda ~ 25 the collision fraction is within one ulp of
+        // 1.0 and carries no information — the protocol never operates
+        // there (a frame that collided everywhere is re-run).
+        let frac = 1.0 - (-l).exp() * (1.0 + l);
+        let got = collision_lambda(frac).expect("in range");
+        prop_assert!((got - l).abs() < 1e-6 * l.max(1.0), "{l} -> {got}");
+    }
+
+    #[test]
+    fn collision_lambda_rejects_out_of_range(frac in 1.0f64..10.0) {
+        prop_assert!(collision_lambda(frac).is_none());
+    }
+
+    #[test]
+    fn required_trials_monotone_in_epsilon(
+        eps in 0.01f64..0.4,
+        delta in 0.01f64..0.4,
+        lambda in 0.2f64..4.0,
+    ) {
+        let d = d_for_delta(delta);
+        let tight = required_trials(eps, d, lambda);
+        let loose = required_trials((eps * 1.5).min(0.45), d, lambda);
+        prop_assert!(loose <= tight);
+        prop_assert!(tight >= 1);
+    }
+
+    #[test]
+    fn clamped_rho_is_always_invertible(idle in 0usize..10_000, extra in 0usize..10_000) {
+        let total = idle + extra + 1;
+        let rho = clamped_rho(idle.min(total), total);
+        prop_assert!(rho > 0.0 && rho < 1.0);
+        prop_assert!(rho.ln().is_finite());
+    }
+
+    #[test]
+    fn median_lies_within_the_sample(
+        mut xs in prop::collection::vec(-1e6f64..1e6, 1..100),
+    ) {
+        let m = median(&mut xs.clone());
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        prop_assert!(m >= xs[0] && m <= xs[xs.len() - 1]);
+    }
+
+    #[test]
+    fn median_is_permutation_invariant(
+        xs in prop::collection::vec(-1e3f64..1e3, 1..50),
+        rot in 0usize..50,
+    ) {
+        let mut a = xs.clone();
+        let mut b = xs.clone();
+        b.rotate_left(rot % xs.len().max(1));
+        prop_assert_eq!(median(&mut a), median(&mut b));
+    }
+
+    #[test]
+    fn mle_recovers_n_from_exact_expectations(
+        n in 1_000.0f64..1e6,
+        base_p in 0.001f64..0.05,
+    ) {
+        let f = 512usize;
+        let obs: Vec<FrameObservation> = (0..3)
+            .map(|i| {
+                let p = base_p / 2f64.powi(i);
+                let lambda = p * n / f as f64;
+                FrameObservation {
+                    p,
+                    f,
+                    busy: ((1.0 - (-lambda).exp()) * f as f64).round() as usize,
+                }
+            })
+            .collect();
+        prop_assume!(obs.iter().any(|o| o.busy > 0 && o.busy < f));
+        if let Some(got) = mle_solve(&obs, 1e9) {
+            // Rounding busy counts to integers injects up to 0.5/f of
+            // quantization error per frame.
+            prop_assert!(((got - n) / n).abs() < 0.25, "{n} -> {got}");
+        } else {
+            prop_assert!(false, "solver returned None for valid input");
+        }
+    }
+
+    #[test]
+    fn a3_round_variance_positive_and_shrinks_with_frame(
+        lambda in 0.05f64..6.0,
+        f in 16usize..8192,
+    ) {
+        let v1 = round_relative_variance(lambda, f);
+        let v2 = round_relative_variance(lambda, f * 2);
+        prop_assert!(v1 > 0.0);
+        prop_assert!((v2 - v1 / 2.0).abs() < 1e-12 * v1.max(1.0));
+    }
+}

@@ -1,0 +1,6 @@
+//! `cargo bench --bench ablation_channel` — channel-error ablation.
+use rfid_experiments::{ablations, output::emit, Scale};
+
+fn main() {
+    emit(&ablations::run_channel_sweep(Scale::Quick, 42), "ablation_channel");
+}

@@ -1,0 +1,6 @@
+//! `cargo bench --bench ablation_energy` — tag-energy comparison.
+use rfid_experiments::{ablations, output::emit, Scale};
+
+fn main() {
+    emit(&ablations::run_energy(Scale::Quick, 42), "ablation_energy");
+}

@@ -1,0 +1,6 @@
+//! `cargo bench --bench ablation_hash` — hash ablation.
+use rfid_experiments::{ablations, output::emit, Scale};
+
+fn main() {
+    emit(&ablations::run_hash_comparison(Scale::Quick, 42), "ablation_hash");
+}

@@ -1,0 +1,6 @@
+//! `cargo bench --bench ablation_k` — k sweep.
+use rfid_experiments::{ablations, output::emit, Scale};
+
+fn main() {
+    emit(&ablations::run_k_sweep(Scale::Quick, 42), "ablation_k");
+}

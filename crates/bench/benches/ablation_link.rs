@@ -1,0 +1,6 @@
+//! `cargo bench --bench ablation_link` — PHY link profile sweep.
+use rfid_experiments::{ablations, output::emit, Scale};
+
+fn main() {
+    emit(&ablations::run_link_sweep(Scale::Quick, 42), "ablation_link");
+}

@@ -1,0 +1,6 @@
+//! `cargo bench --bench ablation_probe` — probe-strategy extension.
+use rfid_experiments::{ablations, output::emit, Scale};
+
+fn main() {
+    emit(&ablations::run_probe_strategy(Scale::Quick, 42), "ablation_probe");
+}

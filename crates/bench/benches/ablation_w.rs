@@ -1,0 +1,6 @@
+//! `cargo bench --bench ablation_w` — w sweep.
+use rfid_experiments::{ablations, output::emit, Scale};
+
+fn main() {
+    emit(&ablations::run_w_sweep(Scale::Quick, 42), "ablation_w");
+}

@@ -1,0 +1,6 @@
+//! `cargo bench --bench crossover` — inventory-vs-estimation crossover.
+use rfid_experiments::{ablations, output::emit, Scale};
+
+fn main() {
+    emit(&ablations::run_crossover(Scale::Quick, 42), "crossover");
+}

@@ -1,0 +1,6 @@
+//! `cargo bench --bench fig03_linearity` — regenerates Figure 3.
+use rfid_experiments::{fig03, output::emit, Scale};
+
+fn main() {
+    emit(&fig03::run(Scale::Quick, 42), "fig03_linearity");
+}

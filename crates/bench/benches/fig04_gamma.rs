@@ -1,0 +1,6 @@
+//! `cargo bench --bench fig04_gamma` — regenerates Figure 4.
+use rfid_experiments::{fig04, output::emit, Scale};
+
+fn main() {
+    emit(&fig04::run(Scale::Paper, 42), "fig04_gamma");
+}

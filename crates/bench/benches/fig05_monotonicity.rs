@@ -1,0 +1,6 @@
+//! `cargo bench --bench fig05_monotonicity` — regenerates Figure 5.
+use rfid_experiments::{fig05, output::emit, Scale};
+
+fn main() {
+    emit(&fig05::run(Scale::Paper, 42), "fig05_monotonicity");
+}

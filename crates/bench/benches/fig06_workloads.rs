@@ -1,0 +1,6 @@
+//! `cargo bench --bench fig06_workloads` — regenerates Figure 6.
+use rfid_experiments::{fig06, output::emit, Scale};
+
+fn main() {
+    emit(&fig06::run(Scale::Quick, 42), "fig06_workloads");
+}

@@ -1,0 +1,8 @@
+//! `cargo bench --bench fig07_accuracy` — regenerates Figure 7 (a, b, c).
+use rfid_experiments::{fig07, output::emit, Scale};
+
+fn main() {
+    emit(&fig07::run_vs_n(Scale::Quick, 42), "fig07a_accuracy_vs_n");
+    emit(&fig07::run_vs_epsilon(Scale::Quick, 42), "fig07b_accuracy_vs_epsilon");
+    emit(&fig07::run_vs_delta(Scale::Quick, 42), "fig07c_accuracy_vs_delta");
+}

@@ -1,0 +1,6 @@
+//! `cargo bench --bench fig08_cdf` — regenerates Figure 8.
+use rfid_experiments::{fig08, output::emit, Scale};
+
+fn main() {
+    emit(&fig08::run(Scale::Quick, 42), "fig08_cdf");
+}

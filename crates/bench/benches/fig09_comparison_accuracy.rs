@@ -1,0 +1,9 @@
+//! `cargo bench --bench fig09_comparison_accuracy` — regenerates Figure 9.
+use rfid_experiments::fig09::{run, Sweep};
+use rfid_experiments::{output::emit, Scale};
+
+fn main() {
+    emit(&run(Sweep::N, Scale::Quick, 42), "fig09a_accuracy_vs_n");
+    emit(&run(Sweep::Epsilon, Scale::Quick, 42), "fig09b_accuracy_vs_epsilon");
+    emit(&run(Sweep::Delta, Scale::Quick, 42), "fig09c_accuracy_vs_delta");
+}

@@ -1,0 +1,9 @@
+//! `cargo bench --bench fig10_comparison_time` — regenerates Figure 10.
+use rfid_experiments::fig09::Sweep;
+use rfid_experiments::{fig10, output::emit, Scale};
+
+fn main() {
+    emit(&fig10::run(Sweep::N, Scale::Quick, 42), "fig10a_time_vs_n");
+    emit(&fig10::run(Sweep::Epsilon, Scale::Quick, 42), "fig10b_time_vs_epsilon");
+    emit(&fig10::run(Sweep::Delta, Scale::Quick, 42), "fig10c_time_vs_delta");
+}

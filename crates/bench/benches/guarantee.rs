@@ -1,0 +1,6 @@
+//! `cargo bench --bench guarantee` — (epsilon, delta) guarantee test.
+use rfid_experiments::{guarantee, output::emit, Scale};
+
+fn main() {
+    emit(&guarantee::run(Scale::Quick, 42), "guarantee");
+}

@@ -1,0 +1,74 @@
+//! Criterion micro-benchmarks for whole-protocol simulation cost (host
+//! CPU time, not simulated air time — Figure 10 measures the latter).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rfid_baselines::{Lof, Src};
+use rfid_bfce::Bfce;
+use rfid_sim::{Accuracy, CardinalityEstimator, RfidSystem};
+use rfid_workloads::WorkloadSpec;
+
+fn fresh_system(n: usize, seed: u64) -> RfidSystem {
+    let mut rng = StdRng::seed_from_u64(seed);
+    RfidSystem::new(WorkloadSpec::T1.generate(n, &mut rng))
+}
+
+fn bench_bfce_end_to_end(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bfce_estimate");
+    group.sample_size(20);
+    for n in [10_000usize, 100_000] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let bfce = Bfce::paper();
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let mut system = fresh_system(n, seed);
+                let mut rng = StdRng::seed_from_u64(seed);
+                black_box(bfce.estimate(
+                    &mut system,
+                    Accuracy::paper_default(),
+                    &mut rng,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_lof_rough(c: &mut Criterion) {
+    c.bench_function("lof_rough_estimate_100k", |b| {
+        let lof = Lof::default();
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let mut system = fresh_system(100_000, seed);
+            let mut rng = StdRng::seed_from_u64(seed);
+            black_box(lof.rough_estimate(&mut system, &mut rng))
+        })
+    });
+}
+
+fn bench_src_estimate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("src_estimate");
+    group.sample_size(10);
+    group.bench_function("100k_loose", |b| {
+        let src = Src::default();
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let mut system = fresh_system(100_000, seed);
+            let mut rng = StdRng::seed_from_u64(seed);
+            black_box(src.estimate(&mut system, Accuracy::new(0.1, 0.2), &mut rng))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_bfce_end_to_end,
+    bench_lof_rough,
+    bench_src_estimate
+);
+criterion_main!(benches);

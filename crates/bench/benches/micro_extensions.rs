@@ -1,0 +1,74 @@
+//! Criterion micro-benchmarks for the extension kernels: differential
+//! estimation, union merging, and the Q-inventory simulation.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rfid_baselines::QInventory;
+use rfid_bfce::diff::diff_from_frames;
+use rfid_bfce::estimator::standalone_frame;
+use rfid_bfce::multiset::estimate_union;
+use rfid_bfce::BfceConfig;
+use rfid_sim::{
+    Accuracy, BitFrame, CardinalityEstimator, RfidSystem, Tag, TagPopulation,
+};
+
+fn frame_of(n: usize, seed: u64) -> BitFrame {
+    let cfg = BfceConfig::paper();
+    let tags: Vec<Tag> = (0..n as u64)
+        .map(|i| Tag {
+            id: i + 1,
+            rn: rfid_hash::mix_pair(i, seed) as u32,
+        })
+        .collect();
+    let mut system = RfidSystem::new(TagPopulation::new(tags));
+    let mut rng = StdRng::seed_from_u64(seed);
+    standalone_frame(&cfg, &mut system, 45, &mut rng)
+}
+
+fn bench_diff_postprocess(c: &mut Criterion) {
+    let cfg = BfceConfig::paper();
+    let a = frame_of(50_000, 1);
+    let b = frame_of(48_000, 1);
+    c.bench_function("diff_from_frames_8192", |bch| {
+        bch.iter(|| black_box(diff_from_frames(&cfg, &a, &b, 45)))
+    });
+}
+
+fn bench_union_merge(c: &mut Criterion) {
+    let cfg = BfceConfig::paper();
+    let frames: Vec<BitFrame> = (0..4).map(|i| frame_of(20_000, i)).collect();
+    c.bench_function("estimate_union_4_readers", |bch| {
+        bch.iter(|| black_box(estimate_union(&cfg, &frames, 45)))
+    });
+}
+
+fn bench_inventory(c: &mut Criterion) {
+    let mut group = c.benchmark_group("q_inventory");
+    group.sample_size(10);
+    group.bench_function("identify_5k", |bch| {
+        let inv = QInventory::default();
+        let mut seed = 0u64;
+        bch.iter(|| {
+            seed += 1;
+            let tags: Vec<Tag> = (0..5_000u64)
+                .map(|i| Tag {
+                    id: i + 1,
+                    rn: i as u32,
+                })
+                .collect();
+            let mut system = RfidSystem::new(TagPopulation::new(tags));
+            let mut rng = StdRng::seed_from_u64(seed);
+            black_box(inv.estimate(&mut system, Accuracy::paper_default(), &mut rng))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_diff_postprocess,
+    bench_union_merge,
+    bench_inventory
+);
+criterion_main!(benches);

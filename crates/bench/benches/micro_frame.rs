@@ -1,0 +1,84 @@
+//! Criterion micro-benchmarks for frame execution — the simulator's hot
+//! path (a Bloom frame touches every tag k times).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rfid_hash::{MixHasher, PersistenceSampler, SlotHasher};
+use rfid_sim::frame::{response_counts, response_counts_with_min_chunk};
+use rfid_sim::parallel::par_fold;
+use rfid_sim::{Bitmap, Tag};
+
+fn tags(n: usize) -> Vec<Tag> {
+    (0..n as u64)
+        .map(|i| Tag {
+            id: i * 7 + 1,
+            rn: (i as u32).wrapping_mul(0x9E37_79B9),
+        })
+        .collect()
+}
+
+/// The BFCE accurate-phase plan: 3 hashed slots, persistence 3/1024.
+fn bloom_plan(seeds: [u32; 3]) -> impl Fn(&Tag, &mut Vec<usize>) + Sync {
+    move |tag, out| {
+        let mut sampler = PersistenceSampler::new(tag.rn, seeds[0]);
+        for &seed in &seeds {
+            let slot = MixHasher.slot(tag.identity(), seed, 8192);
+            if sampler.respond(3) {
+                out.push(slot);
+            }
+        }
+    }
+}
+
+fn bench_frame_fill(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bloom_frame_fill");
+    group.sample_size(20);
+    for n in [10_000usize, 100_000, 1_000_000] {
+        let population = tags(n);
+        let plan = bloom_plan([1, 2, 3]);
+        group.bench_with_input(BenchmarkId::new("parallel", n), &n, |b, _| {
+            b.iter(|| black_box(response_counts(&population, 8192, &plan)))
+        });
+        group.bench_with_input(BenchmarkId::new("serial", n), &n, |b, _| {
+            b.iter(|| {
+                black_box(response_counts_with_min_chunk(
+                    &population,
+                    8192,
+                    &plan,
+                    usize::MAX,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_par_fold_overhead(c: &mut Criterion) {
+    let population = tags(200_000);
+    c.bench_function("par_fold_sum_200k", |b| {
+        b.iter(|| {
+            par_fold(
+                &population,
+                20_000,
+                || 0u64,
+                |acc, t| *acc += t.id,
+                |acc, o| *acc += o,
+            )
+        })
+    });
+}
+
+fn bench_bitmap(c: &mut Criterion) {
+    let mut bitmap = Bitmap::zeros(8192);
+    for i in (0..8192).step_by(3) {
+        bitmap.set(i);
+    }
+    c.bench_function("bitmap_count_ones_8192", |b| {
+        b.iter(|| black_box(bitmap.count_ones()))
+    });
+    c.bench_function("bitmap_count_prefix_1024", |b| {
+        b.iter(|| black_box(bitmap.count_ones_prefix(1024)))
+    });
+}
+
+criterion_group!(benches, bench_frame_fill, bench_par_fold_overhead, bench_bitmap);
+criterion_main!(benches);

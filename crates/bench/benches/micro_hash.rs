@@ -1,0 +1,80 @@
+//! Criterion micro-benchmarks for the hashing substrate: the tag-side
+//! operations every frame fill performs `k * n` times.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rfid_hash::tag_hash::TagIdentity;
+use rfid_hash::{
+    geometric_level, mix64, MixHasher, PersistenceSampler, SlotHasher, SplitMix64,
+    XorBitgetHasher,
+};
+
+fn bench_mix64(c: &mut Criterion) {
+    c.bench_function("mix64", |b| {
+        let mut x = 0u64;
+        b.iter(|| {
+            x = x.wrapping_add(1);
+            black_box(mix64(x))
+        })
+    });
+}
+
+fn bench_slot_hashers(c: &mut Criterion) {
+    let tag = TagIdentity {
+        id: 0x1234_5678_9ABC,
+        rn: 0xDEAD_BEEF,
+    };
+    let mut group = c.benchmark_group("slot_hash");
+    group.bench_function("xor_bitget", |b| {
+        let mut seed = 0u32;
+        b.iter(|| {
+            seed = seed.wrapping_add(1);
+            black_box(XorBitgetHasher.slot(tag, seed, 8192))
+        })
+    });
+    group.bench_function("mix64", |b| {
+        let mut seed = 0u32;
+        b.iter(|| {
+            seed = seed.wrapping_add(1);
+            black_box(MixHasher.slot(tag, seed, 8192))
+        })
+    });
+    group.finish();
+}
+
+fn bench_geometric(c: &mut Criterion) {
+    c.bench_function("geometric_level", |b| {
+        let mut key = 1u64;
+        b.iter(|| {
+            key = key.wrapping_add(1);
+            black_box(geometric_level(key, 7, 32))
+        })
+    });
+}
+
+fn bench_persistence(c: &mut Criterion) {
+    c.bench_function("persistence_sampler_3_draws", |b| {
+        let mut rn = 0u32;
+        b.iter(|| {
+            rn = rn.wrapping_add(1);
+            let mut s = PersistenceSampler::new(rn, 42);
+            black_box((s.respond(3), s.respond(3), s.respond(3)))
+        })
+    });
+}
+
+fn bench_splitmix_stream(c: &mut Criterion) {
+    c.bench_function("splitmix64_next", |b| {
+        let mut rng = SplitMix64::new(9);
+        b.iter(|| black_box(rng.next_u64()))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_mix64,
+    bench_slot_hashers,
+    bench_geometric,
+    bench_persistence,
+    bench_splitmix_stream
+);
+criterion_main!(benches);

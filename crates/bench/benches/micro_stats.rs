@@ -1,0 +1,46 @@
+//! Criterion micro-benchmarks for the numerics layer: the reader-side
+//! computations BFCE performs once per estimation.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rfid_bfce::theory::{gamma_bounds, optimal_p};
+use rfid_stats::{d_for_delta, erf, erfinv};
+
+fn bench_erf_family(c: &mut Criterion) {
+    c.bench_function("erf", |b| {
+        let mut x = 0.0f64;
+        b.iter(|| {
+            x = (x + 0.001) % 4.0;
+            black_box(erf(x))
+        })
+    });
+    c.bench_function("erfinv", |b| {
+        let mut y = 0.0f64;
+        b.iter(|| {
+            y = (y + 0.0003) % 0.999;
+            black_box(erfinv(y))
+        })
+    });
+    c.bench_function("d_for_delta", |b| {
+        b.iter(|| black_box(d_for_delta(black_box(0.05))))
+    });
+}
+
+fn bench_optimal_p(c: &mut Criterion) {
+    let d = d_for_delta(0.05);
+    c.bench_function("optimal_p_bruteforce_250k", |b| {
+        b.iter(|| black_box(optimal_p(250_000.0, 8192, 3, 0.05, d, 1024)))
+    });
+    c.bench_function("optimal_p_bruteforce_worstcase", |b| {
+        // Tiny n_low scans the whole grid before falling back.
+        b.iter(|| black_box(optimal_p(100.0, 8192, 3, 0.05, d, 1024)))
+    });
+}
+
+fn bench_gamma_bounds(c: &mut Criterion) {
+    c.bench_function("gamma_bounds", |b| {
+        b.iter(|| black_box(gamma_bounds(3, 1024)))
+    });
+}
+
+criterion_group!(benches, bench_erf_family, bench_optimal_p, bench_gamma_bounds);
+criterion_main!(benches);

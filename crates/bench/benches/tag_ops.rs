@@ -1,0 +1,6 @@
+//! `cargo bench --bench tag_ops` — tag-side operation counts.
+use rfid_experiments::{ablations, output::emit, Scale};
+
+fn main() {
+    emit(&ablations::run_tag_ops(Scale::Quick, 42), "tag_ops");
+}

@@ -1,0 +1,6 @@
+//! `cargo bench --bench tracking` — churn-monitoring scenario.
+use rfid_experiments::{output::emit, tracking, Scale};
+
+fn main() {
+    emit(&tracking::run(Scale::Quick, 42), "tracking");
+}

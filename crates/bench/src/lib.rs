@@ -1,0 +1,4 @@
+//! Bench-only crate: see `benches/` for the criterion micro-benchmarks
+//! and the figure-regeneration targets (`cargo bench` runs the full
+//! evaluation at Quick scale; use the `rfid-experiments` binaries with
+//! `--paper` for the full grids).

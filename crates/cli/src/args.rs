@@ -1,0 +1,375 @@
+//! Dependency-free `--key value` argument parsing for the `rfid` tool.
+
+use rfid_workloads::WorkloadSpec;
+
+/// Usage text printed by `rfid help` (and on parse errors).
+pub const USAGE: &str = "\
+rfid — BFCE RFID cardinality estimation (ICPP 2015 reproduction)
+
+USAGE:
+  rfid estimate  --n <count> [--estimator bfce] [--workload T1] [--epsilon 0.05]
+                 [--delta 0.05] [--seed 42] [--rounds 1] [--ber 0.0]
+  rfid compare   --n <count> [--estimators bfce,zoe,src] [--workload T2]
+                 [--epsilon 0.05] [--delta 0.05] [--seed 42]
+  rfid trace     --n <count> [--workload T1] [--seed 42]
+  rfid workload  --spec <T1|T2|T3|sequential|clustered> --n <count> [--seed 42]
+  rfid diff      --n <count> [--departed 1000] [--arrived 500] [--seed 42]
+  rfid info
+  rfid help
+
+Estimators: bfce, zoe, src, lof, upe, ezb, fneb, art, mle, pet, a3, inventory
+Workloads:  T1 (uniform), T2 (approx normal), T3 (normal), sequential, clustered
+";
+
+/// Options shared by the estimation-style subcommands.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EstimateOpts {
+    /// Population size.
+    pub n: usize,
+    /// Estimator name (see [`USAGE`]).
+    pub estimator: String,
+    /// Tag-ID workload.
+    pub workload: WorkloadSpec,
+    /// Accuracy epsilon.
+    pub epsilon: f64,
+    /// Accuracy delta.
+    pub delta: f64,
+    /// RNG seed.
+    pub seed: u64,
+    /// Independent repetitions.
+    pub rounds: u32,
+    /// Channel bit-error rate (0 = the paper's perfect channel).
+    pub ber: f64,
+}
+
+impl Default for EstimateOpts {
+    fn default() -> Self {
+        Self {
+            n: 100_000,
+            estimator: "bfce".into(),
+            workload: WorkloadSpec::T1,
+            epsilon: 0.05,
+            delta: 0.05,
+            seed: 42,
+            rounds: 1,
+            ber: 0.0,
+        }
+    }
+}
+
+/// Options for `compare`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompareOpts {
+    /// Base estimation options (its `estimator` field is unused).
+    pub base: EstimateOpts,
+    /// Estimator names to compare.
+    pub estimators: Vec<String>,
+}
+
+/// Options for `workload`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadOpts {
+    /// Which distribution.
+    pub spec: WorkloadSpec,
+    /// How many IDs.
+    pub n: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+/// Options for `diff`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiffOpts {
+    /// Epoch-1 population size.
+    pub n: usize,
+    /// Tags departing before epoch 2.
+    pub departed: usize,
+    /// Tags arriving before epoch 2.
+    pub arrived: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+/// A parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// `rfid estimate …`
+    Estimate(EstimateOpts),
+    /// `rfid compare …`
+    Compare(CompareOpts),
+    /// `rfid trace …`
+    Trace(EstimateOpts),
+    /// `rfid workload …`
+    Workload(WorkloadOpts),
+    /// `rfid diff …`
+    Diff(DiffOpts),
+    /// `rfid info`
+    Info,
+    /// `rfid help` (or no arguments)
+    Help,
+}
+
+/// A parse failure with a human-readable message.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError(pub String);
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+fn parse_workload(value: &str) -> Result<WorkloadSpec, ParseError> {
+    match value.to_ascii_lowercase().as_str() {
+        "t1" => Ok(WorkloadSpec::T1),
+        "t2" => Ok(WorkloadSpec::T2),
+        "t3" => Ok(WorkloadSpec::T3),
+        "sequential" => Ok(WorkloadSpec::Sequential),
+        "clustered" => Ok(WorkloadSpec::Clustered { block: 1000 }),
+        other => Err(ParseError(format!("unknown workload '{other}'"))),
+    }
+}
+
+/// Collect `--key value` pairs after the subcommand.
+fn key_values(args: &[String]) -> Result<Vec<(&str, &str)>, ParseError> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        let key = args[i]
+            .strip_prefix("--")
+            .ok_or_else(|| ParseError(format!("expected --key, got '{}'", args[i])))?;
+        let value = args
+            .get(i + 1)
+            .ok_or_else(|| ParseError(format!("--{key} needs a value")))?;
+        out.push((key, value.as_str()));
+        i += 2;
+    }
+    Ok(out)
+}
+
+fn parse_num<T: std::str::FromStr>(key: &str, value: &str) -> Result<T, ParseError> {
+    value
+        .parse()
+        .map_err(|_| ParseError(format!("--{key}: cannot parse '{value}'")))
+}
+
+fn fill_estimate_opts(
+    opts: &mut EstimateOpts,
+    pairs: &[(&str, &str)],
+    allow_estimator: bool,
+) -> Result<(), ParseError> {
+    for &(key, value) in pairs {
+        match key {
+            "n" => opts.n = parse_num(key, value)?,
+            "estimator" if allow_estimator => opts.estimator = value.to_string(),
+            "workload" => opts.workload = parse_workload(value)?,
+            "epsilon" => opts.epsilon = parse_num(key, value)?,
+            "delta" => opts.delta = parse_num(key, value)?,
+            "seed" => opts.seed = parse_num(key, value)?,
+            "rounds" => opts.rounds = parse_num(key, value)?,
+            "ber" => opts.ber = parse_num(key, value)?,
+            other => return Err(ParseError(format!("unknown option --{other}"))),
+        }
+    }
+    if opts.epsilon <= 0.0 || opts.epsilon >= 1.0 {
+        return Err(ParseError("--epsilon must lie in (0, 1)".into()));
+    }
+    if opts.delta <= 0.0 || opts.delta >= 1.0 {
+        return Err(ParseError("--delta must lie in (0, 1)".into()));
+    }
+    if opts.rounds == 0 {
+        return Err(ParseError("--rounds must be at least 1".into()));
+    }
+    if !(0.0..1.0).contains(&opts.ber) {
+        return Err(ParseError("--ber must lie in [0, 1)".into()));
+    }
+    Ok(())
+}
+
+/// Parse a full argument vector (without the program name).
+pub fn parse(args: &[String]) -> Result<Command, ParseError> {
+    let Some(sub) = args.first() else {
+        return Ok(Command::Help);
+    };
+    let rest = &args[1..];
+    match sub.as_str() {
+        "estimate" | "trace" => {
+            let mut opts = EstimateOpts::default();
+            fill_estimate_opts(&mut opts, &key_values(rest)?, sub == "estimate")?;
+            if sub == "estimate" {
+                Ok(Command::Estimate(opts))
+            } else {
+                Ok(Command::Trace(opts))
+            }
+        }
+        "compare" => {
+            let pairs = key_values(rest)?;
+            let mut estimators = vec!["bfce".into(), "zoe".into(), "src".into()];
+            let mut remaining = Vec::new();
+            for &(key, value) in &pairs {
+                if key == "estimators" {
+                    estimators = value.split(',').map(|s| s.trim().to_string()).collect();
+                    if estimators.is_empty() {
+                        return Err(ParseError("--estimators list is empty".into()));
+                    }
+                } else {
+                    remaining.push((key, value));
+                }
+            }
+            let mut base = EstimateOpts::default();
+            fill_estimate_opts(&mut base, &remaining, false)?;
+            Ok(Command::Compare(CompareOpts { base, estimators }))
+        }
+        "workload" => {
+            let mut opts = WorkloadOpts {
+                spec: WorkloadSpec::T1,
+                n: 20,
+                seed: 42,
+            };
+            for (key, value) in key_values(rest)? {
+                match key {
+                    "spec" => opts.spec = parse_workload(value)?,
+                    "n" => opts.n = parse_num(key, value)?,
+                    "seed" => opts.seed = parse_num(key, value)?,
+                    other => {
+                        return Err(ParseError(format!("unknown option --{other}")))
+                    }
+                }
+            }
+            Ok(Command::Workload(opts))
+        }
+        "diff" => {
+            let mut opts = DiffOpts {
+                n: 50_000,
+                departed: 2_500,
+                arrived: 1_000,
+                seed: 42,
+            };
+            for (key, value) in key_values(rest)? {
+                match key {
+                    "n" => opts.n = parse_num(key, value)?,
+                    "departed" => opts.departed = parse_num(key, value)?,
+                    "arrived" => opts.arrived = parse_num(key, value)?,
+                    "seed" => opts.seed = parse_num(key, value)?,
+                    other => {
+                        return Err(ParseError(format!("unknown option --{other}")))
+                    }
+                }
+            }
+            if opts.departed > opts.n {
+                return Err(ParseError("--departed exceeds --n".into()));
+            }
+            Ok(Command::Diff(opts))
+        }
+        "info" => Ok(Command::Info),
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        other => Err(ParseError(format!("unknown subcommand '{other}'"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn empty_is_help() {
+        assert_eq!(parse(&[]).unwrap(), Command::Help);
+        assert_eq!(parse(&argv("help")).unwrap(), Command::Help);
+        assert_eq!(parse(&argv("--help")).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn estimate_defaults_and_overrides() {
+        let cmd = parse(&argv(
+            "estimate --n 5000 --estimator zoe --workload t3 --epsilon 0.1 \
+             --delta 0.2 --seed 7 --rounds 3 --ber 0.01",
+        ))
+        .unwrap();
+        let Command::Estimate(o) = cmd else {
+            panic!("wrong variant")
+        };
+        assert_eq!(o.n, 5000);
+        assert_eq!(o.estimator, "zoe");
+        assert_eq!(o.workload, WorkloadSpec::T3);
+        assert_eq!(o.epsilon, 0.1);
+        assert_eq!(o.delta, 0.2);
+        assert_eq!(o.seed, 7);
+        assert_eq!(o.rounds, 3);
+        assert_eq!(o.ber, 0.01);
+    }
+
+    #[test]
+    fn estimate_bare_uses_defaults() {
+        let Command::Estimate(o) = parse(&argv("estimate")).unwrap() else {
+            panic!()
+        };
+        assert_eq!(o, EstimateOpts::default());
+    }
+
+    #[test]
+    fn compare_parses_estimator_list() {
+        let Command::Compare(c) =
+            parse(&argv("compare --n 1000 --estimators bfce,ezb,art")).unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(c.estimators, vec!["bfce", "ezb", "art"]);
+        assert_eq!(c.base.n, 1000);
+    }
+
+    #[test]
+    fn compare_rejects_estimator_key_in_base() {
+        assert!(parse(&argv("compare --estimator zoe")).is_err());
+    }
+
+    #[test]
+    fn trace_ignores_estimator_key() {
+        assert!(parse(&argv("trace --estimator zoe")).is_err());
+        assert!(parse(&argv("trace --n 100")).is_ok());
+    }
+
+    #[test]
+    fn workload_subcommand() {
+        let Command::Workload(w) =
+            parse(&argv("workload --spec sequential --n 5 --seed 9")).unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(w.spec, WorkloadSpec::Sequential);
+        assert_eq!(w.n, 5);
+        assert_eq!(w.seed, 9);
+    }
+
+    #[test]
+    fn diff_subcommand() {
+        let Command::Diff(d) =
+            parse(&argv("diff --n 10000 --departed 800 --arrived 300 --seed 5"))
+                .unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(d.n, 10_000);
+        assert_eq!(d.departed, 800);
+        assert_eq!(d.arrived, 300);
+        assert_eq!(d.seed, 5);
+        assert!(parse(&argv("diff --n 10 --departed 11")).is_err());
+    }
+
+    #[test]
+    fn validation_errors() {
+        assert!(parse(&argv("estimate --epsilon 0")).is_err());
+        assert!(parse(&argv("estimate --delta 1")).is_err());
+        assert!(parse(&argv("estimate --rounds 0")).is_err());
+        assert!(parse(&argv("estimate --ber 1.5")).is_err());
+        assert!(parse(&argv("estimate --n notanumber")).is_err());
+        assert!(parse(&argv("estimate --bogus 1")).is_err());
+        assert!(parse(&argv("estimate --n")).is_err());
+        assert!(parse(&argv("frobnicate")).is_err());
+        assert!(parse(&argv("estimate n 5")).is_err());
+        assert!(parse(&argv("estimate --workload t9")).is_err());
+    }
+}

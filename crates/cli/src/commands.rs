@@ -1,0 +1,340 @@
+//! Subcommand implementations.
+
+use crate::args::{CompareOpts, EstimateOpts, WorkloadOpts};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rfid_baselines::{Art, Ezb, Fneb, Lof, Mle, Pet, QInventory, Src, Upe, Zoe, A3};
+use rfid_bfce::overhead::{nominal_total_seconds, total_bit_slots};
+use rfid_bfce::theory::{gamma_bounds, max_cardinality};
+use rfid_bfce::{Bfce, BfceConfig};
+use rfid_sim::trace::{aggregate, render};
+use rfid_sim::{
+    Accuracy, BitErrorChannel, CardinalityEstimator, RfidSystem, Timing,
+};
+use std::io::Write;
+
+/// Build an estimator by CLI name.
+pub fn make_estimator(name: &str) -> Option<Box<dyn CardinalityEstimator>> {
+    match name.to_ascii_lowercase().as_str() {
+        "bfce" => Some(Box::new(Bfce::paper())),
+        "zoe" => Some(Box::new(Zoe::default())),
+        "src" => Some(Box::new(Src::default())),
+        "lof" => Some(Box::new(Lof::default())),
+        "upe" => Some(Box::new(Upe::default())),
+        "ezb" => Some(Box::new(Ezb::default())),
+        "fneb" => Some(Box::new(Fneb::default())),
+        "art" => Some(Box::new(Art::default())),
+        "mle" => Some(Box::new(Mle::default())),
+        "pet" => Some(Box::new(Pet::default())),
+        "a3" => Some(Box::new(A3::default())),
+        "inventory" => Some(Box::new(QInventory::default())),
+        _ => None,
+    }
+}
+
+fn build_system(opts: &EstimateOpts, round: u32) -> RfidSystem {
+    let seed = opts
+        .seed
+        .wrapping_mul(0x100_0000_01B3)
+        .wrapping_add(round as u64);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let population = opts.workload.generate(opts.n, &mut rng);
+    if opts.ber > 0.0 {
+        let mut system = RfidSystem::with_channel(
+            population,
+            Box::new(BitErrorChannel::new(opts.ber)),
+        );
+        system.set_noise_seed(seed);
+        system
+    } else {
+        RfidSystem::new(population)
+    }
+}
+
+fn invalid(msg: String) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidInput, msg)
+}
+
+/// `rfid estimate`.
+pub fn estimate(opts: &EstimateOpts, out: &mut dyn Write) -> std::io::Result<()> {
+    let est = make_estimator(&opts.estimator)
+        .ok_or_else(|| invalid(format!("unknown estimator '{}'", opts.estimator)))?;
+    let accuracy = Accuracy::new(opts.epsilon, opts.delta);
+    writeln!(
+        out,
+        "{} on {} tags ({}), requirement ({}, {}), channel {}",
+        est.name(),
+        opts.n,
+        opts.workload.name(),
+        opts.epsilon,
+        opts.delta,
+        if opts.ber > 0.0 { "bit-error" } else { "perfect" },
+    )?;
+    for round in 0..opts.rounds {
+        let mut system = build_system(opts, round);
+        let mut rng = StdRng::seed_from_u64(opts.seed ^ (round as u64) << 32);
+        let report = est.estimate(&mut system, accuracy, &mut rng);
+        writeln!(
+            out,
+            "round {:>2}: n_hat = {:>12.1}  rel_err = {:.4}  air = {:.4}s  \
+             (reader {} bits, {} slots, {} tag tx)",
+            round + 1,
+            report.n_hat,
+            report.relative_error(opts.n.max(1)),
+            report.air.total_seconds(),
+            report.air.reader_bits,
+            report.air.bitslots + report.air.aloha_slots,
+            report.air.tag_responses,
+        )?;
+        for warning in &report.warnings {
+            writeln!(out, "  warning: {warning}")?;
+        }
+    }
+    Ok(())
+}
+
+/// `rfid compare`.
+pub fn compare(opts: &CompareOpts, out: &mut dyn Write) -> std::io::Result<()> {
+    let accuracy = Accuracy::new(opts.base.epsilon, opts.base.delta);
+    writeln!(
+        out,
+        "{:<10} {:>12} {:>9} {:>10} {:>12}",
+        "estimator", "n_hat", "rel_err", "air_s", "tag_tx"
+    )?;
+    for name in &opts.estimators {
+        let est = make_estimator(name)
+            .ok_or_else(|| invalid(format!("unknown estimator '{name}'")))?;
+        let mut system = build_system(&opts.base, 0);
+        let mut rng = StdRng::seed_from_u64(opts.base.seed);
+        let report = est.estimate(&mut system, accuracy, &mut rng);
+        writeln!(
+            out,
+            "{:<10} {:>12.1} {:>9.4} {:>10.4} {:>12}",
+            est.name(),
+            report.n_hat,
+            report.relative_error(opts.base.n.max(1)),
+            report.air.total_seconds(),
+            report.air.tag_responses,
+        )?;
+    }
+    Ok(())
+}
+
+/// `rfid trace` — BFCE with the event recorder on.
+pub fn trace(opts: &EstimateOpts, out: &mut dyn Write) -> std::io::Result<()> {
+    let mut system = build_system(opts, 0);
+    system.enable_trace();
+    let mut rng = StdRng::seed_from_u64(opts.seed);
+    let bfce = Bfce::paper();
+    let run = bfce.run(
+        &mut system,
+        Accuracy::new(opts.epsilon, opts.delta),
+        &mut rng,
+    );
+    let events = system.protocol_trace().expect("trace enabled");
+    writeln!(
+        out,
+        "BFCE on {} tags: n_hat = {:.1} in {:.4}s\n",
+        opts.n,
+        run.n_hat(),
+        run.report.air.total_seconds()
+    )?;
+    write!(out, "{}", render(events))?;
+    writeln!(out, "\nby kind:")?;
+    for (kind, count, total_us) in aggregate(events) {
+        writeln!(out, "  {kind:<11} x{count:<6} {total_us:>12.2}us")?;
+    }
+    Ok(())
+}
+
+/// `rfid workload` — print the generated IDs.
+pub fn workload(opts: &WorkloadOpts, out: &mut dyn Write) -> std::io::Result<()> {
+    let mut rng = StdRng::seed_from_u64(opts.seed);
+    let population = opts.spec.generate(opts.n, &mut rng);
+    writeln!(out, "# {} IDs from {}", opts.n, opts.spec.name())?;
+    writeln!(out, "id,rn")?;
+    for tag in population.tags() {
+        writeln!(out, "{},{}", tag.id, tag.rn)?;
+    }
+    Ok(())
+}
+
+/// `rfid diff` — two-epoch differential estimation (same-seed frames).
+pub fn diff(opts: &crate::args::DiffOpts, out: &mut dyn Write) -> std::io::Result<()> {
+    use rfid_sim::{Tag, TagPopulation};
+    let mut rng = StdRng::seed_from_u64(opts.seed);
+    let epoch1 = rfid_workloads::WorkloadSpec::T1.generate(opts.n, &mut rng);
+    let mut epoch2: Vec<Tag> = epoch1.tags()[opts.departed..].to_vec();
+    let arrivals = rfid_workloads::WorkloadSpec::T1.generate(opts.arrived, &mut rng);
+    epoch2.extend_from_slice(arrivals.tags());
+
+    let mut before = RfidSystem::new(epoch1);
+    let mut after = RfidSystem::new(TagPopulation::new(epoch2));
+    let p_n = ((8192.0f64 / (3.0 * opts.n.max(1) as f64) * 1024.0).round() as u32)
+        .clamp(1, 1023);
+    let result = rfid_bfce::diff::estimate_changes(
+        &BfceConfig::paper(),
+        &mut before,
+        &mut after,
+        p_n,
+        &mut rng,
+    );
+    writeln!(
+        out,
+        "epoch 1: {} tags; true departed {}, true arrived {}",
+        opts.n, opts.departed, opts.arrived
+    )?;
+    writeln!(
+        out,
+        "estimated departures: {:.1}   estimated arrivals: {:.1}   (p = {p_n}/1024)",
+        result.departures, result.arrivals
+    )?;
+    writeln!(
+        out,
+        "air time: {:.4}s + {:.4}s (two same-seed frames)",
+        before.air_time().total_seconds(),
+        after.air_time().total_seconds()
+    )?;
+    for w in &result.warnings {
+        writeln!(out, "warning: {w}")?;
+    }
+    Ok(())
+}
+
+/// `rfid info` — the paper's headline numbers.
+pub fn info(out: &mut dyn Write) -> std::io::Result<()> {
+    let cfg = BfceConfig::paper();
+    let timing = Timing::c1g2();
+    let (gmin, gmax) = gamma_bounds(cfg.k, 1024);
+    writeln!(out, "BFCE (ICPP 2015) — paper configuration")?;
+    writeln!(out, "  w = {}, k = {}, c = {}", cfg.w, cfg.k, cfg.c)?;
+    writeln!(out, "  bit-slot budget : {} (constant)", total_bit_slots(&cfg))?;
+    writeln!(
+        out,
+        "  nominal air time: {:.4} s (< 0.19 s)",
+        nominal_total_seconds(&timing, &cfg)
+    )?;
+    writeln!(out, "  gamma bounds    : {gmin:.6} .. {gmax:.1}")?;
+    writeln!(
+        out,
+        "  max cardinality : {:.0}",
+        max_cardinality(cfg.w, cfg.k, 1024)
+    )?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::{CompareOpts, EstimateOpts, WorkloadOpts};
+    use rfid_workloads::WorkloadSpec;
+
+    fn capture(f: impl FnOnce(&mut dyn Write) -> std::io::Result<()>) -> String {
+        let mut buf = Vec::new();
+        f(&mut buf).expect("command failed");
+        String::from_utf8(buf).expect("utf8")
+    }
+
+    #[test]
+    fn factory_knows_every_estimator() {
+        for name in [
+            "bfce", "zoe", "src", "lof", "upe", "ezb", "fneb", "art", "mle",
+            "pet", "a3", "inventory", "BFCE",
+        ] {
+            assert!(make_estimator(name).is_some(), "{name}");
+        }
+        assert!(make_estimator("nope").is_none());
+    }
+
+    #[test]
+    fn estimate_command_produces_rounds() {
+        let opts = EstimateOpts {
+            n: 5_000,
+            rounds: 2,
+            ..EstimateOpts::default()
+        };
+        let s = capture(|out| estimate(&opts, out));
+        assert!(s.contains("round  1"));
+        assert!(s.contains("round  2"));
+        assert!(s.contains("BFCE"));
+    }
+
+    #[test]
+    fn estimate_rejects_unknown_estimator() {
+        let opts = EstimateOpts {
+            estimator: "bogus".into(),
+            ..EstimateOpts::default()
+        };
+        let mut buf = Vec::new();
+        assert!(estimate(&opts, &mut buf).is_err());
+    }
+
+    #[test]
+    fn compare_lists_each_estimator_once() {
+        let opts = CompareOpts {
+            base: EstimateOpts {
+                n: 3_000,
+                ..EstimateOpts::default()
+            },
+            estimators: vec!["bfce".into(), "ezb".into()],
+        };
+        let s = capture(|out| compare(&opts, out));
+        assert_eq!(s.matches("BFCE").count(), 1);
+        assert_eq!(s.matches("EZB").count(), 1);
+    }
+
+    #[test]
+    fn trace_prints_schedule_and_aggregate() {
+        let opts = EstimateOpts {
+            n: 2_000,
+            ..EstimateOpts::default()
+        };
+        let s = capture(|out| trace(&opts, out));
+        assert!(s.contains("bit-slots"));
+        assert!(s.contains("by kind:"));
+        assert!(s.contains("8192 slots"));
+    }
+
+    #[test]
+    fn workload_emits_csv_rows() {
+        let opts = WorkloadOpts {
+            spec: WorkloadSpec::Sequential,
+            n: 4,
+            seed: 1,
+        };
+        let s = capture(|out| workload(&opts, out));
+        assert_eq!(s.lines().count(), 2 + 4);
+        assert!(s.starts_with("# 4 IDs from sequential"));
+    }
+
+    #[test]
+    fn diff_command_reports_both_directions() {
+        let opts = crate::args::DiffOpts {
+            n: 40_000,
+            departed: 4_000,
+            arrived: 2_000,
+            seed: 3,
+        };
+        let s = capture(|out| diff(&opts, out));
+        assert!(s.contains("true departed 4000"));
+        assert!(s.contains("estimated departures"));
+        // Pull the two estimates out and sanity-check them.
+        let line = s
+            .lines()
+            .find(|l| l.starts_with("estimated departures"))
+            .unwrap();
+        let nums: Vec<f64> = line
+            .split_whitespace()
+            .filter_map(|t| t.parse().ok())
+            .collect();
+        assert!((nums[0] - 4_000.0).abs() / 4_000.0 < 0.3, "{line}");
+        assert!((nums[1] - 2_000.0).abs() / 2_000.0 < 0.4, "{line}");
+    }
+
+    #[test]
+    fn info_mentions_headline_numbers() {
+        let s = capture(info);
+        assert!(s.contains("9216"));
+        assert!(s.contains("0.1846"));
+    }
+}

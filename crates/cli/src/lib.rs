@@ -1,0 +1,36 @@
+//! Implementation of the `rfid` command-line tool.
+//!
+//! Subcommands:
+//!
+//! * `estimate` — one estimation run with any protocol in the workspace;
+//! * `compare`  — several protocols on the same population, side by side;
+//! * `trace`    — the event-level air schedule of one BFCE run;
+//! * `workload` — dump a generated tag-ID set;
+//! * `info`     — the paper's headline numbers for the current config.
+//!
+//! The argument parser is deliberately dependency-free (`--key value`
+//! pairs after a subcommand) and lives here, in the library, so it is unit
+//! tested like everything else.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod commands;
+
+pub use args::{parse, Command, ParseError};
+
+/// Run a parsed command, writing human-readable output to `out`.
+pub fn run(cmd: &Command, out: &mut dyn std::io::Write) -> std::io::Result<()> {
+    match cmd {
+        Command::Estimate(opts) => commands::estimate(opts, out),
+        Command::Compare(opts) => commands::compare(opts, out),
+        Command::Trace(opts) => commands::trace(opts, out),
+        Command::Workload(opts) => commands::workload(opts, out),
+        Command::Diff(opts) => commands::diff(opts, out),
+        Command::Info => commands::info(out),
+        Command::Help => {
+            write!(out, "{}", args::USAGE)
+        }
+    }
+}

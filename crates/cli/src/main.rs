@@ -1,0 +1,20 @@
+//! The `rfid` binary: thin wrapper over [`rfid_cli`].
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    match rfid_cli::parse(&args) {
+        Ok(cmd) => {
+            if let Err(e) = rfid_cli::run(&cmd, &mut out) {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        }
+        Err(e) => {
+            eprintln!("error: {e}\n");
+            eprintln!("{}", rfid_cli::args::USAGE);
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,199 @@
+//! The final accurate stage (Section IV-D).
+//!
+//! Given the rough lower bound `n_low`, the reader brute-forces the minimal
+//! persistence numerator `p_n` in `[1, 1023]` whose `(f1, f2)` clear the
+//! normal bound `d` *at `n_low`* — safe for the true `n >= n_low` by the
+//! monotonicity of Theorem 4 — then runs one full `w = 8192`-slot Bloom
+//! frame and inverts the observed idle ratio (Theorem 2). One frame, no
+//! repetition: this is where the constant-time property comes from.
+
+use crate::estimator::bloom_plan;
+use crate::params::BfceConfig;
+use crate::rough::FrameDegeneracy;
+use crate::theory::{estimate_from_rho, optimal_p, OptimalP, P_GRID};
+use rand::RngCore;
+use rfid_sim::{Accuracy, RfidSystem};
+use rfid_stats::d_for_delta;
+
+/// What the accurate stage produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AccurateOutcome {
+    /// The persistence numerator used: `p_o = p_n / 1024`.
+    pub p_n: u32,
+    /// Whether that numerator provably meets Theorem 3 at `n_low`.
+    pub provable: bool,
+    /// Observed idle ratio over the full frame.
+    pub rho: f64,
+    /// The final estimate `n_hat`.
+    pub n_hat: f64,
+    /// Set when the observation was degenerate.
+    pub degenerate: Option<FrameDegeneracy>,
+}
+
+/// Choose `p_o` for a lower bound (Section IV-D's brute force), falling
+/// back to the largest-margin numerator when no provable one exists (tiny
+/// `n_low`, below the estimator's design range).
+pub fn choose_p(cfg: &BfceConfig, n_low: f64, accuracy: Accuracy) -> OptimalP {
+    let d = d_for_delta(accuracy.delta);
+    // Guard the theory-level precondition: anything below one tag is
+    // handled as "no information" by the caller.
+    optimal_p(n_low.max(1.0), cfg.w, cfg.k, accuracy.epsilon, d, P_GRID)
+}
+
+/// Run the accurate stage, charging all traffic to the system's ledger.
+pub fn run_accurate(
+    cfg: &BfceConfig,
+    system: &mut RfidSystem,
+    n_low: f64,
+    accuracy: Accuracy,
+    rng: &mut dyn RngCore,
+) -> AccurateOutcome {
+    cfg.validate();
+    let choice = choose_p(cfg, n_low, accuracy);
+    let p_n = choice.numerator();
+    let p = p_n as f64 / P_GRID as f64;
+    let seeds: Vec<u32> = (0..cfg.k).map(|_| rng.next_u32()).collect();
+
+    // Phase boundary turnaround, then the parameter broadcast.
+    system.turnaround();
+    system.broadcast(cfg.phase_broadcast_bits());
+    let plan = bloom_plan(cfg, &seeds, p_n);
+    let frame = system.run_bitslot_frame(cfg.w, &plan);
+
+    let rho = frame.rho();
+    let (n_hat, degenerate) = if rho >= 1.0 {
+        (0.0, Some(FrameDegeneracy::AllIdle))
+    } else if rho <= 0.0 {
+        let clamped = 1.0 / cfg.w as f64;
+        (
+            estimate_from_rho(clamped, cfg.w, cfg.k, p),
+            Some(FrameDegeneracy::AllBusy),
+        )
+    } else {
+        (estimate_from_rho(rho, cfg.w, cfg.k, p), None)
+    };
+
+    AccurateOutcome {
+        p_n,
+        provable: choice.is_provable(),
+        rho,
+        n_hat,
+        degenerate,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use rfid_sim::{Tag, TagPopulation};
+
+    fn system_with(n: usize) -> RfidSystem {
+        let tags = (0..n as u64)
+            .map(|i| Tag {
+                id: i + 1,
+                rn: (i as u32)
+                    .wrapping_mul(0x9E37_79B9)
+                    .wrapping_add(0xACE1),
+            })
+            .collect();
+        RfidSystem::new(TagPopulation::new(tags))
+    }
+
+    #[test]
+    fn accurate_estimate_meets_paper_default_accuracy() {
+        let truth = 500_000usize;
+        let mut sys = system_with(truth);
+        let mut rng = StdRng::seed_from_u64(1);
+        let out = run_accurate(
+            &BfceConfig::paper(),
+            &mut sys,
+            250_000.0,
+            Accuracy::paper_default(),
+            &mut rng,
+        );
+        assert!(out.provable);
+        assert_eq!(out.p_n, 3, "paper's worked example");
+        assert!(out.degenerate.is_none());
+        let rel = (out.n_hat - truth as f64).abs() / truth as f64;
+        assert!(rel < 0.05, "n_hat = {} ({rel})", out.n_hat);
+    }
+
+    #[test]
+    fn tiny_lower_bound_falls_back_to_best_effort() {
+        let mut sys = system_with(1_000);
+        let mut rng = StdRng::seed_from_u64(2);
+        let out = run_accurate(
+            &BfceConfig::paper(),
+            &mut sys,
+            500.0,
+            Accuracy::paper_default(),
+            &mut rng,
+        );
+        assert!(!out.provable);
+        // Best-effort still estimates well for n = 1000 (Figure 7a shows
+        // accuracy near zero at the small end).
+        let rel = (out.n_hat - 1_000.0).abs() / 1_000.0;
+        assert!(rel < 0.15, "n_hat = {}", out.n_hat);
+    }
+
+    #[test]
+    fn accurate_charges_full_frame() {
+        let mut sys = system_with(100_000);
+        let mut rng = StdRng::seed_from_u64(3);
+        run_accurate(
+            &BfceConfig::paper(),
+            &mut sys,
+            50_000.0,
+            Accuracy::paper_default(),
+            &mut rng,
+        );
+        let air = sys.air_time();
+        assert_eq!(air.bitslots, 8192);
+        assert_eq!(air.reader_bits, 128);
+        assert_eq!(air.gaps, 2);
+    }
+
+    #[test]
+    fn empty_population_yields_zero() {
+        let mut sys = system_with(0);
+        let mut rng = StdRng::seed_from_u64(4);
+        let out = run_accurate(
+            &BfceConfig::paper(),
+            &mut sys,
+            1.0,
+            Accuracy::paper_default(),
+            &mut rng,
+        );
+        assert_eq!(out.n_hat, 0.0);
+        assert_eq!(out.degenerate, Some(FrameDegeneracy::AllIdle));
+    }
+
+    #[test]
+    fn choose_p_is_looser_for_looser_requirements() {
+        let cfg = BfceConfig::paper();
+        let tight = choose_p(&cfg, 100_000.0, Accuracy::new(0.05, 0.05));
+        let loose = choose_p(&cfg, 100_000.0, Accuracy::new(0.3, 0.3));
+        assert!(tight.is_provable() && loose.is_provable());
+        assert!(loose.numerator() <= tight.numerator());
+    }
+
+    #[test]
+    fn estimates_are_reproducible_per_seed() {
+        let run = |seed| {
+            let mut sys = system_with(80_000);
+            let mut rng = StdRng::seed_from_u64(seed);
+            run_accurate(
+                &BfceConfig::paper(),
+                &mut sys,
+                40_000.0,
+                Accuracy::paper_default(),
+                &mut rng,
+            )
+            .n_hat
+        };
+        assert_eq!(run(9), run(9));
+        assert_ne!(run(9), run(10));
+    }
+}

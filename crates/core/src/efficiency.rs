@@ -1,0 +1,226 @@
+//! Statistical efficiency: how close BFCE gets to the Cramér–Rao bound,
+//! and delta-method confidence intervals around its estimates.
+//!
+//! The accurate phase observes `w` i.i.d. Bernoulli slots with idle
+//! probability `q(n) = e^(-λ)`, `λ = k p n / w`. The per-slot Fisher
+//! information about `n` is
+//!
+//! ```text
+//! I₁(n) = (dq/dn)² / (q (1 - q)) = (kp/w)² e^(-2λ) / (e^(-λ)(1 - e^(-λ)))
+//! ```
+//!
+//! so any unbiased estimator obeys `Var(n̂) ≥ 1 / (w · I₁(n))` (the CRLB).
+//! The idle-ratio inversion `n̂ = -w ln ρ̄ /(kp)` is the *maximum
+//! likelihood* estimator of `n` for this model (the busy count is a
+//! sufficient statistic), so it is asymptotically efficient — its
+//! delta-method variance **equals** the bound:
+//!
+//! ```text
+//! Var(n̂) ≈ (dn/dq)² · Var(ρ̄) = (w/(kp))² · (e^λ - 1)/w = CRLB.
+//! ```
+//!
+//! That identity is what makes the whole design work: once `p` is tuned,
+//! no cleverer post-processing of the same frame could beat the paper's
+//! one-line estimator. [`crlb`], [`estimator_std`] and
+//! [`confidence_interval`] expose the machinery; the `efficiency` tests
+//! check the empirical variance against the bound.
+
+use crate::theory::{lambda, P_GRID};
+
+/// Per-slot Fisher information about `n` at the given operating point.
+pub fn fisher_information_per_slot(n: f64, w: usize, k: usize, p: f64) -> f64 {
+    assert!(n > 0.0, "n must be positive");
+    let l = lambda(n, w, k, p);
+    let q = (-l).exp();
+    let dq_dn = -(k as f64 * p / w as f64) * q;
+    dq_dn * dq_dn / (q * (1.0 - q)).max(f64::MIN_POSITIVE)
+}
+
+/// The Cramér–Rao lower bound on `Var(n̂)` for a `w`-slot frame.
+pub fn crlb(n: f64, w: usize, k: usize, p: f64) -> f64 {
+    1.0 / (w as f64 * fisher_information_per_slot(n, w, k, p))
+}
+
+/// Delta-method standard deviation of the idle-ratio estimator — equal to
+/// `sqrt(CRLB)` (the estimator is the MLE): `(w/(kp)) sqrt((e^λ - 1)/w)`.
+pub fn estimator_std(n: f64, w: usize, k: usize, p: f64) -> f64 {
+    let l = lambda(n, w, k, p);
+    (w as f64 / (k as f64 * p)) * ((l.exp() - 1.0) / w as f64).sqrt()
+}
+
+/// A two-sided confidence interval around an estimate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConfidenceInterval {
+    /// Lower endpoint (clamped at 0).
+    pub lo: f64,
+    /// Upper endpoint.
+    pub hi: f64,
+    /// The standard deviation used.
+    pub std: f64,
+}
+
+/// Delta-method `(1 - delta)` confidence interval around `n_hat`, given
+/// the persistence numerator the frame ran with.
+pub fn confidence_interval(
+    n_hat: f64,
+    w: usize,
+    k: usize,
+    p_n: u32,
+    delta: f64,
+) -> ConfidenceInterval {
+    assert!((1..P_GRID).contains(&p_n), "p_n must lie in [1, 1023]");
+    assert!(n_hat >= 0.0, "n_hat must be non-negative");
+    let p = p_n as f64 / P_GRID as f64;
+    let std = if n_hat > 0.0 {
+        estimator_std(n_hat, w, k, p)
+    } else {
+        0.0
+    };
+    let d = rfid_stats::d_for_delta(delta);
+    ConfidenceInterval {
+        lo: (n_hat - d * std).max(0.0),
+        hi: n_hat + d * std,
+        std,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::estimator::standalone_frame;
+    use crate::theory::estimate_from_rho;
+    use crate::BfceConfig;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use rfid_sim::{RfidSystem, Tag, TagPopulation};
+    use rfid_stats::RunningStats;
+
+    const W: usize = 8192;
+    const K: usize = 3;
+
+    #[test]
+    fn delta_method_std_equals_sqrt_crlb() {
+        // The MLE identity, checked numerically across operating points.
+        for n in [10_000.0, 100_000.0, 1_000_000.0] {
+            for pn in [3u32, 20, 100] {
+                let p = pn as f64 / 1024.0;
+                let a = estimator_std(n, W, K, p);
+                let b = crlb(n, W, K, p).sqrt();
+                assert!(
+                    ((a - b) / b).abs() < 1e-9,
+                    "n={n} p={p}: {a} vs {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn crlb_is_minimized_near_the_classic_load() {
+        // (e^lambda - 1)/lambda^2 is minimized at lambda ~ 1.594: relative
+        // std sqrt(CRLB)/n is best there.
+        let n = 200_000.0;
+        let rel_std = |lambda_target: f64| {
+            let p = lambda_target * W as f64 / (K as f64 * n);
+            estimator_std(n, W, K, p) / n
+        };
+        let at_opt = rel_std(1.594);
+        assert!(rel_std(0.4) > at_opt);
+        assert!(rel_std(4.0) > at_opt);
+    }
+
+    /// Genuinely random RNs (as deployed populations have).
+    ///
+    /// Structured assignments like `i * odd_constant` equidistribute the
+    /// low 13 bits, which makes every slot's coverage count nearly
+    /// deterministic instead of binomial and biases the idle probability
+    /// from `E[(1-p)^M] ~ e^(-lambda)` down to `(1-p)^(E[M]) ~
+    /// e^(-lambda(1+p/2))` (Jensen) — a `p/2` relative overestimate of
+    /// `n`. The XOR-bitget design *requires* random RNs; see also
+    /// `tests/adversarial.rs`.
+    fn random_rn(i: u64, seed: u64) -> u32 {
+        rfid_hash::mix_pair(i, seed) as u32
+    }
+
+    #[test]
+    fn empirical_variance_matches_the_bound() {
+        // 80 independent frames at a fixed operating point: the sample std
+        // of the estimates must sit within ~25% of sqrt(CRLB) (the
+        // estimator is efficient; sample-std noise at R=80 is ~8%).
+        let truth = 100_000usize;
+        let p_n = 45u32; // lambda ~ 1.6
+        let cfg = BfceConfig::paper();
+        let p = p_n as f64 / 1024.0;
+        let mut stats = RunningStats::new();
+        for seed in 0..80u64 {
+            let tags: Vec<Tag> = (0..truth as u64)
+                .map(|i| Tag {
+                    id: i + 1,
+                    rn: random_rn(i, seed),
+                })
+                .collect();
+            let mut system = RfidSystem::new(TagPopulation::new(tags));
+            let mut rng = StdRng::seed_from_u64(seed * 31 + 7);
+            let frame = standalone_frame(&cfg, &mut system, p_n, &mut rng);
+            stats.push(estimate_from_rho(frame.rho(), cfg.w, cfg.k, p));
+        }
+        let predicted = estimator_std(truth as f64, W, K, p);
+        let measured = stats.std();
+        let ratio = measured / predicted;
+        assert!(
+            (0.75..1.35).contains(&ratio),
+            "measured std {measured} vs CRLB {predicted} (ratio {ratio})"
+        );
+        // And the mean is unbiased to within a couple of standard errors.
+        let se = predicted / (80f64).sqrt();
+        assert!(
+            (stats.mean() - truth as f64).abs() < 4.0 * se,
+            "mean {} vs {truth}",
+            stats.mean()
+        );
+    }
+
+    #[test]
+    fn confidence_interval_brackets_and_scales() {
+        let ci_tight = confidence_interval(500_000.0, W, K, 3, 0.05);
+        assert!(ci_tight.lo < 500_000.0 && 500_000.0 < ci_tight.hi);
+        let ci_loose = confidence_interval(500_000.0, W, K, 3, 0.3);
+        assert!(ci_loose.hi - ci_loose.lo < ci_tight.hi - ci_tight.lo);
+        // Zero estimate: degenerate interval at zero.
+        let ci_zero = confidence_interval(0.0, W, K, 3, 0.05);
+        assert_eq!(ci_zero.lo, 0.0);
+        assert_eq!(ci_zero.hi, 0.0);
+    }
+
+    #[test]
+    fn empirical_coverage_matches_delta() {
+        // Over 80 frames, the 90% CI must cover the truth ~90% of the time
+        // (allow the binomial wobble of 80 trials).
+        let truth = 60_000usize;
+        let p_n = 75u32;
+        let cfg = BfceConfig::paper();
+        let p = p_n as f64 / 1024.0;
+        let mut covered = 0u32;
+        let rounds = 80u64;
+        for seed in 0..rounds {
+            let tags: Vec<Tag> = (0..truth as u64)
+                .map(|i| Tag {
+                    id: i + 1,
+                    rn: random_rn(i, seed ^ 0xABCD),
+                })
+                .collect();
+            let mut system = RfidSystem::new(TagPopulation::new(tags));
+            let mut rng = StdRng::seed_from_u64(seed * 131 + 3);
+            let frame = standalone_frame(&cfg, &mut system, p_n, &mut rng);
+            let n_hat = estimate_from_rho(frame.rho(), cfg.w, cfg.k, p);
+            let ci = confidence_interval(n_hat, cfg.w, cfg.k, p_n, 0.10);
+            if ci.lo <= truth as f64 && truth as f64 <= ci.hi {
+                covered += 1;
+            }
+        }
+        let coverage = covered as f64 / rounds as f64;
+        assert!(
+            (0.80..=1.0).contains(&coverage),
+            "90% CI covered {coverage}"
+        );
+    }
+}

@@ -1,0 +1,347 @@
+//! The BFCE driver: probe → rough → accurate, with full air-time
+//! attribution.
+
+use crate::accurate::{run_accurate, AccurateOutcome};
+use crate::params::BfceConfig;
+use crate::probe::{run_probe, ProbeOutcome};
+use crate::rough::{run_rough, FrameDegeneracy, RoughOutcome};
+use crate::theory::P_GRID;
+use rand::RngCore;
+use rfid_hash::PersistenceSampler;
+use rfid_sim::{
+    Accuracy, CardinalityEstimator, EstimationReport, PhaseReport, RfidSystem, Tag,
+};
+
+/// Build the per-tag response plan for one Bloom frame: hash into `k`
+/// slots via the configured hasher and answer each with probability
+/// `p_n / 1024` using the lightweight persistence sampler of Section
+/// IV-E3. Deterministic per tag, so parallel frame fills are exact.
+pub(crate) fn bloom_plan<'a>(
+    cfg: &'a BfceConfig,
+    seeds: &'a [u32],
+    p_n: u32,
+) -> impl Fn(&Tag, &mut Vec<usize>) + Sync + 'a {
+    let hasher = cfg.hasher.hasher();
+    move |tag: &Tag, out: &mut Vec<usize>| {
+        let mut sampler = PersistenceSampler::new(tag.rn, seeds[0]);
+        for &seed in seeds {
+            let slot = hasher.slot(tag.identity(), seed, cfg.w);
+            if sampler.respond(p_n) {
+                out.push(slot);
+            }
+        }
+    }
+}
+
+/// Run one standalone Bloom frame with persistence numerator `p_n`
+/// (fresh seeds drawn from `rng`), fully observed and charged to the
+/// ledger.
+///
+/// This is the raw building block of both estimation phases; the
+/// evaluation harness uses it directly to regenerate Figure 3 (the
+/// 0s/1s-vs-cardinality linearity study).
+pub fn standalone_frame(
+    cfg: &BfceConfig,
+    system: &mut RfidSystem,
+    p_n: u32,
+    rng: &mut dyn RngCore,
+) -> rfid_sim::BitFrame {
+    cfg.validate();
+    assert!((1..P_GRID).contains(&p_n), "p_n must lie in [1, 1023]");
+    let seeds: Vec<u32> = (0..cfg.k).map(|_| rng.next_u32()).collect();
+    system.broadcast(cfg.phase_broadcast_bits());
+    let plan = bloom_plan(cfg, &seeds, p_n);
+    system.run_bitslot_frame(cfg.w, &plan)
+}
+
+/// Full trace of one BFCE run, including every intermediate quantity the
+/// paper's analysis talks about.
+#[derive(Debug, Clone)]
+pub struct BfceRun {
+    /// The configuration the run executed with.
+    pub config: BfceConfig,
+    /// Probe-stage outcome (`p_s` search).
+    pub probe: ProbeOutcome,
+    /// Rough-stage outcome (`n_r`, `n_low`).
+    pub rough: RoughOutcome,
+    /// Accurate-stage outcome; `None` when the rough stage saw an empty
+    /// system and the accurate frame was skipped (estimate 0).
+    pub accurate: Option<AccurateOutcome>,
+    /// The standard report (estimate, air time, phases, warnings).
+    pub report: EstimationReport,
+}
+
+impl BfceRun {
+    /// The final estimate.
+    pub fn n_hat(&self) -> f64 {
+        self.report.n_hat
+    }
+
+    /// Delta-method `(1 - delta)` confidence interval around the estimate
+    /// (see [`crate::efficiency`]); `None` when the accurate stage was
+    /// skipped (empty system).
+    pub fn confidence_interval(
+        &self,
+        delta: f64,
+    ) -> Option<crate::efficiency::ConfidenceInterval> {
+        self.accurate.as_ref().map(|acc| {
+            crate::efficiency::confidence_interval(
+                acc.n_hat,
+                self.config.w,
+                self.config.k,
+                acc.p_n,
+                delta,
+            )
+        })
+    }
+}
+
+/// The Bloom-Filter-based Cardinality Estimator.
+#[derive(Debug, Clone, Default)]
+pub struct Bfce {
+    config: BfceConfig,
+}
+
+impl Bfce {
+    /// BFCE with a custom configuration.
+    pub fn new(config: BfceConfig) -> Self {
+        config.validate();
+        Self { config }
+    }
+
+    /// BFCE exactly as parameterized in the paper.
+    pub fn paper() -> Self {
+        Self::new(BfceConfig::paper())
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &BfceConfig {
+        &self.config
+    }
+
+    /// Run the full protocol and return the detailed trace.
+    pub fn run(
+        &self,
+        system: &mut RfidSystem,
+        accuracy: Accuracy,
+        rng: &mut dyn RngCore,
+    ) -> BfceRun {
+        let cfg = &self.config;
+        let mut warnings = Vec::new();
+        let start = system.air_time();
+
+        // Stage 1: probe for a valid p_s.
+        let probe = run_probe(cfg, system, rng);
+        let after_probe = system.air_time();
+        if probe.clamped {
+            warnings.push(format!(
+                "probe never saw a mixed window; clamped at p_n = {}",
+                probe.p_n
+            ));
+        }
+
+        // Stage 2: rough lower bound.
+        let rough = run_rough(cfg, system, probe.p_n, rng);
+        let after_rough = system.air_time();
+        match rough.degenerate {
+            Some(FrameDegeneracy::AllIdle) => warnings
+                .push("rough frame all idle; population empty or far below design range".into()),
+            Some(FrameDegeneracy::AllBusy) => warnings
+                .push("rough frame saturated; lower bound clamped".into()),
+            None => {}
+        }
+
+        // Stage 3: accurate estimation — skipped when stage 2 proved the
+        // system empty (nothing would answer the frame either).
+        let (accurate, n_hat, after_accurate) = if rough.n_low >= 1.0 {
+            let acc = run_accurate(cfg, system, rough.n_low, accuracy, rng);
+            if !acc.provable {
+                warnings.push(format!(
+                    "no persistence numerator provably meets ({}, {}) at n_low = {:.0}; \
+                     best-effort p_n = {}",
+                    accuracy.epsilon, accuracy.delta, rough.n_low, acc.p_n
+                ));
+            }
+            if acc.degenerate.is_some() {
+                warnings.push("accurate frame degenerate".into());
+            }
+            let n = acc.n_hat;
+            let t = system.air_time();
+            (Some(acc), n, t)
+        } else {
+            warnings.push("accurate stage skipped: rough estimate was zero".into());
+            (None, 0.0, system.air_time())
+        };
+
+        let phases = vec![
+            PhaseReport {
+                name: "probe".into(),
+                air: after_probe.since(&start),
+            },
+            PhaseReport {
+                name: "rough".into(),
+                air: after_rough.since(&after_probe),
+            },
+            PhaseReport {
+                name: "accurate".into(),
+                air: after_accurate.since(&after_rough),
+            },
+        ];
+
+        let report = EstimationReport {
+            n_hat,
+            air: after_accurate.since(&start),
+            phases,
+            rounds: probe.rounds as u64 + 2,
+            warnings,
+        };
+
+        BfceRun {
+            config: self.config,
+            probe,
+            rough,
+            accurate,
+            report,
+        }
+    }
+}
+
+impl CardinalityEstimator for Bfce {
+    fn name(&self) -> &'static str {
+        "BFCE"
+    }
+
+    fn estimate(
+        &self,
+        system: &mut RfidSystem,
+        accuracy: Accuracy,
+        rng: &mut dyn RngCore,
+    ) -> EstimationReport {
+        self.run(system, accuracy, rng).report
+    }
+}
+
+/// Sanity re-export used by stage modules' docs.
+pub use crate::theory::P_GRID as PERSISTENCE_GRID;
+
+const _: () = assert!(P_GRID == 1024);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use rfid_sim::TagPopulation;
+
+    fn system_with(n: usize) -> RfidSystem {
+        let tags = (0..n as u64)
+            .map(|i| Tag {
+                id: i + 1,
+                rn: (i as u32)
+                    .wrapping_mul(0x9E37_79B9)
+                    .wrapping_add(0x5EED),
+            })
+            .collect();
+        RfidSystem::new(TagPopulation::new(tags))
+    }
+
+    #[test]
+    fn end_to_end_estimate_within_epsilon() {
+        for (seed, truth) in [(1u64, 50_000usize), (2, 200_000), (3, 1_000_000)] {
+            let mut sys = system_with(truth);
+            let mut rng = StdRng::seed_from_u64(seed);
+            let run = Bfce::paper().run(&mut sys, Accuracy::paper_default(), &mut rng);
+            let rel = run.report.relative_error(truth);
+            assert!(
+                rel < 0.05,
+                "n = {truth}: n_hat = {} (rel {rel})",
+                run.n_hat()
+            );
+            assert!(run.accurate.as_ref().unwrap().provable);
+            // n_low really is a lower bound here.
+            assert!(run.rough.n_low <= truth as f64);
+        }
+    }
+
+    #[test]
+    fn constant_slot_budget_excluding_probe() {
+        // The headline: 1024 + 8192 bit-slots in the two estimation phases,
+        // regardless of cardinality.
+        for truth in [20_000usize, 500_000] {
+            let mut sys = system_with(truth);
+            let mut rng = StdRng::seed_from_u64(7);
+            let run = Bfce::paper().run(&mut sys, Accuracy::paper_default(), &mut rng);
+            let rough_slots = run.report.phases[1].air.bitslots;
+            let accurate_slots = run.report.phases[2].air.bitslots;
+            assert_eq!(rough_slots, 1024);
+            assert_eq!(accurate_slots, 8192);
+        }
+    }
+
+    #[test]
+    fn execution_time_is_close_to_the_paper_bound() {
+        // For populations in the design range the probe converges in a few
+        // windows and the total stays within a small factor of the paper's
+        // 0.19 s nominal bound.
+        let mut sys = system_with(500_000);
+        let mut rng = StdRng::seed_from_u64(11);
+        let run = Bfce::paper().run(&mut sys, Accuracy::paper_default(), &mut rng);
+        let secs = run.report.air.total_seconds();
+        assert!(secs < 0.2, "execution time {secs}s");
+    }
+
+    #[test]
+    fn empty_system_estimates_zero() {
+        let mut sys = system_with(0);
+        let mut rng = StdRng::seed_from_u64(5);
+        let run = Bfce::paper().run(&mut sys, Accuracy::paper_default(), &mut rng);
+        assert_eq!(run.n_hat(), 0.0);
+        assert!(run.accurate.is_none());
+        assert!(!run.report.warnings.is_empty());
+    }
+
+    #[test]
+    fn phases_partition_total_air_time() {
+        let mut sys = system_with(100_000);
+        let mut rng = StdRng::seed_from_u64(6);
+        let run = Bfce::paper().run(&mut sys, Accuracy::paper_default(), &mut rng);
+        let sum: f64 = run.report.phases.iter().map(|p| p.air.total_us()).sum();
+        assert!((sum - run.report.air.total_us()).abs() < 1e-6);
+        assert_eq!(run.report.phases.len(), 3);
+        assert_eq!(run.report.phases[0].name, "probe");
+    }
+
+    #[test]
+    fn trait_object_usage() {
+        let est: Box<dyn CardinalityEstimator> = Box::new(Bfce::paper());
+        assert_eq!(est.name(), "BFCE");
+        let mut sys = system_with(30_000);
+        let mut rng = StdRng::seed_from_u64(8);
+        let report = est.estimate(&mut sys, Accuracy::new(0.1, 0.1), &mut rng);
+        assert!(report.relative_error(30_000) < 0.1);
+    }
+
+    #[test]
+    fn deterministic_given_rng_seed() {
+        let run = |seed| {
+            let mut sys = system_with(60_000);
+            let mut rng = StdRng::seed_from_u64(seed);
+            Bfce::paper()
+                .run(&mut sys, Accuracy::paper_default(), &mut rng)
+                .n_hat()
+        };
+        assert_eq!(run(99), run(99));
+    }
+
+    #[test]
+    fn mix_hasher_variant_also_works() {
+        let cfg = BfceConfig {
+            hasher: crate::params::HasherKind::Mix64,
+            ..BfceConfig::paper()
+        };
+        let mut sys = system_with(250_000);
+        let mut rng = StdRng::seed_from_u64(12);
+        let run = Bfce::new(cfg).run(&mut sys, Accuracy::paper_default(), &mut rng);
+        assert!(run.report.relative_error(250_000) < 0.05);
+    }
+}

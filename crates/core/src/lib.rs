@@ -1,0 +1,48 @@
+//! **BFCE** — the Bloom-Filter-based Cardinality Estimator of
+//! *"Towards Constant-Time Cardinality Estimation for Large-Scale RFID
+//! Systems"* (ICPP 2015).
+//!
+//! BFCE estimates the number of tags in a reader's range in a **constant**
+//! number of bit-slots (1024 + 8192 in one round), regardless of the actual
+//! cardinality, while provably meeting an `(epsilon, delta)` accuracy
+//! requirement. The protocol has three stages:
+//!
+//! 1. **Probe** ([`probe`]) — find a *valid* persistence probability `p_s`:
+//!    starting from `p_s = 8/1024`, watch 32 bit-slots; if all are idle,
+//!    raise `p_s` by `2/1024`; if all are busy, lower it by `1/1024`; stop
+//!    as soon as the window is mixed (Section IV-C).
+//! 2. **Rough lower bound** ([`rough`]) — run one Bloom-filter frame with
+//!    `p_s`, terminate after observing 1024 of the `w = 8192` slots, and
+//!    estimate `n_r` from the idle ratio (Theorem 2); the lower bound is
+//!    `n_low = c * n_r` with `c = 0.5`.
+//! 3. **Accurate** ([`accurate`]) — brute-force the minimal persistence
+//!    numerator `p_n` in `[1, 1023]` such that `f1(n_low) <= -d` and
+//!    `f2(n_low) >= d` (Theorems 3 and 4, `d = sqrt(2) erfinv(1-delta)`),
+//!    then run one full 8192-slot frame and report
+//!    `n_hat = -w ln(rho) / (k p)`.
+//!
+//! The analytical machinery (Theorems 1–4, the `gamma` scalability bounds
+//! of Figure 4, the closed-form overhead of Section IV-E1) lives in
+//! [`theory`] and [`overhead`]; [`Bfce`] in [`estimator`] is the driver
+//! implementing [`rfid_sim::CardinalityEstimator`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod accurate;
+pub mod diff;
+pub mod efficiency;
+pub mod estimator;
+pub mod multiset;
+pub mod overhead;
+pub mod params;
+pub mod probe;
+pub mod rough;
+pub mod theory;
+
+pub use diff::{estimate_changes, DiffOutcome};
+pub use efficiency::{confidence_interval, crlb, ConfidenceInterval};
+pub use estimator::{Bfce, BfceRun};
+pub use multiset::{estimate_union, UnionOutcome};
+pub use params::{BfceConfig, HasherKind};
+pub use theory::{estimate_from_rho, f1, f2, gamma, lambda};

@@ -1,0 +1,197 @@
+//! Union-cardinality estimation from merged Bloom frames — an extension
+//! beyond the paper.
+//!
+//! The paper reduces multi-reader deployments to one logical reader by
+//! assuming the back-end synchronizes every broadcast (Section III-A).
+//! That synchrony is not actually necessary: if every reader independently
+//! runs a Bloom frame with the **same seeds and persistence** (shipped
+//! once over Ethernet), a tag covered by several readers produces the
+//! identical response pattern in each of their frames. The slot-wise OR
+//! of the busy vectors is therefore *exactly* the frame the union
+//! population would have produced for one reader, and Theorem 2 inverts
+//! it directly — each tag counted once, however many readers cover it.
+//!
+//! This turns BFCE into a distributed protocol: readers sense their own
+//! w-slot frames in parallel (no inter-reader timing coordination), the
+//! back-end ORs `R` bitmaps and runs one `ln`.
+
+use crate::params::BfceConfig;
+use crate::theory::{estimate_from_rho, P_GRID};
+use rfid_sim::{BitFrame, Bitmap};
+
+/// Result of a merged-frame union estimation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UnionOutcome {
+    /// Estimated cardinality of the union of all coverages.
+    pub n_hat: f64,
+    /// Idle ratio of the merged frame.
+    pub rho: f64,
+    /// Per-input idle ratios (diagnostics).
+    pub input_rhos: Vec<f64>,
+    /// Non-fatal irregularities.
+    pub warnings: Vec<String>,
+}
+
+/// Merge per-reader frames (same seeds, same `p_n`, fully observed) and
+/// estimate the union cardinality.
+///
+/// Panics if the frames disagree on length or if none are provided.
+pub fn estimate_union(
+    cfg: &BfceConfig,
+    frames: &[BitFrame],
+    p_n: u32,
+) -> UnionOutcome {
+    cfg.validate();
+    assert!((1..P_GRID).contains(&p_n), "p_n must lie in [1, 1023]");
+    assert!(!frames.is_empty(), "need at least one frame");
+    let w = frames[0].observed();
+    assert_eq!(w, cfg.w, "frames must observe all w slots");
+
+    let mut merged = Bitmap::zeros(w);
+    let mut input_rhos = Vec::with_capacity(frames.len());
+    for frame in frames {
+        assert_eq!(
+            frame.observed(),
+            w,
+            "all frames must observe the same slots"
+        );
+        merged.or_assign(frame.busy_bitmap());
+        input_rhos.push(frame.rho());
+    }
+
+    let idle = w - merged.count_ones();
+    let rho = idle as f64 / w as f64;
+    let p = p_n as f64 / P_GRID as f64;
+    let mut warnings = Vec::new();
+    let n_hat = if rho <= 0.0 {
+        warnings.push("merged frame saturated; union under-estimated".into());
+        estimate_from_rho(1.0 / w as f64, cfg.w, cfg.k, p)
+    } else if rho >= 1.0 {
+        0.0
+    } else {
+        estimate_from_rho(rho, cfg.w, cfg.k, p)
+    };
+
+    UnionOutcome {
+        n_hat,
+        rho,
+        input_rhos,
+        warnings,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::estimator::bloom_plan;
+    use rand::rngs::StdRng;
+    use rand::{RngCore, SeedableRng};
+    use rfid_sim::{RfidSystem, Tag, TagPopulation};
+
+    fn tag(i: u64) -> Tag {
+        Tag {
+            id: i + 1,
+            rn: (i as u32).wrapping_mul(0x9E37_79B9).wrapping_add(0xAB),
+        }
+    }
+
+    fn frame_for(
+        tags: Vec<Tag>,
+        seeds: &[u32],
+        p_n: u32,
+        cfg: &BfceConfig,
+    ) -> BitFrame {
+        let mut system = RfidSystem::new(TagPopulation::new(tags));
+        let plan = bloom_plan(cfg, seeds, p_n);
+        system.run_bitslot_frame(cfg.w, &plan)
+    }
+
+    fn seeds(seed: u64) -> Vec<u32> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..3).map(|_| rng.next_u32()).collect()
+    }
+
+    #[test]
+    fn merged_frames_equal_the_union_frame_exactly() {
+        // Three overlapping coverages; the OR of their frames must be
+        // bit-identical to the frame of the union population.
+        let cfg = BfceConfig::paper();
+        let s = seeds(1);
+        let p_n = 40u32;
+        let a: Vec<Tag> = (0..30_000).map(tag).collect();
+        let b: Vec<Tag> = (20_000..60_000).map(tag).collect();
+        let c: Vec<Tag> = (50_000..80_000).map(tag).collect();
+        let union: Vec<Tag> = (0..80_000).map(tag).collect();
+
+        let fa = frame_for(a, &s, p_n, &cfg);
+        let fb = frame_for(b, &s, p_n, &cfg);
+        let fc = frame_for(c, &s, p_n, &cfg);
+        let fu = frame_for(union, &s, p_n, &cfg);
+
+        let mut merged = Bitmap::zeros(cfg.w);
+        merged.or_assign(fa.busy_bitmap());
+        merged.or_assign(fb.busy_bitmap());
+        merged.or_assign(fc.busy_bitmap());
+        assert_eq!(&merged, fu.busy_bitmap());
+    }
+
+    #[test]
+    fn union_estimate_counts_shared_tags_once() {
+        let cfg = BfceConfig::paper();
+        let s = seeds(2);
+        let p_n = 35u32; // lambda ~ 1 for the 80k union
+        let a: Vec<Tag> = (0..50_000).map(tag).collect();
+        let b: Vec<Tag> = (30_000..80_000).map(tag).collect();
+        let fa = frame_for(a, &s, p_n, &cfg);
+        let fb = frame_for(b, &s, p_n, &cfg);
+        let out = estimate_union(&cfg, &[fa, fb], p_n);
+        let union = 80_000.0;
+        let rel = (out.n_hat - union).abs() / union;
+        assert!(rel < 0.05, "union estimate {} (rel {rel})", out.n_hat);
+        // The naive sum of coverages (100k) must be clearly rejected.
+        assert!((out.n_hat - 100_000.0).abs() / 100_000.0 > 0.1);
+        assert!(out.warnings.is_empty());
+        assert_eq!(out.input_rhos.len(), 2);
+    }
+
+    #[test]
+    fn single_frame_degenerates_to_plain_estimation() {
+        let cfg = BfceConfig::paper();
+        let s = seeds(3);
+        let p_n = 60u32;
+        let tags: Vec<Tag> = (0..40_000).map(tag).collect();
+        let frame = frame_for(tags, &s, p_n, &cfg);
+        let direct = estimate_from_rho(frame.rho(), cfg.w, cfg.k, 60.0 / 1024.0);
+        let out = estimate_union(&cfg, &[frame], p_n);
+        assert!((out.n_hat - direct).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_union_estimates_zero() {
+        let cfg = BfceConfig::paper();
+        let s = seeds(4);
+        let fa = frame_for(vec![], &s, 100, &cfg);
+        let fb = frame_for(vec![], &s, 100, &cfg);
+        let out = estimate_union(&cfg, &[fa, fb], 100);
+        assert_eq!(out.n_hat, 0.0);
+        assert_eq!(out.rho, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least one frame")]
+    fn no_frames_rejected() {
+        estimate_union(&BfceConfig::paper(), &[], 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "frames must observe all w slots")]
+    fn truncated_frames_rejected() {
+        let cfg = BfceConfig::paper();
+        let s = seeds(5);
+        let mut system =
+            RfidSystem::new(TagPopulation::new((0..100).map(tag).collect()));
+        let plan = bloom_plan(&cfg, &s, 10);
+        let partial = system.run_bitslot_frame_prefix(cfg.w, 1024, &plan);
+        estimate_union(&cfg, &[partial], 10);
+    }
+}

@@ -1,0 +1,221 @@
+//! BFCE configuration.
+//!
+//! The paper fixes every parameter empirically (Section IV-B): `w = 8192`
+//! (scalable to >19 M tags yet cheap to hash), `k = 3` (variance vs.
+//! per-tag work), `c = 0.5` (makes `n_low <= n` hold in most cases), a
+//! 1024-slot rough observation, and a 32-slot probe window starting from
+//! `p_s = 8/1024` with `+2/1024` / `-1/1024` adjustment steps. All of them
+//! are exposed here so the ablation benches can sweep them.
+
+use rfid_hash::{MixHasher, SlotHasher, XorBitgetHasher};
+
+/// Which tag-side slot hash to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HasherKind {
+    /// The paper's lightweight `bitget(RN ^ RS, log2(w):1)` hash
+    /// (Section IV-E2). Requires `w` to be a power of two.
+    XorBitget,
+    /// A full-avalanche hash of `(tag id, seed)` — the ablation comparator.
+    Mix64,
+}
+
+impl HasherKind {
+    /// Resolve to a hasher implementation.
+    pub fn hasher(&self) -> &'static dyn SlotHasher {
+        match self {
+            HasherKind::XorBitget => &XorBitgetHasher,
+            HasherKind::Mix64 => &MixHasher,
+        }
+    }
+}
+
+/// Full BFCE parameter set. `Default` reproduces the paper exactly.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BfceConfig {
+    /// Bloom-filter vector length `w` (paper: 8192).
+    pub w: usize,
+    /// Number of hash functions `k` (paper: 3).
+    pub k: usize,
+    /// Rough lower-bound coefficient `c` in `[0.1, 0.9]` (paper: 0.5).
+    pub c: f64,
+    /// Bit-slots observed in the rough phase (paper: 1024).
+    pub rough_observe: usize,
+    /// Probe window length in bit-slots (paper: 32).
+    pub probe_window: usize,
+    /// Initial probe numerator: `p_s = probe_initial_pn / 1024` (paper: 8).
+    pub probe_initial_pn: u32,
+    /// Numerator increment when the probe window is all idle (paper: 2).
+    pub probe_up_step: u32,
+    /// Numerator decrement when the probe window is all busy (paper: 1).
+    pub probe_down_step: u32,
+    /// Give up probing after this many windows at a clamped numerator.
+    pub probe_patience: u32,
+    /// Hard cap on total probe windows.
+    ///
+    /// With pathological populations (e.g. every tag sharing one RN, so
+    /// responses are all-or-nothing) the additive walk can oscillate
+    /// around a response threshold *deterministically* — same seeds, same
+    /// numerator, same window — and would otherwise never terminate. The
+    /// cap turns that into a clamped, warned outcome.
+    pub probe_max_rounds: u32,
+    /// Use geometric (doubling/halving) probe adjustment instead of the
+    /// paper's additive `+2/1024`, `-1/1024` steps.
+    ///
+    /// The paper's additive rule has to walk the numerator up when the
+    /// population is small (~20 windows on average at `n ~ 1000`, +25 %
+    /// execution time); geometric adjustment converges in ~3 windows with
+    /// the same termination condition. Off by default to match the paper;
+    /// the probe ablation quantifies the difference.
+    pub probe_geometric: bool,
+    /// Bits per broadcast random seed `l_R` (paper: 32).
+    pub seed_bits: u64,
+    /// Bits to broadcast the persistence numerator `l_p` (paper: 32).
+    pub p_bits: u64,
+    /// Tag-side slot hash.
+    pub hasher: HasherKind,
+}
+
+impl BfceConfig {
+    /// The exact configuration of the paper.
+    pub const fn paper() -> Self {
+        Self {
+            w: 8192,
+            k: 3,
+            c: 0.5,
+            rough_observe: 1024,
+            probe_window: 32,
+            probe_initial_pn: 8,
+            probe_up_step: 2,
+            probe_down_step: 1,
+            probe_patience: 8,
+            probe_max_rounds: 1024,
+            probe_geometric: false,
+            seed_bits: 32,
+            p_bits: 32,
+            hasher: HasherKind::XorBitget,
+        }
+    }
+
+    /// Panic unless the configuration is internally consistent.
+    pub fn validate(&self) {
+        assert!(self.w >= 2, "w must be at least 2");
+        if self.hasher == HasherKind::XorBitget {
+            assert!(
+                self.w.is_power_of_two(),
+                "the XOR-bitget hash requires w to be a power of two, got {}",
+                self.w
+            );
+        }
+        assert!((1..=16).contains(&self.k), "k must lie in 1..=16");
+        assert!(
+            self.c > 0.0 && self.c <= 1.0,
+            "c must lie in (0, 1], got {}",
+            self.c
+        );
+        assert!(
+            self.rough_observe >= 1 && self.rough_observe <= self.w,
+            "rough_observe must lie in [1, w]"
+        );
+        assert!(
+            self.probe_window >= 1 && self.probe_window <= self.w,
+            "probe_window must lie in [1, w]"
+        );
+        assert!(
+            (1..=1023).contains(&self.probe_initial_pn),
+            "probe_initial_pn must lie in [1, 1023]"
+        );
+        assert!(self.probe_up_step >= 1, "probe_up_step must be positive");
+        assert!(self.probe_down_step >= 1, "probe_down_step must be positive");
+        assert!(self.probe_patience >= 1, "probe_patience must be positive");
+        assert!(
+            self.probe_max_rounds >= 1,
+            "probe_max_rounds must be positive"
+        );
+    }
+
+    /// Bits in the per-phase parameter broadcast: `k` seeds plus `p`.
+    pub fn phase_broadcast_bits(&self) -> u64 {
+        self.k as u64 * self.seed_bits + self.p_bits
+    }
+}
+
+impl Default for BfceConfig {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults_match_section_iv() {
+        let c = BfceConfig::paper();
+        assert_eq!(c.w, 8192);
+        assert_eq!(c.k, 3);
+        assert_eq!(c.c, 0.5);
+        assert_eq!(c.rough_observe, 1024);
+        assert_eq!(c.probe_window, 32);
+        assert_eq!(c.probe_initial_pn, 8);
+        assert_eq!(c.probe_up_step, 2);
+        assert_eq!(c.probe_down_step, 1);
+        assert_eq!(c.hasher, HasherKind::XorBitget);
+        c.validate();
+        assert_eq!(BfceConfig::default(), c);
+    }
+
+    #[test]
+    fn phase_broadcast_is_128_bits() {
+        // 3 seeds * 32 + 32 for p = 128, the quantity in the Section IV-E1
+        // overhead formula.
+        assert_eq!(BfceConfig::paper().phase_broadcast_bits(), 128);
+    }
+
+    #[test]
+    fn hasher_kinds_resolve() {
+        assert_eq!(HasherKind::XorBitget.hasher().name(), "xor-bitget");
+        assert_eq!(HasherKind::Mix64.hasher().name(), "mix64");
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn xor_bitget_with_odd_w_rejected() {
+        let cfg = BfceConfig {
+            w: 1000,
+            ..BfceConfig::paper()
+        };
+        cfg.validate();
+    }
+
+    #[test]
+    fn mix_hasher_allows_any_w() {
+        let cfg = BfceConfig {
+            w: 1000,
+            rough_observe: 500,
+            hasher: HasherKind::Mix64,
+            ..BfceConfig::paper()
+        };
+        cfg.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "rough_observe")]
+    fn rough_observe_beyond_w_rejected() {
+        let cfg = BfceConfig {
+            rough_observe: 10_000,
+            ..BfceConfig::paper()
+        };
+        cfg.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "c must lie in (0, 1]")]
+    fn zero_c_rejected() {
+        let cfg = BfceConfig {
+            c: 0.0,
+            ..BfceConfig::paper()
+        };
+        cfg.validate();
+    }
+}

@@ -1,0 +1,254 @@
+//! The probe stage: finding a *valid* persistence probability `p_s`.
+//!
+//! Section IV-C: "We set a specific persistence probability
+//! `p_s = 2^3/2^10`, and observe the received Xs in the coming 32
+//! bit-slots. If all the 32 slots are idle slots … we adjust the response
+//! probability to `p_s + 2/2^10`. On the contrary, if all the 32 bit-slots
+//! are busy slots … we reduce it to `p_s - 1/2^10`. This procedure is
+//! immediately terminated once both idle and busy slots appear."
+//!
+//! Each probe window is the observed prefix of a full `w`-slot Bloom frame
+//! (the tags hash into `[0, w)` exactly as in the estimation phases), so a
+//! mixed window certifies that the per-slot load `lambda` is moderate —
+//! which is precisely what the rough phase needs to avoid the all-0s /
+//! all-1s exceptions of Theorem 2.
+//!
+//! The numerator is clamped to `[1, 1023]`; if the window stays degenerate
+//! at a clamp for `probe_patience` consecutive rounds the stage accepts the
+//! clamped value (with a flag) rather than looping forever — an all-idle
+//! window at `p = 1023/1024` means the population is far below the
+//! estimator's design range (the paper assumes `n > 1000`).
+
+use crate::estimator::bloom_plan;
+use crate::params::BfceConfig;
+use rand::RngCore;
+use rfid_sim::RfidSystem;
+
+/// What the probe stage produced.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProbeOutcome {
+    /// The accepted persistence numerator `p_s = p_n / 1024`.
+    pub p_n: u32,
+    /// Number of 32-slot probe windows executed.
+    pub rounds: u32,
+    /// True if the final window contained both idle and busy slots.
+    pub mixed: bool,
+    /// True if the search was stopped at a clamped numerator without ever
+    /// observing a mixed window.
+    pub clamped: bool,
+    /// The seeds broadcast for this stage (reused by no other stage).
+    pub seeds: Vec<u32>,
+}
+
+/// Run the probe stage against the system, charging all traffic to its
+/// ledger. `rng` supplies the reader-side seed draws.
+pub fn run_probe(
+    cfg: &BfceConfig,
+    system: &mut RfidSystem,
+    rng: &mut dyn RngCore,
+) -> ProbeOutcome {
+    cfg.validate();
+    let seeds: Vec<u32> = (0..cfg.k).map(|_| rng.next_u32()).collect();
+    let mut p_n = cfg.probe_initial_pn;
+    let mut rounds = 0u32;
+    let mut patience = cfg.probe_patience;
+
+    loop {
+        rounds += 1;
+        if rounds == 1 {
+            // First message carries the seeds and p.
+            system.broadcast(cfg.phase_broadcast_bits());
+        } else {
+            // Subsequent rounds only update p.
+            system.turnaround();
+            system.broadcast(cfg.p_bits);
+        }
+        let busy = {
+            let plan = bloom_plan(cfg, &seeds, p_n);
+            let frame =
+                system.run_bitslot_frame_prefix(cfg.w, cfg.probe_window, &plan);
+            frame.busy_count()
+        };
+
+        if busy > 0 && busy < cfg.probe_window {
+            return ProbeOutcome {
+                p_n,
+                rounds,
+                mixed: true,
+                clamped: false,
+                seeds,
+            };
+        }
+        if rounds >= cfg.probe_max_rounds {
+            // Degenerate population (e.g. shared RNs): the walk can cycle
+            // deterministically between all-idle and all-busy without ever
+            // mixing. Stop and let the rough phase cope.
+            return ProbeOutcome {
+                p_n,
+                rounds,
+                mixed: false,
+                clamped: true,
+                seeds,
+            };
+        }
+
+        let next = if busy == 0 {
+            // All idle: the persistence is too small for this population.
+            if cfg.probe_geometric {
+                (p_n * 2).min(1023)
+            } else {
+                (p_n + cfg.probe_up_step).min(1023)
+            }
+        } else {
+            // All busy: too large.
+            if cfg.probe_geometric {
+                (p_n / 2).max(1)
+            } else {
+                p_n.saturating_sub(cfg.probe_down_step).max(1)
+            }
+        };
+
+        if next == p_n {
+            // Stuck at a clamp; give the channel a few more chances (the
+            // window is random) before accepting.
+            patience -= 1;
+            if patience == 0 {
+                return ProbeOutcome {
+                    p_n,
+                    rounds,
+                    mixed: false,
+                    clamped: true,
+                    seeds,
+                };
+            }
+        } else {
+            patience = cfg.probe_patience;
+        }
+        p_n = next;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use rfid_sim::{Tag, TagPopulation};
+
+    fn system_with(n: usize) -> RfidSystem {
+        let tags = (0..n as u64)
+            .map(|i| Tag {
+                id: i + 1,
+                rn: (i as u32).wrapping_mul(0x9E37_79B9).wrapping_add(0x1234),
+            })
+            .collect();
+        RfidSystem::new(TagPopulation::new(tags))
+    }
+
+    #[test]
+    fn medium_population_probes_in_one_round() {
+        // n = 500k at p = 8/1024 gives lambda ~ 1.43: a 32-slot window is
+        // overwhelmingly mixed on the first try.
+        let mut sys = system_with(500_000);
+        let mut rng = StdRng::seed_from_u64(1);
+        let out = run_probe(&BfceConfig::paper(), &mut sys, &mut rng);
+        assert!(out.mixed);
+        assert_eq!(out.rounds, 1);
+        assert_eq!(out.p_n, 8);
+        assert_eq!(out.seeds.len(), 3);
+    }
+
+    #[test]
+    fn small_population_raises_p() {
+        // n = 2000: initial p is far too small (expected busy fraction
+        // ~0.6%), so the probe must walk p upward until mixed.
+        let mut sys = system_with(2_000);
+        let mut rng = StdRng::seed_from_u64(2);
+        let out = run_probe(&BfceConfig::paper(), &mut sys, &mut rng);
+        assert!(out.mixed, "{out:?}");
+        assert!(out.p_n > 8, "p_n = {}", out.p_n);
+        assert!(out.rounds > 1);
+    }
+
+    #[test]
+    fn huge_population_lowers_p() {
+        // n = 5M at p = 8/1024: lambda ~ 14.3, all busy; probe must step
+        // down.
+        let mut sys = system_with(5_000_000);
+        let mut rng = StdRng::seed_from_u64(3);
+        let out = run_probe(&BfceConfig::paper(), &mut sys, &mut rng);
+        assert!(out.p_n < 8, "p_n = {}", out.p_n);
+        // Either it found a mixed window or bottomed out at 1.
+        assert!(out.mixed || out.p_n == 1, "{out:?}");
+    }
+
+    #[test]
+    fn empty_population_clamps_at_max() {
+        let mut sys = system_with(0);
+        let mut rng = StdRng::seed_from_u64(4);
+        let out = run_probe(&BfceConfig::paper(), &mut sys, &mut rng);
+        assert!(!out.mixed);
+        assert!(out.clamped);
+        assert_eq!(out.p_n, 1023);
+    }
+
+    #[test]
+    fn probe_charges_air_time() {
+        let mut sys = system_with(100_000);
+        let mut rng = StdRng::seed_from_u64(5);
+        let cfg = BfceConfig::paper();
+        let out = run_probe(&cfg, &mut sys, &mut rng);
+        let air = sys.air_time();
+        assert_eq!(air.bitslots, out.rounds as u64 * 32);
+        // First round broadcasts 128 bits, later rounds 32.
+        let expect_bits = 128 + (out.rounds as u64 - 1) * 32;
+        assert_eq!(air.reader_bits, expect_bits);
+    }
+
+    #[test]
+    fn geometric_probe_converges_much_faster_for_small_populations() {
+        // n = 1500: the paper's additive rule has to walk the numerator up
+        // in +2 steps; doubling gets there exponentially faster.
+        let additive_cfg = BfceConfig::paper();
+        let geometric_cfg = BfceConfig {
+            probe_geometric: true,
+            ..BfceConfig::paper()
+        };
+        let rounds_with = |cfg: &BfceConfig| {
+            let mut sys = system_with(1_500);
+            let mut rng = StdRng::seed_from_u64(17);
+            run_probe(cfg, &mut sys, &mut rng).rounds
+        };
+        let additive = rounds_with(&additive_cfg);
+        let geometric = rounds_with(&geometric_cfg);
+        assert!(
+            geometric * 4 < additive,
+            "additive {additive} vs geometric {geometric}"
+        );
+    }
+
+    #[test]
+    fn geometric_probe_still_finds_a_mixed_window() {
+        let cfg = BfceConfig {
+            probe_geometric: true,
+            ..BfceConfig::paper()
+        };
+        for n in [2_000usize, 100_000, 2_000_000] {
+            let mut sys = system_with(n);
+            let mut rng = StdRng::seed_from_u64(n as u64);
+            let out = run_probe(&cfg, &mut sys, &mut rng);
+            assert!(out.mixed || out.clamped, "n = {n}: {out:?}");
+        }
+    }
+
+    #[test]
+    fn probe_is_deterministic_given_seed() {
+        let cfg = BfceConfig::paper();
+        let run = |seed| {
+            let mut sys = system_with(30_000);
+            let mut rng = StdRng::seed_from_u64(seed);
+            run_probe(&cfg, &mut sys, &mut rng)
+        };
+        assert_eq!(run(42), run(42));
+    }
+}

@@ -1,0 +1,176 @@
+//! The rough lower-bound stage (Section IV-C).
+//!
+//! With the probe-validated `p_s`, the reader starts a fresh Bloom frame
+//! (new seeds, so the rough observation is independent of the probe) and
+//! terminates it after observing `rough_observe = 1024` of the `w = 8192`
+//! bit-slots. Because the hashes are uniform, the idle ratio of the
+//! observed prefix has the same expectation as the full frame's, so
+//! Theorem 2 applied with `w = 8192` yields the rough estimate `n_r`, and
+//! the lower bound is `n_low = c * n_r` with `c = 0.5`.
+
+use crate::estimator::bloom_plan;
+use crate::params::BfceConfig;
+use crate::theory::{estimate_from_rho, P_GRID};
+use rand::RngCore;
+use rfid_sim::RfidSystem;
+
+/// A degenerate frame observation — the "two exceptions" of Theorem 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameDegeneracy {
+    /// Every observed slot was idle (`rho = 1`): the population is empty or
+    /// far too small for the current persistence.
+    AllIdle,
+    /// Every observed slot was busy (`rho = 0`): the load saturated the
+    /// observation window.
+    AllBusy,
+}
+
+/// What the rough stage produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoughOutcome {
+    /// Persistence numerator used (from the probe stage).
+    pub p_n: u32,
+    /// Observed idle ratio over the `rough_observe` prefix.
+    pub rho: f64,
+    /// The rough estimate `n_r` (Theorem 2; 0 when all slots were idle).
+    pub n_r: f64,
+    /// The lower bound `n_low = c * n_r` handed to the accurate stage.
+    pub n_low: f64,
+    /// Set when the observation was degenerate.
+    pub degenerate: Option<FrameDegeneracy>,
+}
+
+/// Run the rough stage, charging all traffic to the system's ledger.
+pub fn run_rough(
+    cfg: &BfceConfig,
+    system: &mut RfidSystem,
+    p_n: u32,
+    rng: &mut dyn RngCore,
+) -> RoughOutcome {
+    cfg.validate();
+    assert!((1..P_GRID).contains(&p_n), "p_n must lie in [1, 1023]");
+    let seeds: Vec<u32> = (0..cfg.k).map(|_| rng.next_u32()).collect();
+
+    // Phase boundary: slots of the previous stage -> this broadcast.
+    system.turnaround();
+    system.broadcast(cfg.phase_broadcast_bits());
+    let plan = bloom_plan(cfg, &seeds, p_n);
+    let frame = system.run_bitslot_frame_prefix(cfg.w, cfg.rough_observe, &plan);
+
+    let p = p_n as f64 / P_GRID as f64;
+    let rho = frame.rho();
+    let (n_r, degenerate) = if rho >= 1.0 {
+        // No tag spoke: nothing to invert, rough estimate is zero.
+        (0.0, Some(FrameDegeneracy::AllIdle))
+    } else if rho <= 0.0 {
+        // Saturated: clamp to "one idle slot" for a usable lower-ish bound.
+        let clamped = 1.0 / cfg.rough_observe as f64;
+        (
+            estimate_from_rho(clamped, cfg.w, cfg.k, p),
+            Some(FrameDegeneracy::AllBusy),
+        )
+    } else {
+        (estimate_from_rho(rho, cfg.w, cfg.k, p), None)
+    };
+
+    let n_low = if n_r > 0.0 { (cfg.c * n_r).max(1.0) } else { 0.0 };
+    RoughOutcome {
+        p_n,
+        rho,
+        n_r,
+        n_low,
+        degenerate,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use rfid_sim::{Tag, TagPopulation};
+
+    fn system_with(n: usize) -> RfidSystem {
+        let tags = (0..n as u64)
+            .map(|i| Tag {
+                id: i + 1,
+                rn: (i as u32)
+                    .wrapping_mul(0x9E37_79B9)
+                    .wrapping_add(0xBEEF),
+            })
+            .collect();
+        RfidSystem::new(TagPopulation::new(tags))
+    }
+
+    #[test]
+    fn rough_estimate_lands_near_truth() {
+        // n = 500k with the probe's typical p = 8/1024: lambda ~ 1.43.
+        let mut sys = system_with(500_000);
+        let mut rng = StdRng::seed_from_u64(1);
+        let out = run_rough(&BfceConfig::paper(), &mut sys, 8, &mut rng);
+        assert!(out.degenerate.is_none(), "{out:?}");
+        let rel = (out.n_r - 500_000.0).abs() / 500_000.0;
+        // 1024 observations: sigma of n_r is a few percent.
+        assert!(rel < 0.2, "n_r = {} ({rel})", out.n_r);
+        // And the half lower bound must actually lower-bound the truth.
+        assert!(out.n_low <= 500_000.0);
+        assert!(out.n_low >= 1.0);
+        assert!((out.n_low - 0.5 * out.n_r).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_population_reports_all_idle() {
+        let mut sys = system_with(0);
+        let mut rng = StdRng::seed_from_u64(2);
+        let out = run_rough(&BfceConfig::paper(), &mut sys, 8, &mut rng);
+        assert_eq!(out.degenerate, Some(FrameDegeneracy::AllIdle));
+        assert_eq!(out.n_r, 0.0);
+        assert_eq!(out.n_low, 0.0);
+        assert_eq!(out.rho, 1.0);
+    }
+
+    #[test]
+    fn saturated_frame_reports_all_busy_with_clamped_estimate() {
+        // 10M tags at p = 1023/1024 saturates every slot.
+        let mut sys = system_with(2_000_000);
+        let mut rng = StdRng::seed_from_u64(3);
+        let out = run_rough(&BfceConfig::paper(), &mut sys, 1023, &mut rng);
+        assert_eq!(out.degenerate, Some(FrameDegeneracy::AllBusy));
+        assert!(out.n_r > 0.0);
+        assert!(out.n_low >= 1.0);
+    }
+
+    #[test]
+    fn rough_charges_1024_slots_and_128_bits() {
+        let mut sys = system_with(100_000);
+        let mut rng = StdRng::seed_from_u64(4);
+        run_rough(&BfceConfig::paper(), &mut sys, 8, &mut rng);
+        let air = sys.air_time();
+        assert_eq!(air.bitslots, 1024);
+        assert_eq!(air.reader_bits, 128);
+        // turnaround before broadcast + broadcast's own trailing gap.
+        assert_eq!(air.gaps, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "p_n must lie in [1, 1023]")]
+    fn rejects_zero_numerator() {
+        let mut sys = system_with(10);
+        let mut rng = StdRng::seed_from_u64(5);
+        run_rough(&BfceConfig::paper(), &mut sys, 0, &mut rng);
+    }
+
+    #[test]
+    fn smaller_c_gives_smaller_lower_bound() {
+        let run_with_c = |c: f64| {
+            let cfg = BfceConfig {
+                c,
+                ..BfceConfig::paper()
+            };
+            let mut sys = system_with(200_000);
+            let mut rng = StdRng::seed_from_u64(6);
+            run_rough(&cfg, &mut sys, 8, &mut rng).n_low
+        };
+        assert!(run_with_c(0.1) < run_with_c(0.9));
+    }
+}

@@ -1,0 +1,360 @@
+//! The analytical core: Theorems 1–4 of the BFCE paper plus the `gamma`
+//! scalability analysis of Figure 4.
+//!
+//! With `n` tags, a `w`-slot Bloom vector, `k` hash functions and
+//! persistence probability `p`, each slot is idle (paper: `B(i) = 1`) with
+//! probability `e^(-lambda)`, `lambda = k p n / w` (Theorem 1). Inverting
+//! the observed idle ratio `rho` gives the estimator
+//! `n_hat = -w ln(rho) / (k p)` (Theorem 2). The `(epsilon, delta)`
+//! guarantee holds when the normalized interval edges `f1`, `f2` clear the
+//! two-sided normal bound `d` (Theorem 3), and since `f1`/`f2` are monotone
+//! in `n` in the small-`p` regime, it suffices to check them at a lower
+//! bound `n_low <= n` (Theorem 4) — which is how [`optimal_p`] picks the
+//! minimal valid persistence numerator.
+
+/// The denominator of BFCE persistence probabilities: `p = p_n / 1024`.
+pub const P_GRID: u32 = 1024;
+
+/// Theorem 1's load factor: `lambda = k p n / w`.
+///
+/// ```
+/// use rfid_bfce::theory::lambda;
+/// // The paper's worked point: n = 500k, p = 3/1024, w = 8192, k = 3.
+/// let l = lambda(500_000.0, 8192, 3, 3.0 / 1024.0);
+/// assert!((l - 0.5364).abs() < 1e-3);
+/// ```
+pub fn lambda(n: f64, w: usize, k: usize, p: f64) -> f64 {
+    assert!(w > 0 && k > 0, "w and k must be positive");
+    assert!(n >= 0.0, "n must be non-negative");
+    assert!((0.0..=1.0).contains(&p), "p must lie in [0, 1]");
+    k as f64 * p * n / w as f64
+}
+
+/// Expected idle ratio `E[rho] = e^(-lambda)` (Theorem 1).
+pub fn expected_rho(lambda: f64) -> f64 {
+    (-lambda).exp()
+}
+
+/// Standard deviation of the per-slot Bernoulli observation:
+/// `sigma(X) = sqrt(e^(-lambda) (1 - e^(-lambda)))`.
+pub fn sigma_x(lambda: f64) -> f64 {
+    let r = expected_rho(lambda);
+    (r * (1.0 - r)).sqrt()
+}
+
+/// Theorem 2's estimator: `n_hat = -w ln(rho) / (k p)`.
+///
+/// Panics when `rho` is 0 or 1 — the paper's "two exceptions we should
+/// avoid" (an all-busy or all-idle vector carries no information); callers
+/// are expected to detect degenerate frames first.
+///
+/// ```
+/// use rfid_bfce::theory::{estimate_from_rho, expected_rho, lambda};
+/// let (n, p) = (250_000.0, 6.0 / 1024.0);
+/// let rho = expected_rho(lambda(n, 8192, 3, p));
+/// let n_hat = estimate_from_rho(rho, 8192, 3, p);
+/// assert!(((n_hat - n) / n).abs() < 1e-12); // exact at the expectation
+/// ```
+pub fn estimate_from_rho(rho: f64, w: usize, k: usize, p: f64) -> f64 {
+    assert!(
+        rho > 0.0 && rho < 1.0,
+        "estimator undefined for degenerate rho = {rho}"
+    );
+    assert!(p > 0.0 && p <= 1.0, "p must lie in (0, 1]");
+    -(w as f64) * rho.ln() / (k as f64 * p)
+}
+
+/// Theorem 3's lower interval edge, as a function of the true cardinality:
+/// `f1 = (e^(-lambda(1+eps)) - e^(-lambda)) / (sigma(X) / sqrt(w))`.
+///
+/// Always `<= 0`; the requirement is `f1 <= -d`. Returns NaN when
+/// `sigma(X)` underflows to zero (extreme loads), which callers must treat
+/// as "requirement not met" — all comparisons with NaN are false, so the
+/// natural checks do the right thing.
+pub fn f1(n: f64, w: usize, k: usize, p: f64, eps: f64) -> f64 {
+    let l = lambda(n, w, k, p);
+    let sigma = sigma_x(l);
+    ((-(l * (1.0 + eps))).exp() - (-l).exp()) / (sigma / (w as f64).sqrt())
+}
+
+/// Theorem 3's upper interval edge:
+/// `f2 = (e^(-lambda(1-eps)) - e^(-lambda)) / (sigma(X) / sqrt(w))`.
+///
+/// Always `>= 0`; the requirement is `f2 >= d`.
+pub fn f2(n: f64, w: usize, k: usize, p: f64, eps: f64) -> f64 {
+    let l = lambda(n, w, k, p);
+    let sigma = sigma_x(l);
+    ((-(l * (1.0 - eps))).exp() - (-l).exp()) / (sigma / (w as f64).sqrt())
+}
+
+/// Theorem 3's acceptance test: `f1 <= -d && f2 >= d`.
+/// NaN-safe: degenerate loads fail the test.
+pub fn meets_requirement(n: f64, w: usize, k: usize, p: f64, eps: f64, d: f64) -> bool {
+    f1(n, w, k, p, eps) <= -d && f2(n, w, k, p, eps) >= d
+}
+
+/// The scalability kernel of Figure 4: `gamma = -ln(rho) / (k p)`, so that
+/// `n_hat = gamma * w`.
+pub fn gamma(rho: f64, k: usize, p: f64) -> f64 {
+    assert!(rho > 0.0 && rho < 1.0, "gamma undefined for rho = {rho}");
+    assert!(p > 0.0 && p <= 1.0, "p must lie in (0, 1]");
+    -rho.ln() / (k as f64 * p)
+}
+
+/// Extremes of `gamma` over the paper's evaluation grid
+/// `p, rho in {1/grid, ..., (grid-1)/grid}` — Figure 4 reports
+/// `0.000326 <= gamma <= 2365.9` for `k = 3`, `grid = 1024`.
+pub fn gamma_bounds(k: usize, grid: u32) -> (f64, f64) {
+    assert!(grid >= 2, "grid must have at least two cells");
+    // gamma is monotone in both arguments (decreasing in rho and p), so the
+    // extremes sit at the grid corners; evaluate them directly.
+    let lo = 1.0 / grid as f64;
+    let hi = (grid - 1) as f64 / grid as f64;
+    let min = gamma(hi, k, hi);
+    let max = gamma(lo, k, lo);
+    (min, max)
+}
+
+/// The maximum cardinality the estimator can express: `gamma_max * w`
+/// (the paper: "exceeds 19 millions" for `w = 8192`).
+pub fn max_cardinality(w: usize, k: usize, grid: u32) -> f64 {
+    gamma_bounds(k, grid).1 * w as f64
+}
+
+/// Result of the brute-force persistence search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OptimalP {
+    /// Minimal numerator that provably meets Theorem 3 at `n_low`.
+    Provable(u32),
+    /// No numerator satisfies Theorem 3 at `n_low` (possible for very small
+    /// lower bounds); this is the numerator with the largest margin
+    /// `min(-f1, f2)`, used best-effort with a warning.
+    BestEffort(u32),
+}
+
+impl OptimalP {
+    /// The chosen numerator, regardless of provability.
+    pub fn numerator(&self) -> u32 {
+        match *self {
+            OptimalP::Provable(pn) | OptimalP::BestEffort(pn) => pn,
+        }
+    }
+
+    /// Whether the accuracy requirement is provably met.
+    pub fn is_provable(&self) -> bool {
+        matches!(self, OptimalP::Provable(_))
+    }
+}
+
+/// Section IV-D's brute-force search: the **minimal** `p_n` in
+/// `[1, grid-1]` such that `f1(n_low) <= -d` and `f2(n_low) >= d`.
+///
+/// The paper argues minimality is safe because `f1`/`f2` are monotone in
+/// `n` for small `p` (Theorem 4), and small `p` also minimizes tag energy.
+///
+/// ```
+/// use rfid_bfce::theory::{optimal_p, OptimalP};
+/// use rfid_stats::d_for_delta;
+/// // The paper's example: n_low = 250k under (0.05, 0.05) -> p = 3/1024.
+/// let p = optimal_p(250_000.0, 8192, 3, 0.05, d_for_delta(0.05), 1024);
+/// assert_eq!(p, OptimalP::Provable(3));
+/// ```
+pub fn optimal_p(n_low: f64, w: usize, k: usize, eps: f64, d: f64, grid: u32) -> OptimalP {
+    assert!(n_low >= 1.0, "n_low must be at least 1, got {n_low}");
+    assert!(grid >= 2, "grid must have at least two cells");
+    let mut best_pn = 1u32;
+    let mut best_margin = f64::NEG_INFINITY;
+    for pn in 1..grid {
+        let p = pn as f64 / grid as f64;
+        let a = f1(n_low, w, k, p, eps);
+        let b = f2(n_low, w, k, p, eps);
+        if a <= -d && b >= d {
+            return OptimalP::Provable(pn);
+        }
+        let margin = (-a).min(b);
+        if margin.is_finite() && margin > best_margin {
+            best_margin = margin;
+            best_pn = pn;
+        }
+    }
+    OptimalP::BestEffort(best_pn)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rfid_stats::d_for_delta;
+
+    const W: usize = 8192;
+    const K: usize = 3;
+
+    #[test]
+    fn lambda_basics() {
+        assert_eq!(lambda(0.0, W, K, 0.5), 0.0);
+        let l = lambda(500_000.0, W, K, 3.0 / 1024.0);
+        // 3 * (3/1024) * 5e5 / 8192 = 0.5364...
+        assert!((l - 0.536_44).abs() < 1e-4, "lambda = {l}");
+    }
+
+    #[test]
+    fn expected_rho_and_sigma() {
+        assert_eq!(expected_rho(0.0), 1.0);
+        assert!((expected_rho(1.0) - 0.367_879_441).abs() < 1e-9);
+        assert_eq!(sigma_x(0.0), 0.0);
+        // sigma is maximized when e^-lambda = 0.5, i.e. lambda = ln 2.
+        let s = sigma_x(std::f64::consts::LN_2);
+        assert!((s - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn estimator_inverts_the_expected_ratio() {
+        // If rho equals its expectation exactly, the estimate is exact.
+        for n in [1_000.0, 50_000.0, 500_000.0, 5_000_000.0] {
+            let p = 3.0 / 1024.0;
+            let rho = expected_rho(lambda(n, W, K, p));
+            let n_hat = estimate_from_rho(rho, W, K, p);
+            assert!(
+                ((n_hat - n) / n).abs() < 1e-12,
+                "round trip at n = {n}: {n_hat}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate rho")]
+    fn estimator_rejects_all_idle() {
+        estimate_from_rho(1.0, W, K, 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate rho")]
+    fn estimator_rejects_all_busy() {
+        estimate_from_rho(0.0, W, K, 0.5);
+    }
+
+    #[test]
+    fn f1_is_nonpositive_and_f2_nonnegative() {
+        for n in [1_000.0, 100_000.0, 1_000_000.0] {
+            for pn in [1u32, 3, 10, 100, 500] {
+                let p = pn as f64 / 1024.0;
+                assert!(f1(n, W, K, p, 0.05) <= 0.0);
+                assert!(f2(n, W, K, p, 0.05) >= 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn figure_5_monotonicity_small_p() {
+        // For p = 3/1024 (the paper's "small p" example), f1 decreases and
+        // f2 increases in n across the evaluation range.
+        let p = 3.0 / 1024.0;
+        let mut prev_f1 = f64::INFINITY;
+        let mut prev_f2 = f64::NEG_INFINITY;
+        let mut n = 10_000.0;
+        while n <= 1_000_000.0 {
+            let a = f1(n, W, K, p, 0.05);
+            let b = f2(n, W, K, p, 0.05);
+            assert!(a < prev_f1, "f1 not decreasing at n = {n}");
+            assert!(b > prev_f2, "f2 not increasing at n = {n}");
+            prev_f1 = a;
+            prev_f2 = b;
+            n += 10_000.0;
+        }
+    }
+
+    #[test]
+    fn figure_4_gamma_bounds() {
+        // Paper: 0.000326 <= gamma <= 2365.9 for k = 3 on the 1/1024 grid.
+        let (min, max) = gamma_bounds(K, 1024);
+        assert!((min - 0.000_326).abs() < 0.000_001, "min = {min}");
+        assert!((max - 2365.9).abs() < 0.5, "max = {max}");
+    }
+
+    #[test]
+    fn max_cardinality_exceeds_19_million() {
+        // Paper: "the maximum cardinality that the estimator can estimate
+        // exceeds 19 millions" at w = 8192.
+        let cap = max_cardinality(W, K, 1024);
+        assert!(cap > 19_000_000.0, "cap = {cap}");
+        assert!(cap < 20_000_000.0, "cap = {cap}");
+    }
+
+    #[test]
+    fn gamma_monotone_in_rho_and_p() {
+        assert!(gamma(0.2, K, 0.5) > gamma(0.3, K, 0.5));
+        assert!(gamma(0.2, K, 0.5) > gamma(0.2, K, 0.6));
+    }
+
+    #[test]
+    fn optimal_p_reproduces_the_papers_example() {
+        // Section IV-D: for large n the optimal p is small, "e.g.
+        // p = 3/2^10". With n_low = 250000 (n = 500k, c = 0.5) and
+        // (0.05, 0.05), the brute force must return exactly 3.
+        let d = d_for_delta(0.05);
+        let got = optimal_p(250_000.0, W, K, 0.05, d, 1024);
+        assert_eq!(got, OptimalP::Provable(3));
+    }
+
+    #[test]
+    fn optimal_p_scales_inversely_with_n_low() {
+        let d = d_for_delta(0.05);
+        let p_small = optimal_p(20_000.0, W, K, 0.05, d, 1024).numerator();
+        let p_large = optimal_p(2_000_000.0, W, K, 0.05, d, 1024).numerator();
+        assert!(p_small > p_large, "{p_small} vs {p_large}");
+        assert_eq!(p_large, 1); // very large n: smallest numerator works
+    }
+
+    #[test]
+    fn optimal_p_falls_back_for_tiny_lower_bounds() {
+        // n_low = 100 cannot meet (0.05, 0.05) with w = 8192 at any p;
+        // the search must degrade gracefully to a best-effort choice.
+        let d = d_for_delta(0.05);
+        let got = optimal_p(100.0, W, K, 0.05, d, 1024);
+        assert!(!got.is_provable());
+        // Larger persistence helps small populations; expect the cap region.
+        assert!(got.numerator() > 900, "pn = {}", got.numerator());
+    }
+
+    #[test]
+    fn provable_choice_actually_satisfies_theorem_3() {
+        let d = d_for_delta(0.1);
+        for n_low in [5_000.0, 50_000.0, 500_000.0] {
+            if let OptimalP::Provable(pn) = optimal_p(n_low, W, K, 0.1, d, 1024) {
+                let p = pn as f64 / 1024.0;
+                assert!(meets_requirement(n_low, W, K, p, 0.1, d));
+                // Minimality: pn - 1 must not satisfy.
+                if pn > 1 {
+                    let p_prev = (pn - 1) as f64 / 1024.0;
+                    assert!(!meets_requirement(n_low, W, K, p_prev, 0.1, d));
+                }
+            } else {
+                panic!("expected provable p for n_low = {n_low}");
+            }
+        }
+    }
+
+    #[test]
+    fn theorem_4_substitution_is_safe() {
+        // If the conditions hold at n_low with the minimal p, they hold at
+        // every n in [n_low, 2 * n_low] (the design range for c = 0.5).
+        let d = d_for_delta(0.05);
+        let n_low = 250_000.0;
+        let pn = optimal_p(n_low, W, K, 0.05, d, 1024).numerator();
+        let p = pn as f64 / 1024.0;
+        let mut n = n_low;
+        while n <= 2.0 * n_low {
+            assert!(
+                meets_requirement(n, W, K, p, 0.05, d),
+                "requirement broken at n = {n}"
+            );
+            n += 10_000.0;
+        }
+    }
+
+    #[test]
+    fn extreme_load_fails_requirement_without_nan_panics() {
+        // lambda so large that sigma underflows: must simply return false.
+        let d = d_for_delta(0.05);
+        assert!(!meets_requirement(1e12, W, K, 1.0, 0.05, d));
+    }
+}

@@ -1,0 +1,151 @@
+//! Adversarial deployments: what breaks BFCE's lightweight tag-side
+//! machinery, and what survives.
+//!
+//! The paper's Section IV-E2 hash draws all randomness from the pre-stored
+//! 32-bit `RN`. These tests pin down the consequences: the scheme is
+//! sound exactly as long as RNs are (near-)unique, which is a deployment
+//! requirement, not a protocol property.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rfid_bfce::{Bfce, BfceConfig, HasherKind};
+use rfid_sim::{Accuracy, CardinalityEstimator, RfidSystem, Tag, TagPopulation};
+
+fn system_with_rns(n: usize, rn_of: impl Fn(u64) -> u32) -> RfidSystem {
+    let tags = (0..n as u64)
+        .map(|i| Tag {
+            id: i * 7 + 1,
+            rn: rn_of(i),
+        })
+        .collect();
+    RfidSystem::new(TagPopulation::new(tags))
+}
+
+#[test]
+fn identical_rns_break_the_xor_bitget_scheme() {
+    // Every tag shares one RN: the XOR hash maps all of them onto the same
+    // k slots and the persistence sampler makes identical draws, so the
+    // whole population is indistinguishable from a single tag. The
+    // estimate must collapse catastrophically — this test documents the
+    // failure mode rather than hiding it.
+    let mut sys = system_with_rns(50_000, |_| 0xDEAD_BEEF);
+    let mut rng = StdRng::seed_from_u64(1);
+    let run = Bfce::paper().run(&mut sys, Accuracy::paper_default(), &mut rng);
+    assert!(
+        run.n_hat() < 5_000.0,
+        "shared RNs should collapse the estimate; got {}",
+        run.n_hat()
+    );
+}
+
+#[test]
+fn realistic_rn_collision_rates_are_harmless() {
+    // Force far more collisions than a real 32-bit deployment would see
+    // (each RN duplicated once over half the space): the estimate barely
+    // moves, because collisions only correlate tag *pairs*.
+    let n = 60_000usize;
+    let mut sys = system_with_rns(n, |i| {
+        ((i % (n as u64 / 2)) as u32).wrapping_mul(0x9E37_79B9)
+    });
+    let mut rng = StdRng::seed_from_u64(2);
+    let run = Bfce::paper().run(&mut sys, Accuracy::paper_default(), &mut rng);
+    let rel = run.report.relative_error(n);
+    // Duplicated RNs halve the *effective* distinct-behaviour count in the
+    // worst case; with pairwise duplication the bias stays bounded.
+    assert!(
+        rel < 0.55,
+        "pairwise RN duplication should not collapse the estimate: rel {rel}"
+    );
+    // And the common case — unique RNs — is accurate (control).
+    let mut control = system_with_rns(n, |i| (i as u32).wrapping_mul(0x9E37_79B9));
+    let control_run =
+        Bfce::paper().run(&mut control, Accuracy::paper_default(), &mut rng);
+    assert!(control_run.report.relative_error(n) < 0.05);
+}
+
+#[test]
+fn id_based_hash_does_not_rescue_shared_rns_alone() {
+    // Switching to the full-avalanche ID hash spreads the slots, but the
+    // paper's persistence mechanism still keys off RN: with one shared RN
+    // all tags make the same respond/stay-silent draws, inflating or
+    // deflating the realized load by an unknowable factor. The estimate is
+    // better than XOR-bitget's single-tag collapse but still unreliable —
+    // RN uniqueness is load-bearing for the whole design.
+    let cfg = BfceConfig {
+        hasher: HasherKind::Mix64,
+        ..BfceConfig::paper()
+    };
+    let n = 50_000usize;
+    let mut worst: f64 = 0.0;
+    for seed in 0..6 {
+        let mut sys = system_with_rns(n, |_| 0x1234_5678);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let run = Bfce::new(cfg).run(&mut sys, Accuracy::paper_default(), &mut rng);
+        worst = worst.max(run.report.relative_error(n));
+    }
+    assert!(
+        worst > 0.10,
+        "expected visible bias from correlated persistence; worst rel {worst}"
+    );
+}
+
+#[test]
+fn structured_rns_bias_the_xor_hash_by_half_p() {
+    // Subtler than shared RNs: assigning RN = i * odd_constant
+    // equidistributes the low 13 bits, so every slot's coverage count is
+    // nearly deterministic (12-13 tags) instead of binomial. By Jensen,
+    // E[(1-p)^M] >= (1-p)^(E[M]): the regularized frame has *fewer* idle
+    // slots than the e^(-lambda) model predicts, and the inversion
+    // overestimates n by a relative ~p/2. At the probed p_s this is a
+    // small but systematic positive bias, measurable across repetitions.
+    use rfid_bfce::estimator::standalone_frame;
+    use rfid_bfce::theory::estimate_from_rho;
+    let truth = 100_000usize;
+    let p_n = 45u32; // p ~ 0.044, lambda ~ 1.6: predicted bias ~ +2.2%
+    let cfg = BfceConfig::paper();
+    let p = p_n as f64 / 1024.0;
+    let mut sum = 0.0;
+    let rounds = 20;
+    for seed in 0..rounds {
+        let mut sys = system_with_rns(truth, |i| {
+            (i as u32).wrapping_mul(0x9E37_79B9).wrapping_add(seed as u32)
+        });
+        let mut rng = StdRng::seed_from_u64(seed * 7 + 1);
+        let frame = standalone_frame(&cfg, &mut sys, p_n, &mut rng);
+        sum += estimate_from_rho(frame.rho(), cfg.w, cfg.k, p);
+    }
+    let mean = sum / rounds as f64;
+    let bias = (mean - truth as f64) / truth as f64;
+    assert!(
+        (0.01..0.04).contains(&bias),
+        "expected the Jensen bias ~ p/2 = {:.3}, measured {bias:.4}",
+        p / 2.0
+    );
+}
+
+#[test]
+fn sequential_ids_with_unique_rns_are_fine_for_both_hashers() {
+    // The inverse experiment: adversarially structured IDs, healthy RNs.
+    for hasher in [HasherKind::XorBitget, HasherKind::Mix64] {
+        let cfg = BfceConfig {
+            hasher,
+            ..BfceConfig::paper()
+        };
+        let n = 40_000usize;
+        let tags: Vec<Tag> = (0..n as u64)
+            .map(|i| Tag {
+                id: 1_000_000 + i, // perfectly sequential EPCs
+                rn: (i as u32).wrapping_mul(0x9E37_79B9).wrapping_add(7),
+            })
+            .collect();
+        let mut sys = RfidSystem::new(TagPopulation::new(tags));
+        let mut rng = StdRng::seed_from_u64(9);
+        let report =
+            Bfce::new(cfg).estimate(&mut sys, Accuracy::paper_default(), &mut rng);
+        assert!(
+            report.relative_error(n) < 0.05,
+            "{hasher:?}: rel {}",
+            report.relative_error(n)
+        );
+    }
+}

@@ -1,0 +1,117 @@
+//! Property-based tests for the BFCE theory layer (Theorems 1–4).
+
+use proptest::prelude::*;
+use rfid_bfce::theory::{
+    estimate_from_rho, expected_rho, f1, f2, gamma, lambda, meets_requirement,
+    optimal_p, sigma_x, OptimalP,
+};
+use rfid_stats::d_for_delta;
+
+proptest! {
+    #[test]
+    fn lambda_is_linear_in_n(
+        n in 0.0f64..1e7,
+        pn in 1u32..1024,
+    ) {
+        let p = pn as f64 / 1024.0;
+        let l1 = lambda(n, 8192, 3, p);
+        let l2 = lambda(2.0 * n, 8192, 3, p);
+        prop_assert!((l2 - 2.0 * l1).abs() < 1e-9 * l2.max(1.0));
+    }
+
+    #[test]
+    fn expected_rho_and_sigma_are_well_formed(l in 0.0f64..100.0) {
+        let rho = expected_rho(l);
+        prop_assert!((0.0..=1.0).contains(&rho));
+        let s = sigma_x(l);
+        prop_assert!((0.0..=0.5).contains(&s), "sigma = {s}");
+    }
+
+    #[test]
+    fn estimator_inverts_expectation_exactly(
+        l in 1e-4f64..30.0,
+        pn in 1u32..1024,
+    ) {
+        // Draw the load directly (avoiding degenerate all-idle/all-busy
+        // regions) and derive the cardinality that produces it.
+        let p = pn as f64 / 1024.0;
+        let n = l * 8192.0 / (3.0 * p);
+        let rho = expected_rho(lambda(n, 8192, 3, p));
+        prop_assume!(rho > 0.0 && rho < 1.0);
+        let n_hat = estimate_from_rho(rho, 8192, 3, p);
+        prop_assert!(((n_hat - n) / n).abs() < 1e-9);
+    }
+
+    #[test]
+    fn f1_nonpositive_f2_nonnegative(
+        n in 1.0f64..1e7,
+        pn in 1u32..1024,
+        eps in 0.01f64..0.5,
+    ) {
+        let p = pn as f64 / 1024.0;
+        let a = f1(n, 8192, 3, p, eps);
+        let b = f2(n, 8192, 3, p, eps);
+        if a.is_finite() {
+            prop_assert!(a <= 1e-12, "f1 = {a}");
+        }
+        if b.is_finite() {
+            prop_assert!(b >= -1e-12, "f2 = {b}");
+        }
+    }
+
+    #[test]
+    fn provable_optimal_p_satisfies_and_is_minimal(
+        n_low in 2_000.0f64..2e6,
+        eps in 0.03f64..0.3,
+        delta in 0.03f64..0.3,
+    ) {
+        let d = d_for_delta(delta);
+        match optimal_p(n_low, 8192, 3, eps, d, 1024) {
+            OptimalP::Provable(pn) => {
+                let p = pn as f64 / 1024.0;
+                prop_assert!(meets_requirement(n_low, 8192, 3, p, eps, d));
+                if pn > 1 {
+                    let prev = (pn - 1) as f64 / 1024.0;
+                    prop_assert!(!meets_requirement(n_low, 8192, 3, prev, eps, d));
+                }
+            }
+            OptimalP::BestEffort(pn) => {
+                // Fallback only ever happens for small lower bounds, and
+                // the chosen numerator is still on the grid.
+                prop_assert!((1..1024).contains(&pn));
+                prop_assert!(n_low < 10_000.0, "unexpected fallback at {n_low}");
+            }
+        }
+    }
+
+    #[test]
+    fn theorem_4_holds_across_the_design_range(
+        n_low in 5_000.0f64..1e6,
+        delta in 0.05f64..0.3,
+        factor in 1.0f64..2.0,
+    ) {
+        // If the minimal provable p meets the requirement at n_low, it
+        // meets it at any n in [n_low, 2 n_low] (the c = 0.5 design range).
+        let eps = 0.05;
+        let d = d_for_delta(delta);
+        if let OptimalP::Provable(pn) = optimal_p(n_low, 8192, 3, eps, d, 1024) {
+            let p = pn as f64 / 1024.0;
+            prop_assert!(
+                meets_requirement(n_low * factor, 8192, 3, p, eps, d),
+                "violated at n = {} (n_low = {n_low}, p_n = {pn})",
+                n_low * factor
+            );
+        }
+    }
+
+    #[test]
+    fn gamma_scales_the_estimate(
+        rho in 0.001f64..0.999,
+        pn in 1u32..1024,
+    ) {
+        let p = pn as f64 / 1024.0;
+        let g = gamma(rho, 3, p);
+        let n_hat = estimate_from_rho(rho, 8192, 3, p);
+        prop_assert!((n_hat - g * 8192.0).abs() < 1e-6 * n_hat.abs().max(1.0));
+    }
+}

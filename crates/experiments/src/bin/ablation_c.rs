@@ -1,0 +1,7 @@
+//! Ablation: rough lower-bound coefficient c.
+use rfid_experiments::{ablations, output::emit, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    emit(&ablations::run_c_sweep(scale, 42), "ablation_c");
+}

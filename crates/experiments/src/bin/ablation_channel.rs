@@ -1,0 +1,7 @@
+//! Ablation: channel bit-error sensitivity.
+use rfid_experiments::{ablations, output::emit, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    emit(&ablations::run_channel_sweep(scale, 42), "ablation_channel");
+}

@@ -1,0 +1,7 @@
+//! Extension: per-tag energy (transmission counts) across estimators.
+use rfid_experiments::{ablations, output::emit, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    emit(&ablations::run_energy(scale, 42), "ablation_energy");
+}

@@ -1,0 +1,7 @@
+//! Ablation: XOR-bitget vs full-avalanche tag hashing.
+use rfid_experiments::{ablations, output::emit, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    emit(&ablations::run_hash_comparison(scale, 42), "ablation_hash");
+}

@@ -1,0 +1,7 @@
+//! Ablation: number of hash functions k.
+use rfid_experiments::{ablations, output::emit, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    emit(&ablations::run_k_sweep(scale, 42), "ablation_k");
+}

@@ -1,0 +1,7 @@
+//! Ablation: PHY link profile (Tari / BLF / Miller).
+use rfid_experiments::{ablations, output::emit, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    emit(&ablations::run_link_sweep(scale, 42), "ablation_link");
+}

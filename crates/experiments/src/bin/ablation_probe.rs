@@ -1,0 +1,7 @@
+//! Extension: additive (paper) vs geometric probe adjustment.
+use rfid_experiments::{ablations, output::emit, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    emit(&ablations::run_probe_strategy(scale, 42), "ablation_probe");
+}

@@ -1,0 +1,7 @@
+//! Ablation: Bloom vector length w.
+use rfid_experiments::{ablations, output::emit, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    emit(&ablations::run_w_sweep(scale, 42), "ablation_w");
+}

@@ -1,0 +1,7 @@
+//! Extension: exact Q-inventory vs BFCE estimation across cardinalities.
+use rfid_experiments::{ablations, output::emit, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    emit(&ablations::run_crossover(scale, 42), "crossover");
+}

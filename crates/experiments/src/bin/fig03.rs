@@ -1,0 +1,7 @@
+//! Regenerate Figure 3 (0s/1s vs n). `--paper` for the full grid.
+use rfid_experiments::{fig03, output::emit, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    emit(&fig03::run(scale, 42), "fig03_linearity");
+}

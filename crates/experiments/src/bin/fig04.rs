@@ -1,0 +1,7 @@
+//! Regenerate Figure 4 (gamma surface and scalability bounds).
+use rfid_experiments::{fig04, output::emit, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    emit(&fig04::run(scale, 42), "fig04_gamma");
+}

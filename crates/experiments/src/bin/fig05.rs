@@ -1,0 +1,7 @@
+//! Regenerate Figure 5 (f1/f2 monotonicity in n).
+use rfid_experiments::{fig05, output::emit, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    emit(&fig05::run(scale, 42), "fig05_monotonicity");
+}

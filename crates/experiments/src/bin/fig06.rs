@@ -1,0 +1,7 @@
+//! Regenerate Figure 6 (the T1/T2/T3 tag-ID distributions).
+use rfid_experiments::{fig06, output::emit, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    emit(&fig06::run(scale, 42), "fig06_workloads");
+}

@@ -1,0 +1,7 @@
+//! Regenerate Figure 8 (CDF of 100 estimation rounds).
+use rfid_experiments::{fig08, output::emit, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    emit(&fig08::run(scale, 42), "fig08_cdf");
+}

@@ -1,0 +1,7 @@
+//! Statistical validation of the (epsilon, delta) guarantee.
+use rfid_experiments::{guarantee, output::emit, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    emit(&guarantee::run(scale, 42), "guarantee");
+}

@@ -1,0 +1,17 @@
+//! Write gnuplot scripts for every figure into results/plots/.
+use rfid_experiments::plots;
+
+fn main() {
+    match plots::write_all(std::path::Path::new("results/plots")) {
+        Ok(paths) => {
+            for p in paths {
+                println!("wrote {}", p.display());
+            }
+            println!("render with: gnuplot results/plots/*.gnuplot");
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,7 @@
+//! The full related-work shootout: all ten estimators side by side.
+use rfid_experiments::{ablations, output::emit, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    emit(&ablations::run_shootout(scale, 42), "shootout");
+}

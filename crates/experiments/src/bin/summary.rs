@@ -1,0 +1,7 @@
+//! Check the paper's headline claims in one table.
+use rfid_experiments::{output::emit, summary, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    emit(&summary::run(scale, 42), "summary_headline_claims");
+}

@@ -1,0 +1,7 @@
+//! Extension: tag-side operation counts per scheme.
+use rfid_experiments::{ablations, output::emit, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    emit(&ablations::run_tag_ops(scale, 42), "tag_ops");
+}

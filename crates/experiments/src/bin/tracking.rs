@@ -1,0 +1,7 @@
+//! Continuous monitoring under churn: level vs differential detectors.
+use rfid_experiments::{output::emit, tracking, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    emit(&tracking::run(scale, 42), "tracking");
+}

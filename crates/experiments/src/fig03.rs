@@ -1,0 +1,135 @@
+//! Figure 3 — the feasibility study: the number of 0s (busy) and 1s
+//! (idle) in the Bloom vector `B` against the cardinality `n`, at
+//! `w = 8192`, `k = 3`, `p in {0.1, 0.2}`.
+//!
+//! The paper reads an (approximately) linear relationship off this plot in
+//! its operating regime; the table reports the measured counts next to the
+//! Theorem-1 expectations and quantifies linearity with the R^2 of a
+//! least-squares line through the busy counts.
+
+use crate::output::{fnum, Table};
+use crate::runner::{build_system, Scale};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rfid_bfce::estimator::standalone_frame;
+use rfid_bfce::BfceConfig;
+use rfid_workloads::WorkloadSpec;
+
+/// The two persistence numerators: `p ~ 0.1` and `p ~ 0.2` on the 1/1024
+/// grid.
+const P_NUMERATORS: [u32; 2] = [102, 205];
+
+/// Coefficient of determination of the best straight line through
+/// `(x, y)`.
+fn r_squared(xs: &[f64], ys: &[f64]) -> f64 {
+    let n = xs.len() as f64;
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let sxy: f64 = xs.iter().zip(ys).map(|(x, y)| (x - mx) * (y - my)).sum();
+    let sxx: f64 = xs.iter().map(|x| (x - mx) * (x - mx)).sum();
+    let syy: f64 = ys.iter().map(|y| (y - my) * (y - my)).sum();
+    if sxx == 0.0 || syy == 0.0 {
+        return 1.0;
+    }
+    (sxy * sxy) / (sxx * syy)
+}
+
+/// Run the experiment.
+pub fn run(scale: Scale, seed: u64) -> Table {
+    let cfg = BfceConfig::paper();
+    let step = scale.pick(2_000usize, 500);
+    let max_n = 12_000usize;
+    let mut table = Table::new(
+        "Figure 3: 0s/1s in B vs n (w=8192, k=3, T1 tag IDs)",
+        &[
+            "n",
+            "zeros(p=0.1)",
+            "ones(p=0.1)",
+            "E[zeros](p=0.1)",
+            "zeros(p=0.2)",
+            "ones(p=0.2)",
+            "E[zeros](p=0.2)",
+        ],
+    );
+    let mut xs = Vec::new();
+    let mut zeros_by_p: [Vec<f64>; 2] = [Vec::new(), Vec::new()];
+    let mut n = step;
+    while n <= max_n {
+        let mut cells = vec![n.to_string()];
+        for (pi, &p_n) in P_NUMERATORS.iter().enumerate() {
+            let mut system = build_system(WorkloadSpec::T1, n, seed + n as u64);
+            let mut rng = StdRng::seed_from_u64(seed ^ (n as u64) << 2 | pi as u64);
+            let frame = standalone_frame(&cfg, &mut system, p_n, &mut rng);
+            let zeros = frame.busy_count();
+            let ones = frame.idle_count();
+            let p = p_n as f64 / 1024.0;
+            let lambda = cfg.k as f64 * p * n as f64 / cfg.w as f64;
+            let expect_zeros = cfg.w as f64 * (1.0 - (-lambda).exp());
+            cells.push(zeros.to_string());
+            cells.push(ones.to_string());
+            cells.push(fnum(expect_zeros));
+            zeros_by_p[pi].push(zeros as f64);
+        }
+        xs.push(n as f64);
+        table.push_row(cells);
+        n += step;
+    }
+    for (pi, zeros) in zeros_by_p.iter().enumerate() {
+        let r2 = r_squared(&xs, zeros);
+        table.note(format!(
+            "R^2 of linear fit, zeros at p={}: {:.4} (paper: ~linear in the small-lambda regime)",
+            [0.1, 0.2][pi],
+            r2
+        ));
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn r_squared_perfect_line() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [2.0, 4.0, 6.0, 8.0];
+        assert!((r_squared(&xs, &ys) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn counts_are_monotone_and_near_linear() {
+        let t = run(Scale::Quick, 1);
+        assert!(t.rows.len() >= 5);
+        // zeros at p=0.1 strictly increase with n.
+        let zeros: Vec<f64> = t
+            .rows
+            .iter()
+            .map(|r| r[1].parse::<f64>().unwrap())
+            .collect();
+        for w in zeros.windows(2) {
+            assert!(w[1] > w[0], "busy count not increasing: {zeros:?}");
+        }
+        // Linearity note present with high R^2.
+        assert!(t.notes[0].contains("R^2"));
+        let r2: f64 = t.notes[0]
+            .split(": ")
+            .nth(1)
+            .unwrap()
+            .split_whitespace()
+            .next()
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert!(r2 > 0.98, "R^2 = {r2}");
+    }
+
+    #[test]
+    fn zeros_plus_ones_is_w() {
+        let t = run(Scale::Quick, 2);
+        for row in &t.rows {
+            let zeros: usize = row[1].parse().unwrap();
+            let ones: usize = row[2].parse().unwrap();
+            assert_eq!(zeros + ones, 8192);
+        }
+    }
+}

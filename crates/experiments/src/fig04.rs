@@ -1,0 +1,68 @@
+//! Figure 4 — the scalability kernel `gamma = -ln(rho) / (k p)` over the
+//! `(p, rho)` grid, and the paper's bounds `0.000326 <= gamma <= 2365.9`
+//! (which give the ">19 million tags at w = 8192" headline).
+
+use crate::output::{fnum, Table};
+use crate::runner::Scale;
+use rfid_bfce::theory::{gamma, gamma_bounds, max_cardinality};
+
+/// Run the experiment (analytic; `scale` controls grid sampling density,
+/// `_seed` unused).
+pub fn run(scale: Scale, _seed: u64) -> Table {
+    let k = 3usize;
+    let grid = 1024u32;
+    let samples = scale.pick(5usize, 9);
+    let mut table = Table::new(
+        "Figure 4: gamma = -ln(rho)/(k p) over the (p, rho) grid (k=3)",
+        &["p", "rho", "gamma"],
+    );
+    // Sample a coarse sub-grid for the CSV (the full 1023x1023 surface is
+    // cheap to recompute; the plot only needs the shape).
+    for i in 1..=samples {
+        for j in 1..=samples {
+            let p = i as f64 / (samples + 1) as f64;
+            let rho = j as f64 / (samples + 1) as f64;
+            table.push_row(vec![fnum(p), fnum(rho), fnum(gamma(rho, k, p))]);
+        }
+    }
+    let (min, max) = gamma_bounds(k, grid);
+    let cap = max_cardinality(8192, k, grid);
+    table.note(format!(
+        "gamma bounds on the 1/1024 grid: {min:.6} <= gamma <= {max:.1} (paper: 0.000326 .. 2365.9)"
+    ));
+    table.note(format!(
+        "max estimable cardinality at w=8192: {cap:.0} (paper: exceeds 19 million)"
+    ));
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounds_match_paper() {
+        let t = run(Scale::Quick, 0);
+        assert!(t.notes[0].contains("0.000326"));
+        assert!(t.notes[1].contains("19"));
+    }
+
+    #[test]
+    fn surface_is_monotone_decreasing_in_both_axes() {
+        let t = run(Scale::Paper, 0);
+        // For fixed p (consecutive rho at same p), gamma decreases.
+        for pair in t.rows.windows(2) {
+            if pair[0][0] == pair[1][0] {
+                let g0: f64 = pair[0][2].parse().unwrap();
+                let g1: f64 = pair[1][2].parse().unwrap();
+                assert!(g1 < g0, "gamma not decreasing in rho: {pair:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn grid_size_matches_scale() {
+        assert_eq!(run(Scale::Quick, 0).rows.len(), 25);
+        assert_eq!(run(Scale::Paper, 0).rows.len(), 81);
+    }
+}

@@ -1,0 +1,58 @@
+//! Figure 5 — the monotonicity of `f1` (decreasing) and `f2` (increasing)
+//! as functions of the cardinality `n`, for a small persistence
+//! probability (`p = 3/1024`, `w = 8192`, `k = 3`, `epsilon = 0.05`) —
+//! the property Theorem 4 rests on.
+
+use crate::output::{fnum, Table};
+use crate::runner::Scale;
+use rfid_bfce::theory::{f1, f2};
+
+/// Run the experiment (analytic).
+pub fn run(scale: Scale, _seed: u64) -> Table {
+    let (w, k, eps) = (8192usize, 3usize, 0.05);
+    let p = 3.0 / 1024.0;
+    let step = scale.pick(100_000usize, 25_000);
+    let max_n = 1_000_000usize;
+    let mut table = Table::new(
+        "Figure 5: f1/f2 vs n (w=8192, k=3, eps=0.05, p=3/1024)",
+        &["n", "f1", "f2"],
+    );
+    let mut prev: Option<(f64, f64)> = None;
+    let mut monotone = true;
+    let mut n = step;
+    while n <= max_n {
+        let a = f1(n as f64, w, k, p, eps);
+        let b = f2(n as f64, w, k, p, eps);
+        if let Some((pa, pb)) = prev {
+            monotone &= a < pa && b > pb;
+        }
+        prev = Some((a, b));
+        table.push_row(vec![n.to_string(), fnum(a), fnum(b)]);
+        n += step;
+    }
+    table.note(format!(
+        "f1 strictly decreasing and f2 strictly increasing over the sweep: {monotone}"
+    ));
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monotonicity_holds() {
+        let t = run(Scale::Paper, 0);
+        assert!(t.notes[0].ends_with("true"), "{}", t.notes[0]);
+    }
+
+    #[test]
+    fn f1_negative_f2_positive() {
+        let t = run(Scale::Quick, 0);
+        for row in &t.rows {
+            let a: f64 = row[1].parse().unwrap();
+            let b: f64 = row[2].parse().unwrap();
+            assert!(a <= 0.0 && b >= 0.0, "{row:?}");
+        }
+    }
+}

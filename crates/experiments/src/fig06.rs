@@ -1,0 +1,88 @@
+//! Figure 6 — the three tag-ID sets used in the simulation: T1 (uniform),
+//! T2 (approximate normal), T3 (normal), shown as histograms over the
+//! `[1, 10^15]` ID space.
+
+use crate::output::Table;
+use crate::runner::{build_system, Scale};
+use rfid_workloads::{WorkloadSpec, ID_SPACE_MAX};
+
+/// Number of histogram bins across the ID space.
+const BINS: usize = 20;
+
+/// Run the experiment.
+pub fn run(scale: Scale, seed: u64) -> Table {
+    let n = scale.pick(20_000usize, 200_000);
+    let mut table = Table::new(
+        format!("Figure 6: tag-ID distributions ({n} IDs per set, {BINS} bins)"),
+        &["bin_low(1e13)", "T1", "T2", "T3"],
+    );
+    let mut histos = Vec::new();
+    for spec in WorkloadSpec::PAPER_SET {
+        let system = build_system(spec, n, seed);
+        let mut counts = vec![0u64; BINS];
+        for tag in system.population().tags() {
+            let bin = ((tag.id - 1) as u128 * BINS as u128 / ID_SPACE_MAX as u128)
+                .min(BINS as u128 - 1) as usize;
+            counts[bin] += 1;
+        }
+        histos.push(counts);
+    }
+    for (b, ((&h1, &h2), &h3)) in histos[0]
+        .iter()
+        .zip(&histos[1])
+        .zip(&histos[2])
+        .enumerate()
+    {
+        let low = b as u64 * (ID_SPACE_MAX / BINS as u64) / 10_000_000_000_000;
+        table.push_row(vec![
+            low.to_string(),
+            h1.to_string(),
+            h2.to_string(),
+            h3.to_string(),
+        ]);
+    }
+    // Shape checks the paper's plots show at a glance.
+    let center_mass = |h: &[u64]| -> f64 {
+        let total: u64 = h.iter().sum();
+        let central: u64 = h[BINS / 4..3 * BINS / 4].iter().sum();
+        central as f64 / total as f64
+    };
+    table.note(format!(
+        "central-half mass: T1 {:.2}, T2 {:.2}, T3 {:.2} (uniform ~0.50; bells >0.80)",
+        center_mass(&histos[0]),
+        center_mass(&histos[1]),
+        center_mass(&histos[2]),
+    ));
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_shapes_match_the_figure() {
+        let t = run(Scale::Quick, 3);
+        assert_eq!(t.rows.len(), BINS);
+        let note = &t.notes[0];
+        // Parse the three masses out of the note.
+        let nums: Vec<f64> = note
+            .split(|c: char| !c.is_ascii_digit() && c != '.')
+            .filter(|s| s.contains('.'))
+            .map(|s| s.parse().unwrap())
+            .collect();
+        let (t1, t2, t3) = (nums[0], nums[1], nums[2]);
+        assert!((t1 - 0.5).abs() < 0.05, "T1 mass {t1}");
+        assert!(t2 > 0.8, "T2 mass {t2}");
+        assert!(t3 > 0.8, "T3 mass {t3}");
+    }
+
+    #[test]
+    fn per_bin_totals_match_n() {
+        let t = run(Scale::Quick, 4);
+        for col in 1..=3 {
+            let total: u64 = t.rows.iter().map(|r| r[col].parse::<u64>().unwrap()).sum();
+            assert_eq!(total, 20_000);
+        }
+    }
+}

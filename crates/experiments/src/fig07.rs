@@ -1,0 +1,133 @@
+//! Figure 7 — BFCE's estimation accuracy under different settings, for
+//! all three tag-ID distributions:
+//!
+//! * (a) accuracy vs cardinality `n` at `(0.05, 0.05)`, `c = 0.5`;
+//! * (b) accuracy vs `epsilon` at `n = 500 000`, `delta = 0.05`;
+//! * (c) accuracy vs `delta` at `n = 500 000`, `epsilon = 0.05`.
+//!
+//! The paper's observation: accuracy stays near zero for every `n` and
+//! distribution (a), always beats the requested `epsilon` by a wide margin
+//! (b), and is insensitive to `delta` (c).
+
+use crate::output::{fnum, Table};
+use crate::runner::{run_repeated, Scale};
+use rfid_bfce::Bfce;
+use rfid_sim::Accuracy;
+use rfid_workloads::WorkloadSpec;
+
+/// Accuracy-vs-n sweep (subfigure a).
+pub fn run_vs_n(scale: Scale, seed: u64) -> Table {
+    let ns: &[usize] = match scale {
+        Scale::Quick => &[1_000, 10_000, 100_000],
+        Scale::Paper => &[1_000, 5_000, 10_000, 50_000, 100_000, 500_000, 1_000_000],
+    };
+    let rounds = scale.pick(2, 5);
+    let mut table = Table::new(
+        "Figure 7a: BFCE accuracy vs n (eps=0.05, delta=0.05, c=0.5)",
+        &["n", "T1", "T2", "T3"],
+    );
+    let bfce = Bfce::paper();
+    let acc = Accuracy::paper_default();
+    let mut worst = 0.0f64;
+    for &n in ns {
+        let mut row = vec![n.to_string()];
+        for (wi, spec) in WorkloadSpec::PAPER_SET.iter().enumerate() {
+            let out = run_repeated(&bfce, *spec, n, acc, rounds, seed + wi as u64);
+            worst = worst.max(out.mean_error);
+            row.push(fnum(out.mean_error));
+        }
+        table.push_row(row);
+    }
+    table.note(format!(
+        "worst mean accuracy across the grid: {worst:.4} (paper: 'very close to 0 regardless of n')"
+    ));
+    table
+}
+
+/// Accuracy-vs-epsilon sweep (subfigure b).
+pub fn run_vs_epsilon(scale: Scale, seed: u64) -> Table {
+    sweep_requirement(scale, seed, true)
+}
+
+/// Accuracy-vs-delta sweep (subfigure c).
+pub fn run_vs_delta(scale: Scale, seed: u64) -> Table {
+    sweep_requirement(scale, seed, false)
+}
+
+fn sweep_requirement(scale: Scale, seed: u64, vary_epsilon: bool) -> Table {
+    let values: &[f64] = match scale {
+        Scale::Quick => &[0.05, 0.2],
+        Scale::Paper => &[0.05, 0.1, 0.15, 0.2, 0.25, 0.3],
+    };
+    let n = scale.pick(100_000usize, 500_000);
+    let rounds = scale.pick(2, 5);
+    let (which, fixed) = if vary_epsilon {
+        ("epsilon", "delta=0.05")
+    } else {
+        ("delta", "eps=0.05")
+    };
+    let mut table = Table::new(
+        format!("Figure 7{}: BFCE accuracy vs {which} (n={n}, {fixed})",
+                if vary_epsilon { 'b' } else { 'c' }),
+        &[which, "T1", "T2", "T3"],
+    );
+    let bfce = Bfce::paper();
+    let mut worst = 0.0f64;
+    for &v in values {
+        let acc = if vary_epsilon {
+            Accuracy::new(v, 0.05)
+        } else {
+            Accuracy::new(0.05, v)
+        };
+        let mut row = vec![fnum(v)];
+        for (wi, spec) in WorkloadSpec::PAPER_SET.iter().enumerate() {
+            // Decorrelate rounds across sweep points: with loose
+            // requirements the optimizer often lands on the same p_n, and
+            // identical seeds would then repeat rows verbatim.
+            let cell_seed = seed + 31 * wi as u64 + (v * 1e4) as u64;
+            let out = run_repeated(&bfce, *spec, n, acc, rounds, cell_seed);
+            worst = worst.max(out.mean_error);
+            row.push(fnum(out.mean_error));
+        }
+        table.push_row(row);
+    }
+    table.note(format!(
+        "worst mean accuracy: {worst:.4} (paper: 'always below 0.04' across the sweep)"
+    ));
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_vs_n_is_small_everywhere() {
+        let t = run_vs_n(Scale::Quick, 1);
+        for row in &t.rows {
+            for cell in &row[1..] {
+                let err: f64 = cell.parse().unwrap();
+                assert!(err < 0.08, "accuracy {err} in {row:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn accuracy_beats_requested_epsilon() {
+        let t = run_vs_epsilon(Scale::Quick, 2);
+        for row in &t.rows {
+            let eps: f64 = row[0].parse().unwrap();
+            for cell in &row[1..] {
+                let err: f64 = cell.parse().unwrap();
+                assert!(err < eps.max(0.05), "err {err} at eps {eps}");
+            }
+        }
+    }
+
+    #[test]
+    fn delta_sweep_runs() {
+        let t = run_vs_delta(Scale::Quick, 3);
+        assert_eq!(t.rows.len(), 2);
+        assert_eq!(t.headers[0], "delta");
+    }
+}

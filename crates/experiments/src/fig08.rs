@@ -1,0 +1,119 @@
+//! Figure 8 — the cumulative distribution of BFCE's estimates over 100
+//! independent rounds (`n = 500 000`, `(0.05, 0.05)`), per tag-ID
+//! distribution. The paper reads off that the estimates are "tightly
+//! concentrated around the actual cardinality" for all three sets.
+
+use crate::output::{fnum, Table};
+use crate::runner::{run_once, Scale};
+use rfid_bfce::Bfce;
+use rfid_sim::Accuracy;
+use rfid_stats::Ecdf;
+use rfid_workloads::WorkloadSpec;
+
+/// Quantiles reported per distribution.
+const QUANTILES: [f64; 7] = [0.05, 0.10, 0.25, 0.50, 0.75, 0.90, 0.95];
+
+/// Run the experiment.
+pub fn run(scale: Scale, seed: u64) -> Table {
+    let n = scale.pick(100_000usize, 500_000);
+    let rounds = scale.pick(20u32, 100);
+    let mut table = Table::new(
+        format!("Figure 8: CDF of n_hat over {rounds} rounds (n={n}, eps=delta=0.05)"),
+        &["quantile", "T1", "T2", "T3"],
+    );
+    let bfce = Bfce::paper();
+    let acc = Accuracy::paper_default();
+    let mut ecdfs = Vec::new();
+    for (wi, spec) in WorkloadSpec::PAPER_SET.iter().enumerate() {
+        let sample: Vec<f64> = (0..rounds)
+            .map(|r| {
+                let s = seed
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add((wi as u64) << 32 | r as u64);
+                run_once(&bfce, *spec, n, acc, s).n_hat
+            })
+            .collect();
+        ecdfs.push(Ecdf::new(sample));
+    }
+    for &q in &QUANTILES {
+        table.push_row(vec![
+            fnum(q),
+            fnum(ecdfs[0].quantile(q)),
+            fnum(ecdfs[1].quantile(q)),
+            fnum(ecdfs[2].quantile(q)),
+        ]);
+    }
+    for (wi, e) in ecdfs.iter().enumerate() {
+        let inside = e
+            .sorted_values()
+            .iter()
+            .filter(|&&v| (v - n as f64).abs() <= 0.05 * n as f64)
+            .count() as f64
+            / e.len() as f64;
+        table.note(format!(
+            "{}: fraction of rounds within +/-5% of n: {inside:.2}",
+            WorkloadSpec::PAPER_SET[wi].name()
+        ));
+    }
+    // The paper's visual claim, tested: the three estimate distributions
+    // coincide (two-sample KS at 1%).
+    for (a, b) in [(0usize, 1usize), (0, 2), (1, 2)] {
+        let same = rfid_stats::ks_same_distribution(
+            ecdfs[a].sorted_values(),
+            ecdfs[b].sorted_values(),
+            0.01,
+        );
+        table.note(format!(
+            "KS({} vs {}): distributions indistinguishable at 1%: {same}",
+            WorkloadSpec::PAPER_SET[a].name(),
+            WorkloadSpec::PAPER_SET[b].name()
+        ));
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn estimates_concentrate_around_truth() {
+        let t = run(Scale::Quick, 5);
+        // Median row: all three distributions within 5% of 100k.
+        let median = t.rows.iter().find(|r| r[0] == "0.5000").unwrap();
+        for cell in &median[1..] {
+            let v: f64 = cell.parse().unwrap();
+            assert!(
+                (v - 100_000.0).abs() < 5_000.0,
+                "median {v} far from truth"
+            );
+        }
+        // Coverage notes: at least 90% within 5%.
+        for note in t.notes.iter().filter(|n| n.contains("fraction")) {
+            let frac: f64 = note.rsplit(' ').next().unwrap().parse().unwrap();
+            assert!(frac >= 0.9, "{note}");
+        }
+        // KS notes: the three distributions must be indistinguishable.
+        let ks_notes: Vec<&String> =
+            t.notes.iter().filter(|n| n.contains("KS(")).collect();
+        assert_eq!(ks_notes.len(), 3);
+        for note in ks_notes {
+            assert!(note.ends_with("true"), "{note}");
+        }
+    }
+
+    #[test]
+    fn quantiles_are_nondecreasing() {
+        let t = run(Scale::Quick, 6);
+        for col in 1..=3 {
+            let vals: Vec<f64> = t
+                .rows
+                .iter()
+                .map(|r| r[col].parse::<f64>().unwrap())
+                .collect();
+            for w in vals.windows(2) {
+                assert!(w[1] >= w[0], "quantiles decreasing: {vals:?}");
+            }
+        }
+    }
+}

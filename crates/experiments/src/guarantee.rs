@@ -1,0 +1,163 @@
+//! Statistical validation of the `(epsilon, delta)` guarantee itself.
+//!
+//! Figures 7–9 eyeball accuracy; this module *tests* the probabilistic
+//! claim: over `R` independent rounds, the number of rounds whose error
+//! exceeds `epsilon` is `Binomial(R, q)` with `q <= delta` if the
+//! guarantee holds. We reject the guarantee only if the observed miss
+//! count is so large that `Pr{misses >= observed | q = delta}` falls below
+//! a small significance level — a proper one-sided binomial test, so the
+//! harness neither cries wolf on lucky/unlucky runs nor rubber-stamps a
+//! broken estimator.
+
+use crate::output::{fnum, Table};
+use crate::runner::{run_once, Scale};
+use rfid_bfce::Bfce;
+use rfid_sim::{Accuracy, CardinalityEstimator};
+use rfid_stats::binomial_tail_ge;
+use rfid_workloads::WorkloadSpec;
+
+/// Outcome of one guarantee check.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GuaranteeCheck {
+    /// Rounds run.
+    pub rounds: u32,
+    /// Rounds whose relative error exceeded epsilon.
+    pub misses: u32,
+    /// `Pr{misses >= observed}` under the hypothesis `miss rate = delta`.
+    pub p_value: f64,
+    /// Whether the guarantee survives at the given significance.
+    pub holds: bool,
+}
+
+/// Run `rounds` independent estimations and test the miss count against
+/// `delta` at one-sided significance `alpha`.
+pub fn check_guarantee(
+    estimator: &dyn CardinalityEstimator,
+    workload: WorkloadSpec,
+    n: usize,
+    accuracy: Accuracy,
+    rounds: u32,
+    alpha: f64,
+    base_seed: u64,
+) -> GuaranteeCheck {
+    assert!(rounds >= 1, "need at least one round");
+    assert!(alpha > 0.0 && alpha < 1.0, "alpha must lie in (0, 1)");
+    let mut misses = 0u32;
+    for r in 0..rounds {
+        let seed = base_seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(r as u64);
+        let report = run_once(estimator, workload, n, accuracy, seed);
+        if report.relative_error(n) > accuracy.epsilon {
+            misses += 1;
+        }
+    }
+    // One-sided exact binomial test: how surprising is this many misses if
+    // the true miss probability were exactly delta (the worst allowed)?
+    let p_value = binomial_tail_ge(rounds as u64, misses as u64, accuracy.delta);
+    GuaranteeCheck {
+        rounds,
+        misses,
+        p_value,
+        holds: p_value >= alpha,
+    }
+}
+
+/// The guarantee table: BFCE at several `(epsilon, delta)` points across
+/// the paper's workloads.
+pub fn run(scale: Scale, seed: u64) -> Table {
+    let rounds = scale.pick(40u32, 200);
+    let n = scale.pick(20_000usize, 100_000);
+    let alpha = 0.01;
+    let grid: &[(f64, f64)] = &[(0.05, 0.05), (0.05, 0.2), (0.1, 0.05), (0.2, 0.1)];
+    let mut table = Table::new(
+        format!(
+            "Guarantee validation: BFCE miss rates over {rounds} rounds (n={n}, \
+             one-sided binomial test at alpha={alpha})"
+        ),
+        &["epsilon", "delta", "workload", "misses", "miss_rate", "p_value", "holds"],
+    );
+    let bfce = Bfce::paper();
+    let mut all_hold = true;
+    for &(eps, delta) in grid {
+        for (wi, spec) in WorkloadSpec::PAPER_SET.iter().enumerate() {
+            let check = check_guarantee(
+                &bfce,
+                *spec,
+                n,
+                Accuracy::new(eps, delta),
+                rounds,
+                alpha,
+                seed + wi as u64 * 7919 + (eps * 1e3 + delta * 10.0) as u64,
+            );
+            all_hold &= check.holds;
+            table.push_row(vec![
+                fnum(eps),
+                fnum(delta),
+                spec.name().into(),
+                check.misses.to_string(),
+                fnum(check.misses as f64 / rounds as f64),
+                fnum(check.p_value),
+                check.holds.to_string(),
+            ]);
+        }
+    }
+    table.note(format!(
+        "guarantee {} at every grid point",
+        if all_hold { "holds" } else { "REJECTED" }
+    ));
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bfce_guarantee_holds_on_a_quick_grid() {
+        let t = run(Scale::Quick, 17);
+        assert!(t.notes[0].contains("holds"), "{}", t.notes[0]);
+        // Miss rates must be plausible (not NaN, within [0, 1]).
+        for row in &t.rows {
+            let rate: f64 = row[4].parse().unwrap();
+            assert!((0.0..=1.0).contains(&rate));
+        }
+    }
+
+    #[test]
+    fn the_test_rejects_a_knowingly_broken_estimator() {
+        // LOF ignores (epsilon, delta); at (0.05, 0.05) its constant-factor
+        // errors must blow the binomial bound.
+        let check = check_guarantee(
+            &rfid_baselines::Lof::default(),
+            WorkloadSpec::T1,
+            20_000,
+            Accuracy::new(0.05, 0.05),
+            40,
+            0.01,
+            3,
+        );
+        assert!(!check.holds, "{check:?}");
+        assert!(check.misses > 10);
+    }
+
+    #[test]
+    fn p_value_is_consistent_with_the_binomial_tail() {
+        // At (0.2, 0.2) BFCE tunes p to sit right at the requirement edge,
+        // so some misses are expected and allowed; the p-value must equal
+        // the exact binomial tail at the observed count and the guarantee
+        // must hold at this loose operating point.
+        let check = check_guarantee(
+            &Bfce::paper(),
+            WorkloadSpec::T1,
+            50_000,
+            Accuracy::new(0.2, 0.2),
+            10,
+            0.01,
+            5,
+        );
+        let expect = binomial_tail_ge(10, check.misses as u64, 0.2);
+        assert!((check.p_value - expect).abs() < 1e-12, "{check:?}");
+        assert!(check.holds, "{check:?}");
+    }
+}

@@ -1,0 +1,233 @@
+//! Tabular output: aligned console printing and CSV files under `results/`.
+
+use serde::Serialize;
+use std::io::Write;
+use std::path::Path;
+
+/// A rectangular result table, the common currency of every experiment.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table {
+    /// Human-readable title (includes the paper artifact it reproduces).
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Rows; each must match `headers` in length.
+    pub rows: Vec<Vec<String>>,
+    /// Free-form notes appended below the table (observations, checks).
+    pub notes: Vec<String>,
+}
+
+impl Table {
+    /// New empty table.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Self {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Append a row (checked against the header count).
+    pub fn push_row(&mut self, row: Vec<String>) {
+        assert_eq!(
+            row.len(),
+            self.headers.len(),
+            "row width {} != header width {}",
+            row.len(),
+            self.headers.len()
+        );
+        self.rows.push(row);
+    }
+
+    /// Append a note line.
+    pub fn note(&mut self, s: impl Into<String>) {
+        self.notes.push(s.into());
+    }
+
+    /// Render with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("== {} ==\n", self.title));
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        for note in &self.notes {
+            out.push_str(&format!("note: {note}\n"));
+        }
+        out
+    }
+
+    /// Print to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+
+    /// CSV serialization (headers + rows; notes as trailing comments).
+    pub fn to_csv(&self) -> String {
+        let escape = |cell: &str| -> String {
+            if cell.contains([',', '"', '\n']) {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_string()
+            }
+        };
+        let mut out = String::new();
+        out.push_str(
+            &self
+                .headers
+                .iter()
+                .map(|h| escape(h))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(
+                &row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(","),
+            );
+            out.push('\n');
+        }
+        for note in &self.notes {
+            out.push_str(&format!("# {note}\n"));
+        }
+        out
+    }
+
+    /// Write CSV into `dir/<name>.csv`, creating the directory if needed.
+    pub fn write_csv(&self, dir: &Path, name: &str) -> std::io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        let mut file = std::fs::File::create(dir.join(format!("{name}.csv")))?;
+        file.write_all(self.to_csv().as_bytes())
+    }
+
+    /// Write the whole table (title, headers, rows, notes) as pretty JSON
+    /// into `dir/<name>.json` for downstream tooling.
+    pub fn write_json(&self, dir: &Path, name: &str) -> std::io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        let json = serde_json::to_string_pretty(self).map_err(std::io::Error::other)?;
+        std::fs::write(dir.join(format!("{name}.json")), json)
+    }
+}
+
+/// Print a table and persist it as `results/<name>.csv` and
+/// `results/<name>.json` — the standard tail of every experiment binary
+/// and figure bench.
+pub fn emit(table: &Table, name: &str) {
+    table.print();
+    let dir = Path::new("results");
+    match table.write_csv(dir, name) {
+        Ok(()) => eprintln!("(wrote results/{name}.csv)"),
+        Err(e) => eprintln!("warning: could not write results/{name}.csv: {e}"),
+    }
+    if let Err(e) = table.write_json(dir, name) {
+        eprintln!("warning: could not write results/{name}.json: {e}");
+    }
+}
+
+/// Format a float with a sensible number of digits for tables.
+pub fn fnum(x: f64) -> String {
+    if x == 0.0 {
+        "0".into()
+    } else if x.abs() >= 10_000.0 {
+        format!("{x:.0}")
+    } else if x.abs() >= 10.0 {
+        format!("{x:.2}")
+    } else {
+        format!("{x:.4}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new("demo", &["n", "err"]);
+        t.push_row(vec!["1000".into(), "0.01".into()]);
+        t.push_row(vec!["500000".into(), "0.002".into()]);
+        t.note("all good");
+        t
+    }
+
+    #[test]
+    fn render_aligns_and_includes_notes() {
+        let s = sample().render();
+        assert!(s.contains("== demo =="));
+        assert!(s.contains("note: all good"));
+        assert!(s.lines().count() >= 5);
+    }
+
+    #[test]
+    fn csv_round_trip_shape() {
+        let csv = sample().to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "n,err");
+        assert_eq!(lines[1], "1000,0.01");
+        assert_eq!(lines[3], "# all good");
+    }
+
+    #[test]
+    fn csv_escapes_commas_and_quotes() {
+        let mut t = Table::new("x", &["a"]);
+        t.push_row(vec!["hello, \"world\"".into()]);
+        assert!(t.to_csv().contains("\"hello, \"\"world\"\"\""));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn row_width_checked() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.push_row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn write_csv_creates_file() {
+        let dir = std::env::temp_dir().join("rfid_experiments_test_out");
+        let _ = std::fs::remove_dir_all(&dir);
+        sample().write_csv(&dir, "demo").unwrap();
+        let content = std::fs::read_to_string(dir.join("demo.csv")).unwrap();
+        assert!(content.starts_with("n,err"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn write_json_round_trips_structure() {
+        let dir = std::env::temp_dir().join("rfid_experiments_json_out");
+        let _ = std::fs::remove_dir_all(&dir);
+        sample().write_json(&dir, "demo").unwrap();
+        let content = std::fs::read_to_string(dir.join("demo.json")).unwrap();
+        let value: serde_json::Value = serde_json::from_str(&content).unwrap();
+        assert_eq!(value["title"], "demo");
+        assert_eq!(value["rows"].as_array().unwrap().len(), 2);
+        assert_eq!(value["notes"][0], "all good");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fnum_ranges() {
+        assert_eq!(fnum(0.0), "0");
+        assert_eq!(fnum(0.1234567), "0.1235");
+        assert_eq!(fnum(42.1234), "42.12");
+        assert_eq!(fnum(123456.7), "123457");
+    }
+}

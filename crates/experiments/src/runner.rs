@@ -1,0 +1,147 @@
+//! Shared experiment plumbing: scales, system construction, repeated runs.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rfid_sim::{Accuracy, CardinalityEstimator, EstimationReport, RfidSystem};
+use rfid_workloads::WorkloadSpec;
+
+/// How big an experiment to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Small sweeps and few repetitions — used by `cargo bench` smoke
+    /// targets and CI; finishes in seconds.
+    Quick,
+    /// The paper's full grids and repetition counts.
+    Paper,
+}
+
+impl Scale {
+    /// Parse from CLI args: `--paper` selects [`Scale::Paper`], anything
+    /// else (or nothing) stays Quick.
+    pub fn from_args() -> Scale {
+        if std::env::args().any(|a| a == "--paper") {
+            Scale::Paper
+        } else {
+            Scale::Quick
+        }
+    }
+
+    /// Pick between the quick and paper variants of a parameter.
+    pub fn pick<T: Copy>(&self, quick: T, paper: T) -> T {
+        match self {
+            Scale::Quick => quick,
+            Scale::Paper => paper,
+        }
+    }
+}
+
+/// Build a fresh system for a workload of `n` tags, deterministically from
+/// `seed`.
+pub fn build_system(workload: WorkloadSpec, n: usize, seed: u64) -> RfidSystem {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x9E37_79B9_7F4A_7C15);
+    RfidSystem::new(workload.generate(n, &mut rng))
+}
+
+/// One estimation run on a fresh system; returns the report.
+pub fn run_once(
+    estimator: &dyn CardinalityEstimator,
+    workload: WorkloadSpec,
+    n: usize,
+    accuracy: Accuracy,
+    seed: u64,
+) -> EstimationReport {
+    let mut system = build_system(workload, n, seed);
+    let mut rng = StdRng::seed_from_u64(seed);
+    estimator.estimate(&mut system, accuracy, &mut rng)
+}
+
+/// Aggregated accuracy/time over `rounds` independent runs (fresh
+/// population and protocol seeds each round).
+#[derive(Debug, Clone, Copy)]
+pub struct RepeatedOutcome {
+    /// Mean relative error `|n_hat - n| / n`.
+    pub mean_error: f64,
+    /// Worst relative error seen.
+    pub max_error: f64,
+    /// Fraction of rounds meeting the requested epsilon.
+    pub within_epsilon: f64,
+    /// Mean execution (air) time in seconds.
+    pub mean_seconds: f64,
+    /// Worst execution time in seconds.
+    pub max_seconds: f64,
+}
+
+/// Run an estimator `rounds` times and aggregate.
+pub fn run_repeated(
+    estimator: &dyn CardinalityEstimator,
+    workload: WorkloadSpec,
+    n: usize,
+    accuracy: Accuracy,
+    rounds: u32,
+    base_seed: u64,
+) -> RepeatedOutcome {
+    assert!(rounds >= 1, "need at least one round");
+    let mut mean_error = 0.0;
+    let mut max_error = 0.0f64;
+    let mut hits = 0u32;
+    let mut mean_seconds = 0.0;
+    let mut max_seconds = 0.0f64;
+    for r in 0..rounds {
+        let seed = base_seed
+            .wrapping_mul(0x100_0000_01B3)
+            .wrapping_add(r as u64 + 1);
+        let report = run_once(estimator, workload, n, accuracy, seed);
+        let err = report.relative_error(n);
+        mean_error += err;
+        max_error = max_error.max(err);
+        if err <= accuracy.epsilon {
+            hits += 1;
+        }
+        let secs = report.air.total_seconds();
+        mean_seconds += secs;
+        max_seconds = max_seconds.max(secs);
+    }
+    RepeatedOutcome {
+        mean_error: mean_error / rounds as f64,
+        max_error,
+        within_epsilon: hits as f64 / rounds as f64,
+        mean_seconds: mean_seconds / rounds as f64,
+        max_seconds,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rfid_bfce::Bfce;
+
+    #[test]
+    fn scale_pick() {
+        assert_eq!(Scale::Quick.pick(1, 2), 1);
+        assert_eq!(Scale::Paper.pick(1, 2), 2);
+    }
+
+    #[test]
+    fn build_system_is_deterministic() {
+        let a = build_system(WorkloadSpec::T1, 100, 7);
+        let b = build_system(WorkloadSpec::T1, 100, 7);
+        assert_eq!(a.population().tags(), b.population().tags());
+        assert_eq!(a.true_cardinality(), 100);
+    }
+
+    #[test]
+    fn repeated_runs_aggregate_sensibly() {
+        let out = run_repeated(
+            &Bfce::paper(),
+            WorkloadSpec::T1,
+            20_000,
+            Accuracy::paper_default(),
+            3,
+            11,
+        );
+        assert!(out.mean_error <= out.max_error);
+        assert!(out.mean_error < 0.05, "mean err = {}", out.mean_error);
+        assert!(out.within_epsilon > 0.5);
+        assert!(out.mean_seconds > 0.0 && out.mean_seconds <= out.max_seconds);
+    }
+}

@@ -1,0 +1,108 @@
+//! The paper's headline claims, checked in one table.
+
+use crate::output::{fnum, Table};
+use crate::runner::{build_system, Scale};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rfid_bfce::overhead::{nominal_total_seconds, total_bit_slots};
+use rfid_bfce::theory::{gamma_bounds, max_cardinality};
+use rfid_bfce::{Bfce, BfceConfig};
+use rfid_sim::{Accuracy, Timing};
+use rfid_workloads::WorkloadSpec;
+
+/// Run the headline-claims check.
+pub fn run(scale: Scale, seed: u64) -> Table {
+    let cfg = BfceConfig::paper();
+    let timing = Timing::c1g2();
+    let mut table = Table::new(
+        "Headline claims of the BFCE paper vs this reproduction",
+        &["claim", "paper", "measured"],
+    );
+
+    table.push_row(vec![
+        "constant bit-slot budget (rough + accurate)".into(),
+        "1024 + 8192".into(),
+        format!("{}", total_bit_slots(&cfg)),
+    ]);
+    table.push_row(vec![
+        "nominal execution time".into(),
+        "< 0.19 s".into(),
+        format!("{:.4} s", nominal_total_seconds(&timing, &cfg)),
+    ]);
+    let (gmin, gmax) = gamma_bounds(cfg.k, 1024);
+    table.push_row(vec![
+        "gamma bounds (k=3, 1/1024 grid)".into(),
+        "0.000326 .. 2365.9".into(),
+        format!("{gmin:.6} .. {gmax:.1}"),
+    ]);
+    table.push_row(vec![
+        "max estimable cardinality (w=8192)".into(),
+        "> 19 million".into(),
+        fnum(max_cardinality(cfg.w, cfg.k, 1024)),
+    ]);
+
+    // Measured end-to-end run at the paper's showcase point.
+    let n = scale.pick(100_000usize, 500_000);
+    let mut system = build_system(WorkloadSpec::T2, n, seed);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let run = Bfce::paper().run(&mut system, Accuracy::paper_default(), &mut rng);
+    table.push_row(vec![
+        format!("one-round accuracy at n={n}, (0.05, 0.05)"),
+        "|err| <= 0.05".into(),
+        fnum(run.report.relative_error(n)),
+    ]);
+    table.push_row(vec![
+        "measured execution time incl. probe".into(),
+        "~0.19 s".into(),
+        format!("{:.4} s", run.report.air.total_seconds()),
+    ]);
+    table.push_row(vec![
+        format!(
+            "minimal provable persistence (measured n_low = {:.0})",
+            run.rough.n_low
+        ),
+        "small, e.g. 3/1024 at n_low=250k".into(),
+        format!(
+            "p = {}/1024{}",
+            run.accurate.as_ref().map(|a| a.p_n).unwrap_or(0),
+            if run.accurate.as_ref().is_some_and(|a| a.provable) {
+                " (provable)"
+            } else {
+                ""
+            }
+        ),
+    ]);
+    // The paper's exact worked example, independent of the measured run.
+    let example = rfid_bfce::theory::optimal_p(
+        250_000.0,
+        cfg.w,
+        cfg.k,
+        0.05,
+        rfid_stats::d_for_delta(0.05),
+        1024,
+    );
+    table.push_row(vec![
+        "optimal persistence at n_low=250k (paper example)".into(),
+        "p = 3/1024".into(),
+        format!("p = {}/1024", example.numerator()),
+    ]);
+    table.note("speedup ratios vs ZOE/SRC: see Figure 10 tables");
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn headline_values_hold() {
+        let t = run(Scale::Quick, 1);
+        assert_eq!(t.rows[0][2], "9216");
+        let nominal: f64 = t.rows[1][2].trim_end_matches(" s").parse().unwrap();
+        assert!(nominal < 0.19);
+        let cap: f64 = t.rows[3][2].parse().unwrap();
+        assert!(cap > 19_000_000.0);
+        let err: f64 = t.rows[4][2].parse().unwrap();
+        assert!(err <= 0.05, "accuracy row: {err}");
+    }
+}

@@ -1,0 +1,97 @@
+//! Geometric-distribution hashing for the LOF and PET baselines.
+//!
+//! LOF (Qian et al., TPDS 2011) has every tag hash itself to a frame
+//! position `j` with probability `2^(-j)` — position 1 with probability 1/2,
+//! position 2 with 1/4, and so on. The natural implementation counts
+//! trailing zeros of a uniform hash word.
+
+use crate::mix::mix_pair;
+
+/// Geometric level of a tag under a seed: returns `j >= 1` with probability
+/// `2^(-j)`, capped at `max_level` (the residual mass collapses onto the
+/// cap, matching a finite LOF frame).
+///
+/// ```
+/// use rfid_hash::geometric_level;
+/// let level = geometric_level(42, 7, 32);
+/// assert!((1..=32).contains(&level));
+/// ```
+pub fn geometric_level(tag_key: u64, seed: u32, max_level: u32) -> u32 {
+    assert!(max_level >= 1, "max_level must be at least 1");
+    let h = mix_pair(tag_key, seed as u64);
+    // trailing_zeros of a uniform word is geometric(1/2) starting at 0.
+    let level = h.trailing_zeros() + 1;
+    level.min(max_level)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prng::SplitMix64;
+
+    #[test]
+    fn levels_within_bounds() {
+        for i in 0..10_000u64 {
+            let l = geometric_level(i, 3, 16);
+            assert!((1..=16).contains(&l));
+        }
+    }
+
+    #[test]
+    fn level_distribution_is_geometric() {
+        let mut rng = SplitMix64::new(11);
+        let trials = 1_000_000u64;
+        let mut counts = [0u64; 12];
+        for _ in 0..trials {
+            let l = geometric_level(rng.next_u64(), 77, 64) as usize;
+            if l <= 12 {
+                counts[l - 1] += 1;
+            }
+        }
+        // P(level = j) = 2^-j; check the first 8 levels to ~3 sigma.
+        for j in 1..=8usize {
+            let p = 0.5f64.powi(j as i32);
+            let expected = trials as f64 * p;
+            let sigma = (trials as f64 * p * (1.0 - p)).sqrt();
+            let got = counts[j - 1] as f64;
+            assert!(
+                (got - expected).abs() < 4.0 * sigma,
+                "level {j}: got {got}, expected {expected} +/- {sigma}"
+            );
+        }
+    }
+
+    #[test]
+    fn cap_collapses_tail_mass() {
+        // With max_level = 2, P(level = 2) = 1/2 (all of levels >= 2).
+        let mut rng = SplitMix64::new(5);
+        let trials = 100_000u64;
+        let mut at_cap = 0u64;
+        for _ in 0..trials {
+            if geometric_level(rng.next_u64(), 9, 2) == 2 {
+                at_cap += 1;
+            }
+        }
+        let frac = at_cap as f64 / trials as f64;
+        assert!((frac - 0.5).abs() < 0.01, "cap mass = {frac}");
+    }
+
+    #[test]
+    fn deterministic_per_tag_and_seed() {
+        assert_eq!(geometric_level(9, 1, 32), geometric_level(9, 1, 32));
+    }
+
+    #[test]
+    fn different_seeds_resample() {
+        // Across seeds the level of one tag should vary.
+        let distinct: std::collections::HashSet<u32> =
+            (0..64u32).map(|s| geometric_level(12345, s, 32)).collect();
+        assert!(distinct.len() > 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "max_level must be at least 1")]
+    fn rejects_zero_cap() {
+        geometric_level(1, 1, 0);
+    }
+}

@@ -1,0 +1,35 @@
+//! Deterministic hashing and lightweight PRNG substrate for the BFCE
+//! reproduction.
+//!
+//! The BFCE paper (Section IV-E) is explicit that RFID tags are too
+//! resource-constrained for real hash functions, so it prescribes:
+//!
+//! * each tag pre-stores a 32-bit random number `RN`;
+//! * the reader broadcasts `k = 3` random 32-bit seeds `RS[i]` per phase;
+//! * a tag's i-th Bloom-filter slot is `bitget(RN ^ RS[i], 13:1)` — the
+//!   lowest 13 bits of a bitwise XOR (13 bits because `w = 8192 = 2^13`);
+//! * p-persistence is implemented by comparing a 10-bit pseudo-random draw
+//!   against the broadcast numerator `p_n` (so `p = p_n / 1024`).
+//!
+//! This crate implements that scheme ([`XorBitgetHasher`],
+//! [`PersistenceSampler`]) plus a full-avalanche alternative
+//! ([`MixHasher`], used by the hash ablation), geometric-level hashes for the
+//! LOF/PET baselines ([`geometric`]), and the tiny deterministic PRNGs the
+//! simulator uses for tag-side randomness ([`prng`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod geometric;
+pub mod mix;
+pub mod opcount;
+pub mod persistence;
+pub mod prng;
+pub mod tag_hash;
+
+pub use geometric::geometric_level;
+pub use mix::{mix64, mix_pair};
+pub use opcount::TagOps;
+pub use persistence::PersistenceSampler;
+pub use prng::{SplitMix64, XorShift32};
+pub use tag_hash::{MixHasher, SlotHasher, XorBitgetHasher};

@@ -1,0 +1,222 @@
+//! Tag-side operation counting — quantifying Section IV-E2's claim that
+//! BFCE "only requires the tags to perform lightweight bitwise XOR
+//! computation and bitget operations".
+//!
+//! The counted functions mirror the real implementations instruction for
+//! instruction and are unit-tested to produce **identical outputs**, so
+//! the tallies cannot drift from the code they describe. `mul` is the
+//! interesting column: passive-tag logic has no multiplier, so a scheme
+//! whose per-frame cost includes multiplications (every avalanche hash
+//! does) needs hardware the paper's scheme avoids.
+
+use crate::mix::bucket;
+use crate::prng::XorShift32;
+use crate::tag_hash::TagIdentity;
+
+/// Operation tallies for one tag-side computation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TagOps {
+    /// Bitwise XOR / AND / OR operations.
+    pub bitwise: u64,
+    /// Shifts and rotates.
+    pub shift: u64,
+    /// Additions/subtractions.
+    pub add: u64,
+    /// Comparisons.
+    pub compare: u64,
+    /// Multiplications (wide): absent from passive-tag logic.
+    pub mul: u64,
+}
+
+impl TagOps {
+    /// Total operations of any kind.
+    pub fn total(&self) -> u64 {
+        self.bitwise + self.shift + self.add + self.compare + self.mul
+    }
+
+    /// Component-wise sum.
+    pub fn plus(&self, other: &TagOps) -> TagOps {
+        TagOps {
+            bitwise: self.bitwise + other.bitwise,
+            shift: self.shift + other.shift,
+            add: self.add + other.add,
+            compare: self.compare + other.compare,
+            mul: self.mul + other.mul,
+        }
+    }
+
+    /// Component-wise multiple (`k` repetitions).
+    pub fn times(&self, k: u64) -> TagOps {
+        TagOps {
+            bitwise: self.bitwise * k,
+            shift: self.shift * k,
+            add: self.add * k,
+            compare: self.compare * k,
+            mul: self.mul * k,
+        }
+    }
+}
+
+/// Counted mirror of [`crate::XorBitgetHasher`]: `(rn ^ seed) & (w - 1)`.
+pub fn counted_xor_bitget(tag: TagIdentity, seed: u32, w: usize, ops: &mut TagOps) -> usize {
+    ops.bitwise += 2; // one XOR, one mask
+    ((tag.rn ^ seed) as usize) & (w - 1)
+}
+
+/// Counted mirror of [`crate::mix64`] (SplitMix64 finalizer).
+pub fn counted_mix64(mut z: u64, ops: &mut TagOps) -> u64 {
+    ops.add += 1;
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    ops.shift += 1;
+    ops.bitwise += 1;
+    ops.mul += 1;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    ops.shift += 1;
+    ops.bitwise += 1;
+    ops.mul += 1;
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    ops.shift += 1;
+    ops.bitwise += 1;
+    z ^ (z >> 31)
+}
+
+/// Counted mirror of [`crate::mix_pair`].
+pub fn counted_mix_pair(a: u64, b: u64, ops: &mut TagOps) -> u64 {
+    let inner = counted_mix64(a, ops);
+    ops.shift += 1; // rotate
+    ops.bitwise += 1; // xor
+    counted_mix64(inner ^ b.rotate_left(32), ops)
+}
+
+/// Counted mirror of [`crate::MixHasher`]'s slot computation.
+pub fn counted_mix_slot(tag: TagIdentity, seed: u32, w: usize, ops: &mut TagOps) -> usize {
+    let h = counted_mix_pair(tag.id, seed as u64, ops);
+    ops.mul += 1; // Lemire reduction is a wide multiply
+    ops.shift += 1;
+    bucket(h, w)
+}
+
+/// Counted mirror of one [`XorShift32`] step plus a `bits`-wide draw.
+pub fn counted_xorshift_draw(state: &mut XorShift32, bits: u32, ops: &mut TagOps) -> u32 {
+    // x ^= x << 13; x ^= x >> 17; x ^= x << 5 — three shift+xor pairs,
+    // then the width shift.
+    ops.shift += 4;
+    ops.bitwise += 3;
+    state.next_bits(bits)
+}
+
+/// Per-frame tag cost of BFCE with the paper's hash: `k` slot hashes plus
+/// `k` persistence draws (each draw: one xorshift step, one compare).
+///
+/// Excludes the one-time sampler seeding, which a real tag amortizes by
+/// folding the broadcast seed into its stored state.
+pub fn bfce_frame_ops(k: u64) -> TagOps {
+    let mut ops = TagOps::default();
+    let tag = TagIdentity { id: 1, rn: 2 };
+    let mut state = XorShift32::new(3);
+    for i in 0..k {
+        counted_xor_bitget(tag, i as u32, 8192, &mut ops);
+        counted_xorshift_draw(&mut state, 10, &mut ops);
+        ops.compare += 1; // draw < p_n
+    }
+    ops
+}
+
+/// Per-frame tag cost of BFCE with a full avalanche hash instead.
+pub fn bfce_mix_frame_ops(k: u64) -> TagOps {
+    let mut ops = TagOps::default();
+    let tag = TagIdentity { id: 1, rn: 2 };
+    let mut state = XorShift32::new(3);
+    for i in 0..k {
+        counted_mix_slot(tag, i as u32, 8192, &mut ops);
+        counted_xorshift_draw(&mut state, 10, &mut ops);
+        ops.compare += 1;
+    }
+    ops
+}
+
+/// Per-slot tag cost of ZOE: one full hash of `(id, seed)` plus the
+/// participation compare — paid for **every** of its thousands of slots.
+pub fn zoe_slot_ops() -> TagOps {
+    let mut ops = TagOps::default();
+    counted_mix_pair(1, 2, &mut ops);
+    ops.shift += 1; // top-53 extraction for the unit-interval compare
+    ops.compare += 1;
+    ops
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mix::{mix64, mix_pair};
+    use crate::tag_hash::{MixHasher, SlotHasher, XorBitgetHasher};
+
+    #[test]
+    fn counted_functions_match_the_real_ones() {
+        let tag = TagIdentity {
+            id: 0xABCD_EF01_2345,
+            rn: 0xDEAD_BEEF,
+        };
+        let mut ops = TagOps::default();
+        for seed in [0u32, 1, 0xFFFF_FFFF, 0x1234_5678] {
+            assert_eq!(
+                counted_xor_bitget(tag, seed, 8192, &mut ops),
+                XorBitgetHasher.slot(tag, seed, 8192)
+            );
+            assert_eq!(
+                counted_mix_slot(tag, seed, 8192, &mut ops),
+                MixHasher.slot(tag, seed, 8192)
+            );
+            assert_eq!(counted_mix64(seed as u64, &mut ops), mix64(seed as u64));
+            assert_eq!(
+                counted_mix_pair(tag.id, seed as u64, &mut ops),
+                mix_pair(tag.id, seed as u64)
+            );
+        }
+        let mut a = XorShift32::new(7);
+        let mut b = XorShift32::new(7);
+        for _ in 0..16 {
+            assert_eq!(counted_xorshift_draw(&mut a, 10, &mut ops), b.next_bits(10));
+        }
+    }
+
+    #[test]
+    fn the_papers_hash_needs_no_multiplier() {
+        let bfce = bfce_frame_ops(3);
+        assert_eq!(bfce.mul, 0, "{bfce:?}");
+        // And the whole frame is a couple dozen gate-level ops.
+        assert!(bfce.total() < 40, "{bfce:?}");
+    }
+
+    #[test]
+    fn avalanche_hashing_needs_multipliers() {
+        let mix = bfce_mix_frame_ops(3);
+        assert!(mix.mul >= 3 * 5, "{mix:?}");
+        assert!(mix.total() > bfce_frame_ops(3).total() * 2);
+    }
+
+    #[test]
+    fn zoe_pays_per_slot_what_bfce_pays_per_frame() {
+        let zoe_per_slot = zoe_slot_ops();
+        let bfce_per_frame = bfce_frame_ops(3);
+        assert!(
+            zoe_per_slot.total() > bfce_per_frame.total() / 3,
+            "zoe {zoe_per_slot:?} vs bfce {bfce_per_frame:?}"
+        );
+        assert!(zoe_per_slot.mul > 0);
+    }
+
+    #[test]
+    fn tag_ops_arithmetic() {
+        let a = TagOps {
+            bitwise: 1,
+            shift: 2,
+            add: 3,
+            compare: 4,
+            mul: 5,
+        };
+        assert_eq!(a.total(), 15);
+        assert_eq!(a.plus(&a), a.times(2));
+        assert_eq!(a.times(0), TagOps::default());
+    }
+}

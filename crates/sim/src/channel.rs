@@ -1,0 +1,252 @@
+//! Physical-channel models.
+//!
+//! The paper assumes "the communication channel is perfect (without channel
+//! error)" (Section III-A); [`PerfectChannel`] implements exactly that.
+//! [`BitErrorChannel`] extends the study: each sensed slot is misread with
+//! a configurable probability, letting the ablation benches quantify how
+//! fragile each estimator's bias is to detection errors.
+
+use crate::aloha::AlohaOutcome;
+use rfid_hash::SplitMix64;
+
+/// How the reader perceives one slot given the number of tags that actually
+/// transmitted in it.
+pub trait Channel: Send + Sync {
+    /// Sense one 1-bit slot: `true` = busy (energy detected).
+    fn sense_bitslot(&self, responders: u32, noise: &mut SplitMix64) -> bool;
+
+    /// Sense one slotted-Aloha slot (empty / singleton / collision).
+    fn sense_aloha(&self, responders: u32, noise: &mut SplitMix64) -> AlohaOutcome;
+
+    /// Short name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// The paper's error-free channel.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PerfectChannel;
+
+impl Channel for PerfectChannel {
+    #[inline]
+    fn sense_bitslot(&self, responders: u32, _noise: &mut SplitMix64) -> bool {
+        responders > 0
+    }
+
+    #[inline]
+    fn sense_aloha(&self, responders: u32, _noise: &mut SplitMix64) -> AlohaOutcome {
+        AlohaOutcome::classify(responders)
+    }
+
+    fn name(&self) -> &'static str {
+        "perfect"
+    }
+}
+
+/// A symmetric bit-error channel: each sensed bit-slot is flipped
+/// (busy read as idle, idle read as busy) with probability `ber`.
+///
+/// For Aloha slots the same error rate causes a misclassification one step
+/// towards the observed energy: a collision may be read as a singleton, a
+/// singleton as empty or collision, an empty slot as a singleton.
+#[derive(Debug, Clone, Copy)]
+pub struct BitErrorChannel {
+    ber: f64,
+}
+
+impl BitErrorChannel {
+    /// New channel with slot mis-detection probability `ber` in `[0, 1)`.
+    pub fn new(ber: f64) -> Self {
+        assert!((0.0..1.0).contains(&ber), "BER must lie in [0, 1), got {ber}");
+        Self { ber }
+    }
+
+    /// The configured error rate.
+    pub fn ber(&self) -> f64 {
+        self.ber
+    }
+}
+
+impl Channel for BitErrorChannel {
+    #[inline]
+    fn sense_bitslot(&self, responders: u32, noise: &mut SplitMix64) -> bool {
+        let truth = responders > 0;
+        if noise.next_f64() < self.ber {
+            !truth
+        } else {
+            truth
+        }
+    }
+
+    fn sense_aloha(&self, responders: u32, noise: &mut SplitMix64) -> AlohaOutcome {
+        let truth = AlohaOutcome::classify(responders);
+        if noise.next_f64() >= self.ber {
+            return truth;
+        }
+        match truth {
+            AlohaOutcome::Empty => AlohaOutcome::Singleton,
+            AlohaOutcome::Collision => AlohaOutcome::Singleton,
+            AlohaOutcome::Singleton => {
+                if noise.next_f64() < 0.5 {
+                    AlohaOutcome::Empty
+                } else {
+                    AlohaOutcome::Collision
+                }
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "bit-error"
+    }
+}
+
+/// A channel with the *capture effect*: when several tags collide, the
+/// strongest signal is decoded as a singleton with probability
+/// `capture_prob` (per occupied slot). Bit-slot sensing is unaffected —
+/// busy is busy — but Aloha-based protocols (UPE's singleton counting,
+/// Q-inventory) see inflated singleton counts, a classic real-world bias
+/// the perfect-channel literature ignores.
+#[derive(Debug, Clone, Copy)]
+pub struct CaptureChannel {
+    capture_prob: f64,
+}
+
+impl CaptureChannel {
+    /// New capture channel; `capture_prob` in `[0, 1]` is the chance a
+    /// 2+ collision resolves to a decodable singleton.
+    pub fn new(capture_prob: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&capture_prob),
+            "capture probability must lie in [0, 1], got {capture_prob}"
+        );
+        Self { capture_prob }
+    }
+
+    /// The configured capture probability.
+    pub fn capture_prob(&self) -> f64 {
+        self.capture_prob
+    }
+}
+
+impl Channel for CaptureChannel {
+    #[inline]
+    fn sense_bitslot(&self, responders: u32, _noise: &mut SplitMix64) -> bool {
+        responders > 0
+    }
+
+    fn sense_aloha(&self, responders: u32, noise: &mut SplitMix64) -> AlohaOutcome {
+        match responders {
+            0 => AlohaOutcome::Empty,
+            1 => AlohaOutcome::Singleton,
+            _ => {
+                if noise.next_f64() < self.capture_prob {
+                    AlohaOutcome::Singleton
+                } else {
+                    AlohaOutcome::Collision
+                }
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "capture"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_channel_reports_truth() {
+        let mut noise = SplitMix64::new(1);
+        let ch = PerfectChannel;
+        assert!(!ch.sense_bitslot(0, &mut noise));
+        assert!(ch.sense_bitslot(1, &mut noise));
+        assert!(ch.sense_bitslot(100, &mut noise));
+        assert_eq!(ch.sense_aloha(0, &mut noise), AlohaOutcome::Empty);
+        assert_eq!(ch.sense_aloha(1, &mut noise), AlohaOutcome::Singleton);
+        assert_eq!(ch.sense_aloha(2, &mut noise), AlohaOutcome::Collision);
+    }
+
+    #[test]
+    fn zero_ber_equals_perfect() {
+        let mut noise = SplitMix64::new(2);
+        let ch = BitErrorChannel::new(0.0);
+        for responders in [0u32, 1, 5] {
+            assert_eq!(
+                ch.sense_bitslot(responders, &mut noise),
+                responders > 0
+            );
+        }
+    }
+
+    #[test]
+    fn ber_flips_at_the_configured_rate() {
+        let ch = BitErrorChannel::new(0.1);
+        let mut noise = SplitMix64::new(3);
+        let trials = 200_000;
+        let mut flipped = 0u32;
+        for _ in 0..trials {
+            if ch.sense_bitslot(0, &mut noise) {
+                flipped += 1;
+            }
+        }
+        let rate = flipped as f64 / trials as f64;
+        assert!((rate - 0.1).abs() < 0.005, "flip rate = {rate}");
+    }
+
+    #[test]
+    fn aloha_errors_move_one_step() {
+        let ch = BitErrorChannel::new(1.0 - 1e-9); // always err
+        let mut noise = SplitMix64::new(4);
+        for _ in 0..100 {
+            assert_eq!(ch.sense_aloha(0, &mut noise), AlohaOutcome::Singleton);
+            assert_eq!(ch.sense_aloha(5, &mut noise), AlohaOutcome::Singleton);
+            let got = ch.sense_aloha(1, &mut noise);
+            assert_ne!(got, AlohaOutcome::Singleton);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "BER must lie in [0, 1)")]
+    fn rejects_ber_of_one() {
+        BitErrorChannel::new(1.0);
+    }
+
+    #[test]
+    fn capture_leaves_bitslots_untouched() {
+        let ch = CaptureChannel::new(0.9);
+        let mut noise = SplitMix64::new(7);
+        assert!(!ch.sense_bitslot(0, &mut noise));
+        assert!(ch.sense_bitslot(2, &mut noise));
+    }
+
+    #[test]
+    fn capture_resolves_collisions_at_the_configured_rate() {
+        let ch = CaptureChannel::new(0.3);
+        let mut noise = SplitMix64::new(8);
+        let trials = 100_000;
+        let captured = (0..trials)
+            .filter(|_| ch.sense_aloha(3, &mut noise) == AlohaOutcome::Singleton)
+            .count();
+        let rate = captured as f64 / trials as f64;
+        assert!((rate - 0.3).abs() < 0.01, "capture rate = {rate}");
+        // True empties and singletons are never altered.
+        assert_eq!(ch.sense_aloha(0, &mut noise), AlohaOutcome::Empty);
+        assert_eq!(ch.sense_aloha(1, &mut noise), AlohaOutcome::Singleton);
+    }
+
+    #[test]
+    #[should_panic(expected = "capture probability")]
+    fn capture_rejects_out_of_range() {
+        CaptureChannel::new(1.5);
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(PerfectChannel.name(), "perfect");
+        assert_eq!(BitErrorChannel::new(0.01).name(), "bit-error");
+        assert_eq!(CaptureChannel::new(0.5).name(), "capture");
+    }
+}

@@ -1,0 +1,286 @@
+//! Frame execution: from per-tag response plans to the reader's observation.
+//!
+//! A *frame* is the unit of the Reader-Talks-First protocol: the reader
+//! broadcasts parameters, then senses `w` slots. Estimators describe tag
+//! behaviour as a [`ResponsePlan`] — a pure function from a tag to the slots
+//! it transmits in — and the executor aggregates true per-slot responder
+//! counts (in parallel for large populations) before the [`Channel`] turns
+//! them into the reader's (possibly noisy) observation.
+
+use crate::aloha::{AlohaFrame, AlohaOutcome};
+use crate::bitmap::Bitmap;
+use crate::channel::Channel;
+use crate::parallel::par_fold;
+use crate::tag::Tag;
+use rfid_hash::SplitMix64;
+
+/// Minimum tags per worker thread before the executor bothers to go
+/// parallel; below this the spawn overhead dominates.
+pub const MIN_TAGS_PER_THREAD: usize = 20_000;
+
+/// A pure description of which slots a tag transmits in during one frame.
+///
+/// Implementations must be deterministic (same tag → same slots) so that
+/// parallel and sequential execution observe identical frames.
+pub trait ResponsePlan: Sync {
+    /// Append every slot index (in `[0, w)`) this tag responds in.
+    fn responses(&self, tag: &Tag, out: &mut Vec<usize>);
+}
+
+impl<F> ResponsePlan for F
+where
+    F: Fn(&Tag, &mut Vec<usize>) + Sync,
+{
+    fn responses(&self, tag: &Tag, out: &mut Vec<usize>) {
+        self(tag, out)
+    }
+}
+
+/// True per-slot responder counts for a frame of `w` slots.
+///
+/// Deterministic regardless of thread count: each tag's contribution is a
+/// pure function of the tag, and counts merge by addition.
+pub fn response_counts<P: ResponsePlan>(tags: &[Tag], w: usize, plan: &P) -> Vec<u32> {
+    response_counts_with_min_chunk(tags, w, plan, MIN_TAGS_PER_THREAD)
+}
+
+/// [`response_counts`] with an explicit parallel-split threshold.
+///
+/// Pass `usize::MAX` to force single-threaded execution — used by the
+/// micro-benchmarks to quantify the fork/join speedup, and handy when the
+/// caller is already running inside its own thread pool.
+pub fn response_counts_with_min_chunk<P: ResponsePlan>(
+    tags: &[Tag],
+    w: usize,
+    plan: &P,
+    min_chunk: usize,
+) -> Vec<u32> {
+    assert!(w > 0, "frame must have at least one slot");
+    let (counts, _scratch) = par_fold(
+        tags,
+        min_chunk,
+        || (vec![0u32; w], Vec::with_capacity(8)),
+        |(counts, scratch), tag| {
+            scratch.clear();
+            plan.responses(tag, scratch);
+            for &slot in scratch.iter() {
+                assert!(slot < w, "plan produced slot {slot} >= w {w}");
+                counts[slot] += 1;
+            }
+        },
+        |(counts, _), (other, _)| {
+            for (a, b) in counts.iter_mut().zip(other) {
+                *a += b;
+            }
+        },
+    );
+    counts
+}
+
+/// The reader's observation of a bit-slot frame.
+///
+/// Follows the paper's B-vector convention: conceptually `B(i) = 1` for an
+/// **idle** slot and `0` for a busy slot (Theorem 1). We store the busy
+/// bitmap and expose both counts; `rho` — "the ratio of 1s in B" — is the
+/// *idle* fraction.
+#[derive(Debug, Clone)]
+pub struct BitFrame {
+    busy: Bitmap,
+}
+
+impl BitFrame {
+    /// Sense the first `observe` slots of a frame with true responder
+    /// counts `counts` through `channel`. The reader may terminate a frame
+    /// early (the BFCE rough phase observes 1024 of 8192 slots), in which
+    /// case only the observed prefix exists from its point of view.
+    pub fn sense(
+        counts: &[u32],
+        observe: usize,
+        channel: &dyn Channel,
+        noise: &mut SplitMix64,
+    ) -> Self {
+        assert!(
+            observe <= counts.len(),
+            "cannot observe {observe} slots of a {}-slot frame",
+            counts.len()
+        );
+        let mut busy = Bitmap::zeros(observe);
+        for (i, &responders) in counts[..observe].iter().enumerate() {
+            if channel.sense_bitslot(responders, noise) {
+                busy.set(i);
+            }
+        }
+        Self { busy }
+    }
+
+    /// Number of observed slots.
+    pub fn observed(&self) -> usize {
+        self.busy.len()
+    }
+
+    /// Busy (paper: `B(i) = 0`) slot count.
+    pub fn busy_count(&self) -> usize {
+        self.busy.count_ones()
+    }
+
+    /// Idle (paper: `B(i) = 1`) slot count.
+    pub fn idle_count(&self) -> usize {
+        self.observed() - self.busy_count()
+    }
+
+    /// The paper's `rho`: the ratio of 1s in B = fraction of idle slots.
+    pub fn rho(&self) -> f64 {
+        assert!(self.observed() > 0, "rho of an empty observation");
+        self.idle_count() as f64 / self.observed() as f64
+    }
+
+    /// Whether slot `i` was busy.
+    pub fn is_busy(&self, i: usize) -> bool {
+        self.busy.get(i)
+    }
+
+    /// The underlying busy bitmap.
+    pub fn busy_bitmap(&self) -> &Bitmap {
+        &self.busy
+    }
+}
+
+/// Sense a whole frame as slotted Aloha (for the UPE/EZB/FNEB generation).
+pub fn sense_aloha(
+    counts: &[u32],
+    channel: &dyn Channel,
+    noise: &mut SplitMix64,
+) -> AlohaFrame {
+    let outcomes: Vec<AlohaOutcome> = counts
+        .iter()
+        .map(|&responders| channel.sense_aloha(responders, noise))
+        .collect();
+    AlohaFrame::new(outcomes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channel::PerfectChannel;
+
+    fn tags(n: usize) -> Vec<Tag> {
+        (0..n as u64)
+            .map(|i| Tag {
+                id: i + 1,
+                rn: (i as u32).wrapping_mul(0x9E37_79B9),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn counts_accumulate_per_slot() {
+        let tags = tags(10);
+        // Every tag responds in slot (id % 4).
+        let plan = |tag: &Tag, out: &mut Vec<usize>| {
+            out.push((tag.id % 4) as usize);
+        };
+        let counts = response_counts(&tags, 4, &plan);
+        assert_eq!(counts.iter().sum::<u32>(), 10);
+        // IDs 1..=10: id%4 -> 1,2,3,0,1,2,3,0,1,2 => [2,3,3,2]
+        assert_eq!(counts, vec![2, 3, 3, 2]);
+    }
+
+    #[test]
+    fn multi_slot_plans_count_each_response() {
+        let tags = tags(5);
+        let plan = |_tag: &Tag, out: &mut Vec<usize>| {
+            out.push(0);
+            out.push(2);
+        };
+        let counts = response_counts(&tags, 3, &plan);
+        assert_eq!(counts, vec![5, 0, 5]);
+    }
+
+    #[test]
+    fn silent_tags_contribute_nothing() {
+        let tags = tags(7);
+        let plan = |_tag: &Tag, _out: &mut Vec<usize>| {};
+        let counts = response_counts(&tags, 16, &plan);
+        assert!(counts.iter().all(|&c| c == 0));
+    }
+
+    #[test]
+    fn parallel_and_sequential_agree() {
+        // Enough tags to trigger the parallel path.
+        let tags = tags(MIN_TAGS_PER_THREAD * 4);
+        let plan = |tag: &Tag, out: &mut Vec<usize>| {
+            out.push((tag.id % 1024) as usize);
+            if tag.id.is_multiple_of(3) {
+                out.push(((tag.id / 3) % 1024) as usize);
+            }
+        };
+        let par = response_counts(&tags, 1024, &plan);
+        // Sequential reference.
+        let mut seq = vec![0u32; 1024];
+        let mut scratch = Vec::new();
+        for tag in &tags {
+            scratch.clear();
+            plan(tag, &mut scratch);
+            for &s in &scratch {
+                seq[s] += 1;
+            }
+        }
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    #[should_panic(expected = "slot 5 >= w 4")]
+    fn out_of_range_slot_panics() {
+        let tags = tags(1);
+        let plan = |_tag: &Tag, out: &mut Vec<usize>| out.push(5);
+        response_counts(&tags, 4, &plan);
+    }
+
+    #[test]
+    fn bitframe_senses_prefix_only() {
+        let counts = vec![0u32, 1, 0, 2, 0, 3];
+        let mut noise = SplitMix64::new(1);
+        let frame = BitFrame::sense(&counts, 4, &PerfectChannel, &mut noise);
+        assert_eq!(frame.observed(), 4);
+        assert_eq!(frame.busy_count(), 2);
+        assert_eq!(frame.idle_count(), 2);
+        assert!((frame.rho() - 0.5).abs() < 1e-15);
+        assert!(!frame.is_busy(0));
+        assert!(frame.is_busy(1));
+        assert!(!frame.is_busy(2));
+        assert!(frame.is_busy(3));
+    }
+
+    #[test]
+    fn rho_is_idle_fraction_matching_paper_convention() {
+        // All slots busy -> rho = 0 (all B(i) = 0); all idle -> rho = 1.
+        let mut noise = SplitMix64::new(2);
+        let all_busy = BitFrame::sense(&[1, 1, 1], 3, &PerfectChannel, &mut noise);
+        assert_eq!(all_busy.rho(), 0.0);
+        let all_idle = BitFrame::sense(&[0, 0, 0], 3, &PerfectChannel, &mut noise);
+        assert_eq!(all_idle.rho(), 1.0);
+    }
+
+    #[test]
+    fn aloha_sensing_classifies() {
+        let mut noise = SplitMix64::new(3);
+        let frame = sense_aloha(&[0, 1, 2, 9], &PerfectChannel, &mut noise);
+        assert_eq!(frame.empties(), 1);
+        assert_eq!(frame.singletons(), 1);
+        assert_eq!(frame.collisions(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot observe")]
+    fn observing_beyond_frame_panics() {
+        let mut noise = SplitMix64::new(4);
+        BitFrame::sense(&[0, 0], 3, &PerfectChannel, &mut noise);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one slot")]
+    fn zero_width_frame_rejected() {
+        let plan = |_t: &Tag, _o: &mut Vec<usize>| {};
+        response_counts(&tags(1), 0, &plan);
+    }
+}

@@ -1,0 +1,310 @@
+//! Air-time accounting.
+//!
+//! The paper's thesis is that *total execution time* — dominated by
+//! reader-to-tag broadcasts and turnaround gaps, not tag-to-reader slots —
+//! is the metric that matters (Section I). [`AirTimeLedger`] therefore
+//! charges every protocol action to one of three buckets (reader
+//! transmission, tag transmission, turnaround gap) together with event
+//! counters, so Figure 10's execution-time comparison falls out of the
+//! simulation rather than a hand-derived formula.
+
+use crate::timing::Timing;
+use crate::trace::TraceEvent;
+
+/// Accumulated air time, split by contributor. All values in microseconds.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct AirTime {
+    /// Reader-to-tag transmission time (µs).
+    pub reader_us: f64,
+    /// Tag-to-reader transmission time (µs).
+    pub tag_us: f64,
+    /// Turnaround/waiting intervals (µs).
+    pub gap_us: f64,
+    /// Number of reader messages broadcast.
+    pub reader_messages: u64,
+    /// Total reader bits broadcast.
+    pub reader_bits: u64,
+    /// Total 1-bit tag slots sensed.
+    pub bitslots: u64,
+    /// Total slotted-Aloha slots sensed.
+    pub aloha_slots: u64,
+    /// Number of turnaround gaps.
+    pub gaps: u64,
+    /// Total individual tag transmissions (energy proxy: each response
+    /// costs a tag one radio activation — the metric the MLE line of work
+    /// optimizes for active tags).
+    pub tag_responses: u64,
+}
+
+impl AirTime {
+    /// Total elapsed air time in microseconds.
+    pub fn total_us(&self) -> f64 {
+        self.reader_us + self.tag_us + self.gap_us
+    }
+
+    /// Total elapsed air time in seconds.
+    pub fn total_seconds(&self) -> f64 {
+        self.total_us() / 1e6
+    }
+
+    /// Component-wise difference `self - earlier`; used to attribute air
+    /// time to a protocol phase between two snapshots.
+    pub fn since(&self, earlier: &AirTime) -> AirTime {
+        AirTime {
+            reader_us: self.reader_us - earlier.reader_us,
+            tag_us: self.tag_us - earlier.tag_us,
+            gap_us: self.gap_us - earlier.gap_us,
+            reader_messages: self.reader_messages - earlier.reader_messages,
+            reader_bits: self.reader_bits - earlier.reader_bits,
+            bitslots: self.bitslots - earlier.bitslots,
+            aloha_slots: self.aloha_slots - earlier.aloha_slots,
+            gaps: self.gaps - earlier.gaps,
+            tag_responses: self.tag_responses - earlier.tag_responses,
+        }
+    }
+}
+
+/// Mutable air-time accumulator owned by an [`crate::RfidSystem`].
+#[derive(Debug, Clone, Default)]
+pub struct AirTimeLedger {
+    timing: Timing,
+    total: AirTime,
+    trace: Option<Vec<TraceEvent>>,
+}
+
+impl AirTimeLedger {
+    /// A fresh ledger under the given timing model.
+    pub fn new(timing: Timing) -> Self {
+        Self {
+            timing,
+            total: AirTime::default(),
+            trace: None,
+        }
+    }
+
+    /// The timing model in force.
+    pub fn timing(&self) -> &Timing {
+        &self.timing
+    }
+
+    /// Charge a reader broadcast of `bits` bits followed by one turnaround
+    /// (the paper's "1510 µs per 32-bit seed" convention).
+    pub fn reader_broadcast(&mut self, bits: u64) {
+        let duration = self.timing.reader_bits_us(bits);
+        self.record(|start_us| TraceEvent::ReaderMessage {
+            bits,
+            start_us,
+            duration_us: duration,
+        });
+        self.total.reader_us += duration;
+        self.total.reader_bits += bits;
+        self.total.reader_messages += 1;
+        self.turnaround();
+    }
+
+    /// Charge one turnaround/waiting interval.
+    pub fn turnaround(&mut self) {
+        let duration = self.timing.turnaround_us;
+        self.record(|start_us| TraceEvent::Turnaround {
+            start_us,
+            duration_us: duration,
+        });
+        self.total.gap_us += duration;
+        self.total.gaps += 1;
+    }
+
+    /// Charge a contiguous train of `slots` 1-bit tag slots (no per-slot
+    /// gap; the preceding broadcast already paid the turnaround).
+    pub fn tag_bitslots(&mut self, slots: u64) {
+        let duration = self.timing.bitslots_us(slots);
+        self.record(|start_us| TraceEvent::BitslotTrain {
+            slots,
+            start_us,
+            duration_us: duration,
+        });
+        self.total.tag_us += duration;
+        self.total.bitslots += slots;
+    }
+
+    /// Charge `slots` slotted-Aloha reply slots.
+    pub fn aloha_slots(&mut self, slots: u64) {
+        let duration = self.timing.aloha_slots_us(slots);
+        self.record(|start_us| TraceEvent::AlohaTrain {
+            slots,
+            start_us,
+            duration_us: duration,
+        });
+        self.total.tag_us += duration;
+        self.total.aloha_slots += slots;
+    }
+
+    /// Record `count` individual tag transmissions (energy accounting;
+    /// does not add air time — the slots already cover that).
+    pub fn tag_responses(&mut self, count: u64) {
+        self.total.tag_responses += count;
+    }
+
+    /// Start recording a [`TraceEvent`] timeline (clears any prior one).
+    pub fn enable_trace(&mut self) {
+        self.trace = Some(Vec::new());
+    }
+
+    /// The recorded timeline, if tracing is enabled.
+    pub fn trace(&self) -> Option<&[TraceEvent]> {
+        self.trace.as_deref()
+    }
+
+    /// Append an event stamped at the current total time, if tracing.
+    fn record(&mut self, make: impl FnOnce(f64) -> TraceEvent) {
+        if let Some(events) = self.trace.as_mut() {
+            let start = self.total.total_us();
+            events.push(make(start));
+        }
+    }
+
+    /// Current totals (copy), usable as a phase snapshot.
+    pub fn snapshot(&self) -> AirTime {
+        self.total
+    }
+
+    /// Reset all counters to zero, keeping the timing model. A recorded
+    /// trace is cleared too (its timestamps would no longer line up).
+    pub fn reset(&mut self) {
+        self.total = AirTime::default();
+        if let Some(events) = self.trace.as_mut() {
+            events.clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn broadcast_charges_bits_and_gap() {
+        let mut ledger = AirTimeLedger::new(Timing::c1g2());
+        ledger.reader_broadcast(32);
+        let t = ledger.snapshot();
+        assert!((t.reader_us - 1208.32).abs() < 1e-9);
+        assert_eq!(t.gap_us, 302.0);
+        assert_eq!(t.reader_messages, 1);
+        assert_eq!(t.reader_bits, 32);
+        assert_eq!(t.gaps, 1);
+        assert!((t.total_us() - 1510.32).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bitslot_train_has_no_per_slot_gap() {
+        let mut ledger = AirTimeLedger::new(Timing::c1g2());
+        ledger.tag_bitslots(8192);
+        let t = ledger.snapshot();
+        assert_eq!(t.gap_us, 0.0);
+        assert!((t.tag_us - 8192.0 * 18.88).abs() < 1e-6);
+        assert_eq!(t.bitslots, 8192);
+    }
+
+    #[test]
+    fn bfce_closed_form_total_matches_ledger() {
+        // Paper Section IV-E1: t = (6 l_R + 2 l_p) t_r2t + 3 t_int
+        //                        + 9216 t_t2r  (seeds/p preloaded widths 32).
+        let mut ledger = AirTimeLedger::new(Timing::c1g2());
+        // Phase 1: broadcast 3 seeds + p as one message (128 bits) + gap,
+        // then 1024 slots.
+        ledger.reader_broadcast(4 * 32);
+        ledger.tag_bitslots(1024);
+        // Phase 2: leading turnaround, broadcast, gap, 8192 slots.
+        ledger.turnaround();
+        ledger.reader_broadcast(4 * 32);
+        ledger.tag_bitslots(8192);
+        let t = ledger.snapshot();
+        let expect = (6.0 * 32.0 + 2.0 * 32.0) * 37.76 + 3.0 * 302.0 + 9216.0 * 18.88;
+        assert!(
+            (t.total_us() - expect).abs() < 1e-6,
+            "ledger {} vs paper {expect}",
+            t.total_us()
+        );
+        // And the paper's headline: under 0.19 s.
+        assert!(t.total_seconds() < 0.19, "total = {}s", t.total_seconds());
+    }
+
+    #[test]
+    fn since_attributes_phases() {
+        let mut ledger = AirTimeLedger::new(Timing::c1g2());
+        ledger.reader_broadcast(32);
+        let after_phase1 = ledger.snapshot();
+        ledger.tag_bitslots(100);
+        let phase2 = ledger.snapshot().since(&after_phase1);
+        assert_eq!(phase2.reader_bits, 0);
+        assert_eq!(phase2.bitslots, 100);
+        assert!((phase2.total_us() - 1888.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn aloha_slots_charge_slot_bits() {
+        let mut ledger = AirTimeLedger::new(Timing::c1g2());
+        ledger.aloha_slots(10);
+        let t = ledger.snapshot();
+        assert_eq!(t.aloha_slots, 10);
+        assert!((t.tag_us - 10.0 * 16.0 * 18.88).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tag_responses_accumulate_without_adding_time() {
+        let mut ledger = AirTimeLedger::new(Timing::c1g2());
+        ledger.tag_responses(100);
+        ledger.tag_responses(23);
+        let t = ledger.snapshot();
+        assert_eq!(t.tag_responses, 123);
+        assert_eq!(t.total_us(), 0.0);
+    }
+
+    #[test]
+    fn since_includes_tag_responses() {
+        let mut ledger = AirTimeLedger::new(Timing::c1g2());
+        ledger.tag_responses(10);
+        let snap = ledger.snapshot();
+        ledger.tag_responses(7);
+        assert_eq!(ledger.snapshot().since(&snap).tag_responses, 7);
+    }
+
+    #[test]
+    fn trace_records_the_exact_schedule() {
+        let mut ledger = AirTimeLedger::new(Timing::c1g2());
+        ledger.enable_trace();
+        ledger.reader_broadcast(32);
+        ledger.tag_bitslots(100);
+        let events = ledger.trace().unwrap();
+        assert_eq!(events.len(), 3); // message, its gap, the train
+        assert_eq!(events[0].start_us(), 0.0);
+        assert!((events[1].start_us() - 1208.32).abs() < 1e-9);
+        assert!((events[2].start_us() - 1510.32).abs() < 1e-9);
+        let total: f64 = events.iter().map(|e| e.duration_us()).sum();
+        assert!((total - ledger.snapshot().total_us()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tracing_off_records_nothing() {
+        let mut ledger = AirTimeLedger::new(Timing::c1g2());
+        ledger.reader_broadcast(32);
+        assert!(ledger.trace().is_none());
+    }
+
+    #[test]
+    fn reset_clears_the_trace() {
+        let mut ledger = AirTimeLedger::new(Timing::c1g2());
+        ledger.enable_trace();
+        ledger.turnaround();
+        ledger.reset();
+        assert_eq!(ledger.trace().unwrap().len(), 0);
+    }
+
+    #[test]
+    fn reset_clears_totals_but_keeps_timing() {
+        let mut ledger = AirTimeLedger::new(Timing::c1g2());
+        ledger.reader_broadcast(64);
+        ledger.reset();
+        assert_eq!(ledger.snapshot(), AirTime::default());
+        assert_eq!(ledger.timing().reader_bit_us, 37.76);
+    }
+}

@@ -1,0 +1,166 @@
+//! Multi-reader deployments.
+//!
+//! The paper (Section III-A) assumes "all the readers are connected to the
+//! back-end server via Ethernet. The back-end server can coordinate and
+//! synchronize all the readers, so if multiple readers are deployed, these
+//! readers can be logically considered as one reader" — citing ZOE for the
+//! same treatment. [`MultiReaderDeployment`] makes that reduction explicit:
+//! physical readers have (possibly overlapping) coverage sets, and the
+//! synchronized deployment exposes the de-duplicated union as the
+//! population of one logical reader.
+//!
+//! (This is precisely what the unrealistic assumption criticized in the
+//! related work — "any tag covered by multiple readers only replies to one
+//! among them" — gets wrong: with synchronized readers a shared tag replies
+//! to the *same* broadcast everywhere, so the union, not a partition, is
+//! the right population.)
+
+use crate::system::RfidSystem;
+use crate::tag::{Tag, TagPopulation};
+use std::collections::HashMap;
+
+/// A set of physical readers, each with its own coverage.
+#[derive(Debug, Clone, Default)]
+pub struct MultiReaderDeployment {
+    coverages: Vec<Vec<Tag>>,
+}
+
+impl MultiReaderDeployment {
+    /// An empty deployment.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a physical reader covering `tags` (may overlap other readers).
+    pub fn add_reader(&mut self, tags: Vec<Tag>) -> &mut Self {
+        self.coverages.push(tags);
+        self
+    }
+
+    /// Number of physical readers.
+    pub fn reader_count(&self) -> usize {
+        self.coverages.len()
+    }
+
+    /// Coverage of one physical reader.
+    pub fn coverage(&self, reader: usize) -> &[Tag] {
+        &self.coverages[reader]
+    }
+
+    /// Total coverage entries, counting overlaps multiply.
+    pub fn coverage_entries(&self) -> usize {
+        self.coverages.iter().map(Vec::len).sum()
+    }
+
+    /// The logical single-reader population: the de-duplicated union of all
+    /// coverages. Panics if two readers report the same tag ID with
+    /// different `RN`s (which would indicate corrupted deployment data).
+    pub fn logical_population(&self) -> TagPopulation {
+        let mut by_id: HashMap<u64, Tag> = HashMap::new();
+        for coverage in &self.coverages {
+            for &tag in coverage {
+                if let Some(existing) = by_id.insert(tag.id, tag) {
+                    assert_eq!(
+                        existing.rn, tag.rn,
+                        "tag {} reported with inconsistent RN",
+                        tag.id
+                    );
+                }
+            }
+        }
+        let mut tags: Vec<Tag> = by_id.into_values().collect();
+        // Deterministic order regardless of hash-map iteration.
+        tags.sort_unstable_by_key(|t| t.id);
+        TagPopulation::new(tags)
+    }
+
+    /// Build the logical [`RfidSystem`] the estimation protocols run on.
+    pub fn logical_system(&self) -> RfidSystem {
+        RfidSystem::new(self.logical_population())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tag(id: u64) -> Tag {
+        Tag {
+            id,
+            rn: (id as u32).wrapping_mul(0x9E37_79B9),
+        }
+    }
+
+    #[test]
+    fn union_deduplicates_overlap() {
+        let mut dep = MultiReaderDeployment::new();
+        dep.add_reader((1..=100).map(tag).collect());
+        dep.add_reader((51..=150).map(tag).collect());
+        dep.add_reader((140..=200).map(tag).collect());
+        assert_eq!(dep.reader_count(), 3);
+        assert_eq!(dep.coverage_entries(), 100 + 100 + 61);
+        let logical = dep.logical_population();
+        assert_eq!(logical.cardinality(), 200);
+    }
+
+    #[test]
+    fn disjoint_readers_sum() {
+        let mut dep = MultiReaderDeployment::new();
+        dep.add_reader((1..=10).map(tag).collect());
+        dep.add_reader((11..=30).map(tag).collect());
+        assert_eq!(dep.logical_population().cardinality(), 30);
+    }
+
+    #[test]
+    fn logical_population_is_deterministic() {
+        let mut dep = MultiReaderDeployment::new();
+        dep.add_reader((1..=50).map(tag).collect());
+        dep.add_reader((25..=75).map(tag).collect());
+        let a: Vec<u64> = dep
+            .logical_population()
+            .tags()
+            .iter()
+            .map(|t| t.id)
+            .collect();
+        let b: Vec<u64> = dep
+            .logical_population()
+            .tags()
+            .iter()
+            .map(|t| t.id)
+            .collect();
+        assert_eq!(a, b);
+        assert!(a.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn logical_system_has_union_cardinality() {
+        let mut dep = MultiReaderDeployment::new();
+        dep.add_reader((1..=40).map(tag).collect());
+        dep.add_reader((30..=60).map(tag).collect());
+        assert_eq!(dep.logical_system().true_cardinality(), 60);
+    }
+
+    #[test]
+    fn empty_deployment_yields_empty_population() {
+        let dep = MultiReaderDeployment::new();
+        assert_eq!(dep.reader_count(), 0);
+        assert_eq!(dep.logical_population().cardinality(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "inconsistent RN")]
+    fn inconsistent_rn_detected() {
+        let mut dep = MultiReaderDeployment::new();
+        dep.add_reader(vec![Tag { id: 7, rn: 1 }]);
+        dep.add_reader(vec![Tag { id: 7, rn: 2 }]);
+        dep.logical_population();
+    }
+
+    #[test]
+    fn coverage_accessor() {
+        let mut dep = MultiReaderDeployment::new();
+        dep.add_reader(vec![tag(1), tag(2)]);
+        assert_eq!(dep.coverage(0).len(), 2);
+        assert_eq!(dep.coverage(0)[1].id, 2);
+    }
+}

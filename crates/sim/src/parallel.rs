@@ -1,0 +1,164 @@
+//! Chunked fold/merge parallelism over tag populations.
+//!
+//! Populations in the paper's evaluation reach 10^6 tags; a frame fill is a
+//! pure map-reduce over tags (each tag independently decides which slots it
+//! responds in, and responses combine by addition). [`par_fold`] implements
+//! that shape with `std::thread::scope`: each worker folds a contiguous
+//! chunk into its own accumulator — no sharing, no locks — and the
+//! accumulators merge at the end. This is the data-race-free
+//! fork/join idiom the workspace's HPC guidance prescribes.
+
+/// Number of worker threads to use for `len` items given a minimum
+/// productive chunk size. At least 1; at most `available_parallelism`.
+pub fn thread_count(len: usize, min_chunk: usize) -> usize {
+    let hw = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    if min_chunk == 0 {
+        return hw;
+    }
+    hw.min(len / min_chunk).max(1)
+}
+
+/// Parallel fold: split `items` into contiguous chunks, fold each chunk into
+/// a fresh accumulator on its own thread, then merge the per-thread
+/// accumulators left-to-right (so the merged result is deterministic for
+/// commutative-associative merges, which all our uses are).
+///
+/// Falls back to a purely sequential fold when one thread suffices — the
+/// result is bitwise identical either way provided `fold` itself is
+/// deterministic per item.
+pub fn par_fold<T, A>(
+    items: &[T],
+    min_chunk: usize,
+    make: impl Fn() -> A + Sync,
+    fold: impl Fn(&mut A, &T) + Sync,
+    mut merge: impl FnMut(&mut A, A),
+) -> A
+where
+    T: Sync,
+    A: Send,
+{
+    let threads = thread_count(items.len(), min_chunk);
+    if threads <= 1 {
+        let mut acc = make();
+        for item in items {
+            fold(&mut acc, item);
+        }
+        return acc;
+    }
+    let chunk_len = items.len().div_ceil(threads);
+    let make_ref = &make;
+    let fold_ref = &fold;
+    let partials: Vec<A> = std::thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .chunks(chunk_len)
+            .map(|chunk| {
+                scope.spawn(move || {
+                    let mut acc = make_ref();
+                    for item in chunk {
+                        fold_ref(&mut acc, item);
+                    }
+                    acc
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("frame-fill worker panicked"))
+            .collect()
+    });
+    let mut iter = partials.into_iter();
+    let mut acc = iter.next().expect("at least one chunk");
+    for partial in iter {
+        merge(&mut acc, partial);
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thread_count_bounds() {
+        assert_eq!(thread_count(0, 100), 1);
+        assert_eq!(thread_count(50, 100), 1);
+        assert!(thread_count(1_000_000, 1) >= 1);
+        let hw = std::thread::available_parallelism().unwrap().get();
+        assert!(thread_count(usize::MAX, 1) <= hw);
+        assert_eq!(thread_count(10, 0), hw);
+    }
+
+    #[test]
+    fn parallel_sum_matches_sequential() {
+        let items: Vec<u64> = (0..100_000).collect();
+        let expected: u64 = items.iter().sum();
+        // Force parallel by tiny min_chunk.
+        let got = par_fold(
+            &items,
+            1,
+            || 0u64,
+            |acc, &x| *acc += x,
+            |acc, other| *acc += other,
+        );
+        assert_eq!(got, expected);
+        // Force sequential by huge min_chunk.
+        let got_seq = par_fold(
+            &items,
+            usize::MAX,
+            || 0u64,
+            |acc, &x| *acc += x,
+            |acc, other| *acc += other,
+        );
+        assert_eq!(got_seq, expected);
+    }
+
+    #[test]
+    fn histogram_merge_is_deterministic() {
+        let items: Vec<usize> = (0..50_000).map(|i| i % 97).collect();
+        let run = |min_chunk| {
+            par_fold(
+                &items,
+                min_chunk,
+                || vec![0u32; 97],
+                |acc, &slot| acc[slot] += 1,
+                |acc, other| {
+                    for (a, b) in acc.iter_mut().zip(other) {
+                        *a += b;
+                    }
+                },
+            )
+        };
+        let parallel = run(1);
+        let sequential = run(usize::MAX);
+        assert_eq!(parallel, sequential);
+        assert_eq!(parallel.iter().map(|&c| c as usize).sum::<usize>(), 50_000);
+    }
+
+    #[test]
+    fn empty_input_yields_fresh_accumulator() {
+        let items: Vec<u32> = vec![];
+        let got = par_fold(
+            &items,
+            1,
+            || 42u32,
+            |_, _| unreachable!(),
+            |_, _| unreachable!(),
+        );
+        assert_eq!(got, 42);
+    }
+
+    #[test]
+    fn single_item() {
+        let items = [7u32];
+        let got = par_fold(
+            &items,
+            1,
+            || 0u32,
+            |acc, &x| *acc += x,
+            |acc, other| *acc += other,
+        );
+        assert_eq!(got, 7);
+    }
+}

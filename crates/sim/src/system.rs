@@ -1,0 +1,352 @@
+//! The [`RfidSystem`] façade: one logical reader, a tag population, a
+//! channel, and the air-time ledger.
+//!
+//! Estimators interact with the system exclusively through this type, so
+//! every reader broadcast, turnaround, and sensed slot is charged to the
+//! ledger — the execution-time comparison of Figure 10 is produced by the
+//! same code path as the estimates themselves.
+
+use crate::aloha::AlohaFrame;
+use crate::channel::{Channel, PerfectChannel};
+use crate::frame::{response_counts, sense_aloha, BitFrame, ResponsePlan};
+use crate::ledger::{AirTime, AirTimeLedger};
+use crate::tag::TagPopulation;
+use crate::timing::Timing;
+use rfid_hash::SplitMix64;
+
+/// One logical reader plus the tag population in its range.
+pub struct RfidSystem {
+    population: TagPopulation,
+    channel: Box<dyn Channel>,
+    ledger: AirTimeLedger,
+    noise: SplitMix64,
+}
+
+impl RfidSystem {
+    /// A system with the paper's defaults: perfect channel, C1G2 timing.
+    pub fn new(population: TagPopulation) -> Self {
+        Self::with_channel(population, Box::new(PerfectChannel))
+    }
+
+    /// A system with a custom channel model.
+    pub fn with_channel(population: TagPopulation, channel: Box<dyn Channel>) -> Self {
+        Self {
+            population,
+            channel,
+            ledger: AirTimeLedger::new(Timing::c1g2()),
+            noise: SplitMix64::new(0xC0FF_EE00_D15E_A5E5),
+        }
+    }
+
+    /// Replace the timing model (resets the ledger).
+    pub fn set_timing(&mut self, timing: Timing) {
+        self.ledger = AirTimeLedger::new(timing);
+    }
+
+    /// Re-seed the channel-noise stream (only matters for noisy channels).
+    pub fn set_noise_seed(&mut self, seed: u64) {
+        self.noise = SplitMix64::new(seed);
+    }
+
+    /// Ground-truth cardinality (used by the evaluation harness only; no
+    /// estimator reads this).
+    pub fn true_cardinality(&self) -> usize {
+        self.population.cardinality()
+    }
+
+    /// The tag population.
+    pub fn population(&self) -> &TagPopulation {
+        &self.population
+    }
+
+    /// Name of the channel model in force.
+    pub fn channel_name(&self) -> &'static str {
+        self.channel.name()
+    }
+
+    /// Cumulative air time so far.
+    pub fn air_time(&self) -> AirTime {
+        self.ledger.snapshot()
+    }
+
+    /// The timing model in force.
+    pub fn timing(&self) -> Timing {
+        *self.ledger.timing()
+    }
+
+    /// Zero the ledger (e.g. between independent estimation runs on the
+    /// same population).
+    pub fn reset_ledger(&mut self) {
+        self.ledger.reset();
+    }
+
+    /// Start recording an event-level protocol trace (see
+    /// [`crate::trace`]).
+    pub fn enable_trace(&mut self) {
+        self.ledger.enable_trace();
+    }
+
+    /// The recorded protocol trace, if tracing is enabled.
+    pub fn protocol_trace(&self) -> Option<&[crate::trace::TraceEvent]> {
+        self.ledger.trace()
+    }
+
+    /// Reader action: broadcast a `bits`-bit command/parameter message.
+    /// Charges the transmission plus the trailing turnaround.
+    pub fn broadcast(&mut self, bits: u64) {
+        self.ledger.reader_broadcast(bits);
+    }
+
+    /// Reader action: an extra waiting interval (e.g. between phases).
+    pub fn turnaround(&mut self) {
+        self.ledger.turnaround();
+    }
+
+    /// Run a bit-slot frame of `w` slots but terminate after sensing the
+    /// first `observe` slots (the BFCE rough phase observes 1024 of 8192).
+    /// Charges `observe` bit-slots.
+    pub fn run_bitslot_frame_prefix<P: ResponsePlan>(
+        &mut self,
+        w: usize,
+        observe: usize,
+        plan: &P,
+    ) -> BitFrame {
+        assert!(observe >= 1 && observe <= w, "observe must lie in [1, w]");
+        let counts = response_counts(self.population.tags(), w, plan);
+        self.ledger.tag_bitslots(observe as u64);
+        // Energy: the reader terminates the frame after `observe` slots,
+        // so only tags scheduled in the observed prefix ever transmit.
+        let responses: u64 = counts[..observe].iter().map(|&c| c as u64).sum();
+        self.ledger.tag_responses(responses);
+        BitFrame::sense(&counts, observe, self.channel.as_ref(), &mut self.noise)
+    }
+
+    /// Run and fully observe a bit-slot frame of `w` slots.
+    pub fn run_bitslot_frame<P: ResponsePlan>(&mut self, w: usize, plan: &P) -> BitFrame {
+        self.run_bitslot_frame_prefix(w, w, plan)
+    }
+
+    /// Run a slotted-Aloha frame of `f` slots (empty/singleton/collision
+    /// observations). Charges `f` Aloha slots.
+    pub fn run_aloha_frame<P: ResponsePlan>(&mut self, f: usize, plan: &P) -> AlohaFrame {
+        assert!(f >= 1, "frame must have at least one slot");
+        let counts = response_counts(self.population.tags(), f, plan);
+        self.ledger.aloha_slots(f as u64);
+        self.ledger
+            .tag_responses(counts.iter().map(|&c| c as u64).sum());
+        sense_aloha(&counts, self.channel.as_ref(), &mut self.noise)
+    }
+
+    /// Run a bit-slot frame **without** charging the ledger.
+    ///
+    /// For protocols whose air-time structure differs from the contiguous
+    /// train convention — e.g. ZOE interleaves a 32-bit seed broadcast with
+    /// every single-slot frame — the caller simulates a *batch* of logical
+    /// frames in one observation pass and then charges the real schedule
+    /// explicitly via [`charge_broadcasts`](Self::charge_broadcasts),
+    /// [`charge_bitslots`](Self::charge_bitslots) and
+    /// [`charge_turnarounds`](Self::charge_turnarounds).
+    pub fn run_uncharged_bitslot_frame<P: ResponsePlan>(
+        &mut self,
+        w: usize,
+        plan: &P,
+    ) -> BitFrame {
+        let counts = response_counts(self.population.tags(), w, plan);
+        // "Uncharged" refers to air *time* only; the tags really do
+        // transmit, so the energy counter is always kept accurate.
+        self.ledger
+            .tag_responses(counts.iter().map(|&c| c as u64).sum());
+        BitFrame::sense(&counts, w, self.channel.as_ref(), &mut self.noise)
+    }
+
+    /// Explicitly charge `count` reader broadcasts of `bits` bits each
+    /// (each with its trailing turnaround).
+    pub fn charge_broadcasts(&mut self, bits: u64, count: u64) {
+        for _ in 0..count {
+            self.ledger.reader_broadcast(bits);
+        }
+    }
+
+    /// Explicitly charge `slots` 1-bit tag slots.
+    pub fn charge_bitslots(&mut self, slots: u64) {
+        self.ledger.tag_bitslots(slots);
+    }
+
+    /// Explicitly charge `count` turnaround intervals.
+    pub fn charge_turnarounds(&mut self, count: u64) {
+        for _ in 0..count {
+            self.ledger.turnaround();
+        }
+    }
+
+    /// Record `count` individual tag transmissions (for protocols that
+    /// compute their observation without materializing per-slot counts,
+    /// e.g. FNEB's first-responder scan).
+    pub fn charge_tag_responses(&mut self, count: u64) {
+        self.ledger.tag_responses(count);
+    }
+
+    /// Sense pre-computed per-slot responder counts through this system's
+    /// channel (uncharged).
+    ///
+    /// For protocols whose observation can be computed without
+    /// materializing the whole frame (e.g. FNEB only needs the position of
+    /// the first responder), the estimator computes the true counts of the
+    /// slots the reader actually watches and senses just those.
+    pub fn sense_counts(&mut self, counts: &[u32]) -> BitFrame {
+        BitFrame::sense(
+            counts,
+            counts.len(),
+            self.channel.as_ref(),
+            &mut self.noise,
+        )
+    }
+}
+
+impl std::fmt::Debug for RfidSystem {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RfidSystem")
+            .field("cardinality", &self.population.cardinality())
+            .field("channel", &self.channel.name())
+            .field("air_time_us", &self.ledger.snapshot().total_us())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channel::BitErrorChannel;
+    use crate::tag::Tag;
+
+    fn small_system(n: usize) -> RfidSystem {
+        let tags = (0..n as u64)
+            .map(|i| Tag {
+                id: i + 1,
+                rn: (i as u32).wrapping_mul(0x9E37_79B9),
+            })
+            .collect();
+        RfidSystem::new(TagPopulation::new(tags))
+    }
+
+    #[test]
+    fn ledger_accumulates_across_actions() {
+        let mut sys = small_system(100);
+        sys.broadcast(32);
+        let plan = |tag: &Tag, out: &mut Vec<usize>| out.push((tag.id % 64) as usize);
+        let frame = sys.run_bitslot_frame(64, &plan);
+        assert_eq!(frame.observed(), 64);
+        let air = sys.air_time();
+        assert_eq!(air.reader_bits, 32);
+        assert_eq!(air.bitslots, 64);
+        assert_eq!(air.gaps, 1);
+        assert!(air.total_us() > 0.0);
+    }
+
+    #[test]
+    fn prefix_frames_charge_only_observed_slots() {
+        let mut sys = small_system(10);
+        let plan = |_t: &Tag, out: &mut Vec<usize>| out.push(0);
+        let frame = sys.run_bitslot_frame_prefix(8192, 1024, &plan);
+        assert_eq!(frame.observed(), 1024);
+        assert_eq!(sys.air_time().bitslots, 1024);
+    }
+
+    #[test]
+    fn perfect_channel_frames_reflect_truth() {
+        let mut sys = small_system(64);
+        // Every tag responds in its own slot: all 64 slots busy.
+        let plan = |tag: &Tag, out: &mut Vec<usize>| out.push((tag.id - 1) as usize);
+        let frame = sys.run_bitslot_frame(128, &plan);
+        assert_eq!(frame.busy_count(), 64);
+        assert_eq!(frame.idle_count(), 64);
+        assert!((frame.rho() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn aloha_frames_classify_occupancy() {
+        let mut sys = small_system(3);
+        // Tags 1 and 2 collide in slot 0, tag 3 alone in slot 1.
+        let plan = |tag: &Tag, out: &mut Vec<usize>| {
+            out.push(if tag.id <= 2 { 0 } else { 1 });
+        };
+        let frame = sys.run_aloha_frame(4, &plan);
+        assert_eq!(frame.collisions(), 1);
+        assert_eq!(frame.singletons(), 1);
+        assert_eq!(frame.empties(), 2);
+        assert_eq!(sys.air_time().aloha_slots, 4);
+    }
+
+    #[test]
+    fn tag_responses_track_actual_transmissions() {
+        let mut sys = small_system(10);
+        // Every tag answers twice: slots (id-1) and (id-1+16).
+        let plan = |tag: &Tag, out: &mut Vec<usize>| {
+            out.push((tag.id - 1) as usize);
+            out.push((tag.id - 1) as usize + 16);
+        };
+        sys.run_bitslot_frame(32, &plan);
+        assert_eq!(sys.air_time().tag_responses, 20);
+    }
+
+    #[test]
+    fn prefix_frames_only_charge_observed_transmissions() {
+        let mut sys = small_system(10);
+        // Tags 1..=5 respond in the observed prefix, the rest later.
+        let plan = |tag: &Tag, out: &mut Vec<usize>| {
+            out.push(if tag.id <= 5 { 0 } else { 20 });
+        };
+        sys.run_bitslot_frame_prefix(32, 8, &plan);
+        assert_eq!(sys.air_time().tag_responses, 5);
+    }
+
+    #[test]
+    fn reset_ledger_clears_air_time() {
+        let mut sys = small_system(5);
+        sys.broadcast(128);
+        sys.reset_ledger();
+        assert_eq!(sys.air_time().total_us(), 0.0);
+    }
+
+    #[test]
+    fn noisy_channel_is_reproducible_per_seed() {
+        let tags: Vec<Tag> = (0..500u64)
+            .map(|i| Tag { id: i + 1, rn: i as u32 })
+            .collect();
+        let run = |seed: u64| {
+            let mut sys = RfidSystem::with_channel(
+                TagPopulation::new(tags.clone()),
+                Box::new(BitErrorChannel::new(0.05)),
+            );
+            sys.set_noise_seed(seed);
+            let plan =
+                |tag: &Tag, out: &mut Vec<usize>| out.push((tag.id % 256) as usize);
+            let frame = sys.run_bitslot_frame(256, &plan);
+            frame.busy_count()
+        };
+        assert_eq!(run(9), run(9));
+        // Different noise seeds should (overwhelmingly) differ.
+        assert_ne!(run(9), run(10));
+    }
+
+    #[test]
+    fn true_cardinality_reports_population() {
+        assert_eq!(small_system(42).true_cardinality(), 42);
+    }
+
+    #[test]
+    #[should_panic(expected = "observe must lie in [1, w]")]
+    fn zero_observation_rejected() {
+        let mut sys = small_system(1);
+        let plan = |_t: &Tag, _o: &mut Vec<usize>| {};
+        sys.run_bitslot_frame_prefix(8, 0, &plan);
+    }
+
+    #[test]
+    fn debug_format_mentions_cardinality() {
+        let sys = small_system(3);
+        let s = format!("{sys:?}");
+        assert!(s.contains("cardinality"));
+        assert!(s.contains('3'));
+    }
+}

@@ -1,0 +1,141 @@
+//! Tags and tag populations.
+//!
+//! A [`Tag`] is the paper's minimal model: a unique identifier plus the
+//! pre-stored 32-bit random number `RN` of Section IV-E2. A
+//! [`TagPopulation`] is the set of tags inside the (logical) reader's
+//! communication range — the quantity every estimator in this workspace is
+//! trying to count.
+
+use rfid_hash::tag_hash::TagIdentity;
+
+/// One passive RFID tag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Tag {
+    /// Unique tag identifier. The paper draws IDs from `[1, 10^15]`.
+    pub id: u64,
+    /// Pre-stored 32-bit random number (deployed before the system runs).
+    pub rn: u32,
+}
+
+impl Tag {
+    /// The identity material the hash layer consumes.
+    #[inline]
+    pub fn identity(&self) -> TagIdentity {
+        TagIdentity {
+            id: self.id,
+            rn: self.rn,
+        }
+    }
+}
+
+impl From<Tag> for TagIdentity {
+    fn from(t: Tag) -> Self {
+        t.identity()
+    }
+}
+
+/// The set of tags in range of the logical reader.
+///
+/// Invariant: tag IDs are unique (enforced at construction).
+#[derive(Debug, Clone, Default)]
+pub struct TagPopulation {
+    tags: Vec<Tag>,
+}
+
+impl TagPopulation {
+    /// Build a population, checking ID uniqueness.
+    ///
+    /// Panics if two tags share an ID — duplicated IDs would silently bias
+    /// every estimator (two physical responders behaving identically).
+    pub fn new(tags: Vec<Tag>) -> Self {
+        let mut ids: Vec<u64> = tags.iter().map(|t| t.id).collect();
+        ids.sort_unstable();
+        let unique = ids.windows(2).all(|w| w[0] != w[1]);
+        assert!(unique, "tag IDs must be unique");
+        Self { tags }
+    }
+
+    /// Number of tags — the ground-truth cardinality `n`.
+    pub fn cardinality(&self) -> usize {
+        self.tags.len()
+    }
+
+    /// True when no tags are in range.
+    pub fn is_empty(&self) -> bool {
+        self.tags.is_empty()
+    }
+
+    /// The tags themselves.
+    pub fn tags(&self) -> &[Tag] {
+        &self.tags
+    }
+
+    /// A sub-population (e.g. one physical reader's coverage in the
+    /// multi-reader model). Clones the selected tags.
+    pub fn subset(&self, range: std::ops::Range<usize>) -> TagPopulation {
+        TagPopulation {
+            tags: self.tags[range].to_vec(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_round_trip() {
+        let t = Tag { id: 99, rn: 0xABCD };
+        let ident = t.identity();
+        assert_eq!(ident.id, 99);
+        assert_eq!(ident.rn, 0xABCD);
+        let via_from: TagIdentity = t.into();
+        assert_eq!(via_from, ident);
+    }
+
+    #[test]
+    fn population_basics() {
+        let pop = TagPopulation::new(vec![
+            Tag { id: 1, rn: 10 },
+            Tag { id: 2, rn: 20 },
+            Tag { id: 3, rn: 30 },
+        ]);
+        assert_eq!(pop.cardinality(), 3);
+        assert!(!pop.is_empty());
+        assert_eq!(pop.tags()[1].id, 2);
+    }
+
+    #[test]
+    fn empty_population() {
+        let pop = TagPopulation::new(vec![]);
+        assert!(pop.is_empty());
+        assert_eq!(pop.cardinality(), 0);
+    }
+
+    #[test]
+    fn subset_selects_range() {
+        let pop = TagPopulation::new(
+            (0..10).map(|i| Tag { id: i, rn: i as u32 }).collect(),
+        );
+        let sub = pop.subset(3..7);
+        assert_eq!(sub.cardinality(), 4);
+        assert_eq!(sub.tags()[0].id, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "tag IDs must be unique")]
+    fn duplicate_ids_rejected() {
+        TagPopulation::new(vec![Tag { id: 5, rn: 1 }, Tag { id: 5, rn: 2 }]);
+    }
+
+    #[test]
+    fn duplicate_rns_are_allowed() {
+        // RN collisions are possible in a real deployment (32-bit space) and
+        // must not be rejected.
+        let pop = TagPopulation::new(vec![
+            Tag { id: 1, rn: 7 },
+            Tag { id: 2, rn: 7 },
+        ]);
+        assert_eq!(pop.cardinality(), 2);
+    }
+}

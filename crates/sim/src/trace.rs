@@ -1,0 +1,185 @@
+//! Protocol traces: an event-level timeline of everything on the air.
+//!
+//! When tracing is enabled on a system, every ledger charge also records a
+//! [`TraceEvent`] with its start time and duration, producing the exact
+//! schedule a protocol executed — the thing Section IV-E1's closed forms
+//! summarize. Useful for debugging new estimators ("where did those extra
+//! 302 µs go?") and for teaching: `render` prints the timeline,
+//! `aggregate` totals it by event kind.
+
+/// One transmission or silence interval on the air interface.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TraceEvent {
+    /// Reader-to-tags message.
+    ReaderMessage {
+        /// Payload bits.
+        bits: u64,
+        /// Start time since trace begin (µs).
+        start_us: f64,
+        /// Duration (µs).
+        duration_us: f64,
+    },
+    /// Waiting interval between transmissions.
+    Turnaround {
+        /// Start time since trace begin (µs).
+        start_us: f64,
+        /// Duration (µs).
+        duration_us: f64,
+    },
+    /// Contiguous train of 1-bit tag slots.
+    BitslotTrain {
+        /// Number of slots.
+        slots: u64,
+        /// Start time since trace begin (µs).
+        start_us: f64,
+        /// Duration (µs).
+        duration_us: f64,
+    },
+    /// Train of slotted-Aloha reply slots.
+    AlohaTrain {
+        /// Number of slots.
+        slots: u64,
+        /// Start time since trace begin (µs).
+        start_us: f64,
+        /// Duration (µs).
+        duration_us: f64,
+    },
+}
+
+impl TraceEvent {
+    /// Event start (µs since trace begin).
+    pub fn start_us(&self) -> f64 {
+        match *self {
+            TraceEvent::ReaderMessage { start_us, .. }
+            | TraceEvent::Turnaround { start_us, .. }
+            | TraceEvent::BitslotTrain { start_us, .. }
+            | TraceEvent::AlohaTrain { start_us, .. } => start_us,
+        }
+    }
+
+    /// Event duration (µs).
+    pub fn duration_us(&self) -> f64 {
+        match *self {
+            TraceEvent::ReaderMessage { duration_us, .. }
+            | TraceEvent::Turnaround { duration_us, .. }
+            | TraceEvent::BitslotTrain { duration_us, .. }
+            | TraceEvent::AlohaTrain { duration_us, .. } => duration_us,
+        }
+    }
+
+    /// Short kind label for aggregation.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TraceEvent::ReaderMessage { .. } => "reader",
+            TraceEvent::Turnaround { .. } => "turnaround",
+            TraceEvent::BitslotTrain { .. } => "bit-slots",
+            TraceEvent::AlohaTrain { .. } => "aloha-slots",
+        }
+    }
+}
+
+/// Aggregate totals per event kind: `(kind, count, total_us)`, in first-
+/// appearance order.
+pub fn aggregate(events: &[TraceEvent]) -> Vec<(&'static str, u64, f64)> {
+    let mut out: Vec<(&'static str, u64, f64)> = Vec::new();
+    for e in events {
+        let kind = e.kind();
+        match out.iter_mut().find(|(k, _, _)| *k == kind) {
+            Some(entry) => {
+                entry.1 += 1;
+                entry.2 += e.duration_us();
+            }
+            None => out.push((kind, 1, e.duration_us())),
+        }
+    }
+    out
+}
+
+/// Render the timeline as one aligned line per event.
+pub fn render(events: &[TraceEvent]) -> String {
+    let mut out = String::new();
+    for e in events {
+        let detail = match *e {
+            TraceEvent::ReaderMessage { bits, .. } => format!("{bits} bits"),
+            TraceEvent::Turnaround { .. } => String::new(),
+            TraceEvent::BitslotTrain { slots, .. }
+            | TraceEvent::AlohaTrain { slots, .. } => format!("{slots} slots"),
+        };
+        out.push_str(&format!(
+            "{:>12.2}us  {:>10.2}us  {:<11} {detail}\n",
+            e.start_us(),
+            e.duration_us(),
+            e.kind(),
+        ));
+    }
+    let total: f64 = events.iter().map(|e| e.duration_us()).sum();
+    out.push_str(&format!("total: {total:.2}us over {} events\n", events.len()));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<TraceEvent> {
+        vec![
+            TraceEvent::ReaderMessage {
+                bits: 128,
+                start_us: 0.0,
+                duration_us: 4833.28,
+            },
+            TraceEvent::Turnaround {
+                start_us: 4833.28,
+                duration_us: 302.0,
+            },
+            TraceEvent::BitslotTrain {
+                slots: 1024,
+                start_us: 5135.28,
+                duration_us: 19333.12,
+            },
+            TraceEvent::Turnaround {
+                start_us: 24468.4,
+                duration_us: 302.0,
+            },
+        ]
+    }
+
+    #[test]
+    fn accessors_cover_all_variants() {
+        let events = sample();
+        assert_eq!(events[0].kind(), "reader");
+        assert_eq!(events[1].kind(), "turnaround");
+        assert_eq!(events[2].kind(), "bit-slots");
+        assert_eq!(events[0].start_us(), 0.0);
+        assert_eq!(events[2].duration_us(), 19333.12);
+        let aloha = TraceEvent::AlohaTrain {
+            slots: 5,
+            start_us: 1.0,
+            duration_us: 2.0,
+        };
+        assert_eq!(aloha.kind(), "aloha-slots");
+    }
+
+    #[test]
+    fn aggregate_totals_by_kind() {
+        let agg = aggregate(&sample());
+        assert_eq!(agg.len(), 3);
+        let gaps = agg.iter().find(|(k, _, _)| *k == "turnaround").unwrap();
+        assert_eq!(gaps.1, 2);
+        assert!((gaps.2 - 604.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn render_lists_every_event_and_the_total() {
+        let s = render(&sample());
+        assert_eq!(s.lines().count(), 5);
+        assert!(s.contains("128 bits"));
+        assert!(s.contains("1024 slots"));
+        assert!(s.contains("total:"));
+    }
+
+    #[test]
+    fn aggregate_of_empty_is_empty() {
+        assert!(aggregate(&[]).is_empty());
+    }
+}

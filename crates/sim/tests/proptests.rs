@@ -1,0 +1,137 @@
+//! Property-based tests for the simulator: the bitmap against a naive
+//! model, ledger arithmetic, frame aggregation, and parallel/sequential
+//! equivalence.
+
+use proptest::prelude::*;
+use rfid_hash::SplitMix64;
+use rfid_sim::frame::response_counts;
+use rfid_sim::parallel::par_fold;
+use rfid_sim::{AirTimeLedger, BitFrame, Bitmap, PerfectChannel, Tag, Timing};
+
+proptest! {
+    #[test]
+    fn bitmap_matches_vec_bool_model(
+        len in 1usize..500,
+        ops in prop::collection::vec((0usize..500, 0u8..3), 0..200),
+        prefix_frac in 0.0f64..1.0,
+    ) {
+        let mut bitmap = Bitmap::zeros(len);
+        let mut model = vec![false; len];
+        for (raw_idx, kind) in ops {
+            let i = raw_idx % len;
+            match kind {
+                0 => { bitmap.set(i); model[i] = true; }
+                1 => { bitmap.clear(i); model[i] = false; }
+                _ => { bitmap.toggle(i); model[i] = !model[i]; }
+            }
+        }
+        prop_assert_eq!(bitmap.len(), model.len());
+        prop_assert_eq!(bitmap.count_ones(), model.iter().filter(|&&b| b).count());
+        for (i, &bit) in model.iter().enumerate() {
+            prop_assert_eq!(bitmap.get(i), bit);
+        }
+        let prefix = ((len as f64) * prefix_frac) as usize;
+        prop_assert_eq!(
+            bitmap.count_ones_prefix(prefix),
+            model[..prefix].iter().filter(|&&b| b).count()
+        );
+        let ones: Vec<usize> = bitmap.iter_ones().collect();
+        let model_ones: Vec<usize> =
+            model.iter().enumerate().filter(|(_, &b)| b).map(|(i, _)| i).collect();
+        prop_assert_eq!(ones, model_ones);
+    }
+
+    #[test]
+    fn bitmap_or_is_union(
+        len in 1usize..300,
+        a_bits in prop::collection::vec(0usize..300, 0..50),
+        b_bits in prop::collection::vec(0usize..300, 0..50),
+    ) {
+        let mut a = Bitmap::zeros(len);
+        let mut b = Bitmap::zeros(len);
+        for &i in &a_bits { a.set(i % len); }
+        for &i in &b_bits { b.set(i % len); }
+        let mut merged = a.clone();
+        merged.or_assign(&b);
+        for i in 0..len {
+            prop_assert_eq!(merged.get(i), a.get(i) || b.get(i));
+        }
+    }
+
+    #[test]
+    fn ledger_since_is_exact_difference(
+        first in prop::collection::vec((1u64..200, 0u64..500), 0..10),
+        second in prop::collection::vec((1u64..200, 0u64..500), 0..10),
+    ) {
+        let mut ledger = AirTimeLedger::new(Timing::c1g2());
+        for &(bits, slots) in &first {
+            ledger.reader_broadcast(bits);
+            ledger.tag_bitslots(slots);
+        }
+        let snapshot = ledger.snapshot();
+        for &(bits, slots) in &second {
+            ledger.reader_broadcast(bits);
+            ledger.tag_bitslots(slots);
+        }
+        let diff = ledger.snapshot().since(&snapshot);
+        let want_bits: u64 = second.iter().map(|&(b, _)| b).sum();
+        let want_slots: u64 = second.iter().map(|&(_, s)| s).sum();
+        prop_assert_eq!(diff.reader_bits, want_bits);
+        prop_assert_eq!(diff.bitslots, want_slots);
+        prop_assert_eq!(diff.reader_messages, second.len() as u64);
+        prop_assert!((diff.total_us()
+            - (ledger.snapshot().total_us() - snapshot.total_us())).abs() < 1e-9);
+    }
+
+    #[test]
+    fn response_counts_conserve_responses(
+        n_tags in 1usize..500,
+        w in 1usize..256,
+        k in 1usize..4,
+    ) {
+        let tags: Vec<Tag> = (0..n_tags as u64)
+            .map(|i| Tag { id: i + 1, rn: i as u32 })
+            .collect();
+        let plan = move |tag: &Tag, out: &mut Vec<usize>| {
+            for j in 0..k {
+                out.push(((tag.id as usize) * 31 + j * 7) % w);
+            }
+        };
+        let counts = response_counts(&tags, w, &plan);
+        prop_assert_eq!(counts.len(), w);
+        let total: u64 = counts.iter().map(|&c| c as u64).sum();
+        prop_assert_eq!(total, (n_tags * k) as u64);
+    }
+
+    #[test]
+    fn par_fold_equals_sequential_for_histograms(
+        values in prop::collection::vec(0usize..64, 0..2000),
+        min_chunk in prop::sample::select(vec![1usize, 10, 100, usize::MAX]),
+    ) {
+        let run = |chunk: usize| {
+            par_fold(
+                &values,
+                chunk,
+                || vec![0u32; 64],
+                |acc, &v| acc[v] += 1,
+                |acc, other| {
+                    for (a, b) in acc.iter_mut().zip(other) { *a += b; }
+                },
+            )
+        };
+        prop_assert_eq!(run(min_chunk), run(usize::MAX));
+    }
+
+    #[test]
+    fn perfect_sensing_reflects_counts(
+        counts in prop::collection::vec(0u32..5, 1..300),
+    ) {
+        let mut noise = SplitMix64::new(7);
+        let frame = BitFrame::sense(&counts, counts.len(), &PerfectChannel, &mut noise);
+        let busy_true = counts.iter().filter(|&&c| c > 0).count();
+        prop_assert_eq!(frame.busy_count(), busy_true);
+        prop_assert_eq!(frame.idle_count() + frame.busy_count(), counts.len());
+        let rho = frame.rho();
+        prop_assert!((0.0..=1.0).contains(&rho));
+    }
+}

@@ -1,0 +1,183 @@
+//! Binomial probabilities and the SRC majority-vote round count.
+//!
+//! Section V-C of the BFCE paper sizes the SRC baseline as: "we repeat the
+//! second phase of SRC for `m` rounds, where `m` is the smallest integer that
+//! satisfies `sum_{i=(m+1)/2}^{m} C(m, i) 0.8^i 0.2^(m-i) >= 1 - delta`" —
+//! i.e. each round is an `(epsilon, 0.2)` estimate and a majority vote of `m`
+//! independent rounds boosts the confidence to `1 - delta`. [`majority_rounds`]
+//! computes that `m`; the tail sum itself is [`binomial_tail_ge`].
+
+/// Natural log of the binomial coefficient `C(n, k)`, computed by summing
+/// logs (exact enough for the small `n` used in round-count selection, and
+/// overflow-free for large `n`).
+pub fn ln_choose(n: u64, k: u64) -> f64 {
+    if k > n {
+        return f64::NEG_INFINITY;
+    }
+    let k = k.min(n - k);
+    let mut acc = 0.0f64;
+    for i in 0..k {
+        acc += ((n - i) as f64).ln() - ((i + 1) as f64).ln();
+    }
+    acc
+}
+
+/// Probability mass function of `Binomial(n, p)` at `k`.
+///
+/// ```
+/// use rfid_stats::binomial_pmf;
+/// // Pr{X = 2 | X ~ Bin(3, 0.8)} = 3 * 0.64 * 0.2 = 0.384
+/// assert!((binomial_pmf(3, 2, 0.8) - 0.384).abs() < 1e-12);
+/// ```
+pub fn binomial_pmf(n: u64, k: u64, p: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&p), "p must lie in [0, 1], got {p}");
+    if k > n {
+        return 0.0;
+    }
+    if p == 0.0 {
+        return if k == 0 { 1.0 } else { 0.0 };
+    }
+    if p == 1.0 {
+        return if k == n { 1.0 } else { 0.0 };
+    }
+    let ln = ln_choose(n, k) + k as f64 * p.ln() + (n - k) as f64 * (1.0 - p).ln();
+    ln.exp()
+}
+
+/// Upper tail `Pr{X >= k}` for `X ~ Binomial(n, p)`.
+///
+/// ```
+/// use rfid_stats::binomial_tail_ge;
+/// // Majority of 3 rounds each succeeding with 0.8: 0.896.
+/// assert!((binomial_tail_ge(3, 2, 0.8) - 0.896).abs() < 1e-12);
+/// ```
+pub fn binomial_tail_ge(n: u64, k: u64, p: f64) -> f64 {
+    (k..=n).map(|i| binomial_pmf(n, i, p)).sum()
+}
+
+/// The smallest **odd** `m` such that a majority vote of `m` rounds, each
+/// independently correct with probability `per_round`, is correct with
+/// probability at least `1 - delta`. This is exactly the SRC round count from
+/// Section V-C of the BFCE paper (with `per_round = 0.8`).
+///
+/// Panics if `per_round <= 0.5` (a majority vote of coin flips never
+/// converges) or if the parameters are outside `(0, 1)`.
+///
+/// ```
+/// use rfid_stats::majority_rounds;
+/// assert_eq!(majority_rounds(0.05, 0.8), 7);
+/// assert_eq!(majority_rounds(0.10, 0.8), 5);
+/// assert_eq!(majority_rounds(0.20, 0.8), 1);
+/// ```
+pub fn majority_rounds(delta: f64, per_round: f64) -> u64 {
+    assert!(
+        delta > 0.0 && delta < 1.0,
+        "delta must lie in (0, 1), got {delta}"
+    );
+    assert!(
+        per_round > 0.5 && per_round < 1.0,
+        "per-round success must lie in (0.5, 1), got {per_round}"
+    );
+    let mut m = 1u64;
+    loop {
+        let majority = m.div_ceil(2);
+        if binomial_tail_ge(m, majority, per_round) >= 1.0 - delta {
+            return m;
+        }
+        m += 2;
+        assert!(m < 10_001, "majority_rounds failed to converge");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ln_choose_small_values() {
+        assert_eq!(ln_choose(5, 0), 0.0);
+        assert_eq!(ln_choose(5, 5), 0.0);
+        assert!((ln_choose(5, 2).exp() - 10.0).abs() < 1e-9);
+        assert!((ln_choose(7, 4).exp() - 35.0).abs() < 1e-9);
+        assert_eq!(ln_choose(3, 4), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn ln_choose_is_symmetric() {
+        for n in 0..30u64 {
+            for k in 0..=n {
+                let a = ln_choose(n, k);
+                let b = ln_choose(n, n - k);
+                assert!((a - b).abs() < 1e-9, "C({n},{k}) asymmetric");
+            }
+        }
+    }
+
+    #[test]
+    fn ln_choose_large_does_not_overflow() {
+        // C(1000, 500) ~ 2.7e299; its log ~ 689.47.
+        let v = ln_choose(1000, 500);
+        assert!((v - 689.467).abs() < 0.01, "got {v}");
+    }
+
+    #[test]
+    fn pmf_sums_to_one() {
+        for (n, p) in [(1u64, 0.3), (10, 0.5), (25, 0.8), (60, 0.01)] {
+            let total: f64 = (0..=n).map(|k| binomial_pmf(n, k, p)).sum();
+            assert!((total - 1.0).abs() < 1e-10, "n={n} p={p} total={total}");
+        }
+    }
+
+    #[test]
+    fn pmf_degenerate_p() {
+        assert_eq!(binomial_pmf(10, 0, 0.0), 1.0);
+        assert_eq!(binomial_pmf(10, 3, 0.0), 0.0);
+        assert_eq!(binomial_pmf(10, 10, 1.0), 1.0);
+        assert_eq!(binomial_pmf(10, 9, 1.0), 0.0);
+        assert_eq!(binomial_pmf(10, 11, 0.5), 0.0);
+    }
+
+    #[test]
+    fn tail_matches_hand_computation() {
+        // Bin(5, 0.8): P(X >= 3) = 0.2048 + 0.4096 + 0.32768 = 0.94208.
+        assert!((binomial_tail_ge(5, 3, 0.8) - 0.942_08).abs() < 1e-10);
+        // Bin(7, 0.8): P(X >= 4) = 0.114688 + 0.2752512 + 0.3670016
+        // + 0.2097152 = 0.966656.
+        let t7 = binomial_tail_ge(7, 4, 0.8);
+        assert!((t7 - 0.966_656).abs() < 1e-9, "t7 = {t7}");
+    }
+
+    #[test]
+    fn tail_edges() {
+        assert!((binomial_tail_ge(5, 0, 0.3) - 1.0).abs() < 1e-12);
+        assert_eq!(binomial_tail_ge(5, 6, 0.3), 0.0);
+    }
+
+    #[test]
+    fn src_round_counts_from_the_paper() {
+        // The BFCE paper's SRC setup: per-round confidence 0.8.
+        assert_eq!(majority_rounds(0.05, 0.8), 7);
+        assert_eq!(majority_rounds(0.10, 0.8), 5);
+        assert_eq!(majority_rounds(0.15, 0.8), 3);
+        assert_eq!(majority_rounds(0.20, 0.8), 1);
+        assert_eq!(majority_rounds(0.25, 0.8), 1);
+        assert_eq!(majority_rounds(0.30, 0.8), 1);
+    }
+
+    #[test]
+    fn majority_rounds_monotone_in_delta() {
+        let mut prev = u64::MAX;
+        for i in 1..=30 {
+            let delta = i as f64 / 100.0;
+            let m = majority_rounds(delta, 0.8);
+            assert!(m <= prev, "rounds increased as delta loosened");
+            prev = m;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "per-round success")]
+    fn majority_rounds_rejects_coin_flips() {
+        majority_rounds(0.05, 0.5);
+    }
+}

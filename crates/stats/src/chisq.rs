@@ -1,0 +1,109 @@
+//! Pearson chi-square uniformity testing.
+//!
+//! BFCE's Theorem 1 assumes the tag-side hash functions "follow uniform
+//! distribution in the range [1, w]". The hash crate's test-suite uses
+//! [`uniformity_test`] to check that assumption empirically for both the
+//! paper's lightweight XOR-bitget hash and the full avalanche hash.
+
+use crate::normal::normal_quantile;
+
+/// Pearson chi-square statistic for observed bin counts against a uniform
+/// expectation. Panics if fewer than 2 bins or if the total count is zero.
+pub fn chi_square_statistic(observed: &[u64]) -> f64 {
+    assert!(observed.len() >= 2, "need at least 2 bins");
+    let total: u64 = observed.iter().sum();
+    assert!(total > 0, "need at least one observation");
+    let expected = total as f64 / observed.len() as f64;
+    observed
+        .iter()
+        .map(|&o| {
+            let diff = o as f64 - expected;
+            diff * diff / expected
+        })
+        .sum()
+}
+
+/// Approximate upper critical value of the chi-square distribution with `df`
+/// degrees of freedom at upper-tail probability `alpha`, via the
+/// Wilson–Hilferty cube transformation. Accurate to a fraction of a percent
+/// for `df >= 10`, which is all the uniformity tests need.
+pub fn chi_square_critical(df: u64, alpha: f64) -> f64 {
+    assert!(df > 0, "degrees of freedom must be positive");
+    assert!(alpha > 0.0 && alpha < 1.0, "alpha must lie in (0,1)");
+    let z = normal_quantile(1.0 - alpha);
+    let d = df as f64;
+    let t = 1.0 - 2.0 / (9.0 * d) + z * (2.0 / (9.0 * d)).sqrt();
+    d * t * t * t
+}
+
+/// Returns `true` if the observed bin counts are consistent with a uniform
+/// distribution at significance `alpha` (i.e. the chi-square statistic does
+/// not exceed the critical value).
+pub fn uniformity_test(observed: &[u64], alpha: f64) -> bool {
+    let stat = chi_square_statistic(observed);
+    let crit = chi_square_critical((observed.len() - 1) as u64, alpha);
+    stat <= crit
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn statistic_zero_for_perfectly_uniform_counts() {
+        let obs = [100u64; 8];
+        assert_eq!(chi_square_statistic(&obs), 0.0);
+    }
+
+    #[test]
+    fn statistic_hand_computed() {
+        // bins (8, 12), expected 10 each: (4 + 4) / 10 = 0.8
+        assert!((chi_square_statistic(&[8, 12]) - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn critical_values_match_tables() {
+        // chi2_{0.95, 10} = 18.307, chi2_{0.95, 100} = 124.342 (tables).
+        let c10 = chi_square_critical(10, 0.05);
+        assert!((c10 - 18.307).abs() < 0.15, "c10 = {c10}");
+        let c100 = chi_square_critical(100, 0.05);
+        assert!((c100 - 124.342).abs() < 0.3, "c100 = {c100}");
+        // chi2_{0.99, 50} = 76.154.
+        let c50 = chi_square_critical(50, 0.01);
+        assert!((c50 - 76.154).abs() < 0.3, "c50 = {c50}");
+    }
+
+    #[test]
+    fn uniform_counts_pass_and_skewed_counts_fail() {
+        let uniform = [1000u64; 16];
+        assert!(uniformity_test(&uniform, 0.01));
+
+        let mut skewed = [1000u64; 16];
+        skewed[0] = 2000;
+        skewed[1] = 0;
+        assert!(!uniformity_test(&skewed, 0.01));
+    }
+
+    #[test]
+    fn mildly_noisy_uniform_counts_pass() {
+        // Counts within ~2 sigma of a uniform multinomial (n = 16000, 16 bins
+        // -> expected 1000, sigma ~ 30.6).
+        let obs = [
+            1012u64, 987, 1043, 970, 1001, 996, 1024, 959, 1005, 1018, 977,
+            1002, 990, 1030, 981, 1005,
+        ];
+        assert!(uniformity_test(&obs, 0.001));
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least 2 bins")]
+    fn rejects_single_bin() {
+        chi_square_statistic(&[5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one observation")]
+    fn rejects_all_zero() {
+        chi_square_statistic(&[0, 0]);
+    }
+}

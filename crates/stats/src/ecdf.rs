@@ -1,0 +1,132 @@
+//! Empirical cumulative distribution function.
+//!
+//! Figure 8 of the BFCE paper plots the cumulative distribution of 100
+//! independent estimation rounds under each tag-ID workload; [`Ecdf`] is the
+//! data structure the harness uses to produce those curves.
+
+/// An empirical CDF over a fixed sample.
+///
+/// Construction sorts the sample once; evaluation is a binary search.
+#[derive(Debug, Clone)]
+pub struct Ecdf {
+    sorted: Vec<f64>,
+}
+
+impl Ecdf {
+    /// Build an ECDF from a sample. Panics on NaN input or an empty sample.
+    pub fn new(mut sample: Vec<f64>) -> Self {
+        assert!(!sample.is_empty(), "ECDF needs at least one observation");
+        assert!(
+            sample.iter().all(|x| !x.is_nan()),
+            "ECDF input must not contain NaN"
+        );
+        sample.sort_by(|a, b| a.partial_cmp(b).expect("NaN filtered above"));
+        Self { sorted: sample }
+    }
+
+    /// Number of observations.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Whether the sample is empty (never true for a constructed ECDF).
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// `F(x)` = fraction of observations `<= x`.
+    pub fn eval(&self, x: f64) -> f64 {
+        // partition_point gives the count of elements <= x.
+        let count = self.sorted.partition_point(|&v| v <= x);
+        count as f64 / self.sorted.len() as f64
+    }
+
+    /// Empirical quantile: smallest observation `v` with `F(v) >= q`,
+    /// `q` in `(0, 1]`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!(q > 0.0 && q <= 1.0, "q must lie in (0, 1], got {q}");
+        let idx = ((q * self.sorted.len() as f64).ceil() as usize).max(1) - 1;
+        self.sorted[idx.min(self.sorted.len() - 1)]
+    }
+
+    /// The sorted sample, for plotting `(value, F(value))` step curves.
+    pub fn sorted_values(&self) -> &[f64] {
+        &self.sorted
+    }
+
+    /// Iterator of `(value, F(value))` pairs — one point per observation,
+    /// ready to be written out as a step plot.
+    pub fn steps(&self) -> impl Iterator<Item = (f64, f64)> + '_ {
+        let n = self.sorted.len() as f64;
+        self.sorted
+            .iter()
+            .enumerate()
+            .map(move |(i, &v)| (v, (i + 1) as f64 / n))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_step_behaviour() {
+        let e = Ecdf::new(vec![3.0, 1.0, 2.0, 2.0]);
+        assert_eq!(e.eval(0.5), 0.0);
+        assert_eq!(e.eval(1.0), 0.25);
+        assert_eq!(e.eval(1.5), 0.25);
+        assert_eq!(e.eval(2.0), 0.75);
+        assert_eq!(e.eval(3.0), 1.0);
+        assert_eq!(e.eval(100.0), 1.0);
+    }
+
+    #[test]
+    fn quantiles() {
+        let e = Ecdf::new((1..=10).map(|i| i as f64).collect());
+        assert_eq!(e.quantile(0.1), 1.0);
+        assert_eq!(e.quantile(0.5), 5.0);
+        assert_eq!(e.quantile(1.0), 10.0);
+        assert_eq!(e.quantile(0.95), 10.0);
+        assert_eq!(e.quantile(0.05), 1.0);
+    }
+
+    #[test]
+    fn steps_cover_unit_interval() {
+        let e = Ecdf::new(vec![5.0, 7.0, 6.0]);
+        let pts: Vec<(f64, f64)> = e.steps().collect();
+        assert_eq!(pts.len(), 3);
+        assert_eq!(pts[0], (5.0, 1.0 / 3.0));
+        assert_eq!(pts[2], (7.0, 1.0));
+        // Monotone in both coordinates.
+        for w in pts.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+            assert!(w[0].1 < w[1].1);
+        }
+    }
+
+    #[test]
+    fn len_and_sorted_access() {
+        let e = Ecdf::new(vec![2.0, 1.0]);
+        assert_eq!(e.len(), 2);
+        assert!(!e.is_empty());
+        assert_eq!(e.sorted_values(), &[1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one observation")]
+    fn empty_sample_rejected() {
+        Ecdf::new(vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must not contain NaN")]
+    fn nan_rejected() {
+        Ecdf::new(vec![1.0, f64::NAN]);
+    }
+
+    #[test]
+    #[should_panic(expected = "q must lie in (0, 1]")]
+    fn quantile_rejects_zero() {
+        Ecdf::new(vec![1.0]).quantile(0.0);
+    }
+}

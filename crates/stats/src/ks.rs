@@ -1,0 +1,131 @@
+//! Two-sample Kolmogorov–Smirnov testing.
+//!
+//! Figure 8 of the BFCE paper overlays the estimate CDFs of the three
+//! tag-ID distributions and reads off that they coincide — i.e. the ID
+//! distribution does not influence the estimator. The harness sharpens
+//! that eyeball argument into a two-sample KS test: the maximum CDF gap
+//! between two round samples, compared against the large-sample critical
+//! value `c(alpha) * sqrt((n+m)/(n*m))`.
+
+/// The two-sample KS statistic: `sup_x |F1(x) - F2(x)|`.
+///
+/// Panics on empty or NaN-bearing samples.
+pub fn ks_statistic(a: &[f64], b: &[f64]) -> f64 {
+    assert!(!a.is_empty() && !b.is_empty(), "KS needs non-empty samples");
+    let prepare = |xs: &[f64]| -> Vec<f64> {
+        let mut v = xs.to_vec();
+        assert!(
+            v.iter().all(|x| !x.is_nan()),
+            "KS input must not contain NaN"
+        );
+        v.sort_by(|p, q| p.partial_cmp(q).expect("NaN filtered above"));
+        v
+    };
+    let a = prepare(a);
+    let b = prepare(b);
+    let (mut i, mut j) = (0usize, 0usize);
+    let mut max_gap = 0.0f64;
+    while i < a.len() && j < b.len() {
+        // Advance the sample with the smaller next value.
+        if a[i] <= b[j] {
+            i += 1;
+        } else {
+            j += 1;
+        }
+        let fa = i as f64 / a.len() as f64;
+        let fb = j as f64 / b.len() as f64;
+        max_gap = max_gap.max((fa - fb).abs());
+    }
+    max_gap
+}
+
+/// Large-sample critical value for the two-sample KS test at significance
+/// `alpha`: `c(alpha) * sqrt((n + m) / (n * m))` with
+/// `c(alpha) = sqrt(-ln(alpha / 2) / 2)`.
+pub fn ks_critical(n: usize, m: usize, alpha: f64) -> f64 {
+    assert!(n > 0 && m > 0, "sample sizes must be positive");
+    assert!(alpha > 0.0 && alpha < 1.0, "alpha must lie in (0, 1)");
+    let c = (-(alpha / 2.0).ln() / 2.0).sqrt();
+    c * (((n + m) as f64) / ((n * m) as f64)).sqrt()
+}
+
+/// Two-sample KS test: `true` when the samples are consistent with one
+/// underlying distribution at significance `alpha`.
+pub fn ks_same_distribution(a: &[f64], b: &[f64], alpha: f64) -> bool {
+    ks_statistic(a, b) <= ks_critical(a.len(), b.len(), alpha)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid(n: usize, lo: f64, hi: f64) -> Vec<f64> {
+        (0..n)
+            .map(|i| lo + (hi - lo) * (i as f64 + 0.5) / n as f64)
+            .collect()
+    }
+
+    #[test]
+    fn identical_samples_have_small_statistic() {
+        let a = grid(200, 0.0, 1.0);
+        let d = ks_statistic(&a, &a.clone());
+        assert!(d < 0.01, "d = {d}");
+    }
+
+    #[test]
+    fn disjoint_samples_have_statistic_one() {
+        let a = grid(100, 0.0, 1.0);
+        let b = grid(100, 10.0, 11.0);
+        let d = ks_statistic(&a, &b);
+        assert!((d - 1.0).abs() < 1e-12, "d = {d}");
+    }
+
+    #[test]
+    fn shifted_uniforms_are_detected() {
+        let a = grid(400, 0.0, 1.0);
+        let b = grid(400, 0.25, 1.25);
+        assert!(!ks_same_distribution(&a, &b, 0.05));
+        // Statistic for a quarter shift of uniforms is ~0.25.
+        let d = ks_statistic(&a, &b);
+        assert!((d - 0.25).abs() < 0.02, "d = {d}");
+    }
+
+    #[test]
+    fn same_distribution_passes() {
+        // Two pseudo-random samples from the same uniform.
+        let a: Vec<f64> = (0..500)
+            .map(|i| ((i as u64 * 2654435761) % 10_000) as f64 / 10_000.0)
+            .collect();
+        let b: Vec<f64> = (0..500)
+            .map(|i| ((i as u64 * 40503 + 7) % 10_000) as f64 / 10_000.0)
+            .collect();
+        assert!(ks_same_distribution(&a, &b, 0.01));
+    }
+
+    #[test]
+    fn critical_value_shrinks_with_sample_size() {
+        assert!(ks_critical(100, 100, 0.05) > ks_critical(1000, 1000, 0.05));
+        // Known value: c(0.05) ~ 1.358; equal n=m=100 -> 1.358*sqrt(2/100).
+        let crit = ks_critical(100, 100, 0.05);
+        assert!((crit - 1.358 * (0.02f64).sqrt()).abs() < 1e-3, "{crit}");
+    }
+
+    #[test]
+    fn statistic_is_symmetric() {
+        let a = grid(64, 0.0, 2.0);
+        let b = grid(100, 0.5, 1.5);
+        assert!((ks_statistic(&a, &b) - ks_statistic(&b, &a)).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_sample_rejected() {
+        ks_statistic(&[], &[1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must not contain NaN")]
+    fn nan_rejected() {
+        ks_statistic(&[f64::NAN], &[1.0]);
+    }
+}

@@ -1,0 +1,40 @@
+//! Numerics substrate for the BFCE reproduction.
+//!
+//! The BFCE paper ("Towards Constant-Time Cardinality Estimation for
+//! Large-Scale RFID Systems", ICPP 2015) leans on a handful of numerical
+//! building blocks that we implement from scratch here rather than pulling in
+//! a scientific-computing dependency:
+//!
+//! * the error function family ([`special::erf`], [`special::erfc`],
+//!   [`special::erfinv`]) — Theorem 3 of the paper needs
+//!   `d = sqrt(2) * erfinv(1 - delta)`,
+//! * normal-distribution helpers ([`normal`]) — the central-limit argument in
+//!   Theorem 3,
+//! * binomial tail probabilities ([`binomial`]) — the SRC baseline picks its
+//!   round count `m` as the smallest odd integer whose majority-vote success
+//!   probability reaches `1 - delta` (Section V-C of the paper),
+//! * summary statistics, empirical CDFs and a chi-square uniformity check
+//!   ([`summary`], [`ecdf`], [`chisq`]) — used by the evaluation harness
+//!   (Figures 7–10) and by the hash-uniformity test suite.
+//!
+//! Everything here is pure, deterministic `f64` math with no allocation in the
+//! hot paths, per the HPC guidance this repository follows.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod binomial;
+pub mod chisq;
+pub mod ecdf;
+pub mod ks;
+pub mod normal;
+pub mod special;
+pub mod summary;
+
+pub use binomial::{binomial_pmf, binomial_tail_ge, ln_choose, majority_rounds};
+pub use chisq::{chi_square_critical, chi_square_statistic, uniformity_test};
+pub use ecdf::Ecdf;
+pub use ks::{ks_critical, ks_same_distribution, ks_statistic};
+pub use normal::{d_for_delta, normal_cdf, normal_pdf, normal_quantile};
+pub use special::{erf, erfc, erfinv};
+pub use summary::{mean, percentile, sample_std, sample_variance, RunningStats};

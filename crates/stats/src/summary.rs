@@ -1,0 +1,261 @@
+//! Summary statistics: batch helpers and a mergeable Welford accumulator.
+//!
+//! The evaluation harness (Figures 7–10 of the BFCE paper) aggregates
+//! per-round accuracy and air-time numbers; [`RunningStats`] lets the
+//! parallel frame-fill workers accumulate independently and merge, following
+//! Chan et al.'s pairwise-combination update.
+
+/// Arithmetic mean of a slice. Returns NaN for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return f64::NAN;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Unbiased (n-1) sample variance. Returns NaN for slices shorter than 2.
+pub fn sample_variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return f64::NAN;
+    }
+    let m = mean(xs);
+    xs.iter().map(|&x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64
+}
+
+/// Unbiased sample standard deviation.
+pub fn sample_std(xs: &[f64]) -> f64 {
+    sample_variance(xs).sqrt()
+}
+
+/// Percentile with linear interpolation between order statistics
+/// (the "linear" / type-7 method). `q` in `[0, 100]`.
+///
+/// ```
+/// use rfid_stats::percentile;
+/// let xs = [1.0, 2.0, 3.0, 4.0];
+/// assert_eq!(percentile(&xs, 0.0), 1.0);
+/// assert_eq!(percentile(&xs, 100.0), 4.0);
+/// assert_eq!(percentile(&xs, 50.0), 2.5);
+/// ```
+pub fn percentile(xs: &[f64], q: f64) -> f64 {
+    assert!((0.0..=100.0).contains(&q), "q must lie in [0, 100], got {q}");
+    if xs.is_empty() {
+        return f64::NAN;
+    }
+    let mut sorted: Vec<f64> = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile input"));
+    let rank = q / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = rank - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// Streaming mean/variance/min/max accumulator (Welford's algorithm) with
+/// O(1) state and a numerically stable parallel [`merge`](Self::merge).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RunningStats {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl RunningStats {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Self {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Feed one observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Merge another accumulator into this one (Chan et al. pairwise update),
+    /// so per-thread accumulators can be combined after a parallel sweep.
+    pub fn merge(&mut self, other: &RunningStats) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let total = self.count + other.count;
+        let delta = other.mean - self.mean;
+        self.mean += delta * other.count as f64 / total as f64;
+        self.m2 += other.m2
+            + delta * delta * (self.count as f64 * other.count as f64) / total as f64;
+        self.count = total;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of observations seen.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of the observations (NaN when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            f64::NAN
+        } else {
+            self.mean
+        }
+    }
+
+    /// Unbiased sample variance (NaN with fewer than 2 observations).
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            f64::NAN
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Unbiased sample standard deviation.
+    pub fn std(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest observation (infinity when empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation (-infinity when empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_variance_basics() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&xs) - 5.0).abs() < 1e-15);
+        // Population variance is 4; sample variance is 32/7.
+        assert!((sample_variance(&xs) - 32.0 / 7.0).abs() < 1e-12);
+        assert!((sample_std(&xs) - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        assert!(mean(&[]).is_nan());
+        assert!(sample_variance(&[]).is_nan());
+        assert!(sample_variance(&[1.0]).is_nan());
+        assert!(percentile(&[], 50.0).is_nan());
+        assert_eq!(percentile(&[42.0], 50.0), 42.0);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let xs = [10.0, 20.0, 30.0, 40.0, 50.0];
+        assert_eq!(percentile(&xs, 25.0), 20.0);
+        assert_eq!(percentile(&xs, 10.0), 14.0);
+        assert_eq!(percentile(&xs, 90.0), 46.0);
+    }
+
+    #[test]
+    fn percentile_is_order_insensitive() {
+        let a = [3.0, 1.0, 2.0];
+        let b = [1.0, 2.0, 3.0];
+        for q in [0.0, 25.0, 50.0, 75.0, 100.0] {
+            assert_eq!(percentile(&a, q), percentile(&b, q));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "q must lie in [0, 100]")]
+    fn percentile_rejects_out_of_range_q() {
+        percentile(&[1.0], 101.0);
+    }
+
+    #[test]
+    fn running_stats_matches_batch() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let mut rs = RunningStats::new();
+        for &x in &xs {
+            rs.push(x);
+        }
+        assert_eq!(rs.count(), 8);
+        assert!((rs.mean() - mean(&xs)).abs() < 1e-12);
+        assert!((rs.variance() - sample_variance(&xs)).abs() < 1e-12);
+        assert_eq!(rs.min(), 2.0);
+        assert_eq!(rs.max(), 9.0);
+    }
+
+    #[test]
+    fn running_stats_merge_equals_sequential() {
+        let xs: Vec<f64> = (0..1000).map(|i| ((i * 37) % 101) as f64 * 0.25).collect();
+        let mut seq = RunningStats::new();
+        for &x in &xs {
+            seq.push(x);
+        }
+        // Split into 3 uneven chunks and merge.
+        let mut a = RunningStats::new();
+        let mut b = RunningStats::new();
+        let mut c = RunningStats::new();
+        for &x in &xs[..100] {
+            a.push(x);
+        }
+        for &x in &xs[100..657] {
+            b.push(x);
+        }
+        for &x in &xs[657..] {
+            c.push(x);
+        }
+        let mut merged = RunningStats::new();
+        merged.merge(&a);
+        merged.merge(&b);
+        merged.merge(&c);
+        assert_eq!(merged.count(), seq.count());
+        assert!((merged.mean() - seq.mean()).abs() < 1e-10);
+        assert!((merged.variance() - seq.variance()).abs() < 1e-8);
+        assert_eq!(merged.min(), seq.min());
+        assert_eq!(merged.max(), seq.max());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = RunningStats::new();
+        a.push(1.0);
+        a.push(3.0);
+        let before = a;
+        a.merge(&RunningStats::new());
+        assert_eq!(a, before);
+
+        let mut empty = RunningStats::new();
+        empty.merge(&before);
+        assert_eq!(empty, before);
+    }
+
+    #[test]
+    fn empty_running_stats_report_nan() {
+        let rs = RunningStats::new();
+        assert!(rs.mean().is_nan());
+        assert!(rs.variance().is_nan());
+        assert_eq!(rs.count(), 0);
+    }
+}

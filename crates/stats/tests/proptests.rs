@@ -1,0 +1,128 @@
+//! Property-based tests for the numerics substrate.
+
+use proptest::prelude::*;
+use rfid_stats::*;
+
+proptest! {
+    #[test]
+    fn erf_is_bounded_and_odd(x in -50.0f64..50.0) {
+        let y = erf(x);
+        prop_assert!((-1.0..=1.0).contains(&y));
+        prop_assert!((erf(-x) + y).abs() < 1e-12);
+    }
+
+    #[test]
+    fn erf_is_monotone(a in -6.0f64..6.0, b in -6.0f64..6.0) {
+        let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+        prop_assert!(erf(lo) <= erf(hi));
+    }
+
+    #[test]
+    fn erf_plus_erfc_is_one(x in -6.0f64..6.0) {
+        prop_assert!((erf(x) + erfc(x) - 1.0).abs() < 1e-11);
+    }
+
+    #[test]
+    fn erfinv_round_trips(y in -0.999_999f64..0.999_999) {
+        let x = erfinv(y);
+        prop_assert!((erf(x) - y).abs() < 1e-10, "erf(erfinv({y})) = {}", erf(x));
+    }
+
+    #[test]
+    fn normal_quantile_inverts_cdf(p in 0.0001f64..0.9999) {
+        let z = normal_quantile(p);
+        prop_assert!((normal_cdf(z) - p).abs() < 1e-10);
+    }
+
+    #[test]
+    fn binomial_pmf_is_a_distribution(n in 1u64..60, p in 0.0f64..1.0) {
+        let total: f64 = (0..=n).map(|k| binomial_pmf(n, k, p)).sum();
+        prop_assert!((total - 1.0).abs() < 1e-9, "total = {total}");
+    }
+
+    #[test]
+    fn binomial_tail_is_monotone_in_k(n in 1u64..50, p in 0.01f64..0.99, k in 0u64..50) {
+        prop_assume!(k < n);
+        prop_assert!(binomial_tail_ge(n, k, p) + 1e-12 >= binomial_tail_ge(n, k + 1, p));
+    }
+
+    #[test]
+    fn majority_rounds_is_odd_and_sufficient(
+        delta in 0.01f64..0.49,
+        per_round in 0.6f64..0.95,
+    ) {
+        let m = majority_rounds(delta, per_round);
+        prop_assert_eq!(m % 2, 1);
+        prop_assert!(binomial_tail_ge(m, m.div_ceil(2), per_round) >= 1.0 - delta);
+        // Minimality: m - 2 (if valid) must not suffice.
+        if m > 1 {
+            let prev = m - 2;
+            prop_assert!(
+                binomial_tail_ge(prev, prev.div_ceil(2), per_round) < 1.0 - delta
+            );
+        }
+    }
+
+    #[test]
+    fn percentile_is_within_sample_range(
+        mut xs in prop::collection::vec(-1e6f64..1e6, 1..200),
+        q in 0.0f64..100.0,
+    ) {
+        let p = percentile(&xs, q);
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        prop_assert!(p >= xs[0] && p <= xs[xs.len() - 1]);
+    }
+
+    #[test]
+    fn running_stats_matches_batch(
+        xs in prop::collection::vec(-1e5f64..1e5, 2..300),
+    ) {
+        let mut rs = RunningStats::new();
+        for &x in &xs {
+            rs.push(x);
+        }
+        prop_assert!((rs.mean() - mean(&xs)).abs() < 1e-6);
+        prop_assert!((rs.variance() - sample_variance(&xs)).abs()
+            < 1e-4 * sample_variance(&xs).max(1.0));
+    }
+
+    #[test]
+    fn running_stats_merge_is_order_insensitive(
+        xs in prop::collection::vec(-1e4f64..1e4, 1..100),
+        split in 0usize..100,
+    ) {
+        let split = split.min(xs.len());
+        let mut a = RunningStats::new();
+        let mut b = RunningStats::new();
+        for &x in &xs[..split] { a.push(x); }
+        for &x in &xs[split..] { b.push(x); }
+        let mut ab = a;
+        ab.merge(&b);
+        let mut ba = b;
+        ba.merge(&a);
+        prop_assert_eq!(ab.count(), ba.count());
+        prop_assert!((ab.mean() - ba.mean()).abs() < 1e-9);
+        if ab.count() >= 2 {
+            prop_assert!((ab.variance() - ba.variance()).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn ecdf_eval_is_monotone_cadlag(
+        xs in prop::collection::vec(-1e4f64..1e4, 1..100),
+        a in -2e4f64..2e4,
+        b in -2e4f64..2e4,
+    ) {
+        let e = Ecdf::new(xs);
+        let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+        prop_assert!(e.eval(lo) <= e.eval(hi));
+        prop_assert!((0.0..=1.0).contains(&e.eval(a)));
+    }
+
+    #[test]
+    fn chi_square_critical_increases_with_df(df in 1u64..300, alpha in 0.001f64..0.5) {
+        prop_assert!(
+            chi_square_critical(df + 1, alpha) > chi_square_critical(df, alpha)
+        );
+    }
+}

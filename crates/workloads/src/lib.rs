@@ -1,0 +1,315 @@
+//! Tag-ID population generators for the BFCE evaluation.
+//!
+//! Section V-A of the paper evaluates on three tag-ID sets (its Figure 6):
+//!
+//! * **T1** — IDs uniform between 1 and 10^15;
+//! * **T2** — an *approximate* normal distribution (we realize it as an
+//!   Irwin–Hall sum of four uniforms, which is the standard cheap
+//!   approximation and matches the paper's "approximate normal" histogram
+//!   shape);
+//! * **T3** — a true normal distribution over the same ID space
+//!   (Box–Muller, clamped to `[1, 10^15]`).
+//!
+//! Two extra generators model common EPC deployments for the extension
+//! studies: [`WorkloadSpec::Sequential`] (one contiguous serial range) and
+//! [`WorkloadSpec::Clustered`] (pallets of consecutive serials at random
+//! offsets). Every generator guarantees unique IDs and assigns each tag the
+//! pre-stored 32-bit `RN` the BFCE hash scheme requires.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod churn;
+
+pub use churn::ChurnProcess;
+
+use rand::Rng;
+use rfid_sim::{Tag, TagPopulation};
+use std::collections::HashSet;
+
+/// Upper end of the paper's tag-ID space: 10^15.
+pub const ID_SPACE_MAX: u64 = 1_000_000_000_000_000;
+
+/// A named tag-ID distribution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WorkloadSpec {
+    /// Uniform IDs in `[1, 10^15]` (the paper's T1).
+    T1,
+    /// Approximately normal IDs — Irwin–Hall sum of 4 uniforms (T2).
+    T2,
+    /// Normal IDs, mean `5*10^14`, sigma `1.2*10^14`, clamped (T3).
+    T3,
+    /// One contiguous run of serial numbers starting at a random offset.
+    Sequential,
+    /// Pallets: blocks of `block` consecutive serials at random offsets.
+    Clustered {
+        /// Number of consecutive IDs per pallet/block.
+        block: usize,
+    },
+}
+
+impl WorkloadSpec {
+    /// The three distributions used in the paper's figures.
+    pub const PAPER_SET: [WorkloadSpec; 3] =
+        [WorkloadSpec::T1, WorkloadSpec::T2, WorkloadSpec::T3];
+
+    /// Figure-label name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            WorkloadSpec::T1 => "T1",
+            WorkloadSpec::T2 => "T2",
+            WorkloadSpec::T3 => "T3",
+            WorkloadSpec::Sequential => "sequential",
+            WorkloadSpec::Clustered { .. } => "clustered",
+        }
+    }
+
+    /// Generate a population of exactly `n` tags with unique IDs.
+    pub fn generate<R: Rng + ?Sized>(&self, n: usize, rng: &mut R) -> TagPopulation {
+        let ids = match self {
+            WorkloadSpec::T1 => draw_unique(n, rng, uniform_id),
+            WorkloadSpec::T2 => draw_unique(n, rng, irwin_hall_id),
+            WorkloadSpec::T3 => draw_unique(n, rng, normal_id),
+            WorkloadSpec::Sequential => sequential_ids(n, rng),
+            WorkloadSpec::Clustered { block } => clustered_ids(n, *block, rng),
+        };
+        let tags = ids
+            .into_iter()
+            .map(|id| Tag {
+                id,
+                rn: rng.gen::<u32>(),
+            })
+            .collect();
+        TagPopulation::new(tags)
+    }
+}
+
+/// Rejection-sample `n` unique IDs from `sample`.
+fn draw_unique<R: Rng + ?Sized>(
+    n: usize,
+    rng: &mut R,
+    sample: fn(&mut R) -> u64,
+) -> Vec<u64> {
+    let mut seen = HashSet::with_capacity(n * 2);
+    let mut ids = Vec::with_capacity(n);
+    // The ID space (10^15) dwarfs any realistic n, so rejection terminates
+    // almost immediately; the attempt cap only guards against misuse.
+    let mut attempts: u64 = 0;
+    let max_attempts = 20 * n as u64 + 1000;
+    while ids.len() < n {
+        attempts += 1;
+        assert!(
+            attempts <= max_attempts,
+            "could not draw {n} unique IDs (space too small for distribution?)"
+        );
+        let id = sample(rng);
+        if seen.insert(id) {
+            ids.push(id);
+        }
+    }
+    ids
+}
+
+/// T1: uniform over `[1, 10^15]`.
+fn uniform_id<R: Rng + ?Sized>(rng: &mut R) -> u64 {
+    rng.gen_range(1..=ID_SPACE_MAX)
+}
+
+/// T2: Irwin–Hall sum of 4 uniforms over the ID space, rescaled. The sum of
+/// 4 U(0,1) has mean 2, variance 1/3; we map it to `[1, 10^15]` linearly,
+/// giving a bell shape (an *approximate* normal) centered at 5*10^14.
+fn irwin_hall_id<R: Rng + ?Sized>(rng: &mut R) -> u64 {
+    let s: f64 = (0..4).map(|_| rng.gen::<f64>()).sum();
+    let unit = s / 4.0; // mean 0.5, on [0, 1]
+    let id = (unit * ID_SPACE_MAX as f64).round() as u64;
+    id.clamp(1, ID_SPACE_MAX)
+}
+
+/// T3: Box–Muller normal, mean 5*10^14, sigma 1.2*10^14, clamped.
+fn normal_id<R: Rng + ?Sized>(rng: &mut R) -> u64 {
+    const MEAN: f64 = 5.0e14;
+    const SIGMA: f64 = 1.2e14;
+    // Box–Muller: u1 in (0, 1] to avoid ln(0).
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+    let id = (MEAN + SIGMA * z).round();
+    (id.max(1.0).min(ID_SPACE_MAX as f64)) as u64
+}
+
+/// A single contiguous serial range at a random offset.
+fn sequential_ids<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Vec<u64> {
+    if n == 0 {
+        return Vec::new();
+    }
+    let start = rng.gen_range(1..=ID_SPACE_MAX - n as u64);
+    (start..start + n as u64).collect()
+}
+
+/// Pallets of `block` consecutive serials at distinct random offsets.
+fn clustered_ids<R: Rng + ?Sized>(n: usize, block: usize, rng: &mut R) -> Vec<u64> {
+    assert!(block >= 1, "block size must be at least 1");
+    let mut ids = Vec::with_capacity(n);
+    let mut seen: HashSet<u64> = HashSet::with_capacity(n * 2);
+    while ids.len() < n {
+        let want = (n - ids.len()).min(block);
+        let start = rng.gen_range(1..=ID_SPACE_MAX - block as u64);
+        // Skip overlapping pallets entirely (cheap and keeps blocks intact).
+        if (start..start + want as u64).any(|id| seen.contains(&id)) {
+            continue;
+        }
+        for id in start..start + want as u64 {
+            seen.insert(id);
+            ids.push(id);
+        }
+    }
+    ids
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn all_specs_generate_exactly_n_unique_in_range() {
+        let specs = [
+            WorkloadSpec::T1,
+            WorkloadSpec::T2,
+            WorkloadSpec::T3,
+            WorkloadSpec::Sequential,
+            WorkloadSpec::Clustered { block: 100 },
+        ];
+        for spec in specs {
+            let pop = spec.generate(5_000, &mut rng(1));
+            assert_eq!(pop.cardinality(), 5_000, "{}", spec.name());
+            for tag in pop.tags() {
+                assert!(
+                    (1..=ID_SPACE_MAX).contains(&tag.id),
+                    "{}: id {} out of range",
+                    spec.name(),
+                    tag.id
+                );
+            }
+            // TagPopulation::new already asserts uniqueness; double-check.
+            let ids: HashSet<u64> = pop.tags().iter().map(|t| t.id).collect();
+            assert_eq!(ids.len(), 5_000);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        for spec in WorkloadSpec::PAPER_SET {
+            let a = spec.generate(1_000, &mut rng(7));
+            let b = spec.generate(1_000, &mut rng(7));
+            assert_eq!(a.tags(), b.tags(), "{}", spec.name());
+            let c = spec.generate(1_000, &mut rng(8));
+            assert_ne!(a.tags(), c.tags(), "{}", spec.name());
+        }
+    }
+
+    #[test]
+    fn t1_is_uniform_over_deciles() {
+        let pop = WorkloadSpec::T1.generate(100_000, &mut rng(2));
+        let mut counts = [0u64; 10];
+        for tag in pop.tags() {
+            let decile = ((tag.id - 1) / (ID_SPACE_MAX / 10)).min(9) as usize;
+            counts[decile] += 1;
+        }
+        assert!(
+            rfid_stats::uniformity_test(&counts, 0.001),
+            "T1 deciles {counts:?}"
+        );
+    }
+
+    #[test]
+    fn t2_and_t3_concentrate_around_the_center() {
+        for spec in [WorkloadSpec::T2, WorkloadSpec::T3] {
+            let pop = spec.generate(50_000, &mut rng(3));
+            let mean: f64 = pop.tags().iter().map(|t| t.id as f64).sum::<f64>()
+                / pop.cardinality() as f64;
+            assert!(
+                (mean - 5.0e14).abs() < 0.02e15,
+                "{} mean = {mean:e}",
+                spec.name()
+            );
+            // The central half of the ID space should hold far more than the
+            // uniform 50%.
+            let central = pop
+                .tags()
+                .iter()
+                .filter(|t| t.id > 25e13 as u64 && t.id < 75e13 as u64)
+                .count() as f64
+                / pop.cardinality() as f64;
+            assert!(
+                central > 0.8,
+                "{} central mass = {central}",
+                spec.name()
+            );
+        }
+    }
+
+    #[test]
+    fn t2_is_broader_than_t3() {
+        // Irwin–Hall(4) rescaled has sigma ~ 0.144 * 1e15 = 1.44e14 vs
+        // T3's 1.2e14 — both bells, different spreads.
+        let std_of = |spec: WorkloadSpec| {
+            let pop = spec.generate(50_000, &mut rng(4));
+            let xs: Vec<f64> = pop.tags().iter().map(|t| t.id as f64).collect();
+            rfid_stats::sample_std(&xs)
+        };
+        let s2 = std_of(WorkloadSpec::T2);
+        let s3 = std_of(WorkloadSpec::T3);
+        assert!(s2 > s3, "s2 = {s2:e}, s3 = {s3:e}");
+        assert!((s2 - 1.44e14).abs() < 0.1e14, "s2 = {s2:e}");
+        assert!((s3 - 1.2e14).abs() < 0.1e14, "s3 = {s3:e}");
+    }
+
+    #[test]
+    fn sequential_ids_are_contiguous() {
+        let pop = WorkloadSpec::Sequential.generate(1_000, &mut rng(5));
+        let mut ids: Vec<u64> = pop.tags().iter().map(|t| t.id).collect();
+        ids.sort_unstable();
+        for w in ids.windows(2) {
+            assert_eq!(w[1], w[0] + 1);
+        }
+    }
+
+    #[test]
+    fn clustered_ids_form_blocks() {
+        let pop = WorkloadSpec::Clustered { block: 50 }.generate(1_000, &mut rng(6));
+        let mut ids: Vec<u64> = pop.tags().iter().map(|t| t.id).collect();
+        ids.sort_unstable();
+        // Count adjacency: in 20 blocks of 50, 980 of 999 gaps are 1.
+        let adjacent = ids.windows(2).filter(|w| w[1] == w[0] + 1).count();
+        assert!(adjacent >= 980, "only {adjacent} adjacent pairs");
+    }
+
+    #[test]
+    fn zero_tags_is_fine() {
+        for spec in WorkloadSpec::PAPER_SET {
+            assert_eq!(spec.generate(0, &mut rng(9)).cardinality(), 0);
+        }
+        assert_eq!(
+            WorkloadSpec::Sequential.generate(0, &mut rng(9)).cardinality(),
+            0
+        );
+    }
+
+    #[test]
+    fn names_match_the_paper() {
+        assert_eq!(WorkloadSpec::T1.name(), "T1");
+        assert_eq!(WorkloadSpec::T2.name(), "T2");
+        assert_eq!(WorkloadSpec::T3.name(), "T3");
+    }
+
+    #[test]
+    fn paper_set_contains_the_three_figures_sets() {
+        assert_eq!(WorkloadSpec::PAPER_SET.len(), 3);
+    }
+}

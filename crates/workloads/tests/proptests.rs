@@ -1,0 +1,60 @@
+//! Property-based tests for the workload generators.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rfid_workloads::{WorkloadSpec, ID_SPACE_MAX};
+use std::collections::HashSet;
+
+fn spec_strategy() -> impl Strategy<Value = WorkloadSpec> {
+    prop_oneof![
+        Just(WorkloadSpec::T1),
+        Just(WorkloadSpec::T2),
+        Just(WorkloadSpec::T3),
+        Just(WorkloadSpec::Sequential),
+        (1usize..500).prop_map(|block| WorkloadSpec::Clustered { block }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn generators_produce_exactly_n_unique_ids_in_range(
+        spec in spec_strategy(),
+        n in 0usize..3_000,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let pop = spec.generate(n, &mut rng);
+        prop_assert_eq!(pop.cardinality(), n);
+        let mut ids = HashSet::with_capacity(n);
+        for tag in pop.tags() {
+            prop_assert!((1..=ID_SPACE_MAX).contains(&tag.id));
+            prop_assert!(ids.insert(tag.id), "duplicate id {}", tag.id);
+        }
+    }
+
+    #[test]
+    fn generation_is_a_pure_function_of_the_seed(
+        spec in spec_strategy(),
+        n in 1usize..1_000,
+        seed in any::<u64>(),
+    ) {
+        let a = spec.generate(n, &mut StdRng::seed_from_u64(seed));
+        let b = spec.generate(n, &mut StdRng::seed_from_u64(seed));
+        prop_assert_eq!(a.tags(), b.tags());
+    }
+
+    #[test]
+    fn rn_assignment_is_not_constant(
+        spec in spec_strategy(),
+        seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let pop = spec.generate(64, &mut rng);
+        let distinct: HashSet<u32> = pop.tags().iter().map(|t| t.rn).collect();
+        // 64 draws of a u32: all-equal would indicate a broken assignment.
+        prop_assert!(distinct.len() > 1);
+    }
+}

@@ -1,0 +1,59 @@
+//! Quickstart: estimate the cardinality of a 500 000-tag population with
+//! BFCE in one round.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rfid_bfce_repro::prelude::*;
+
+fn main() {
+    let truth = 500_000usize;
+    let mut rng = StdRng::seed_from_u64(7);
+
+    // 1. Deploy: a population of tags with uniform IDs (the paper's T1).
+    let population = WorkloadSpec::T1.generate(truth, &mut rng);
+    let mut system = RfidSystem::new(population);
+
+    // 2. Estimate with the paper's exact configuration and accuracy
+    //    requirement (epsilon = delta = 0.05).
+    let bfce = Bfce::paper();
+    let run = bfce.run(&mut system, Accuracy::paper_default(), &mut rng);
+
+    // 3. Inspect the result.
+    println!("true cardinality : {truth}");
+    println!("estimate         : {:.0}", run.n_hat());
+    println!(
+        "relative error   : {:.4}",
+        run.report.relative_error(truth)
+    );
+    println!(
+        "air time         : {:.4} s (paper bound: < 0.19 s nominal)",
+        run.report.air.total_seconds()
+    );
+    println!("probe outcome    : p_s = {}/1024 after {} window(s)",
+        run.probe.p_n, run.probe.rounds);
+    println!(
+        "rough lower bound: n_low = {:.0} (rho = {:.4})",
+        run.rough.n_low, run.rough.rho
+    );
+    let acc = run.accurate.as_ref().expect("accurate stage ran");
+    println!(
+        "accurate stage   : p_o = {}/1024 ({}), rho = {:.4}",
+        acc.p_n,
+        if acc.provable { "provable" } else { "best-effort" },
+        acc.rho
+    );
+    for phase in &run.report.phases {
+        println!(
+            "  phase {:<9}: {:>9.1} us ({} reader bits, {} bit-slots)",
+            phase.name,
+            phase.air.total_us(),
+            phase.air.reader_bits,
+            phase.air.bitslots
+        );
+    }
+    assert!(run.report.relative_error(truth) <= 0.05);
+}

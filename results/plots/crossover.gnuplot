@@ -1,0 +1,11 @@
+set datafile separator comma
+set terminal pngcairo size 900,600
+set output 'results/plots/crossover.png'
+set title 'crossover'
+set key outside right
+set grid
+set logscale xy
+set xlabel 'cardinality n'
+set ylabel 'execution time (s)'
+plot 'results/crossover.csv' skip 1 using 1:2 with linespoints title 'Q-inventory (exact)', \
+'' skip 1 using 1:3 with linespoints title 'BFCE (0.05, 0.05)'

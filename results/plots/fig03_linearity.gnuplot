@@ -1,0 +1,12 @@
+set datafile separator comma
+set terminal pngcairo size 900,600
+set output 'results/plots/fig03_linearity.png'
+set title 'fig03 linearity'
+set key outside right
+set grid
+set xlabel 'cardinality n'
+set ylabel 'slots'
+plot 'results/fig03_linearity.csv' skip 1 using 1:2 with linespoints title 'zeros p=0.1', \
+'' skip 1 using 1:3 with linespoints title 'ones p=0.1', \
+'' skip 1 using 1:5 with linespoints title 'zeros p=0.2', \
+'' skip 1 using 1:6 with linespoints title 'ones p=0.2'

@@ -1,0 +1,10 @@
+set datafile separator comma
+set terminal pngcairo size 900,600
+set output 'results/plots/fig05_monotonicity.png'
+set title 'fig05 monotonicity'
+set key outside right
+set grid
+set xlabel 'cardinality n'
+set ylabel 'f1 / f2'
+plot 'results/fig05_monotonicity.csv' skip 1 using 1:2 with lines title 'f1', \
+'' skip 1 using 1:3 with lines title 'f2'

@@ -1,0 +1,13 @@
+set datafile separator comma
+set terminal pngcairo size 900,600
+set output 'results/plots/fig07a_accuracy_vs_n.png'
+set title 'fig07a accuracy vs n'
+set key outside right
+set grid
+set logscale x
+set xlabel 'cardinality n'
+set ylabel 'accuracy |n_hat - n| / n'
+set yrange [0:0.06]
+plot 'results/fig07a_accuracy_vs_n.csv' skip 1 using 1:2 with linespoints title 'T1', \
+'' skip 1 using 1:3 with linespoints title 'T2', \
+'' skip 1 using 1:4 with linespoints title 'T3'

@@ -1,0 +1,12 @@
+set datafile separator comma
+set terminal pngcairo size 900,600
+set output 'results/plots/fig07b_accuracy_vs_epsilon.png'
+set title 'fig07b accuracy vs epsilon'
+set key outside right
+set grid
+set xlabel 'epsilon'
+set ylabel 'accuracy'
+set yrange [0:0.06]
+plot 'results/fig07b_accuracy_vs_epsilon.csv' skip 1 using 1:2 with linespoints title 'T1', \
+'' skip 1 using 1:3 with linespoints title 'T2', \
+'' skip 1 using 1:4 with linespoints title 'T3'

@@ -1,0 +1,11 @@
+set datafile separator comma
+set terminal pngcairo size 900,600
+set output 'results/plots/fig08_cdf.png'
+set title 'fig08 cdf'
+set key outside right
+set grid
+set xlabel 'quantile'
+set ylabel 'estimate n_hat'
+plot 'results/fig08_cdf.csv' skip 1 using 1:2 with linespoints title 'T1', \
+'' skip 1 using 1:3 with linespoints title 'T2', \
+'' skip 1 using 1:4 with linespoints title 'T3'

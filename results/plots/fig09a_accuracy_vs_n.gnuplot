@@ -1,0 +1,12 @@
+set datafile separator comma
+set terminal pngcairo size 900,600
+set output 'results/plots/fig09a_accuracy_vs_n.png'
+set title 'fig09a accuracy vs n'
+set key outside right
+set grid
+set logscale x
+set xlabel 'cardinality n'
+set ylabel 'accuracy'
+plot 'results/fig09a_accuracy_vs_n.csv' skip 1 using 1:2 with linespoints title 'BFCE', \
+'' skip 1 using 1:3 with linespoints title 'ZOE', \
+'' skip 1 using 1:4 with linespoints title 'SRC'

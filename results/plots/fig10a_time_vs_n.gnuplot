@@ -1,0 +1,12 @@
+set datafile separator comma
+set terminal pngcairo size 900,600
+set output 'results/plots/fig10a_time_vs_n.png'
+set title 'fig10a time vs n'
+set key outside right
+set grid
+set logscale xy
+set xlabel 'cardinality n'
+set ylabel 'execution time (s)'
+plot 'results/fig10a_time_vs_n.csv' skip 1 using 1:2 with linespoints title 'BFCE', \
+'' skip 1 using 1:3 with linespoints title 'ZOE', \
+'' skip 1 using 1:4 with linespoints title 'SRC'

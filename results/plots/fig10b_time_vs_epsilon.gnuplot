@@ -1,0 +1,12 @@
+set datafile separator comma
+set terminal pngcairo size 900,600
+set output 'results/plots/fig10b_time_vs_epsilon.png'
+set title 'fig10b time vs epsilon'
+set key outside right
+set grid
+set logscale y
+set xlabel 'epsilon'
+set ylabel 'execution time (s)'
+plot 'results/fig10b_time_vs_epsilon.csv' skip 1 using 1:2 with linespoints title 'BFCE', \
+'' skip 1 using 1:3 with linespoints title 'ZOE', \
+'' skip 1 using 1:4 with linespoints title 'SRC'

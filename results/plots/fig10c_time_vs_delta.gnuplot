@@ -1,0 +1,12 @@
+set datafile separator comma
+set terminal pngcairo size 900,600
+set output 'results/plots/fig10c_time_vs_delta.png'
+set title 'fig10c time vs delta'
+set key outside right
+set grid
+set logscale y
+set xlabel 'delta'
+set ylabel 'execution time (s)'
+plot 'results/fig10c_time_vs_delta.csv' skip 1 using 1:2 with linespoints title 'BFCE', \
+'' skip 1 using 1:3 with linespoints title 'ZOE', \
+'' skip 1 using 1:4 with linespoints title 'SRC'

@@ -1,0 +1,55 @@
+//! Facade crate for the BFCE reproduction workspace.
+//!
+//! Re-exports the full public API so examples and downstream users can depend
+//! on a single crate:
+//!
+//! * [`bfce`] — the paper's contribution: the Bloom-Filter-based
+//!   Cardinality Estimator (probe, rough, and accurate phases, theory),
+//!   plus the differential (`bfce::diff`), union (`bfce::multiset`) and
+//!   efficiency/confidence-interval (`bfce::efficiency`) extensions.
+//! * [`sim`] — the EPC C1G2-style air-interface simulator (tags, channels,
+//!   timing model + PHY link parameters, bit-slot frames, air-time ledger,
+//!   protocol traces, multi-reader deployments).
+//! * [`baselines`] — ZOE, SRC, LOF, the wider related-work family
+//!   (UPE/EZB/FNEB/ART/MLE/PET/A³), and exact Q-protocol inventory.
+//! * [`workloads`] — the T1/T2/T3 tag-ID distributions of the evaluation,
+//!   plus churn processes for monitoring studies.
+//! * [`stats`], [`hash`] — the numerics and hashing substrates.
+//! * [`experiments`] — figure-regeneration and guarantee-validation
+//!   harness.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use rfid_bfce_repro::prelude::*;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! let population = WorkloadSpec::T1.generate(10_000, &mut rng);
+//! let mut system = RfidSystem::new(population);
+//! let bfce = Bfce::new(BfceConfig::default());
+//! let report = bfce.estimate(&mut system, Accuracy::new(0.05, 0.05), &mut rng);
+//! let err = (report.n_hat - 10_000.0).abs() / 10_000.0;
+//! assert!(err < 0.05, "estimate {} off by {err}", report.n_hat);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use rfid_baselines as baselines;
+pub use rfid_bfce as bfce;
+pub use rfid_experiments as experiments;
+pub use rfid_hash as hash;
+pub use rfid_sim as sim;
+pub use rfid_stats as stats;
+pub use rfid_workloads as workloads;
+
+/// Commonly used items, importable in one line.
+pub mod prelude {
+    pub use rfid_baselines::{Lof, Src, Zoe};
+    pub use rfid_bfce::{Bfce, BfceConfig};
+    pub use rfid_sim::{
+        Accuracy, CardinalityEstimator, EstimationReport, RfidSystem,
+    };
+    pub use rfid_workloads::WorkloadSpec;
+}

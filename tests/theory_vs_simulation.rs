@@ -1,0 +1,117 @@
+//! Theory-versus-simulation: the analytical results of Section IV must
+//! predict what the simulator actually does. These are the tests that
+//! would catch a units/convention mismatch (e.g. the paper's inverted
+//! B-vector encoding) anywhere in the stack.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rfid_bfce_repro::bfce::estimator::standalone_frame;
+use rfid_bfce_repro::bfce::overhead::{nominal_total_seconds, nominal_total_us};
+use rfid_bfce_repro::bfce::theory::{expected_rho, lambda};
+use rfid_bfce_repro::bfce::{Bfce, BfceConfig};
+use rfid_bfce_repro::prelude::*;
+use rfid_bfce_repro::sim::Timing;
+
+/// One observed idle ratio for a fresh population/frame.
+fn observed_rho(n: usize, p_n: u32, seed: u64) -> f64 {
+    let cfg = BfceConfig::paper();
+    let mut world = StdRng::seed_from_u64(seed);
+    let population = WorkloadSpec::T1.generate(n, &mut world);
+    let mut system = RfidSystem::new(population);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5EED);
+    standalone_frame(&cfg, &mut system, p_n, &mut rng).rho()
+}
+
+#[test]
+fn theorem_1_predicts_the_observed_idle_ratio() {
+    // Across loads from sparse to dense, the measured idle fraction must
+    // track e^-lambda within a few standard errors of the w = 8192
+    // binomial observation.
+    for (n, p_n) in [
+        (5_000usize, 102u32),
+        (50_000, 102),
+        (50_000, 10),
+        (500_000, 3),
+        (1_000_000, 3),
+    ] {
+        let p = p_n as f64 / 1024.0;
+        let l = lambda(n as f64, 8192, 3, p);
+        let want = expected_rho(l);
+        let sigma = (want * (1.0 - want) / 8192.0).sqrt();
+        let got = observed_rho(n, p_n, n as u64 + p_n as u64);
+        assert!(
+            (got - want).abs() < 5.0 * sigma.max(1e-4),
+            "n={n} p_n={p_n}: rho {got} vs theory {want} (sigma {sigma})"
+        );
+    }
+}
+
+#[test]
+fn section_iv_e1_overhead_matches_the_measured_ledger() {
+    // The closed-form t1 + t2 must equal the ledger total of the two
+    // estimation phases (probe excluded, as in the paper).
+    let mut world = StdRng::seed_from_u64(4);
+    let population = WorkloadSpec::T2.generate(300_000, &mut world);
+    let mut system = RfidSystem::new(population);
+    let mut rng = StdRng::seed_from_u64(5);
+    let run = Bfce::paper().run(&mut system, Accuracy::paper_default(), &mut rng);
+    let measured_phases_us =
+        run.report.phases[1].air.total_us() + run.report.phases[2].air.total_us();
+    // The paper's formula assumes the rough broadcast is the first
+    // transmission; in the full protocol one extra turnaround separates
+    // the (uncounted) probe stage from the rough phase.
+    let nominal = nominal_total_us(&Timing::c1g2(), &BfceConfig::paper())
+        + Timing::c1g2().turnaround_us;
+    assert!(
+        (measured_phases_us - nominal).abs() < 1e-6,
+        "measured {measured_phases_us} vs closed form {nominal}"
+    );
+    assert!(nominal_total_seconds(&Timing::c1g2(), &BfceConfig::paper()) < 0.19);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Randomized version of the Theorem-1 check over the design space.
+    #[test]
+    fn idle_ratio_tracks_theory_under_random_parameters(
+        n in 2_000usize..300_000,
+        p_n in 2u32..200,
+        seed in 0u64..1_000,
+    ) {
+        let p = p_n as f64 / 1024.0;
+        let l = lambda(n as f64, 8192, 3, p);
+        // Keep away from fully saturated frames where sigma collapses.
+        prop_assume!(l < 5.0);
+        let want = expected_rho(l);
+        let sigma = (want * (1.0 - want) / 8192.0).sqrt();
+        let got = observed_rho(n, p_n, seed);
+        prop_assert!(
+            (got - want).abs() < 6.0 * sigma.max(1e-4),
+            "n={n} p_n={p_n}: rho {got} vs {want}"
+        );
+    }
+
+    /// The end-to-end estimator, repeatedly sampled across the design
+    /// space, stays within the requested interval nearly always (delta
+    /// allows 5% misses; we tolerate a single-case margin instead of a
+    /// statistical test here).
+    #[test]
+    fn bfce_error_stays_near_epsilon(
+        n in 10_000usize..400_000,
+        seed in 0u64..1_000,
+    ) {
+        let mut world = StdRng::seed_from_u64(seed);
+        let population = WorkloadSpec::T1.generate(n, &mut world);
+        let mut system = RfidSystem::new(population);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xF00D);
+        let report =
+            Bfce::paper().estimate(&mut system, Accuracy::paper_default(), &mut rng);
+        prop_assert!(
+            report.relative_error(n) < 0.10,
+            "n={n} seed={seed}: err {}",
+            report.relative_error(n)
+        );
+    }
+}
