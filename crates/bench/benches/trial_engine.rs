@@ -1,0 +1,42 @@
+//! `cargo bench --bench trial_engine` — wall-clock scaling of the
+//! trial-parallel Monte-Carlo engine.
+//!
+//! Runs the Figure-7a quick grid with one worker and with one worker per
+//! core, prints both wall-clock times, and asserts the results are
+//! identical (the engine's determinism contract). On a multi-core machine
+//! the pooled run should be visibly faster; on a single core the two
+//! should match.
+
+use rfid_experiments::{engine, fig07, Scale};
+use std::time::Instant;
+
+fn timed(jobs: usize) -> (std::time::Duration, rfid_experiments::Table) {
+    engine::set_default_jobs(jobs);
+    let start = Instant::now();
+    let table = fig07::run_vs_n(Scale::Quick, 42);
+    (start.elapsed(), table)
+}
+
+fn main() {
+    let auto = {
+        engine::set_default_jobs(0);
+        engine::default_jobs()
+    };
+    let (t_lone, lone) = timed(1);
+    let (t_pool, pooled) = timed(auto);
+    engine::set_default_jobs(0);
+    println!("fig07a quick grid, jobs=1    : {t_lone:?}");
+    println!("fig07a quick grid, jobs={auto:<4}: {t_pool:?}");
+    if auto > 1 {
+        println!(
+            "speedup: {:.2}x over {} workers",
+            t_lone.as_secs_f64() / t_pool.as_secs_f64(),
+            auto
+        );
+    }
+    assert_eq!(
+        lone.rows, pooled.rows,
+        "worker count leaked into the results"
+    );
+    println!("determinism: rows identical at both worker counts");
+}

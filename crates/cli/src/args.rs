@@ -8,7 +8,7 @@ rfid — BFCE RFID cardinality estimation (ICPP 2015 reproduction)
 
 USAGE:
   rfid estimate  --n <count> [--estimator bfce] [--workload T1] [--epsilon 0.05]
-                 [--delta 0.05] [--seed 42] [--rounds 1] [--ber 0.0]
+                 [--delta 0.05] [--seed 42] [--trials 1] [--jobs 0] [--ber 0.0]
   rfid compare   --n <count> [--estimators bfce,zoe,src] [--workload T2]
                  [--epsilon 0.05] [--delta 0.05] [--seed 42]
   rfid trace     --n <count> [--workload T1] [--seed 42]
@@ -36,10 +36,13 @@ pub struct EstimateOpts {
     pub delta: f64,
     /// RNG seed.
     pub seed: u64,
-    /// Independent repetitions.
+    /// Independent repetitions (`--trials`; `--rounds` is accepted as an
+    /// alias).
     pub rounds: u32,
     /// Channel bit-error rate (0 = the paper's perfect channel).
     pub ber: f64,
+    /// Worker threads for trial-parallel runs (0 = one per CPU core).
+    pub jobs: usize,
 }
 
 impl Default for EstimateOpts {
@@ -53,6 +56,7 @@ impl Default for EstimateOpts {
             seed: 42,
             rounds: 1,
             ber: 0.0,
+            jobs: 0,
         }
     }
 }
@@ -166,8 +170,9 @@ fn fill_estimate_opts(
             "epsilon" => opts.epsilon = parse_num(key, value)?,
             "delta" => opts.delta = parse_num(key, value)?,
             "seed" => opts.seed = parse_num(key, value)?,
-            "rounds" => opts.rounds = parse_num(key, value)?,
+            "rounds" | "trials" => opts.rounds = parse_num(key, value)?,
             "ber" => opts.ber = parse_num(key, value)?,
+            "jobs" => opts.jobs = parse_num(key, value)?,
             other => return Err(ParseError(format!("unknown option --{other}"))),
         }
     }
@@ -178,7 +183,7 @@ fn fill_estimate_opts(
         return Err(ParseError("--delta must lie in (0, 1)".into()));
     }
     if opts.rounds == 0 {
-        return Err(ParseError("--rounds must be at least 1".into()));
+        return Err(ParseError("--trials must be at least 1".into()));
     }
     if !(0.0..1.0).contains(&opts.ber) {
         return Err(ParseError("--ber must lie in [0, 1)".into()));
@@ -300,6 +305,24 @@ mod tests {
         assert_eq!(o.seed, 7);
         assert_eq!(o.rounds, 3);
         assert_eq!(o.ber, 0.01);
+    }
+
+    #[test]
+    fn estimate_trials_and_jobs_flags() {
+        let Command::Estimate(o) =
+            parse(&argv("estimate --trials 8 --jobs 4")).unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(o.rounds, 8);
+        assert_eq!(o.jobs, 4);
+        // --rounds stays as a backwards-compatible alias.
+        let Command::Estimate(o) = parse(&argv("estimate --rounds 5")).unwrap() else {
+            panic!()
+        };
+        assert_eq!(o.rounds, 5);
+        assert!(parse(&argv("estimate --trials 0")).is_err());
+        assert!(parse(&argv("estimate --jobs x")).is_err());
     }
 
     #[test]

@@ -4,6 +4,7 @@ use crate::args::{CompareOpts, EstimateOpts, WorkloadOpts};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rfid_baselines::{Art, Ezb, Fneb, Lof, Mle, Pet, QInventory, Src, Upe, Zoe, A3};
+use rfid_experiments::TrialRunner;
 use rfid_bfce::overhead::{nominal_total_seconds, total_bit_slots};
 use rfid_bfce::theory::{gamma_bounds, max_cardinality};
 use rfid_bfce::{Bfce, BfceConfig};
@@ -32,12 +33,8 @@ pub fn make_estimator(name: &str) -> Option<Box<dyn CardinalityEstimator>> {
     }
 }
 
-fn build_system(opts: &EstimateOpts, round: u32) -> RfidSystem {
-    let seed = opts
-        .seed
-        .wrapping_mul(0x100_0000_01B3)
-        .wrapping_add(round as u64);
-    let mut rng = StdRng::seed_from_u64(seed);
+fn build_system(opts: &EstimateOpts, seed: u64) -> RfidSystem {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x9E37_79B9_7F4A_7C15);
     let population = opts.workload.generate(opts.n, &mut rng);
     if opts.ber > 0.0 {
         let mut system = RfidSystem::with_channel(
@@ -70,10 +67,18 @@ pub fn estimate(opts: &EstimateOpts, out: &mut dyn Write) -> std::io::Result<()>
         opts.delta,
         if opts.ber > 0.0 { "bit-error" } else { "perfect" },
     )?;
-    for round in 0..opts.rounds {
-        let mut system = build_system(opts, round);
-        let mut rng = StdRng::seed_from_u64(opts.seed ^ (round as u64) << 32);
-        let report = est.estimate(&mut system, accuracy, &mut rng);
+    // Trials fan out across the engine's worker pool (`--jobs`); per-trial
+    // seeds are stream-split from `--seed`, and results come back in trial
+    // order, so the output is identical at any worker count.
+    let reports = TrialRunner::new(opts.rounds, opts.seed)
+        .jobs(opts.jobs)
+        .map(|ctx| {
+            let mut system = build_system(opts, ctx.seed);
+            system.set_frame_min_chunk(ctx.frame_min_chunk);
+            let mut rng = ctx.rng();
+            est.estimate(&mut system, accuracy, &mut rng)
+        });
+    for (round, report) in reports.iter().enumerate() {
         writeln!(
             out,
             "round {:>2}: n_hat = {:>12.1}  rel_err = {:.4}  air = {:.4}s  \
@@ -90,6 +95,23 @@ pub fn estimate(opts: &EstimateOpts, out: &mut dyn Write) -> std::io::Result<()>
             writeln!(out, "  warning: {warning}")?;
         }
     }
+    if opts.rounds > 1 {
+        let errs: Vec<f64> = reports
+            .iter()
+            .map(|r| r.relative_error(opts.n.max(1)))
+            .collect();
+        let secs: Vec<f64> = reports.iter().map(|r| r.air.total_seconds()).collect();
+        writeln!(
+            out,
+            "summary : {} trials  mean_err = {:.4}  p95_err = {:.4}  \
+             mean_air = {:.4}s  p95_air = {:.4}s",
+            opts.rounds,
+            rfid_stats::mean(&errs),
+            rfid_stats::percentile(&errs, 95.0),
+            rfid_stats::mean(&secs),
+            rfid_stats::percentile(&secs, 95.0),
+        )?;
+    }
     Ok(())
 }
 
@@ -104,7 +126,7 @@ pub fn compare(opts: &CompareOpts, out: &mut dyn Write) -> std::io::Result<()> {
     for name in &opts.estimators {
         let est = make_estimator(name)
             .ok_or_else(|| invalid(format!("unknown estimator '{name}'")))?;
-        let mut system = build_system(&opts.base, 0);
+        let mut system = build_system(&opts.base, opts.base.seed);
         let mut rng = StdRng::seed_from_u64(opts.base.seed);
         let report = est.estimate(&mut system, accuracy, &mut rng);
         writeln!(
@@ -122,7 +144,7 @@ pub fn compare(opts: &CompareOpts, out: &mut dyn Write) -> std::io::Result<()> {
 
 /// `rfid trace` — BFCE with the event recorder on.
 pub fn trace(opts: &EstimateOpts, out: &mut dyn Write) -> std::io::Result<()> {
-    let mut system = build_system(opts, 0);
+    let mut system = build_system(opts, opts.seed);
     system.enable_trace();
     let mut rng = StdRng::seed_from_u64(opts.seed);
     let bfce = Bfce::paper();
@@ -257,6 +279,22 @@ mod tests {
         assert!(s.contains("round  1"));
         assert!(s.contains("round  2"));
         assert!(s.contains("BFCE"));
+    }
+
+    #[test]
+    fn estimate_output_is_identical_at_any_job_count() {
+        // Per-trial seeds and trial-ordered output make the worker count
+        // invisible in the results.
+        let mk = |jobs| EstimateOpts {
+            n: 5_000,
+            rounds: 3,
+            jobs,
+            ..EstimateOpts::default()
+        };
+        let lone = capture(|out| estimate(&mk(1), out));
+        let pooled = capture(|out| estimate(&mk(3), out));
+        assert_eq!(lone, pooled);
+        assert!(lone.contains("summary : 3 trials"));
     }
 
     #[test]

@@ -2,10 +2,12 @@
 //! empirically (Section IV-B), plus extension studies beyond the paper:
 //! hash quality, channel errors, and the related-work shootout.
 
+use crate::engine::TrialRunner;
 use crate::output::{fnum, Table};
 use crate::runner::{run_repeated, Scale};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use rfid_hash::stream_seed;
 use rfid_baselines::all_baselines;
 use rfid_bfce::overhead::nominal_total_seconds;
 use rfid_bfce::theory::max_cardinality;
@@ -107,22 +109,20 @@ pub fn run_c_sweep(scale: Scale, seed: u64) -> Table {
             ..BfceConfig::paper()
         };
         let bfce = Bfce::new(cfg);
-        let mut lower_holds = 0u32;
-        let mut provable = 0u32;
-        let mut err_sum = 0.0;
-        for r in 0..rounds {
-            let s = seed.wrapping_add((c * 1000.0) as u64 + r as u64 * 7919);
-            let mut system = crate::runner::build_system(WorkloadSpec::T1, n, s);
-            let mut rng = StdRng::seed_from_u64(s);
-            let run = bfce.run(&mut system, Accuracy::paper_default(), &mut rng);
-            if run.rough.n_low <= n as f64 {
-                lower_holds += 1;
-            }
-            if run.accurate.as_ref().is_some_and(|a| a.provable) {
-                provable += 1;
-            }
-            err_sum += run.report.relative_error(n);
-        }
+        let trials = TrialRunner::new(rounds, stream_seed(seed, (c * 1000.0) as u64))
+            .map(|ctx| {
+                let mut system = ctx.system(WorkloadSpec::T1, n);
+                let mut rng = ctx.rng();
+                let run = bfce.run(&mut system, Accuracy::paper_default(), &mut rng);
+                (
+                    run.rough.n_low <= n as f64,
+                    run.accurate.as_ref().is_some_and(|a| a.provable),
+                    run.report.relative_error(n),
+                )
+            });
+        let lower_holds = trials.iter().filter(|t| t.0).count();
+        let provable = trials.iter().filter(|t| t.1).count();
+        let err_sum: f64 = trials.iter().map(|t| t.2).sum();
         table.push_row(vec![
             fnum(c),
             fnum(lower_holds as f64 / rounds as f64),
@@ -191,27 +191,27 @@ pub fn run_channel_sweep(scale: Scale, seed: u64) -> Table {
     );
     let bfce = Bfce::paper();
     for &ber in bers {
-        let mut err_sum = 0.0;
-        let mut err_max = 0.0f64;
-        for r in 0..rounds {
-            let s = seed.wrapping_add(r as u64 * 104_729 + (ber * 1e4) as u64);
-            let mut rng = StdRng::seed_from_u64(s ^ 0xABCD);
-            let population = WorkloadSpec::T1.generate(n, &mut rng);
-            let mut system = if ber > 0.0 {
-                RfidSystem::with_channel(population, Box::new(BitErrorChannel::new(ber)))
-            } else {
-                RfidSystem::new(population)
-            };
-            system.set_noise_seed(s);
-            let report = bfce.estimate(&mut system, Accuracy::paper_default(), &mut rng);
-            let err = report.relative_error(n);
-            err_sum += err;
-            err_max = err_max.max(err);
-        }
+        let out = TrialRunner::new(rounds, stream_seed(seed, (ber * 1e4) as u64))
+            .run_with(n, Accuracy::paper_default(), |ctx| {
+                let mut rng = StdRng::seed_from_u64(ctx.seed ^ 0xABCD);
+                let population = WorkloadSpec::T1.generate(n, &mut rng);
+                let mut system = if ber > 0.0 {
+                    RfidSystem::with_channel(
+                        population,
+                        Box::new(BitErrorChannel::new(ber)),
+                    )
+                } else {
+                    RfidSystem::new(population)
+                };
+                system.set_noise_seed(ctx.seed);
+                system.set_frame_min_chunk(ctx.frame_min_chunk);
+                bfce.estimate(&mut system, Accuracy::paper_default(), &mut rng)
+            })
+            .outcome();
         table.push_row(vec![
             fnum(ber),
-            fnum(err_sum / rounds as f64),
-            fnum(err_max),
+            fnum(out.mean_error),
+            fnum(out.max_error),
         ]);
     }
     table.note("beyond the paper: sensitivity of the idle-ratio inversion to slot misreads");
@@ -248,18 +248,15 @@ pub fn run_probe_strategy(scale: Scale, seed: u64) -> Table {
                 ..BfceConfig::paper()
             };
             let bfce = Bfce::new(cfg);
-            let mut window_sum = 0.0;
-            let mut secs_sum = 0.0;
-            for r in 0..rounds {
-                let s = seed.wrapping_add(n as u64 * 31 + r as u64);
-                let mut system = crate::runner::build_system(WorkloadSpec::T1, n, s);
-                let mut rng = StdRng::seed_from_u64(s);
-                let run = bfce.run(&mut system, Accuracy::paper_default(), &mut rng);
-                window_sum += run.probe.rounds as f64;
-                secs_sum += run.report.air.total_seconds();
-            }
-            windows.push(window_sum / rounds as f64);
-            seconds.push(secs_sum / rounds as f64);
+            let trials = TrialRunner::new(rounds, stream_seed(seed, n as u64 * 31))
+                .map(|ctx| {
+                    let mut system = ctx.system(WorkloadSpec::T1, n);
+                    let mut rng = ctx.rng();
+                    let run = bfce.run(&mut system, Accuracy::paper_default(), &mut rng);
+                    (run.probe.rounds as f64, run.report.air.total_seconds())
+                });
+            windows.push(trials.iter().map(|t| t.0).sum::<f64>() / rounds as f64);
+            seconds.push(trials.iter().map(|t| t.1).sum::<f64>() / rounds as f64);
         }
         cells.push(fnum(windows[0]));
         cells.push(fnum(windows[1]));
@@ -421,16 +418,9 @@ pub fn run_energy(scale: Scale, seed: u64) -> Table {
     estimators.extend(all_baselines());
     estimators.push(Box::new(rfid_baselines::QInventory::default()));
     for est in &estimators {
-        let mut responses = 0u64;
-        let mut secs = 0.0;
-        for r in 0..rounds {
-            let s = seed.wrapping_add(r as u64 * 8191);
-            let mut system = crate::runner::build_system(WorkloadSpec::T1, n, s);
-            let mut rng = StdRng::seed_from_u64(s);
-            let report = est.estimate(&mut system, acc, &mut rng);
-            responses += report.air.tag_responses;
-            secs += report.air.total_seconds();
-        }
+        let set = TrialRunner::new(rounds, seed).run(est.as_ref(), WorkloadSpec::T1, n, acc);
+        let responses: u64 = set.records().iter().map(|r| r.air.tag_responses).sum();
+        let secs: f64 = set.seconds().iter().sum();
         let mean_responses = responses as f64 / rounds as f64;
         table.push_row(vec![
             est.name().to_string(),

@@ -1,7 +1,7 @@
 //! Ablation: rough lower-bound coefficient c.
-use rfid_experiments::{ablations, output::emit, Scale};
+use rfid_experiments::{ablations, output::emit, configure};
 
 fn main() {
-    let scale = Scale::from_args();
+    let scale = configure(std::env::args().skip(1)).scale;
     emit(&ablations::run_c_sweep(scale, 42), "ablation_c");
 }

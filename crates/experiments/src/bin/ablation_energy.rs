@@ -1,7 +1,7 @@
 //! Extension: per-tag energy (transmission counts) across estimators.
-use rfid_experiments::{ablations, output::emit, Scale};
+use rfid_experiments::{ablations, output::emit, configure};
 
 fn main() {
-    let scale = Scale::from_args();
+    let scale = configure(std::env::args().skip(1)).scale;
     emit(&ablations::run_energy(scale, 42), "ablation_energy");
 }

@@ -1,7 +1,7 @@
 //! Ablation: XOR-bitget vs full-avalanche tag hashing.
-use rfid_experiments::{ablations, output::emit, Scale};
+use rfid_experiments::{ablations, output::emit, configure};
 
 fn main() {
-    let scale = Scale::from_args();
+    let scale = configure(std::env::args().skip(1)).scale;
     emit(&ablations::run_hash_comparison(scale, 42), "ablation_hash");
 }

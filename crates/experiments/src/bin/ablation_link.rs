@@ -1,7 +1,7 @@
 //! Ablation: PHY link profile (Tari / BLF / Miller).
-use rfid_experiments::{ablations, output::emit, Scale};
+use rfid_experiments::{ablations, output::emit, configure};
 
 fn main() {
-    let scale = Scale::from_args();
+    let scale = configure(std::env::args().skip(1)).scale;
     emit(&ablations::run_link_sweep(scale, 42), "ablation_link");
 }

@@ -1,7 +1,7 @@
 //! Extension: additive (paper) vs geometric probe adjustment.
-use rfid_experiments::{ablations, output::emit, Scale};
+use rfid_experiments::{ablations, output::emit, configure};
 
 fn main() {
-    let scale = Scale::from_args();
+    let scale = configure(std::env::args().skip(1)).scale;
     emit(&ablations::run_probe_strategy(scale, 42), "ablation_probe");
 }

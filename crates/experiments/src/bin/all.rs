@@ -3,11 +3,11 @@
 use rfid_experiments::fig09::Sweep;
 use rfid_experiments::{
     ablations, fig03, fig04, fig05, fig06, fig07, fig08, fig09, fig10,
-    guarantee, output::emit, plots, summary, tracking, Scale,
+    guarantee, output::emit, plots, summary, tracking, configure,
 };
 
 fn main() {
-    let scale = Scale::from_args();
+    let scale = configure(std::env::args().skip(1)).scale;
     emit(&summary::run(scale, 42), "summary_headline_claims");
     emit(&fig03::run(scale, 42), "fig03_linearity");
     emit(&fig04::run(scale, 42), "fig04_gamma");

@@ -1,7 +1,7 @@
 //! Extension: exact Q-inventory vs BFCE estimation across cardinalities.
-use rfid_experiments::{ablations, output::emit, Scale};
+use rfid_experiments::{ablations, output::emit, configure};
 
 fn main() {
-    let scale = Scale::from_args();
+    let scale = configure(std::env::args().skip(1)).scale;
     emit(&ablations::run_crossover(scale, 42), "crossover");
 }

@@ -1,7 +1,7 @@
 //! Regenerate Figure 3 (0s/1s vs n). `--paper` for the full grid.
-use rfid_experiments::{fig03, output::emit, Scale};
+use rfid_experiments::{fig03, output::emit, configure};
 
 fn main() {
-    let scale = Scale::from_args();
+    let scale = configure(std::env::args().skip(1)).scale;
     emit(&fig03::run(scale, 42), "fig03_linearity");
 }

@@ -1,7 +1,7 @@
 //! Regenerate Figure 4 (gamma surface and scalability bounds).
-use rfid_experiments::{fig04, output::emit, Scale};
+use rfid_experiments::{fig04, output::emit, configure};
 
 fn main() {
-    let scale = Scale::from_args();
+    let scale = configure(std::env::args().skip(1)).scale;
     emit(&fig04::run(scale, 42), "fig04_gamma");
 }

@@ -1,7 +1,7 @@
 //! Regenerate Figure 5 (f1/f2 monotonicity in n).
-use rfid_experiments::{fig05, output::emit, Scale};
+use rfid_experiments::{fig05, output::emit, configure};
 
 fn main() {
-    let scale = Scale::from_args();
+    let scale = configure(std::env::args().skip(1)).scale;
     emit(&fig05::run(scale, 42), "fig05_monotonicity");
 }

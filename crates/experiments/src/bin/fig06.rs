@@ -1,7 +1,7 @@
 //! Regenerate Figure 6 (the T1/T2/T3 tag-ID distributions).
-use rfid_experiments::{fig06, output::emit, Scale};
+use rfid_experiments::{fig06, output::emit, configure};
 
 fn main() {
-    let scale = Scale::from_args();
+    let scale = configure(std::env::args().skip(1)).scale;
     emit(&fig06::run(scale, 42), "fig06_workloads");
 }

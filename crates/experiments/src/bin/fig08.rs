@@ -1,7 +1,7 @@
 //! Regenerate Figure 8 (CDF of 100 estimation rounds).
-use rfid_experiments::{fig08, output::emit, Scale};
+use rfid_experiments::{fig08, output::emit, configure};
 
 fn main() {
-    let scale = Scale::from_args();
+    let scale = configure(std::env::args().skip(1)).scale;
     emit(&fig08::run(scale, 42), "fig08_cdf");
 }

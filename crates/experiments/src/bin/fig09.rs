@@ -1,9 +1,9 @@
 //! Regenerate Figure 9 (accuracy comparison BFCE/ZOE/SRC on T2).
 use rfid_experiments::fig09::{run, Sweep};
-use rfid_experiments::{output::emit, Scale};
+use rfid_experiments::{output::emit, configure};
 
 fn main() {
-    let scale = Scale::from_args();
+    let scale = configure(std::env::args().skip(1)).scale;
     emit(&run(Sweep::N, scale, 42), "fig09a_accuracy_vs_n");
     emit(&run(Sweep::Epsilon, scale, 42), "fig09b_accuracy_vs_epsilon");
     emit(&run(Sweep::Delta, scale, 42), "fig09c_accuracy_vs_delta");

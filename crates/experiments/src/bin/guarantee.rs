@@ -1,7 +1,7 @@
 //! Statistical validation of the (epsilon, delta) guarantee.
-use rfid_experiments::{guarantee, output::emit, Scale};
+use rfid_experiments::{guarantee, output::emit, configure};
 
 fn main() {
-    let scale = Scale::from_args();
+    let scale = configure(std::env::args().skip(1)).scale;
     emit(&guarantee::run(scale, 42), "guarantee");
 }

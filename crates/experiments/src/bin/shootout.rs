@@ -1,7 +1,7 @@
 //! The full related-work shootout: all ten estimators side by side.
-use rfid_experiments::{ablations, output::emit, Scale};
+use rfid_experiments::{ablations, output::emit, configure};
 
 fn main() {
-    let scale = Scale::from_args();
+    let scale = configure(std::env::args().skip(1)).scale;
     emit(&ablations::run_shootout(scale, 42), "shootout");
 }

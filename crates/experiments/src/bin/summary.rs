@@ -1,7 +1,7 @@
 //! Check the paper's headline claims in one table.
-use rfid_experiments::{output::emit, summary, Scale};
+use rfid_experiments::{output::emit, summary, configure};
 
 fn main() {
-    let scale = Scale::from_args();
+    let scale = configure(std::env::args().skip(1)).scale;
     emit(&summary::run(scale, 42), "summary_headline_claims");
 }

@@ -1,7 +1,7 @@
 //! Extension: tag-side operation counts per scheme.
-use rfid_experiments::{ablations, output::emit, Scale};
+use rfid_experiments::{ablations, output::emit, configure};
 
 fn main() {
-    let scale = Scale::from_args();
+    let scale = configure(std::env::args().skip(1)).scale;
     emit(&ablations::run_tag_ops(scale, 42), "tag_ops");
 }

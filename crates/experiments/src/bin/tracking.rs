@@ -1,7 +1,7 @@
 //! Continuous monitoring under churn: level vs differential detectors.
-use rfid_experiments::{output::emit, tracking, Scale};
+use rfid_experiments::{output::emit, tracking, configure};
 
 fn main() {
-    let scale = Scale::from_args();
+    let scale = configure(std::env::args().skip(1)).scale;
     emit(&tracking::run(scale, 42), "tracking");
 }

@@ -1,0 +1,494 @@
+//! Trial-parallel Monte-Carlo engine.
+//!
+//! Every figure of the paper's evaluation aggregates hundreds of
+//! *independent* estimation trials; [`TrialRunner`] fans those trials over a
+//! worker pool using the same fold/merge idiom as the intra-frame
+//! parallelism in `rfid-sim` (`par_fold_with_threads`), one contiguous chunk
+//! of trial indices per worker.
+//!
+//! **Determinism contract.** Trial `i` of a run with base seed `b` is a pure
+//! function of `stream_seed(b, i)` ([`rfid_hash::stream_seed`]) — never of
+//! the worker that executed it. Workers return per-trial records which are
+//! concatenated in trial order (chunks are contiguous and merge
+//! left-to-right), and every aggregate is then computed in one sequential
+//! pass over that ordered list (Welford [`RunningStats`] + percentiles), so
+//! a [`TrialSet`] and everything derived from it is **bitwise identical**
+//! for `--jobs 1` and `--jobs N`.
+//!
+//! **Nested-parallelism rule.** When the trial pool uses more than one
+//! worker, each worker's [`RfidSystem`] is built with
+//! `set_frame_min_chunk(usize::MAX)`, disabling the frame-level fork/join —
+//! two stacked pools would oversubscribe the machine. Frame fills are exact
+//! integer aggregation, so the observation (and therefore the estimate) is
+//! bitwise identical either way.
+
+use crate::runner::{build_system, RepeatedOutcome};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rfid_hash::stream_seed;
+use rfid_sim::frame::MIN_TAGS_PER_THREAD;
+use rfid_sim::parallel::par_fold_with_threads;
+use rfid_sim::{Accuracy, AirTime, CardinalityEstimator, EstimationReport, RfidSystem};
+use rfid_stats::{percentile, RunningStats};
+use rfid_workloads::WorkloadSpec;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Process-wide default worker count for trial-parallel runs.
+/// 0 means "auto": use `std::thread::available_parallelism`.
+static DEFAULT_JOBS: AtomicUsize = AtomicUsize::new(0);
+
+/// Set the process-wide default worker count (`0` restores auto).
+/// Binaries call this once after parsing `--jobs`.
+pub fn set_default_jobs(jobs: usize) {
+    DEFAULT_JOBS.store(jobs, Ordering::Relaxed);
+}
+
+/// The worker count a [`TrialRunner`] without an explicit override uses:
+/// the value from [`set_default_jobs`], or `available_parallelism` when
+/// unset.
+pub fn default_jobs() -> usize {
+    let configured = DEFAULT_JOBS.load(Ordering::Relaxed);
+    if configured > 0 {
+        return configured;
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Everything a trial closure may depend on. Handed to the closure instead
+/// of raw loop variables so a trial cannot accidentally depend on worker
+/// identity.
+#[derive(Debug, Clone, Copy)]
+pub struct TrialCtx {
+    /// Trial index in `[0, trials)`.
+    pub trial: u32,
+    /// This trial's private seed: `stream_seed(base_seed, trial)`.
+    pub seed: u64,
+    /// The intra-frame split threshold systems built for this trial must
+    /// use (`usize::MAX` whenever the trial pool itself is parallel).
+    pub frame_min_chunk: usize,
+}
+
+impl TrialCtx {
+    /// Build the standard system for this trial — [`build_system`] with the
+    /// nested-parallelism rule applied.
+    pub fn system(&self, workload: WorkloadSpec, n: usize) -> RfidSystem {
+        let mut system = build_system(workload, n, self.seed);
+        system.set_frame_min_chunk(self.frame_min_chunk);
+        system
+    }
+
+    /// The reader-side RNG for this trial (same derivation as
+    /// [`crate::runner::run_once`]).
+    pub fn rng(&self) -> StdRng {
+        StdRng::seed_from_u64(self.seed)
+    }
+}
+
+/// The per-trial result the standard estimation harness records.
+#[derive(Debug, Clone, Copy)]
+pub struct TrialRecord {
+    /// Trial index.
+    pub trial: u32,
+    /// The seed the trial ran under.
+    pub seed: u64,
+    /// The estimate.
+    pub n_hat: f64,
+    /// Relative error `|n_hat - n| / n`.
+    pub error: f64,
+    /// Total air time in seconds.
+    pub seconds: f64,
+    /// Full air-time breakdown.
+    pub air: AirTime,
+    /// Reader rounds the estimator executed.
+    pub rounds: u64,
+}
+
+/// A configured trial-parallel run: `(trials, base_seed, jobs)`.
+#[derive(Debug, Clone, Copy)]
+pub struct TrialRunner {
+    trials: u32,
+    base_seed: u64,
+    jobs: Option<usize>,
+}
+
+impl TrialRunner {
+    /// A runner for `trials` independent trials seeded from `base_seed`,
+    /// using the process-default worker count.
+    pub fn new(trials: u32, base_seed: u64) -> Self {
+        assert!(trials >= 1, "need at least one trial");
+        Self {
+            trials,
+            base_seed,
+            jobs: None,
+        }
+    }
+
+    /// Override the worker count for this run (`--jobs N`). `0` means the
+    /// process default.
+    pub fn jobs(mut self, jobs: usize) -> Self {
+        self.jobs = if jobs == 0 { None } else { Some(jobs) };
+        self
+    }
+
+    /// Number of trials.
+    pub fn trials(&self) -> u32 {
+        self.trials
+    }
+
+    /// The seed trial `i` will receive.
+    pub fn trial_seed(&self, trial: u32) -> u64 {
+        stream_seed(self.base_seed, trial as u64)
+    }
+
+    /// The worker count this run will actually use.
+    pub fn effective_jobs(&self) -> usize {
+        self.jobs.unwrap_or_else(default_jobs).max(1)
+    }
+
+    fn frame_min_chunk(&self) -> usize {
+        if self.effective_jobs() > 1 {
+            usize::MAX
+        } else {
+            MIN_TAGS_PER_THREAD
+        }
+    }
+
+    /// Run an arbitrary per-trial function across the pool and return its
+    /// results **in trial order**. This is the primitive the estimation
+    /// harnesses build on; experiments with bespoke per-trial logic
+    /// (tracking epochs, probe-strategy comparisons, …) use it directly.
+    pub fn map<T, F>(&self, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(&TrialCtx) -> T + Sync,
+    {
+        let indices: Vec<u32> = (0..self.trials).collect();
+        let frame_min_chunk = self.frame_min_chunk();
+        let mut results: Vec<(u32, T)> = par_fold_with_threads(
+            &indices,
+            self.effective_jobs(),
+            Vec::new,
+            |acc: &mut Vec<(u32, T)>, &trial| {
+                let ctx = TrialCtx {
+                    trial,
+                    seed: self.trial_seed(trial),
+                    frame_min_chunk,
+                };
+                acc.push((trial, f(&ctx)));
+            },
+            |acc, mut other| acc.append(&mut other),
+        );
+        // Contiguous chunks merged left-to-right are already in trial
+        // order; the sort is a cheap guarantee that aggregation order can
+        // never depend on the scheduler.
+        results.sort_by_key(|(trial, _)| *trial);
+        results.into_iter().map(|(_, value)| value).collect()
+    }
+
+    /// Run one estimation per trial with a caller-supplied closure (the
+    /// closure builds its own system — e.g. with a custom channel — runs
+    /// the estimator, and returns the report) and record the standard
+    /// accuracy/air-time metrics against `truth`.
+    pub fn run_with<F>(&self, truth: usize, accuracy: Accuracy, run: F) -> TrialSet
+    where
+        F: Fn(&TrialCtx) -> EstimationReport + Sync,
+    {
+        let records = self.map(|ctx| {
+            let report = run(ctx);
+            TrialRecord {
+                trial: ctx.trial,
+                seed: ctx.seed,
+                n_hat: report.n_hat,
+                error: report.relative_error(truth),
+                seconds: report.air.total_seconds(),
+                air: report.air,
+                rounds: report.rounds,
+            }
+        });
+        TrialSet {
+            records,
+            epsilon: accuracy.epsilon,
+        }
+    }
+
+    /// The standard harness: fresh population + protocol seed per trial,
+    /// one full estimation each.
+    pub fn run(
+        &self,
+        estimator: &dyn CardinalityEstimator,
+        workload: WorkloadSpec,
+        n: usize,
+        accuracy: Accuracy,
+    ) -> TrialSet {
+        self.run_with(n, accuracy, |ctx| {
+            let mut system = ctx.system(workload, n);
+            let mut rng = ctx.rng();
+            estimator.estimate(&mut system, accuracy, &mut rng)
+        })
+    }
+}
+
+/// The ordered per-trial records of one run, plus sequential aggregation.
+#[derive(Debug, Clone)]
+pub struct TrialSet {
+    records: Vec<TrialRecord>,
+    epsilon: f64,
+}
+
+impl TrialSet {
+    /// Per-trial records, in trial order.
+    pub fn records(&self) -> &[TrialRecord] {
+        &self.records
+    }
+
+    /// The epsilon trials were judged against.
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// The estimates, in trial order (Figure 8 feeds these to an ECDF).
+    pub fn estimates(&self) -> Vec<f64> {
+        self.records.iter().map(|r| r.n_hat).collect()
+    }
+
+    /// The relative errors, in trial order.
+    pub fn errors(&self) -> Vec<f64> {
+        self.records.iter().map(|r| r.error).collect()
+    }
+
+    /// The per-trial air times in seconds, in trial order.
+    pub fn seconds(&self) -> Vec<f64> {
+        self.records.iter().map(|r| r.seconds).collect()
+    }
+
+    /// Number of trials whose error exceeded epsilon (the guarantee
+    /// harness's binomial-test statistic).
+    pub fn misses(&self) -> u32 {
+        self.records
+            .iter()
+            .filter(|r| r.error > self.epsilon)
+            .count() as u32
+    }
+
+    /// Aggregate into a [`RepeatedOutcome`].
+    ///
+    /// Always a single sequential pass over the trial-ordered records —
+    /// Welford accumulation plus sorted-percentile extraction — so the
+    /// result is bitwise identical no matter how many workers produced the
+    /// records.
+    pub fn outcome(&self) -> RepeatedOutcome {
+        let mut err = RunningStats::new();
+        let mut secs = RunningStats::new();
+        for r in &self.records {
+            err.push(r.error);
+            secs.push(r.seconds);
+        }
+        let errors = self.errors();
+        let seconds = self.seconds();
+        RepeatedOutcome {
+            trials: self.records.len() as u32,
+            mean_error: err.mean(),
+            max_error: err.max(),
+            within_epsilon: (self.records.len() as u32 - self.misses()) as f64
+                / self.records.len() as f64,
+            mean_seconds: secs.mean(),
+            max_seconds: secs.max(),
+            p50_error: percentile(&errors, 50.0),
+            p95_error: percentile(&errors, 95.0),
+            p99_error: percentile(&errors, 99.0),
+            p50_seconds: percentile(&seconds, 50.0),
+            p95_seconds: percentile(&seconds, 95.0),
+            p99_seconds: percentile(&seconds, 99.0),
+        }
+    }
+}
+
+/// Standard experiment flags shared by every figure binary, parsed from an
+/// explicit argument list (env reading stays in `main`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExperimentArgs {
+    /// `--paper` versus quick grids.
+    pub scale: crate::Scale,
+    /// `--jobs N` worker-count override, if given.
+    pub jobs: Option<usize>,
+    /// `--trials N` trial-count override, if given.
+    pub trials: Option<u32>,
+}
+
+/// Parse `--paper`, `--jobs N`, and `--trials N` from an argument list.
+/// Unknown arguments are ignored (each binary may have extras).
+pub fn parse_experiment_args<I>(args: I) -> ExperimentArgs
+where
+    I: IntoIterator,
+    I::Item: AsRef<str>,
+{
+    let args: Vec<String> = args.into_iter().map(|a| a.as_ref().to_string()).collect();
+    let lookup = |flag: &str| -> Option<&str> {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .map(|s| s.as_str())
+    };
+    let jobs = lookup("--jobs").map(|v| {
+        v.parse::<usize>()
+            .unwrap_or_else(|_| panic!("--jobs expects a non-negative integer, got '{v}'"))
+    });
+    let trials = lookup("--trials").map(|v| {
+        let t = v
+            .parse::<u32>()
+            .unwrap_or_else(|_| panic!("--trials expects a positive integer, got '{v}'"));
+        assert!(t >= 1, "--trials must be at least 1");
+        t
+    });
+    ExperimentArgs {
+        scale: crate::Scale::from_iter(args),
+        jobs,
+        trials,
+    }
+}
+
+/// Parse the standard flags and apply the `--jobs` override to the process
+/// default. The one-liner every figure binary calls at the top of `main`.
+pub fn configure<I>(args: I) -> ExperimentArgs
+where
+    I: IntoIterator,
+    I::Item: AsRef<str>,
+{
+    let parsed = parse_experiment_args(args);
+    if let Some(jobs) = parsed.jobs {
+        set_default_jobs(jobs);
+    }
+    parsed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::run_once;
+    use rfid_bfce::Bfce;
+
+    const N: usize = 20_000;
+
+    fn run_with_jobs(jobs: usize) -> TrialSet {
+        TrialRunner::new(8, 42).jobs(jobs).run(
+            &Bfce::paper(),
+            WorkloadSpec::T1,
+            N,
+            Accuracy::paper_default(),
+        )
+    }
+
+    #[test]
+    fn aggregates_are_bitwise_identical_for_one_vs_many_jobs() {
+        let lone = run_with_jobs(1);
+        for jobs in [2, 3, 8] {
+            let pooled = run_with_jobs(jobs);
+            for (a, b) in lone.records().iter().zip(pooled.records().iter()) {
+                assert_eq!(a.trial, b.trial);
+                assert_eq!(a.seed, b.seed);
+                assert_eq!(a.n_hat.to_bits(), b.n_hat.to_bits(), "jobs = {jobs}");
+                assert_eq!(a.error.to_bits(), b.error.to_bits());
+                assert_eq!(a.seconds.to_bits(), b.seconds.to_bits());
+                assert_eq!(a.air, b.air);
+            }
+            let (lo, po) = (lone.outcome(), pooled.outcome());
+            assert_eq!(lo.mean_error.to_bits(), po.mean_error.to_bits());
+            assert_eq!(lo.max_error.to_bits(), po.max_error.to_bits());
+            assert_eq!(lo.within_epsilon.to_bits(), po.within_epsilon.to_bits());
+            assert_eq!(lo.mean_seconds.to_bits(), po.mean_seconds.to_bits());
+            assert_eq!(lo.p50_error.to_bits(), po.p50_error.to_bits());
+            assert_eq!(lo.p95_error.to_bits(), po.p95_error.to_bits());
+            assert_eq!(lo.p99_error.to_bits(), po.p99_error.to_bits());
+            assert_eq!(lo.p99_seconds.to_bits(), po.p99_seconds.to_bits());
+        }
+    }
+
+    #[test]
+    fn trial_records_match_run_once() {
+        // A pooled trial must equal the plain sequential harness run under
+        // the same seed: parallelism may not leak into results.
+        let set = run_with_jobs(4);
+        let acc = Accuracy::paper_default();
+        for record in set.records().iter().take(3) {
+            let report = run_once(&Bfce::paper(), WorkloadSpec::T1, N, acc, record.seed);
+            assert_eq!(report.n_hat.to_bits(), record.n_hat.to_bits());
+            assert_eq!(report.air, record.air);
+        }
+    }
+
+    #[test]
+    fn map_returns_results_in_trial_order() {
+        let values = TrialRunner::new(64, 7)
+            .jobs(5)
+            .map(|ctx| (ctx.trial, ctx.seed));
+        for (i, &(trial, seed)) in values.iter().enumerate() {
+            assert_eq!(trial, i as u32);
+            assert_eq!(seed, rfid_hash::stream_seed(7, i as u64));
+        }
+    }
+
+    #[test]
+    fn nested_parallelism_is_disabled_only_in_pooled_runs() {
+        let pooled = TrialRunner::new(2, 1).jobs(4);
+        assert_eq!(pooled.frame_min_chunk(), usize::MAX);
+        let lone = TrialRunner::new(2, 1).jobs(1);
+        assert_eq!(
+            lone.frame_min_chunk(),
+            rfid_sim::frame::MIN_TAGS_PER_THREAD
+        );
+    }
+
+    #[test]
+    fn trial_set_percentiles_and_misses_are_consistent() {
+        let set = run_with_jobs(2);
+        let out = set.outcome();
+        assert_eq!(out.trials, 8);
+        assert!(out.p50_error <= out.p95_error);
+        assert!(out.p95_error <= out.p99_error);
+        assert!(out.p99_error <= out.max_error);
+        assert!(out.p50_seconds <= out.p99_seconds);
+        assert!(out.p99_seconds <= out.max_seconds);
+        let misses = set
+            .errors()
+            .iter()
+            .filter(|&&e| e > set.epsilon())
+            .count() as u32;
+        assert_eq!(set.misses(), misses);
+        assert!((out.within_epsilon - (8 - misses) as f64 / 8.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn parse_experiment_args_extracts_flags() {
+        let args = ["--paper", "--jobs", "4", "--trials", "250"];
+        let parsed = parse_experiment_args(args);
+        assert_eq!(parsed.scale, crate::Scale::Paper);
+        assert_eq!(parsed.jobs, Some(4));
+        assert_eq!(parsed.trials, Some(250));
+
+        let bare: [&str; 0] = [];
+        let parsed = parse_experiment_args(bare);
+        assert_eq!(parsed.scale, crate::Scale::Quick);
+        assert_eq!(parsed.jobs, None);
+        assert_eq!(parsed.trials, None);
+    }
+
+    #[test]
+    #[should_panic(expected = "--jobs expects a non-negative integer")]
+    fn parse_experiment_args_rejects_bad_jobs() {
+        parse_experiment_args(["--jobs", "many"]);
+    }
+
+    #[test]
+    fn default_jobs_override_round_trips() {
+        let before = default_jobs();
+        set_default_jobs(3);
+        assert_eq!(default_jobs(), 3);
+        assert_eq!(TrialRunner::new(1, 0).effective_jobs(), 3);
+        assert_eq!(TrialRunner::new(1, 0).jobs(7).effective_jobs(), 7);
+        set_default_jobs(0);
+        assert!(default_jobs() >= 1);
+        let _ = before;
+    }
+}

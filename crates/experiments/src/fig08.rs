@@ -3,9 +3,11 @@
 //! distribution. The paper reads off that the estimates are "tightly
 //! concentrated around the actual cardinality" for all three sets.
 
+use crate::engine::TrialRunner;
 use crate::output::{fnum, Table};
-use crate::runner::{run_once, Scale};
+use crate::runner::Scale;
 use rfid_bfce::Bfce;
+use rfid_hash::stream_seed;
 use rfid_sim::Accuracy;
 use rfid_stats::Ecdf;
 use rfid_workloads::WorkloadSpec;
@@ -25,15 +27,11 @@ pub fn run(scale: Scale, seed: u64) -> Table {
     let acc = Accuracy::paper_default();
     let mut ecdfs = Vec::new();
     for (wi, spec) in WorkloadSpec::PAPER_SET.iter().enumerate() {
-        let sample: Vec<f64> = (0..rounds)
-            .map(|r| {
-                let s = seed
-                    .wrapping_mul(6364136223846793005)
-                    .wrapping_add((wi as u64) << 32 | r as u64);
-                run_once(&bfce, *spec, n, acc, s).n_hat
-            })
-            .collect();
-        ecdfs.push(Ecdf::new(sample));
+        // One trial-parallel run per distribution; each gets a disjoint
+        // stream of per-trial seeds rooted at stream_seed(seed, wi).
+        let set = TrialRunner::new(rounds, stream_seed(seed, wi as u64))
+            .run(&bfce, *spec, n, acc);
+        ecdfs.push(Ecdf::new(set.estimates()));
     }
     for &q in &QUANTILES {
         table.push_row(vec![

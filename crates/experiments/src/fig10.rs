@@ -36,11 +36,13 @@ pub fn run(sweep: Sweep, scale: Scale, seed: u64) -> Table {
     let mut ratio_zoe = Vec::new();
     let mut ratio_src = Vec::new();
     let mut worst_bfce = 0.0f64;
+    let mut worst_bfce_p95 = 0.0f64;
     for (label, n, acc) in grid(sweep, scale) {
         let b = run_repeated(&bfce, WorkloadSpec::T2, n, acc, rounds, seed);
         let z = run_repeated(&zoe, WorkloadSpec::T2, n, acc, rounds, seed + 1);
         let s = run_repeated(&src, WorkloadSpec::T2, n, acc, rounds, seed + 2);
         worst_bfce = worst_bfce.max(b.max_seconds);
+        worst_bfce_p95 = worst_bfce_p95.max(b.p95_seconds);
         let rz = z.mean_seconds / b.mean_seconds;
         let rs = s.mean_seconds / b.mean_seconds;
         ratio_zoe.push(rz);
@@ -62,8 +64,8 @@ pub fn run(sweep: Sweep, scale: Scale, seed: u64) -> Table {
         mean(&ratio_src)
     ));
     table.note(format!(
-        "worst BFCE execution time: {worst_bfce:.4} s (paper: constant, < 0.19 s \
-         excluding the probe stage)"
+        "worst BFCE execution time: {worst_bfce:.4} s, p95 {worst_bfce_p95:.4} s \
+         (paper: constant, < 0.19 s excluding the probe stage)"
     ));
     table
 }

@@ -9,8 +9,9 @@
 //! harness neither cries wolf on lucky/unlucky runs nor rubber-stamps a
 //! broken estimator.
 
+use crate::engine::TrialRunner;
 use crate::output::{fnum, Table};
-use crate::runner::{run_once, Scale};
+use crate::runner::Scale;
 use rfid_bfce::Bfce;
 use rfid_sim::{Accuracy, CardinalityEstimator};
 use rfid_stats::binomial_tail_ge;
@@ -42,16 +43,12 @@ pub fn check_guarantee(
 ) -> GuaranteeCheck {
     assert!(rounds >= 1, "need at least one round");
     assert!(alpha > 0.0 && alpha < 1.0, "alpha must lie in (0, 1)");
-    let mut misses = 0u32;
-    for r in 0..rounds {
-        let seed = base_seed
-            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
-            .wrapping_add(r as u64);
-        let report = run_once(estimator, workload, n, accuracy, seed);
-        if report.relative_error(n) > accuracy.epsilon {
-            misses += 1;
-        }
-    }
+    // Trial-parallel: round r runs under stream_seed(base_seed, r), and the
+    // miss count is aggregated from trial-ordered records, so the check is
+    // reproducible at any worker count.
+    let misses = TrialRunner::new(rounds, base_seed)
+        .run(estimator, workload, n, accuracy)
+        .misses();
     // One-sided exact binomial test: how surprising is this many misses if
     // the true miss probability were exactly delta (the worst allowed)?
     let p_value = binomial_tail_ge(rounds as u64, misses as u64, accuracy.delta);

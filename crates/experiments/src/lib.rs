@@ -18,6 +18,7 @@
 //! | [`fig08`] | Fig. 8 — CDF of 100 estimation rounds |
 //! | [`fig09`] | Fig. 9 — accuracy comparison BFCE/ZOE/SRC (T2) |
 //! | [`fig10`] | Fig. 10 — execution-time comparison BFCE/ZOE/SRC (T2) |
+//! | [`engine`] | trial-parallel Monte-Carlo runner (stream-split seeding, bitwise-deterministic aggregation) |
 //! | [`ablations`] | k/w/c sweeps, hash & channel robustness, probe strategy, energy, crossover, shootout |
 //! | [`guarantee`] | exact binomial test of the `(epsilon, delta)` claim |
 //! | [`summary`] | headline claims (0.19 s, 9216 slots, >19 M, speedups) |
@@ -26,6 +27,7 @@
 #![warn(missing_docs)]
 
 pub mod ablations;
+pub mod engine;
 pub mod fig03;
 pub mod fig04;
 pub mod fig05;
@@ -41,5 +43,6 @@ pub mod runner;
 pub mod summary;
 pub mod tracking;
 
+pub use engine::{configure, ExperimentArgs, TrialRunner, TrialSet};
 pub use output::Table;
 pub use runner::Scale;

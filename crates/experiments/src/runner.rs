@@ -16,10 +16,19 @@ pub enum Scale {
 }
 
 impl Scale {
-    /// Parse from CLI args: `--paper` selects [`Scale::Paper`], anything
-    /// else (or nothing) stays Quick.
-    pub fn from_args() -> Scale {
-        if std::env::args().any(|a| a == "--paper") {
+    /// Parse from an explicit argument list: `--paper` selects
+    /// [`Scale::Paper`], anything else (or nothing) stays Quick.
+    ///
+    /// Library code never reads the process environment; binaries pass
+    /// `std::env::args().skip(1)` (or call
+    /// [`crate::engine::configure`], which also handles `--jobs` /
+    /// `--trials`).
+    pub fn from_iter<I>(args: I) -> Scale
+    where
+        I: IntoIterator,
+        I::Item: AsRef<str>,
+    {
+        if args.into_iter().any(|a| a.as_ref() == "--paper") {
             Scale::Paper
         } else {
             Scale::Quick
@@ -55,23 +64,48 @@ pub fn run_once(
     estimator.estimate(&mut system, accuracy, &mut rng)
 }
 
-/// Aggregated accuracy/time over `rounds` independent runs (fresh
-/// population and protocol seeds each round).
+/// Aggregated accuracy/time over independent trials (fresh population and
+/// protocol seeds each trial).
+///
+/// Produced by [`crate::engine::TrialSet::outcome`]; aggregation is a
+/// single sequential pass over trial-ordered records, so the same
+/// `(estimator, workload, n, base_seed)` yields a bitwise-identical
+/// outcome at any worker count.
 #[derive(Debug, Clone, Copy)]
 pub struct RepeatedOutcome {
+    /// Number of trials aggregated.
+    pub trials: u32,
     /// Mean relative error `|n_hat - n| / n`.
     pub mean_error: f64,
     /// Worst relative error seen.
     pub max_error: f64,
-    /// Fraction of rounds meeting the requested epsilon.
+    /// Fraction of trials meeting the requested epsilon.
     pub within_epsilon: f64,
     /// Mean execution (air) time in seconds.
     pub mean_seconds: f64,
     /// Worst execution time in seconds.
     pub max_seconds: f64,
+    /// Median relative error.
+    pub p50_error: f64,
+    /// 95th-percentile relative error.
+    pub p95_error: f64,
+    /// 99th-percentile relative error.
+    pub p99_error: f64,
+    /// Median execution time in seconds.
+    pub p50_seconds: f64,
+    /// 95th-percentile execution time in seconds.
+    pub p95_seconds: f64,
+    /// 99th-percentile execution time in seconds.
+    pub p99_seconds: f64,
 }
 
 /// Run an estimator `rounds` times and aggregate.
+///
+/// Delegates to the trial-parallel engine: trial `r` runs under the seed
+/// `rfid_hash::stream_seed(base_seed, r)` (nearby base seeds share no
+/// trial seeds — the affine `base * prime + r` scheme this replaces let
+/// adjacent base seeds interleave), and trials fan out across
+/// [`crate::engine::default_jobs`] workers.
 pub fn run_repeated(
     estimator: &dyn CardinalityEstimator,
     workload: WorkloadSpec,
@@ -80,34 +114,9 @@ pub fn run_repeated(
     rounds: u32,
     base_seed: u64,
 ) -> RepeatedOutcome {
-    assert!(rounds >= 1, "need at least one round");
-    let mut mean_error = 0.0;
-    let mut max_error = 0.0f64;
-    let mut hits = 0u32;
-    let mut mean_seconds = 0.0;
-    let mut max_seconds = 0.0f64;
-    for r in 0..rounds {
-        let seed = base_seed
-            .wrapping_mul(0x100_0000_01B3)
-            .wrapping_add(r as u64 + 1);
-        let report = run_once(estimator, workload, n, accuracy, seed);
-        let err = report.relative_error(n);
-        mean_error += err;
-        max_error = max_error.max(err);
-        if err <= accuracy.epsilon {
-            hits += 1;
-        }
-        let secs = report.air.total_seconds();
-        mean_seconds += secs;
-        max_seconds = max_seconds.max(secs);
-    }
-    RepeatedOutcome {
-        mean_error: mean_error / rounds as f64,
-        max_error,
-        within_epsilon: hits as f64 / rounds as f64,
-        mean_seconds: mean_seconds / rounds as f64,
-        max_seconds,
-    }
+    crate::engine::TrialRunner::new(rounds, base_seed)
+        .run(estimator, workload, n, accuracy)
+        .outcome()
 }
 
 #[cfg(test)]
@@ -119,6 +128,15 @@ mod tests {
     fn scale_pick() {
         assert_eq!(Scale::Quick.pick(1, 2), 1);
         assert_eq!(Scale::Paper.pick(1, 2), 2);
+    }
+
+    #[test]
+    fn scale_from_iter_recognises_both_scales() {
+        assert_eq!(Scale::from_iter(["--paper"]), Scale::Paper);
+        assert_eq!(Scale::from_iter(["fig07", "--paper", "--jobs"]), Scale::Paper);
+        assert_eq!(Scale::from_iter(["--quick"]), Scale::Quick);
+        let none: [&str; 0] = [];
+        assert_eq!(Scale::from_iter(none), Scale::Quick);
     }
 
     #[test]
@@ -139,9 +157,36 @@ mod tests {
             3,
             11,
         );
+        assert_eq!(out.trials, 3);
         assert!(out.mean_error <= out.max_error);
         assert!(out.mean_error < 0.05, "mean err = {}", out.mean_error);
         assert!(out.within_epsilon > 0.5);
         assert!(out.mean_seconds > 0.0 && out.mean_seconds <= out.max_seconds);
+        assert!(out.p50_error <= out.p95_error && out.p95_error <= out.p99_error);
+        assert!(out.p99_error <= out.max_error);
+        assert!(out.p50_seconds > 0.0 && out.p99_seconds <= out.max_seconds);
+    }
+
+    #[test]
+    fn run_repeated_uses_stream_split_seeds() {
+        // Trial r of base seed b must be run_once under stream_seed(b, r).
+        let acc = Accuracy::paper_default();
+        let out = run_repeated(&Bfce::paper(), WorkloadSpec::T1, 20_000, acc, 2, 42);
+        let r0 = run_once(
+            &Bfce::paper(),
+            WorkloadSpec::T1,
+            20_000,
+            acc,
+            rfid_hash::stream_seed(42, 0),
+        );
+        let r1 = run_once(
+            &Bfce::paper(),
+            WorkloadSpec::T1,
+            20_000,
+            acc,
+            rfid_hash::stream_seed(42, 1),
+        );
+        let want_mean = (r0.relative_error(20_000) + r1.relative_error(20_000)) / 2.0;
+        assert!((out.mean_error - want_mean).abs() < 1e-12);
     }
 }

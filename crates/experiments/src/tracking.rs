@@ -74,7 +74,9 @@ pub fn run(scale: Scale, seed: u64) -> Table {
         // Differential detector: same-seed frames before/after the step.
         let mut before = RfidSystem::new(population.clone());
         let mut after = RfidSystem::new(next.clone());
-        let mut diff_rng = StdRng::seed_from_u64(seed ^ (epoch as u64) << 40);
+        // Per-epoch seed via stream splitting (disjoint across nearby base
+        // seeds, unlike the previous ad-hoc XOR scheme).
+        let mut diff_rng = StdRng::seed_from_u64(rfid_hash::stream_seed(seed, epoch as u64));
         let diff = estimate_changes(
             &cfg,
             &mut before,

@@ -31,5 +31,5 @@ pub use geometric::geometric_level;
 pub use mix::{mix64, mix_pair};
 pub use opcount::TagOps;
 pub use persistence::PersistenceSampler;
-pub use prng::{SplitMix64, XorShift32};
+pub use prng::{stream_seed, SplitMix64, XorShift32};
 pub use tag_hash::{MixHasher, SlotHasher, XorBitgetHasher};

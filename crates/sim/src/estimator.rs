@@ -81,7 +81,12 @@ impl EstimationReport {
 /// an [`EstimationReport`]. The `rng` supplies the *reader-side* randomness
 /// (seed generation); all tag-side randomness is derived deterministically
 /// from broadcast seeds and per-tag state, as in the real protocol.
-pub trait CardinalityEstimator {
+///
+/// `Sync` is a supertrait so that `&dyn CardinalityEstimator` can be shared
+/// across the trial-parallel worker pool in `rfid-experiments`; estimators
+/// are immutable parameter bundles (all mutable state lives in the system
+/// and the per-trial RNG), so this costs implementations nothing.
+pub trait CardinalityEstimator: Sync {
     /// Protocol name as used in the paper's figures.
     fn name(&self) -> &'static str;
 

@@ -33,13 +33,39 @@ pub fn par_fold<T, A>(
     min_chunk: usize,
     make: impl Fn() -> A + Sync,
     fold: impl Fn(&mut A, &T) + Sync,
+    merge: impl FnMut(&mut A, A),
+) -> A
+where
+    T: Sync,
+    A: Send,
+{
+    par_fold_with_threads(items, thread_count(items.len(), min_chunk), make, fold, merge)
+}
+
+/// [`par_fold`] with an explicit worker count instead of a chunk-size
+/// heuristic. `threads` is clamped to `[1, items.len()]`, so over-asking is
+/// safe and `threads <= 1` (or an empty `items`) degrades to the sequential
+/// fold. The trial engine in `rfid-experiments` drives this directly with
+/// its `--jobs` value.
+pub fn par_fold_with_threads<T, A>(
+    items: &[T],
+    threads: usize,
+    make: impl Fn() -> A + Sync,
+    fold: impl Fn(&mut A, &T) + Sync,
     mut merge: impl FnMut(&mut A, A),
 ) -> A
 where
     T: Sync,
     A: Send,
 {
-    let threads = thread_count(items.len(), min_chunk);
+    // Empty input short-circuits before any chunk arithmetic: there is
+    // nothing to fold, so the fresh accumulator is the answer (previously
+    // `chunks(0)` panicked here whenever `min_chunk == 0` selected more
+    // than one thread for zero items).
+    if items.is_empty() {
+        return make();
+    }
+    let threads = threads.clamp(1, items.len());
     if threads <= 1 {
         let mut acc = make();
         for item in items {
@@ -47,7 +73,9 @@ where
         }
         return acc;
     }
-    let chunk_len = items.len().div_ceil(threads);
+    // `threads <= items.len()` guarantees `chunk_len >= 1`; the extra
+    // `.max(1)` keeps the `chunks()` contract locally obvious.
+    let chunk_len = items.len().div_ceil(threads).max(1);
     let make_ref = &make;
     let fold_ref = &fold;
     let partials: Vec<A> = std::thread::scope(|scope| {
@@ -147,6 +175,71 @@ mod tests {
             |_, _| unreachable!(),
         );
         assert_eq!(got, 42);
+    }
+
+    #[test]
+    fn empty_input_with_zero_min_chunk_does_not_panic() {
+        // Regression: `thread_count(0, 0)` returns the hardware count, so
+        // the old code computed `chunk_len = 0` and panicked in `chunks(0)`
+        // (and, had it survived that, in `expect("at least one chunk")`).
+        let items: Vec<u32> = vec![];
+        let got = par_fold(&items, 0, || 7u32, |_, _| unreachable!(), |_, _| {
+            unreachable!()
+        });
+        assert_eq!(got, 7);
+    }
+
+    #[test]
+    fn zero_min_chunk_matches_sequential_on_small_input() {
+        // Regression companion: `min_chunk == 0` ("always go wide") must
+        // also behave when there are fewer items than hardware threads.
+        let items = [3u64, 5, 9];
+        let got = par_fold(
+            &items,
+            0,
+            || 0u64,
+            |acc, &x| *acc += x,
+            |acc, other| *acc += other,
+        );
+        assert_eq!(got, 17);
+    }
+
+    #[test]
+    fn explicit_thread_counts_agree_with_sequential() {
+        let items: Vec<u64> = (0..10_000).collect();
+        let expected: u64 = items.iter().sum();
+        for threads in [0, 1, 2, 3, 7, 64, usize::MAX] {
+            let got = par_fold_with_threads(
+                &items,
+                threads,
+                || 0u64,
+                |acc, &x| *acc += x,
+                |acc, other| *acc += other,
+            );
+            assert_eq!(got, expected, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn explicit_threads_beyond_item_count_are_clamped() {
+        let items = [1u32, 2];
+        let got = par_fold_with_threads(
+            &items,
+            100,
+            || 0u32,
+            |acc, &x| *acc += x,
+            |acc, other| *acc += other,
+        );
+        assert_eq!(got, 3);
+    }
+
+    #[test]
+    fn explicit_threads_empty_input_yields_fresh_accumulator() {
+        let items: Vec<u32> = vec![];
+        let got = par_fold_with_threads(&items, 8, || 11u32, |_, _| unreachable!(), |_, _| {
+            unreachable!()
+        });
+        assert_eq!(got, 11);
     }
 
     #[test]

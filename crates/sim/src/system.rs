@@ -8,7 +8,9 @@
 
 use crate::aloha::AlohaFrame;
 use crate::channel::{Channel, PerfectChannel};
-use crate::frame::{response_counts, sense_aloha, BitFrame, ResponsePlan};
+use crate::frame::{
+    response_counts_with_min_chunk, sense_aloha, BitFrame, ResponsePlan, MIN_TAGS_PER_THREAD,
+};
 use crate::ledger::{AirTime, AirTimeLedger};
 use crate::tag::TagPopulation;
 use crate::timing::Timing;
@@ -20,6 +22,7 @@ pub struct RfidSystem {
     channel: Box<dyn Channel>,
     ledger: AirTimeLedger,
     noise: SplitMix64,
+    frame_min_chunk: usize,
 }
 
 impl RfidSystem {
@@ -35,7 +38,25 @@ impl RfidSystem {
             channel,
             ledger: AirTimeLedger::new(Timing::c1g2()),
             noise: SplitMix64::new(0xC0FF_EE00_D15E_A5E5),
+            frame_min_chunk: MIN_TAGS_PER_THREAD,
         }
+    }
+
+    /// Set the minimum tags-per-thread threshold for the intra-frame
+    /// fork/join split (see [`response_counts_with_min_chunk`]).
+    ///
+    /// `usize::MAX` forces every frame fill single-threaded. The trial
+    /// engine in `rfid-experiments` does exactly that inside its worker
+    /// pool so trial-level and frame-level parallelism never multiply into
+    /// oversubscription. Frame fills are exact integer aggregation, so the
+    /// observation is bitwise identical at any setting.
+    pub fn set_frame_min_chunk(&mut self, min_chunk: usize) {
+        self.frame_min_chunk = min_chunk;
+    }
+
+    /// The intra-frame parallel-split threshold in force.
+    pub fn frame_min_chunk(&self) -> usize {
+        self.frame_min_chunk
     }
 
     /// Replace the timing model (resets the ledger).
@@ -112,7 +133,8 @@ impl RfidSystem {
         plan: &P,
     ) -> BitFrame {
         assert!(observe >= 1 && observe <= w, "observe must lie in [1, w]");
-        let counts = response_counts(self.population.tags(), w, plan);
+        let counts =
+            response_counts_with_min_chunk(self.population.tags(), w, plan, self.frame_min_chunk);
         self.ledger.tag_bitslots(observe as u64);
         // Energy: the reader terminates the frame after `observe` slots,
         // so only tags scheduled in the observed prefix ever transmit.
@@ -130,7 +152,8 @@ impl RfidSystem {
     /// observations). Charges `f` Aloha slots.
     pub fn run_aloha_frame<P: ResponsePlan>(&mut self, f: usize, plan: &P) -> AlohaFrame {
         assert!(f >= 1, "frame must have at least one slot");
-        let counts = response_counts(self.population.tags(), f, plan);
+        let counts =
+            response_counts_with_min_chunk(self.population.tags(), f, plan, self.frame_min_chunk);
         self.ledger.aloha_slots(f as u64);
         self.ledger
             .tag_responses(counts.iter().map(|&c| c as u64).sum());
@@ -151,7 +174,8 @@ impl RfidSystem {
         w: usize,
         plan: &P,
     ) -> BitFrame {
-        let counts = response_counts(self.population.tags(), w, plan);
+        let counts =
+            response_counts_with_min_chunk(self.population.tags(), w, plan, self.frame_min_chunk);
         // "Uncharged" refers to air *time* only; the tags really do
         // transmit, so the energy counter is always kept accurate.
         self.ledger
@@ -332,6 +356,21 @@ mod tests {
     #[test]
     fn true_cardinality_reports_population() {
         assert_eq!(small_system(42).true_cardinality(), 42);
+    }
+
+    #[test]
+    fn frame_min_chunk_does_not_change_observations() {
+        let plan = |tag: &Tag, out: &mut Vec<usize>| out.push((tag.id % 256) as usize);
+        let run = |min_chunk: usize| {
+            let mut sys = small_system(5_000);
+            sys.set_frame_min_chunk(min_chunk);
+            assert_eq!(sys.frame_min_chunk(), min_chunk);
+            let frame = sys.run_bitslot_frame(256, &plan);
+            (0..256).map(|i| frame.is_busy(i)).collect::<Vec<bool>>()
+        };
+        let serial = run(usize::MAX);
+        assert_eq!(run(1), serial);
+        assert_eq!(run(100), serial);
     }
 
     #[test]

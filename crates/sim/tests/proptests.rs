@@ -5,7 +5,7 @@
 use proptest::prelude::*;
 use rfid_hash::SplitMix64;
 use rfid_sim::frame::response_counts;
-use rfid_sim::parallel::par_fold;
+use rfid_sim::parallel::{par_fold, par_fold_with_threads};
 use rfid_sim::{AirTimeLedger, BitFrame, Bitmap, PerfectChannel, Tag, Timing};
 
 proptest! {
@@ -106,8 +106,11 @@ proptest! {
     #[test]
     fn par_fold_equals_sequential_for_histograms(
         values in prop::collection::vec(0usize..64, 0..2000),
-        min_chunk in prop::sample::select(vec![1usize, 10, 100, usize::MAX]),
+        min_chunk in prop::sample::select(vec![0usize, 1, 10, 100, usize::MAX]),
     ) {
+        // `min_chunk == 0` ("always use every hardware thread") and the
+        // empty `values` vec are the regression cases that used to panic
+        // in `chunks(0)` / `expect("at least one chunk")`.
         let run = |chunk: usize| {
             par_fold(
                 &values,
@@ -120,6 +123,25 @@ proptest! {
             )
         };
         prop_assert_eq!(run(min_chunk), run(usize::MAX));
+    }
+
+    #[test]
+    fn par_fold_with_threads_equals_sequential(
+        values in prop::collection::vec(0usize..64, 0..2000),
+        threads in prop::sample::select(vec![0usize, 1, 2, 3, 8, 64, usize::MAX]),
+    ) {
+        let parallel = par_fold_with_threads(
+            &values,
+            threads,
+            || vec![0u32; 64],
+            |acc, &v| acc[v] += 1,
+            |acc, other| {
+                for (a, b) in acc.iter_mut().zip(other) { *a += b; }
+            },
+        );
+        let mut sequential = vec![0u32; 64];
+        for &v in &values { sequential[v] += 1; }
+        prop_assert_eq!(parallel, sequential);
     }
 
     #[test]
