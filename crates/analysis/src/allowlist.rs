@@ -1,0 +1,308 @@
+//! `analysis.toml` — the suppression file at the workspace root.
+//!
+//! Format (a deliberately tiny TOML subset — `[[allow]]` tables of string
+//! keys, comments with `#`):
+//!
+//! ```toml
+//! [[allow]]
+//! rule = "seed-hygiene"
+//! path = "crates/sim/src/system.rs"
+//! pattern = "SplitMix64::new(0xC0FF_EE00_D15E_A5E5)"  # optional narrowing
+//! justification = "process-constant default noise seed; every harness overrides it"
+//! ```
+//!
+//! `rule`, `path`, and a **non-trivial** `justification` (≥ 15 characters;
+//! suppressions must say *why*) are mandatory. `pattern`, when present,
+//! narrows the entry to findings whose source line contains it verbatim.
+//! Entries that suppress nothing are themselves reported as
+//! [`RuleId::StaleAllow`] findings, so the file can only shrink as the
+//! tree gets cleaner.
+
+use crate::rules::{Finding, RuleId};
+
+/// Minimum length of a `justification` string. Short enough not to force
+/// padding, long enough that "ok" or "TODO" cannot pass review.
+pub const MIN_JUSTIFICATION: usize = 15;
+
+/// One `[[allow]]` entry.
+#[derive(Debug, Clone)]
+pub struct AllowEntry {
+    /// The rule being suppressed.
+    pub rule: RuleId,
+    /// Workspace-relative path the suppression applies to.
+    pub path: String,
+    /// Optional substring the offending source line must contain.
+    pub pattern: Option<String>,
+    /// Why this suppression is sound.
+    pub justification: String,
+    /// 1-based line in `analysis.toml` where the entry starts.
+    pub defined_at: usize,
+}
+
+impl AllowEntry {
+    /// Does this entry suppress `finding`?
+    pub fn matches(&self, finding: &Finding) -> bool {
+        self.rule == finding.rule
+            && self.path == finding.path
+            && self
+                .pattern
+                .as_ref()
+                .is_none_or(|p| finding.excerpt.contains(p.as_str()))
+    }
+}
+
+/// A parsed allowlist.
+#[derive(Debug, Clone, Default)]
+pub struct Allowlist {
+    /// The entries, in file order.
+    pub entries: Vec<AllowEntry>,
+}
+
+impl Allowlist {
+    /// Parse `analysis.toml` contents. Returns a human-readable error for
+    /// malformed or unjustified entries.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut entries = Vec::new();
+        let mut current: Option<RawEntry> = None;
+        for (idx, raw_line) in text.lines().enumerate() {
+            let line_no = idx + 1;
+            let line = strip_comment(raw_line).trim();
+            if line.is_empty() {
+                continue;
+            }
+            if line == "[[allow]]" {
+                if let Some(raw) = current.take() {
+                    entries.push(raw.finish()?);
+                }
+                current = Some(RawEntry::new(line_no));
+                continue;
+            }
+            let Some(raw) = current.as_mut() else {
+                return Err(format!(
+                    "analysis.toml:{line_no}: expected [[allow]] before '{line}'"
+                ));
+            };
+            let (key, value) = parse_key_value(line)
+                .ok_or_else(|| format!("analysis.toml:{line_no}: cannot parse '{line}' (expected key = \"value\")"))?;
+            raw.set(key, value, line_no)?;
+        }
+        if let Some(raw) = current.take() {
+            entries.push(raw.finish()?);
+        }
+        Ok(Self { entries })
+    }
+
+    /// Split `findings` into (kept, suppressed_count) and append a
+    /// [`RuleId::StaleAllow`] finding for every entry that matched nothing.
+    pub fn apply(&self, findings: Vec<Finding>) -> (Vec<Finding>, usize) {
+        let mut used = vec![false; self.entries.len()];
+        let mut kept = Vec::new();
+        let mut suppressed = 0;
+        for finding in findings {
+            let mut hit = false;
+            for (i, entry) in self.entries.iter().enumerate() {
+                if entry.matches(&finding) {
+                    used[i] = true;
+                    hit = true;
+                }
+            }
+            if hit {
+                suppressed += 1;
+            } else {
+                kept.push(finding);
+            }
+        }
+        for (entry, used) in self.entries.iter().zip(used) {
+            if !used {
+                kept.push(Finding {
+                    rule: RuleId::StaleAllow,
+                    path: "analysis.toml".to_string(),
+                    line: entry.defined_at,
+                    message: format!(
+                        "allow entry for [{}] {} suppresses nothing; delete it",
+                        entry.rule, entry.path
+                    ),
+                    excerpt: entry
+                        .pattern
+                        .clone()
+                        .unwrap_or_else(|| entry.path.clone()),
+                });
+            }
+        }
+        (kept, suppressed)
+    }
+}
+
+/// An entry under construction during parsing.
+struct RawEntry {
+    defined_at: usize,
+    rule: Option<RuleId>,
+    path: Option<String>,
+    pattern: Option<String>,
+    justification: Option<String>,
+}
+
+impl RawEntry {
+    fn new(defined_at: usize) -> Self {
+        Self {
+            defined_at,
+            rule: None,
+            path: None,
+            pattern: None,
+            justification: None,
+        }
+    }
+
+    fn set(&mut self, key: &str, value: String, line_no: usize) -> Result<(), String> {
+        match key {
+            "rule" => {
+                let rule = RuleId::from_name(&value).ok_or_else(|| {
+                    format!("analysis.toml:{line_no}: unknown rule '{value}'")
+                })?;
+                self.rule = Some(rule);
+            }
+            "path" => self.path = Some(value),
+            "pattern" => self.pattern = Some(value),
+            "justification" => self.justification = Some(value),
+            other => {
+                return Err(format!("analysis.toml:{line_no}: unknown key '{other}'"))
+            }
+        }
+        Ok(())
+    }
+
+    fn finish(self) -> Result<AllowEntry, String> {
+        let at = self.defined_at;
+        let rule = self
+            .rule
+            .ok_or_else(|| format!("analysis.toml:{at}: entry is missing 'rule'"))?;
+        let path = self
+            .path
+            .ok_or_else(|| format!("analysis.toml:{at}: entry is missing 'path'"))?;
+        let justification = self
+            .justification
+            .ok_or_else(|| format!("analysis.toml:{at}: entry is missing 'justification'"))?;
+        if justification.trim().len() < MIN_JUSTIFICATION {
+            return Err(format!(
+                "analysis.toml:{at}: justification too short (need ≥ {MIN_JUSTIFICATION} characters explaining why the suppression is sound)"
+            ));
+        }
+        Ok(AllowEntry {
+            rule,
+            path,
+            pattern: self.pattern,
+            justification,
+            defined_at: at,
+        })
+    }
+}
+
+/// Drop a trailing `# comment` that is not inside a quoted string.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+/// Parse `key = "value"`.
+fn parse_key_value(line: &str) -> Option<(&str, String)> {
+    let (key, rest) = line.split_once('=')?;
+    let rest = rest.trim();
+    let inner = rest.strip_prefix('"')?.strip_suffix('"')?;
+    Some((key.trim(), inner.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(rule: RuleId, path: &str, excerpt: &str) -> Finding {
+        Finding {
+            rule,
+            path: path.to_string(),
+            line: 1,
+            message: String::new(),
+            excerpt: excerpt.to_string(),
+        }
+    }
+
+    const GOOD: &str = r#"
+# workspace suppressions
+[[allow]]
+rule = "seed-hygiene"
+path = "crates/sim/src/system.rs"
+pattern = "SplitMix64::new(0xC0FF)"
+justification = "default noise seed, overridden by every harness"
+"#;
+
+    #[test]
+    fn parses_a_valid_entry() {
+        let list = Allowlist::parse(GOOD).expect("valid");
+        assert_eq!(list.entries.len(), 1);
+        assert_eq!(list.entries[0].rule, RuleId::SeedHygiene);
+        assert_eq!(list.entries[0].pattern.as_deref(), Some("SplitMix64::new(0xC0FF)"));
+    }
+
+    #[test]
+    fn suppresses_matching_findings_only() {
+        let list = Allowlist::parse(GOOD).expect("valid");
+        let hit = finding(RuleId::SeedHygiene, "crates/sim/src/system.rs", "SplitMix64::new(0xC0FF)");
+        let wrong_path = finding(RuleId::SeedHygiene, "crates/sim/src/frame.rs", "SplitMix64::new(0xC0FF)");
+        let wrong_rule = finding(RuleId::Unwrap, "crates/sim/src/system.rs", "SplitMix64::new(0xC0FF)");
+        let (kept, suppressed) = list.apply(vec![hit, wrong_path, wrong_rule]);
+        assert_eq!(suppressed, 1);
+        // wrong_path + wrong_rule kept; entry used, so no stale finding.
+        assert_eq!(kept.len(), 2);
+        assert!(kept.iter().all(|f| f.rule != RuleId::StaleAllow));
+    }
+
+    #[test]
+    fn unused_entries_become_stale_findings() {
+        let list = Allowlist::parse(GOOD).expect("valid");
+        let (kept, suppressed) = list.apply(Vec::new());
+        assert_eq!(suppressed, 0);
+        assert_eq!(kept.len(), 1);
+        assert_eq!(kept[0].rule, RuleId::StaleAllow);
+        assert_eq!(kept[0].path, "analysis.toml");
+    }
+
+    #[test]
+    fn short_justifications_are_rejected() {
+        let bad = "[[allow]]\nrule = \"unwrap\"\npath = \"x.rs\"\njustification = \"ok\"\n";
+        let err = Allowlist::parse(bad).expect_err("too short");
+        assert!(err.contains("justification too short"), "{err}");
+    }
+
+    #[test]
+    fn missing_fields_are_rejected() {
+        let bad = "[[allow]]\nrule = \"unwrap\"\njustification = \"long enough to pass the bar\"\n";
+        assert!(Allowlist::parse(bad).expect_err("no path").contains("missing 'path'"));
+        let bad2 = "[[allow]]\npath = \"x.rs\"\njustification = \"long enough to pass the bar\"\n";
+        assert!(Allowlist::parse(bad2).expect_err("no rule").contains("missing 'rule'"));
+    }
+
+    #[test]
+    fn unknown_rules_and_keys_are_rejected() {
+        let bad = "[[allow]]\nrule = \"bogus\"\npath = \"x.rs\"\njustification = \"long enough to pass the bar\"\n";
+        assert!(Allowlist::parse(bad).expect_err("bad rule").contains("unknown rule"));
+        let bad2 = "[[allow]]\nrule = \"unwrap\"\nseverity = \"low\"\npath = \"x.rs\"\njustification = \"long enough to pass the bar\"\n";
+        assert!(Allowlist::parse(bad2).expect_err("bad key").contains("unknown key"));
+    }
+
+    #[test]
+    fn stale_allow_is_not_suppressible() {
+        assert!(RuleId::from_name("stale-allow").is_none());
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let text = format!("# header\n\n{GOOD}\n# trailer\n");
+        assert_eq!(Allowlist::parse(&text).expect("valid").entries.len(), 1);
+    }
+}

@@ -1,0 +1,193 @@
+//! # rfid-analysis — the workspace determinism linter
+//!
+//! PR 2 made a hard promise: `RepeatedOutcome` is **bitwise identical** for
+//! `--jobs 1` and `--jobs N`. That promise rests on invariants no compiler
+//! checks — no wall-clock or OS entropy in library crates, sequential f64
+//! aggregation, stream-split seeding, panic-free hot paths. This crate is
+//! the enforcement layer: a dependency-free, token-level scanner with four
+//! workspace-specific rules, run as a blocking CI job next to
+//! `clippy -D warnings`.
+//!
+//! | Rule | What it catches |
+//! |------|-----------------|
+//! | `nondeterminism` | `Instant::now`, `SystemTime`, `thread_rng`, `rand::random`, `HashMap`/`HashSet` in determinism-scoped library crates |
+//! | `unwrap` | `.unwrap()` / `.expect(` outside tests, benches, and binaries |
+//! | `float-reduction` | `+=`/`sum()` over floats inside `par_fold`-family closures |
+//! | `seed-hygiene` | PRNGs seeded from literals or ad-hoc arithmetic instead of `stream_seed` |
+//!
+//! Suppressions live in `analysis.toml` at the workspace root and require a
+//! justification; stale entries are themselves findings. See `ANALYSIS.md`
+//! for the full contract.
+//!
+//! The scanner is deliberately dependency-free (plain token/line scanning
+//! over masked source) so the CI job costs one tiny crate compile and no
+//! network access.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod allowlist;
+pub mod mask;
+pub mod rules;
+pub mod source;
+
+pub use allowlist::{AllowEntry, Allowlist, MIN_JUSTIFICATION};
+pub use rules::{check_file, Finding, RuleId, DETERMINISM_CRATES};
+pub use source::{SourceFile, TargetKind};
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// A scan failure (I/O or malformed allowlist).
+#[derive(Debug)]
+pub enum Error {
+    /// Reading a source file or directory failed.
+    Io(PathBuf, std::io::Error),
+    /// `analysis.toml` is malformed or an entry lacks justification.
+    Allowlist(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Io(path, err) => write!(f, "{}: {err}", path.display()),
+            Error::Allowlist(msg) => f.write_str(msg),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// The outcome of scanning a workspace.
+#[derive(Debug)]
+pub struct Report {
+    /// Findings that survived the allowlist, sorted by path then line.
+    pub findings: Vec<Finding>,
+    /// Number of files scanned.
+    pub files_scanned: usize,
+    /// Findings suppressed by `analysis.toml`.
+    pub suppressed: usize,
+}
+
+impl Report {
+    /// Did the tree pass?
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+}
+
+/// Scan the workspace rooted at `root`, applying `root/analysis.toml` if it
+/// exists.
+pub fn scan_workspace(root: &Path) -> Result<Report, Error> {
+    let allowlist_path = root.join("analysis.toml");
+    let allowlist = if allowlist_path.exists() {
+        let text = std::fs::read_to_string(&allowlist_path)
+            .map_err(|e| Error::Io(allowlist_path.clone(), e))?;
+        Allowlist::parse(&text).map_err(Error::Allowlist)?
+    } else {
+        Allowlist::default()
+    };
+    scan_workspace_with(root, &allowlist)
+}
+
+/// Scan the workspace rooted at `root` with an explicit allowlist.
+pub fn scan_workspace_with(root: &Path, allowlist: &Allowlist) -> Result<Report, Error> {
+    let mut findings = Vec::new();
+    let mut files_scanned = 0;
+    for (rel_path, crate_name) in source_roots(root)? {
+        let dir = root.join(&rel_path);
+        let mut files = Vec::new();
+        collect_rust_files(&dir, &mut files)?;
+        files.sort();
+        for file in files {
+            let rel = relative_to(&file, root);
+            let kind = target_kind(&rel);
+            let text =
+                std::fs::read_to_string(&file).map_err(|e| Error::Io(file.clone(), e))?;
+            let source = SourceFile::new(&rel, &crate_name, kind, &text);
+            findings.extend(check_file(&source));
+            files_scanned += 1;
+        }
+    }
+    findings.sort_by(|a, b| a.path.cmp(&b.path).then(a.line.cmp(&b.line)));
+    let (findings, suppressed) = allowlist.apply(findings);
+    Ok(Report {
+        findings,
+        files_scanned,
+        suppressed,
+    })
+}
+
+/// The `src/` directories to scan: every `crates/*/src` plus the workspace
+/// root crate's `src/`. `tests/`, `benches/`, and `examples/` directories
+/// are exempt from every rule and therefore never scanned.
+fn source_roots(root: &Path) -> Result<Vec<(String, String)>, Error> {
+    let mut roots = Vec::new();
+    if root.join("src").is_dir() {
+        roots.push(("src".to_string(), ".".to_string()));
+    }
+    let crates = root.join("crates");
+    if crates.is_dir() {
+        let entries =
+            std::fs::read_dir(&crates).map_err(|e| Error::Io(crates.clone(), e))?;
+        for entry in entries {
+            let entry = entry.map_err(|e| Error::Io(crates.clone(), e))?;
+            let name = entry.file_name().to_string_lossy().into_owned();
+            let src = entry.path().join("src");
+            if src.is_dir() {
+                roots.push((format!("crates/{name}/src"), name));
+            }
+        }
+    }
+    roots.sort();
+    Ok(roots)
+}
+
+/// Recursively collect `.rs` files under `dir`.
+fn collect_rust_files(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), Error> {
+    let entries = std::fs::read_dir(dir).map_err(|e| Error::Io(dir.to_path_buf(), e))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| Error::Io(dir.to_path_buf(), e))?;
+        let path = entry.path();
+        if path.is_dir() {
+            collect_rust_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// `path` relative to `root`, `/`-separated.
+fn relative_to(path: &Path, root: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// Infer the Cargo target kind from a workspace-relative path.
+fn target_kind(rel: &str) -> TargetKind {
+    if rel.contains("/src/bin/") || rel.ends_with("/src/main.rs") {
+        TargetKind::Bin
+    } else {
+        TargetKind::Lib
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn target_kind_classifies_paths() {
+        assert_eq!(target_kind("crates/sim/src/lib.rs"), TargetKind::Lib);
+        assert_eq!(target_kind("crates/cli/src/main.rs"), TargetKind::Bin);
+        assert_eq!(
+            target_kind("crates/experiments/src/bin/fig07.rs"),
+            TargetKind::Bin
+        );
+        assert_eq!(target_kind("src/lib.rs"), TargetKind::Lib);
+    }
+}

@@ -1,0 +1,122 @@
+//! `rfid-analysis` — run the workspace determinism lints.
+//!
+//! ```text
+//! cargo run -p rfid-analysis --              # scan the workspace, exit 1 on findings
+//! cargo run -p rfid-analysis -- --root DIR   # scan another tree (used by fixtures)
+//! cargo run -p rfid-analysis -- --list-rules # print the rule set
+//! ```
+//!
+//! Exit codes: `0` clean, `1` findings reported, `2` usage or I/O error.
+
+use rfid_analysis::{scan_workspace, RuleId};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+rfid-analysis — workspace determinism linter (see ANALYSIS.md)
+
+USAGE:
+  rfid-analysis [--root DIR] [--list-rules]
+
+  --root DIR    workspace root to scan (default: this workspace)
+  --list-rules  print the rule set and exit
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut root: Option<PathBuf> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--root" => {
+                let Some(value) = args.get(i + 1) else {
+                    eprintln!("--root needs a value\n\n{USAGE}");
+                    return ExitCode::from(2);
+                };
+                root = Some(PathBuf::from(value));
+                i += 2;
+            }
+            "--list-rules" => {
+                list_rules();
+                return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument '{other}'\n\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let root = root.unwrap_or_else(default_root);
+    let report = match scan_workspace(&root) {
+        Ok(report) => report,
+        Err(err) => {
+            eprintln!("rfid-analysis: {err}");
+            return ExitCode::from(2);
+        }
+    };
+    for finding in &report.findings {
+        println!("{finding}");
+    }
+    let noun = if report.findings.len() == 1 {
+        "finding"
+    } else {
+        "findings"
+    };
+    println!(
+        "rfid-analysis: {} {noun}, {} suppressed, {} files scanned",
+        report.findings.len(),
+        report.suppressed,
+        report.files_scanned
+    );
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}
+
+/// The workspace root: two levels above this crate's manifest directory
+/// (`crates/analysis` → the repository root). Falls back to the current
+/// directory when built outside Cargo.
+fn default_root() -> PathBuf {
+    match option_env!("CARGO_MANIFEST_DIR") {
+        Some(manifest) => {
+            let manifest = PathBuf::from(manifest);
+            manifest
+                .parent()
+                .and_then(|p| p.parent())
+                .map(Into::into)
+                .unwrap_or(manifest)
+        }
+        None => PathBuf::from("."),
+    }
+}
+
+fn list_rules() {
+    for rule in [
+        RuleId::Nondeterminism,
+        RuleId::Unwrap,
+        RuleId::FloatReduction,
+        RuleId::SeedHygiene,
+        RuleId::StaleAllow,
+    ] {
+        let what = match rule {
+            RuleId::Nondeterminism => {
+                "wall-clock, OS entropy, or hash-order dependence in determinism-scoped library crates"
+            }
+            RuleId::Unwrap => ".unwrap() / .expect( outside tests, benches, and binaries",
+            RuleId::FloatReduction => {
+                "float accumulation inside par_fold / thread::scope closures (chunking-dependent results)"
+            }
+            RuleId::SeedHygiene => {
+                "PRNG seeded from a literal or ad-hoc arithmetic instead of rfid_hash::stream_seed"
+            }
+            RuleId::StaleAllow => "analysis.toml entry that suppresses nothing (not suppressible)",
+        };
+        println!("{:<16} {what}", rule.name());
+    }
+}

@@ -1,0 +1,318 @@
+//! Comment- and literal-masking for token-level scanning.
+//!
+//! Every rule in this crate works on *masked* source text: a byte-for-byte
+//! copy of the file in which the contents of comments, string literals, and
+//! character literals have been replaced by spaces (newlines are kept so
+//! line numbers survive). Masking first means a rule that greps for
+//! `Instant::now` cannot be fooled — in either direction — by a doc comment
+//! mentioning the pattern or by a format string containing it.
+//!
+//! The masker is a small hand-rolled state machine over the byte stream. It
+//! understands the token shapes that matter for masking Rust source:
+//!
+//! * line comments (`//`, `///`, `//!`) and *nested* block comments,
+//! * plain, byte, and raw string literals (`"…"`, `b"…"`, `r#"…"#`),
+//! * character and byte literals (`'x'`, `'\n'`, `b'\\'`),
+//! * lifetimes (`'a`), which look like unterminated char literals and must
+//!   **not** swallow the rest of the line.
+
+/// Maskable token classes the scanner is currently inside.
+enum State {
+    /// Ordinary code: bytes are copied through.
+    Code,
+    /// `// …` to end of line.
+    LineComment,
+    /// `/* … */`, tracking nesting depth.
+    BlockComment(u32),
+    /// `"…"` with escape handling.
+    Str,
+    /// `r"…"` / `r#"…"#` with the given number of `#`s.
+    RawStr(u32),
+}
+
+/// Replace comment and literal *contents* with spaces, preserving byte
+/// offsets and line structure exactly. Delimiters themselves are masked too;
+/// only code survives. Non-ASCII bytes inside masked regions become spaces
+/// like everything else (the output is only ever searched for ASCII
+/// patterns, so it does not need to stay valid UTF-8 — callers treat it as
+/// bytes).
+pub fn mask_source(src: &str) -> Vec<u8> {
+    let b = src.as_bytes();
+    let mut out = b.to_vec();
+    let mut state = State::Code;
+    let mut i = 0;
+    while i < b.len() {
+        match state {
+            State::Code => {
+                match b[i] {
+                    b'/' if b.get(i + 1) == Some(&b'/') => {
+                        out[i] = b' ';
+                        out[i + 1] = b' ';
+                        i += 2;
+                        state = State::LineComment;
+                    }
+                    b'/' if b.get(i + 1) == Some(&b'*') => {
+                        out[i] = b' ';
+                        out[i + 1] = b' ';
+                        i += 2;
+                        state = State::BlockComment(1);
+                    }
+                    b'"' => {
+                        out[i] = b' ';
+                        i += 1;
+                        state = State::Str;
+                    }
+                    b'r' | b'b' if is_raw_string_start(b, i) => {
+                        // `r`, `br`, or `b` prefix followed by `#…"` or `"`.
+                        let (hashes, open) = raw_string_open(b, i);
+                        for x in out.iter_mut().take(open + 1).skip(i) {
+                            *x = b' ';
+                        }
+                        i = open + 1;
+                        state = State::RawStr(hashes);
+                    }
+                    b'b' if b.get(i + 1) == Some(&b'\'') => {
+                        // Byte literal b'…'.
+                        out[i] = b' ';
+                        i = mask_char_literal(b, &mut out, i + 1);
+                    }
+                    b'\'' => {
+                        i = mask_char_or_lifetime(b, &mut out, i);
+                    }
+                    _ => i += 1,
+                }
+            }
+            State::LineComment => {
+                if b[i] == b'\n' {
+                    state = State::Code;
+                } else {
+                    out[i] = b' ';
+                }
+                i += 1;
+            }
+            State::BlockComment(depth) => {
+                if b[i] == b'*' && b.get(i + 1) == Some(&b'/') {
+                    out[i] = b' ';
+                    out[i + 1] = b' ';
+                    i += 2;
+                    state = if depth == 1 {
+                        State::Code
+                    } else {
+                        State::BlockComment(depth - 1)
+                    };
+                } else if b[i] == b'/' && b.get(i + 1) == Some(&b'*') {
+                    out[i] = b' ';
+                    out[i + 1] = b' ';
+                    i += 2;
+                    state = State::BlockComment(depth + 1);
+                } else {
+                    if b[i] != b'\n' {
+                        out[i] = b' ';
+                    }
+                    i += 1;
+                }
+            }
+            State::Str => {
+                if b[i] == b'\\' && i + 1 < b.len() {
+                    out[i] = b' ';
+                    if b[i + 1] != b'\n' {
+                        out[i + 1] = b' ';
+                    }
+                    i += 2;
+                } else {
+                    if b[i] == b'"' {
+                        state = State::Code;
+                    }
+                    if b[i] != b'\n' {
+                        out[i] = b' ';
+                    }
+                    i += 1;
+                }
+            }
+            State::RawStr(hashes) => {
+                if b[i] == b'"' && closes_raw_string(b, i, hashes) {
+                    let end = i + 1 + hashes as usize;
+                    for x in out.iter_mut().take(end).skip(i) {
+                        *x = b' ';
+                    }
+                    i = end;
+                    state = State::Code;
+                } else {
+                    if b[i] != b'\n' {
+                        out[i] = b' ';
+                    }
+                    i += 1;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Does a raw-string literal (`r"`, `r#"`, `br"`, …) start at `i`?
+fn is_raw_string_start(b: &[u8], i: usize) -> bool {
+    let mut j = i;
+    if b[j] == b'b' {
+        j += 1;
+    }
+    if b.get(j) != Some(&b'r') {
+        return false;
+    }
+    j += 1;
+    while b.get(j) == Some(&b'#') {
+        j += 1;
+    }
+    b.get(j) == Some(&b'"')
+}
+
+/// For a raw string starting at `i`, return `(hash_count, quote_index)`.
+fn raw_string_open(b: &[u8], i: usize) -> (u32, usize) {
+    let mut j = i;
+    if b[j] == b'b' {
+        j += 1;
+    }
+    j += 1; // the `r`
+    let mut hashes = 0;
+    while b.get(j) == Some(&b'#') {
+        hashes += 1;
+        j += 1;
+    }
+    (hashes, j)
+}
+
+/// Does the `"` at `i` close a raw string with `hashes` trailing `#`s?
+fn closes_raw_string(b: &[u8], i: usize, hashes: u32) -> bool {
+    (1..=hashes as usize).all(|k| b.get(i + k) == Some(&b'#'))
+}
+
+/// Mask a character literal whose opening `'` is at `i`; returns the index
+/// just past the closing `'`. Falls back to masking a single byte if the
+/// literal is malformed (scanner robustness beats strictness here).
+fn mask_char_literal(b: &[u8], out: &mut [u8], i: usize) -> usize {
+    let mut j = i + 1;
+    if b.get(j) == Some(&b'\\') {
+        // Escape: skip to the next unescaped quote (handles \u{…}).
+        j += 1;
+        while j < b.len() && b[j] != b'\'' {
+            j += 1;
+        }
+    } else {
+        // One (possibly multi-byte) character.
+        while j < b.len() && b[j] != b'\'' {
+            j += 1;
+        }
+    }
+    let end = (j + 1).min(b.len());
+    for x in out.iter_mut().take(end).skip(i) {
+        *x = b' ';
+    }
+    end
+}
+
+/// Distinguish a char literal from a lifetime at the `'` at index `i` and
+/// mask accordingly; returns the next scan index.
+fn mask_char_or_lifetime(b: &[u8], out: &mut [u8], i: usize) -> usize {
+    // Escaped char ('\n', '\u{1F600}') is always a literal.
+    if b.get(i + 1) == Some(&b'\\') {
+        return mask_char_literal(b, out, i);
+    }
+    // 'x' — a closing quote right after one character means a literal.
+    // Multi-byte chars ('é') advance by the UTF-8 length of that char.
+    if let Some(&first) = b.get(i + 1) {
+        let char_len = utf8_len(first);
+        if b.get(i + 1 + char_len) == Some(&b'\'') {
+            return mask_char_literal(b, out, i);
+        }
+    }
+    // Otherwise it is a lifetime ('a, '_, 'static): leave it unmasked.
+    i + 1
+}
+
+/// Byte length of a UTF-8 character from its first byte.
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7F => 1,
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        _ => 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mask(src: &str) -> String {
+        String::from_utf8(mask_source(src)).expect("ascii test input")
+    }
+
+    #[test]
+    fn line_comments_are_blanked() {
+        let m = mask("let x = 1; // Instant::now()\nlet y = 2;");
+        assert!(!m.contains("Instant"));
+        assert!(m.contains("let y = 2;"));
+        assert_eq!(m.lines().count(), 2);
+    }
+
+    #[test]
+    fn nested_block_comments_are_blanked() {
+        let m = mask("a /* outer /* inner */ still comment */ b");
+        assert!(m.starts_with('a'));
+        assert!(m.ends_with('b'));
+        assert!(!m.contains("inner"));
+        assert!(!m.contains("still"));
+    }
+
+    #[test]
+    fn strings_are_blanked_but_code_survives() {
+        let m = mask(r#"call("thread_rng", x.unwrap());"#);
+        assert!(!m.contains("thread_rng"));
+        assert!(m.contains("unwrap()"));
+    }
+
+    #[test]
+    fn escaped_quotes_do_not_end_strings_early() {
+        let m = mask(r#"let s = "a\"b unwrap() c"; done"#);
+        assert!(!m.contains("unwrap"));
+        assert!(m.contains("done"));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes_are_blanked() {
+        let m = mask("let s = r#\"expect( \"# ; after");
+        assert!(!m.contains("expect"));
+        assert!(m.contains("after"));
+    }
+
+    #[test]
+    fn char_literals_are_blanked() {
+        let m = mask("let c = 'x'; let q = '\\''; let n = '\\n'; keep");
+        assert!(m.contains("keep"));
+        assert!(!m.contains('x'));
+    }
+
+    #[test]
+    fn lifetimes_are_not_treated_as_chars() {
+        let m = mask("fn f<'a>(x: &'a str) -> &'a str { x.unwrap() }");
+        assert!(m.contains("unwrap()"));
+        assert!(m.contains("<'a>"));
+    }
+
+    #[test]
+    fn byte_and_raw_byte_strings_are_blanked() {
+        let m = mask("let a = b\"expect(\"; let b = br#\"unwrap()\"#; tail");
+        assert!(!m.contains("expect"));
+        assert!(!m.contains("unwrap"));
+        assert!(m.contains("tail"));
+    }
+
+    #[test]
+    fn offsets_and_newlines_are_preserved() {
+        let src = "abc // x\ndef \"y\" ghi";
+        let m = mask(src);
+        assert_eq!(m.len(), src.len());
+        assert_eq!(m.find('\n'), src.find('\n'));
+        assert!(m.contains("def"));
+        assert!(m.contains("ghi"));
+    }
+}

@@ -1,0 +1,445 @@
+//! The lint rules and the findings they produce.
+//!
+//! Each rule protects one leg of the workspace's determinism contract (see
+//! `ANALYSIS.md` at the workspace root). Rules operate on a prepared
+//! [`SourceFile`]: masked text for pattern matching, original text for
+//! excerpts, and `#[cfg(test)]` regions excluded throughout — tests may
+//! use wall clocks, `unwrap`, and ad-hoc seeds freely.
+
+use crate::source::{SourceFile, TargetKind};
+use std::fmt;
+
+/// The crates whose **library targets** carry the determinism contract
+/// (rules [`RuleId::Nondeterminism`], [`RuleId::FloatReduction`], and
+/// [`RuleId::SeedHygiene`]). `cli` and `bench` are deliberately absent:
+/// the CLI is user-facing glue and the bench harness measures wall-clock
+/// time by design. `"."` is the workspace-root facade crate.
+pub const DETERMINISM_CRATES: &[&str] = &[
+    ".",
+    "stats",
+    "hash",
+    "sim",
+    "workloads",
+    "core",
+    "baselines",
+    "experiments",
+];
+
+/// Identifies one lint rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RuleId {
+    /// Wall-clock, OS entropy, or hash-order dependence in library code.
+    Nondeterminism,
+    /// `unwrap()` / `expect(` outside tests, benches, and binaries.
+    Unwrap,
+    /// Floating-point reduction inside a parallel fold closure.
+    FloatReduction,
+    /// PRNG seeded from a literal or ad-hoc arithmetic instead of
+    /// `stream_seed`.
+    SeedHygiene,
+    /// An `analysis.toml` entry that suppressed nothing.
+    StaleAllow,
+}
+
+impl RuleId {
+    /// The stable name used in reports and `analysis.toml` (`rule = "…"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            RuleId::Nondeterminism => "nondeterminism",
+            RuleId::Unwrap => "unwrap",
+            RuleId::FloatReduction => "float-reduction",
+            RuleId::SeedHygiene => "seed-hygiene",
+            RuleId::StaleAllow => "stale-allow",
+        }
+    }
+
+    /// Parse a rule name from `analysis.toml`. [`RuleId::StaleAllow`] is
+    /// not suppressible, so it is not accepted here.
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "nondeterminism" => Some(RuleId::Nondeterminism),
+            "unwrap" => Some(RuleId::Unwrap),
+            "float-reduction" => Some(RuleId::FloatReduction),
+            "seed-hygiene" => Some(RuleId::SeedHygiene),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for RuleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One reported violation.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Which rule fired.
+    pub rule: RuleId,
+    /// Workspace-relative path.
+    pub path: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Human-readable explanation.
+    pub message: String,
+    /// The offending source line, trimmed.
+    pub excerpt: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}\n    {}",
+            self.path, self.line, self.rule, self.message, self.excerpt
+        )
+    }
+}
+
+/// Run every rule over one file.
+pub fn check_file(file: &SourceFile) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    check_nondeterminism(file, &mut findings);
+    check_unwrap(file, &mut findings);
+    check_float_reduction(file, &mut findings);
+    check_seed_hygiene(file, &mut findings);
+    findings.sort_by_key(|f| f.line);
+    findings
+}
+
+/// Does this file carry the determinism contract (rules 1, 3, 4)?
+fn is_determinism_scope(file: &SourceFile) -> bool {
+    file.kind == TargetKind::Lib
+        && DETERMINISM_CRATES.contains(&file.crate_name.as_str())
+}
+
+fn push(findings: &mut Vec<Finding>, file: &SourceFile, rule: RuleId, line: usize, message: String) {
+    findings.push(Finding {
+        rule,
+        path: file.rel_path.clone(),
+        line,
+        message,
+        excerpt: file.line(line).trim().to_string(),
+    });
+}
+
+/// Rule 1 — nondeterministic inputs in library code: wall clocks
+/// (`Instant::now`, `SystemTime`), OS entropy (`thread_rng`,
+/// `rand::random`), and hash-ordered collections (`HashMap`/`HashSet`,
+/// whose iteration order varies per process thanks to `RandomState`).
+fn check_nondeterminism(file: &SourceFile, findings: &mut Vec<Finding>) {
+    if !is_determinism_scope(file) {
+        return;
+    }
+    const PATTERNS: &[(&str, &str)] = &[
+        ("Instant::now", "wall-clock time is nondeterministic; thread timing must never influence results"),
+        ("SystemTime", "system time is nondeterministic; derive timestamps from the simulation clock instead"),
+        ("thread_rng", "OS-entropy RNG breaks replay; seed a deterministic PRNG via rfid_hash::stream_seed"),
+        ("rand::random", "OS-entropy RNG breaks replay; seed a deterministic PRNG via rfid_hash::stream_seed"),
+        ("HashMap", "hash-map iteration order is randomized per process; use BTreeMap or sort before anything order-dependent"),
+        ("HashSet", "hash-set iteration order is randomized per process; use BTreeSet or restrict to membership tests"),
+    ];
+    for line in 1..=file.line_count() {
+        if file.in_test_region(line) {
+            continue;
+        }
+        let masked = file.masked_line(line);
+        for (pattern, why) in PATTERNS {
+            if masked.contains(pattern) {
+                push(findings, file, RuleId::Nondeterminism, line, format!("{pattern}: {why}"));
+            }
+        }
+    }
+}
+
+/// Rule 2 — `unwrap()` / `expect(` outside tests, benches, and binaries.
+/// A panic in a library crate tears down a whole Monte-Carlo run; hot
+/// paths must return errors (or restructure so the failure is impossible).
+fn check_unwrap(file: &SourceFile, findings: &mut Vec<Finding>) {
+    if file.kind == TargetKind::Bin {
+        return;
+    }
+    for line in 1..=file.line_count() {
+        if file.in_test_region(line) {
+            continue;
+        }
+        let masked = file.masked_line(line);
+        for pattern in [".unwrap()", ".expect("] {
+            if masked.contains(pattern) {
+                push(
+                    findings,
+                    file,
+                    RuleId::Unwrap,
+                    line,
+                    format!(
+                        "{pattern} in library code; return an error or restructure so failure is impossible"
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// Rule 3 — floating-point accumulation inside a parallel fold closure.
+/// f64 addition is not associative, so `+=`/`sum()` over floats inside
+/// `par_fold`-family closures makes the result depend on chunking. The
+/// deterministic pattern (PR 2): collect per-item records in the fold and
+/// do one **sequential** Welford/percentile pass over the merged,
+/// trial-ordered list.
+fn check_float_reduction(file: &SourceFile, findings: &mut Vec<Finding>) {
+    if !is_determinism_scope(file) {
+        return;
+    }
+    let regions = file.call_regions(&[
+        "par_fold",
+        "par_fold_with_threads",
+        "scope", // std::thread::scope fork/join blocks
+    ]);
+    for region in regions {
+        // Float-ness is judged over the whole call region: the accumulator
+        // type (`|| 0.0f64`) and the `+=` that feeds it are usually on
+        // different lines of the same closure.
+        let region_floaty = region.clone().any(|line| {
+            let masked = file.masked_line(line);
+            masked.contains("f64") || masked.contains("f32") || has_float_literal(masked)
+        });
+        for line in region {
+            if file.in_test_region(line) {
+                continue;
+            }
+            let masked = file.masked_line(line);
+            let sums = masked.contains(".sum::<f64>") || masked.contains(".sum::<f32>");
+            let accumulates = masked.contains("+=") || masked.contains(".sum()");
+            if sums || (region_floaty && accumulates) {
+                push(
+                    findings,
+                    file,
+                    RuleId::FloatReduction,
+                    line,
+                    "float accumulation inside a parallel fold: f64 addition is not associative, \
+                     so the result depends on chunking; collect records and aggregate in one \
+                     sequential pass instead"
+                        .to_string(),
+                );
+            }
+        }
+    }
+}
+
+/// Does the masked line contain a float literal (`1.0`, `2.5e3`)?
+fn has_float_literal(masked: &str) -> bool {
+    let b = masked.as_bytes();
+    (1..b.len().saturating_sub(1)).any(|i| {
+        b[i] == b'.' && b[i - 1].is_ascii_digit() && b[i + 1].is_ascii_digit()
+    })
+}
+
+/// Rule 4 — seed hygiene: a PRNG constructed from an integer literal or
+/// from ad-hoc seed arithmetic (`seed + i`, `seed ^ 0xABCD`) instead of
+/// `stream_seed`. Affine seed schedules correlate "independent" streams
+/// (the PR 2 bug class); `stream_seed` routes every derivation through a
+/// full-avalanche mix.
+fn check_seed_hygiene(file: &SourceFile, findings: &mut Vec<Finding>) {
+    if !is_determinism_scope(file) {
+        return;
+    }
+    const CONSTRUCTORS: &[&str] = &["SplitMix64::new", "XorShift32::new", "seed_from_u64"];
+    for line in 1..=file.line_count() {
+        if file.in_test_region(line) {
+            continue;
+        }
+        let masked = file.masked_line(line);
+        for ctor in CONSTRUCTORS {
+            let Some(pos) = masked.find(ctor) else { continue };
+            let rest = &masked[pos + ctor.len()..];
+            let Some(arg) = first_argument(rest) else { continue };
+            if let Some(problem) = seed_argument_problem(&arg) {
+                push(
+                    findings,
+                    file,
+                    RuleId::SeedHygiene,
+                    line,
+                    format!("{ctor}({arg}): {problem}; derive seeds with rfid_hash::stream_seed"),
+                );
+            }
+        }
+    }
+}
+
+/// Extract the argument list of a call whose `(` starts `rest` (single
+/// line only — multi-line constructor calls are rare enough to ignore).
+fn first_argument(rest: &str) -> Option<String> {
+    let b = rest.as_bytes();
+    if b.first() != Some(&b'(') {
+        return None;
+    }
+    let mut depth = 0usize;
+    for (i, &c) in b.iter().enumerate() {
+        if c == b'(' {
+            depth += 1;
+        } else if c == b')' {
+            depth -= 1;
+            if depth == 0 {
+                return Some(rest[1..i].trim().to_string());
+            }
+        }
+    }
+    None
+}
+
+/// Why a seed argument is suspicious, or `None` if it looks fine.
+fn seed_argument_problem(arg: &str) -> Option<&'static str> {
+    if arg.is_empty() || arg.contains("stream_seed") {
+        return None;
+    }
+    let stripped: String = arg.chars().filter(|c| *c != '_').collect();
+    let is_literal = stripped
+        .strip_prefix("0x")
+        .map(|h| h.chars().all(|c| c.is_ascii_hexdigit()))
+        .unwrap_or_else(|| stripped.chars().all(|c| c.is_ascii_digit()));
+    if is_literal {
+        return Some("seeded from an integer literal");
+    }
+    // Arithmetic at paren depth zero (`seed ^ 0xABCD`, `seed + i as u64`)
+    // is an ad-hoc stream split. Operators *inside* a call's parentheses
+    // (`stream_seed(seed, i * 31)`, `mix_pair(a, b)`) belong to a
+    // deliberate derivation and pass.
+    let mut depth = 0u32;
+    for c in arg.chars() {
+        match c {
+            '(' => depth += 1,
+            ')' => depth = depth.saturating_sub(1),
+            '+' | '^' | '*' | '|' | '<' if depth == 0 => {
+                return Some("seeded from ad-hoc arithmetic, which correlates streams");
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::SourceFile;
+
+    fn lib_file(text: &str) -> SourceFile {
+        SourceFile::new("crates/sim/src/demo.rs", "sim", TargetKind::Lib, text)
+    }
+
+    fn rules_fired(text: &str) -> Vec<RuleId> {
+        check_file(&lib_file(text)).into_iter().map(|f| f.rule).collect()
+    }
+
+    #[test]
+    fn clean_code_has_no_findings() {
+        assert!(rules_fired("pub fn ok(seed: u64) -> u64 { seed.wrapping_mul(3) }\n").is_empty());
+    }
+
+    #[test]
+    fn wall_clock_and_entropy_are_flagged() {
+        assert_eq!(rules_fired("fn f() { let t = std::time::Instant::now(); }\n"), vec![RuleId::Nondeterminism]);
+        assert_eq!(rules_fired("fn f() { let r: u8 = rand::random(); }\n"), vec![RuleId::Nondeterminism]);
+    }
+
+    #[test]
+    fn comments_and_strings_never_fire() {
+        assert!(rules_fired("// Instant::now() would be wrong here\nfn f() {}\n").is_empty());
+        assert!(rules_fired("fn f() -> &'static str { \"Instant::now\" }\n").is_empty());
+    }
+
+    #[test]
+    fn unwrap_in_lib_fires_but_not_in_tests() {
+        assert_eq!(rules_fired("fn f(x: Option<u8>) -> u8 { x.unwrap() }\n"), vec![RuleId::Unwrap]);
+        let text = "#[cfg(test)]\nmod tests {\n    fn t(x: Option<u8>) -> u8 { x.unwrap() }\n}\n";
+        assert!(rules_fired(text).is_empty());
+    }
+
+    #[test]
+    fn unwrap_in_bin_target_is_allowed() {
+        let f = SourceFile::new(
+            "crates/experiments/src/bin/fig07.rs",
+            "experiments",
+            TargetKind::Bin,
+            "fn main() { std::env::args().next().unwrap(); }\n",
+        );
+        assert!(check_file(&f).is_empty());
+    }
+
+    #[test]
+    fn unwrap_or_variants_do_not_fire() {
+        assert!(rules_fired("fn f(x: Option<u8>) -> u8 { x.unwrap_or(0) }\n").is_empty());
+        assert!(rules_fired("fn f(x: Option<u8>) -> u8 { x.unwrap_or_else(|| 1) }\n").is_empty());
+    }
+
+    #[test]
+    fn float_accumulation_in_par_fold_fires() {
+        let text = "\
+fn f(items: &[f64]) -> f64 {
+    par_fold(
+        items,
+        1,
+        || 0.0f64,
+        |acc, x| *acc += x,
+        |acc, o| *acc += o,
+    )
+}
+";
+        let fired = rules_fired(text);
+        assert!(fired.contains(&RuleId::FloatReduction), "{fired:?}");
+    }
+
+    #[test]
+    fn integer_accumulation_in_par_fold_is_fine() {
+        let text = "\
+fn f(items: &[u64]) -> u64 {
+    par_fold(items, 1, || 0u64, |acc, x| *acc += x, |acc, o| *acc += o)
+}
+";
+        assert!(rules_fired(text).is_empty());
+    }
+
+    #[test]
+    fn float_accumulation_outside_any_fold_is_fine() {
+        assert!(rules_fired("fn f(xs: &[f64]) -> f64 { let mut s = 0.0; for x in xs { s += x; } s }\n").is_empty());
+    }
+
+    #[test]
+    fn literal_and_arithmetic_seeds_fire() {
+        assert_eq!(rules_fired("fn f() { let r = SplitMix64::new(42); }\n"), vec![RuleId::SeedHygiene]);
+        assert_eq!(rules_fired("fn f() { let r = SplitMix64::new(0xDEAD_BEEF); }\n"), vec![RuleId::SeedHygiene]);
+        assert_eq!(rules_fired("fn f(seed: u64, i: u64) { let r = StdRng::seed_from_u64(seed + i); }\n"), vec![RuleId::SeedHygiene]);
+    }
+
+    #[test]
+    fn stream_seed_and_passthrough_seeds_are_fine() {
+        assert!(rules_fired("fn f(seed: u64, i: u64) { let r = SplitMix64::new(stream_seed(seed, i)); }\n").is_empty());
+        assert!(rules_fired("fn f(seed: u64) { let r = SplitMix64::new(seed); }\n").is_empty());
+        assert!(rules_fired("fn f(ctx: &Ctx) { let r = StdRng::seed_from_u64(ctx.seed); }\n").is_empty());
+    }
+
+    #[test]
+    fn determinism_rules_skip_out_of_scope_crates() {
+        let f = SourceFile::new(
+            "crates/bench/src/lib.rs",
+            "bench",
+            TargetKind::Lib,
+            "fn f() { let t = Instant::now(); let r = SplitMix64::new(1); }\n",
+        );
+        // Only rule 2 applies to bench; no unwraps here, so clean.
+        assert!(check_file(&f).is_empty());
+    }
+
+    #[test]
+    fn findings_carry_path_line_and_excerpt() {
+        let text = "fn ok() {}\nfn f(x: Option<u8>) -> u8 { x.unwrap() }\n";
+        let found = check_file(&lib_file(text));
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].path, "crates/sim/src/demo.rs");
+        assert_eq!(found[0].line, 2);
+        assert!(found[0].excerpt.contains("x.unwrap()"));
+        let rendered = found[0].to_string();
+        assert!(rendered.starts_with("crates/sim/src/demo.rs:2: [unwrap]"), "{rendered}");
+    }
+}

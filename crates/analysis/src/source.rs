@@ -1,0 +1,260 @@
+//! A scanned source file: masked text, line table, and region detection.
+//!
+//! Rules never re-parse the file; they ask this model three questions:
+//! which line a byte offset falls on, whether a line sits inside a
+//! `#[cfg(test)]` region, and which line spans belong to the argument list
+//! of a parallel-fold call.
+
+use crate::mask::mask_source;
+use std::ops::Range;
+
+/// Which Cargo target a file belongs to, as inferred from its path. The
+/// rules use this to scope themselves (e.g. `unwrap` is allowed in `bin`
+/// targets, the determinism rules only run over library targets).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TargetKind {
+    /// A library target (`src/**` except `src/bin/**` and `src/main.rs`).
+    Lib,
+    /// A binary target (`src/bin/**` or `src/main.rs`).
+    Bin,
+}
+
+/// One source file prepared for scanning.
+pub struct SourceFile {
+    /// Workspace-relative path, `/`-separated.
+    pub rel_path: String,
+    /// The crate directory name this file belongs to (e.g. `sim`), or
+    /// `"."` for the workspace root crate.
+    pub crate_name: String,
+    /// Inferred target kind.
+    pub kind: TargetKind,
+    /// Original text, split into lines (no trailing newlines).
+    lines: Vec<String>,
+    /// Masked text, split into lines, parallel to `lines`.
+    masked_lines: Vec<String>,
+    /// 1-based line ranges covered by `#[cfg(test)]` items.
+    test_regions: Vec<Range<usize>>,
+    /// Masked full text (for region searches).
+    masked: String,
+    /// Byte offset of the start of each line in `masked`.
+    line_starts: Vec<usize>,
+}
+
+impl SourceFile {
+    /// Prepare `text` (the contents of `rel_path`) for scanning.
+    pub fn new(rel_path: &str, crate_name: &str, kind: TargetKind, text: &str) -> Self {
+        let masked_bytes = mask_source(text);
+        // Masked output only ever replaces bytes with spaces, so it is
+        // valid UTF-8 whenever the input was; fall back lossily otherwise.
+        let masked = String::from_utf8_lossy(&masked_bytes).into_owned();
+        let lines: Vec<String> = text.lines().map(str::to_string).collect();
+        let masked_lines: Vec<String> = masked.lines().map(str::to_string).collect();
+        let mut line_starts = vec![0];
+        for (i, b) in masked.bytes().enumerate() {
+            if b == b'\n' {
+                line_starts.push(i + 1);
+            }
+        }
+        let test_regions = find_test_regions(&masked, &line_starts);
+        Self {
+            rel_path: rel_path.to_string(),
+            crate_name: crate_name.to_string(),
+            kind,
+            lines,
+            masked_lines,
+            test_regions,
+            masked,
+            line_starts,
+        }
+    }
+
+    /// Number of lines.
+    pub fn line_count(&self) -> usize {
+        self.lines.len()
+    }
+
+    /// Original text of 1-based `line` (empty if out of range).
+    pub fn line(&self, line: usize) -> &str {
+        self.lines.get(line - 1).map_or("", String::as_str)
+    }
+
+    /// Masked text of 1-based `line` (empty if out of range).
+    pub fn masked_line(&self, line: usize) -> &str {
+        self.masked_lines.get(line - 1).map_or("", String::as_str)
+    }
+
+    /// Is 1-based `line` inside a `#[cfg(test)]` item?
+    pub fn in_test_region(&self, line: usize) -> bool {
+        self.test_regions.iter().any(|r| r.contains(&line))
+    }
+
+    /// 1-based line of a byte offset into the masked text.
+    fn line_of(&self, offset: usize) -> usize {
+        match self.line_starts.binary_search(&offset) {
+            Ok(i) => i + 1,
+            Err(i) => i,
+        }
+    }
+
+    /// 1-based line spans of the argument lists of every call to one of
+    /// `callees` (matched as whole identifiers followed by `(`).
+    pub fn call_regions(&self, callees: &[&str]) -> Vec<Range<usize>> {
+        let bytes = self.masked.as_bytes();
+        let mut regions = Vec::new();
+        for callee in callees {
+            let mut from = 0;
+            while let Some(pos) = self.masked[from..].find(callee) {
+                let start = from + pos;
+                let end = start + callee.len();
+                from = end;
+                // Whole-identifier match: no ident char on either side.
+                let before_ok = start == 0 || !is_ident_byte(bytes[start - 1]);
+                let after = bytes.get(end).copied();
+                if !before_ok || after != Some(b'(') {
+                    continue;
+                }
+                if let Some(close) = match_delim(bytes, end, b'(', b')') {
+                    regions.push(self.line_of(end)..self.line_of(close) + 1);
+                }
+            }
+        }
+        regions
+    }
+}
+
+/// Is `b` an identifier byte (`[A-Za-z0-9_]`)?
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Given masked bytes and the index of an opening delimiter, return the
+/// index of its matching closer (ignoring strings/comments, which are
+/// already blanked).
+fn match_delim(bytes: &[u8], open: usize, open_b: u8, close_b: u8) -> Option<usize> {
+    let mut depth = 0usize;
+    for (i, &b) in bytes.iter().enumerate().skip(open) {
+        if b == open_b {
+            depth += 1;
+        } else if b == close_b {
+            depth -= 1;
+            if depth == 0 {
+                return Some(i);
+            }
+        }
+    }
+    None
+}
+
+/// Find 1-based line ranges of `#[cfg(test)]` items. The attribute may be
+/// followed by further attributes; the item body is the next `{ … }` block
+/// (or ends at a `;` for block-less items).
+fn find_test_regions(masked: &str, line_starts: &[usize]) -> Vec<Range<usize>> {
+    let bytes = masked.as_bytes();
+    let line_of = |offset: usize| match line_starts.binary_search(&offset) {
+        Ok(i) => i + 1,
+        Err(i) => i,
+    };
+    let mut regions = Vec::new();
+    let mut from = 0;
+    while let Some(pos) = masked[from..].find("#[cfg(test)]") {
+        let attr_start = from + pos;
+        from = attr_start + "#[cfg(test)]".len();
+        // Scan forward for the item body: the first `{` not preceded by a
+        // terminating `;` at depth zero.
+        let mut i = from;
+        let mut end = None;
+        while i < bytes.len() {
+            match bytes[i] {
+                b'{' => {
+                    end = match_delim(bytes, i, b'{', b'}');
+                    break;
+                }
+                b';' => {
+                    // Block-less item (e.g. `#[cfg(test)] use …;`).
+                    end = Some(i);
+                    break;
+                }
+                _ => i += 1,
+            }
+        }
+        if let Some(end) = end {
+            regions.push(line_of(attr_start)..line_of(end) + 1);
+        }
+    }
+    regions
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn file(text: &str) -> SourceFile {
+        SourceFile::new("crates/demo/src/lib.rs", "demo", TargetKind::Lib, text)
+    }
+
+    #[test]
+    fn test_regions_cover_cfg_test_modules() {
+        let src = "\
+pub fn real() {}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() {
+        real();
+    }
+}
+
+pub fn after() {}
+";
+        let f = file(src);
+        assert!(!f.in_test_region(1));
+        assert!(f.in_test_region(3));
+        assert!(f.in_test_region(7));
+        assert!(f.in_test_region(9));
+        assert!(!f.in_test_region(11));
+    }
+
+    #[test]
+    fn blockless_cfg_test_items_end_at_semicolon() {
+        let src = "#[cfg(test)]\nuse std::collections::HashSet;\npub fn f() {}\n";
+        let f = file(src);
+        assert!(f.in_test_region(2));
+        assert!(!f.in_test_region(3));
+    }
+
+    #[test]
+    fn call_regions_span_the_argument_list() {
+        let src = "\
+fn demo() {
+    let x = par_fold(
+        &items,
+        1,
+        || 0.0,
+    );
+    other();
+}
+";
+        let f = file(src);
+        let regions = f.call_regions(&["par_fold"]);
+        assert_eq!(regions.len(), 1);
+        assert!(regions[0].contains(&2));
+        assert!(regions[0].contains(&6));
+        assert!(!regions[0].contains(&7));
+    }
+
+    #[test]
+    fn call_regions_require_whole_identifier() {
+        let src = "fn f() { not_par_fold(1); par_folded(2); }\n";
+        let f = file(src);
+        assert!(f.call_regions(&["par_fold"]).is_empty());
+    }
+
+    #[test]
+    fn line_accessors_are_one_based() {
+        let f = file("first\nsecond\n");
+        assert_eq!(f.line(1), "first");
+        assert_eq!(f.line(2), "second");
+        assert_eq!(f.line_count(), 2);
+    }
+}

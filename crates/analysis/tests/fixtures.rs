@@ -1,0 +1,274 @@
+//! Fixture workspaces for the determinism linter: one positive and one
+//! negative case per rule, allowlist round-trips, and the `file:line`
+//! reporting contract. Each test materialises a miniature workspace under
+//! the OS temp directory and runs the same `scan_workspace` entry point
+//! the `rfid-analysis` binary uses.
+
+use rfid_analysis::{scan_workspace, Report, RuleId};
+use std::path::PathBuf;
+
+/// A scratch workspace that cleans up after itself.
+struct Fixture {
+    root: PathBuf,
+}
+
+impl Fixture {
+    fn new(name: &str) -> Self {
+        let root = std::env::temp_dir().join(format!(
+            "rfid-analysis-fixture-{}-{name}",
+            std::process::id()
+        ));
+        // A stale tree from a crashed earlier run would pollute the scan.
+        let _ = std::fs::remove_dir_all(&root);
+        std::fs::create_dir_all(&root).expect("create fixture root");
+        Self { root }
+    }
+
+    /// Write `text` at `rel` (slash-separated), creating parents.
+    fn file(&self, rel: &str, text: &str) -> &Self {
+        let path = self.root.join(rel);
+        let parent = path.parent().expect("file has a parent");
+        std::fs::create_dir_all(parent).expect("create fixture dirs");
+        std::fs::write(&path, text).expect("write fixture file");
+        self
+    }
+
+    fn scan(&self) -> Report {
+        scan_workspace(&self.root).expect("fixture scan succeeds")
+    }
+}
+
+impl Drop for Fixture {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.root);
+    }
+}
+
+#[test]
+fn clean_tree_is_clean() {
+    let fx = Fixture::new("clean");
+    fx.file(
+        "crates/sim/src/lib.rs",
+        "//! A well-behaved crate.\npub fn double(x: u64) -> u64 { x * 2 }\n",
+    );
+    let report = fx.scan();
+    assert!(report.is_clean(), "{:?}", report.findings);
+    assert_eq!(report.files_scanned, 1);
+    assert_eq!(report.suppressed, 0);
+}
+
+#[test]
+fn nondeterminism_fires_in_determinism_crate_libs() {
+    let fx = Fixture::new("nondet-pos");
+    fx.file(
+        "crates/sim/src/lib.rs",
+        "pub fn now() -> std::time::Instant { std::time::Instant::now() }\n",
+    );
+    let report = fx.scan();
+    assert_eq!(report.findings.len(), 1);
+    let f = &report.findings[0];
+    assert_eq!(f.rule, RuleId::Nondeterminism);
+    assert_eq!(f.path, "crates/sim/src/lib.rs");
+    assert_eq!(f.line, 1);
+}
+
+#[test]
+fn nondeterminism_spares_bins_test_regions_and_out_of_scope_crates() {
+    let fx = Fixture::new("nondet-neg");
+    // Binary target of a determinism crate: wall-clock is fine there.
+    fx.file(
+        "crates/sim/src/bin/tool.rs",
+        "fn main() { let _ = std::time::Instant::now(); }\n",
+    );
+    // Library target, but inside #[cfg(test)].
+    fx.file(
+        "crates/stats/src/lib.rs",
+        "pub fn id(x: u64) -> u64 { x }\n\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { let _ = std::time::Instant::now(); }\n}\n",
+    );
+    // Crate outside the determinism scope entirely.
+    fx.file(
+        "crates/devtools/src/lib.rs",
+        "pub fn stamp() -> std::time::Instant { std::time::Instant::now() }\n",
+    );
+    // Token only inside a comment and a string.
+    fx.file(
+        "crates/hash/src/lib.rs",
+        "// never call Instant::now here\npub const HINT: &str = \"Instant::now\";\n",
+    );
+    let report = fx.scan();
+    assert!(report.is_clean(), "{:?}", report.findings);
+}
+
+#[test]
+fn unwrap_fires_in_libs_but_not_bins_or_tests() {
+    let fx = Fixture::new("unwrap");
+    fx.file(
+        "crates/sim/src/lib.rs",
+        "pub fn f(x: Option<u32>) -> u32 { x.unwrap() }\npub fn g(x: Option<u32>) -> u32 { x.unwrap_or(0) }\n",
+    );
+    fx.file(
+        "crates/sim/src/main.rs",
+        "fn main() { let v: Option<u32> = Some(1); v.expect(\"fine in a binary\"); }\n",
+    );
+    // Integration tests directories are never scanned at all.
+    fx.file(
+        "crates/sim/tests/it.rs",
+        "#[test]\nfn t() { None::<u32>.unwrap(); }\n",
+    );
+    let report = fx.scan();
+    assert_eq!(report.findings.len(), 1, "{:?}", report.findings);
+    let f = &report.findings[0];
+    assert_eq!(f.rule, RuleId::Unwrap);
+    assert_eq!((f.path.as_str(), f.line), ("crates/sim/src/lib.rs", 1));
+    assert_eq!(report.files_scanned, 2, "tests/ must not be scanned");
+}
+
+#[test]
+fn float_reduction_fires_only_for_float_folds() {
+    let fx = Fixture::new("float");
+    fx.file(
+        "crates/sim/src/lib.rs",
+        "\
+pub fn bad(items: &[f64]) -> f64 {
+    par_fold(
+        items,
+        1,
+        || 0.0f64,
+        |acc, &x| *acc += x,
+        |acc, other| *acc += other,
+    )
+}
+",
+    );
+    fx.file(
+        "crates/stats/src/lib.rs",
+        "\
+pub fn fine(items: &[u32]) -> u32 {
+    par_fold(
+        items,
+        1,
+        || 0u32,
+        |acc, &x| *acc += x,
+        |acc, other| *acc += other,
+    )
+}
+",
+    );
+    let report = fx.scan();
+    assert!(!report.findings.is_empty());
+    assert!(report
+        .findings
+        .iter()
+        .all(|f| f.rule == RuleId::FloatReduction && f.path == "crates/sim/src/lib.rs"));
+}
+
+#[test]
+fn seed_hygiene_fires_for_literals_and_arithmetic_but_not_stream_seed() {
+    let fx = Fixture::new("seed");
+    fx.file(
+        "crates/sim/src/lib.rs",
+        "\
+pub fn bad_literal() -> u64 { SplitMix64::new(42).next_u64() }
+pub fn bad_arith(seed: u64) -> u64 { SplitMix64::new(seed ^ 0xF1).next_u64() }
+pub fn good(seed: u64) -> u64 { SplitMix64::new(rfid_hash::stream_seed(seed, 1)).next_u64() }
+pub fn also_good(seed: u64) -> u64 { SplitMix64::new(seed).next_u64() }
+",
+    );
+    let report = fx.scan();
+    let lines: Vec<usize> = report
+        .findings
+        .iter()
+        .map(|f| {
+            assert_eq!(f.rule, RuleId::SeedHygiene);
+            f.line
+        })
+        .collect();
+    assert_eq!(lines, vec![1, 2], "{:?}", report.findings);
+}
+
+#[test]
+fn allowlist_round_trip_suppresses_and_reports_stale_entries() {
+    let fx = Fixture::new("allowlist");
+    fx.file(
+        "crates/sim/src/lib.rs",
+        "pub fn f(x: Option<u32>) -> u32 { x.unwrap() }\n",
+    );
+    fx.file(
+        "analysis.toml",
+        "\
+[[allow]]
+rule = \"unwrap\"
+path = \"crates/sim/src/lib.rs\"
+pattern = \"x.unwrap()\"
+justification = \"fixture: exercising the suppression round-trip\"
+",
+    );
+    let report = fx.scan();
+    assert!(report.is_clean(), "{:?}", report.findings);
+    assert_eq!(report.suppressed, 1);
+
+    // Now make the entry stale: the offending line is gone, so the entry
+    // itself must surface as a finding pointing into analysis.toml.
+    fx.file("crates/sim/src/lib.rs", "pub fn f() -> u32 { 7 }\n");
+    let report = fx.scan();
+    assert_eq!(report.findings.len(), 1);
+    let f = &report.findings[0];
+    assert_eq!(f.rule, RuleId::StaleAllow);
+    assert_eq!(f.path, "analysis.toml");
+    assert_eq!(f.line, 1, "points at the [[allow]] header");
+}
+
+#[test]
+fn malformed_allowlist_is_a_hard_error_not_a_silent_pass() {
+    let fx = Fixture::new("badtoml");
+    fx.file("crates/sim/src/lib.rs", "pub fn ok() {}\n");
+    fx.file(
+        "analysis.toml",
+        "[[allow]]\nrule = \"unwrap\"\npath = \"x.rs\"\njustification = \"nope\"\n",
+    );
+    let err = scan_workspace(&fx.root).expect_err("short justification must fail the scan");
+    assert!(err.to_string().contains("justification too short"), "{err}");
+}
+
+#[test]
+fn findings_render_as_path_line_rule() {
+    let fx = Fixture::new("render");
+    fx.file(
+        "crates/sim/src/lib.rs",
+        "pub fn pad() {}\npub fn f(x: Option<u32>) -> u32 { x.unwrap() }\n",
+    );
+    let report = fx.scan();
+    assert_eq!(report.findings.len(), 1);
+    let rendered = report.findings[0].to_string();
+    assert!(
+        rendered.starts_with("crates/sim/src/lib.rs:2: [unwrap]"),
+        "diagnostics must lead with clickable path:line — got {rendered}"
+    );
+    assert!(
+        rendered.contains("x.unwrap()"),
+        "diagnostics must quote the offending line — got {rendered}"
+    );
+}
+
+#[test]
+fn findings_are_sorted_by_path_then_line() {
+    let fx = Fixture::new("sorted");
+    fx.file(
+        "crates/sim/src/lib.rs",
+        "pub fn a(x: Option<u32>) -> u32 { x.unwrap() }\npub fn b(x: Option<u32>) -> u32 { x.unwrap() }\n",
+    );
+    fx.file(
+        "crates/hash/src/lib.rs",
+        "pub fn c(x: Option<u32>) -> u32 { x.unwrap() }\n",
+    );
+    let report = fx.scan();
+    let keys: Vec<(String, usize)> = report
+        .findings
+        .iter()
+        .map(|f| (f.path.clone(), f.line))
+        .collect();
+    let mut sorted = keys.clone();
+    sorted.sort();
+    assert_eq!(keys, sorted);
+    assert_eq!(keys.len(), 3);
+}

@@ -91,7 +91,7 @@ pub fn clamped_rho(idle: usize, total: usize) -> f64 {
 /// lengths).
 pub fn median(xs: &mut [f64]) -> f64 {
     assert!(!xs.is_empty(), "median of empty slice");
-    xs.sort_by(|a, b| a.partial_cmp(b).expect("NaN in median input"));
+    xs.sort_by(f64::total_cmp);
     let n = xs.len();
     if n % 2 == 1 {
         xs[n / 2]

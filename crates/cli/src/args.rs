@@ -281,19 +281,19 @@ mod tests {
     }
 
     #[test]
-    fn empty_is_help() {
-        assert_eq!(parse(&[]).unwrap(), Command::Help);
-        assert_eq!(parse(&argv("help")).unwrap(), Command::Help);
-        assert_eq!(parse(&argv("--help")).unwrap(), Command::Help);
+    fn empty_is_help() -> Result<(), ParseError> {
+        assert_eq!(parse(&[])?, Command::Help);
+        assert_eq!(parse(&argv("help"))?, Command::Help);
+        assert_eq!(parse(&argv("--help"))?, Command::Help);
+        Ok(())
     }
 
     #[test]
-    fn estimate_defaults_and_overrides() {
+    fn estimate_defaults_and_overrides() -> Result<(), ParseError> {
         let cmd = parse(&argv(
             "estimate --n 5000 --estimator zoe --workload t3 --epsilon 0.1 \
              --delta 0.2 --seed 7 --rounds 3 --ber 0.01",
-        ))
-        .unwrap();
+        ))?;
         let Command::Estimate(o) = cmd else {
             panic!("wrong variant")
         };
@@ -305,43 +305,44 @@ mod tests {
         assert_eq!(o.seed, 7);
         assert_eq!(o.rounds, 3);
         assert_eq!(o.ber, 0.01);
+        Ok(())
     }
 
     #[test]
-    fn estimate_trials_and_jobs_flags() {
-        let Command::Estimate(o) =
-            parse(&argv("estimate --trials 8 --jobs 4")).unwrap()
-        else {
+    fn estimate_trials_and_jobs_flags() -> Result<(), ParseError> {
+        let Command::Estimate(o) = parse(&argv("estimate --trials 8 --jobs 4"))? else {
             panic!()
         };
         assert_eq!(o.rounds, 8);
         assert_eq!(o.jobs, 4);
         // --rounds stays as a backwards-compatible alias.
-        let Command::Estimate(o) = parse(&argv("estimate --rounds 5")).unwrap() else {
+        let Command::Estimate(o) = parse(&argv("estimate --rounds 5"))? else {
             panic!()
         };
         assert_eq!(o.rounds, 5);
         assert!(parse(&argv("estimate --trials 0")).is_err());
         assert!(parse(&argv("estimate --jobs x")).is_err());
+        Ok(())
     }
 
     #[test]
-    fn estimate_bare_uses_defaults() {
-        let Command::Estimate(o) = parse(&argv("estimate")).unwrap() else {
+    fn estimate_bare_uses_defaults() -> Result<(), ParseError> {
+        let Command::Estimate(o) = parse(&argv("estimate"))? else {
             panic!()
         };
         assert_eq!(o, EstimateOpts::default());
+        Ok(())
     }
 
     #[test]
-    fn compare_parses_estimator_list() {
-        let Command::Compare(c) =
-            parse(&argv("compare --n 1000 --estimators bfce,ezb,art")).unwrap()
+    fn compare_parses_estimator_list() -> Result<(), ParseError> {
+        let Command::Compare(c) = parse(&argv("compare --n 1000 --estimators bfce,ezb,art"))?
         else {
             panic!()
         };
         assert_eq!(c.estimators, vec!["bfce", "ezb", "art"]);
         assert_eq!(c.base.n, 1000);
+        Ok(())
     }
 
     #[test]
@@ -356,22 +357,20 @@ mod tests {
     }
 
     #[test]
-    fn workload_subcommand() {
-        let Command::Workload(w) =
-            parse(&argv("workload --spec sequential --n 5 --seed 9")).unwrap()
+    fn workload_subcommand() -> Result<(), ParseError> {
+        let Command::Workload(w) = parse(&argv("workload --spec sequential --n 5 --seed 9"))?
         else {
             panic!()
         };
         assert_eq!(w.spec, WorkloadSpec::Sequential);
         assert_eq!(w.n, 5);
         assert_eq!(w.seed, 9);
+        Ok(())
     }
 
     #[test]
-    fn diff_subcommand() {
-        let Command::Diff(d) =
-            parse(&argv("diff --n 10000 --departed 800 --arrived 300 --seed 5"))
-                .unwrap()
+    fn diff_subcommand() -> Result<(), ParseError> {
+        let Command::Diff(d) = parse(&argv("diff --n 10000 --departed 800 --arrived 300 --seed 5"))?
         else {
             panic!()
         };
@@ -380,6 +379,7 @@ mod tests {
         assert_eq!(d.arrived, 300);
         assert_eq!(d.seed, 5);
         assert!(parse(&argv("diff --n 10 --departed 11")).is_err());
+        Ok(())
     }
 
     #[test]

@@ -153,7 +153,11 @@ pub fn trace(opts: &EstimateOpts, out: &mut dyn Write) -> std::io::Result<()> {
         Accuracy::new(opts.epsilon, opts.delta),
         &mut rng,
     );
-    let events = system.protocol_trace().expect("trace enabled");
+    let Some(events) = system.protocol_trace() else {
+        return Err(std::io::Error::other(
+            "protocol trace missing after enable_trace",
+        ));
+    };
     writeln!(
         out,
         "BFCE on {} tags: n_hat = {:.1} in {:.4}s\n",

@@ -181,8 +181,11 @@ pub fn run_hash_comparison(scale: Scale, seed: u64) -> Table {
 pub fn run_channel_sweep(scale: Scale, seed: u64) -> Table {
     let n = scale.pick(50_000usize, 200_000);
     let rounds = scale.pick(3u32, 10);
+    // The quick variant keeps only the endpoints of the paper grid: with
+    // 3 trials the mid-grid BERs sit inside trial-to-trial variance, so a
+    // smoke test on them is a seed lottery rather than a signal check.
     let bers: &[f64] = match scale {
-        Scale::Quick => &[0.0, 0.01],
+        Scale::Quick => &[0.0, 0.05],
         Scale::Paper => &[0.0, 0.001, 0.005, 0.01, 0.02, 0.05],
     };
     let mut table = Table::new(
@@ -193,7 +196,7 @@ pub fn run_channel_sweep(scale: Scale, seed: u64) -> Table {
     for &ber in bers {
         let out = TrialRunner::new(rounds, stream_seed(seed, (ber * 1e4) as u64))
             .run_with(n, Accuracy::paper_default(), |ctx| {
-                let mut rng = StdRng::seed_from_u64(ctx.seed ^ 0xABCD);
+                let mut rng = StdRng::seed_from_u64(stream_seed(ctx.seed, 1));
                 let population = WorkloadSpec::T1.generate(n, &mut rng);
                 let mut system = if ber > 0.0 {
                     RfidSystem::with_channel(
@@ -298,7 +301,7 @@ pub fn run_link_sweep(scale: Scale, seed: u64) -> Table {
         for est in [&bfce as &dyn CardinalityEstimator, &zoe, &src] {
             let mut system = crate::runner::build_system(WorkloadSpec::T2, n, seed);
             system.set_timing(timing);
-            let mut rng = StdRng::seed_from_u64(seed ^ 0xF1);
+            let mut rng = StdRng::seed_from_u64(stream_seed(seed, 1));
             let report = est.estimate(&mut system, acc, &mut rng);
             times.push(report.air.total_seconds());
         }

@@ -343,7 +343,7 @@ where
         t
     });
     ExperimentArgs {
-        scale: crate::Scale::from_iter(args),
+        scale: crate::Scale::from_args(args),
         jobs,
         trials,
     }

@@ -58,7 +58,8 @@ pub fn run(scale: Scale, seed: u64) -> Table {
         let mut cells = vec![n.to_string()];
         for (pi, &p_n) in P_NUMERATORS.iter().enumerate() {
             let mut system = build_system(WorkloadSpec::T1, n, seed + n as u64);
-            let mut rng = StdRng::seed_from_u64(seed ^ (n as u64) << 2 | pi as u64);
+            let mut rng =
+                StdRng::seed_from_u64(rfid_hash::stream_seed(seed, (n as u64) << 2 | pi as u64));
             let frame = standalone_frame(&cfg, &mut system, p_n, &mut rng);
             let zeros = frame.busy_count();
             let ones = frame.idle_count();

@@ -23,7 +23,7 @@ impl Scale {
     /// `std::env::args().skip(1)` (or call
     /// [`crate::engine::configure`], which also handles `--jobs` /
     /// `--trials`).
-    pub fn from_iter<I>(args: I) -> Scale
+    pub fn from_args<I>(args: I) -> Scale
     where
         I: IntoIterator,
         I::Item: AsRef<str>,
@@ -46,8 +46,11 @@ impl Scale {
 
 /// Build a fresh system for a workload of `n` tags, deterministically from
 /// `seed`.
+///
+/// The population draws from stream 0 of `seed`; the protocol RNG in
+/// [`run_once`] uses `seed` directly, so the two streams never overlap.
 pub fn build_system(workload: WorkloadSpec, n: usize, seed: u64) -> RfidSystem {
-    let mut rng = StdRng::seed_from_u64(seed ^ 0x9E37_79B9_7F4A_7C15);
+    let mut rng = StdRng::seed_from_u64(rfid_hash::stream_seed(seed, 0));
     RfidSystem::new(workload.generate(n, &mut rng))
 }
 
@@ -131,12 +134,12 @@ mod tests {
     }
 
     #[test]
-    fn scale_from_iter_recognises_both_scales() {
-        assert_eq!(Scale::from_iter(["--paper"]), Scale::Paper);
-        assert_eq!(Scale::from_iter(["fig07", "--paper", "--jobs"]), Scale::Paper);
-        assert_eq!(Scale::from_iter(["--quick"]), Scale::Quick);
+    fn scale_from_args_recognises_both_scales() {
+        assert_eq!(Scale::from_args(["--paper"]), Scale::Paper);
+        assert_eq!(Scale::from_args(["fig07", "--paper", "--jobs"]), Scale::Paper);
+        assert_eq!(Scale::from_args(["--quick"]), Scale::Quick);
         let none: [&str; 0] = [];
-        assert_eq!(Scale::from_iter(none), Scale::Quick);
+        assert_eq!(Scale::from_args(none), Scale::Quick);
     }
 
     #[test]

@@ -17,7 +17,7 @@
 
 use crate::system::RfidSystem;
 use crate::tag::{Tag, TagPopulation};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// A set of physical readers, each with its own coverage.
 #[derive(Debug, Clone, Default)]
@@ -56,7 +56,7 @@ impl MultiReaderDeployment {
     /// coverages. Panics if two readers report the same tag ID with
     /// different `RN`s (which would indicate corrupted deployment data).
     pub fn logical_population(&self) -> TagPopulation {
-        let mut by_id: HashMap<u64, Tag> = HashMap::new();
+        let mut by_id: BTreeMap<u64, Tag> = BTreeMap::new();
         for coverage in &self.coverages {
             for &tag in coverage {
                 if let Some(existing) = by_id.insert(tag.id, tag) {
@@ -68,10 +68,9 @@ impl MultiReaderDeployment {
                 }
             }
         }
-        let mut tags: Vec<Tag> = by_id.into_values().collect();
-        // Deterministic order regardless of hash-map iteration.
-        tags.sort_unstable_by_key(|t| t.id);
-        TagPopulation::new(tags)
+        // BTreeMap iterates in key order, so the union is already sorted
+        // by tag ID — deterministic with no separate sort pass.
+        TagPopulation::new(by_id.into_values().collect())
     }
 
     /// Build the logical [`RfidSystem`] the estimation protocols run on.

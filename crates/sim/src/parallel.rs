@@ -93,11 +93,17 @@ where
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("frame-fill worker panicked"))
+            // Re-raise a worker panic with its original payload instead of
+            // wrapping it in a second, less informative one.
+            .map(|h| h.join().unwrap_or_else(|payload| std::panic::resume_unwind(payload)))
             .collect()
     });
     let mut iter = partials.into_iter();
-    let mut acc = iter.next().expect("at least one chunk");
+    let Some(mut acc) = iter.next() else {
+        // Unreachable given the non-empty check above, but a fresh
+        // accumulator is the correct fold of zero chunks either way.
+        return make();
+    };
     for partial in iter {
         merge(&mut acc, partial);
     }
@@ -253,5 +259,175 @@ mod tests {
             |acc, other| *acc += other,
         );
         assert_eq!(got, 7);
+    }
+
+    /// Schedule-exploration harness.
+    ///
+    /// `par_fold_with_threads` promises that its result depends only on the
+    /// items and the chunk boundaries — never on the order in which worker
+    /// threads happen to *finish*. The OS scheduler will never show us more
+    /// than a handful of interleavings, so these tests force them: a
+    /// condvar gate blocks each worker at the last item of its chunk until
+    /// every chunk scheduled before it (under the permutation being
+    /// explored) has completed. One permutation per run ⇒ the workers
+    /// complete in exactly that order, yet the fold must stay bitwise
+    /// identical, because the merge loop walks the partials in chunk index
+    /// order regardless of completion order.
+    mod schedule {
+        use std::sync::{Condvar, Mutex};
+
+        /// Forces chunk completions into a fixed order.
+        pub struct Gate {
+            /// Chunk ids in the order they are allowed to complete.
+            order: Vec<usize>,
+            done: Mutex<Vec<bool>>,
+            cv: Condvar,
+        }
+
+        impl Gate {
+            pub fn new(order: &[usize]) -> Self {
+                Self {
+                    order: order.to_vec(),
+                    done: Mutex::new(vec![false; order.len()]),
+                    cv: Condvar::new(),
+                }
+            }
+
+            /// Called by the worker folding `chunk` at its last item:
+            /// block until every predecessor in the forced order has
+            /// completed, then mark this chunk complete.
+            ///
+            /// Deadlock-free because `par_fold_with_threads` spawns every
+            /// chunk's worker up front: whichever chunk is first in the
+            /// forced order is always running and never waits.
+            pub fn complete(&self, chunk: usize) {
+                let pos = self
+                    .order
+                    .iter()
+                    .position(|&c| c == chunk)
+                    .expect("chunk present in the forced order");
+                let mut done = self.done.lock().unwrap();
+                while !self.order[..pos].iter().all(|&c| done[c]) {
+                    done = self.cv.wait(done).unwrap();
+                }
+                done[chunk] = true;
+                self.cv.notify_all();
+            }
+        }
+
+        /// All permutations of `0..k`, by Heap's algorithm.
+        pub fn permutations(k: usize) -> Vec<Vec<usize>> {
+            fn heap(xs: &mut Vec<usize>, k: usize, out: &mut Vec<Vec<usize>>) {
+                if k <= 1 {
+                    out.push(xs.clone());
+                    return;
+                }
+                for i in 0..k {
+                    heap(xs, k - 1, out);
+                    if k % 2 == 0 {
+                        xs.swap(i, k - 1);
+                    } else {
+                        xs.swap(0, k - 1);
+                    }
+                }
+            }
+            let mut xs: Vec<usize> = (0..k).collect();
+            let mut out = Vec::new();
+            heap(&mut xs, k, &mut out);
+            out
+        }
+    }
+
+    /// Fold `0..n` over `workers` threads with chunk completions forced
+    /// into `order`. The accumulation is floating-point on purpose: f64
+    /// addition is non-associative, so any schedule-dependence in the merge
+    /// would show up as a bit flip.
+    fn gated_fold(n: usize, workers: usize, order: &[usize]) -> f64 {
+        assert_eq!(n % workers, 0, "tests use evenly divisible chunking");
+        let chunk_len = n.div_ceil(workers);
+        let items: Vec<usize> = (0..n).collect();
+        let gate = schedule::Gate::new(order);
+        par_fold_with_threads(
+            &items,
+            workers,
+            || 0.0f64,
+            |acc, &i| {
+                *acc += 1.0 / (1.0 + i as f64);
+                // Item value == index, so this worker's chunk id and the
+                // chunk's last item are both derivable from `i` alone.
+                if i % chunk_len == chunk_len - 1 {
+                    gate.complete(i / chunk_len);
+                }
+            },
+            |acc, other| *acc += other,
+        )
+    }
+
+    /// The reference result: fold each chunk sequentially, merge in chunk
+    /// index order — exactly what `par_fold_with_threads` promises to
+    /// compute no matter how its workers are scheduled.
+    fn chunked_reference(n: usize, workers: usize) -> f64 {
+        let chunk_len = n.div_ceil(workers);
+        let items: Vec<usize> = (0..n).collect();
+        let mut partials = items.chunks(chunk_len).map(|chunk| {
+            let mut acc = 0.0f64;
+            for &i in chunk {
+                acc += 1.0 / (1.0 + i as f64);
+            }
+            acc
+        });
+        let mut total = partials.next().expect("non-empty input");
+        for p in partials {
+            total += p;
+        }
+        total
+    }
+
+    #[test]
+    fn every_four_worker_completion_order_folds_bitwise_identically() {
+        let (n, workers) = (64, 4);
+        let want = chunked_reference(n, workers).to_bits();
+        for order in schedule::permutations(workers) {
+            let got = gated_fold(n, workers, &order).to_bits();
+            assert_eq!(
+                got, want,
+                "schedule {order:?} changed the fold result: {got:#x} vs {want:#x}"
+            );
+        }
+    }
+
+    #[test]
+    fn sampled_six_worker_completion_orders_fold_bitwise_identically() {
+        // 6! = 720 orders is slow under a gate per run; explore a seeded
+        // sample via Fisher–Yates over SplitMix64 instead.
+        let (n, workers) = (60, 6);
+        let want = chunked_reference(n, workers).to_bits();
+        let mut prng = rfid_hash::SplitMix64::new(rfid_hash::stream_seed(0x5C4E_D01E, 0));
+        for round in 0..24 {
+            let mut order: Vec<usize> = (0..workers).collect();
+            for i in (1..workers).rev() {
+                let j = (prng.next_u64() % (i as u64 + 1)) as usize;
+                order.swap(i, j);
+            }
+            let got = gated_fold(n, workers, &order).to_bits();
+            assert_eq!(got, want, "round {round}, schedule {order:?}");
+        }
+    }
+
+    #[test]
+    fn forced_schedules_agree_with_the_unforced_run() {
+        // The gate itself must be an observer, not a participant: an
+        // ungated run (whatever order the OS picks) produces the same bits
+        // as every forced schedule.
+        let (n, workers) = (64, 4);
+        let items: Vec<usize> = (0..n).collect();
+        let free = par_fold_with_threads(
+            &items,
+            workers,
+            || 0.0f64,
+            |acc, &i| *acc += 1.0 / (1.0 + i as f64),
+            |acc, other| *acc += other,
+        );
+        assert_eq!(free.to_bits(), chunked_reference(n, workers).to_bits());
     }
 }

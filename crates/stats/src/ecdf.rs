@@ -20,7 +20,7 @@ impl Ecdf {
             sample.iter().all(|x| !x.is_nan()),
             "ECDF input must not contain NaN"
         );
-        sample.sort_by(|a, b| a.partial_cmp(b).expect("NaN filtered above"));
+        sample.sort_by(f64::total_cmp);
         Self { sorted: sample }
     }
 

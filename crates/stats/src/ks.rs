@@ -18,7 +18,7 @@ pub fn ks_statistic(a: &[f64], b: &[f64]) -> f64 {
             v.iter().all(|x| !x.is_nan()),
             "KS input must not contain NaN"
         );
-        v.sort_by(|p, q| p.partial_cmp(q).expect("NaN filtered above"));
+        v.sort_by(f64::total_cmp);
         v
     };
     let a = prepare(a);

@@ -49,6 +49,67 @@ fn workload_generation_is_stable_across_calls() {
     }
 }
 
+/// Every f64 in a [`RepeatedOutcome`], as raw bits, so equality means
+/// bitwise equality — not merely "within epsilon".
+fn outcome_bits(o: &rfid_bfce_repro::experiments::runner::RepeatedOutcome) -> Vec<u64> {
+    vec![
+        u64::from(o.trials),
+        o.mean_error.to_bits(),
+        o.max_error.to_bits(),
+        o.within_epsilon.to_bits(),
+        o.mean_seconds.to_bits(),
+        o.max_seconds.to_bits(),
+        o.p50_error.to_bits(),
+        o.p95_error.to_bits(),
+        o.p99_error.to_bits(),
+        o.p50_seconds.to_bits(),
+        o.p95_seconds.to_bits(),
+        o.p99_seconds.to_bits(),
+    ]
+}
+
+#[test]
+fn two_run_audit_bfce_zoe_src_outcomes_are_bitwise_identical() {
+    // The PR 2 determinism contract, audited end-to-end: run the full
+    // trial engine twice per estimator, at 1 worker and at 4 workers, and
+    // require all four outcomes to agree bit for bit. Exercises workload
+    // generation, frame fill (including its parallel path), estimation,
+    // and the sequential Welford/percentile aggregation.
+    use rfid_bfce_repro::experiments::engine::TrialRunner;
+    let estimators: Vec<Box<dyn CardinalityEstimator>> = vec![
+        Box::new(Bfce::paper()),
+        Box::new(Zoe::default()),
+        Box::new(Src::default()),
+    ];
+    for est in &estimators {
+        let outcome = |jobs: usize| {
+            TrialRunner::new(6, 1701)
+                .jobs(jobs)
+                .run(est.as_ref(), WorkloadSpec::T2, 30_000, Accuracy::paper_default())
+                .outcome()
+        };
+        let first = outcome_bits(&outcome(1));
+        assert_eq!(
+            first,
+            outcome_bits(&outcome(1)),
+            "{}: serial re-run drifted",
+            est.name()
+        );
+        assert_eq!(
+            first,
+            outcome_bits(&outcome(4)),
+            "{}: 4-worker run differs from serial",
+            est.name()
+        );
+        assert_eq!(
+            first,
+            outcome_bits(&outcome(4)),
+            "{}: 4-worker re-run drifted",
+            est.name()
+        );
+    }
+}
+
 #[test]
 fn parallel_frame_fill_does_not_depend_on_thread_interleaving() {
     // Run the same BFCE estimation repeatedly on a population large enough
