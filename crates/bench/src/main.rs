@@ -1,0 +1,92 @@
+//! `rfid-bench` — run the named benchmark suites and emit a JSON report.
+//!
+//! ```text
+//! cargo run --release -p rfid-bench -- [--quick] [--filter SUBSTR] [--json PATH]
+//! ```
+//!
+//! * `--quick`   reduced sizes/iterations (the non-blocking CI smoke job);
+//! * `--filter`  only run cases whose name contains the substring;
+//! * `--json`    write the `rfid-bench/v1` report to PATH (schema in
+//!   `BENCHMARKS.md`); without it the report goes to stdout only as a table.
+
+use rfid_bench::{report_to_json, run_all, speedups, BenchConfig};
+
+fn require_value(value: Option<String>, flag: &str, what: &str) -> String {
+    value.unwrap_or_else(|| {
+        eprintln!("{flag} requires {what} (try --help)");
+        std::process::exit(2);
+    })
+}
+
+fn main() {
+    let mut quick = false;
+    let mut filter: Option<String> = None;
+    let mut json_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--filter" => {
+                filter = Some(require_value(args.next(), "--filter", "a substring"));
+            }
+            "--json" => {
+                json_path = Some(require_value(args.next(), "--json", "a path"));
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: rfid-bench [--quick] [--filter SUBSTR] [--json PATH]\n\
+                     Suites: frame_fill, tag_hash, trial_engine (see BENCHMARKS.md)."
+                );
+                return;
+            }
+            other => {
+                eprintln!("unknown argument: {other} (try --help)");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let cfg = if quick {
+        BenchConfig::quick()
+    } else {
+        BenchConfig::full()
+    };
+    let results = run_all(&cfg, filter.as_deref());
+    if results.is_empty() {
+        eprintln!("no benchmark case matches the filter");
+        std::process::exit(2);
+    }
+
+    println!(
+        "{:<44} {:>10} {:>10} {:>14}",
+        "benchmark", "p50 ms", "p95 ms", "items/s"
+    );
+    for r in &results {
+        let thr = r
+            .throughput_per_s
+            .map(|t| format!("{t:.0}"))
+            .unwrap_or_else(|| "-".to_string());
+        println!("{:<44} {:>10.3} {:>10.3} {:>14}", r.name, r.p50_ms, r.p95_ms, thr);
+    }
+    let sp = speedups(&results);
+    if !sp.is_empty() {
+        println!();
+        for s in &sp {
+            let params: Vec<String> = s.params.iter().map(|(k, v)| format!("{k}={v}")).collect();
+            println!(
+                "speedup {:<11} {:<36} {:>6.2}x  (scalar {:.3} ms -> batched {:.3} ms)",
+                s.group,
+                params.join(" "),
+                s.speedup,
+                s.scalar_p50_ms,
+                s.batched_p50_ms
+            );
+        }
+    }
+
+    if let Some(path) = json_path {
+        let report = report_to_json(&cfg, &results);
+        std::fs::write(&path, report.render()).expect("failed to write the JSON report");
+        println!("\nwrote {path}");
+    }
+}

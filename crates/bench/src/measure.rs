@@ -1,0 +1,201 @@
+//! The warmup + repetition measurement harness.
+//!
+//! Each benchmark case is a closure returning a `u64` checksum. The harness
+//! runs `warmup` untimed iterations (JIT-free, but page faults, lazy
+//! allocation, and frequency scaling are real), then `reps` timed ones, and
+//! summarizes the per-repetition wall times with order statistics
+//! (`rfid-stats`' type-7 percentiles): p50 for the headline, p95 for tail
+//! noise. Checksums from every iteration must agree — a kernel whose output
+//! varies across repetitions is broken, not fast.
+
+use std::time::Instant;
+
+/// How hard to drive each benchmark case.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BenchConfig {
+    /// Untimed warmup iterations per case.
+    pub warmup: u32,
+    /// Timed repetitions per case.
+    pub reps: u32,
+    /// Trials per estimator in the end-to-end suite.
+    pub trials: u32,
+    /// Skip the expensive (multi-second) cases — the CI smoke mode.
+    pub quick: bool,
+}
+
+impl BenchConfig {
+    /// The full configuration used for committed perf-trajectory points.
+    pub fn full() -> Self {
+        Self {
+            warmup: 2,
+            reps: 9,
+            trials: 6,
+            quick: false,
+        }
+    }
+
+    /// Reduced iterations for the non-blocking CI smoke job.
+    pub fn quick() -> Self {
+        Self {
+            warmup: 1,
+            reps: 3,
+            trials: 2,
+            quick: true,
+        }
+    }
+}
+
+/// One measured benchmark case.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Suite this case belongs to (`frame_fill`, `tag_hash`, `trial_engine`).
+    pub group: String,
+    /// Full case name, e.g. `frame_fill/batched/n=1000000/threads=1`.
+    pub name: String,
+    /// Structured parameters (key, value), mirrored from the name.
+    pub params: Vec<(String, String)>,
+    /// Untimed warmup iterations that preceded the timed ones.
+    pub warmup: u32,
+    /// Number of timed repetitions.
+    pub reps: u32,
+    /// Median wall time per repetition, milliseconds.
+    pub p50_ms: f64,
+    /// 95th-percentile wall time, milliseconds.
+    pub p95_ms: f64,
+    /// Fastest repetition, milliseconds.
+    pub min_ms: f64,
+    /// Mean over repetitions, milliseconds.
+    pub mean_ms: f64,
+    /// Items processed per second at the median time (tags for the kernel
+    /// suites, trials for the end-to-end suite); `None` when the case has
+    /// no natural item count.
+    pub throughput_per_s: Option<f64>,
+    /// Checksum of the case's output, identical across repetitions.
+    pub checksum: u64,
+}
+
+impl BenchResult {
+    /// Items per millisecond implied by `throughput_per_s`, for display.
+    pub fn items_per_ms(&self) -> Option<f64> {
+        self.throughput_per_s.map(|t| t / 1e3)
+    }
+}
+
+/// Run `f` under warmup + repetition and summarize.
+///
+/// `items` is the per-iteration work size used for the throughput figure
+/// (pass 0 to omit throughput). Panics if `reps == 0` or if two repetitions
+/// disagree on the checksum.
+pub fn measure(
+    group: &str,
+    name: &str,
+    params: &[(&str, String)],
+    cfg: &BenchConfig,
+    items: u64,
+    mut f: impl FnMut() -> u64,
+) -> BenchResult {
+    assert!(cfg.reps > 0, "need at least one timed repetition");
+    for _ in 0..cfg.warmup {
+        std::hint::black_box(f());
+    }
+    let mut times_ms = Vec::with_capacity(cfg.reps as usize);
+    let mut checksum = 0u64;
+    for rep in 0..cfg.reps {
+        let start = Instant::now();
+        let sum = std::hint::black_box(f());
+        let elapsed = start.elapsed();
+        times_ms.push(elapsed.as_secs_f64() * 1e3);
+        if rep == 0 {
+            checksum = sum;
+        } else {
+            assert_eq!(
+                sum, checksum,
+                "{name}: checksum changed between repetitions ({sum:#x} vs {checksum:#x})"
+            );
+        }
+    }
+    let p50_ms = rfid_stats::percentile(&times_ms, 50.0);
+    let p95_ms = rfid_stats::percentile(&times_ms, 95.0);
+    let min_ms = times_ms.iter().copied().fold(f64::INFINITY, f64::min);
+    let mean_ms = rfid_stats::mean(&times_ms);
+    let throughput_per_s = if items > 0 {
+        Some(items as f64 / (p50_ms / 1e3))
+    } else {
+        None
+    };
+    BenchResult {
+        group: group.to_string(),
+        name: name.to_string(),
+        params: params
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.clone()))
+            .collect(),
+        warmup: cfg.warmup,
+        reps: cfg.reps,
+        p50_ms,
+        p95_ms,
+        min_ms,
+        mean_ms,
+        throughput_per_s,
+        checksum,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measure_runs_warmup_plus_reps_and_keeps_checksum() {
+        let mut calls = 0u32;
+        let cfg = BenchConfig {
+            warmup: 2,
+            reps: 5,
+            trials: 1,
+            quick: true,
+        };
+        let r = measure("g", "g/case", &[("n", "10".into())], &cfg, 10, || {
+            calls += 1;
+            42
+        });
+        assert_eq!(calls, 7);
+        assert_eq!(r.checksum, 42);
+        assert_eq!(r.reps, 5);
+        assert_eq!(r.params, vec![("n".to_string(), "10".to_string())]);
+        assert!(r.p50_ms >= 0.0 && r.p95_ms >= r.min_ms);
+        let thr = r.throughput_per_s.expect("items > 0");
+        assert!(thr > 0.0);
+    }
+
+    #[test]
+    fn zero_items_omits_throughput() {
+        let cfg = BenchConfig::quick();
+        let r = measure("g", "g/void", &[], &cfg, 0, || 1);
+        assert!(r.throughput_per_s.is_none());
+        assert!(r.items_per_ms().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "checksum changed")]
+    fn drifting_checksum_panics() {
+        let mut x = 0u64;
+        let cfg = BenchConfig {
+            warmup: 0,
+            reps: 3,
+            trials: 1,
+            quick: true,
+        };
+        measure("g", "g/drift", &[], &cfg, 0, || {
+            x += 1;
+            x
+        });
+    }
+
+    #[test]
+    fn configs_are_sane() {
+        let full = BenchConfig::full();
+        let quick = BenchConfig::quick();
+        assert!(full.reps > quick.reps);
+        assert!(!full.quick && quick.quick);
+    }
+}

@@ -1,0 +1,494 @@
+//! The named benchmark suites and the JSON report.
+//!
+//! Three suites, each comparing the batched word-level kernels of this
+//! workspace against the retained scalar reference paths:
+//!
+//! * [`frame_fill`] — one full Bloom frame (hash `k` slots per tag,
+//!   p-persistence, busy/idle accumulation, channel sense) at 1k–1M tags
+//!   and pinned worker counts, batched [`rfid_sim::frame::response_fill_with_threads`]
+//!   vs the scalar [`rfid_sim::frame::response_counts_reference_with_threads`];
+//! * [`tag_hash`] — raw slot hashing through [`rfid_hash::hash_slots_batch`]
+//!   vs the per-tag virtual call, plus [`rfid_hash::SplitMix64::fill_u64`]
+//!   vs sequential draws;
+//! * [`trial_engine`] — the end-to-end Monte-Carlo engine running BFCE,
+//!   ZOE, and SRC estimations through `rfid-experiments`' `TrialRunner`.
+//!
+//! Paired cases share a checksum, asserted equal — a speedup only counts if
+//! the outputs are bitwise-identical.
+
+use crate::json::JsonValue;
+use crate::measure::{measure, BenchConfig, BenchResult};
+use rfid_bfce::{Bfce, BfceConfig, BloomPlan};
+use rfid_hash::{hash_slots_batch, MixHasher, SlotHasher, SplitMix64, TagIdentity, XorBitgetHasher};
+use rfid_sim::frame::{
+    response_counts_reference_with_threads, response_fill_with_threads, BitFrame,
+};
+use rfid_sim::{Accuracy, Bitmap, CardinalityEstimator, PerfectChannel, Tag};
+
+/// Deterministic synthetic population used by the kernel suites.
+fn synth_tags(n: usize) -> Vec<Tag> {
+    let mut prng = SplitMix64::new(0xBE7C_4A5E_0000 + n as u64);
+    (0..n as u64)
+        .map(|i| Tag {
+            id: i + 1,
+            rn: prng.next_u32(),
+        })
+        .collect()
+}
+
+/// Persistence numerator the accurate phase would broadcast at cardinality
+/// `n` (`p ≈ 1.594 w / n`, clamped to the 10-bit grid) — so the frame-fill
+/// benchmark exercises the production response rate at every scale.
+fn accurate_p_n(w: usize, n: usize) -> u32 {
+    let p = 1.594 * w as f64 / n as f64;
+    ((p * 1024.0).round() as i64).clamp(1, 1023) as u32
+}
+
+/// Order-insensitive digest of a busy bitmap plus a response total.
+fn fill_checksum(busy: &Bitmap, responses: u64) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &word in busy.words() {
+        h = (h ^ word).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h ^ responses
+}
+
+/// Whether `name` survives the CLI's substring filter.
+fn selected(filter: Option<&str>, name: &str) -> bool {
+    filter.is_none_or(|f| name.contains(f))
+}
+
+/// The frame-fill suite: scalar counts path vs batched bitmap kernel.
+pub fn frame_fill(cfg: &BenchConfig, filter: Option<&str>) -> Vec<BenchResult> {
+    let sizes: &[usize] = if cfg.quick {
+        &[1_000, 10_000, 100_000]
+    } else {
+        &[1_000, 10_000, 100_000, 1_000_000]
+    };
+    let bfce_cfg = BfceConfig::paper();
+    let w = bfce_cfg.w;
+    let seeds = [0x5EED_0001u32, 0xBEEF_CAFE, 0x1234_5678];
+    let mut out = Vec::new();
+    for &n in sizes {
+        let tags = synth_tags(n);
+        let p_n = accurate_p_n(w, n);
+        let plan = BloomPlan::new(&bfce_cfg, &seeds, p_n);
+        for threads in [1usize, 4] {
+            let params = |variant: &str| -> Vec<(&str, String)> {
+                vec![
+                    ("variant", variant.to_string()),
+                    ("n", n.to_string()),
+                    ("threads", threads.to_string()),
+                    ("w", w.to_string()),
+                    ("p_n", p_n.to_string()),
+                ]
+            };
+            let scalar_name = format!("frame_fill/scalar/n={n}/threads={threads}");
+            if selected(filter, &scalar_name) {
+                out.push(measure(
+                    "frame_fill",
+                    &scalar_name,
+                    &params("scalar"),
+                    cfg,
+                    n as u64,
+                    || {
+                        let counts =
+                            response_counts_reference_with_threads(&tags, w, &plan, threads);
+                        let mut noise = SplitMix64::new(42);
+                        let frame = BitFrame::sense(&counts, w, &PerfectChannel, &mut noise);
+                        let responses: u64 = counts.iter().map(|&c| c as u64).sum();
+                        fill_checksum(frame.busy_bitmap(), responses)
+                    },
+                ));
+            }
+            let batched_name = format!("frame_fill/batched/n={n}/threads={threads}");
+            if selected(filter, &batched_name) {
+                out.push(measure(
+                    "frame_fill",
+                    &batched_name,
+                    &params("batched"),
+                    cfg,
+                    n as u64,
+                    || {
+                        let fill = response_fill_with_threads(&tags, w, w, &plan, threads);
+                        let mut noise = SplitMix64::new(42);
+                        let frame =
+                            BitFrame::sense_truth(&fill.busy, w, &PerfectChannel, &mut noise);
+                        fill_checksum(frame.busy_bitmap(), fill.prefix_responses)
+                    },
+                ));
+            }
+        }
+    }
+    assert_paired_checksums(&out);
+    out
+}
+
+/// The tag-hashing suite: batched slot hashing and counter-mode PRNG fill.
+pub fn tag_hash(cfg: &BenchConfig, filter: Option<&str>) -> Vec<BenchResult> {
+    let n: usize = if cfg.quick { 100_000 } else { 1_000_000 };
+    let w = 8192usize;
+    let seed = 0x5EED_CAFEu32;
+    let identities: Vec<TagIdentity> = synth_tags(n)
+        .iter()
+        .map(|t| TagIdentity { id: t.id, rn: t.rn })
+        .collect();
+    let mut out = Vec::new();
+    for (hasher, hname) in [
+        (&XorBitgetHasher as &dyn SlotHasher, "xor-bitget"),
+        (&MixHasher as &dyn SlotHasher, "mix64"),
+    ] {
+        let scalar_name = format!("tag_hash/scalar/hasher={hname}/n={n}");
+        if selected(filter, &scalar_name) {
+            out.push(measure(
+                "tag_hash",
+                &scalar_name,
+                &[
+                    ("variant", "scalar".to_string()),
+                    ("hasher", hname.to_string()),
+                    ("n", n.to_string()),
+                    ("w", w.to_string()),
+                ],
+                cfg,
+                n as u64,
+                || {
+                    let mut h = 0u64;
+                    for &tag in &identities {
+                        let slot = hasher.slot(tag, seed, w);
+                        h = h.rotate_left(5) ^ slot as u64;
+                    }
+                    h
+                },
+            ));
+        }
+        let batched_name = format!("tag_hash/batched/hasher={hname}/n={n}");
+        if selected(filter, &batched_name) {
+            let mut scratch: Vec<usize> = Vec::new();
+            out.push(measure(
+                "tag_hash",
+                &batched_name,
+                &[
+                    ("variant", "batched".to_string()),
+                    ("hasher", hname.to_string()),
+                    ("n", n.to_string()),
+                    ("w", w.to_string()),
+                ],
+                cfg,
+                n as u64,
+                || {
+                    hash_slots_batch(hasher, &identities, seed, w, &mut scratch);
+                    let mut h = 0u64;
+                    for &slot in &scratch {
+                        h = h.rotate_left(5) ^ slot as u64;
+                    }
+                    h
+                },
+            ));
+        }
+    }
+    // SplitMix64 stream: one call per word vs the counter-mode batch fill.
+    let words: usize = n;
+    let scalar_name = format!("tag_hash/scalar/prng=splitmix64/n={words}");
+    if selected(filter, &scalar_name) {
+        out.push(measure(
+            "tag_hash",
+            &scalar_name,
+            &[
+                ("variant", "scalar".to_string()),
+                ("prng", "splitmix64".to_string()),
+                ("n", words.to_string()),
+            ],
+            cfg,
+            words as u64,
+            || {
+                let mut prng = SplitMix64::new(0xD1CE);
+                let mut h = 0u64;
+                for _ in 0..words {
+                    h ^= prng.next_u64().rotate_left(17);
+                }
+                h
+            },
+        ));
+    }
+    let batched_name = format!("tag_hash/batched/prng=splitmix64/n={words}");
+    if selected(filter, &batched_name) {
+        let mut buf = vec![0u64; words];
+        out.push(measure(
+            "tag_hash",
+            &batched_name,
+            &[
+                ("variant", "batched".to_string()),
+                ("prng", "splitmix64".to_string()),
+                ("n", words.to_string()),
+            ],
+            cfg,
+            words as u64,
+            || {
+                let mut prng = SplitMix64::new(0xD1CE);
+                prng.fill_u64(&mut buf);
+                let mut h = 0u64;
+                for &word in &buf {
+                    h ^= word.rotate_left(17);
+                }
+                h
+            },
+        ));
+    }
+    assert_paired_checksums(&out);
+    out
+}
+
+/// The end-to-end suite: full estimations through the trial engine.
+pub fn trial_engine(cfg: &BenchConfig, filter: Option<&str>) -> Vec<BenchResult> {
+    let n: usize = if cfg.quick { 10_000 } else { 100_000 };
+    let trials = cfg.trials;
+    let estimators: Vec<(&str, Box<dyn CardinalityEstimator>)> = vec![
+        ("bfce", Box::new(Bfce::paper())),
+        ("zoe", Box::new(rfid_baselines::Zoe::default())),
+        ("src", Box::new(rfid_baselines::Src::default())),
+    ];
+    let mut out = Vec::new();
+    for (ename, estimator) in &estimators {
+        let name = format!("trial_engine/{ename}/n={n}/trials={trials}");
+        if !selected(filter, &name) {
+            continue;
+        }
+        out.push(measure(
+            "trial_engine",
+            &name,
+            &[
+                ("estimator", ename.to_string()),
+                ("n", n.to_string()),
+                ("trials", trials.to_string()),
+            ],
+            cfg,
+            trials as u64,
+            || {
+                let runner = rfid_experiments::TrialRunner::new(trials, 1701).jobs(1);
+                let set = runner.run(
+                    estimator.as_ref(),
+                    rfid_workloads::WorkloadSpec::T1,
+                    n,
+                    Accuracy::paper_default(),
+                );
+                set.estimates()
+                    .iter()
+                    .fold(0u64, |h, e| h.rotate_left(7) ^ e.to_bits())
+            },
+        ));
+    }
+    out
+}
+
+/// Check that every scalar/batched pair in `results` (same group and
+/// params, `variant` aside) produced the same checksum.
+fn assert_paired_checksums(results: &[BenchResult]) {
+    for a in results {
+        for b in results {
+            if a.name < b.name && pair_key(a) == pair_key(b) {
+                assert_eq!(
+                    a.checksum, b.checksum,
+                    "{} and {} disagree: the kernels are not equivalent",
+                    a.name, b.name
+                );
+            }
+        }
+    }
+}
+
+/// The pairing key: group plus all params except `variant`.
+fn pair_key(r: &BenchResult) -> Vec<String> {
+    let mut key = vec![r.group.clone()];
+    for (k, v) in &r.params {
+        if k != "variant" {
+            key.push(format!("{k}={v}"));
+        }
+    }
+    key
+}
+
+/// A scalar-vs-batched comparison derived from one report.
+#[derive(Debug, Clone)]
+pub struct Speedup {
+    /// Suite the pair belongs to.
+    pub group: String,
+    /// The shared parameters, `variant` excluded (e.g. `n=1000000`).
+    pub params: Vec<(String, String)>,
+    /// Median time of the scalar reference, milliseconds.
+    pub scalar_p50_ms: f64,
+    /// Median time of the batched kernel, milliseconds.
+    pub batched_p50_ms: f64,
+    /// `scalar_p50_ms / batched_p50_ms` (> 1 means the kernel is faster).
+    pub speedup: f64,
+}
+
+/// Pair up scalar/batched cases and compute their median-time ratios.
+pub fn speedups(results: &[BenchResult]) -> Vec<Speedup> {
+    let variant_of = |r: &BenchResult| -> Option<String> {
+        r.params
+            .iter()
+            .find(|(k, _)| k == "variant")
+            .map(|(_, v)| v.clone())
+    };
+    let mut out = Vec::new();
+    for a in results {
+        if variant_of(a).as_deref() != Some("scalar") {
+            continue;
+        }
+        for b in results {
+            if variant_of(b).as_deref() == Some("batched") && pair_key(a) == pair_key(b) {
+                out.push(Speedup {
+                    group: a.group.clone(),
+                    params: a
+                        .params
+                        .iter()
+                        .filter(|(k, _)| k != "variant")
+                        .cloned()
+                        .collect(),
+                    scalar_p50_ms: a.p50_ms,
+                    batched_p50_ms: b.p50_ms,
+                    speedup: a.p50_ms / b.p50_ms,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Run every suite (honouring the name filter) in a fixed order.
+pub fn run_all(cfg: &BenchConfig, filter: Option<&str>) -> Vec<BenchResult> {
+    let mut results = frame_fill(cfg, filter);
+    results.extend(tag_hash(cfg, filter));
+    results.extend(trial_engine(cfg, filter));
+    results
+}
+
+/// Assemble the full JSON report (schema `rfid-bench/v1`, documented in
+/// `BENCHMARKS.md`).
+pub fn report_to_json(cfg: &BenchConfig, results: &[BenchResult]) -> JsonValue {
+    let result_values: Vec<JsonValue> = results
+        .iter()
+        .map(|r| {
+            let params = JsonValue::Object(
+                r.params
+                    .iter()
+                    .map(|(k, v)| (k.clone(), JsonValue::Str(v.clone())))
+                    .collect(),
+            );
+            let throughput = match r.throughput_per_s {
+                Some(t) => JsonValue::Float(t),
+                None => JsonValue::Str(String::new()),
+            };
+            JsonValue::object(vec![
+                ("group", JsonValue::str(&r.group)),
+                ("name", JsonValue::str(&r.name)),
+                ("params", params),
+                ("warmup", JsonValue::Int(r.warmup as i64)),
+                ("reps", JsonValue::Int(r.reps as i64)),
+                ("p50_ms", JsonValue::Float(r.p50_ms)),
+                ("p95_ms", JsonValue::Float(r.p95_ms)),
+                ("min_ms", JsonValue::Float(r.min_ms)),
+                ("mean_ms", JsonValue::Float(r.mean_ms)),
+                ("throughput_per_s", throughput),
+                ("checksum", JsonValue::U64Str(r.checksum)),
+            ])
+        })
+        .collect();
+    let speedup_values: Vec<JsonValue> = speedups(results)
+        .iter()
+        .map(|s| {
+            let params = JsonValue::Object(
+                s.params
+                    .iter()
+                    .map(|(k, v)| (k.clone(), JsonValue::Str(v.clone())))
+                    .collect(),
+            );
+            JsonValue::object(vec![
+                ("group", JsonValue::str(&s.group)),
+                ("params", params),
+                ("scalar_p50_ms", JsonValue::Float(s.scalar_p50_ms)),
+                ("batched_p50_ms", JsonValue::Float(s.batched_p50_ms)),
+                ("speedup", JsonValue::Float(s.speedup)),
+            ])
+        })
+        .collect();
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+    JsonValue::object(vec![
+        ("schema", JsonValue::str("rfid-bench/v1")),
+        (
+            "mode",
+            JsonValue::str(if cfg.quick { "quick" } else { "full" }),
+        ),
+        ("warmup", JsonValue::Int(cfg.warmup as i64)),
+        ("reps", JsonValue::Int(cfg.reps as i64)),
+        (
+            "host_hardware_threads",
+            JsonValue::Int(threads as i64),
+        ),
+        ("results", JsonValue::Array(result_values)),
+        ("speedups", JsonValue::Array(speedup_values)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> BenchConfig {
+        BenchConfig {
+            warmup: 0,
+            reps: 2,
+            trials: 1,
+            quick: true,
+        }
+    }
+
+    #[test]
+    fn frame_fill_pairs_agree_at_small_scale() {
+        let cfg = tiny();
+        let results = frame_fill(&cfg, Some("n=1000/"));
+        // scalar + batched at threads 1 and 4.
+        assert_eq!(results.len(), 4);
+        let sp = speedups(&results);
+        assert_eq!(sp.len(), 2);
+        for s in &sp {
+            assert!(s.speedup > 0.0);
+        }
+    }
+
+    #[test]
+    fn tag_hash_pairs_agree() {
+        let cfg = tiny();
+        let results = tag_hash(&cfg, Some("hasher=xor-bitget"));
+        assert_eq!(results.len(), 2);
+        assert_eq!(results[0].checksum, results[1].checksum);
+    }
+
+    #[test]
+    fn filter_prunes_cases() {
+        let cfg = tiny();
+        assert!(frame_fill(&cfg, Some("no-such-case")).is_empty());
+        assert!(tag_hash(&cfg, Some("no-such-case")).is_empty());
+        assert!(trial_engine(&cfg, Some("no-such-case")).is_empty());
+    }
+
+    #[test]
+    fn accurate_p_n_tracks_the_design_load() {
+        // At w = 8192 and n = 1M, p ≈ 0.013 → p_n ≈ 13.
+        assert_eq!(accurate_p_n(8192, 1_000_000), 13);
+        // Tiny populations clamp to the grid ceiling.
+        assert_eq!(accurate_p_n(8192, 1_000), 1023);
+    }
+
+    #[test]
+    fn report_json_contains_schema_and_speedups() {
+        let cfg = tiny();
+        let results = tag_hash(&cfg, Some("prng=splitmix64"));
+        let json = report_to_json(&cfg, &results).render();
+        assert!(json.contains("\"schema\": \"rfid-bench/v1\""));
+        assert!(json.contains("\"speedups\""));
+        assert!(json.contains("\"checksum\""));
+    }
+}

@@ -2,35 +2,151 @@
 //! attribution.
 
 use crate::accurate::{run_accurate, AccurateOutcome};
-use crate::params::BfceConfig;
+use crate::params::{BfceConfig, HasherKind};
 use crate::probe::{run_probe, ProbeOutcome};
 use crate::rough::{run_rough, FrameDegeneracy, RoughOutcome};
 use crate::theory::P_GRID;
 use rand::RngCore;
+use rfid_hash::mix::{bucket, mix_pair};
 use rfid_hash::PersistenceSampler;
 use rfid_sim::{
-    Accuracy, CardinalityEstimator, EstimationReport, PhaseReport, RfidSystem, Tag,
+    Accuracy, CardinalityEstimator, EstimationReport, PhaseReport, ResponsePlan, RfidSystem,
+    SlotSink, Tag,
 };
 
-/// Build the per-tag response plan for one Bloom frame: hash into `k`
-/// slots via the configured hasher and answer each with probability
-/// `p_n / 1024` using the lightweight persistence sampler of Section
-/// IV-E3. Deterministic per tag, so parallel frame fills are exact.
-pub(crate) fn bloom_plan<'a>(
+/// The per-tag response plan for one Bloom frame: hash into `k` slots via
+/// the configured hasher and answer each with probability `p_n / 1024`
+/// using the lightweight persistence sampler of Section IV-E3.
+/// Deterministic per tag, so parallel frame fills are exact.
+#[derive(Debug, Clone, Copy)]
+pub struct BloomPlan<'a> {
     cfg: &'a BfceConfig,
     seeds: &'a [u32],
     p_n: u32,
-) -> impl Fn(&Tag, &mut Vec<usize>) + Sync + 'a {
-    let hasher = cfg.hasher.hasher();
-    move |tag: &Tag, out: &mut Vec<usize>| {
-        let mut sampler = PersistenceSampler::new(tag.rn, seeds[0]);
-        for &seed in seeds {
-            let slot = hasher.slot(tag.identity(), seed, cfg.w);
-            if sampler.respond(p_n) {
+}
+
+impl<'a> BloomPlan<'a> {
+    /// Plan for one frame of `cfg.w` slots with the given per-seed hash
+    /// seeds and persistence numerator `p_n` (out of 1024).
+    pub fn new(cfg: &'a BfceConfig, seeds: &'a [u32], p_n: u32) -> Self {
+        assert!(!seeds.is_empty(), "a Bloom frame needs at least one seed");
+        assert!(seeds.len() <= 32, "at most 32 hash seeds per frame");
+        Self { cfg, seeds, p_n }
+    }
+
+    /// Batched inner loop, monomorphized per hasher kind: `slot_of` already
+    /// has all validation and dispatch hoisted out of it.
+    ///
+    /// The persistence draws are taken *before* hashing (the sampler's
+    /// stream does not depend on the hash), so non-responding (tag, seed)
+    /// pairs skip the hash entirely — at the accurate phase's small `p`
+    /// almost all of them do.
+    fn fill_with(
+        &self,
+        tags: &[Tag],
+        sink: &mut SlotSink<'_>,
+        slot_of: impl Fn(&Tag, u32) -> usize,
+    ) {
+        let p_n = self.p_n;
+        // The paper fixes k = 3; a fixed-width body keeps the sampler state
+        // in registers and removes the inner loop entirely for that case.
+        // Two tags are processed per iteration: each tag's three draws form
+        // a serial dependency chain (xorshift state), but the chains of
+        // different tags are independent, so interleaving them doubles the
+        // instruction-level parallelism of the hot loop. Records are
+        // grouped per tag, so the multiset of responses is unchanged.
+        if let &[s0, s1, s2] = self.seeds {
+            let mut pairs = tags.chunks_exact(2);
+            for pair in pairs.by_ref() {
+                let (a, b) = (&pair[0], &pair[1]);
+                let mut sa = PersistenceSampler::new(a.rn, s0);
+                let mut sb = PersistenceSampler::new(b.rn, s0);
+                let a0 = sa.respond(p_n);
+                let b0 = sb.respond(p_n);
+                let a1 = sa.respond(p_n);
+                let b1 = sb.respond(p_n);
+                let a2 = sa.respond(p_n);
+                let b2 = sb.respond(p_n);
+                if a0 {
+                    sink.record(slot_of(a, s0));
+                }
+                if a1 {
+                    sink.record(slot_of(a, s1));
+                }
+                if a2 {
+                    sink.record(slot_of(a, s2));
+                }
+                if b0 {
+                    sink.record(slot_of(b, s0));
+                }
+                if b1 {
+                    sink.record(slot_of(b, s1));
+                }
+                if b2 {
+                    sink.record(slot_of(b, s2));
+                }
+            }
+            for tag in pairs.remainder() {
+                let mut sampler = PersistenceSampler::new(tag.rn, s0);
+                if sampler.respond(p_n) {
+                    sink.record(slot_of(tag, s0));
+                }
+                if sampler.respond(p_n) {
+                    sink.record(slot_of(tag, s1));
+                }
+                if sampler.respond(p_n) {
+                    sink.record(slot_of(tag, s2));
+                }
+            }
+            return;
+        }
+        for tag in tags {
+            let mut sampler = PersistenceSampler::new(tag.rn, self.seeds[0]);
+            for &seed in self.seeds {
+                if sampler.respond(p_n) {
+                    sink.record(slot_of(tag, seed));
+                }
+            }
+        }
+    }
+}
+
+impl ResponsePlan for BloomPlan<'_> {
+    fn responses(&self, tag: &Tag, out: &mut Vec<usize>) {
+        let hasher = self.cfg.hasher.hasher();
+        let mut sampler = PersistenceSampler::new(tag.rn, self.seeds[0]);
+        for &seed in self.seeds {
+            let slot = hasher.slot(tag.identity(), seed, self.cfg.w);
+            if sampler.respond(self.p_n) {
                 out.push(slot);
             }
         }
     }
+
+    fn fill_chunk(&self, tags: &[Tag], sink: &mut SlotSink<'_>) {
+        let w = self.cfg.w;
+        match self.cfg.hasher {
+            HasherKind::XorBitget => {
+                assert!(
+                    w.is_power_of_two() && w <= (1usize << 32),
+                    "XorBitgetHasher requires w to be a power of two <= 2^32, got {w}"
+                );
+                let mask = w - 1;
+                self.fill_with(tags, sink, |tag, seed| ((tag.rn ^ seed) as usize) & mask);
+            }
+            HasherKind::Mix64 => {
+                assert!(w >= 1, "w must be positive");
+                self.fill_with(tags, sink, |tag, seed| {
+                    bucket(mix_pair(tag.id, seed as u64), w)
+                });
+            }
+        }
+    }
+}
+
+/// Build the per-tag response plan for one Bloom frame (see [`BloomPlan`]).
+pub(crate) fn bloom_plan<'a>(cfg: &'a BfceConfig, seeds: &'a [u32], p_n: u32) -> BloomPlan<'a> {
+    BloomPlan::new(cfg, seeds, p_n)
 }
 
 /// Run one standalone Bloom frame with persistence numerator `p_n`
@@ -331,6 +447,38 @@ mod tests {
                 .n_hat()
         };
         assert_eq!(run(99), run(99));
+    }
+
+    #[test]
+    fn bloom_plan_batched_fill_matches_scalar_responses() {
+        // The fill_chunk override draws persistence before hashing; the
+        // frame it produces must still be bitwise-identical to the scalar
+        // hash-then-draw path, for both hasher kinds.
+        let seeds = [0x5EED_0001u32, 0xBEEF_CAFE, 0x1234_5678];
+        for hasher in [crate::params::HasherKind::XorBitget, crate::params::HasherKind::Mix64] {
+            let cfg = BfceConfig {
+                hasher,
+                ..BfceConfig::paper()
+            };
+            let tags: Vec<Tag> = (0..5_000u64)
+                .map(|i| Tag {
+                    id: i + 1,
+                    rn: (i as u32).wrapping_mul(0x9E37_79B9).wrapping_add(17),
+                })
+                .collect();
+            let plan = BloomPlan::new(&cfg, &seeds, 512);
+            let reference =
+                rfid_sim::frame::response_counts_reference(&tags, cfg.w, &plan, usize::MAX);
+            for threads in [1usize, 4] {
+                let fill =
+                    rfid_sim::frame::response_fill_with_threads(&tags, cfg.w, cfg.w, &plan, threads);
+                for (i, &c) in reference.iter().enumerate() {
+                    assert_eq!(fill.busy.get(i), c > 0, "{hasher:?} slot {i} threads {threads}");
+                }
+                let total: u64 = reference.iter().map(|&c| c as u64).sum();
+                assert_eq!(fill.prefix_responses, total, "{hasher:?} threads {threads}");
+            }
+        }
     }
 
     #[test]

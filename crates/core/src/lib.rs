@@ -42,7 +42,7 @@ pub mod theory;
 
 pub use diff::{estimate_changes, DiffOutcome};
 pub use efficiency::{confidence_interval, crlb, ConfidenceInterval};
-pub use estimator::{Bfce, BfceRun};
+pub use estimator::{Bfce, BfceRun, BloomPlan};
 pub use multiset::{estimate_union, UnionOutcome};
 pub use params::{BfceConfig, HasherKind};
 pub use theory::{estimate_from_rho, f1, f2, gamma, lambda};

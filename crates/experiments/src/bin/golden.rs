@@ -1,0 +1,21 @@
+//! Regenerate the committed golden-figure CSVs under `tests/golden/`.
+//!
+//! Run from the workspace root after any intentional change to a figure
+//! pipeline, then commit the updated files:
+//!
+//! ```text
+//! cargo run -p rfid-experiments --bin golden
+//! ```
+
+use rfid_experiments::golden;
+use std::path::Path;
+
+fn main() {
+    let dir = Path::new("tests/golden");
+    std::fs::create_dir_all(dir).expect("failed to create tests/golden");
+    for (stem, table) in golden::artifacts() {
+        let path = dir.join(format!("{stem}.csv"));
+        std::fs::write(&path, golden::render(&table)).expect("failed to write golden CSV");
+        println!("wrote {}", path.display());
+    }
+}

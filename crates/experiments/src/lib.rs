@@ -36,6 +36,7 @@ pub mod fig07;
 pub mod fig08;
 pub mod fig09;
 pub mod fig10;
+pub mod golden;
 pub mod guarantee;
 pub mod output;
 pub mod plots;

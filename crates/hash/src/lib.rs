@@ -32,4 +32,4 @@ pub use mix::{mix64, mix_pair};
 pub use opcount::TagOps;
 pub use persistence::PersistenceSampler;
 pub use prng::{stream_seed, SplitMix64, XorShift32};
-pub use tag_hash::{MixHasher, SlotHasher, XorBitgetHasher};
+pub use tag_hash::{hash_slots_batch, MixHasher, SlotHasher, TagIdentity, XorBitgetHasher};

@@ -34,6 +34,7 @@ impl PersistenceSampler {
     /// over GF(2), so seeding it with a plain XOR of `RN` and the phase seed
     /// would make the draws of one tag under two phases differ by a
     /// *constant*, perfectly correlating its decisions across phases.
+    #[inline]
     pub fn new(tag_rn: u32, phase_seed: u32) -> Self {
         Self {
             rng: XorShift32::new(mix_pair(tag_rn as u64, phase_seed as u64) as u32),
@@ -51,6 +52,25 @@ impl PersistenceSampler {
             "persistence numerator {p_n} exceeds denominator {PERSISTENCE_DENOMINATOR}"
         );
         self.rng.next_bits(PERSISTENCE_BITS) < p_n
+    }
+
+    /// `k` persistence trials at once: bit `i` of the result is trial `i`'s
+    /// decision, drawn in the same order as `k` calls to
+    /// [`respond`](Self::respond) — batched frame-fill kernels test the
+    /// whole mask against zero to skip silent tags without touching the
+    /// per-seed loop. Panics if `k > 32` or `p_n > 1024`.
+    #[inline]
+    pub fn respond_mask(&mut self, p_n: u32, k: usize) -> u32 {
+        assert!(k <= 32, "at most 32 trials fit the mask, got {k}");
+        assert!(
+            p_n <= PERSISTENCE_DENOMINATOR,
+            "persistence numerator {p_n} exceeds denominator {PERSISTENCE_DENOMINATOR}"
+        );
+        let mut mask = 0u32;
+        for i in 0..k {
+            mask |= u32::from(self.rng.next_bits(PERSISTENCE_BITS) < p_n) << i;
+        }
+        mask
     }
 }
 
@@ -136,5 +156,34 @@ mod tests {
     #[should_panic(expected = "exceeds denominator")]
     fn rejects_oversized_numerator() {
         PersistenceSampler::new(1, 1).respond(1025);
+    }
+
+    #[test]
+    fn respond_mask_matches_sequential_respond() {
+        for (rn, seed, p_n) in [(7u32, 9u32, 512u32), (123, 456, 13), (0, 1, 1023)] {
+            for k in [0usize, 1, 2, 3, 10, 32] {
+                let mut a = PersistenceSampler::new(rn, seed);
+                let mut b = PersistenceSampler::new(rn, seed);
+                let mask = a.respond_mask(p_n, k);
+                for i in 0..k {
+                    assert_eq!(
+                        mask & (1 << i) != 0,
+                        b.respond(p_n),
+                        "rn {rn} p_n {p_n} k {k} trial {i}"
+                    );
+                }
+                if k < 32 {
+                    assert_eq!(mask >> k, 0, "bits beyond trial {k} must be clear");
+                }
+                // The two samplers are in the same state afterwards.
+                assert_eq!(a.respond(512), b.respond(512));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 32 trials")]
+    fn respond_mask_rejects_oversized_k() {
+        PersistenceSampler::new(1, 1).respond_mask(512, 33);
     }
 }

@@ -32,8 +32,39 @@ pub trait SlotHasher: Send + Sync {
     /// Slot index for this tag under this seed; must lie in `[0, w)`.
     fn slot(&self, tag: TagIdentity, seed: u32, w: usize) -> usize;
 
+    /// Hash a batch of tags under one seed, appending one slot per tag to
+    /// `out` in input order.
+    ///
+    /// Must be element-wise identical to calling [`slot`](Self::slot) per
+    /// tag; implementations override it to hoist per-call validation and
+    /// dispatch out of the inner loop. The default is the scalar loop.
+    fn slot_batch(&self, tags: &[TagIdentity], seed: u32, w: usize, out: &mut Vec<usize>) {
+        out.reserve(tags.len());
+        for &tag in tags {
+            out.push(self.slot(tag, seed, w));
+        }
+    }
+
     /// Short human-readable name (used in ablation output).
     fn name(&self) -> &'static str;
+}
+
+/// Hash `tags` under `seed` into `out` through a dynamically chosen hasher.
+///
+/// One virtual call per batch instead of one per tag: the caller keeps a
+/// `&dyn SlotHasher` (e.g. resolved from a config enum) and the batch
+/// method monomorphizes the inner loop on the concrete hasher. `out` is a
+/// caller-provided scratch buffer; it is cleared first so it can be reused
+/// across seeds without reallocating.
+pub fn hash_slots_batch(
+    hasher: &dyn SlotHasher,
+    tags: &[TagIdentity],
+    seed: u32,
+    w: usize,
+    out: &mut Vec<usize>,
+) {
+    out.clear();
+    hasher.slot_batch(tags, seed, w, out);
 }
 
 /// The paper's lightweight hash: `bitget(RN ^ RS, log2(w) : 1)`.
@@ -53,6 +84,20 @@ impl SlotHasher for XorBitgetHasher {
         ((tag.rn ^ seed) as usize) & (w - 1)
     }
 
+    fn slot_batch(&self, tags: &[TagIdentity], seed: u32, w: usize, out: &mut Vec<usize>) {
+        // Hoist the power-of-two check and the mask out of the loop; the
+        // remaining per-tag work is one XOR and one AND.
+        assert!(
+            w.is_power_of_two() && w <= (1usize << 32),
+            "XorBitgetHasher requires w to be a power of two <= 2^32, got {w}"
+        );
+        let mask = w - 1;
+        out.reserve(tags.len());
+        for tag in tags {
+            out.push(((tag.rn ^ seed) as usize) & mask);
+        }
+    }
+
     fn name(&self) -> &'static str {
         "xor-bitget"
     }
@@ -67,6 +112,15 @@ impl SlotHasher for MixHasher {
     fn slot(&self, tag: TagIdentity, seed: u32, w: usize) -> usize {
         assert!(w >= 1, "w must be positive");
         bucket(mix_pair(tag.id, seed as u64), w)
+    }
+
+    fn slot_batch(&self, tags: &[TagIdentity], seed: u32, w: usize, out: &mut Vec<usize>) {
+        assert!(w >= 1, "w must be positive");
+        let seed = seed as u64;
+        out.reserve(tags.len());
+        for tag in tags {
+            out.push(bucket(mix_pair(tag.id, seed), w));
+        }
     }
 
     fn name(&self) -> &'static str {
@@ -178,5 +232,38 @@ mod tests {
     #[test]
     fn names_are_distinct() {
         assert_ne!(XorBitgetHasher.name(), MixHasher.name());
+    }
+
+    #[test]
+    fn slot_batch_matches_scalar_for_both_hashers() {
+        let tags = sample_tags(1_000, 7);
+        for (hasher, w) in [
+            (&XorBitgetHasher as &dyn SlotHasher, 8192usize),
+            (&MixHasher, 8192),
+            (&MixHasher, 1000), // non-power-of-two only valid for mix64
+        ] {
+            let seed = 0x5EED_CAFEu32;
+            let mut batched = Vec::new();
+            hash_slots_batch(hasher, &tags, seed, w, &mut batched);
+            let scalar: Vec<usize> =
+                tags.iter().map(|&t| hasher.slot(t, seed, w)).collect();
+            assert_eq!(batched, scalar, "{} w={w}", hasher.name());
+        }
+    }
+
+    #[test]
+    fn hash_slots_batch_clears_the_scratch_buffer() {
+        let tags = sample_tags(16, 3);
+        let mut out = vec![usize::MAX; 100];
+        hash_slots_batch(&XorBitgetHasher, &tags, 1, 64, &mut out);
+        assert_eq!(out.len(), tags.len());
+        assert!(out.iter().all(|&s| s < 64));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn xor_bitget_batch_rejects_non_power_of_two_w() {
+        let mut out = Vec::new();
+        XorBitgetHasher.slot_batch(&sample_tags(2, 1), 3, 1000, &mut out);
     }
 }

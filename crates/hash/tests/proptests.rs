@@ -109,3 +109,52 @@ proptest! {
         prop_assert!(!a || b, "respond({pn}) but not respond({})", pn + 1);
     }
 }
+
+proptest! {
+    /// The batched slot kernel must be element-wise identical to the
+    /// scalar `slot` call for both hasher families, including widths
+    /// below one word and non-powers of two (MixHasher).
+    #[test]
+    fn slot_batch_matches_scalar_slots(
+        raw_tags in prop::collection::vec((any::<u64>(), any::<u32>()), 0..300),
+        seed in any::<u32>(),
+        log2_w in 0u32..20,
+        odd_w in 1usize..100_000,
+    ) {
+        let tags: Vec<TagIdentity> =
+            raw_tags.iter().map(|&(id, rn)| TagIdentity { id, rn }).collect();
+        let mut out = Vec::new();
+        for (hasher, w) in [
+            (&XorBitgetHasher as &dyn SlotHasher, 1usize << log2_w),
+            (&MixHasher as &dyn SlotHasher, odd_w),
+        ] {
+            hash_slots_batch(hasher, &tags, seed, w, &mut out);
+            prop_assert_eq!(out.len(), tags.len());
+            for (tag, &got) in tags.iter().zip(out.iter()) {
+                prop_assert_eq!(got, hasher.slot(*tag, seed, w));
+                prop_assert!(got < w);
+            }
+        }
+    }
+
+    /// The chunked SplitMix64 word fill must reproduce the sequential
+    /// stream exactly and leave the generator in the same state.
+    #[test]
+    fn fill_u64_matches_sequential_draws(
+        state in any::<u64>(),
+        len in 0usize..200,
+        tail in 1usize..8,
+    ) {
+        let mut chunked = SplitMix64::new(state);
+        let mut sequential = SplitMix64::new(state);
+        let mut words = vec![0u64; len];
+        chunked.fill_u64(&mut words);
+        for (i, &w) in words.iter().enumerate() {
+            prop_assert_eq!(w, sequential.next_u64(), "word {} diverged", i);
+        }
+        // Same state afterwards: the streams stay aligned.
+        for _ in 0..tail {
+            prop_assert_eq!(chunked.next_u64(), sequential.next_u64());
+        }
+    }
+}

@@ -21,6 +21,50 @@ impl Bitmap {
         }
     }
 
+    /// Number of 64-bit backing words (`len.div_ceil(64)`).
+    pub fn word_count(&self) -> usize {
+        self.words.len()
+    }
+
+    /// The backing words, 64 bits per word, low bit = lowest index.
+    ///
+    /// Invariant: bits at positions `>= len` in the trailing partial word
+    /// are always zero, so word-level popcounts and ORs never see phantom
+    /// bits.
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// OR `bits` into backing word `word_index` (bit `b` of `bits` is bitmap
+    /// index `word_index * 64 + b`).
+    ///
+    /// This is the word-level write primitive for batched frame-fill
+    /// kernels. Bits beyond `len` in the trailing partial word are masked
+    /// off, so the zero-tail invariant holds no matter what the caller
+    /// passes. Panics if `word_index` is out of range.
+    #[inline]
+    pub fn or_word(&mut self, word_index: usize, bits: u64) {
+        assert!(
+            word_index < self.words.len(),
+            "word {word_index} out of range ({} words)",
+            self.words.len()
+        );
+        self.words[word_index] |= bits & self.tail_mask(word_index);
+    }
+
+    /// Mask of valid bit positions within backing word `word_index`: all
+    /// ones except in the trailing partial word, where only the low
+    /// `len % 64` bits are valid.
+    #[inline]
+    fn tail_mask(&self, word_index: usize) -> u64 {
+        let rem = self.len % 64;
+        if rem != 0 && word_index == self.words.len() - 1 {
+            (1u64 << rem) - 1
+        } else {
+            u64::MAX
+        }
+    }
+
     /// Number of bits.
     pub fn len(&self) -> usize {
         self.len
@@ -195,6 +239,82 @@ mod tests {
         assert!(b.is_empty());
         assert_eq!(b.count_ones(), 0);
         assert_eq!(b.iter_ones().count(), 0);
+    }
+
+    #[test]
+    fn boundary_lengths_count_and_iterate_exactly() {
+        // The word-level kernels depend on the zero-tail invariant at every
+        // partial-word shape: empty, sub-word, word-1, exact word, word+1.
+        for len in [0usize, 1, 63, 64, 65] {
+            let mut b = Bitmap::zeros(len);
+            assert_eq!(b.word_count(), len.div_ceil(64), "len {len}");
+            // Set every bit individually; counts and iteration must agree.
+            for i in 0..len {
+                b.set(i);
+            }
+            assert_eq!(b.count_ones(), len, "len {len}");
+            assert_eq!(b.count_zeros(), 0, "len {len}");
+            let idx: Vec<usize> = b.iter_ones().collect();
+            assert_eq!(idx, (0..len).collect::<Vec<_>>(), "len {len}");
+            // Every prefix, including 0 and len itself.
+            for prefix in 0..=len {
+                assert_eq!(b.count_ones_prefix(prefix), prefix, "len {len}");
+            }
+            // No phantom bits beyond len in the backing words.
+            let total: u32 = b.words().iter().map(|w| w.count_ones()).sum();
+            assert_eq!(total as usize, len, "len {len}");
+        }
+    }
+
+    #[test]
+    fn or_word_masks_the_trailing_partial_word() {
+        for len in [1usize, 63, 64, 65] {
+            let mut b = Bitmap::zeros(len);
+            // OR all-ones into every word; only in-range bits may stick.
+            for wi in 0..b.word_count() {
+                b.or_word(wi, u64::MAX);
+            }
+            assert_eq!(b.count_ones(), len, "len {len}");
+            assert_eq!(b.count_ones_prefix(len), len, "len {len}");
+            assert_eq!(b.iter_ones().count(), len, "len {len}");
+        }
+    }
+
+    #[test]
+    fn or_word_sets_the_addressed_bits() {
+        let mut b = Bitmap::zeros(130);
+        b.or_word(0, 1 | (1 << 63));
+        b.or_word(1, 1 << 5);
+        b.or_word(2, 0b11);
+        assert!(b.get(0) && b.get(63) && b.get(69) && b.get(128) && b.get(129));
+        assert_eq!(b.count_ones(), 5);
+    }
+
+    #[test]
+    fn or_word_merge_equals_bitwise_or_assign() {
+        let mut via_bits = Bitmap::zeros(100);
+        let mut other = Bitmap::zeros(100);
+        for i in [0usize, 31, 64, 99] {
+            other.set(i);
+        }
+        let mut via_words = Bitmap::zeros(100);
+        for (wi, &w) in other.words().iter().enumerate() {
+            via_words.or_word(wi, w);
+        }
+        via_bits.or_assign(&other);
+        assert_eq!(via_bits, via_words);
+    }
+
+    #[test]
+    #[should_panic(expected = "word 1 out of range")]
+    fn or_word_out_of_range_panics() {
+        Bitmap::zeros(64).or_word(1, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn or_word_on_empty_bitmap_panics() {
+        Bitmap::zeros(0).or_word(0, 1);
     }
 
     #[test]

@@ -13,6 +13,12 @@ use rfid_hash::SplitMix64;
 /// transmitted in it.
 pub trait Channel: Send + Sync {
     /// Sense one 1-bit slot: `true` = busy (energy detected).
+    ///
+    /// Contract: the result (and any noise draws) may depend on
+    /// `responders` only through `responders > 0` — a 1-bit slot carries no
+    /// multiplicity information. The batched frame path relies on this to
+    /// sense from a busy/idle bitmap ([`crate::frame::BitFrame::sense_truth`])
+    /// without materializing per-slot counts.
     fn sense_bitslot(&self, responders: u32, noise: &mut SplitMix64) -> bool;
 
     /// Sense one slotted-Aloha slot (empty / singleton / collision).

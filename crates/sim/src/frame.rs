@@ -10,13 +10,86 @@
 use crate::aloha::{AlohaFrame, AlohaOutcome};
 use crate::bitmap::Bitmap;
 use crate::channel::Channel;
-use crate::parallel::par_fold;
+use crate::parallel::{par_fold_chunks_with_threads, par_fold_with_threads, thread_count};
 use crate::tag::Tag;
 use rfid_hash::SplitMix64;
 
 /// Minimum tags per worker thread before the executor bothers to go
 /// parallel; below this the spawn overhead dominates.
 pub const MIN_TAGS_PER_THREAD: usize = 20_000;
+
+/// Where a frame-fill kernel records tag responses.
+///
+/// Two shapes, chosen by the executor, invisible to the plan:
+///
+/// * **counts** — per-slot `u32` responder counts, needed wherever the
+///   multiplicity matters (Aloha empty/singleton/collision classification,
+///   FNEB's pre-computed counts);
+/// * **busy** — a per-thread busy [`Bitmap`] plus a running count of
+///   responses landing in the observed prefix. Bit-slot sensing only
+///   distinguishes busy from idle, so this drops the `4·w`-byte count
+///   vector to `w/8` bytes and turns the merge into word-level ORs.
+///
+/// Either way, recording is commutative-associative integer/bitmap
+/// accumulation, so chunking and thread count never change the result.
+pub struct SlotSink<'a> {
+    w: usize,
+    mode: SinkMode<'a>,
+}
+
+enum SinkMode<'a> {
+    Counts {
+        counts: &'a mut [u32],
+    },
+    Busy {
+        busy: &'a mut Bitmap,
+        observe: usize,
+        prefix_responses: &'a mut u64,
+    },
+}
+
+impl<'a> SlotSink<'a> {
+    /// A sink accumulating per-slot responder counts (`counts.len() = w`).
+    pub fn counts(counts: &'a mut [u32]) -> Self {
+        Self {
+            w: counts.len(),
+            mode: SinkMode::Counts { counts },
+        }
+    }
+
+    /// A sink accumulating a busy bitmap (`busy.len() = w`) plus the number
+    /// of responses whose slot lies in `[0, observe)` (the energy ledger
+    /// charges exactly the transmissions the reader lets happen).
+    pub fn busy(busy: &'a mut Bitmap, observe: usize, prefix_responses: &'a mut u64) -> Self {
+        Self {
+            w: busy.len(),
+            mode: SinkMode::Busy {
+                busy,
+                observe,
+                prefix_responses,
+            },
+        }
+    }
+
+    /// Record one tag response in `slot`. Panics if `slot >= w`.
+    #[inline]
+    pub fn record(&mut self, slot: usize) {
+        assert!(slot < self.w, "plan produced slot {} >= w {}", slot, self.w);
+        match &mut self.mode {
+            SinkMode::Counts { counts } => counts[slot] += 1,
+            SinkMode::Busy {
+                busy,
+                observe,
+                prefix_responses,
+            } => {
+                busy.or_word(slot / 64, 1u64 << (slot % 64));
+                if slot < *observe {
+                    **prefix_responses += 1;
+                }
+            }
+        }
+    }
+}
 
 /// A pure description of which slots a tag transmits in during one frame.
 ///
@@ -25,6 +98,25 @@ pub const MIN_TAGS_PER_THREAD: usize = 20_000;
 pub trait ResponsePlan: Sync {
     /// Append every slot index (in `[0, w)`) this tag responds in.
     fn responses(&self, tag: &Tag, out: &mut Vec<usize>);
+
+    /// Record every response of every tag in `tags` into `sink`.
+    ///
+    /// The default loops [`responses`](Self::responses) through a scratch
+    /// buffer; plans on the hot path override it with a batched kernel that
+    /// hoists hashing/dispatch out of the per-tag loop and records straight
+    /// into the sink. Overrides must produce exactly the same multiset of
+    /// `(tag, slot)` responses as the scalar method — the equivalence
+    /// proptests hold every plan to bitwise-identical frames.
+    fn fill_chunk(&self, tags: &[Tag], sink: &mut SlotSink<'_>) {
+        let mut scratch = Vec::with_capacity(8);
+        for tag in tags {
+            scratch.clear();
+            self.responses(tag, &mut scratch);
+            for &slot in scratch.iter() {
+                sink.record(slot);
+            }
+        }
+    }
 }
 
 impl<F> ResponsePlan for F
@@ -55,10 +147,60 @@ pub fn response_counts_with_min_chunk<P: ResponsePlan>(
     plan: &P,
     min_chunk: usize,
 ) -> Vec<u32> {
+    response_counts_with_threads(tags, w, plan, thread_count(tags.len(), min_chunk))
+}
+
+/// [`response_counts`] with an explicit worker count (clamped like
+/// [`par_fold_chunks_with_threads`]). The benchmark suite drives this to
+/// pin exact thread counts.
+pub fn response_counts_with_threads<P: ResponsePlan>(
+    tags: &[Tag],
+    w: usize,
+    plan: &P,
+    threads: usize,
+) -> Vec<u32> {
     assert!(w > 0, "frame must have at least one slot");
-    let (counts, _scratch) = par_fold(
+    par_fold_chunks_with_threads(
         tags,
-        min_chunk,
+        threads,
+        || vec![0u32; w],
+        |counts, chunk| plan.fill_chunk(chunk, &mut SlotSink::counts(counts)),
+        |counts, other| {
+            for (a, b) in counts.iter_mut().zip(other) {
+                *a += b;
+            }
+        },
+    )
+}
+
+/// Reference scalar implementation of [`response_counts_with_min_chunk`]:
+/// the pre-kernel per-tag/per-slot path, retained verbatim.
+///
+/// The equivalence proptests and the `frame_fill` benchmark hold the
+/// batched kernels to bitwise-identical output against this baseline; it is
+/// not used by any production code path.
+pub fn response_counts_reference<P: ResponsePlan>(
+    tags: &[Tag],
+    w: usize,
+    plan: &P,
+    min_chunk: usize,
+) -> Vec<u32> {
+    response_counts_reference_with_threads(tags, w, plan, thread_count(tags.len(), min_chunk))
+}
+
+/// [`response_counts_reference`] with an explicit worker count — the
+/// benchmark suite pins exact thread counts on both sides of the
+/// scalar/batched comparison.
+pub fn response_counts_reference_with_threads<P: ResponsePlan>(
+    tags: &[Tag],
+    w: usize,
+    plan: &P,
+    threads: usize,
+) -> Vec<u32> {
+    assert!(w > 0, "frame must have at least one slot");
+    let (counts, _scratch) = par_fold_with_threads(
+        tags,
+        threads,
         || (vec![0u32; w], Vec::with_capacity(8)),
         |(counts, scratch), tag| {
             scratch.clear();
@@ -75,6 +217,79 @@ pub fn response_counts_with_min_chunk<P: ResponsePlan>(
         },
     );
     counts
+}
+
+/// The ground truth of one bit-slot frame fill, before channel sensing:
+/// which slots have at least one responder, and how many responses landed
+/// in the observed prefix.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FrameFill {
+    /// Busy truth per slot over the whole `w`-slot frame (bit set ⇔ at
+    /// least one tag transmitted in the slot).
+    pub busy: Bitmap,
+    /// Number of tag transmissions in slots `[0, observe)` — what the
+    /// energy ledger charges for a frame the reader terminates after
+    /// `observe` slots.
+    pub prefix_responses: u64,
+}
+
+/// Fill a `w`-slot bit-slot frame: busy/idle truth plus the response count
+/// over the observed prefix `[0, observe)`.
+///
+/// This is the batched replacement for "counts then threshold": bit-slot
+/// sensing only distinguishes busy from idle, so each worker accumulates a
+/// `w`-bit bitmap (word-level ORs) instead of a `w`-entry `u32` vector,
+/// and per-thread partials merge via [`Bitmap::or_assign`]. Bitwise
+/// identical to deriving the same quantities from
+/// [`response_counts_reference`] at any thread count.
+pub fn response_fill<P: ResponsePlan>(
+    tags: &[Tag],
+    w: usize,
+    observe: usize,
+    plan: &P,
+) -> FrameFill {
+    response_fill_with_min_chunk(tags, w, observe, plan, MIN_TAGS_PER_THREAD)
+}
+
+/// [`response_fill`] with an explicit parallel-split threshold (see
+/// [`response_counts_with_min_chunk`]).
+pub fn response_fill_with_min_chunk<P: ResponsePlan>(
+    tags: &[Tag],
+    w: usize,
+    observe: usize,
+    plan: &P,
+    min_chunk: usize,
+) -> FrameFill {
+    response_fill_with_threads(tags, w, observe, plan, thread_count(tags.len(), min_chunk))
+}
+
+/// [`response_fill`] with an explicit worker count (clamped like
+/// [`par_fold_chunks_with_threads`]).
+pub fn response_fill_with_threads<P: ResponsePlan>(
+    tags: &[Tag],
+    w: usize,
+    observe: usize,
+    plan: &P,
+    threads: usize,
+) -> FrameFill {
+    assert!(w > 0, "frame must have at least one slot");
+    assert!(observe <= w, "cannot observe {observe} slots of a {w}-slot frame");
+    let (busy, prefix_responses) = par_fold_chunks_with_threads(
+        tags,
+        threads,
+        || (Bitmap::zeros(w), 0u64),
+        |(busy, prefix), chunk| {
+            plan.fill_chunk(chunk, &mut SlotSink::busy(busy, observe, prefix));
+        },
+        |(busy, prefix), (other_busy, other_prefix)| {
+            busy.or_assign(&other_busy);
+            *prefix += other_prefix;
+        },
+    );
+    FrameFill {
+        busy,
+        prefix_responses,
+    }
 }
 
 /// The reader's observation of a bit-slot frame.
@@ -107,6 +322,34 @@ impl BitFrame {
         let mut busy = Bitmap::zeros(observe);
         for (i, &responders) in counts[..observe].iter().enumerate() {
             if channel.sense_bitslot(responders, noise) {
+                busy.set(i);
+            }
+        }
+        Self { busy }
+    }
+
+    /// Sense the first `observe` slots from a busy-truth bitmap (the
+    /// [`FrameFill`] output) instead of per-slot counts.
+    ///
+    /// Bitwise identical to [`sense`](Self::sense) on the counts the bitmap
+    /// was derived from: [`Channel::sense_bitslot`] depends on the
+    /// responder count only through busy/idle, and this walks the slots in
+    /// the same order, so noisy channels consume the same one-draw-per-slot
+    /// noise stream.
+    pub fn sense_truth(
+        truth: &Bitmap,
+        observe: usize,
+        channel: &dyn Channel,
+        noise: &mut SplitMix64,
+    ) -> Self {
+        assert!(
+            observe <= truth.len(),
+            "cannot observe {observe} slots of a {}-slot frame",
+            truth.len()
+        );
+        let mut busy = Bitmap::zeros(observe);
+        for i in 0..observe {
+            if channel.sense_bitslot(truth.get(i) as u32, noise) {
                 busy.set(i);
             }
         }
@@ -275,6 +518,84 @@ mod tests {
     fn observing_beyond_frame_panics() {
         let mut noise = SplitMix64::new(4);
         BitFrame::sense(&[0, 0], 3, &PerfectChannel, &mut noise);
+    }
+
+    #[test]
+    fn fill_matches_reference_counts() {
+        let tags = tags(500);
+        let plan = |tag: &Tag, out: &mut Vec<usize>| {
+            out.push((tag.rn % 300) as usize);
+            if tag.id.is_multiple_of(2) {
+                out.push((tag.id % 300) as usize);
+            }
+        };
+        let (w, observe) = (300usize, 100usize);
+        let counts = response_counts_reference(&tags, w, &plan, usize::MAX);
+        for threads in [1usize, 2, 4, 7] {
+            let fill = response_fill_with_threads(&tags, w, observe, &plan, threads);
+            assert_eq!(fill.busy.len(), w);
+            for (i, &c) in counts.iter().enumerate() {
+                assert_eq!(fill.busy.get(i), c > 0, "slot {i}, threads {threads}");
+            }
+            let want_prefix: u64 = counts[..observe].iter().map(|&c| c as u64).sum();
+            assert_eq!(fill.prefix_responses, want_prefix, "threads {threads}");
+        }
+    }
+
+    #[test]
+    fn sense_truth_equals_sense_on_counts() {
+        let counts = vec![0u32, 1, 0, 2, 5, 0, 0, 3];
+        let mut truth = Bitmap::zeros(counts.len());
+        for (i, &c) in counts.iter().enumerate() {
+            if c > 0 {
+                truth.set(i);
+            }
+        }
+        for observe in [1usize, 4, 8] {
+            // Perfect channel: trivially equal.
+            let mut n1 = SplitMix64::new(77);
+            let mut n2 = SplitMix64::new(77);
+            let a = BitFrame::sense(&counts, observe, &PerfectChannel, &mut n1);
+            let b = BitFrame::sense_truth(&truth, observe, &PerfectChannel, &mut n2);
+            assert_eq!(a.busy_bitmap(), b.busy_bitmap(), "perfect, observe {observe}");
+            // Noisy channel: equality requires consuming the identical
+            // one-draw-per-slot noise stream.
+            let noisy = crate::channel::BitErrorChannel::new(0.3);
+            let mut n1 = SplitMix64::new(78);
+            let mut n2 = SplitMix64::new(78);
+            let a = BitFrame::sense(&counts, observe, &noisy, &mut n1);
+            let b = BitFrame::sense_truth(&truth, observe, &noisy, &mut n2);
+            assert_eq!(a.busy_bitmap(), b.busy_bitmap(), "noisy, observe {observe}");
+            // Streams must be in the same state afterwards.
+            assert_eq!(n1.next_u64(), n2.next_u64(), "observe {observe}");
+        }
+    }
+
+    #[test]
+    fn counts_path_equals_reference_at_any_thread_count() {
+        let tags = tags(1_000);
+        let plan = |tag: &Tag, out: &mut Vec<usize>| {
+            out.push((tag.rn % 97) as usize);
+        };
+        let want = response_counts_reference(&tags, 97, &plan, usize::MAX);
+        for threads in [1usize, 2, 4, 9] {
+            assert_eq!(response_counts_with_threads(&tags, 97, &plan, threads), want);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "slot 7 >= w 4")]
+    fn fill_rejects_out_of_range_slots() {
+        let tags = tags(1);
+        let plan = |_tag: &Tag, out: &mut Vec<usize>| out.push(7);
+        response_fill(&tags, 4, 4, &plan);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot observe 5 slots of a 4-slot frame")]
+    fn fill_rejects_observe_beyond_width() {
+        let plan = |_t: &Tag, _o: &mut Vec<usize>| {};
+        response_fill(&tags(1), 4, 5, &plan);
     }
 
     #[test]

@@ -46,7 +46,7 @@ pub use channel::{BitErrorChannel, CaptureChannel, Channel, PerfectChannel};
 pub use estimator::{
     Accuracy, CardinalityEstimator, EstimationReport, PhaseReport,
 };
-pub use frame::BitFrame;
+pub use frame::{BitFrame, FrameFill, ResponsePlan, SlotSink};
 pub use ledger::{AirTime, AirTimeLedger};
 pub use system::RfidSystem;
 pub use tag::{Tag, TagPopulation};

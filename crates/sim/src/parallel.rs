@@ -110,6 +110,93 @@ where
     acc
 }
 
+/// Chunk-level parallel fold: like [`par_fold`], but each worker receives
+/// its whole contiguous chunk as a slice instead of being driven item by
+/// item.
+///
+/// This is the entry point for batched kernels (e.g. the word-level frame
+/// fill): handing the worker a `&[T]` lets it hoist per-item dispatch,
+/// validation, and scratch management out of the inner loop. The contract
+/// is stronger than [`par_fold`]'s: `fold_chunk` must produce accumulators
+/// whose merge is independent of *where the chunk boundaries fall* (true
+/// for the commutative-associative integer/bitmap accumulation all our
+/// kernels use), because `min_chunk` only bounds — not fixes — the split.
+pub fn par_fold_chunks<T, A>(
+    items: &[T],
+    min_chunk: usize,
+    make: impl Fn() -> A + Sync,
+    fold_chunk: impl Fn(&mut A, &[T]) + Sync,
+    merge: impl FnMut(&mut A, A),
+) -> A
+where
+    T: Sync,
+    A: Send,
+{
+    par_fold_chunks_with_threads(
+        items,
+        thread_count(items.len(), min_chunk),
+        make,
+        fold_chunk,
+        merge,
+    )
+}
+
+/// [`par_fold_chunks`] with an explicit worker count. `threads` is clamped
+/// to `[1, items.len()]`; `threads <= 1` (or empty `items`) degrades to one
+/// `fold_chunk` call over the whole slice on the current thread.
+pub fn par_fold_chunks_with_threads<T, A>(
+    items: &[T],
+    threads: usize,
+    make: impl Fn() -> A + Sync,
+    fold_chunk: impl Fn(&mut A, &[T]) + Sync,
+    mut merge: impl FnMut(&mut A, A),
+) -> A
+where
+    T: Sync,
+    A: Send,
+{
+    if items.is_empty() {
+        return make();
+    }
+    let threads = threads.clamp(1, items.len());
+    if threads <= 1 {
+        let mut acc = make();
+        fold_chunk(&mut acc, items);
+        return acc;
+    }
+    let chunk_len = items.len().div_ceil(threads).max(1);
+    let make_ref = &make;
+    let fold_ref = &fold_chunk;
+    let partials: Vec<A> = std::thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .chunks(chunk_len)
+            .map(|chunk| {
+                scope.spawn(move || {
+                    let mut acc = make_ref();
+                    fold_ref(&mut acc, chunk);
+                    acc
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            // Re-raise a worker panic with its original payload instead of
+            // wrapping it in a second, less informative one.
+            .map(|h| h.join().unwrap_or_else(|payload| std::panic::resume_unwind(payload)))
+            .collect()
+    });
+    let mut iter = partials.into_iter();
+    let Some(mut acc) = iter.next() else {
+        // Unreachable given the non-empty check above, but a fresh
+        // accumulator is the correct fold of zero chunks either way.
+        return make();
+    };
+    for partial in iter {
+        merge(&mut acc, partial);
+    }
+    acc
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -246,6 +333,72 @@ mod tests {
             unreachable!()
         });
         assert_eq!(got, 11);
+    }
+
+    #[test]
+    fn chunk_fold_matches_item_fold_at_every_worker_count() {
+        let items: Vec<u64> = (0..10_000).map(|i| i * 3 + 1).collect();
+        let expected: u64 = items.iter().sum();
+        for threads in [0usize, 1, 2, 3, 7, 64, usize::MAX] {
+            let got = par_fold_chunks_with_threads(
+                &items,
+                threads,
+                || 0u64,
+                |acc, chunk| {
+                    for &x in chunk {
+                        *acc += x;
+                    }
+                },
+                |acc, other| *acc += other,
+            );
+            assert_eq!(got, expected, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn chunk_fold_covers_every_item_exactly_once() {
+        // Concatenating the chunks each worker saw must reproduce the input
+        // (chunks are contiguous and ordered; merge preserves chunk order).
+        let items: Vec<u32> = (0..997).collect();
+        let got = par_fold_chunks_with_threads(
+            &items,
+            4,
+            Vec::new,
+            |acc: &mut Vec<u32>, chunk| acc.extend_from_slice(chunk),
+            |acc, other| acc.extend(other),
+        );
+        assert_eq!(got, items);
+    }
+
+    #[test]
+    fn chunk_fold_empty_input_yields_fresh_accumulator() {
+        let items: Vec<u32> = vec![];
+        let got =
+            par_fold_chunks(&items, 1, || 9u32, |_, _| unreachable!(), |_, _| unreachable!());
+        assert_eq!(got, 9);
+    }
+
+    #[test]
+    fn chunk_fold_min_chunk_heuristic_matches_sequential() {
+        let items: Vec<u64> = (0..50_000).collect();
+        let histogram = |min_chunk: usize| {
+            par_fold_chunks(
+                &items,
+                min_chunk,
+                || vec![0u32; 97],
+                |acc, chunk| {
+                    for &x in chunk {
+                        acc[(x % 97) as usize] += 1;
+                    }
+                },
+                |acc, other| {
+                    for (a, b) in acc.iter_mut().zip(other) {
+                        *a += b;
+                    }
+                },
+            )
+        };
+        assert_eq!(histogram(1), histogram(usize::MAX));
     }
 
     #[test]

@@ -9,7 +9,8 @@
 use crate::aloha::AlohaFrame;
 use crate::channel::{Channel, PerfectChannel};
 use crate::frame::{
-    response_counts_with_min_chunk, sense_aloha, BitFrame, ResponsePlan, MIN_TAGS_PER_THREAD,
+    response_counts_with_min_chunk, response_fill_with_min_chunk, sense_aloha, BitFrame,
+    ResponsePlan, MIN_TAGS_PER_THREAD,
 };
 use crate::ledger::{AirTime, AirTimeLedger};
 use crate::tag::TagPopulation;
@@ -133,14 +134,20 @@ impl RfidSystem {
         plan: &P,
     ) -> BitFrame {
         assert!(observe >= 1 && observe <= w, "observe must lie in [1, w]");
-        let counts =
-            response_counts_with_min_chunk(self.population.tags(), w, plan, self.frame_min_chunk);
+        // Bit-slot sensing only needs busy/idle truth, so the fill kernel
+        // accumulates a bitmap (word-level ORs) instead of per-slot counts.
+        let fill = response_fill_with_min_chunk(
+            self.population.tags(),
+            w,
+            observe,
+            plan,
+            self.frame_min_chunk,
+        );
         self.ledger.tag_bitslots(observe as u64);
         // Energy: the reader terminates the frame after `observe` slots,
         // so only tags scheduled in the observed prefix ever transmit.
-        let responses: u64 = counts[..observe].iter().map(|&c| c as u64).sum();
-        self.ledger.tag_responses(responses);
-        BitFrame::sense(&counts, observe, self.channel.as_ref(), &mut self.noise)
+        self.ledger.tag_responses(fill.prefix_responses);
+        BitFrame::sense_truth(&fill.busy, observe, self.channel.as_ref(), &mut self.noise)
     }
 
     /// Run and fully observe a bit-slot frame of `w` slots.
@@ -174,13 +181,13 @@ impl RfidSystem {
         w: usize,
         plan: &P,
     ) -> BitFrame {
-        let counts =
-            response_counts_with_min_chunk(self.population.tags(), w, plan, self.frame_min_chunk);
+        let fill =
+            response_fill_with_min_chunk(self.population.tags(), w, w, plan, self.frame_min_chunk);
         // "Uncharged" refers to air *time* only; the tags really do
-        // transmit, so the energy counter is always kept accurate.
-        self.ledger
-            .tag_responses(counts.iter().map(|&c| c as u64).sum());
-        BitFrame::sense(&counts, w, self.channel.as_ref(), &mut self.noise)
+        // transmit, so the energy counter is always kept accurate. With
+        // `observe = w` the prefix count covers every transmission.
+        self.ledger.tag_responses(fill.prefix_responses);
+        BitFrame::sense_truth(&fill.busy, w, self.channel.as_ref(), &mut self.noise)
     }
 
     /// Explicitly charge `count` reader broadcasts of `bits` bits each

@@ -157,3 +157,93 @@ proptest! {
         prop_assert!((0.0..=1.0).contains(&rho));
     }
 }
+
+/// A synthetic multi-response plan for kernel-equivalence properties:
+/// each tag answers under a subset of the seeds (dropping seeds where a
+/// cheap predicate fires), so response counts per tag vary from 0 to
+/// `seeds.len()` — exactly the shape the batched fill path must handle.
+#[derive(Debug)]
+struct SyntheticPlan {
+    seeds: Vec<u32>,
+    w: usize,
+}
+
+impl rfid_sim::ResponsePlan for SyntheticPlan {
+    fn responses(&self, tag: &Tag, out: &mut Vec<usize>) {
+        for &seed in &self.seeds {
+            // Deterministic, tag-dependent participation + slot.
+            let h = rfid_hash::mix::mix_pair(tag.id ^ u64::from(tag.rn), u64::from(seed));
+            if h & 3 != 0 {
+                out.push(rfid_hash::mix::bucket(h >> 2, self.w));
+            }
+        }
+    }
+}
+
+proptest! {
+    /// The batched word-level fill (per-thread bitmaps merged by word OR)
+    /// must be bitwise identical to the scalar reference counts for
+    /// arbitrary tag sets, widths (including < 64 and non-multiples of
+    /// 64), observation prefixes, and thread counts.
+    #[test]
+    fn batched_fill_matches_reference_counts(
+        raw_tags in prop::collection::vec((any::<u64>(), any::<u32>()), 0..250),
+        w in 1usize..200,
+        seeds in prop::collection::vec(any::<u32>(), 0..4),
+        observe_frac in 0.0f64..1.0,
+        threads in prop::sample::select(vec![1usize, 2, 3, 8]),
+    ) {
+        let tags: Vec<Tag> = raw_tags.iter().map(|&(id, rn)| Tag { id, rn }).collect();
+        let plan = SyntheticPlan { seeds, w };
+        let observe = ((w as f64) * observe_frac) as usize;
+
+        let counts =
+            rfid_sim::frame::response_counts_reference(&tags, w, &plan, usize::MAX);
+        let fill =
+            rfid_sim::frame::response_fill_with_threads(&tags, w, observe, &plan, threads);
+
+        for (slot, &c) in counts.iter().enumerate() {
+            prop_assert_eq!(
+                fill.busy.get(slot),
+                c > 0,
+                "slot {} busy mismatch (count {})", slot, c
+            );
+        }
+        let want_prefix: u64 = counts[..observe].iter().map(|&c| u64::from(c)).sum();
+        prop_assert_eq!(fill.prefix_responses, want_prefix);
+    }
+
+    /// `min_chunk` only re-partitions work across threads; it must never
+    /// change the filled frame.
+    #[test]
+    fn min_chunk_never_changes_the_fill(
+        raw_tags in prop::collection::vec((any::<u64>(), any::<u32>()), 0..200),
+        w in 1usize..130,
+        min_chunk in prop::sample::select(vec![1usize, 7, 64, 1024, usize::MAX]),
+    ) {
+        let tags: Vec<Tag> = raw_tags.iter().map(|&(id, rn)| Tag { id, rn }).collect();
+        let plan = SyntheticPlan { seeds: vec![11, 22, 33], w };
+        let base = rfid_sim::frame::response_fill_with_threads(&tags, w, w, &plan, 1);
+        let chunked =
+            rfid_sim::frame::response_fill_with_min_chunk(&tags, w, w, &plan, min_chunk);
+        prop_assert_eq!(base.busy.words(), chunked.busy.words());
+        prop_assert_eq!(base.prefix_responses, chunked.prefix_responses);
+    }
+
+    /// The count-vector path and the reference path agree for every
+    /// thread count (OR-accumulation vs u32 accumulation).
+    #[test]
+    fn threaded_counts_match_reference(
+        raw_tags in prop::collection::vec((any::<u64>(), any::<u32>()), 0..200),
+        w in 1usize..130,
+        threads in prop::sample::select(vec![1usize, 2, 5, 16]),
+    ) {
+        let tags: Vec<Tag> = raw_tags.iter().map(|&(id, rn)| Tag { id, rn }).collect();
+        let plan = SyntheticPlan { seeds: vec![5, 6], w };
+        let reference =
+            rfid_sim::frame::response_counts_reference_with_threads(&tags, w, &plan, 1);
+        let threaded =
+            rfid_sim::frame::response_counts_with_threads(&tags, w, &plan, threads);
+        prop_assert_eq!(reference, threaded);
+    }
+}

@@ -23,6 +23,30 @@ pub fn chi_square_statistic(observed: &[u64]) -> f64 {
         .sum()
 }
 
+/// Pearson chi-square statistic for observed bin counts against arbitrary
+/// expected counts (same length, every expectation positive).
+///
+/// The conformance suite uses this to test busy/idle slot occupancy against
+/// the paper's `1 - e^{-n/f}` model, where the two bins of a frame are far
+/// from equiprobable.
+pub fn chi_square_statistic_against(observed: &[u64], expected: &[f64]) -> f64 {
+    assert!(observed.len() >= 2, "need at least 2 bins");
+    assert_eq!(
+        observed.len(),
+        expected.len(),
+        "observed and expected must have the same number of bins"
+    );
+    observed
+        .iter()
+        .zip(expected)
+        .map(|(&o, &e)| {
+            assert!(e > 0.0, "expected counts must be positive, got {e}");
+            let diff = o as f64 - e;
+            diff * diff / e
+        })
+        .sum()
+}
+
 /// Approximate upper critical value of the chi-square distribution with `df`
 /// degrees of freedom at upper-tail probability `alpha`, via the
 /// Wilson–Hilferty cube transformation. Accurate to a fraction of a percent
@@ -93,6 +117,36 @@ mod tests {
             1002, 990, 1030, 981, 1005,
         ];
         assert!(uniformity_test(&obs, 0.001));
+    }
+
+    #[test]
+    fn against_uniform_expectation_matches_uniform_statistic() {
+        let obs = [8u64, 12, 9, 11];
+        let expected = [10.0; 4];
+        assert!(
+            (chi_square_statistic_against(&obs, &expected) - chi_square_statistic(&obs)).abs()
+                < 1e-12
+        );
+    }
+
+    #[test]
+    fn against_skewed_expectation_hand_computed() {
+        // bins (30, 70) against expectation (25, 75):
+        // 25/25 + 25/75 = 1 + 1/3.
+        let stat = chi_square_statistic_against(&[30, 70], &[25.0, 75.0]);
+        assert!((stat - (1.0 + 1.0 / 3.0)).abs() < 1e-12, "stat = {stat}");
+    }
+
+    #[test]
+    #[should_panic(expected = "same number of bins")]
+    fn against_rejects_length_mismatch() {
+        chi_square_statistic_against(&[1, 2], &[1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn against_rejects_nonpositive_expectation() {
+        chi_square_statistic_against(&[1, 2], &[1.0, 0.0]);
     }
 
     #[test]

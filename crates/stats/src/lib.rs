@@ -32,7 +32,9 @@ pub mod special;
 pub mod summary;
 
 pub use binomial::{binomial_pmf, binomial_tail_ge, ln_choose, majority_rounds};
-pub use chisq::{chi_square_critical, chi_square_statistic, uniformity_test};
+pub use chisq::{
+    chi_square_critical, chi_square_statistic, chi_square_statistic_against, uniformity_test,
+};
 pub use ecdf::Ecdf;
 pub use ks::{ks_critical, ks_same_distribution, ks_statistic};
 pub use normal::{d_for_delta, normal_cdf, normal_pdf, normal_quantile};

@@ -129,3 +129,47 @@ fn parallel_frame_fill_does_not_depend_on_thread_interleaving() {
         assert_eq!(run(), first);
     }
 }
+
+/// The batched word-level frame-fill kernel is an exact rewrite of the
+/// scalar path: for the same plan the busy frame and observed response
+/// count must be bit-identical, at any worker count. This is the
+/// two-run determinism audit required of every parallel kernel in the
+/// workspace (see DESIGN notes in `rfid_sim::parallel`).
+#[test]
+fn batched_bloom_fill_is_worker_count_invariant() {
+    use rfid_bfce_repro::bfce::{BfceConfig, BloomPlan};
+    use rfid_bfce_repro::sim::frame::{
+        response_counts_reference, response_fill_with_threads,
+    };
+    use rfid_bfce_repro::sim::Tag;
+
+    let cfg = BfceConfig::paper();
+    let mut world = StdRng::seed_from_u64(0xDE7E_0001);
+    let population = WorkloadSpec::T3.generate(40_000, &mut world);
+    let tags: Vec<Tag> = population.tags().to_vec();
+    let seeds = [0x0001_F00Du32, 0x0002_BEAD, 0x0003_C0DE];
+    let plan = BloomPlan::new(&cfg, &seeds, 307);
+
+    let counts = response_counts_reference(&tags, cfg.w, &plan, usize::MAX);
+    let scalar_prefix: u64 = counts.iter().map(|&c| u64::from(c)).sum();
+
+    let one = response_fill_with_threads(&tags, cfg.w, cfg.w, &plan, 1);
+    let four = response_fill_with_threads(&tags, cfg.w, cfg.w, &plan, 4);
+
+    // Batched output at 1 worker equals the scalar reference...
+    for (slot, &c) in counts.iter().enumerate() {
+        assert_eq!(
+            one.busy.get(slot),
+            c > 0,
+            "slot {slot}: batched busy diverges from scalar count {c}"
+        );
+    }
+    assert_eq!(one.prefix_responses, scalar_prefix);
+    // ...and the worker count never changes a single word.
+    assert_eq!(one.busy.words(), four.busy.words());
+    assert_eq!(one.prefix_responses, four.prefix_responses);
+    // Two runs at the same worker count are bit-identical too.
+    let four_again = response_fill_with_threads(&tags, cfg.w, cfg.w, &plan, 4);
+    assert_eq!(four.busy.words(), four_again.busy.words());
+    assert_eq!(four.prefix_responses, four_again.prefix_responses);
+}
