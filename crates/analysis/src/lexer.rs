@@ -1,0 +1,292 @@
+//! A token-level lexer over masked source.
+//!
+//! [`mask_source`](crate::mask::mask_source) blanks comments and literals
+//! (strings, chars) to spaces, so what remains is pure code plus
+//! whitespace. This module cuts that residue into a flat token stream —
+//! identifiers, integer and float literals, lifetimes, and punctuation —
+//! each token carrying its byte span and 1-based line. The scope tree
+//! ([`crate::scope`]) and the v2 rules are built on this stream instead of
+//! raw substring search, so a rule can ask "is this `assert!` nested inside
+//! a loop of a library `fn`?" rather than "does this line mention
+//! `assert!`?".
+//!
+//! The stream is *loss-free over code*: every non-whitespace byte of the
+//! masked text belongs to exactly one token, and [`reserialize`] rebuilds
+//! the masked text byte-for-byte. A property test in
+//! `tests/workspace_property.rs` holds that invariant over every Rust file
+//! in this repository, which pins the lexer and the masker to each other.
+
+/// What a token is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`fn`, `assert`, `counts`, …).
+    Ident,
+    /// An integer literal (`42`, `0xFF`, `1_000u64`).
+    Int,
+    /// A float literal (`1.0`, `2.5e3`, `7f64`).
+    Float,
+    /// A lifetime or loop label (`'a`, `'static`, `'outer`).
+    Lifetime,
+    /// Punctuation, with multi-byte operators (`::`, `==`, `>>=`) kept
+    /// whole.
+    Punct,
+}
+
+/// One token of the masked source.
+#[derive(Debug, Clone, Copy)]
+pub struct Token {
+    /// Classification.
+    pub kind: TokenKind,
+    /// Byte offset of the first byte, into the masked text.
+    pub start: usize,
+    /// Byte offset one past the last byte.
+    pub end: usize,
+    /// 1-based line of `start`.
+    pub line: usize,
+}
+
+impl Token {
+    /// The token's text, sliced out of the masked source it was lexed from.
+    pub fn text<'a>(&self, masked: &'a str) -> &'a str {
+        &masked[self.start..self.end]
+    }
+}
+
+/// Multi-byte operators, longest first so greedy matching is correct.
+const OPERATORS: &[&str] = &[
+    "<<=", ">>=", "..=", "...", "::", "->", "=>", "==", "!=", "<=", ">=",
+    "&&", "||", "<<", ">>", "+=", "-=", "*=", "/=", "^=", "|=", "&=", "%=",
+    "..",
+];
+
+/// Is `b` an identifier start byte? Non-ASCII bytes are treated as
+/// identifier material so that (rare) Unicode identifiers stay in one
+/// token and reserialization remains loss-free.
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+/// Is `b` an identifier continuation byte?
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Lex masked source into tokens. Whitespace separates tokens and is the
+/// only thing not covered by the stream.
+pub fn lex(masked: &str) -> Vec<Token> {
+    let b = masked.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    let mut line = 1;
+    while i < b.len() {
+        let c = b[i];
+        if c == b'\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c == b' ' || c == b'\t' || c == b'\r' {
+            i += 1;
+            continue;
+        }
+        let start = i;
+        let kind = if is_ident_start(c) {
+            i += 1;
+            while i < b.len() && is_ident_continue(b[i]) {
+                i += 1;
+            }
+            TokenKind::Ident
+        } else if c.is_ascii_digit() {
+            i = lex_number(b, i);
+            classify_number(&masked[start..i])
+        } else if c == b'\'' {
+            // Char literals are blanked by the masker, so a surviving
+            // apostrophe introduces a lifetime or loop label.
+            i += 1;
+            while i < b.len() && is_ident_continue(b[i]) {
+                i += 1;
+            }
+            if i == start + 1 {
+                TokenKind::Punct // stray quote (malformed source)
+            } else {
+                TokenKind::Lifetime
+            }
+        } else {
+            i = lex_punct(b, i);
+            TokenKind::Punct
+        };
+        tokens.push(Token {
+            kind,
+            start,
+            end: i,
+            line,
+        });
+    }
+    tokens
+}
+
+/// Consume a numeric literal starting at `i`; returns the end offset.
+///
+/// Handles radix prefixes (`0x`, `0o`, `0b`), digit separators, fraction
+/// parts, exponents (including the sign: `2.5e-3`), and type suffixes
+/// (`1u64`, `7f64`). A `.` is consumed only when followed by a digit, so
+/// `1..n` lexes as `1` `..` `n` and `1.max(2)` as `1` `.` `max`.
+fn lex_number(b: &[u8], mut i: usize) -> usize {
+    if b[i] == b'0' && i + 1 < b.len() && matches!(b[i + 1], b'x' | b'o' | b'b') {
+        i += 2;
+        while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+            i += 1;
+        }
+        return i;
+    }
+    while i < b.len() && (b[i].is_ascii_digit() || b[i] == b'_') {
+        i += 1;
+    }
+    if i + 1 < b.len() && b[i] == b'.' && b[i + 1].is_ascii_digit() {
+        i += 1;
+        while i < b.len() && (b[i].is_ascii_digit() || b[i] == b'_') {
+            i += 1;
+        }
+    }
+    if i < b.len() && (b[i] == b'e' || b[i] == b'E') {
+        let mut j = i + 1;
+        if j < b.len() && (b[j] == b'+' || b[j] == b'-') {
+            j += 1;
+        }
+        if j < b.len() && b[j].is_ascii_digit() {
+            i = j;
+            while i < b.len() && (b[i].is_ascii_digit() || b[i] == b'_') {
+                i += 1;
+            }
+        }
+    }
+    // Type suffix (`u64`, `f32`, `usize`) or the rest of an exponent-less
+    // suffix like `e` in `1e` (malformed; swallow for robustness).
+    while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+        i += 1;
+    }
+    i
+}
+
+/// Int or float, judged from the literal's own text.
+fn classify_number(text: &str) -> TokenKind {
+    if text.starts_with("0x") || text.starts_with("0o") || text.starts_with("0b") {
+        return TokenKind::Int;
+    }
+    let float = text.contains('.')
+        || text.ends_with("f32")
+        || text.ends_with("f64")
+        || text
+            .bytes()
+            .zip(text.bytes().skip(1))
+            .any(|(a, b)| (a == b'e' || a == b'E') && (b.is_ascii_digit() || b == b'+' || b == b'-'));
+    if float {
+        TokenKind::Float
+    } else {
+        TokenKind::Int
+    }
+}
+
+/// Consume one punctuation token starting at `i` (greedy over the
+/// multi-byte operator table); returns the end offset.
+fn lex_punct(b: &[u8], i: usize) -> usize {
+    for op in OPERATORS {
+        let end = i + op.len();
+        if end <= b.len() && &b[i..end] == op.as_bytes() {
+            return end;
+        }
+    }
+    i + 1
+}
+
+/// Rebuild the masked text from its token stream: whitespace skeleton plus
+/// every token's bytes at its span. Equality with the true masked text is
+/// the lexer/masker agreement invariant.
+pub fn reserialize(tokens: &[Token], masked: &str) -> Vec<u8> {
+    let mut out: Vec<u8> = masked
+        .bytes()
+        .map(|b| if b == b'\n' || b == b'\t' || b == b'\r' { b } else { b' ' })
+        .collect();
+    for t in tokens {
+        out[t.start..t.end].copy_from_slice(&masked.as_bytes()[t.start..t.end]);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src)
+            .into_iter()
+            .map(|t| (t.kind, t.text(src).to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn idents_numbers_and_puncts_split() {
+        let got = kinds("fn f(x: u64) -> u64 { x + 1 }");
+        let texts: Vec<&str> = got.iter().map(|(_, t)| t.as_str()).collect();
+        assert_eq!(
+            texts,
+            ["fn", "f", "(", "x", ":", "u64", ")", "->", "u64", "{", "x", "+", "1", "}"]
+        );
+        assert_eq!(got[0].0, TokenKind::Ident);
+        assert_eq!(got[7].0, TokenKind::Punct, "-> is one token");
+        assert_eq!(got[12].0, TokenKind::Int);
+    }
+
+    #[test]
+    fn float_literals_are_classified() {
+        for lit in ["1.0", "0.5", "2.5e3", "1e-9", "7f64", "3.25f32", "1_000.5"] {
+            let got = kinds(lit);
+            assert_eq!(got.len(), 1, "{lit} lexes as one token: {got:?}");
+            assert_eq!(got[0].0, TokenKind::Float, "{lit}");
+        }
+        for lit in ["1", "0xFF", "1_000", "42u64", "0b1010", "0o777"] {
+            let got = kinds(lit);
+            assert_eq!(got.len(), 1, "{lit}: {got:?}");
+            assert_eq!(got[0].0, TokenKind::Int, "{lit}");
+        }
+    }
+
+    #[test]
+    fn ranges_and_method_calls_on_ints_do_not_eat_the_dot() {
+        let texts: Vec<(TokenKind, String)> = kinds("1..n");
+        assert_eq!(texts[0], (TokenKind::Int, "1".into()));
+        assert_eq!(texts[1], (TokenKind::Punct, "..".into()));
+        let texts = kinds("1.max(2)");
+        assert_eq!(texts[0], (TokenKind::Int, "1".into()));
+        assert_eq!(texts[1], (TokenKind::Punct, ".".into()));
+        assert_eq!(texts[2], (TokenKind::Ident, "max".into()));
+    }
+
+    #[test]
+    fn lifetimes_lex_as_one_token() {
+        let got = kinds("fn f<'a>(x: &'a str) {}");
+        assert!(got.contains(&(TokenKind::Lifetime, "'a".to_string())), "{got:?}");
+    }
+
+    #[test]
+    fn multibyte_operators_stay_whole() {
+        let texts: Vec<String> = kinds("a >>= b..=c; d != e").into_iter().map(|(_, t)| t).collect();
+        assert!(texts.contains(&">>=".to_string()));
+        assert!(texts.contains(&"..=".to_string()));
+        assert!(texts.contains(&"!=".to_string()));
+    }
+
+    #[test]
+    fn lines_are_tracked() {
+        let toks = lex("a\nbb\n\nc");
+        let lines: Vec<usize> = toks.iter().map(|t| t.line).collect();
+        assert_eq!(lines, [1, 2, 4]);
+    }
+
+    #[test]
+    fn reserialization_is_exact() {
+        let src = "fn f<'a>(x: &'a [u64]) -> f64 {\n    x[0] as f64 * 2.5e-3\n}\n";
+        let toks = lex(src);
+        assert_eq!(reserialize(&toks, src), src.as_bytes());
+    }
+}

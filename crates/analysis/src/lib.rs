@@ -1,12 +1,19 @@
-//! # rfid-analysis — the workspace determinism linter
+//! # rfid-analysis — the workspace determinism linter, v2
 //!
 //! PR 2 made a hard promise: `RepeatedOutcome` is **bitwise identical** for
 //! `--jobs 1` and `--jobs N`. That promise rests on invariants no compiler
 //! checks — no wall-clock or OS entropy in library crates, sequential f64
-//! aggregation, stream-split seeding, panic-free hot paths. This crate is
-//! the enforcement layer: a dependency-free, token-level scanner with four
-//! workspace-specific rules, run as a blocking CI job next to
+//! aggregation, stream-split seeding, panic-free hot paths, numerically
+//! faithful estimator math. This crate is the enforcement layer: a
+//! dependency-free scanner, run as a blocking CI job next to
 //! `clippy -D warnings`.
+//!
+//! v2 rebuilt the engine from flat masked-line search into a real pipeline:
+//! [`mask`] blanks comments/literals byte-for-byte, [`lexer`] cuts the
+//! residue into spanned tokens, [`scope`] brace-matches them into a tree of
+//! `fn`/`impl`/`mod`/block scopes, and the rules in [`rules`] query that
+//! tree — so "an `assert!` nested in a loop" and "an `assert!` guarding a
+//! fn's preconditions" are different things.
 //!
 //! | Rule | What it catches |
 //! |------|-----------------|
@@ -14,35 +21,54 @@
 //! | `unwrap` | `.unwrap()` / `.expect(` outside tests, benches, and binaries |
 //! | `float-reduction` | `+=`/`sum()` over floats inside `par_fold`-family closures |
 //! | `seed-hygiene` | PRNGs seeded from literals or ad-hoc arithmetic instead of `stream_seed` |
+//! | `panic-path` | nested slice indexing / `assert!` families / `unchecked_*` in hot-path crates |
+//! | `float-sanity` | exact float `==`, `(1.0 - x).ln()`, epsilon-equality in estimator math |
+//! | `cast-truncation` | bare narrowing `as` casts on frame/slot/hash-width expressions |
+//! | `estimator-registry` | `impl CardinalityEstimator` types absent from the CLI registry or all tests |
+//! | `stale-allow` | suppressions (toml or inline) that suppress nothing |
 //!
-//! Suppressions live in `analysis.toml` at the workspace root and require a
-//! justification; stale entries are themselves findings. See `ANALYSIS.md`
-//! for the full contract.
+//! Suppressions: `analysis.toml` at the workspace root for file-level
+//! policy, or `// analysis:allow(rule): justification` inline (see
+//! [`suppress`]). Both demand a real justification and both rot loudly.
+//! Output: human text, `--format json`, or `--format sarif` for GitHub
+//! code-scanning annotations ([`output`]). See `ANALYSIS.md` for the full
+//! contract.
 //!
-//! The scanner is deliberately dependency-free (plain token/line scanning
-//! over masked source) so the CI job costs one tiny crate compile and no
-//! network access.
+//! The scanner is deliberately dependency-free so the CI job costs one tiny
+//! crate compile and no network access.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod allowlist;
+pub mod json;
+pub mod lexer;
 pub mod mask;
+pub mod output;
 pub mod rules;
+pub mod scope;
 pub mod source;
+pub mod suppress;
 
 pub use allowlist::{AllowEntry, Allowlist, MIN_JUSTIFICATION};
-pub use rules::{check_file, Finding, RuleId, DETERMINISM_CRATES};
+pub use output::{render_json, render_sarif, render_text};
+pub use rules::{
+    check_file, check_workspace_registry, Finding, RuleId, ALL_RULES, DETERMINISM_CRATES,
+    REGISTRY_PATH,
+};
 pub use source::{SourceFile, TargetKind};
 
 use std::fmt;
 use std::path::{Path, PathBuf};
 
-/// A scan failure (I/O or malformed allowlist).
+/// A scan failure (I/O, encoding, or malformed allowlist).
 #[derive(Debug)]
 pub enum Error {
     /// Reading a source file or directory failed.
     Io(PathBuf, std::io::Error),
+    /// A source file is not valid UTF-8; carries the offset of the first
+    /// invalid byte.
+    NotUtf8(PathBuf, usize),
     /// `analysis.toml` is malformed or an entry lacks justification.
     Allowlist(String),
 }
@@ -51,6 +77,12 @@ impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Error::Io(path, err) => write!(f, "{}: {err}", path.display()),
+            Error::NotUtf8(path, offset) => write!(
+                f,
+                "{}: not valid UTF-8 (first invalid byte at offset {offset}); \
+                 rfid-analysis scans UTF-8 Rust sources only",
+                path.display()
+            ),
             Error::Allowlist(msg) => f.write_str(msg),
         }
     }
@@ -61,12 +93,15 @@ impl std::error::Error for Error {}
 /// The outcome of scanning a workspace.
 #[derive(Debug)]
 pub struct Report {
-    /// Findings that survived the allowlist, sorted by path then line.
+    /// Findings that survived both suppression layers, sorted by path then
+    /// line.
     pub findings: Vec<Finding>,
-    /// Number of files scanned.
+    /// Number of rule-scanned files (`tests/` corpus files not included).
     pub files_scanned: usize,
     /// Findings suppressed by `analysis.toml`.
     pub suppressed: usize,
+    /// Findings suppressed by inline `// analysis:allow` comments.
+    pub suppressed_inline: usize,
 }
 
 impl Report {
@@ -92,35 +127,56 @@ pub fn scan_workspace(root: &Path) -> Result<Report, Error> {
 
 /// Scan the workspace rooted at `root` with an explicit allowlist.
 pub fn scan_workspace_with(root: &Path, allowlist: &Allowlist) -> Result<Report, Error> {
-    let mut findings = Vec::new();
-    let mut files_scanned = 0;
+    // 1. Load every rule-scanned source file.
+    let mut files = Vec::new();
     for (rel_path, crate_name) in source_roots(root)? {
         let dir = root.join(&rel_path);
-        let mut files = Vec::new();
-        collect_rust_files(&dir, &mut files)?;
-        files.sort();
-        for file in files {
-            let rel = relative_to(&file, root);
+        let mut paths = Vec::new();
+        collect_rust_files(&dir, &mut paths)?;
+        paths.sort();
+        for path in paths {
+            let rel = relative_to(&path, root);
             let kind = target_kind(&rel);
-            let text =
-                std::fs::read_to_string(&file).map_err(|e| Error::Io(file.clone(), e))?;
-            let source = SourceFile::new(&rel, &crate_name, kind, &text);
-            findings.extend(check_file(&source));
-            files_scanned += 1;
+            files.push(SourceFile::new(&rel, &crate_name, kind, &read_utf8(&path)?));
         }
     }
+    let files_scanned = files.len();
+
+    // 2. Per-file rules.
+    let mut findings: Vec<Finding> = files.iter().flat_map(check_file).collect();
+
+    // 3. The cross-file registry rule needs the integration-test corpus,
+    //    which the per-file rules deliberately never scan.
+    let tests = tests_corpus(root)?;
+    findings.extend(check_workspace_registry(&files, &tests));
+
     findings.sort_by(|a, b| a.path.cmp(&b.path).then(a.line.cmp(&b.line)));
-    let (findings, suppressed) = allowlist.apply(findings);
+
+    // 4. Suppression layers: inline allows first (closest to the code),
+    //    then analysis.toml. Each reports its own stale entries.
+    let (findings, suppressed_inline) = suppress::apply_inline(&files, findings);
+    let (mut findings, suppressed) = allowlist.apply(findings);
+    findings.sort_by(|a, b| a.path.cmp(&b.path).then(a.line.cmp(&b.line)));
     Ok(Report {
         findings,
         files_scanned,
         suppressed,
+        suppressed_inline,
     })
+}
+
+/// Read a file, failing with a clean [`Error::NotUtf8`] diagnostic (not a
+/// panic, not an opaque I/O error) when it is not UTF-8.
+fn read_utf8(path: &Path) -> Result<String, Error> {
+    let bytes = std::fs::read(path).map_err(|e| Error::Io(path.to_path_buf(), e))?;
+    String::from_utf8(bytes)
+        .map_err(|e| Error::NotUtf8(path.to_path_buf(), e.utf8_error().valid_up_to()))
 }
 
 /// The `src/` directories to scan: every `crates/*/src` plus the workspace
 /// root crate's `src/`. `tests/`, `benches/`, and `examples/` directories
-/// are exempt from every rule and therefore never scanned.
+/// are exempt from every per-file rule and therefore never rule-scanned
+/// (the registry rule reads `tests/` separately, via [`tests_corpus`]).
 fn source_roots(root: &Path) -> Result<Vec<(String, String)>, Error> {
     let mut roots = Vec::new();
     if root.join("src").is_dir() {
@@ -141,6 +197,43 @@ fn source_roots(root: &Path) -> Result<Vec<(String, String)>, Error> {
     }
     roots.sort();
     Ok(roots)
+}
+
+/// Load the integration-test corpus: `tests/**/*.rs` at the workspace root
+/// and under each crate. Only the `estimator-registry` rule reads these —
+/// as evidence of coverage, never as rule targets.
+fn tests_corpus(root: &Path) -> Result<Vec<SourceFile>, Error> {
+    let mut dirs = vec![(root.join("tests"), ".".to_string())];
+    let crates = root.join("crates");
+    if crates.is_dir() {
+        let entries =
+            std::fs::read_dir(&crates).map_err(|e| Error::Io(crates.clone(), e))?;
+        for entry in entries {
+            let entry = entry.map_err(|e| Error::Io(crates.clone(), e))?;
+            let name = entry.file_name().to_string_lossy().into_owned();
+            dirs.push((entry.path().join("tests"), name));
+        }
+    }
+    dirs.sort();
+    let mut corpus = Vec::new();
+    for (dir, crate_name) in dirs {
+        if !dir.is_dir() {
+            continue;
+        }
+        let mut paths = Vec::new();
+        collect_rust_files(&dir, &mut paths)?;
+        paths.sort();
+        for path in paths {
+            let rel = relative_to(&path, root);
+            corpus.push(SourceFile::new(
+                &rel,
+                &crate_name,
+                TargetKind::Bin, // test targets: rules never run on these
+                &read_utf8(&path)?,
+            ));
+        }
+    }
+    Ok(corpus)
 }
 
 /// Recursively collect `.rs` files under `dir`.

@@ -1,14 +1,17 @@
 //! `rfid-analysis` — run the workspace determinism lints.
 //!
 //! ```text
-//! cargo run -p rfid-analysis --              # scan the workspace, exit 1 on findings
-//! cargo run -p rfid-analysis -- --root DIR   # scan another tree (used by fixtures)
-//! cargo run -p rfid-analysis -- --list-rules # print the rule set
+//! cargo run -p rfid-analysis --                   # scan, exit 1 on findings
+//! cargo run -p rfid-analysis -- --root DIR        # scan another tree (fixtures)
+//! cargo run -p rfid-analysis -- --format sarif    # SARIF 2.1.0 to stdout (CI)
+//! cargo run -p rfid-analysis -- --explain unwrap  # rationale + compliant pattern
+//! cargo run -p rfid-analysis -- --list-rules      # print the rule set
 //! ```
 //!
-//! Exit codes: `0` clean, `1` findings reported, `2` usage or I/O error.
+//! Exit codes: `0` clean, `1` findings reported, `2` usage, I/O, or
+//! encoding error.
 
-use rfid_analysis::{scan_workspace, RuleId};
+use rfid_analysis::{render_json, render_sarif, render_text, scan_workspace, ALL_RULES};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -16,15 +19,26 @@ const USAGE: &str = "\
 rfid-analysis — workspace determinism linter (see ANALYSIS.md)
 
 USAGE:
-  rfid-analysis [--root DIR] [--list-rules]
+  rfid-analysis [--root DIR] [--format text|json|sarif] [--list-rules] [--explain RULE]
 
-  --root DIR    workspace root to scan (default: this workspace)
-  --list-rules  print the rule set and exit
+  --root DIR     workspace root to scan (default: this workspace)
+  --format KIND  output format: text (default), json, or sarif (SARIF 2.1.0)
+  --explain RULE print a rule's rationale and compliant pattern, then exit
+  --list-rules   print the rule set and exit
 ";
+
+/// Output format selected by `--format`.
+#[derive(Clone, Copy, PartialEq)]
+enum Format {
+    Text,
+    Json,
+    Sarif,
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut root: Option<PathBuf> = None;
+    let mut format = Format::Text;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -35,6 +49,29 @@ fn main() -> ExitCode {
                 };
                 root = Some(PathBuf::from(value));
                 i += 2;
+            }
+            "--format" => {
+                let Some(value) = args.get(i + 1) else {
+                    eprintln!("--format needs a value (text, json, or sarif)\n\n{USAGE}");
+                    return ExitCode::from(2);
+                };
+                format = match value.as_str() {
+                    "text" => Format::Text,
+                    "json" => Format::Json,
+                    "sarif" => Format::Sarif,
+                    other => {
+                        eprintln!("unknown format '{other}' (expected text, json, or sarif)");
+                        return ExitCode::from(2);
+                    }
+                };
+                i += 2;
+            }
+            "--explain" => {
+                let Some(value) = args.get(i + 1) else {
+                    eprintln!("--explain needs a rule name (see --list-rules)\n\n{USAGE}");
+                    return ExitCode::from(2);
+                };
+                return explain(value);
             }
             "--list-rules" => {
                 list_rules();
@@ -58,20 +95,21 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    for finding in &report.findings {
-        println!("{finding}");
+    match format {
+        Format::Text => print!("{}", render_text(&report)),
+        Format::Json => println!("{}", render_json(&report)),
+        Format::Sarif => println!("{}", render_sarif(&report)),
     }
-    let noun = if report.findings.len() == 1 {
-        "finding"
-    } else {
-        "findings"
-    };
-    println!(
-        "rfid-analysis: {} {noun}, {} suppressed, {} files scanned",
-        report.findings.len(),
-        report.suppressed,
-        report.files_scanned
-    );
+    if format != Format::Text {
+        // Keep stdout machine-pure; the human summary goes to stderr.
+        eprintln!(
+            "rfid-analysis: {} findings, {} suppressed ({} inline), {} files scanned",
+            report.findings.len(),
+            report.suppressed + report.suppressed_inline,
+            report.suppressed_inline,
+            report.files_scanned
+        );
+    }
     if report.is_clean() {
         ExitCode::SUCCESS
     } else {
@@ -97,26 +135,27 @@ fn default_root() -> PathBuf {
 }
 
 fn list_rules() {
-    for rule in [
-        RuleId::Nondeterminism,
-        RuleId::Unwrap,
-        RuleId::FloatReduction,
-        RuleId::SeedHygiene,
-        RuleId::StaleAllow,
-    ] {
-        let what = match rule {
-            RuleId::Nondeterminism => {
-                "wall-clock, OS entropy, or hash-order dependence in determinism-scoped library crates"
+    for rule in ALL_RULES {
+        println!("{:<19} {}", rule.name(), rule.summary());
+    }
+}
+
+/// `--explain RULE`: the long-form rationale. Accepts every rule name,
+/// including `stale-allow` (which `RuleId::from_name` deliberately rejects
+/// because it is not *suppressible* — it is still explainable).
+fn explain(name: &str) -> ExitCode {
+    match ALL_RULES.iter().find(|r| r.name() == name) {
+        Some(rule) => {
+            println!("{} — {}\n", rule.name(), rule.summary());
+            println!("{}", rule.explanation());
+            ExitCode::SUCCESS
+        }
+        None => {
+            eprintln!("unknown rule '{name}'; known rules:");
+            for rule in ALL_RULES {
+                eprintln!("  {}", rule.name());
             }
-            RuleId::Unwrap => ".unwrap() / .expect( outside tests, benches, and binaries",
-            RuleId::FloatReduction => {
-                "float accumulation inside par_fold / thread::scope closures (chunking-dependent results)"
-            }
-            RuleId::SeedHygiene => {
-                "PRNG seeded from a literal or ad-hoc arithmetic instead of rfid_hash::stream_seed"
-            }
-            RuleId::StaleAllow => "analysis.toml entry that suppresses nothing (not suppressible)",
-        };
-        println!("{:<16} {what}", rule.name());
+            ExitCode::from(2)
+        }
     }
 }

@@ -37,8 +37,19 @@ enum State {
 /// patterns, so it does not need to stay valid UTF-8 — callers treat it as
 /// bytes).
 pub fn mask_source(src: &str) -> Vec<u8> {
+    mask_source_with_comments(src).0
+}
+
+/// Like [`mask_source`], but also returns a parallel per-byte map marking
+/// which bytes belong to a *comment* (introducer included). Strings and
+/// char literals are masked but **not** marked — the map is how
+/// [`suppress`](crate::suppress) tells a real `// analysis:allow(…)`
+/// comment from a string literal or doc text that merely mentions the
+/// syntax.
+pub fn mask_source_with_comments(src: &str) -> (Vec<u8>, Vec<bool>) {
     let b = src.as_bytes();
     let mut out = b.to_vec();
+    let mut comment = vec![false; b.len()];
     let mut state = State::Code;
     let mut i = 0;
     while i < b.len() {
@@ -48,12 +59,16 @@ pub fn mask_source(src: &str) -> Vec<u8> {
                     b'/' if b.get(i + 1) == Some(&b'/') => {
                         out[i] = b' ';
                         out[i + 1] = b' ';
+                        comment[i] = true;
+                        comment[i + 1] = true;
                         i += 2;
                         state = State::LineComment;
                     }
                     b'/' if b.get(i + 1) == Some(&b'*') => {
                         out[i] = b' ';
                         out[i + 1] = b' ';
+                        comment[i] = true;
+                        comment[i + 1] = true;
                         i += 2;
                         state = State::BlockComment(1);
                     }
@@ -87,6 +102,7 @@ pub fn mask_source(src: &str) -> Vec<u8> {
                     state = State::Code;
                 } else {
                     out[i] = b' ';
+                    comment[i] = true;
                 }
                 i += 1;
             }
@@ -94,6 +110,8 @@ pub fn mask_source(src: &str) -> Vec<u8> {
                 if b[i] == b'*' && b.get(i + 1) == Some(&b'/') {
                     out[i] = b' ';
                     out[i + 1] = b' ';
+                    comment[i] = true;
+                    comment[i + 1] = true;
                     i += 2;
                     state = if depth == 1 {
                         State::Code
@@ -103,11 +121,14 @@ pub fn mask_source(src: &str) -> Vec<u8> {
                 } else if b[i] == b'/' && b.get(i + 1) == Some(&b'*') {
                     out[i] = b' ';
                     out[i + 1] = b' ';
+                    comment[i] = true;
+                    comment[i + 1] = true;
                     i += 2;
                     state = State::BlockComment(depth + 1);
                 } else {
                     if b[i] != b'\n' {
                         out[i] = b' ';
+                        comment[i] = true;
                     }
                     i += 1;
                 }
@@ -146,7 +167,7 @@ pub fn mask_source(src: &str) -> Vec<u8> {
             }
         }
     }
-    out
+    (out, comment)
 }
 
 /// Does a raw-string literal (`r"`, `r#"`, `br"`, …) start at `i`?
@@ -191,8 +212,11 @@ fn closes_raw_string(b: &[u8], i: usize, hashes: u32) -> bool {
 fn mask_char_literal(b: &[u8], out: &mut [u8], i: usize) -> usize {
     let mut j = i + 1;
     if b.get(j) == Some(&b'\\') {
-        // Escape: skip to the next unescaped quote (handles \u{…}).
-        j += 1;
+        // Escape: step over the backslash *and* the escaped byte before
+        // scanning for the closing quote — otherwise `'\''` stops at the
+        // escaped quote and leaves the real closer unmasked as a stray
+        // apostrophe (which then gets misread as a lifetime).
+        j += 2;
         while j < b.len() && b[j] != b'\'' {
             j += 1;
         }
@@ -304,6 +328,21 @@ mod tests {
         assert!(!m.contains("expect"));
         assert!(!m.contains("unwrap"));
         assert!(m.contains("tail"));
+    }
+
+    #[test]
+    fn comment_map_marks_comments_but_not_strings() {
+        let src = "let s = \"// not a comment\"; // real comment";
+        let (_, comment) = mask_source_with_comments(src);
+        let in_string = src.find("not").expect("test input");
+        let in_comment = src.find("real").expect("test input");
+        assert!(!comment[in_string], "string contents are not comments");
+        assert!(comment[in_comment], "line comment bytes are marked");
+        // The `//` introducer itself is part of the comment …
+        let introducer = src.rfind("//").expect("test input");
+        assert!(comment[introducer]);
+        // … but code bytes are not.
+        assert!(!comment[0]);
     }
 
     #[test]

@@ -1,0 +1,219 @@
+//! Report rendering: `text` (human terminals), `json` (scripting), and
+//! `sarif` (SARIF 2.1.0, consumed by GitHub code scanning to annotate PR
+//! diffs with the findings).
+//!
+//! All three are pure functions of a [`Report`], so the CLI can print one
+//! to stdout while CI archives another from the same scan.
+
+use crate::json::Value;
+use crate::rules::ALL_RULES;
+use crate::Report;
+
+/// The SARIF spec version emitted by [`render_sarif`].
+pub const SARIF_VERSION: &str = "2.1.0";
+
+/// The `$schema` URI stamped into SARIF output.
+pub const SARIF_SCHEMA: &str =
+    "https://json.schemastore.org/sarif-2.1.0.json";
+
+/// Render the human-readable report: one block per finding plus the
+/// summary line the CI log greps for.
+pub fn render_text(report: &Report) -> String {
+    let mut out = String::new();
+    for finding in &report.findings {
+        out.push_str(&finding.to_string());
+        out.push('\n');
+    }
+    let noun = if report.findings.len() == 1 {
+        "finding"
+    } else {
+        "findings"
+    };
+    out.push_str(&format!(
+        "rfid-analysis: {} {noun}, {} suppressed ({} inline), {} files scanned\n",
+        report.findings.len(),
+        report.suppressed + report.suppressed_inline,
+        report.suppressed_inline,
+        report.files_scanned
+    ));
+    out
+}
+
+/// Render the report as a single JSON document.
+pub fn render_json(report: &Report) -> String {
+    let findings = report
+        .findings
+        .iter()
+        .map(|f| {
+            Value::Obj(vec![
+                ("rule".into(), Value::str(f.rule.name())),
+                ("path".into(), Value::str(&f.path)),
+                ("line".into(), Value::int(f.line)),
+                ("message".into(), Value::str(&f.message)),
+                ("excerpt".into(), Value::str(&f.excerpt)),
+            ])
+        })
+        .collect();
+    Value::Obj(vec![
+        ("tool".into(), Value::str("rfid-analysis")),
+        ("clean".into(), Value::Bool(report.is_clean())),
+        ("files_scanned".into(), Value::int(report.files_scanned)),
+        ("suppressed".into(), Value::int(report.suppressed)),
+        ("suppressed_inline".into(), Value::int(report.suppressed_inline)),
+        ("findings".into(), Value::Arr(findings)),
+    ])
+    .write()
+}
+
+/// Render the report as a SARIF 2.1.0 log with one run. Every rule is
+/// declared in the tool descriptor (so code scanning can show rule help)
+/// and every finding becomes a `level: error` result with one physical
+/// location.
+pub fn render_sarif(report: &Report) -> String {
+    let rules = ALL_RULES
+        .iter()
+        .map(|r| {
+            Value::Obj(vec![
+                ("id".into(), Value::str(r.name())),
+                (
+                    "shortDescription".into(),
+                    Value::Obj(vec![("text".into(), Value::str(r.summary()))]),
+                ),
+                (
+                    "fullDescription".into(),
+                    Value::Obj(vec![("text".into(), Value::str(r.explanation()))]),
+                ),
+            ])
+        })
+        .collect();
+    let results = report
+        .findings
+        .iter()
+        .map(|f| {
+            Value::Obj(vec![
+                ("ruleId".into(), Value::str(f.rule.name())),
+                ("level".into(), Value::str("error")),
+                (
+                    "message".into(),
+                    Value::Obj(vec![(
+                        "text".into(),
+                        Value::str(format!("{} — {}", f.message, f.excerpt)),
+                    )]),
+                ),
+                (
+                    "locations".into(),
+                    Value::Arr(vec![Value::Obj(vec![(
+                        "physicalLocation".into(),
+                        Value::Obj(vec![
+                            (
+                                "artifactLocation".into(),
+                                Value::Obj(vec![
+                                    ("uri".into(), Value::str(&f.path)),
+                                    ("uriBaseId".into(), Value::str("SRCROOT")),
+                                ]),
+                            ),
+                            (
+                                "region".into(),
+                                Value::Obj(vec![(
+                                    "startLine".into(),
+                                    Value::int(f.line.max(1)),
+                                )]),
+                            ),
+                        ]),
+                    )])]),
+                ),
+            ])
+        })
+        .collect();
+    let run = Value::Obj(vec![
+        (
+            "tool".into(),
+            Value::Obj(vec![(
+                "driver".into(),
+                Value::Obj(vec![
+                    ("name".into(), Value::str("rfid-analysis")),
+                    ("rules".into(), Value::Arr(rules)),
+                ]),
+            )]),
+        ),
+        (
+            "originalUriBaseIds".into(),
+            Value::Obj(vec![(
+                "SRCROOT".into(),
+                Value::Obj(vec![("uri".into(), Value::str("file:///"))]),
+            )]),
+        ),
+        ("results".into(), Value::Arr(results)),
+    ]);
+    Value::Obj(vec![
+        ("$schema".into(), Value::str(SARIF_SCHEMA)),
+        ("version".into(), Value::str(SARIF_VERSION)),
+        ("runs".into(), Value::Arr(vec![run])),
+    ])
+    .write()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::{Finding, RuleId};
+
+    fn report() -> Report {
+        Report {
+            findings: vec![Finding {
+                rule: RuleId::Unwrap,
+                path: "crates/sim/src/lib.rs".into(),
+                line: 7,
+                message: ".unwrap() in library code".into(),
+                excerpt: "x.unwrap()".into(),
+            }],
+            files_scanned: 3,
+            suppressed: 2,
+            suppressed_inline: 1,
+        }
+    }
+
+    #[test]
+    fn text_report_carries_findings_and_summary() {
+        let text = render_text(&report());
+        assert!(text.contains("crates/sim/src/lib.rs:7: [unwrap]"), "{text}");
+        assert!(text.contains("1 finding, 3 suppressed (1 inline), 3 files scanned"), "{text}");
+    }
+
+    #[test]
+    fn json_report_parses_back_and_carries_the_finding() {
+        let doc = Value::parse(&render_json(&report())).expect("valid JSON");
+        assert_eq!(doc.get("clean"), Some(&Value::Bool(false)));
+        let findings = doc.get("findings").and_then(Value::as_arr).expect("array");
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].get("rule").and_then(Value::as_str), Some("unwrap"));
+        assert_eq!(findings[0].get("line").and_then(Value::as_num), Some(7.0));
+    }
+
+    #[test]
+    fn sarif_report_has_the_2_1_0_skeleton() {
+        let doc = Value::parse(&render_sarif(&report())).expect("valid JSON");
+        assert_eq!(doc.get("version").and_then(Value::as_str), Some(SARIF_VERSION));
+        let runs = doc.get("runs").and_then(Value::as_arr).expect("runs");
+        assert_eq!(runs.len(), 1);
+        let driver = runs[0]
+            .get("tool")
+            .and_then(|t| t.get("driver"))
+            .expect("driver");
+        assert_eq!(driver.get("name").and_then(Value::as_str), Some("rfid-analysis"));
+        let rules = driver.get("rules").and_then(Value::as_arr).expect("rules");
+        assert_eq!(rules.len(), ALL_RULES.len(), "every rule is declared");
+        let results = runs[0].get("results").and_then(Value::as_arr).expect("results");
+        let loc = results[0].get("locations").and_then(Value::as_arr).expect("locations")[0]
+            .get("physicalLocation")
+            .expect("physicalLocation");
+        assert_eq!(
+            loc.get("artifactLocation").and_then(|a| a.get("uri")).and_then(Value::as_str),
+            Some("crates/sim/src/lib.rs")
+        );
+        assert_eq!(
+            loc.get("region").and_then(|r| r.get("startLine")).and_then(Value::as_num),
+            Some(7.0)
+        );
+    }
+}

@@ -1,134 +1,14 @@
-//! The lint rules and the findings they produce.
-//!
-//! Each rule protects one leg of the workspace's determinism contract (see
-//! `ANALYSIS.md` at the workspace root). Rules operate on a prepared
-//! [`SourceFile`]: masked text for pattern matching, original text for
-//! excerpts, and `#[cfg(test)]` regions excluded throughout — tests may
-//! use wall clocks, `unwrap`, and ad-hoc seeds freely.
+//! The four original determinism rules: nondeterministic inputs, library
+//! unwraps, float reduction in parallel folds, and seed hygiene.
 
+use super::{is_determinism_scope, push, Finding, RuleId};
 use crate::source::{SourceFile, TargetKind};
-use std::fmt;
 
-/// The crates whose **library targets** carry the determinism contract
-/// (rules [`RuleId::Nondeterminism`], [`RuleId::FloatReduction`], and
-/// [`RuleId::SeedHygiene`]). `cli` and `bench` are deliberately absent:
-/// the CLI is user-facing glue and the bench harness measures wall-clock
-/// time by design. `"."` is the workspace-root facade crate.
-pub const DETERMINISM_CRATES: &[&str] = &[
-    ".",
-    "stats",
-    "hash",
-    "sim",
-    "workloads",
-    "core",
-    "baselines",
-    "experiments",
-];
-
-/// Identifies one lint rule.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum RuleId {
-    /// Wall-clock, OS entropy, or hash-order dependence in library code.
-    Nondeterminism,
-    /// `unwrap()` / `expect(` outside tests, benches, and binaries.
-    Unwrap,
-    /// Floating-point reduction inside a parallel fold closure.
-    FloatReduction,
-    /// PRNG seeded from a literal or ad-hoc arithmetic instead of
-    /// `stream_seed`.
-    SeedHygiene,
-    /// An `analysis.toml` entry that suppressed nothing.
-    StaleAllow,
-}
-
-impl RuleId {
-    /// The stable name used in reports and `analysis.toml` (`rule = "…"`).
-    pub fn name(self) -> &'static str {
-        match self {
-            RuleId::Nondeterminism => "nondeterminism",
-            RuleId::Unwrap => "unwrap",
-            RuleId::FloatReduction => "float-reduction",
-            RuleId::SeedHygiene => "seed-hygiene",
-            RuleId::StaleAllow => "stale-allow",
-        }
-    }
-
-    /// Parse a rule name from `analysis.toml`. [`RuleId::StaleAllow`] is
-    /// not suppressible, so it is not accepted here.
-    pub fn from_name(name: &str) -> Option<Self> {
-        match name {
-            "nondeterminism" => Some(RuleId::Nondeterminism),
-            "unwrap" => Some(RuleId::Unwrap),
-            "float-reduction" => Some(RuleId::FloatReduction),
-            "seed-hygiene" => Some(RuleId::SeedHygiene),
-            _ => None,
-        }
-    }
-}
-
-impl fmt::Display for RuleId {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(self.name())
-    }
-}
-
-/// One reported violation.
-#[derive(Debug, Clone)]
-pub struct Finding {
-    /// Which rule fired.
-    pub rule: RuleId,
-    /// Workspace-relative path.
-    pub path: String,
-    /// 1-based line number.
-    pub line: usize,
-    /// Human-readable explanation.
-    pub message: String,
-    /// The offending source line, trimmed.
-    pub excerpt: String,
-}
-
-impl fmt::Display for Finding {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "{}:{}: [{}] {}\n    {}",
-            self.path, self.line, self.rule, self.message, self.excerpt
-        )
-    }
-}
-
-/// Run every rule over one file.
-pub fn check_file(file: &SourceFile) -> Vec<Finding> {
-    let mut findings = Vec::new();
-    check_nondeterminism(file, &mut findings);
-    check_unwrap(file, &mut findings);
-    check_float_reduction(file, &mut findings);
-    check_seed_hygiene(file, &mut findings);
-    findings.sort_by_key(|f| f.line);
-    findings
-}
-
-/// Does this file carry the determinism contract (rules 1, 3, 4)?
-fn is_determinism_scope(file: &SourceFile) -> bool {
-    file.kind == TargetKind::Lib
-        && DETERMINISM_CRATES.contains(&file.crate_name.as_str())
-}
-
-fn push(findings: &mut Vec<Finding>, file: &SourceFile, rule: RuleId, line: usize, message: String) {
-    findings.push(Finding {
-        rule,
-        path: file.rel_path.clone(),
-        line,
-        message,
-        excerpt: file.line(line).trim().to_string(),
-    });
-}
-
-/// Rule 1 — nondeterministic inputs in library code: wall clocks
+/// Rule — nondeterministic inputs in library code: wall clocks
 /// (`Instant::now`, `SystemTime`), OS entropy (`thread_rng`,
 /// `rand::random`), and hash-ordered collections (`HashMap`/`HashSet`,
 /// whose iteration order varies per process thanks to `RandomState`).
-fn check_nondeterminism(file: &SourceFile, findings: &mut Vec<Finding>) {
+pub(super) fn check_nondeterminism(file: &SourceFile, findings: &mut Vec<Finding>) {
     if !is_determinism_scope(file) {
         return;
     }
@@ -153,10 +33,10 @@ fn check_nondeterminism(file: &SourceFile, findings: &mut Vec<Finding>) {
     }
 }
 
-/// Rule 2 — `unwrap()` / `expect(` outside tests, benches, and binaries.
+/// Rule — `unwrap()` / `expect(` outside tests, benches, and binaries.
 /// A panic in a library crate tears down a whole Monte-Carlo run; hot
 /// paths must return errors (or restructure so the failure is impossible).
-fn check_unwrap(file: &SourceFile, findings: &mut Vec<Finding>) {
+pub(super) fn check_unwrap(file: &SourceFile, findings: &mut Vec<Finding>) {
     if file.kind == TargetKind::Bin {
         return;
     }
@@ -181,13 +61,13 @@ fn check_unwrap(file: &SourceFile, findings: &mut Vec<Finding>) {
     }
 }
 
-/// Rule 3 — floating-point accumulation inside a parallel fold closure.
+/// Rule — floating-point accumulation inside a parallel fold closure.
 /// f64 addition is not associative, so `+=`/`sum()` over floats inside
 /// `par_fold`-family closures makes the result depend on chunking. The
 /// deterministic pattern (PR 2): collect per-item records in the fold and
 /// do one **sequential** Welford/percentile pass over the merged,
 /// trial-ordered list.
-fn check_float_reduction(file: &SourceFile, findings: &mut Vec<Finding>) {
+pub(super) fn check_float_reduction(file: &SourceFile, findings: &mut Vec<Finding>) {
     if !is_determinism_scope(file) {
         return;
     }
@@ -235,12 +115,12 @@ fn has_float_literal(masked: &str) -> bool {
     })
 }
 
-/// Rule 4 — seed hygiene: a PRNG constructed from an integer literal or
+/// Rule — seed hygiene: a PRNG constructed from an integer literal or
 /// from ad-hoc seed arithmetic (`seed + i`, `seed ^ 0xABCD`) instead of
 /// `stream_seed`. Affine seed schedules correlate "independent" streams
 /// (the PR 2 bug class); `stream_seed` routes every derivation through a
 /// full-avalanche mix.
-fn check_seed_hygiene(file: &SourceFile, findings: &mut Vec<Finding>) {
+pub(super) fn check_seed_hygiene(file: &SourceFile, findings: &mut Vec<Finding>) {
     if !is_determinism_scope(file) {
         return;
     }
@@ -321,16 +201,9 @@ fn seed_argument_problem(arg: &str) -> Option<&'static str> {
 
 #[cfg(test)]
 mod tests {
-    use super::*;
-    use crate::source::SourceFile;
-
-    fn lib_file(text: &str) -> SourceFile {
-        SourceFile::new("crates/sim/src/demo.rs", "sim", TargetKind::Lib, text)
-    }
-
-    fn rules_fired(text: &str) -> Vec<RuleId> {
-        check_file(&lib_file(text)).into_iter().map(|f| f.rule).collect()
-    }
+    use super::super::tests::rules_fired;
+    use super::super::{check_file, RuleId};
+    use crate::source::{SourceFile, TargetKind};
 
     #[test]
     fn clean_code_has_no_findings() {
@@ -415,7 +288,7 @@ fn f(items: &[u64]) -> u64 {
     #[test]
     fn stream_seed_and_passthrough_seeds_are_fine() {
         assert!(rules_fired("fn f(seed: u64, i: u64) { let r = SplitMix64::new(stream_seed(seed, i)); }\n").is_empty());
-        assert!(rules_fired("fn f(seed: u64) { let r = SplitMix64::new(seed); }\n").is_empty());
+        assert!(rules_fired("fn f(seed: u64) { let r = SplitMix64::new(seed).next_u64(); }\n").is_empty());
         assert!(rules_fired("fn f(ctx: &Ctx) { let r = StdRng::seed_from_u64(ctx.seed); }\n").is_empty());
     }
 
@@ -427,19 +300,7 @@ fn f(items: &[u64]) -> u64 {
             TargetKind::Lib,
             "fn f() { let t = Instant::now(); let r = SplitMix64::new(1); }\n",
         );
-        // Only rule 2 applies to bench; no unwraps here, so clean.
+        // Only the unwrap rule applies to bench; no unwraps here, so clean.
         assert!(check_file(&f).is_empty());
-    }
-
-    #[test]
-    fn findings_carry_path_line_and_excerpt() {
-        let text = "fn ok() {}\nfn f(x: Option<u8>) -> u8 { x.unwrap() }\n";
-        let found = check_file(&lib_file(text));
-        assert_eq!(found.len(), 1);
-        assert_eq!(found[0].path, "crates/sim/src/demo.rs");
-        assert_eq!(found[0].line, 2);
-        assert!(found[0].excerpt.contains("x.unwrap()"));
-        let rendered = found[0].to_string();
-        assert!(rendered.starts_with("crates/sim/src/demo.rs:2: [unwrap]"), "{rendered}");
     }
 }

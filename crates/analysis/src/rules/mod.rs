@@ -1,0 +1,363 @@
+//! The lint rules and the findings they produce.
+//!
+//! Each rule protects one leg of the workspace's correctness contract (see
+//! `ANALYSIS.md` at the workspace root): bitwise-deterministic parallel
+//! experiments, panic-free library hot paths, and numerically faithful
+//! float code. Rules operate on a prepared [`SourceFile`]: masked text and
+//! a token stream for pattern matching, a scope tree for "where am I"
+//! questions, original text for excerpts, and `#[cfg(test)]` regions
+//! excluded throughout — tests may use wall clocks, `unwrap`, exact float
+//! comparison, and ad-hoc seeds freely.
+
+mod determinism;
+mod numeric;
+mod panic_path;
+mod registry;
+
+pub use registry::{check_workspace_registry, REGISTRY_PATH};
+
+use crate::source::{SourceFile, TargetKind};
+use std::fmt;
+
+/// The crates whose **library targets** carry the determinism contract
+/// (rules [`RuleId::Nondeterminism`], [`RuleId::FloatReduction`], and
+/// [`RuleId::SeedHygiene`]). `cli` and `bench` are deliberately absent:
+/// the CLI is user-facing glue and the bench harness measures wall-clock
+/// time by design. `"."` is the workspace-root facade crate.
+pub const DETERMINISM_CRATES: &[&str] = &[
+    ".",
+    "stats",
+    "hash",
+    "sim",
+    "workloads",
+    "core",
+    "baselines",
+    "experiments",
+];
+
+/// The crates whose library targets carry the panic-freedom contract
+/// ([`RuleId::PanicPath`]): the estimator/simulator hot paths that run
+/// inside million-trial Monte-Carlo loops. `experiments` is exempt — its
+/// lib modules render figure tables from already-aggregated data, where a
+/// loud panic beats a silently wrong CSV (its engine's preconditions are
+/// top-level guards, which the rule permits anyway).
+pub const PANIC_PATH_CRATES: &[&str] =
+    &[".", "stats", "hash", "sim", "workloads", "core", "baselines"];
+
+/// The crates [`RuleId::FloatSanity`] watches: where the paper's
+/// estimator math and its statistical validation live.
+pub const FLOAT_SANITY_CRATES: &[&str] = &["stats", "baselines"];
+
+/// The crates [`RuleId::CastTruncation`] watches: where frame/slot
+/// indices and hash words are narrowed.
+pub const CAST_TRUNCATION_CRATES: &[&str] = &["sim", "hash"];
+
+/// Identifies one lint rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RuleId {
+    /// Wall-clock, OS entropy, or hash-order dependence in library code.
+    Nondeterminism,
+    /// `unwrap()` / `expect(` outside tests, benches, and binaries.
+    Unwrap,
+    /// Floating-point reduction inside a parallel fold closure.
+    FloatReduction,
+    /// PRNG seeded from a literal or ad-hoc arithmetic instead of
+    /// `stream_seed`.
+    SeedHygiene,
+    /// Panic surface (slice indexing, `panic!`/`assert!` families,
+    /// `unchecked_*` arithmetic) nested inside library hot paths.
+    PanicPath,
+    /// Fragile float idioms: exact `==`/`!=` against float literals,
+    /// `(1.0 - x).ln()` instead of `ln_1p`, machine-epsilon equality.
+    FloatSanity,
+    /// Narrowing `as` casts on frame/slot-width expressions.
+    CastTruncation,
+    /// An `impl CardinalityEstimator` type missing from the CLI registry
+    /// or from every integration test.
+    EstimatorRegistry,
+    /// A suppression (in `analysis.toml` or inline) that suppressed
+    /// nothing, or a malformed inline suppression.
+    StaleAllow,
+}
+
+/// Every rule, in the canonical reporting order.
+pub const ALL_RULES: &[RuleId] = &[
+    RuleId::Nondeterminism,
+    RuleId::Unwrap,
+    RuleId::FloatReduction,
+    RuleId::SeedHygiene,
+    RuleId::PanicPath,
+    RuleId::FloatSanity,
+    RuleId::CastTruncation,
+    RuleId::EstimatorRegistry,
+    RuleId::StaleAllow,
+];
+
+impl RuleId {
+    /// The stable name used in reports, `analysis.toml`, and inline
+    /// `// analysis:allow(…)` comments.
+    pub fn name(self) -> &'static str {
+        match self {
+            RuleId::Nondeterminism => "nondeterminism",
+            RuleId::Unwrap => "unwrap",
+            RuleId::FloatReduction => "float-reduction",
+            RuleId::SeedHygiene => "seed-hygiene",
+            RuleId::PanicPath => "panic-path",
+            RuleId::FloatSanity => "float-sanity",
+            RuleId::CastTruncation => "cast-truncation",
+            RuleId::EstimatorRegistry => "estimator-registry",
+            RuleId::StaleAllow => "stale-allow",
+        }
+    }
+
+    /// Parse a rule name from `analysis.toml` or an inline suppression.
+    /// [`RuleId::StaleAllow`] is not suppressible, so it is not accepted
+    /// here.
+    pub fn from_name(name: &str) -> Option<Self> {
+        ALL_RULES
+            .iter()
+            .copied()
+            .filter(|r| *r != RuleId::StaleAllow)
+            .find(|r| r.name() == name)
+    }
+
+    /// One-line summary for `--list-rules` and the SARIF rule table.
+    pub fn summary(self) -> &'static str {
+        match self {
+            RuleId::Nondeterminism => {
+                "wall-clock, OS entropy, or hash-order dependence in determinism-scoped library crates"
+            }
+            RuleId::Unwrap => ".unwrap() / .expect( outside tests, benches, and binaries",
+            RuleId::FloatReduction => {
+                "float accumulation inside par_fold / thread::scope closures (chunking-dependent results)"
+            }
+            RuleId::SeedHygiene => {
+                "PRNG seeded from a literal or ad-hoc arithmetic instead of rfid_hash::stream_seed"
+            }
+            RuleId::PanicPath => {
+                "slice indexing, assert!/panic! families, or unchecked_* arithmetic nested inside library hot-path fns"
+            }
+            RuleId::FloatSanity => {
+                "exact float equality, (1.0 - x).ln() instead of ln_1p, or machine-epsilon comparison in estimator math"
+            }
+            RuleId::CastTruncation => {
+                "narrowing `as u8/u16/u32` cast on a frame/slot-width expression without a visible truncation guard"
+            }
+            RuleId::EstimatorRegistry => {
+                "an `impl CardinalityEstimator` type absent from the CLI registry or from every tests/ file"
+            }
+            RuleId::StaleAllow => {
+                "a suppression (analysis.toml or inline) that suppresses nothing, or a malformed inline allow"
+            }
+        }
+    }
+
+    /// Long-form rationale and the canonical compliant pattern, for
+    /// `--explain`.
+    pub fn explanation(self) -> &'static str {
+        match self {
+            RuleId::Nondeterminism => {
+                "Library crates promise bitwise-identical results at any worker count.\n\
+                 Wall clocks (Instant::now, SystemTime), OS entropy (thread_rng,\n\
+                 rand::random), and RandomState-ordered collections (HashMap/HashSet)\n\
+                 all leak scheduling or process state into results.\n\n\
+                 Compliant pattern:\n\
+                     // time: derive from the simulation clock / AirTime ledger\n\
+                     // rng:  SplitMix64::new(rfid_hash::stream_seed(seed, stream))\n\
+                     // maps: BTreeMap / BTreeSet, or sort before iterating"
+            }
+            RuleId::Unwrap => {
+                "A panic in a library crate tears down a whole Monte-Carlo run and\n\
+                 poisons the worker pool. Binaries and tests may unwrap freely.\n\n\
+                 Compliant pattern:\n\
+                     let v = map.get(&k).ok_or(Error::Missing(k))?;\n\
+                     // or restructure so the failure is impossible, and say why"
+            }
+            RuleId::FloatReduction => {
+                "f64 addition is not associative, so `+=`/`sum()` over floats inside\n\
+                 par_fold-family closures makes results depend on chunk boundaries.\n\n\
+                 Compliant pattern (PR 2):\n\
+                     collect per-item records in the fold, then do one sequential\n\
+                     Welford/percentile pass over the merged, trial-ordered list"
+            }
+            RuleId::SeedHygiene => {
+                "Affine seed schedules (seed + i, seed ^ CONST) correlate\n\
+                 \"independent\" streams — the PR 2 bug class. Literal seeds hide\n\
+                 replay coupling.\n\n\
+                 Compliant pattern:\n\
+                     SplitMix64::new(rfid_hash::stream_seed(master, stream_index))"
+            }
+            RuleId::PanicPath => {
+                "Estimator and simulator fns run millions of times per experiment; a\n\
+                 panic deep in a loop or closure aborts the whole run far from the\n\
+                 bad input. Top-level precondition guards (first statements of a fn\n\
+                 body) are allowed — they fail fast at the call boundary. Nested\n\
+                 slice indexing, assert!/assert_eq!/assert_ne!, panic!/unreachable!/\n\
+                 todo!/unimplemented!, and .unchecked_* arithmetic are findings;\n\
+                 debug_assert! is always exempt.\n\n\
+                 Compliant pattern:\n\
+                     xs.get(i) / iterators instead of xs[i] in loops;\n\
+                     debug_assert! for internal invariants;\n\
+                     hoist input validation to top-of-fn guards"
+            }
+            RuleId::FloatSanity => {
+                "BFCE's (epsilon, delta) guarantee rests on float code that stays\n\
+                 faithful near boundaries. `x == 0.0` on computed values is\n\
+                 false-negative-prone; `(1.0 - x).ln()` loses all precision as\n\
+                 x -> 0 (catastrophic cancellation); `.abs() < f64::EPSILON` is an\n\
+                 equality test in disguise (fails for any value above ~2).\n\n\
+                 Compliant pattern:\n\
+                     (-x).ln_1p()            // instead of (1.0 - x).ln()\n\
+                     a.total_cmp(&b)         // for ordering/equality decisions\n\
+                     (a - b).abs() <= tol * a.abs().max(b.abs())  // relative tol\n\
+                 Exact sentinel checks against literals a caller passed verbatim\n\
+                 are fine — suppress with a justification saying so."
+            }
+            RuleId::CastTruncation => {
+                "Frame and slot widths flow through u64 hash words; a bare\n\
+                 `as u32`/`as u16`/`as u8` silently truncates if a wider value ever\n\
+                 reaches it (the paper's frames already use w = 8192 slots; scaled\n\
+                 deployments go far higher). Casts whose receiver visibly shifts\n\
+                 away the high bits (`(x >> 32) as u32`) are exempt.\n\n\
+                 Compliant pattern:\n\
+                     u32::from(narrower)      // lossless widening\n\
+                     u32::try_from(x)?        // checked narrowing\n\
+                     (x >> 32) as u32         // explicit truncation guard"
+            }
+            RuleId::EstimatorRegistry => {
+                "Every `impl CardinalityEstimator for X` must be reachable from the\n\
+                 CLI (crates/cli/src/commands.rs, make_estimator) and exercised by\n\
+                 at least one integration test under a tests/ directory — otherwise\n\
+                 an estimator can silently rot out of the comparison figures.\n\n\
+                 Compliant pattern:\n\
+                     add a `\"name\" => Some(Box::new(X::default()))` registry arm\n\
+                     and mention X in a tests/ file (smoke-construct it at least)"
+            }
+            RuleId::StaleAllow => {
+                "Suppressions are debt: each one must keep suppressing a real\n\
+                 finding, or it gets flagged so the file shrinks as the tree gets\n\
+                 cleaner. Malformed inline allows (unknown rule, justification\n\
+                 under 15 chars) are reported rather than silently ignored.\n\n\
+                 Compliant pattern:\n\
+                     // analysis:allow(panic-path): index provably < w, asserted at entry\n\
+                 Not suppressible — delete or fix the stale entry instead."
+            }
+        }
+    }
+}
+
+impl fmt::Display for RuleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One reported violation.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Which rule fired.
+    pub rule: RuleId,
+    /// Workspace-relative path.
+    pub path: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Human-readable explanation.
+    pub message: String,
+    /// The offending source line, trimmed.
+    pub excerpt: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}\n    {}",
+            self.path, self.line, self.rule, self.message, self.excerpt
+        )
+    }
+}
+
+/// Run every per-file rule over one file. (The cross-file
+/// [`RuleId::EstimatorRegistry`] check runs at workspace level; see
+/// [`check_workspace_registry`].)
+pub fn check_file(file: &SourceFile) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    determinism::check_nondeterminism(file, &mut findings);
+    determinism::check_unwrap(file, &mut findings);
+    determinism::check_float_reduction(file, &mut findings);
+    determinism::check_seed_hygiene(file, &mut findings);
+    panic_path::check(file, &mut findings);
+    numeric::check_float_sanity(file, &mut findings);
+    numeric::check_cast_truncation(file, &mut findings);
+    findings.sort_by_key(|f| f.line);
+    findings
+}
+
+/// Does this file carry the determinism contract (nondeterminism,
+/// float-reduction, seed-hygiene)?
+pub(crate) fn is_determinism_scope(file: &SourceFile) -> bool {
+    file.kind == TargetKind::Lib
+        && DETERMINISM_CRATES.contains(&file.crate_name.as_str())
+}
+
+/// Append a finding for `file` at `line`.
+pub(crate) fn push(
+    findings: &mut Vec<Finding>,
+    file: &SourceFile,
+    rule: RuleId,
+    line: usize,
+    message: String,
+) {
+    findings.push(Finding {
+        rule,
+        path: file.rel_path.clone(),
+        line,
+        message,
+        excerpt: file.line(line).trim().to_string(),
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::SourceFile;
+
+    pub(crate) fn lib_file(text: &str) -> SourceFile {
+        SourceFile::new("crates/sim/src/demo.rs", "sim", TargetKind::Lib, text)
+    }
+
+    pub(crate) fn rules_fired(text: &str) -> Vec<RuleId> {
+        check_file(&lib_file(text)).into_iter().map(|f| f.rule).collect()
+    }
+
+    #[test]
+    fn rule_names_round_trip() {
+        for rule in ALL_RULES {
+            if *rule == RuleId::StaleAllow {
+                assert!(RuleId::from_name(rule.name()).is_none());
+            } else {
+                assert_eq!(RuleId::from_name(rule.name()), Some(*rule));
+            }
+        }
+    }
+
+    #[test]
+    fn findings_carry_path_line_and_excerpt() {
+        let text = "fn ok() {}\nfn f(x: Option<u8>) -> u8 { x.unwrap() }\n";
+        let found = check_file(&lib_file(text));
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].path, "crates/sim/src/demo.rs");
+        assert_eq!(found[0].line, 2);
+        assert!(found[0].excerpt.contains("x.unwrap()"));
+        let rendered = found[0].to_string();
+        assert!(rendered.starts_with("crates/sim/src/demo.rs:2: [unwrap]"), "{rendered}");
+    }
+
+    #[test]
+    fn every_rule_has_an_explanation_and_summary() {
+        for rule in ALL_RULES {
+            assert!(!rule.summary().is_empty());
+            assert!(rule.explanation().len() > 40, "{rule} explanation too thin");
+        }
+    }
+}

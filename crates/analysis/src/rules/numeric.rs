@@ -1,0 +1,316 @@
+//! Rules `float-sanity` and `cast-truncation`: numeric faithfulness.
+//!
+//! `float-sanity` watches the estimator-math crates for idioms that are
+//! exact-precision traps: `==`/`!=` against float literals, the
+//! catastrophic-cancellation pattern `(1.0 - x).ln()` (use `ln_1p`), and
+//! machine-epsilon "equality" (`.abs() < f64::EPSILON`, which is just `==`
+//! in disguise for values above ~2).
+//!
+//! `cast-truncation` watches the frame/hash crates for bare narrowing
+//! casts (`as u8`/`u16`/`u32`): frame and slot widths flow through u64
+//! hash words, and a bare cast silently truncates if a wider value ever
+//! reaches it. Casts whose receiver visibly shifts away the high bits
+//! (`(h >> 32) as u32`) are deliberate truncations and exempt, as are
+//! casts of integer literals. `as usize` is not flagged: every cast to
+//! usize in these crates starts from u32-or-narrower and targets 64-bit
+//! platforms (see ANALYSIS.md).
+
+use super::{push, Finding, RuleId, CAST_TRUNCATION_CRATES, FLOAT_SANITY_CRATES};
+use crate::lexer::TokenKind;
+use crate::source::{SourceFile, TargetKind};
+
+pub(super) fn check_float_sanity(file: &SourceFile, findings: &mut Vec<Finding>) {
+    if file.kind != TargetKind::Lib || !FLOAT_SANITY_CRATES.contains(&file.crate_name.as_str()) {
+        return;
+    }
+    let tokens = file.tokens();
+    for (i, tok) in tokens.iter().enumerate() {
+        if file.in_test_region(tok.line) {
+            continue;
+        }
+        let text = file.token_text(i);
+        if tok.kind != TokenKind::Punct {
+            continue;
+        }
+        match text {
+            // --- exact equality against a float literal ---------------
+            "==" | "!=" => {
+                let float_beside = [i.wrapping_sub(1), i + 1].iter().any(|&j| {
+                    tokens.get(j).is_some_and(|t| t.kind == TokenKind::Float)
+                });
+                if float_beside {
+                    push(
+                        findings,
+                        file,
+                        RuleId::FloatSanity,
+                        tok.line,
+                        format!(
+                            "exact float {text} comparison; computed values rarely hit a \
+                             literal exactly — use total_cmp, a relative tolerance, or \
+                             suppress if this checks a caller-passed sentinel verbatim"
+                        ),
+                    );
+                }
+            }
+            // --- (1.0 - x).ln() → (-x).ln_1p() ------------------------
+            ")" if is_ln_call(file, i)
+                && paren_group_is_one_minus(file, i) =>
+            {
+                push(
+                    findings,
+                    file,
+                    RuleId::FloatSanity,
+                    tok.line,
+                    "(1.0 - x).ln() loses all precision as x -> 0 (catastrophic \
+                     cancellation); use (-x).ln_1p()"
+                        .to_string(),
+                );
+            }
+            // --- .abs() < f64::EPSILON --------------------------------
+            "<" | "<=" if abs_call_ends_at(file, i) && epsilon_follows(file, i) => {
+                push(
+                    findings,
+                    file,
+                    RuleId::FloatSanity,
+                    tok.line,
+                    format!(
+                        ".abs() {text} EPSILON is an equality test in disguise (always \
+                         false for values above ~2); use a relative tolerance scaled to \
+                         the operands"
+                    ),
+                );
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Is token `close` (a `)`) immediately followed by `.ln` `(` `)` —
+/// i.e. is this paren group the receiver of an `.ln()` call?
+fn is_ln_call(file: &SourceFile, close: usize) -> bool {
+    let tokens = file.tokens();
+    close + 4 < tokens.len()
+        && file.token_text(close + 1) == "."
+        && file.token_text(close + 2) == "ln"
+        && file.token_text(close + 3) == "("
+        && file.token_text(close + 4) == ")"
+}
+
+/// Does the paren group ending at token `close` start with `1.0 -` (or
+/// `1. -` spelled any way that lexes as the float one)?
+fn paren_group_is_one_minus(file: &SourceFile, close: usize) -> bool {
+    let tokens = file.tokens();
+    // Walk backward to the matching `(`.
+    let mut depth = 0i32;
+    let mut open = None;
+    for j in (0..=close).rev() {
+        match file.token_text(j) {
+            ")" => depth += 1,
+            "(" => {
+                depth -= 1;
+                if depth == 0 {
+                    open = Some(j);
+                    break;
+                }
+            }
+            _ => {}
+        }
+    }
+    let Some(open) = open else { return false };
+    let first = open + 1;
+    first + 1 < close
+        && tokens[first].kind == TokenKind::Float
+        && file.token_text(first).trim_end_matches("f64").trim_end_matches("f32")
+            .parse::<f64>()
+            == Ok(1.0)
+        && file.token_text(first + 1) == "-"
+}
+
+/// Do the three tokens before `op` spell `abs ( )`?
+fn abs_call_ends_at(file: &SourceFile, op: usize) -> bool {
+    op >= 3
+        && file.token_text(op - 3) == "abs"
+        && file.token_text(op - 2) == "("
+        && file.token_text(op - 1) == ")"
+}
+
+/// Does `EPSILON` (optionally `f64 :: EPSILON` / `f32 :: EPSILON`) follow
+/// the comparison operator at `op`? Named tolerance consts (`EPS`,
+/// `TOLERANCE`) are deliberate and do not match.
+fn epsilon_follows(file: &SourceFile, op: usize) -> bool {
+    let tokens = file.tokens();
+    let next = |j: usize| tokens.get(j).map(|_| file.token_text(j));
+    match next(op + 1) {
+        Some("EPSILON") => true,
+        Some("f64") | Some("f32") => {
+            next(op + 2) == Some("::") && next(op + 3) == Some("EPSILON")
+        }
+        _ => false,
+    }
+}
+
+/// Cast targets the rule considers narrowing. `u64`/`usize` are excluded:
+/// u64 is the native hash-word width, and every `as usize` in the scoped
+/// crates starts from u32-or-narrower.
+const NARROW_TARGETS: &[&str] = &["u8", "u16", "u32", "i8", "i16", "i32"];
+
+pub(super) fn check_cast_truncation(file: &SourceFile, findings: &mut Vec<Finding>) {
+    if file.kind != TargetKind::Lib
+        || !CAST_TRUNCATION_CRATES.contains(&file.crate_name.as_str())
+    {
+        return;
+    }
+    let tokens = file.tokens();
+    for (i, tok) in tokens.iter().enumerate() {
+        if tok.kind != TokenKind::Ident || file.token_text(i) != "as" {
+            continue;
+        }
+        if file.in_test_region(tok.line) {
+            continue;
+        }
+        let Some(target) = tokens.get(i + 1).map(|_| file.token_text(i + 1)) else {
+            continue;
+        };
+        if !NARROW_TARGETS.contains(&target) {
+            continue;
+        }
+        if i == 0 {
+            continue;
+        }
+        let prev = file.token_text(i - 1);
+        // Literal casts (`0xFFu64 as u32` is weird but fits or is a
+        // deliberate constant) are exempt; so are casts whose receiver
+        // parens contain a right shift — `(h >> 32) as u32` is the
+        // sanctioned explicit-truncation idiom.
+        if tokens[i - 1].kind == TokenKind::Int || tokens[i - 1].kind == TokenKind::Float {
+            continue;
+        }
+        if prev == ")" && paren_group_contains_shift(file, i - 1) {
+            continue;
+        }
+        push(
+            findings,
+            file,
+            RuleId::CastTruncation,
+            tok.line,
+            format!(
+                "bare narrowing cast `as {target}` silently truncates wider values; \
+                 use {target}::from for lossless widening, {target}::try_from for \
+                 checked narrowing, or shift the high bits away visibly: (x >> k) as {target}"
+            ),
+        );
+    }
+}
+
+/// Does the paren group ending at token `close` contain a `>>` (an
+/// explicit truncation guard) at its own depth or deeper?
+fn paren_group_contains_shift(file: &SourceFile, close: usize) -> bool {
+    let mut depth = 0i32;
+    for j in (0..=close).rev() {
+        match file.token_text(j) {
+            ")" => depth += 1,
+            "(" => {
+                depth -= 1;
+                if depth == 0 {
+                    return false;
+                }
+            }
+            ">>" | ">>=" => return true,
+            _ => {}
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{check_file, Finding, RuleId};
+    use crate::source::{SourceFile, TargetKind};
+
+    fn stats_fired(text: &str) -> Vec<RuleId> {
+        let f = SourceFile::new("crates/stats/src/demo.rs", "stats", TargetKind::Lib, text);
+        check_file(&f).into_iter().map(|f| f.rule).collect()
+    }
+
+    fn sim_findings(text: &str) -> Vec<Finding> {
+        let f = SourceFile::new("crates/sim/src/demo.rs", "sim", TargetKind::Lib, text);
+        check_file(&f)
+    }
+
+    #[test]
+    fn exact_float_equality_fires() {
+        assert_eq!(stats_fired("fn f(x: f64) -> bool { x == 0.0 }\n"), vec![RuleId::FloatSanity]);
+        assert_eq!(stats_fired("fn f(x: f64) -> bool { 1.0 != x }\n"), vec![RuleId::FloatSanity]);
+    }
+
+    #[test]
+    fn ordering_comparisons_and_int_equality_are_fine() {
+        assert!(stats_fired("fn f(x: f64) -> bool { x <= 0.5 }\n").is_empty());
+        assert!(stats_fired("fn f(x: f64) -> bool { x > 1.0 }\n").is_empty());
+        assert!(stats_fired("fn f(n: u64) -> bool { n == 0 }\n").is_empty());
+    }
+
+    #[test]
+    fn one_minus_ln_fires_and_ln_1p_does_not() {
+        assert_eq!(stats_fired("fn f(p: f64) -> f64 { (1.0 - p).ln() }\n"), vec![RuleId::FloatSanity]);
+        assert!(stats_fired("fn f(p: f64) -> f64 { (-p).ln_1p() }\n").is_empty());
+        assert!(stats_fired("fn f(p: f64) -> f64 { (2.0 - p).ln() }\n").is_empty());
+    }
+
+    #[test]
+    fn epsilon_equality_fires_but_named_tolerances_pass() {
+        assert_eq!(
+            stats_fired("fn f(a: f64, b: f64) -> bool { (a - b).abs() < f64::EPSILON }\n"),
+            vec![RuleId::FloatSanity]
+        );
+        assert_eq!(
+            stats_fired("fn f(a: f64, b: f64) -> bool { (a - b).abs() <= EPSILON }\n"),
+            vec![RuleId::FloatSanity]
+        );
+        assert!(stats_fired("const EPS: f64 = 1e-12;\nfn f(a: f64, b: f64) -> bool { (a - b).abs() < EPS }\n").is_empty());
+    }
+
+    #[test]
+    fn float_sanity_only_watches_its_crates() {
+        let f = SourceFile::new(
+            "crates/sim/src/demo.rs",
+            "sim",
+            TargetKind::Lib,
+            "fn f(x: f64) -> bool { x == 0.0 }\n",
+        );
+        assert!(check_file(&f).is_empty());
+    }
+
+    #[test]
+    fn bare_narrowing_casts_fire_in_sim_and_hash() {
+        let found = sim_findings("fn f(w: usize) -> u32 { w as u32 }\n");
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].rule, RuleId::CastTruncation);
+        assert!(found[0].message.contains("u32::try_from"), "{}", found[0].message);
+    }
+
+    #[test]
+    fn shift_guarded_and_literal_casts_are_exempt() {
+        assert!(sim_findings("fn f(h: u64) -> u32 { (h >> 32) as u32 }\n").is_empty());
+        assert!(sim_findings("fn f(h: u64) -> u16 { ((h >> 48) & 0xFFFF) as u16 }\n").is_empty());
+        assert!(sim_findings("const W: u32 = 8192_u64 as u32;\n").is_empty());
+    }
+
+    #[test]
+    fn widening_and_usize_casts_are_not_flagged() {
+        assert!(sim_findings("fn f(x: u32) -> u64 { x as u64 }\n").is_empty());
+        assert!(sim_findings("fn f(x: u32) -> usize { x as usize }\n").is_empty());
+        assert!(sim_findings("fn f(x: u32) -> f64 { x as f64 }\n").is_empty());
+    }
+
+    #[test]
+    fn cast_truncation_only_watches_its_crates() {
+        let f = SourceFile::new(
+            "crates/stats/src/demo.rs",
+            "stats",
+            TargetKind::Lib,
+            "fn f(w: usize) -> u32 { w as u32 }\n",
+        );
+        assert!(check_file(&f).is_empty());
+    }
+}

@@ -1,0 +1,214 @@
+//! Rule `panic-path`: panic surface nested inside library hot-path fns.
+//!
+//! Estimator and simulator functions run millions of times per experiment;
+//! a panic deep inside a loop or closure aborts the whole Monte-Carlo run
+//! far from the bad input. The rule distinguishes *where* a potentially
+//! panicking construct sits, via the scope tree:
+//!
+//! - directly in the fn body (zero nested blocks) — a top-level
+//!   precondition guard that fails fast at the call boundary; `assert!`
+//!   and slice indexing are **allowed** there;
+//! - nested inside any block (loop body, closure, match arm, `if`) —
+//!   a hot-path panic risk; findings.
+//!
+//! Unconditional panic macros (`panic!`, `unreachable!`, `todo!`,
+//! `unimplemented!`) and `unchecked_*` arithmetic/access fire at any
+//! depth; `debug_assert!`-family macros never fire (compiled out of
+//! release binaries, which is the sanctioned way to keep invariant checks
+//! in hot paths).
+
+use super::{push, Finding, RuleId, PANIC_PATH_CRATES};
+use crate::lexer::TokenKind;
+use crate::source::{SourceFile, TargetKind};
+
+/// Macros that abort unconditionally when reached.
+const HARD_PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+/// Macros that abort when their condition fails — allowed as top-level
+/// precondition guards, findings when nested.
+const ASSERT_MACROS: &[&str] = &["assert", "assert_eq", "assert_ne"];
+
+pub(super) fn check(file: &SourceFile, findings: &mut Vec<Finding>) {
+    if file.kind != TargetKind::Lib || !PANIC_PATH_CRATES.contains(&file.crate_name.as_str()) {
+        return;
+    }
+    let tokens = file.tokens();
+    // One finding per (line, construct) so `xs[i] + ys[i]` reports once.
+    let mut reported: Vec<(usize, &'static str)> = Vec::new();
+    let mut report = |findings: &mut Vec<Finding>, line: usize, tag: &'static str, msg: String| {
+        if !reported.contains(&(line, tag)) {
+            reported.push((line, tag));
+            push(findings, file, RuleId::PanicPath, line, msg);
+        }
+    };
+    for (i, tok) in tokens.iter().enumerate() {
+        let line = tok.line;
+        if file.in_test_region(line) {
+            continue;
+        }
+        let text = file.token_text(i);
+        match tok.kind {
+            // --- macro invocations: Ident followed by `!` -------------
+            TokenKind::Ident
+                if tokens.get(i + 1).is_some_and(|n| {
+                    n.kind == TokenKind::Punct && file.token_text(i + 1) == "!"
+                }) =>
+            {
+                if HARD_PANIC_MACROS.contains(&text) {
+                    report(
+                        findings,
+                        line,
+                        "hard-panic",
+                        format!(
+                            "{text}! in a library hot path aborts the whole run; \
+                             return an error or restructure so the branch is impossible"
+                        ),
+                    );
+                } else if ASSERT_MACROS.contains(&text) {
+                    // Allowed as a top-level precondition guard; a finding
+                    // only when nested inside a block of the fn body.
+                    if let Some((_, blocks)) = file.scopes().enclosing_fn(tok.start) {
+                        if blocks > 0 {
+                            let at = file
+                                .scopes()
+                                .describe(tok.start)
+                                .unwrap_or_else(|| "a fn".to_string());
+                            report(
+                                findings,
+                                line,
+                                "assert",
+                                format!(
+                                    "{text}! nested {blocks} block(s) deep in {at}; hoist it \
+                                     to a top-of-fn precondition guard or use debug_{text}! \
+                                     for an internal invariant"
+                                ),
+                            );
+                        }
+                    }
+                }
+            }
+            // --- unchecked arithmetic / access ------------------------
+            TokenKind::Ident
+                if text.starts_with("unchecked_") || text.starts_with("get_unchecked") =>
+            {
+                report(
+                    findings,
+                    line,
+                    "unchecked",
+                    format!(
+                        "{text} bypasses the checks the determinism contract relies on; \
+                         use checked/wrapping ops or .get() and justify any exception"
+                    ),
+                );
+            }
+            // --- slice indexing ---------------------------------------
+            TokenKind::Punct if text == "[" => {
+                // Indexing only when the `[` follows an expression tail:
+                // an identifier, an int literal, `)`, or `]`. This skips
+                // `vec![`/`matches!(` (previous token `!`), attributes
+                // (`#`), array types (`&`, `:`, `<`, `->`, `=`, `(`), and
+                // array literals.
+                let is_index = i > 0 && {
+                    let prev = &tokens[i - 1];
+                    let ptext = file.token_text(i - 1);
+                    matches!(prev.kind, TokenKind::Ident | TokenKind::Int)
+                        && ptext != "as"
+                        || (prev.kind == TokenKind::Punct && (ptext == ")" || ptext == "]"))
+                };
+                if !is_index {
+                    continue;
+                }
+                if let Some((_, blocks)) = file.scopes().enclosing_fn(tok.start) {
+                    if blocks > 0 {
+                        let at = file
+                            .scopes()
+                            .describe(tok.start)
+                            .unwrap_or_else(|| "a fn".to_string());
+                        report(
+                            findings,
+                            line,
+                            "index",
+                            format!(
+                                "slice indexing nested {blocks} block(s) deep in {at} \
+                                 panics on out-of-range; use .get()/iterators or hoist a \
+                                 bounds guard to fn entry"
+                            ),
+                        );
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::tests::rules_fired;
+    use super::super::{check_file, RuleId};
+    use crate::source::{SourceFile, TargetKind};
+
+    #[test]
+    fn top_level_precondition_guards_are_allowed() {
+        assert!(rules_fired("fn f(w: usize) {\n    assert!(w > 0);\n    assert!(w.is_power_of_two());\n}\n").is_empty());
+        assert!(rules_fired("fn first(xs: &[u64]) -> u64 {\n    xs[0]\n}\n").is_empty());
+    }
+
+    #[test]
+    fn nested_asserts_fire() {
+        let text = "fn f(xs: &[u64]) {\n    for x in xs {\n        assert!(*x > 0);\n    }\n}\n";
+        assert_eq!(rules_fired(text), vec![RuleId::PanicPath]);
+    }
+
+    #[test]
+    fn debug_asserts_never_fire() {
+        let text = "fn f(xs: &[u64]) {\n    for x in xs {\n        debug_assert!(*x > 0);\n        debug_assert_eq!(*x, *x);\n    }\n}\n";
+        assert!(rules_fired(text).is_empty());
+    }
+
+    #[test]
+    fn hard_panic_macros_fire_at_any_depth() {
+        assert_eq!(rules_fired("fn f() {\n    panic!(\"boom\");\n}\n"), vec![RuleId::PanicPath]);
+        let nested = "fn f(x: u32) -> u32 {\n    match x {\n        0 => 1,\n        _ => unreachable!(),\n    }\n}\n";
+        assert_eq!(rules_fired(nested), vec![RuleId::PanicPath]);
+    }
+
+    #[test]
+    fn nested_indexing_fires_once_per_line() {
+        let text = "fn dot(a: &[f64], b: &[f64]) -> f64 {\n    let mut s = 0.0;\n    for i in 0..a.len() {\n        s += a[i] * b[i];\n    }\n    s\n}\n";
+        let fired = rules_fired(text);
+        assert_eq!(fired, vec![RuleId::PanicPath], "{fired:?}");
+    }
+
+    #[test]
+    fn macro_brackets_attributes_and_array_types_are_not_indexing() {
+        assert!(rules_fired("fn f() -> Vec<u32> {\n    if true { vec![1, 2, 3] } else { vec![] }\n}\n").is_empty());
+        assert!(rules_fired("fn f(x: &[u8; 4]) -> u64 {\n    let a = [0u8; 8];\n    u64::from(a[0])\n}\n").is_empty());
+    }
+
+    #[test]
+    fn unchecked_ops_fire_anywhere() {
+        let text = "fn f(x: u32, y: u32) -> u32 {\n    unsafe { x.unchecked_add(y) }\n}\n";
+        assert_eq!(rules_fired(text), vec![RuleId::PanicPath]);
+        let text = "fn f(xs: &[u64]) -> u64 {\n    unsafe { *xs.get_unchecked(0) }\n}\n";
+        assert_eq!(rules_fired(text), vec![RuleId::PanicPath]);
+    }
+
+    #[test]
+    fn out_of_scope_crates_and_tests_are_exempt() {
+        let f = SourceFile::new(
+            "crates/experiments/src/lib.rs",
+            "experiments",
+            TargetKind::Lib,
+            "fn f(xs: &[u64]) {\n    for x in xs {\n        assert!(*x > 0);\n    }\n}\n",
+        );
+        assert!(check_file(&f).is_empty(), "experiments is exempt from panic-path");
+        let text = "#[cfg(test)]\nmod tests {\n    fn t(xs: &[u64]) {\n        for i in 0..xs.len() {\n            assert_eq!(xs[i], xs[i]);\n        }\n    }\n}\n";
+        assert!(rules_fired(text).is_empty());
+    }
+
+    #[test]
+    fn const_asserts_outside_fns_are_skipped() {
+        assert!(rules_fired("const _: () = assert!(std::mem::size_of::<usize>() >= 8);\n").is_empty());
+    }
+}

@@ -1,0 +1,141 @@
+//! Rule `estimator-registry`: every estimator must stay wired up.
+//!
+//! This is the one *cross-file* rule. For each non-test
+//! `impl CardinalityEstimator for X` found anywhere in the workspace, the
+//! implementing type `X` must be
+//!
+//! 1. mentioned in the CLI registry ([`REGISTRY_PATH`], where
+//!    `make_estimator` maps names to boxed estimators), and
+//! 2. mentioned in at least one integration-test file (a `tests/`
+//!    directory at the workspace root or under a crate).
+//!
+//! Otherwise an estimator can silently rot out of the comparison figures:
+//! it compiles, it is never constructed, and nobody notices the paper's
+//! baseline table losing a row. Mentions are word-boundary identifier
+//! matches over *masked* text, so a comment saying "unlike Zoe" does not
+//! count as coverage.
+
+use super::{Finding, RuleId};
+use crate::source::SourceFile;
+
+/// Workspace-relative path of the CLI estimator registry.
+pub const REGISTRY_PATH: &str = "crates/cli/src/commands.rs";
+
+/// Trait whose implementors the rule tracks.
+const ESTIMATOR_TRAITS: &[&str] = &["CardinalityEstimator"];
+
+/// Run the registry check over the scanned rule files plus the
+/// integration-test corpus (`tests/*.rs` at workspace root and per crate,
+/// which the per-file rules deliberately do not scan).
+pub fn check_workspace_registry(files: &[SourceFile], tests: &[SourceFile]) -> Vec<Finding> {
+    let registry = files.iter().find(|f| f.rel_path == REGISTRY_PATH);
+    let mut findings = Vec::new();
+    for file in files {
+        for (trait_name, type_name, scope) in file.scopes().trait_impls() {
+            if !ESTIMATOR_TRAITS.contains(&trait_name) {
+                continue;
+            }
+            let mut missing = Vec::new();
+            if !registry.is_some_and(|r| r.mentions_ident(type_name)) {
+                missing.push(format!("the CLI registry ({REGISTRY_PATH})"));
+            }
+            if !tests.iter().any(|t| t.mentions_ident(type_name)) {
+                missing.push("every tests/ file (no integration test constructs it)".to_string());
+            }
+            if missing.is_empty() {
+                continue;
+            }
+            findings.push(Finding {
+                rule: RuleId::EstimatorRegistry,
+                path: file.rel_path.clone(),
+                line: scope.lines.start,
+                message: format!(
+                    "estimator `{type_name}` (impl {trait_name}) is missing from {}",
+                    missing.join(" and from ")
+                ),
+                excerpt: file.line(scope.lines.start).trim().to_string(),
+            });
+        }
+    }
+    findings.sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::TargetKind;
+
+    fn lib(path: &str, crate_name: &str, text: &str) -> SourceFile {
+        SourceFile::new(path, crate_name, TargetKind::Lib, text)
+    }
+
+    const IMPL_ZOE: &str = "pub struct Zoe;\nimpl CardinalityEstimator for Zoe {\n    fn name(&self) -> &str { \"zoe\" }\n}\n";
+
+    #[test]
+    fn registered_and_tested_estimators_pass() {
+        let files = vec![
+            lib("crates/baselines/src/zoe.rs", "baselines", IMPL_ZOE),
+            lib(REGISTRY_PATH, "cli", "fn make_estimator(n: &str) -> Option<u8> {\n    match n { \"zoe\" => Some(Zoe::BIT), _ => None }\n}\n"),
+        ];
+        let tests = vec![lib("tests/end_to_end.rs", ".", "fn smoke() { let z = Zoe::default(); }\n")];
+        assert!(check_workspace_registry(&files, &tests).is_empty());
+    }
+
+    #[test]
+    fn unregistered_estimator_fires_at_the_impl_line() {
+        let files = vec![
+            lib("crates/baselines/src/zoe.rs", "baselines", IMPL_ZOE),
+            lib(REGISTRY_PATH, "cli", "fn make_estimator(_n: &str) -> Option<u8> { None }\n"),
+        ];
+        let tests = vec![lib("tests/end_to_end.rs", ".", "fn smoke() { let z = Zoe::default(); }\n")];
+        let found = check_workspace_registry(&files, &tests);
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].rule, RuleId::EstimatorRegistry);
+        assert_eq!(found[0].path, "crates/baselines/src/zoe.rs");
+        assert_eq!(found[0].line, 2, "points at the impl header");
+        assert!(found[0].message.contains("CLI registry"), "{}", found[0].message);
+    }
+
+    #[test]
+    fn untested_estimator_fires_even_when_registered() {
+        let files = vec![
+            lib("crates/baselines/src/zoe.rs", "baselines", IMPL_ZOE),
+            lib(REGISTRY_PATH, "cli", "fn make_estimator(n: &str) -> u8 { Zoe::BIT }\n"),
+        ];
+        let found = check_workspace_registry(&files, &[]);
+        assert_eq!(found.len(), 1);
+        assert!(found[0].message.contains("tests/"), "{}", found[0].message);
+    }
+
+    #[test]
+    fn comment_mentions_do_not_count_as_coverage() {
+        let files = vec![
+            lib("crates/baselines/src/zoe.rs", "baselines", IMPL_ZOE),
+            lib(REGISTRY_PATH, "cli", "// Zoe is documented but not wired\nfn make_estimator(_n: &str) -> Option<u8> { None }\n"),
+        ];
+        let tests = vec![lib("tests/end_to_end.rs", ".", "// Zoe appears only here\nfn smoke() {}\n")];
+        let found = check_workspace_registry(&files, &tests);
+        assert_eq!(found.len(), 1);
+        assert!(found[0].message.contains("and from"), "both legs missing: {}", found[0].message);
+    }
+
+    #[test]
+    fn impls_inside_cfg_test_are_exempt() {
+        let text = "#[cfg(test)]\nmod tests {\n    struct Fake;\n    impl CardinalityEstimator for Fake {\n        fn name(&self) -> &str { \"fake\" }\n    }\n}\n";
+        let files = vec![
+            lib("crates/sim/src/estimator.rs", "sim", text),
+            lib(REGISTRY_PATH, "cli", "fn make_estimator(_n: &str) -> Option<u8> { None }\n"),
+        ];
+        assert!(check_workspace_registry(&files, &[]).is_empty());
+    }
+
+    #[test]
+    fn other_trait_impls_are_ignored() {
+        let files = vec![
+            lib("crates/sim/src/frame.rs", "sim", "impl Display for Frame {\n}\n"),
+            lib(REGISTRY_PATH, "cli", "fn make_estimator(_n: &str) -> Option<u8> { None }\n"),
+        ];
+        assert!(check_workspace_registry(&files, &[]).is_empty());
+    }
+}

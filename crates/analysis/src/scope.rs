@@ -1,0 +1,540 @@
+//! The brace-matched scope tree: which `fn`/`impl`/`mod` a token sits in.
+//!
+//! Built once per file from the [`lexer`](crate::lexer) token stream.
+//! Every `{ … }` region becomes a [`Scope`] whose kind is judged from the
+//! *item header* — the tokens between the previous scope boundary
+//! (`{`, `}`, or `;` at the same depth) and the opening brace. Rules query
+//! the tree through [`ScopeTree::chain_at`], which walks from the
+//! innermost scope outward, so a rule can distinguish "first statement of
+//! a library `fn`" (a precondition guard) from "inside a loop or closure
+//! three blocks deep" (a hot-path panic risk).
+//!
+//! `#[cfg(test)]` attributes attach to the scope they precede; test
+//! regions (including block-less `#[cfg(test)] use …;` items) are computed
+//! here and exempt every rule.
+
+use crate::lexer::{Token, TokenKind};
+use std::ops::Range;
+
+/// What kind of item a scope's braces delimit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScopeKind {
+    /// A function body; carries the function's name.
+    Fn(String),
+    /// An `impl` block. `trait_name` is the last path segment of the
+    /// implemented trait (`None` for inherent impls), `type_name` the
+    /// base name of the implementing type.
+    Impl {
+        /// Last segment of the trait path, if this is a trait impl.
+        trait_name: Option<String>,
+        /// Base name of the self type (generics stripped).
+        type_name: String,
+    },
+    /// An inline `mod name { … }`.
+    Mod(String),
+    /// A `trait name { … }` definition.
+    Trait(String),
+    /// A `struct`/`enum`/`union` body (field lists, not code).
+    TypeBody(String),
+    /// Any other braced region: blocks, closures, `match` bodies, loop
+    /// bodies, struct literals.
+    Block,
+}
+
+/// One braced region of a file.
+#[derive(Debug, Clone)]
+pub struct Scope {
+    /// What the braces delimit.
+    pub kind: ScopeKind,
+    /// Byte range of the body, from the `{` to the matching `}` inclusive.
+    pub byte_range: Range<usize>,
+    /// 1-based line range (inclusive start, inclusive end).
+    pub lines: Range<usize>,
+    /// Index of the enclosing scope in [`ScopeTree::scopes`], if any.
+    pub parent: Option<usize>,
+    /// Did a `#[cfg(test)]` attribute precede this item?
+    pub cfg_test: bool,
+}
+
+/// All scopes of one file, in opening order.
+#[derive(Debug, Default)]
+pub struct ScopeTree {
+    /// The scopes, indexed by [`Scope::parent`].
+    pub scopes: Vec<Scope>,
+    /// 1-based line ranges (half-open) under `#[cfg(test)]`, including
+    /// block-less items.
+    test_lines: Vec<Range<usize>>,
+}
+
+impl ScopeTree {
+    /// Build the tree for one lexed file. `masked` must be the text the
+    /// tokens were lexed from.
+    pub fn build(masked: &str, tokens: &[Token]) -> Self {
+        Builder::new(masked, tokens).run()
+    }
+
+    /// Indices of the scopes containing byte `offset`, innermost first.
+    pub fn chain_at(&self, offset: usize) -> Vec<usize> {
+        let mut chain: Vec<usize> = self
+            .scopes
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.byte_range.contains(&offset))
+            .map(|(i, _)| i)
+            .collect();
+        // Containment is nested, so deeper scopes have larger start
+        // offsets; innermost first means descending start order.
+        chain.sort_by(|a, b| self.scopes[*b].byte_range.start.cmp(&self.scopes[*a].byte_range.start));
+        chain
+    }
+
+    /// The innermost enclosing `fn` scope at `offset`, if any, along with
+    /// the number of [`ScopeKind::Block`] scopes strictly between the
+    /// offset and that `fn` body (0 = directly in the fn body).
+    pub fn enclosing_fn(&self, offset: usize) -> Option<(usize, usize)> {
+        let chain = self.chain_at(offset);
+        let mut blocks = 0;
+        for idx in chain {
+            match &self.scopes[idx].kind {
+                ScopeKind::Fn(_) => return Some((idx, blocks)),
+                ScopeKind::Block => blocks += 1,
+                // A nested item (fn inside fn would have matched already;
+                // impl/mod/trait/type bodies reset the search — code
+                // directly inside them is not inside a fn).
+                _ => return None,
+            }
+        }
+        None
+    }
+
+    /// Is 1-based `line` inside a `#[cfg(test)]` region?
+    pub fn in_test_region(&self, line: usize) -> bool {
+        self.test_lines.iter().any(|r| r.contains(&line))
+    }
+
+    /// All `impl Trait for Type` scopes (trait impls only), excluding
+    /// test regions.
+    pub fn trait_impls(&self) -> impl Iterator<Item = (&str, &str, &Scope)> {
+        self.scopes.iter().filter_map(|s| match &s.kind {
+            ScopeKind::Impl {
+                trait_name: Some(t),
+                type_name,
+            } if !self.in_test_region(s.lines.start) => Some((t.as_str(), type_name.as_str(), s)),
+            _ => None,
+        })
+    }
+
+    /// Human-readable description of where `offset` sits, for diagnostics:
+    /// the innermost named item, e.g. `fn fill_chunk`.
+    pub fn describe(&self, offset: usize) -> Option<String> {
+        for idx in self.chain_at(offset) {
+            match &self.scopes[idx].kind {
+                ScopeKind::Fn(name) => return Some(format!("fn {name}")),
+                ScopeKind::Impl { type_name, .. } => {
+                    return Some(format!("impl {type_name}"))
+                }
+                ScopeKind::Mod(name) => return Some(format!("mod {name}")),
+                ScopeKind::Trait(name) => return Some(format!("trait {name}")),
+                ScopeKind::TypeBody(name) => return Some(name.clone()),
+                ScopeKind::Block => continue,
+            }
+        }
+        None
+    }
+}
+
+/// Incremental tree builder: a stack machine over the token stream.
+struct Builder<'a> {
+    masked: &'a str,
+    tokens: &'a [Token],
+    scopes: Vec<Scope>,
+    test_lines: Vec<Range<usize>>,
+    /// Open scopes: indices into `scopes`.
+    stack: Vec<usize>,
+    /// Token index where the current item header starts.
+    header_start: usize,
+}
+
+impl<'a> Builder<'a> {
+    fn new(masked: &'a str, tokens: &'a [Token]) -> Self {
+        Self {
+            masked,
+            tokens,
+            scopes: Vec::new(),
+            test_lines: Vec::new(),
+            stack: Vec::new(),
+            header_start: 0,
+        }
+    }
+
+    fn text(&self, i: usize) -> &'a str {
+        self.tokens[i].text(self.masked)
+    }
+
+    fn run(mut self) -> ScopeTree {
+        let mut i = 0;
+        while i < self.tokens.len() {
+            match (self.tokens[i].kind, self.text(i)) {
+                (TokenKind::Punct, "{") => {
+                    self.open(i);
+                    self.header_start = i + 1;
+                }
+                (TokenKind::Punct, "}") => {
+                    self.close(i);
+                    self.header_start = i + 1;
+                }
+                (TokenKind::Punct, ";") => {
+                    // A block-less `#[cfg(test)] use …;` item: record it.
+                    if let Some(attr) = self.header_cfg_test(i) {
+                        let start_line = self.tokens[attr].line;
+                        let end_line = self.tokens[i].line;
+                        self.test_lines.push(start_line..end_line + 1);
+                    }
+                    self.header_start = i + 1;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        // Unclosed scopes (malformed source): close them at EOF so queries
+        // stay well-defined.
+        let end = self.masked.len();
+        let end_line = self.tokens.last().map_or(1, |t| t.line);
+        while let Some(idx) = self.stack.pop() {
+            self.scopes[idx].byte_range.end = end;
+            self.scopes[idx].lines.end = end_line + 1;
+        }
+        let mut test_lines = self.test_lines;
+        for s in &self.scopes {
+            let inherited = s
+                .parent
+                .map(|p| self.scopes[p].cfg_test)
+                .unwrap_or(false);
+            // Only the outermost flagged scope records a region; children
+            // inherit the flag and would duplicate the range.
+            if s.cfg_test && !inherited {
+                test_lines.push(s.lines.clone());
+            }
+        }
+        ScopeTree {
+            scopes: self.scopes,
+            test_lines,
+        }
+    }
+
+    /// Open a scope at the `{` token `open_idx`, classifying it from the
+    /// header tokens `self.header_start..open_idx`.
+    fn open(&mut self, open_idx: usize) {
+        let header = self.header_start..open_idx;
+        let kind = self.classify(header.clone());
+        let cfg_test = self.header_cfg_test(open_idx).is_some()
+            && !matches!(kind, ScopeKind::Block);
+        let parent = self.stack.last().copied();
+        let inherited_test = parent.map(|p| self.scopes[p].cfg_test).unwrap_or(false);
+        let line = self.tokens[open_idx].line;
+        self.scopes.push(Scope {
+            kind,
+            byte_range: self.tokens[open_idx].start..self.masked.len(),
+            lines: line..line, // end patched on close
+            parent,
+            cfg_test: cfg_test || inherited_test,
+        });
+        self.stack.push(self.scopes.len() - 1);
+    }
+
+    fn close(&mut self, close_idx: usize) {
+        if let Some(idx) = self.stack.pop() {
+            self.scopes[idx].byte_range.end = self.tokens[close_idx].end;
+            self.scopes[idx].lines.end = self.tokens[close_idx].line + 1;
+        }
+    }
+
+    /// If the current header (ending at token `end`) carries a
+    /// `#[cfg(test)]` attribute, return the index of its `#` token.
+    fn header_cfg_test(&self, end: usize) -> Option<usize> {
+        let mut i = self.header_start;
+        while i + 5 < end.min(self.tokens.len()) {
+            if self.text(i) == "#"
+                && self.text(i + 1) == "["
+                && self.text(i + 2) == "cfg"
+                && self.text(i + 3) == "("
+                && self.text(i + 4) == "test"
+                && self.text(i + 5) == ")"
+            {
+                return Some(i);
+            }
+            i += 1;
+        }
+        None
+    }
+
+    /// Judge a scope's kind from its header tokens.
+    fn classify(&self, header: Range<usize>) -> ScopeKind {
+        // Attributes (`#[…]`) are part of the header run; skip over them
+        // when looking for the item keyword so `#[inline] fn f()` works.
+        let mut i = header.start;
+        let end = header.end;
+        while i < end {
+            match self.text(i) {
+                "#" => {
+                    // Skip the attribute's bracket group.
+                    i += 1;
+                    if i < end && self.text(i) == "[" {
+                        let mut depth = 0usize;
+                        while i < end {
+                            match self.text(i) {
+                                "[" => depth += 1,
+                                "]" => {
+                                    depth -= 1;
+                                    if depth == 0 {
+                                        break;
+                                    }
+                                }
+                                _ => {}
+                            }
+                            i += 1;
+                        }
+                    }
+                    i += 1;
+                }
+                "fn" => {
+                    let name = self
+                        .ident_after(i, end)
+                        .unwrap_or_else(|| "<anonymous>".to_string());
+                    return ScopeKind::Fn(name);
+                }
+                "impl" => return self.classify_impl(i + 1, end),
+                "mod" => {
+                    let name = self
+                        .ident_after(i, end)
+                        .unwrap_or_else(|| "<anonymous>".to_string());
+                    return ScopeKind::Mod(name);
+                }
+                "trait" => {
+                    let name = self
+                        .ident_after(i, end)
+                        .unwrap_or_else(|| "<anonymous>".to_string());
+                    return ScopeKind::Trait(name);
+                }
+                "struct" | "enum" | "union" => {
+                    let name = self
+                        .ident_after(i, end)
+                        .unwrap_or_else(|| "<anonymous>".to_string());
+                    return ScopeKind::TypeBody(name);
+                }
+                // `match`/`if`/`for`/`while`/`loop`/`unsafe`/`else` headers,
+                // closure pipes, struct literals: plain blocks. `where`
+                // clauses never appear before `fn` (the keyword search
+                // continues past them only for items, and items lead with
+                // their keyword).
+                _ => i += 1,
+            }
+        }
+        ScopeKind::Block
+    }
+
+    /// The first plain identifier after token `i` (skipping nothing), up
+    /// to `end`.
+    fn ident_after(&self, i: usize, end: usize) -> Option<String> {
+        ((i + 1)..end)
+            .find(|&j| self.tokens[j].kind == TokenKind::Ident)
+            .map(|j| self.text(j).to_string())
+    }
+
+    /// Classify an `impl` header starting just past the `impl` keyword.
+    fn classify_impl(&self, start: usize, end: usize) -> ScopeKind {
+        // Skip the generic parameter list `impl<…>` if present.
+        let mut i = start;
+        if i < end && self.text(i) == "<" {
+            let mut depth = 0i32;
+            while i < end {
+                match self.text(i) {
+                    "<" | "<<" => depth += if self.text(i) == "<<" { 2 } else { 1 },
+                    ">" | ">>" => {
+                        depth -= if self.text(i) == ">>" { 2 } else { 1 };
+                        if depth <= 0 {
+                            i += 1;
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                i += 1;
+            }
+        }
+        // Find a `for` at angle-depth zero: `impl Trait for Type`.
+        let mut depth = 0i32;
+        let mut for_at = None;
+        for j in i..end {
+            match self.text(j) {
+                "<" => depth += 1,
+                "<<" => depth += 2,
+                ">" => depth -= 1,
+                ">>" => depth -= 2,
+                "for" if depth <= 0 => {
+                    for_at = Some(j);
+                    break;
+                }
+                _ => {}
+            }
+        }
+        match for_at {
+            Some(f) => {
+                let trait_name = self.last_path_segment(i, f);
+                let type_name = self
+                    .first_path_base(f + 1, end)
+                    .unwrap_or_else(|| "<unknown>".to_string());
+                ScopeKind::Impl {
+                    trait_name: Some(trait_name.unwrap_or_else(|| "<unknown>".to_string())),
+                    type_name,
+                }
+            }
+            None => ScopeKind::Impl {
+                trait_name: None,
+                type_name: self
+                    .first_path_base(i, end)
+                    .unwrap_or_else(|| "<unknown>".to_string()),
+            },
+        }
+    }
+
+    /// Last identifier of the path spelled by tokens `start..end`, ignoring
+    /// generic arguments (`rfid_sim::CardinalityEstimator<T>` →
+    /// `CardinalityEstimator`).
+    fn last_path_segment(&self, start: usize, end: usize) -> Option<String> {
+        let mut depth = 0i32;
+        let mut last = None;
+        for j in start..end {
+            match self.text(j) {
+                "<" => depth += 1,
+                "<<" => depth += 2,
+                ">" => depth -= 1,
+                ">>" => depth -= 2,
+                t if depth <= 0 && self.tokens[j].kind == TokenKind::Ident => {
+                    last = Some(t.to_string());
+                }
+                _ => {}
+            }
+        }
+        last
+    }
+
+    /// First identifier of the (type) path at `start..end`, skipping
+    /// references and leading path segments: `&mut crate::Foo<T>` → the
+    /// *last* segment of the first path, i.e. `Foo`.
+    fn first_path_base(&self, start: usize, end: usize) -> Option<String> {
+        let mut base: Option<String> = None;
+        for j in start..end {
+            match self.text(j) {
+                "&" | "mut" | "dyn" => continue,
+                "<" | "where" => break,
+                "::" => continue,
+                t if self.tokens[j].kind == TokenKind::Ident => {
+                    base = Some(t.to_string());
+                    // Keep going across `::` to reach the last segment,
+                    // but stop at anything else.
+                    if j + 1 < end && self.text(j + 1) != "::" {
+                        break;
+                    }
+                }
+                _ => break,
+            }
+        }
+        base
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn tree(src: &str) -> ScopeTree {
+        ScopeTree::build(src, &lex(src))
+    }
+
+    #[test]
+    fn fn_bodies_are_recognized() {
+        let src = "pub fn alpha(x: u64) -> u64 {\n    x\n}\n";
+        let t = tree(src);
+        assert_eq!(t.scopes.len(), 1);
+        assert_eq!(t.scopes[0].kind, ScopeKind::Fn("alpha".into()));
+        assert_eq!(t.scopes[0].lines, 1..4);
+    }
+
+    #[test]
+    fn nested_blocks_count_toward_fn_depth() {
+        let src = "fn f(xs: &[u64]) {\n    let a = xs.len();\n    for x in xs {\n        touch(*x);\n    }\n}\n";
+        let t = tree(src);
+        // Offset of `touch`:
+        let touch = src.find("touch").expect("present");
+        let (fn_idx, blocks) = t.enclosing_fn(touch).expect("inside fn");
+        assert_eq!(t.scopes[fn_idx].kind, ScopeKind::Fn("f".into()));
+        assert_eq!(blocks, 1, "one loop body between token and fn");
+        let a = src.find("xs.len").expect("present");
+        assert_eq!(t.enclosing_fn(a).map(|(_, b)| b), Some(0), "top of fn body");
+    }
+
+    #[test]
+    fn impls_capture_trait_and_type() {
+        let src = "impl rfid_sim::CardinalityEstimator for Zoe {\n    fn go(&self) {}\n}\nimpl Helper {\n    fn aux() {}\n}\n";
+        let t = tree(src);
+        let impls: Vec<(&str, &str)> = t.trait_impls().map(|(a, b, _)| (a, b)).collect();
+        assert_eq!(impls, [("CardinalityEstimator", "Zoe")]);
+    }
+
+    #[test]
+    fn generic_impls_resolve_names() {
+        let src = "impl<T: Clone> Estimator for Wrapper<T> {\n}\n";
+        let t = tree(src);
+        let impls: Vec<(&str, &str)> = t.trait_impls().map(|(a, b, _)| (a, b)).collect();
+        assert_eq!(impls, [("Estimator", "Wrapper")]);
+    }
+
+    #[test]
+    fn cfg_test_mods_are_test_regions() {
+        let src = "pub fn real() {}\n\n#[cfg(test)]\nmod tests {\n    fn t() {\n        real();\n    }\n}\n";
+        let t = tree(src);
+        assert!(!t.in_test_region(1));
+        assert!(t.in_test_region(4));
+        assert!(t.in_test_region(6));
+        assert!(!t.in_test_region(9));
+    }
+
+    #[test]
+    fn blockless_cfg_test_items_are_test_regions() {
+        let src = "#[cfg(test)]\nuse std::collections::HashSet;\npub fn f() {}\n";
+        let t = tree(src);
+        assert!(t.in_test_region(1));
+        assert!(t.in_test_region(2));
+        assert!(!t.in_test_region(3));
+    }
+
+    #[test]
+    fn struct_literals_and_match_bodies_are_blocks() {
+        let src = "fn f(x: u32) -> P {\n    match x {\n        0 => P { a: 1 },\n        _ => P { a: 2 },\n    }\n}\n";
+        let t = tree(src);
+        let blocks = t
+            .scopes
+            .iter()
+            .filter(|s| s.kind == ScopeKind::Block)
+            .count();
+        assert_eq!(blocks, 3, "match body + two struct literals: {:?}", t.scopes);
+    }
+
+    #[test]
+    fn describe_names_the_innermost_item() {
+        let src = "impl Zoe {\n    fn probe(&self) {\n        inner();\n    }\n}\n";
+        let t = tree(src);
+        let at = src.find("inner").expect("present");
+        assert_eq!(t.describe(at).as_deref(), Some("fn probe"));
+    }
+
+    #[test]
+    fn fn_inside_cfg_test_mod_inherits_the_region() {
+        let src = "#[cfg(test)]\nmod tests {\n    pub fn helper(x: Option<u8>) -> u8 {\n        x.unwrap()\n    }\n}\npub fn after() {}\n";
+        let t = tree(src);
+        assert!(t.in_test_region(4));
+        assert!(!t.in_test_region(7));
+    }
+}

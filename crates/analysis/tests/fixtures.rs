@@ -4,7 +4,11 @@
 //! the OS temp directory and runs the same `scan_workspace` entry point
 //! the `rfid-analysis` binary uses.
 
-use rfid_analysis::{scan_workspace, Report, RuleId};
+use rfid_analysis::json::Value;
+use rfid_analysis::output::{SARIF_SCHEMA, SARIF_VERSION};
+use rfid_analysis::{
+    render_json, render_sarif, scan_workspace, Error, Report, RuleId, ALL_RULES,
+};
 use std::path::PathBuf;
 
 /// A scratch workspace that cleans up after itself.
@@ -26,10 +30,15 @@ impl Fixture {
 
     /// Write `text` at `rel` (slash-separated), creating parents.
     fn file(&self, rel: &str, text: &str) -> &Self {
+        self.raw(rel, text.as_bytes())
+    }
+
+    /// Write raw `bytes` at `rel` (for non-UTF-8 fixtures).
+    fn raw(&self, rel: &str, bytes: &[u8]) -> &Self {
         let path = self.root.join(rel);
         let parent = path.parent().expect("file has a parent");
         std::fs::create_dir_all(parent).expect("create fixture dirs");
-        std::fs::write(&path, text).expect("write fixture file");
+        std::fs::write(&path, bytes).expect("write fixture file");
         self
     }
 
@@ -248,6 +257,249 @@ fn findings_render_as_path_line_rule() {
         rendered.contains("x.unwrap()"),
         "diagnostics must quote the offending line — got {rendered}"
     );
+}
+
+#[test]
+fn panic_path_distinguishes_guards_from_hot_paths() {
+    let fx = Fixture::new("panic-path");
+    fx.file(
+        "crates/sim/src/lib.rs",
+        "\
+pub fn guarded(xs: &[u32], i: usize) -> u32 {
+    assert!(i < xs.len(), \"top-of-fn precondition guard is fine\");
+    let mut total = 0;
+    for _ in 0..3 {
+        assert!(total < 100, \"nested assert fires\");
+        debug_assert!(total < 100, \"debug_assert never fires\");
+        total += xs[i];
+    }
+    total
+}
+",
+    );
+    let report = fx.scan();
+    let lines: Vec<usize> = report
+        .findings
+        .iter()
+        .map(|f| {
+            assert_eq!(f.rule, RuleId::PanicPath, "{f:?}");
+            f.line
+        })
+        .collect();
+    // Line 5: the nested assert!. Line 7: the nested indexing. The guard
+    // on line 2 and the debug_assert on line 6 stay silent.
+    assert_eq!(lines, vec![5, 7], "{:?}", report.findings);
+}
+
+#[test]
+fn float_sanity_fires_on_ln_one_minus_and_exact_eq_but_not_epsilon() {
+    let fx = Fixture::new("float-sanity");
+    fx.file(
+        "crates/stats/src/lib.rs",
+        "\
+pub fn bad_tail(p: f64) -> f64 { (1.0 - p).ln() }
+pub fn bad_eq(x: f64) -> bool { x == 0.5 }
+pub fn good_tail(p: f64) -> f64 { (-p).ln_1p() }
+pub fn good_eq(a: f64, b: f64) -> bool { (a - b).abs() < 1e-9 * a.abs().max(b.abs()) }
+",
+    );
+    // Same patterns outside the float-sanity crate scope: silent.
+    fx.file("crates/sim/src/lib.rs", "pub fn elsewhere(p: f64) -> f64 { (1.0 - p).ln() }\n");
+    let report = fx.scan();
+    let lines: Vec<usize> = report
+        .findings
+        .iter()
+        .map(|f| {
+            assert_eq!(f.rule, RuleId::FloatSanity, "{f:?}");
+            assert_eq!(f.path, "crates/stats/src/lib.rs");
+            f.line
+        })
+        .collect();
+    assert_eq!(lines, vec![1, 2], "{:?}", report.findings);
+}
+
+#[test]
+fn cast_truncation_fires_on_bare_narrowing_but_not_shifts_or_literals() {
+    let fx = Fixture::new("cast");
+    fx.file(
+        "crates/hash/src/lib.rs",
+        "\
+pub fn bad(x: u64) -> u32 { x as u32 }
+pub fn good_shift(x: u64) -> u32 { (x >> 32) as u32 }
+pub fn good_literal() -> u32 { 8192u64 as u32 }
+pub fn good_widen(x: u32) -> u64 { x as u64 }
+",
+    );
+    let report = fx.scan();
+    assert_eq!(report.findings.len(), 1, "{:?}", report.findings);
+    assert_eq!(report.findings[0].rule, RuleId::CastTruncation);
+    assert_eq!(report.findings[0].line, 1);
+}
+
+#[test]
+fn estimator_registry_fires_for_unregistered_impl() {
+    let fx = Fixture::new("registry");
+    let impl_src = "\
+pub struct Phantom;
+impl CardinalityEstimator for Phantom {
+    fn name(&self) -> &'static str { \"PHANTOM\" }
+}
+";
+    fx.file("crates/baselines/src/lib.rs", impl_src);
+    // Registered in the CLI dispatch, but no tests/ file constructs it.
+    fx.file(
+        "crates/cli/src/commands.rs",
+        "pub fn build() -> Phantom { Phantom }\n",
+    );
+    fx.file("tests/smoke.rs", "#[test]\nfn t() { /* Phantom absent */ }\n");
+    let report = fx.scan();
+    assert_eq!(report.findings.len(), 1, "{:?}", report.findings);
+    let f = &report.findings[0];
+    assert_eq!(f.rule, RuleId::EstimatorRegistry);
+    assert_eq!(f.path, "crates/baselines/src/lib.rs");
+    assert_eq!(f.line, 2, "points at the impl header");
+    assert!(f.message.contains("Phantom"), "{}", f.message);
+    assert!(f.message.contains("tests/"), "{}", f.message);
+
+    // Constructing it in any tests/ file clears the finding.
+    fx.file("tests/smoke.rs", "#[test]\nfn t() { let _ = Phantom; }\n");
+    let report = fx.scan();
+    assert!(report.is_clean(), "{:?}", report.findings);
+}
+
+#[test]
+fn estimator_registry_reports_missing_cli_dispatch() {
+    let fx = Fixture::new("registry-cli");
+    fx.file(
+        "crates/baselines/src/lib.rs",
+        "pub struct Ghost;\nimpl CardinalityEstimator for Ghost {}\n",
+    );
+    fx.file("crates/cli/src/commands.rs", "pub fn build() {}\n");
+    fx.file("tests/smoke.rs", "#[test]\nfn t() { let _ = Ghost; }\n");
+    let report = fx.scan();
+    assert_eq!(report.findings.len(), 1, "{:?}", report.findings);
+    assert!(
+        report.findings[0].message.contains("commands.rs"),
+        "{}",
+        report.findings[0].message
+    );
+}
+
+#[test]
+fn inline_allow_round_trip_suppresses_and_rots_loudly() {
+    let fx = Fixture::new("inline-allow");
+    fx.file(
+        "crates/sim/src/lib.rs",
+        "\
+// analysis:allow(unwrap): fixture exercises the standalone inline form
+pub fn f(x: Option<u32>) -> u32 { x.unwrap() }
+",
+    );
+    let report = fx.scan();
+    assert!(report.is_clean(), "{:?}", report.findings);
+    assert_eq!(report.suppressed_inline, 1);
+    assert_eq!(report.suppressed, 0);
+
+    // The offending code goes away but the allow stays: stale, loudly.
+    fx.file(
+        "crates/sim/src/lib.rs",
+        "\
+// analysis:allow(unwrap): fixture exercises the standalone inline form
+pub fn f(x: Option<u32>) -> u32 { x.unwrap_or(0) }
+",
+    );
+    let report = fx.scan();
+    assert_eq!(report.findings.len(), 1, "{:?}", report.findings);
+    assert_eq!(report.findings[0].rule, RuleId::StaleAllow);
+    assert_eq!(report.findings[0].line, 1);
+    assert_eq!(report.suppressed_inline, 0);
+}
+
+#[test]
+fn non_utf8_file_is_a_clean_diagnostic_not_a_panic() {
+    let fx = Fixture::new("notutf8");
+    fx.file("crates/sim/src/lib.rs", "pub fn ok() {}\n");
+    fx.raw("crates/sim/src/blob.rs", b"pub fn x() {}\n\xFF\xFE broken\n");
+    let err = scan_workspace(&fx.root).expect_err("non-UTF-8 must fail the scan");
+    assert!(matches!(err, Error::NotUtf8(_, _)), "{err:?}");
+    let msg = err.to_string();
+    assert!(msg.contains("blob.rs"), "names the offending file: {msg}");
+    assert!(msg.contains("not valid UTF-8"), "says what is wrong: {msg}");
+    assert!(msg.contains("offset 14"), "locates the first bad byte: {msg}");
+}
+
+#[test]
+fn sarif_output_validates_against_the_2_1_0_skeleton() {
+    let fx = Fixture::new("sarif");
+    fx.file(
+        "crates/sim/src/lib.rs",
+        "pub fn f(x: Option<u32>) -> u32 { x.unwrap() }\n",
+    );
+    let report = fx.scan();
+    assert_eq!(report.findings.len(), 1);
+
+    let doc = Value::parse(&render_sarif(&report)).expect("SARIF output is valid JSON");
+    assert_eq!(doc.get("$schema").and_then(Value::as_str), Some(SARIF_SCHEMA));
+    assert_eq!(doc.get("version").and_then(Value::as_str), Some(SARIF_VERSION));
+    let runs = doc.get("runs").and_then(Value::as_arr).expect("runs array");
+    assert_eq!(runs.len(), 1);
+
+    let driver = runs[0]
+        .get("tool")
+        .and_then(|t| t.get("driver"))
+        .expect("tool.driver");
+    assert_eq!(driver.get("name").and_then(Value::as_str), Some("rfid-analysis"));
+    let rules = driver.get("rules").and_then(Value::as_arr).expect("driver.rules");
+    assert_eq!(rules.len(), ALL_RULES.len(), "every rule is declared");
+    for rule in rules {
+        assert!(rule.get("id").and_then(Value::as_str).is_some());
+        assert!(rule
+            .get("shortDescription")
+            .and_then(|d| d.get("text"))
+            .and_then(Value::as_str)
+            .is_some());
+    }
+
+    let results = runs[0].get("results").and_then(Value::as_arr).expect("results");
+    assert_eq!(results.len(), 1);
+    let result = &results[0];
+    assert_eq!(result.get("ruleId").and_then(Value::as_str), Some("unwrap"));
+    assert_eq!(result.get("level").and_then(Value::as_str), Some("error"));
+    assert!(result
+        .get("message")
+        .and_then(|m| m.get("text"))
+        .and_then(Value::as_str)
+        .is_some());
+    let loc = result.get("locations").and_then(Value::as_arr).expect("locations")[0]
+        .get("physicalLocation")
+        .expect("physicalLocation");
+    let artifact = loc.get("artifactLocation").expect("artifactLocation");
+    assert_eq!(
+        artifact.get("uri").and_then(Value::as_str),
+        Some("crates/sim/src/lib.rs")
+    );
+    assert_eq!(artifact.get("uriBaseId").and_then(Value::as_str), Some("SRCROOT"));
+    assert_eq!(
+        loc.get("region").and_then(|r| r.get("startLine")).and_then(Value::as_num),
+        Some(1.0)
+    );
+}
+
+#[test]
+fn json_output_carries_the_full_report() {
+    let fx = Fixture::new("json-out");
+    fx.file(
+        "crates/sim/src/lib.rs",
+        "pub fn f(x: Option<u32>) -> u32 { x.unwrap() }\n",
+    );
+    let report = fx.scan();
+    let doc = Value::parse(&render_json(&report)).expect("JSON output parses");
+    assert_eq!(doc.get("tool").and_then(Value::as_str), Some("rfid-analysis"));
+    assert_eq!(doc.get("clean"), Some(&Value::Bool(false)));
+    assert_eq!(doc.get("files_scanned").and_then(Value::as_num), Some(1.0));
+    let findings = doc.get("findings").and_then(Value::as_arr).expect("findings");
+    assert_eq!(findings.len(), 1);
+    assert_eq!(findings[0].get("rule").and_then(Value::as_str), Some("unwrap"));
 }
 
 #[test]

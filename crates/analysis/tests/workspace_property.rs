@@ -1,0 +1,98 @@
+//! Workspace-wide lexer property: tokenizing masked source is lossless.
+//!
+//! The scope tree, and with it every v2 rule, is built from the token
+//! stream — so the one invariant everything rests on is that the lexer
+//! neither drops nor invents bytes. `reserialize` lays the tokens back
+//! over a whitespace canvas; if the result is byte-for-byte the masked
+//! input, every non-whitespace byte was captured by exactly one token
+//! with a correct span. This test enforces that over **every** `.rs`
+//! file in the repository, so any Rust construct the workspace adopts
+//! becomes part of the lexer's test corpus automatically.
+
+use rfid_analysis::lexer::{lex, reserialize};
+use rfid_analysis::mask::mask_source;
+use std::path::{Path, PathBuf};
+
+/// The repository root: two levels above this crate's manifest.
+fn workspace_root() -> PathBuf {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/analysis sits two levels below the root")
+        .to_path_buf()
+}
+
+/// Every `.rs` file in the repository, build products and VCS internals
+/// excluded.
+fn collect_rust_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let name = entry.file_name();
+        if path.is_dir() {
+            if name != "target" && name != ".git" {
+                collect_rust_files(&path, out);
+            }
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+#[test]
+fn lexer_reserializes_every_workspace_file_byte_for_byte() {
+    let root = workspace_root();
+    let mut paths = Vec::new();
+    collect_rust_files(&root, &mut paths);
+    paths.sort();
+    assert!(
+        paths.len() > 50,
+        "walker found only {} files under {} — wrong root?",
+        paths.len(),
+        root.display()
+    );
+    for path in &paths {
+        let text = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
+        let masked_bytes = mask_source(&text);
+        let masked = String::from_utf8_lossy(&masked_bytes);
+        let tokens = lex(&masked);
+        let back = reserialize(&tokens, &masked);
+        if back != masked.as_bytes() {
+            let mismatch = back
+                .iter()
+                .zip(masked.as_bytes())
+                .position(|(a, b)| a != b)
+                .unwrap_or(back.len().min(masked.len()));
+            panic!(
+                "{}: token stream does not reserialize to the masked source \
+                 (first divergence at byte {mismatch}, {} tokens)",
+                path.display(),
+                tokens.len()
+            );
+        }
+    }
+}
+
+#[test]
+fn masking_preserves_length_and_line_structure_everywhere() {
+    // Companion invariant: masked text must stay byte-aligned with the
+    // original, or every reported line/offset would drift.
+    let root = workspace_root();
+    let mut paths = Vec::new();
+    collect_rust_files(&root, &mut paths);
+    for path in &paths {
+        let text = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
+        let masked = mask_source(&text);
+        assert_eq!(masked.len(), text.len(), "{}: length drift", path.display());
+        for (i, (&m, o)) in masked.iter().zip(text.bytes()).enumerate() {
+            if o == b'\n' || m == b'\n' {
+                assert_eq!(m, o, "{}: newline drift at byte {i}", path.display());
+            }
+        }
+    }
+}

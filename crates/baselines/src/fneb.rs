@@ -110,6 +110,7 @@ impl CardinalityEstimator for Fneb {
             let watched = true_min.saturating_add(1).min(f);
             let mut counts = vec![0u32; watched];
             if true_min < f {
+                // analysis:allow(panic-path): guarded by true_min < f, and watched = true_min + 1 on that branch
                 counts[true_min] = 1;
             }
             let sensed = system.sense_counts(&counts);
@@ -124,7 +125,9 @@ impl CardinalityEstimator for Fneb {
         let mean_pos = position_sum / rounds as f64;
         // Invert E[pos] = 1/q, q = 1 - (1 - 1/f)^n.
         let q_hat = (1.0 / mean_pos).min(1.0 - 1e-12);
-        let n_hat = (1.0 - q_hat).ln() / (1.0 - 1.0 / f as f64).ln();
+        // ln(1 - x) via ln_1p(-x): q_hat can sit next to 0 (huge frames)
+        // where 1.0 - q_hat would round away the whole signal.
+        let n_hat = (-q_hat).ln_1p() / (-1.0 / f as f64).ln_1p();
 
         let end = system.air_time();
         EstimationReport {

@@ -145,6 +145,7 @@ impl CardinalityEstimator for QInventory {
                     // answers with probability 1, so an empty slot at
                     // Q = 0 proves the population is exhausted; a long
                     // empty streak at higher Q walks Q down first.
+                    // analysis:allow(float-sanity): Q is a protocol register stepped in exact ±1.0 increments; 0.0 is hit exactly
                     if q == 0.0 {
                         empty_streak += 1;
                         if empty_streak > 2 {

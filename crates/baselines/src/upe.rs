@@ -28,6 +28,7 @@ pub fn collision_lambda(collision_frac: f64) -> Option<f64> {
     if !(0.0..1.0).contains(&collision_frac) {
         return None;
     }
+    // analysis:allow(float-sanity): exact 0.0 is the no-collisions sentinel (count 0 / frames); the inversion below diverges there
     if collision_frac == 0.0 {
         return Some(0.0);
     }

@@ -58,6 +58,7 @@ impl<'a> BloomPlan<'a> {
         if let &[s0, s1, s2] = self.seeds {
             let mut pairs = tags.chunks_exact(2);
             for pair in pairs.by_ref() {
+                // analysis:allow(panic-path): chunks_exact(2) yields slices of exactly two tags
                 let (a, b) = (&pair[0], &pair[1]);
                 let mut sa = PersistenceSampler::new(a.rn, s0);
                 let mut sb = PersistenceSampler::new(b.rn, s0);
@@ -101,6 +102,7 @@ impl<'a> BloomPlan<'a> {
             return;
         }
         for tag in tags {
+            // analysis:allow(panic-path): seeds carries k >= 1 entries, enforced by BfceConfig::validate at setup
             let mut sampler = PersistenceSampler::new(tag.rn, self.seeds[0]);
             for &seed in self.seeds {
                 if sampler.respond(p_n) {
@@ -127,7 +129,9 @@ impl ResponsePlan for BloomPlan<'_> {
         let w = self.cfg.w;
         match self.cfg.hasher {
             HasherKind::XorBitget => {
-                assert!(
+                // BfceConfig::validate() hard-asserts this at setup; here it
+                // is an internal invariant re-check, debug-only by design.
+                debug_assert!(
                     w.is_power_of_two() && w <= (1usize << 32),
                     "XorBitgetHasher requires w to be a power of two <= 2^32, got {w}"
                 );
@@ -135,7 +139,7 @@ impl ResponsePlan for BloomPlan<'_> {
                 self.fill_with(tags, sink, |tag, seed| ((tag.rn ^ seed) as usize) & mask);
             }
             HasherKind::Mix64 => {
-                assert!(w >= 1, "w must be positive");
+                debug_assert!(w >= 1, "w must be positive");
                 self.fill_with(tags, sink, |tag, seed| {
                     bucket(mix_pair(tag.id, seed as u64), w)
                 });

@@ -50,6 +50,7 @@ pub fn estimate_union(
     let mut merged = Bitmap::zeros(w);
     let mut input_rhos = Vec::with_capacity(frames.len());
     for frame in frames {
+        // analysis:allow(panic-path): documented input-validation panic; every frame must be checked, which needs the loop
         assert_eq!(
             frame.observed(),
             w,

@@ -100,6 +100,7 @@ impl BfceConfig {
     pub fn validate(&self) {
         assert!(self.w >= 2, "w must be at least 2");
         if self.hasher == HasherKind::XorBitget {
+            // analysis:allow(panic-path): validate() is the designated loud precondition gate, run once at setup
             assert!(
                 self.w.is_power_of_two(),
                 "the XOR-bitget hash requires w to be a power of two, got {}",

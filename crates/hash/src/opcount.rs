@@ -114,10 +114,14 @@ pub fn bfce_frame_ops(k: u64) -> TagOps {
     let mut ops = TagOps::default();
     let tag = TagIdentity { id: 1, rn: 2 };
     let mut state = XorShift32::new(3);
-    for i in 0..k {
-        counted_xor_bitget(tag, i as u32, 8192, &mut ops);
+    // Frame seeds are 32-bit on the air, so the per-frame counter is a
+    // u32 that wraps exactly as a tag would observe it.
+    let mut seed: u32 = 0;
+    for _ in 0..k {
+        counted_xor_bitget(tag, seed, 8192, &mut ops);
         counted_xorshift_draw(&mut state, 10, &mut ops);
         ops.compare += 1; // draw < p_n
+        seed = seed.wrapping_add(1);
     }
     ops
 }
@@ -127,10 +131,12 @@ pub fn bfce_mix_frame_ops(k: u64) -> TagOps {
     let mut ops = TagOps::default();
     let tag = TagIdentity { id: 1, rn: 2 };
     let mut state = XorShift32::new(3);
-    for i in 0..k {
-        counted_mix_slot(tag, i as u32, 8192, &mut ops);
+    let mut seed: u32 = 0;
+    for _ in 0..k {
+        counted_mix_slot(tag, seed, 8192, &mut ops);
         counted_xorshift_draw(&mut state, 10, &mut ops);
         ops.compare += 1;
+        seed = seed.wrapping_add(1);
     }
     ops
 }

@@ -37,6 +37,7 @@ impl PersistenceSampler {
     #[inline]
     pub fn new(tag_rn: u32, phase_seed: u32) -> Self {
         Self {
+            // analysis:allow(cast-truncation): intentionally keeps the low 32 bits of a full-avalanche mix; golden CSVs pin this exact seed derivation
             rng: XorShift32::new(mix_pair(tag_rn as u64, phase_seed as u64) as u32),
         }
     }

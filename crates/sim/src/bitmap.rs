@@ -128,6 +128,7 @@ impl Bitmap {
         let rem = prefix % 64;
         if rem > 0 {
             let mask = (1u64 << rem) - 1;
+            // analysis:allow(panic-path): rem > 0 with prefix <= len implies full_words < words.len()
             total += (self.words[full_words] & mask).count_ones() as usize;
         }
         total

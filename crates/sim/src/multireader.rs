@@ -60,6 +60,7 @@ impl MultiReaderDeployment {
         for coverage in &self.coverages {
             for &tag in coverage {
                 if let Some(existing) = by_id.insert(tag.id, tag) {
+                    // analysis:allow(panic-path): documented input-validation panic on corrupted deployment data; a should_panic test pins it
                     assert_eq!(
                         existing.rn, tag.rn,
                         "tag {} reported with inconsistent RN",

@@ -73,9 +73,8 @@ impl TagPopulation {
     /// A sub-population (e.g. one physical reader's coverage in the
     /// multi-reader model). Clones the selected tags.
     pub fn subset(&self, range: std::ops::Range<usize>) -> TagPopulation {
-        TagPopulation {
-            tags: self.tags[range].to_vec(),
-        }
+        let tags = self.tags[range].to_vec();
+        TagPopulation { tags }
     }
 }
 

@@ -34,12 +34,15 @@ pub fn binomial_pmf(n: u64, k: u64, p: f64) -> f64 {
     if k > n {
         return 0.0;
     }
+    // analysis:allow(float-sanity): exact domain boundaries of the parameter p, where p.ln() below is undefined
     if p == 0.0 {
         return if k == 0 { 1.0 } else { 0.0 };
     }
+    // analysis:allow(float-sanity): exact domain boundary; (1 - p).ln() below is undefined at p = 1
     if p == 1.0 {
         return if k == n { 1.0 } else { 0.0 };
     }
+    // analysis:allow(float-sanity): golden CSV (guarantee_quick) pins this exact expression bit-for-bit; p is bounded away from 1 by the guard above
     let ln = ln_choose(n, k) + k as f64 * p.ln() + (n - k) as f64 * (1.0 - p).ln();
     ln.exp()
 }
@@ -85,6 +88,7 @@ pub fn majority_rounds(delta: f64, per_round: f64) -> u64 {
             return m;
         }
         m += 2;
+        // analysis:allow(panic-path): loud non-convergence beats an infinite loop; the cap is the failure report itself
         assert!(m < 10_001, "majority_rounds failed to converge");
     }
 }

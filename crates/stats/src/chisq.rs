@@ -40,6 +40,7 @@ pub fn chi_square_statistic_against(observed: &[u64], expected: &[f64]) -> f64 {
         .iter()
         .zip(expected)
         .map(|(&o, &e)| {
+            // analysis:allow(panic-path): documented input validation; each expected count must be checked where it is consumed
             assert!(e > 0.0, "expected counts must be positive, got {e}");
             let diff = o as f64 - e;
             diff * diff / e

@@ -14,6 +14,7 @@ pub fn ks_statistic(a: &[f64], b: &[f64]) -> f64 {
     assert!(!a.is_empty() && !b.is_empty(), "KS needs non-empty samples");
     let prepare = |xs: &[f64]| -> Vec<f64> {
         let mut v = xs.to_vec();
+        // analysis:allow(panic-path): documented input validation (NaN poisons every CDF comparison); runs once per sample
         assert!(
             v.iter().all(|x| !x.is_nan()),
             "KS input must not contain NaN"
@@ -27,6 +28,7 @@ pub fn ks_statistic(a: &[f64], b: &[f64]) -> f64 {
     let mut max_gap = 0.0f64;
     while i < a.len() && j < b.len() {
         // Advance the sample with the smaller next value.
+        // analysis:allow(panic-path): i < a.len() and j < b.len() are the while-loop conditions
         if a[i] <= b[j] {
             i += 1;
         } else {

@@ -32,6 +32,7 @@ pub fn erf(x: f64) -> f64 {
         return f64::NAN;
     }
     let ax = x.abs();
+    // analysis:allow(float-sanity): exact zero short-circuit; erf(0) = 0 and the series below would 0/0
     if ax == 0.0 {
         return 0.0;
     }
@@ -147,12 +148,14 @@ pub fn erfinv(y: f64) -> f64 {
     if y.is_nan() || !(-1.0..=1.0).contains(&y) {
         return f64::NAN;
     }
+    // analysis:allow(float-sanity): exact domain endpoints of erfinv, mapped to their defining limits
     if y == 1.0 {
         return f64::INFINITY;
     }
     if y == -1.0 {
         return f64::NEG_INFINITY;
     }
+    // analysis:allow(float-sanity): exact zero short-circuit; erfinv(0) = 0 and Newton iteration below needs a nonzero target
     if y == 0.0 {
         return 0.0;
     }

@@ -48,9 +48,11 @@ pub fn percentile(xs: &[f64], q: f64) -> f64 {
     let lo = rank.floor() as usize;
     let hi = rank.ceil() as usize;
     if lo == hi {
+        // analysis:allow(panic-path): rank <= len - 1 by construction, so lo = floor(rank) is in range
         sorted[lo]
     } else {
         let frac = rank - lo as f64;
+        // analysis:allow(panic-path): hi = ceil(rank) <= len - 1 since rank <= len - 1, lo < hi
         sorted[lo] * (1.0 - frac) + sorted[hi] * frac
     }
 }

@@ -73,6 +73,7 @@ impl ChurnProcess {
                 let batch = self.arrivals_from.generate(arrivals - added, rng);
                 for &tag in batch.tags() {
                     if !existing.contains(&tag.id)
+                        // analysis:allow(panic-path): added counts pushes onto survivors this round, so len() >= added always
                         && !survivors[survivors.len() - added..]
                             .iter()
                             .any(|t| t.id == tag.id)

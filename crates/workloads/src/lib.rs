@@ -98,6 +98,7 @@ fn draw_unique<R: Rng + ?Sized>(
     let max_attempts = 20 * n as u64 + 1000;
     while ids.len() < n {
         attempts += 1;
+        // analysis:allow(panic-path): the cap converts a pathological-distribution hang into a loud, named failure
         assert!(
             attempts <= max_attempts,
             "could not draw {n} unique IDs (space too small for distribution?)"
