@@ -144,7 +144,7 @@ impl RuleId {
                 "narrowing `as u8/u16/u32` cast on a frame/slot-width expression without a visible truncation guard"
             }
             RuleId::EstimatorRegistry => {
-                "an `impl CardinalityEstimator` type absent from the CLI registry or from every tests/ file"
+                "an `impl CardinalityEstimator` type absent from the CLI registry, from every tests/ file, or from the fault matrix"
             }
             RuleId::StaleAllow => {
                 "a suppression (analysis.toml or inline) that suppresses nothing, or a malformed inline allow"
@@ -226,12 +226,15 @@ impl RuleId {
             }
             RuleId::EstimatorRegistry => {
                 "Every `impl CardinalityEstimator for X` must be reachable from the\n\
-                 CLI (crates/cli/src/commands.rs, make_estimator) and exercised by\n\
-                 at least one integration test under a tests/ directory — otherwise\n\
-                 an estimator can silently rot out of the comparison figures.\n\n\
+                 CLI (crates/cli/src/commands.rs, make_estimator), exercised by\n\
+                 at least one integration test under a tests/ directory, and run\n\
+                 through the fault matrix (tests/fault_matrix.rs) — otherwise an\n\
+                 estimator can silently rot out of the comparison figures or ship\n\
+                 without a robustness contract.\n\n\
                  Compliant pattern:\n\
-                     add a `\"name\" => Some(Box::new(X::default()))` registry arm\n\
-                     and mention X in a tests/ file (smoke-construct it at least)"
+                     add a `\"name\" => Some(Box::new(X::default()))` registry arm,\n\
+                     mention X in a tests/ file (smoke-construct it at least),\n\
+                     and add X to estimator_family() in tests/fault_matrix.rs"
             }
             RuleId::StaleAllow => {
                 "Suppressions are debt: each one must keep suppressing a real\n\

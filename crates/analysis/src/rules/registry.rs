@@ -7,7 +7,10 @@
 //! 1. mentioned in the CLI registry ([`REGISTRY_PATH`], where
 //!    `make_estimator` maps names to boxed estimators), and
 //! 2. mentioned in at least one integration-test file (a `tests/`
-//!    directory at the workspace root or under a crate).
+//!    directory at the workspace root or under a crate), and
+//! 3. mentioned in the fault-matrix suite ([`FAULT_MATRIX_PATH`]), so
+//!    every estimator is exercised under every fault class the
+//!    robustness ablation injects.
 //!
 //! Otherwise an estimator can silently rot out of the comparison figures:
 //! it compiles, it is never constructed, and nobody notices the paper's
@@ -21,6 +24,10 @@ use crate::source::SourceFile;
 /// Workspace-relative path of the CLI estimator registry.
 pub const REGISTRY_PATH: &str = "crates/cli/src/commands.rs";
 
+/// Workspace-relative path of the fault-injection matrix suite every
+/// estimator must appear in.
+pub const FAULT_MATRIX_PATH: &str = "tests/fault_matrix.rs";
+
 /// Trait whose implementors the rule tracks.
 const ESTIMATOR_TRAITS: &[&str] = &["CardinalityEstimator"];
 
@@ -29,6 +36,7 @@ const ESTIMATOR_TRAITS: &[&str] = &["CardinalityEstimator"];
 /// which the per-file rules deliberately do not scan).
 pub fn check_workspace_registry(files: &[SourceFile], tests: &[SourceFile]) -> Vec<Finding> {
     let registry = files.iter().find(|f| f.rel_path == REGISTRY_PATH);
+    let fault_matrix = tests.iter().find(|f| f.rel_path == FAULT_MATRIX_PATH);
     let mut findings = Vec::new();
     for file in files {
         for (trait_name, type_name, scope) in file.scopes().trait_impls() {
@@ -41,6 +49,12 @@ pub fn check_workspace_registry(files: &[SourceFile], tests: &[SourceFile]) -> V
             }
             if !tests.iter().any(|t| t.mentions_ident(type_name)) {
                 missing.push("every tests/ file (no integration test constructs it)".to_string());
+            }
+            if !fault_matrix.is_some_and(|f| f.mentions_ident(type_name)) {
+                missing.push(format!(
+                    "the fault matrix ({FAULT_MATRIX_PATH}; new estimators must pass \
+                     every fault class)"
+                ));
             }
             if missing.is_empty() {
                 continue;
@@ -78,7 +92,10 @@ mod tests {
             lib("crates/baselines/src/zoe.rs", "baselines", IMPL_ZOE),
             lib(REGISTRY_PATH, "cli", "fn make_estimator(n: &str) -> Option<u8> {\n    match n { \"zoe\" => Some(Zoe::BIT), _ => None }\n}\n"),
         ];
-        let tests = vec![lib("tests/end_to_end.rs", ".", "fn smoke() { let z = Zoe::default(); }\n")];
+        let tests = vec![
+            lib("tests/end_to_end.rs", ".", "fn smoke() { let z = Zoe::default(); }\n"),
+            lib(FAULT_MATRIX_PATH, ".", "fn matrix() { run(Zoe::default()); }\n"),
+        ];
         assert!(check_workspace_registry(&files, &tests).is_empty());
     }
 
@@ -88,7 +105,10 @@ mod tests {
             lib("crates/baselines/src/zoe.rs", "baselines", IMPL_ZOE),
             lib(REGISTRY_PATH, "cli", "fn make_estimator(_n: &str) -> Option<u8> { None }\n"),
         ];
-        let tests = vec![lib("tests/end_to_end.rs", ".", "fn smoke() { let z = Zoe::default(); }\n")];
+        let tests = vec![
+            lib("tests/end_to_end.rs", ".", "fn smoke() { let z = Zoe::default(); }\n"),
+            lib(FAULT_MATRIX_PATH, ".", "fn matrix() { run(Zoe::default()); }\n"),
+        ];
         let found = check_workspace_registry(&files, &tests);
         assert_eq!(found.len(), 1);
         assert_eq!(found[0].rule, RuleId::EstimatorRegistry);
@@ -106,6 +126,40 @@ mod tests {
         let found = check_workspace_registry(&files, &[]);
         assert_eq!(found.len(), 1);
         assert!(found[0].message.contains("tests/"), "{}", found[0].message);
+    }
+
+    #[test]
+    fn estimator_missing_from_fault_matrix_fires() {
+        let files = vec![
+            lib("crates/baselines/src/zoe.rs", "baselines", IMPL_ZOE),
+            lib(REGISTRY_PATH, "cli", "fn make_estimator(n: &str) -> u8 { Zoe::BIT }\n"),
+        ];
+        // Mentioned in an ordinary integration test but absent from the
+        // fault matrix: the robustness leg alone fires.
+        let tests = vec![lib(
+            "tests/end_to_end.rs",
+            ".",
+            "fn smoke() { let z = Zoe::default(); }\n",
+        )];
+        let found = check_workspace_registry(&files, &tests);
+        assert_eq!(found.len(), 1);
+        assert!(
+            found[0].message.contains("fault matrix"),
+            "{}",
+            found[0].message
+        );
+        // A fault-matrix mention clears it.
+        let tests = vec![
+            lib("tests/end_to_end.rs", ".", "fn smoke() { let z = Zoe::default(); }\n"),
+            lib(FAULT_MATRIX_PATH, ".", "fn matrix() { run(Zoe::default()); }\n"),
+        ];
+        assert!(check_workspace_registry(&files, &tests).is_empty());
+        // ...but only as a word-boundary identifier, not inside a comment.
+        let tests = vec![
+            lib("tests/end_to_end.rs", ".", "fn smoke() { let z = Zoe::default(); }\n"),
+            lib(FAULT_MATRIX_PATH, ".", "// Zoe is merely discussed\nfn matrix() {}\n"),
+        ];
+        assert_eq!(check_workspace_registry(&files, &tests).len(), 1);
     }
 
     #[test]

@@ -352,6 +352,7 @@ impl CardinalityEstimator for Phantom {
         "pub fn build() -> Phantom { Phantom }\n",
     );
     fx.file("tests/smoke.rs", "#[test]\nfn t() { /* Phantom absent */ }\n");
+    fx.file("tests/fault_matrix.rs", "#[test]\nfn m() {}\n");
     let report = fx.scan();
     assert_eq!(report.findings.len(), 1, "{:?}", report.findings);
     let f = &report.findings[0];
@@ -360,11 +361,26 @@ impl CardinalityEstimator for Phantom {
     assert_eq!(f.line, 2, "points at the impl header");
     assert!(f.message.contains("Phantom"), "{}", f.message);
     assert!(f.message.contains("tests/"), "{}", f.message);
+    assert!(f.message.contains("fault matrix"), "{}", f.message);
 
-    // Constructing it in any tests/ file clears the finding.
+    // Constructing it in a tests/ file and the fault matrix clears it.
     fx.file("tests/smoke.rs", "#[test]\nfn t() { let _ = Phantom; }\n");
+    fx.file(
+        "tests/fault_matrix.rs",
+        "#[test]\nfn m() { run(Phantom); }\n",
+    );
     let report = fx.scan();
     assert!(report.is_clean(), "{:?}", report.findings);
+
+    // Dropping the fault-matrix mention re-fires the third leg alone.
+    fx.file("tests/fault_matrix.rs", "#[test]\nfn m() {}\n");
+    let report = fx.scan();
+    assert_eq!(report.findings.len(), 1, "{:?}", report.findings);
+    assert!(
+        report.findings[0].message.contains("fault matrix"),
+        "{}",
+        report.findings[0].message
+    );
 }
 
 #[test]

@@ -14,11 +14,15 @@ USAGE:
   rfid trace     --n <count> [--workload T1] [--seed 42]
   rfid workload  --spec <T1|T2|T3|sequential|clustered> --n <count> [--seed 42]
   rfid diff      --n <count> [--departed 1000] [--arrived 500] [--seed 42]
+  rfid robustness [--n 8000] [--classes abort,dropout] [--intensities 0.25,0.75]
+                 [--estimators bfce,zoe,upe,fneb] [--epsilon 0.05] [--delta 0.05]
+                 [--seed 42] [--trials 3] [--jobs 0]
   rfid info
   rfid help
 
 Estimators: bfce, zoe, src, lof, upe, ezb, fneb, art, mle, pet, a3, inventory
 Workloads:  T1 (uniform), T2 (approx normal), T3 (normal), sequential, clustered
+Faults:     abort, burst, desync, dropout, capture, imperfect-hash, bit-error
 ";
 
 /// Options shared by the estimation-style subcommands.
@@ -94,6 +98,46 @@ pub struct DiffOpts {
     pub seed: u64,
 }
 
+/// Options for `robustness`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RobustnessOpts {
+    /// Population size per trial.
+    pub n: usize,
+    /// Fault classes to sweep (validated downstream against the
+    /// experiment registry).
+    pub classes: Vec<String>,
+    /// Fault intensities, each in [0, 1].
+    pub intensities: Vec<f64>,
+    /// Estimator names to sweep.
+    pub estimators: Vec<String>,
+    /// Accuracy epsilon.
+    pub epsilon: f64,
+    /// Accuracy delta.
+    pub delta: f64,
+    /// Base RNG seed.
+    pub seed: u64,
+    /// Trials per cell.
+    pub trials: u32,
+    /// Worker threads (0 = one per CPU core).
+    pub jobs: usize,
+}
+
+impl Default for RobustnessOpts {
+    fn default() -> Self {
+        Self {
+            n: 8_000,
+            classes: Vec::new(), // empty = every class
+            intensities: vec![0.25, 0.75],
+            estimators: vec!["bfce".into(), "zoe".into(), "upe".into(), "fneb".into()],
+            epsilon: 0.05,
+            delta: 0.05,
+            seed: 42,
+            trials: 3,
+            jobs: 0,
+        }
+    }
+}
+
 /// A parsed command line.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Command {
@@ -107,6 +151,8 @@ pub enum Command {
     Workload(WorkloadOpts),
     /// `rfid diff …`
     Diff(DiffOpts),
+    /// `rfid robustness …`
+    Robustness(RobustnessOpts),
     /// `rfid info`
     Info,
     /// `rfid help` (or no arguments)
@@ -185,8 +231,8 @@ fn fill_estimate_opts(
     if opts.rounds == 0 {
         return Err(ParseError("--trials must be at least 1".into()));
     }
-    if !(0.0..1.0).contains(&opts.ber) {
-        return Err(ParseError("--ber must lie in [0, 1)".into()));
+    if !(0.0..=1.0).contains(&opts.ber) {
+        return Err(ParseError("--ber must lie in [0, 1]".into()));
     }
     Ok(())
 }
@@ -265,6 +311,56 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                 return Err(ParseError("--departed exceeds --n".into()));
             }
             Ok(Command::Diff(opts))
+        }
+        "robustness" => {
+            let mut opts = RobustnessOpts::default();
+            for (key, value) in key_values(rest)? {
+                match key {
+                    "n" => opts.n = parse_num(key, value)?,
+                    "classes" => {
+                        opts.classes =
+                            value.split(',').map(|s| s.trim().to_string()).collect();
+                    }
+                    "intensities" => {
+                        opts.intensities = value
+                            .split(',')
+                            .map(|s| parse_num("intensities", s.trim()))
+                            .collect::<Result<_, _>>()?;
+                    }
+                    "estimators" => {
+                        opts.estimators =
+                            value.split(',').map(|s| s.trim().to_string()).collect();
+                    }
+                    "epsilon" => opts.epsilon = parse_num(key, value)?,
+                    "delta" => opts.delta = parse_num(key, value)?,
+                    "seed" => opts.seed = parse_num(key, value)?,
+                    "trials" | "rounds" => opts.trials = parse_num(key, value)?,
+                    "jobs" => opts.jobs = parse_num(key, value)?,
+                    other => {
+                        return Err(ParseError(format!("unknown option --{other}")))
+                    }
+                }
+            }
+            if opts.epsilon <= 0.0 || opts.epsilon >= 1.0 {
+                return Err(ParseError("--epsilon must lie in (0, 1)".into()));
+            }
+            if opts.delta <= 0.0 || opts.delta >= 1.0 {
+                return Err(ParseError("--delta must lie in (0, 1)".into()));
+            }
+            if opts.trials == 0 {
+                return Err(ParseError("--trials must be at least 1".into()));
+            }
+            if opts.estimators.is_empty() {
+                return Err(ParseError("--estimators list is empty".into()));
+            }
+            if opts.intensities.is_empty()
+                || opts.intensities.iter().any(|l| !(0.0..=1.0).contains(l))
+            {
+                return Err(ParseError(
+                    "--intensities must be a non-empty list within [0, 1]".into(),
+                ));
+            }
+            Ok(Command::Robustness(opts))
         }
         "info" => Ok(Command::Info),
         "help" | "--help" | "-h" => Ok(Command::Help),
@@ -379,6 +475,42 @@ mod tests {
         assert_eq!(d.arrived, 300);
         assert_eq!(d.seed, 5);
         assert!(parse(&argv("diff --n 10 --departed 11")).is_err());
+        Ok(())
+    }
+
+    #[test]
+    fn robustness_subcommand() -> Result<(), ParseError> {
+        let Command::Robustness(o) = parse(&argv(
+            "robustness --n 4000 --classes abort,dropout --intensities 0.1,0.9 \
+             --estimators bfce,zoe --trials 2 --seed 7 --jobs 2",
+        ))?
+        else {
+            panic!()
+        };
+        assert_eq!(o.n, 4_000);
+        assert_eq!(o.classes, vec!["abort", "dropout"]);
+        assert_eq!(o.intensities, vec![0.1, 0.9]);
+        assert_eq!(o.estimators, vec!["bfce", "zoe"]);
+        assert_eq!(o.trials, 2);
+        assert_eq!(o.seed, 7);
+        assert_eq!(o.jobs, 2);
+        // Bare invocation sweeps every class with the defaults.
+        let Command::Robustness(o) = parse(&argv("robustness"))? else {
+            panic!()
+        };
+        assert_eq!(o, RobustnessOpts::default());
+        assert!(parse(&argv("robustness --intensities 1.5")).is_err());
+        assert!(parse(&argv("robustness --trials 0")).is_err());
+        assert!(parse(&argv("robustness --bogus 1")).is_err());
+        Ok(())
+    }
+
+    #[test]
+    fn ber_accepts_the_closed_unit_interval() -> Result<(), ParseError> {
+        let Command::Estimate(o) = parse(&argv("estimate --ber 1.0"))? else {
+            panic!()
+        };
+        assert_eq!(o.ber, 1.0);
         Ok(())
     }
 

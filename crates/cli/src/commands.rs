@@ -1,9 +1,10 @@
 //! Subcommand implementations.
 
-use crate::args::{CompareOpts, EstimateOpts, WorkloadOpts};
+use crate::args::{CompareOpts, EstimateOpts, RobustnessOpts, WorkloadOpts};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rfid_baselines::{Art, Ezb, Fneb, Lof, Mle, Pet, QInventory, Src, Upe, Zoe, A3};
+use rfid_experiments::robustness::FaultClass;
 use rfid_experiments::TrialRunner;
 use rfid_bfce::overhead::{nominal_total_seconds, total_bit_slots};
 use rfid_bfce::theory::{gamma_bounds, max_cardinality};
@@ -227,6 +228,92 @@ pub fn diff(opts: &crate::args::DiffOpts, out: &mut dyn Write) -> std::io::Resul
     Ok(())
 }
 
+/// `rfid robustness` — fault intensity x estimator sweep.
+///
+/// Every `(class, intensity, estimator)` cell fans its trials out through
+/// [`TrialRunner`], with the fault schedule seeded per trial, so the
+/// printed table is identical at any `--jobs` setting.
+pub fn robustness(opts: &RobustnessOpts, out: &mut dyn Write) -> std::io::Result<()> {
+    let classes: Vec<FaultClass> = if opts.classes.is_empty() {
+        FaultClass::all().to_vec()
+    } else {
+        opts.classes
+            .iter()
+            .map(|name| {
+                FaultClass::parse(name)
+                    .ok_or_else(|| invalid(format!("unknown fault class '{name}'")))
+            })
+            .collect::<Result<_, _>>()?
+    };
+    let estimators = opts
+        .estimators
+        .iter()
+        .map(|name| {
+            make_estimator(name).ok_or_else(|| invalid(format!("unknown estimator '{name}'")))
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    let accuracy = Accuracy::new(opts.epsilon, opts.delta);
+    writeln!(
+        out,
+        "robustness sweep: n = {}, {} trials per cell, requirement ({}, {})",
+        opts.n, opts.trials, opts.epsilon, opts.delta
+    )?;
+    writeln!(
+        out,
+        "{:<14} {:>9} {:<10} {:>9} {:>9} {:>9} {:>9} {:>8}",
+        "class", "intensity", "estimator", "mean_err", "max_err", "degraded", "eps_eff", "retries"
+    )?;
+    for (class_idx, class) in classes.iter().enumerate() {
+        for (lambda_idx, &lambda) in opts.intensities.iter().enumerate() {
+            for (est_idx, est) in estimators.iter().enumerate() {
+                let cell = (class_idx as u64) << 16
+                    | (lambda_idx as u64) << 8
+                    | est_idx as u64;
+                let outcomes = TrialRunner::new(
+                    opts.trials,
+                    rfid_hash::stream_seed(opts.seed, cell),
+                )
+                .jobs(opts.jobs)
+                .map(|ctx| {
+                    let mut system = class.build_system(opts.n, lambda, ctx.seed);
+                    system.set_noise_seed(ctx.seed);
+                    system.set_frame_min_chunk(ctx.frame_min_chunk);
+                    let mut rng = ctx.rng();
+                    let report = est.estimate(&mut system, accuracy, &mut rng);
+                    let quality = system.quality();
+                    (
+                        report.relative_error(opts.n.max(1)),
+                        quality.degraded(),
+                        quality.widened(accuracy).epsilon,
+                        quality.retries,
+                    )
+                });
+                let trials = outcomes.len() as f64;
+                let mean_err = outcomes.iter().map(|o| o.0).sum::<f64>() / trials;
+                let max_err = outcomes.iter().map(|o| o.0).fold(0.0, f64::max);
+                let degraded =
+                    outcomes.iter().filter(|o| o.1).count() as f64 / trials;
+                let eps_eff = outcomes.iter().map(|o| o.2).sum::<f64>() / trials;
+                let retries =
+                    outcomes.iter().map(|o| o.3 as f64).sum::<f64>() / trials;
+                writeln!(
+                    out,
+                    "{:<14} {:>9.2} {:<10} {:>9.4} {:>9.4} {:>9.2} {:>9.4} {:>8.1}",
+                    class.name(),
+                    lambda,
+                    est.name(),
+                    mean_err,
+                    max_err,
+                    degraded,
+                    eps_eff,
+                    retries,
+                )?;
+            }
+        }
+    }
+    Ok(())
+}
+
 /// `rfid info` — the paper's headline numbers.
 pub fn info(out: &mut dyn Write) -> std::io::Result<()> {
     let cfg = BfceConfig::paper();
@@ -252,7 +339,7 @@ pub fn info(out: &mut dyn Write) -> std::io::Result<()> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::args::{CompareOpts, EstimateOpts, WorkloadOpts};
+    use crate::args::{CompareOpts, EstimateOpts, RobustnessOpts, WorkloadOpts};
     use rfid_workloads::WorkloadSpec;
 
     fn capture(f: impl FnOnce(&mut dyn Write) -> std::io::Result<()>) -> String {
@@ -371,6 +458,53 @@ mod tests {
             .collect();
         assert!((nums[0] - 4_000.0).abs() / 4_000.0 < 0.3, "{line}");
         assert!((nums[1] - 2_000.0).abs() / 2_000.0 < 0.4, "{line}");
+    }
+
+    #[test]
+    fn robustness_command_prints_every_cell() {
+        let opts = RobustnessOpts {
+            n: 2_000,
+            classes: vec!["abort".into(), "capture".into()],
+            intensities: vec![0.5],
+            estimators: vec!["bfce".into(), "zoe".into()],
+            trials: 1,
+            ..RobustnessOpts::default()
+        };
+        let s = capture(|out| robustness(&opts, out));
+        assert_eq!(s.matches("abort").count(), 2);
+        assert_eq!(s.matches("capture").count(), 2);
+        assert!(s.contains("degraded"));
+    }
+
+    #[test]
+    fn robustness_output_is_identical_at_any_job_count() {
+        let mk = |jobs| RobustnessOpts {
+            n: 2_000,
+            classes: vec!["abort".into(), "dropout".into()],
+            intensities: vec![0.75],
+            estimators: vec!["bfce".into()],
+            trials: 3,
+            jobs,
+            ..RobustnessOpts::default()
+        };
+        let lone = capture(|out| robustness(&mk(1), out));
+        let pooled = capture(|out| robustness(&mk(3), out));
+        assert_eq!(lone, pooled);
+    }
+
+    #[test]
+    fn robustness_rejects_unknown_names() {
+        let mut buf = Vec::new();
+        let opts = RobustnessOpts {
+            classes: vec!["gremlins".into()],
+            ..RobustnessOpts::default()
+        };
+        assert!(robustness(&opts, &mut buf).is_err());
+        let opts = RobustnessOpts {
+            estimators: vec!["bogus".into()],
+            ..RobustnessOpts::default()
+        };
+        assert!(robustness(&opts, &mut buf).is_err());
     }
 
     #[test]

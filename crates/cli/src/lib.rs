@@ -6,6 +6,7 @@
 //! * `compare`  — several protocols on the same population, side by side;
 //! * `trace`    — the event-level air schedule of one BFCE run;
 //! * `workload` — dump a generated tag-ID set;
+//! * `robustness` — estimator accuracy under injected faults;
 //! * `info`     — the paper's headline numbers for the current config.
 //!
 //! The argument parser is deliberately dependency-free (`--key value`
@@ -28,6 +29,7 @@ pub fn run(cmd: &Command, out: &mut dyn std::io::Write) -> std::io::Result<()> {
         Command::Trace(opts) => commands::trace(opts, out),
         Command::Workload(opts) => commands::workload(opts, out),
         Command::Diff(opts) => commands::diff(opts, out),
+        Command::Robustness(opts) => commands::robustness(opts, out),
         Command::Info => commands::info(out),
         Command::Help => {
             write!(out, "{}", args::USAGE)

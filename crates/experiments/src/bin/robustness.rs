@@ -1,0 +1,7 @@
+//! Robustness ablation: fault intensity x estimator sweep.
+use rfid_experiments::{configure, output::emit, robustness};
+
+fn main() {
+    let scale = configure(std::env::args().skip(1)).scale;
+    emit(&robustness::run_robustness(scale, 42), "robustness");
+}

@@ -40,6 +40,7 @@ pub mod golden;
 pub mod guarantee;
 pub mod output;
 pub mod plots;
+pub mod robustness;
 pub mod runner;
 pub mod summary;
 pub mod tracking;

@@ -60,9 +60,11 @@ pub struct BitErrorChannel {
 }
 
 impl BitErrorChannel {
-    /// New channel with slot mis-detection probability `ber` in `[0, 1)`.
+    /// New channel with slot mis-detection probability `ber` in the closed
+    /// interval `[0, 1]` (`1.0` = every slot misread, the adversarial
+    /// extreme the robustness sweeps probe).
     pub fn new(ber: f64) -> Self {
-        assert!((0.0..1.0).contains(&ber), "BER must lie in [0, 1), got {ber}");
+        assert!((0.0..=1.0).contains(&ber), "BER must lie in [0, 1], got {ber}");
         Self { ber }
     }
 
@@ -84,15 +86,21 @@ impl Channel for BitErrorChannel {
     }
 
     fn sense_aloha(&self, responders: u32, noise: &mut SplitMix64) -> AlohaOutcome {
+        // One draw per slot regardless of the truth, and a transition map
+        // symmetric under the Empty <-> Collision complement: swapping
+        // Empty and Collision on both sides of the map leaves it invariant
+        // (Empty -> Singleton mirrors Collision -> Singleton, and
+        // Singleton errs to each neighbour with probability ber / 2).
         let truth = AlohaOutcome::classify(responders);
-        if noise.next_f64() >= self.ber {
+        let u = noise.next_f64();
+        if u >= self.ber {
             return truth;
         }
         match truth {
             AlohaOutcome::Empty => AlohaOutcome::Singleton,
             AlohaOutcome::Collision => AlohaOutcome::Singleton,
             AlohaOutcome::Singleton => {
-                if noise.next_f64() < 0.5 {
+                if u < self.ber * 0.5 {
                     AlohaOutcome::Empty
                 } else {
                     AlohaOutcome::Collision
@@ -159,6 +167,92 @@ impl Channel for CaptureChannel {
     }
 }
 
+/// A channel modelling *imperfect on-tag hashing* (after "Analog On-Tag
+/// Hashing", see PAPERS.md): a tag scheduled to reply may fail to energize
+/// its slot (`p_miss`), and analog circuit leakage may energize a slot no
+/// tag was scheduled in (`p_ghost`). Unlike [`BitErrorChannel`]'s
+/// symmetric flips, the two directions have independent rates — real
+/// analog hash implementations miss far more often than they ghost.
+#[derive(Debug, Clone, Copy)]
+pub struct ImperfectHashChannel {
+    p_miss: f64,
+    p_ghost: f64,
+}
+
+impl ImperfectHashChannel {
+    /// New channel; `p_miss` (busy slot read idle) and `p_ghost` (idle
+    /// slot read busy) each in `[0, 1]`.
+    pub fn new(p_miss: f64, p_ghost: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&p_miss),
+            "miss probability must lie in [0, 1], got {p_miss}"
+        );
+        assert!(
+            (0.0..=1.0).contains(&p_ghost),
+            "ghost probability must lie in [0, 1], got {p_ghost}"
+        );
+        Self { p_miss, p_ghost }
+    }
+
+    /// Probability a busy slot is read as idle.
+    pub fn p_miss(&self) -> f64 {
+        self.p_miss
+    }
+
+    /// Probability an idle slot is read as busy.
+    pub fn p_ghost(&self) -> f64 {
+        self.p_ghost
+    }
+}
+
+impl Channel for ImperfectHashChannel {
+    #[inline]
+    fn sense_bitslot(&self, responders: u32, noise: &mut SplitMix64) -> bool {
+        // One draw either way, so the noise stream (and hence the result)
+        // depends on `responders` only through `responders > 0`.
+        let u = noise.next_f64();
+        if responders > 0 {
+            u >= self.p_miss
+        } else {
+            u < self.p_ghost
+        }
+    }
+
+    fn sense_aloha(&self, responders: u32, noise: &mut SplitMix64) -> AlohaOutcome {
+        let u = noise.next_f64();
+        match AlohaOutcome::classify(responders) {
+            AlohaOutcome::Empty => {
+                if u < self.p_ghost {
+                    AlohaOutcome::Singleton
+                } else {
+                    AlohaOutcome::Empty
+                }
+            }
+            AlohaOutcome::Singleton => {
+                if u < self.p_miss {
+                    AlohaOutcome::Empty
+                } else {
+                    AlohaOutcome::Singleton
+                }
+            }
+            // A missing responder demotes a 2-tag collision to a decodable
+            // singleton; larger pile-ups stay collisions overwhelmingly,
+            // which the single-step model approximates.
+            AlohaOutcome::Collision => {
+                if u < self.p_miss {
+                    AlohaOutcome::Singleton
+                } else {
+                    AlohaOutcome::Collision
+                }
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "imperfect-hash"
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -204,7 +298,7 @@ mod tests {
 
     #[test]
     fn aloha_errors_move_one_step() {
-        let ch = BitErrorChannel::new(1.0 - 1e-9); // always err
+        let ch = BitErrorChannel::new(1.0); // always err
         let mut noise = SplitMix64::new(4);
         for _ in 0..100 {
             assert_eq!(ch.sense_aloha(0, &mut noise), AlohaOutcome::Singleton);
@@ -215,9 +309,63 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "BER must lie in [0, 1)")]
-    fn rejects_ber_of_one() {
-        BitErrorChannel::new(1.0);
+    fn aloha_misclassification_is_complement_symmetric() {
+        // Under the Empty <-> Collision swap the error map must be
+        // invariant: P(Empty -> Singleton) = P(Collision -> Singleton) and
+        // a singleton errs to each neighbour equally often.
+        let ch = BitErrorChannel::new(0.4);
+        let trials = 200_000usize;
+        let mut noise = SplitMix64::new(21);
+        let empty_err = (0..trials)
+            .filter(|_| ch.sense_aloha(0, &mut noise) != AlohaOutcome::Empty)
+            .count() as f64;
+        let coll_err = (0..trials)
+            .filter(|_| ch.sense_aloha(7, &mut noise) != AlohaOutcome::Collision)
+            .count() as f64;
+        let (mut to_empty, mut to_coll) = (0f64, 0f64);
+        for _ in 0..trials {
+            match ch.sense_aloha(1, &mut noise) {
+                AlohaOutcome::Empty => to_empty += 1.0,
+                AlohaOutcome::Collision => to_coll += 1.0,
+                AlohaOutcome::Singleton => {}
+            }
+        }
+        let t = trials as f64;
+        assert!((empty_err / t - 0.4).abs() < 0.01);
+        assert!((coll_err / t - 0.4).abs() < 0.01);
+        assert!((to_empty / t - 0.2).abs() < 0.01, "to_empty {}", to_empty / t);
+        assert!((to_coll / t - 0.2).abs() < 0.01, "to_coll {}", to_coll / t);
+    }
+
+    #[test]
+    fn aloha_sensing_consumes_one_draw_per_slot() {
+        // Frame-level replay relies on every channel consuming a fixed
+        // number of draws per slot, independent of the truth.
+        let ch = BitErrorChannel::new(0.5);
+        for responders in [0u32, 1, 9] {
+            let mut a = SplitMix64::new(31);
+            let mut b = SplitMix64::new(31);
+            ch.sense_aloha(responders, &mut a);
+            b.next_f64();
+            assert_eq!(a.next_u64(), b.next_u64(), "responders = {responders}");
+        }
+    }
+
+    #[test]
+    fn accepts_closed_ber_interval() {
+        assert_eq!(BitErrorChannel::new(0.0).ber(), 0.0);
+        assert_eq!(BitErrorChannel::new(1.0).ber(), 1.0);
+        // ber = 1 inverts every bit-slot deterministically.
+        let ch = BitErrorChannel::new(1.0);
+        let mut noise = SplitMix64::new(6);
+        assert!(ch.sense_bitslot(0, &mut noise));
+        assert!(!ch.sense_bitslot(3, &mut noise));
+    }
+
+    #[test]
+    #[should_panic(expected = "BER must lie in [0, 1]")]
+    fn rejects_ber_above_one() {
+        BitErrorChannel::new(1.5);
     }
 
     #[test]
@@ -250,9 +398,46 @@ mod tests {
     }
 
     #[test]
+    fn imperfect_hash_rates_are_independent() {
+        let ch = ImperfectHashChannel::new(0.2, 0.05);
+        assert_eq!(ch.p_miss(), 0.2);
+        assert_eq!(ch.p_ghost(), 0.05);
+        let mut noise = SplitMix64::new(9);
+        let trials = 200_000usize;
+        let missed = (0..trials)
+            .filter(|_| !ch.sense_bitslot(4, &mut noise))
+            .count() as f64;
+        let ghosted = (0..trials)
+            .filter(|_| ch.sense_bitslot(0, &mut noise))
+            .count() as f64;
+        assert!((missed / trials as f64 - 0.2).abs() < 0.01);
+        assert!((ghosted / trials as f64 - 0.05).abs() < 0.005);
+    }
+
+    #[test]
+    fn imperfect_hash_aloha_demotions() {
+        let certain = ImperfectHashChannel::new(1.0, 1.0);
+        let mut noise = SplitMix64::new(10);
+        assert_eq!(certain.sense_aloha(0, &mut noise), AlohaOutcome::Singleton);
+        assert_eq!(certain.sense_aloha(1, &mut noise), AlohaOutcome::Empty);
+        assert_eq!(certain.sense_aloha(5, &mut noise), AlohaOutcome::Singleton);
+        let quiet = ImperfectHashChannel::new(0.0, 0.0);
+        assert_eq!(quiet.sense_aloha(0, &mut noise), AlohaOutcome::Empty);
+        assert_eq!(quiet.sense_aloha(1, &mut noise), AlohaOutcome::Singleton);
+        assert_eq!(quiet.sense_aloha(5, &mut noise), AlohaOutcome::Collision);
+    }
+
+    #[test]
+    #[should_panic(expected = "miss probability")]
+    fn imperfect_hash_rejects_out_of_range() {
+        ImperfectHashChannel::new(-0.1, 0.0);
+    }
+
+    #[test]
     fn names() {
         assert_eq!(PerfectChannel.name(), "perfect");
         assert_eq!(BitErrorChannel::new(0.01).name(), "bit-error");
         assert_eq!(CaptureChannel::new(0.5).name(), "capture");
+        assert_eq!(ImperfectHashChannel::new(0.1, 0.1).name(), "imperfect-hash");
     }
 }

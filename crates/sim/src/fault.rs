@@ -1,0 +1,605 @@
+//! Deterministic fault injection and degradation accounting.
+//!
+//! The paper assumes a perfect channel and perfectly synchronized readers
+//! (Section III-A). This module relaxes that assumption without giving up
+//! reproducibility: a [`FaultPlan`] is a *schedule* of injectable faults —
+//! frame aborts, slot-burst corruption, desynchronized reader offsets, and
+//! a mid-frame reader dropout — derived purely from a seed and the frame
+//! index via the workspace's SplitMix64 stream-splitting convention. The
+//! same plan replayed against the same system produces bit-identical
+//! degraded observations at any worker count, so every robustness sweep is
+//! a reproducible experiment, not an anecdote.
+//!
+//! Degradation is never silent: [`crate::system::RfidSystem`] threads a
+//! [`Quality`] record through every frame it executes, counting slots
+//! lost to salvage, slots garbled by bursts, retries spent, readers
+//! failed, and desynchronization events, and can widen an `(epsilon,
+//! delta)` requirement to reflect the observed damage.
+//!
+//! Fault semantics (see DESIGN.md, "Fault model & degradation semantics"):
+//!
+//! * **Frame abort** — the frame dies at a scheduled slot; the reader
+//!   retries with linear backoff up to `max_retries` times, and if every
+//!   attempt aborts it *salvages* the longest partial prefix, treating the
+//!   unobserved tail as idle and recording the loss.
+//! * **Slot burst** — a contiguous run of slots is replaced by random
+//!   energy (interference garbling both busy and idle slots).
+//! * **Desync** — a reader offset rotates the frame: slot `i` is observed
+//!   where slot `(i + offset) mod w` belongs.
+//! * **Reader dropout** — from a scheduled frame (and slot within it)
+//!   onward, only the surviving readers' coverage responds.
+
+use crate::bitmap::Bitmap;
+use crate::estimator::Accuracy;
+use crate::tag::TagPopulation;
+use rfid_hash::{stream_seed, SplitMix64};
+
+/// Domain-separation salts for the per-frame fault substreams.
+const FRAME_SALT: u64 = 0xFA_17_5C_3D_00_00_00_01;
+const BURST_SALT: u64 = 0xFA_17_5C_3D_00_00_00_02;
+
+/// Fault intensities. All probabilities are clamped into `[0, 1]` at draw
+/// time, so any `f64` is a valid (if extreme) configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultSpec {
+    /// Per-attempt probability that a frame aborts mid-way.
+    pub p_frame_abort: f64,
+    /// How many times an aborted frame is retried before the reader
+    /// salvages the longest partial prefix.
+    pub max_retries: u32,
+    /// Per-frame probability of a contiguous slot-corruption burst.
+    pub p_slot_burst: f64,
+    /// Length of a corruption burst, in slots (clamped to the frame).
+    pub burst_len: usize,
+    /// Per-frame probability of a desynchronized reader offset.
+    pub p_desync: f64,
+    /// Maximum rotation offset, as a fraction of the observed frame.
+    pub max_offset_frac: f64,
+}
+
+impl FaultSpec {
+    /// The all-quiet schedule: no fault ever fires.
+    pub fn none() -> Self {
+        Self {
+            p_frame_abort: 0.0,
+            max_retries: 3,
+            p_slot_burst: 0.0,
+            burst_len: 64,
+            p_desync: 0.0,
+            max_offset_frac: 0.25,
+        }
+    }
+}
+
+impl Default for FaultSpec {
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
+/// A reader failure scheduled mid-run: from frame `frame`, slot
+/// `at_frac * observe` onward, only `survivors` respond.
+#[derive(Debug, Clone)]
+pub struct ReaderDropout {
+    /// Frame index (0-based, counted per system) at which the dropout hits.
+    pub frame: u64,
+    /// Where within that frame the failure lands, as a fraction of the
+    /// observed slots (clamped to `[0, 1]`).
+    pub at_frac: f64,
+    /// The union coverage of the readers that stay up.
+    pub survivors: TagPopulation,
+    /// Number of physical readers lost.
+    pub readers_lost: u32,
+    /// Tags no longer covered by any surviving reader.
+    pub coverage_lost: u64,
+}
+
+/// A deterministic, seed-replayable schedule of faults.
+///
+/// Construction is cheap; the schedule is *virtual* — per-frame faults are
+/// derived on demand from `stream_seed(seed ^ salt, frame)`, so the plan
+/// is a pure function of `(spec, seed, frame, observe)` and replays
+/// identically regardless of worker count or execution order.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    spec: FaultSpec,
+    seed: u64,
+    dropout: Option<ReaderDropout>,
+}
+
+impl FaultPlan {
+    /// A plan drawing every fault decision from `seed`.
+    pub fn new(spec: FaultSpec, seed: u64) -> Self {
+        Self {
+            spec,
+            seed,
+            dropout: None,
+        }
+    }
+
+    /// Attach a scheduled reader dropout.
+    pub fn with_dropout(mut self, dropout: ReaderDropout) -> Self {
+        self.dropout = Some(dropout);
+        self
+    }
+
+    /// The fault intensities.
+    pub fn spec(&self) -> &FaultSpec {
+        &self.spec
+    }
+
+    /// The schedule seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The scheduled reader dropout, if any.
+    pub fn dropout(&self) -> Option<&ReaderDropout> {
+        self.dropout.as_ref()
+    }
+
+    /// The faults that hit frame `frame` when the reader observes
+    /// `observe` slots. Pure: same `(plan, frame, observe)` → same faults.
+    pub fn frame_faults(&self, frame: u64, observe: usize) -> FrameFaults {
+        let mut rng = SplitMix64::new(stream_seed(self.seed ^ FRAME_SALT, frame));
+        let p_abort = self.spec.p_frame_abort.clamp(0.0, 1.0);
+        let mut abort_points = Vec::new();
+        for _attempt in 0..=self.spec.max_retries {
+            if rng.next_f64() >= p_abort {
+                break;
+            }
+            let at = ((rng.next_f64() * observe as f64) as usize).min(observe.saturating_sub(1));
+            abort_points.push(at);
+        }
+        let salvaged = abort_points.len() == self.spec.max_retries as usize + 1;
+
+        let desync_offset = if rng.next_f64() < self.spec.p_desync.clamp(0.0, 1.0) {
+            let max_off =
+                (self.spec.max_offset_frac.clamp(0.0, 1.0) * observe as f64) as usize;
+            if max_off > 0 {
+                1 + (rng.next_u64() as usize % max_off)
+            } else {
+                0
+            }
+        } else {
+            0
+        };
+
+        let burst = if rng.next_f64() < self.spec.p_slot_burst.clamp(0.0, 1.0) && observe > 0 {
+            Some(SlotBurst {
+                start: rng.next_u64() as usize % observe,
+                len: self.spec.burst_len.clamp(1, observe),
+                seed: stream_seed(self.seed ^ BURST_SALT, frame),
+            })
+        } else {
+            None
+        };
+
+        FrameFaults {
+            abort_points,
+            salvaged,
+            desync_offset,
+            burst,
+        }
+    }
+}
+
+/// A contiguous run of slots replaced by random energy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SlotBurst {
+    /// First corrupted slot (wraps around the frame).
+    pub start: usize,
+    /// Number of corrupted slots.
+    pub len: usize,
+    /// Seed of the substream supplying the garbage bits.
+    pub seed: u64,
+}
+
+/// The concrete faults hitting one frame (the materialization of a
+/// [`FaultPlan`] at one frame index).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FrameFaults {
+    /// Abort slot of each failed attempt, in attempt order. Empty means
+    /// the first attempt succeeded.
+    pub abort_points: Vec<usize>,
+    /// True when every attempt (initial + all retries) aborted, so the
+    /// reader salvages the last partial prefix.
+    pub salvaged: bool,
+    /// Rotation offset from reader desynchronization (0 = in sync).
+    pub desync_offset: usize,
+    /// Slot-burst corruption, if scheduled.
+    pub burst: Option<SlotBurst>,
+}
+
+impl FrameFaults {
+    /// True when this frame runs exactly as if no fault layer existed.
+    pub fn is_clean(&self) -> bool {
+        self.abort_points.is_empty() && self.desync_offset == 0 && self.burst.is_none()
+    }
+}
+
+/// Degradation accounting for one estimation run.
+///
+/// Every [`crate::system::RfidSystem`] carries one of these; frame
+/// execution updates it, and the robustness harness reads it back next to
+/// the estimate so degraded numbers are *flagged*, never silently trusted.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Quality {
+    /// Frames executed (including uncharged batch frames).
+    pub frames: u64,
+    /// Slots the reader observed across all frames.
+    pub slots_observed: u64,
+    /// Extra frame attempts spent on aborted starts.
+    pub retries: u64,
+    /// Frames that exhausted their retry budget and were salvaged.
+    pub aborted_frames: u64,
+    /// Slots lost to salvage (unobserved, treated as idle).
+    pub slots_lost: u64,
+    /// Slots garbled by burst corruption.
+    pub slots_corrupted: u64,
+    /// Frames observed through a desynchronized offset.
+    pub desync_events: u64,
+    /// Physical readers lost to dropout.
+    pub readers_failed: u32,
+    /// Tags that lost all coverage when readers dropped out.
+    pub coverage_lost: u64,
+    /// True when the channel model is anything but the paper's perfect
+    /// channel (estimates then differ from the clean run by construction).
+    pub noisy_channel: bool,
+}
+
+impl Quality {
+    /// True when the estimate this record accompanies may deviate from the
+    /// clean same-seed run: information was lost, garbled, or drawn
+    /// through a noisy channel. Recovered retries alone do *not* degrade —
+    /// a successful retry re-observes the identical frame.
+    pub fn degraded(&self) -> bool {
+        self.slots_lost > 0
+            || self.slots_corrupted > 0
+            || self.desync_events > 0
+            || self.aborted_frames > 0
+            || self.readers_failed > 0
+            || self.coverage_lost > 0
+            || self.noisy_channel
+    }
+
+    /// Widen an accuracy requirement to reflect the recorded damage:
+    /// `epsilon` grows by the fraction of slots lost or corrupted,
+    /// `delta` by the fraction of frames salvaged or desynchronized.
+    /// Reader dropout is not absorbed into the bound — a coverage loss is
+    /// an undercount no interval width repairs — so callers must also
+    /// check [`degraded`](Self::degraded).
+    pub fn widened(&self, accuracy: Accuracy) -> Accuracy {
+        let slot_frac = if self.slots_observed > 0 {
+            (self.slots_lost + self.slots_corrupted) as f64 / self.slots_observed as f64
+        } else {
+            0.0
+        };
+        let frame_frac = if self.frames > 0 {
+            (self.aborted_frames + self.desync_events) as f64 / self.frames as f64
+        } else {
+            0.0
+        };
+        Accuracy::new(
+            (accuracy.epsilon + slot_frac).min(0.99),
+            (accuracy.delta + frame_frac).min(0.99),
+        )
+    }
+}
+
+/// Rotate a busy-truth bitmap by `offset` slots: output slot `i` shows
+/// what truly happened in slot `(i + offset) mod len` — the observation of
+/// a reader whose slot clock leads the population's.
+pub fn rotate_truth(truth: &Bitmap, offset: usize) -> Bitmap {
+    let n = truth.len();
+    let mut out = Bitmap::zeros(n);
+    if n == 0 {
+        return out;
+    }
+    let offset = offset % n;
+    for i in 0..n {
+        if truth.get((i + offset) % n) {
+            out.set(i);
+        }
+    }
+    out
+}
+
+/// Replace `burst.len` slots starting at `burst.start` (wrapping) with
+/// random energy drawn from the burst's substream. Returns the number of
+/// slots garbled.
+pub fn corrupt_truth(truth: &mut Bitmap, burst: &SlotBurst) -> u64 {
+    let n = truth.len();
+    if n == 0 {
+        return 0;
+    }
+    let mut rng = SplitMix64::new(burst.seed);
+    let len = burst.len.min(n);
+    for i in 0..len {
+        let slot = (burst.start + i) % n;
+        if rng.next_u64() & 1 == 1 {
+            truth.set(slot);
+        } else {
+            truth.clear(slot);
+        }
+    }
+    len as u64
+}
+
+/// Erase the unobserved tail `[from, len)` of a salvaged frame to idle.
+/// Returns the number of slots lost.
+pub fn erase_tail(truth: &mut Bitmap, from: usize) -> u64 {
+    let n = truth.len();
+    let from = from.min(n);
+    for i in from..n {
+        truth.clear(i);
+    }
+    (n - from) as u64
+}
+
+/// [`rotate_truth`] for per-slot Aloha responder counts.
+pub fn rotate_counts(counts: &[u32], offset: usize) -> Vec<u32> {
+    let n = counts.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let offset = offset % n;
+    (0..n).map(|i| counts[(i + offset) % n]).collect()
+}
+
+/// [`corrupt_truth`] for Aloha counts: each garbled slot reads as a
+/// uniformly random empty / singleton / collision.
+pub fn corrupt_counts(counts: &mut [u32], burst: &SlotBurst) -> u64 {
+    let n = counts.len();
+    if n == 0 {
+        return 0;
+    }
+    let mut rng = SplitMix64::new(burst.seed);
+    let len = burst.len.min(n);
+    for i in 0..len {
+        let slot = (burst.start + i) % n;
+        // analysis:allow(panic-path): slot = (start + i) % n is always < n == counts.len()
+        // analysis:allow(cast-truncation): the draw is reduced mod 3 before narrowing
+        counts[slot] = (rng.next_u64() % 3) as u32;
+    }
+    len as u64
+}
+
+/// [`erase_tail`] for Aloha counts: unobserved slots read as empty.
+pub fn erase_counts_tail(counts: &mut [u32], from: usize) -> u64 {
+    let n = counts.len();
+    let from = from.min(n);
+    for c in counts.iter_mut().skip(from) {
+        *c = 0;
+    }
+    (n - from) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn busy(bits: &[bool]) -> Bitmap {
+        let mut b = Bitmap::zeros(bits.len());
+        for (i, &on) in bits.iter().enumerate() {
+            if on {
+                b.set(i);
+            }
+        }
+        b
+    }
+
+    #[test]
+    fn quiet_spec_never_fires() {
+        let plan = FaultPlan::new(FaultSpec::none(), 42);
+        for frame in 0..200 {
+            let f = plan.frame_faults(frame, 1024);
+            assert!(f.is_clean(), "frame {frame} not clean: {f:?}");
+            assert!(!f.salvaged);
+        }
+    }
+
+    #[test]
+    fn frame_faults_replay_bitwise() {
+        let spec = FaultSpec {
+            p_frame_abort: 0.5,
+            max_retries: 2,
+            p_slot_burst: 0.4,
+            burst_len: 16,
+            p_desync: 0.3,
+            max_offset_frac: 0.25,
+        };
+        let a = FaultPlan::new(spec, 7);
+        let b = FaultPlan::new(spec, 7);
+        for frame in 0..500 {
+            assert_eq!(a.frame_faults(frame, 512), b.frame_faults(frame, 512));
+        }
+        // A different seed produces a different schedule somewhere.
+        let c = FaultPlan::new(spec, 8);
+        assert!((0..500).any(|f| a.frame_faults(f, 512) != c.frame_faults(f, 512)));
+    }
+
+    #[test]
+    fn abort_rate_tracks_probability() {
+        let spec = FaultSpec {
+            p_frame_abort: 0.3,
+            max_retries: 0,
+            ..FaultSpec::none()
+        };
+        let plan = FaultPlan::new(spec, 99);
+        let frames = 20_000u64;
+        let aborted = (0..frames)
+            .filter(|&f| !plan.frame_faults(f, 256).abort_points.is_empty())
+            .count();
+        let rate = aborted as f64 / frames as f64;
+        assert!((rate - 0.3).abs() < 0.02, "abort rate {rate}");
+    }
+
+    #[test]
+    fn salvage_requires_exhausting_every_retry() {
+        let spec = FaultSpec {
+            p_frame_abort: 1.0,
+            max_retries: 2,
+            ..FaultSpec::none()
+        };
+        let plan = FaultPlan::new(spec, 5);
+        let f = plan.frame_faults(0, 128);
+        assert_eq!(f.abort_points.len(), 3); // initial + 2 retries
+        assert!(f.salvaged);
+        assert!(f.abort_points.iter().all(|&a| a < 128));
+    }
+
+    #[test]
+    fn burst_and_offset_stay_in_range() {
+        let spec = FaultSpec {
+            p_slot_burst: 1.0,
+            burst_len: 10_000,
+            p_desync: 1.0,
+            max_offset_frac: 0.5,
+            ..FaultSpec::none()
+        };
+        let plan = FaultPlan::new(spec, 3);
+        for frame in 0..100 {
+            let f = plan.frame_faults(frame, 200);
+            let b = f.burst.expect("burst scheduled with p = 1");
+            assert!(b.start < 200);
+            assert_eq!(b.len, 200); // clamped to the frame
+            assert!(f.desync_offset >= 1 && f.desync_offset <= 100);
+        }
+    }
+
+    #[test]
+    fn rotate_truth_wraps() {
+        let b = busy(&[true, false, false, true]);
+        let r = rotate_truth(&b, 1);
+        // new[i] = old[(i + 1) % 4] -> [0, 0, 1, 1]
+        assert_eq!(
+            (0..4).map(|i| r.get(i)).collect::<Vec<_>>(),
+            vec![false, false, true, true]
+        );
+        // Rotating by the length is the identity.
+        assert_eq!(rotate_truth(&b, 4), b);
+        assert_eq!(rotate_truth(&b, 0), b);
+    }
+
+    #[test]
+    fn corrupt_truth_touches_exactly_the_burst() {
+        let mut b = busy(&[true; 16]);
+        let burst = SlotBurst {
+            start: 14,
+            len: 4,
+            seed: 11,
+        };
+        let garbled = corrupt_truth(&mut b, &burst);
+        assert_eq!(garbled, 4);
+        // Slots outside the wrapped burst {14, 15, 0, 1} are untouched.
+        for i in 2..14 {
+            assert!(b.get(i), "slot {i} outside the burst was modified");
+        }
+        // Replay is deterministic.
+        let mut c = busy(&[true; 16]);
+        corrupt_truth(&mut c, &burst);
+        assert_eq!(b, c);
+    }
+
+    #[test]
+    fn erase_tail_counts_losses() {
+        let mut b = busy(&[true; 8]);
+        assert_eq!(erase_tail(&mut b, 5), 3);
+        assert_eq!(b.count_ones(), 5);
+        assert_eq!(erase_tail(&mut b, 100), 0); // beyond the end: no-op
+    }
+
+    #[test]
+    fn counts_transforms_mirror_bitmap_transforms() {
+        let counts = vec![2u32, 0, 1, 0, 3];
+        let rot = rotate_counts(&counts, 2);
+        assert_eq!(rot, vec![1, 0, 3, 2, 0]);
+
+        let mut c = counts.clone();
+        let burst = SlotBurst {
+            start: 3,
+            len: 3,
+            seed: 9,
+        };
+        assert_eq!(corrupt_counts(&mut c, &burst), 3);
+        assert!(c.iter().all(|&x| x <= 2 || x == 3)); // slot 2 untouched
+        assert_eq!(c[2], 1);
+
+        let mut c = counts.clone();
+        assert_eq!(erase_counts_tail(&mut c, 2), 3);
+        assert_eq!(c, vec![2, 0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn quality_degradation_flags() {
+        let clean = Quality::default();
+        assert!(!clean.degraded());
+        let retried = Quality {
+            frames: 10,
+            slots_observed: 1000,
+            retries: 4,
+            ..Quality::default()
+        };
+        // Recovered retries re-observe the identical frame: not degraded.
+        assert!(!retried.degraded());
+        for q in [
+            Quality {
+                slots_lost: 1,
+                ..Quality::default()
+            },
+            Quality {
+                slots_corrupted: 1,
+                ..Quality::default()
+            },
+            Quality {
+                desync_events: 1,
+                ..Quality::default()
+            },
+            Quality {
+                readers_failed: 1,
+                ..Quality::default()
+            },
+            Quality {
+                noisy_channel: true,
+                ..Quality::default()
+            },
+        ] {
+            assert!(q.degraded(), "{q:?} should be degraded");
+        }
+    }
+
+    #[test]
+    fn widened_accuracy_grows_with_damage() {
+        let acc = Accuracy::new(0.05, 0.05);
+        let q = Quality {
+            frames: 10,
+            slots_observed: 1000,
+            slots_lost: 50,
+            slots_corrupted: 50,
+            aborted_frames: 1,
+            ..Quality::default()
+        };
+        let wide = q.widened(acc);
+        assert!((wide.epsilon - 0.15).abs() < 1e-12);
+        assert!((wide.delta - 0.15).abs() < 1e-12);
+        // Undamaged quality widens nothing.
+        let same = Quality {
+            frames: 10,
+            slots_observed: 1000,
+            ..Quality::default()
+        }
+        .widened(acc);
+        assert_eq!(same, acc);
+        // Catastrophic damage saturates below 1.0 so Accuracy stays valid.
+        let wrecked = Quality {
+            frames: 1,
+            slots_observed: 10,
+            slots_lost: 10_000,
+            aborted_frames: 50,
+            ..Quality::default()
+        }
+        .widened(acc);
+        assert!(wrecked.epsilon <= 0.99 && wrecked.delta <= 0.99);
+    }
+}

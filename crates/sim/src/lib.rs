@@ -14,8 +14,12 @@
 //!   accounts every microsecond of reader↔tag communication, because the
 //!   paper's central argument is about *total execution time*, not slot
 //!   counts ([`timing`], [`ledger`]),
-//! * pluggable channels: the paper's perfect channel plus a bit-error
-//!   channel for robustness ablations ([`channel`]),
+//! * pluggable channels: the paper's perfect channel plus bit-error,
+//!   capture-effect and imperfect-hash channels for robustness ablations
+//!   ([`channel`]),
+//! * a deterministic fault-injection layer — seed-replayable schedules of
+//!   frame aborts, slot bursts, desync offsets and reader dropouts, with
+//!   degradation accounting on every estimate ([`fault`]),
 //! * a parallel frame-fill engine for multi-million-tag populations
 //!   ([`parallel`]),
 //! * the [`CardinalityEstimator`] trait every estimator in this workspace
@@ -31,6 +35,7 @@ pub mod aloha;
 pub mod bitmap;
 pub mod channel;
 pub mod estimator;
+pub mod fault;
 pub mod frame;
 pub mod ledger;
 pub mod multireader;
@@ -42,7 +47,11 @@ pub mod trace;
 
 pub use aloha::AlohaOutcome;
 pub use bitmap::Bitmap;
-pub use channel::{BitErrorChannel, CaptureChannel, Channel, PerfectChannel};
+pub use channel::{
+    BitErrorChannel, CaptureChannel, Channel, ImperfectHashChannel, PerfectChannel,
+};
+pub use fault::{FaultPlan, FaultSpec, Quality, ReaderDropout};
+pub use multireader::{DeploymentError, MultiReaderDeployment};
 pub use estimator::{
     Accuracy, CardinalityEstimator, EstimationReport, PhaseReport,
 };

@@ -14,10 +14,54 @@
 //! among them" — gets wrong: with synchronized readers a shared tag replies
 //! to the *same* broadcast everywhere, so the union, not a partition, is
 //! the right population.)
+//!
+//! Corrupted deployment data (two readers reporting the same tag ID with
+//! different `RN`s) and out-of-range reader indices surface as a typed
+//! [`DeploymentError`] / `Option`, never a panic — a monitoring deployment
+//! must degrade, not crash, on bad reads.
 
+use crate::fault::ReaderDropout;
 use crate::system::RfidSystem;
 use crate::tag::{Tag, TagPopulation};
 use std::collections::BTreeMap;
+
+/// Why a deployment could not be reduced to one logical reader.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeploymentError {
+    /// Two readers reported the same tag ID with different pre-stored
+    /// random numbers — corrupted coverage data.
+    InconsistentRn {
+        /// The conflicting tag ID.
+        id: u64,
+        /// The RN recorded first.
+        first: u32,
+        /// The conflicting RN seen later.
+        second: u32,
+    },
+    /// A reader index beyond the deployment.
+    NoSuchReader {
+        /// The requested index.
+        reader: usize,
+        /// How many readers the deployment has.
+        readers: usize,
+    },
+}
+
+impl std::fmt::Display for DeploymentError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DeploymentError::InconsistentRn { id, first, second } => write!(
+                f,
+                "tag {id} reported with inconsistent RN ({first:#x} vs {second:#x})"
+            ),
+            DeploymentError::NoSuchReader { reader, readers } => {
+                write!(f, "reader {reader} out of range ({readers} readers)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DeploymentError {}
 
 /// A set of physical readers, each with its own coverage.
 #[derive(Debug, Clone, Default)]
@@ -42,9 +86,10 @@ impl MultiReaderDeployment {
         self.coverages.len()
     }
 
-    /// Coverage of one physical reader.
-    pub fn coverage(&self, reader: usize) -> &[Tag] {
-        &self.coverages[reader]
+    /// Coverage of one physical reader, or `None` for an out-of-range
+    /// index.
+    pub fn coverage(&self, reader: usize) -> Option<&[Tag]> {
+        self.coverages.get(reader).map(Vec::as_slice)
     }
 
     /// Total coverage entries, counting overlaps multiply.
@@ -52,31 +97,86 @@ impl MultiReaderDeployment {
         self.coverages.iter().map(Vec::len).sum()
     }
 
-    /// The logical single-reader population: the de-duplicated union of all
-    /// coverages. Panics if two readers report the same tag ID with
-    /// different `RN`s (which would indicate corrupted deployment data).
-    pub fn logical_population(&self) -> TagPopulation {
+    /// Union the coverages of the readers selected by `keep`, detecting
+    /// RN conflicts.
+    fn union_where(
+        &self,
+        mut keep: impl FnMut(usize) -> bool,
+    ) -> Result<TagPopulation, DeploymentError> {
         let mut by_id: BTreeMap<u64, Tag> = BTreeMap::new();
-        for coverage in &self.coverages {
+        for (reader, coverage) in self.coverages.iter().enumerate() {
+            if !keep(reader) {
+                continue;
+            }
             for &tag in coverage {
                 if let Some(existing) = by_id.insert(tag.id, tag) {
-                    // analysis:allow(panic-path): documented input-validation panic on corrupted deployment data; a should_panic test pins it
-                    assert_eq!(
-                        existing.rn, tag.rn,
-                        "tag {} reported with inconsistent RN",
-                        tag.id
-                    );
+                    if existing.rn != tag.rn {
+                        return Err(DeploymentError::InconsistentRn {
+                            id: tag.id,
+                            first: existing.rn,
+                            second: tag.rn,
+                        });
+                    }
                 }
             }
         }
         // BTreeMap iterates in key order, so the union is already sorted
         // by tag ID — deterministic with no separate sort pass.
-        TagPopulation::new(by_id.into_values().collect())
+        Ok(TagPopulation::new(by_id.into_values().collect()))
+    }
+
+    /// The logical single-reader population: the de-duplicated union of all
+    /// coverages. Fails with [`DeploymentError::InconsistentRn`] if two
+    /// readers report the same tag ID with different `RN`s (corrupted
+    /// deployment data).
+    pub fn logical_population(&self) -> Result<TagPopulation, DeploymentError> {
+        self.union_where(|_| true)
+    }
+
+    /// The logical population with the readers in `failed` removed — what
+    /// the back-end server can still observe after a dropout.
+    ///
+    /// Fails on an out-of-range index in `failed` or on an RN conflict
+    /// among the survivors.
+    pub fn surviving_population(
+        &self,
+        failed: &[usize],
+    ) -> Result<TagPopulation, DeploymentError> {
+        let readers = self.coverages.len();
+        if let Some(&bad) = failed.iter().find(|&&r| r >= readers) {
+            return Err(DeploymentError::NoSuchReader {
+                reader: bad,
+                readers,
+            });
+        }
+        self.union_where(|reader| !failed.contains(&reader))
+    }
+
+    /// A [`ReaderDropout`] schedule: the readers in `failed` die at frame
+    /// `frame`, a fraction `at_frac` of the way through it, leaving the
+    /// surviving union responding from that slot onward.
+    pub fn dropout(
+        &self,
+        failed: &[usize],
+        frame: u64,
+        at_frac: f64,
+    ) -> Result<ReaderDropout, DeploymentError> {
+        let full = self.logical_population()?;
+        let survivors = self.surviving_population(failed)?;
+        let coverage_lost = (full.cardinality() - survivors.cardinality()) as u64;
+        Ok(ReaderDropout {
+            frame,
+            at_frac: at_frac.clamp(0.0, 1.0),
+            survivors,
+            // analysis:allow(cast-truncation): failed holds distinct validated reader indices, far below 2^32
+            readers_lost: failed.len() as u32,
+            coverage_lost,
+        })
     }
 
     /// Build the logical [`RfidSystem`] the estimation protocols run on.
-    pub fn logical_system(&self) -> RfidSystem {
-        RfidSystem::new(self.logical_population())
+    pub fn logical_system(&self) -> Result<RfidSystem, DeploymentError> {
+        Ok(RfidSystem::new(self.logical_population()?))
     }
 }
 
@@ -91,6 +191,10 @@ mod tests {
         }
     }
 
+    fn union(dep: &MultiReaderDeployment) -> TagPopulation {
+        dep.logical_population().expect("consistent deployment")
+    }
+
     #[test]
     fn union_deduplicates_overlap() {
         let mut dep = MultiReaderDeployment::new();
@@ -99,8 +203,7 @@ mod tests {
         dep.add_reader((140..=200).map(tag).collect());
         assert_eq!(dep.reader_count(), 3);
         assert_eq!(dep.coverage_entries(), 100 + 100 + 61);
-        let logical = dep.logical_population();
-        assert_eq!(logical.cardinality(), 200);
+        assert_eq!(union(&dep).cardinality(), 200);
     }
 
     #[test]
@@ -108,7 +211,7 @@ mod tests {
         let mut dep = MultiReaderDeployment::new();
         dep.add_reader((1..=10).map(tag).collect());
         dep.add_reader((11..=30).map(tag).collect());
-        assert_eq!(dep.logical_population().cardinality(), 30);
+        assert_eq!(union(&dep).cardinality(), 30);
     }
 
     #[test]
@@ -116,18 +219,8 @@ mod tests {
         let mut dep = MultiReaderDeployment::new();
         dep.add_reader((1..=50).map(tag).collect());
         dep.add_reader((25..=75).map(tag).collect());
-        let a: Vec<u64> = dep
-            .logical_population()
-            .tags()
-            .iter()
-            .map(|t| t.id)
-            .collect();
-        let b: Vec<u64> = dep
-            .logical_population()
-            .tags()
-            .iter()
-            .map(|t| t.id)
-            .collect();
+        let a: Vec<u64> = union(&dep).tags().iter().map(|t| t.id).collect();
+        let b: Vec<u64> = union(&dep).tags().iter().map(|t| t.id).collect();
         assert_eq!(a, b);
         assert!(a.windows(2).all(|w| w[0] < w[1]));
     }
@@ -137,30 +230,87 @@ mod tests {
         let mut dep = MultiReaderDeployment::new();
         dep.add_reader((1..=40).map(tag).collect());
         dep.add_reader((30..=60).map(tag).collect());
-        assert_eq!(dep.logical_system().true_cardinality(), 60);
+        let sys = dep.logical_system().expect("consistent deployment");
+        assert_eq!(sys.true_cardinality(), 60);
     }
 
     #[test]
     fn empty_deployment_yields_empty_population() {
         let dep = MultiReaderDeployment::new();
         assert_eq!(dep.reader_count(), 0);
-        assert_eq!(dep.logical_population().cardinality(), 0);
+        assert_eq!(union(&dep).cardinality(), 0);
     }
 
     #[test]
-    #[should_panic(expected = "inconsistent RN")]
-    fn inconsistent_rn_detected() {
+    fn inconsistent_rn_is_a_typed_error() {
         let mut dep = MultiReaderDeployment::new();
         dep.add_reader(vec![Tag { id: 7, rn: 1 }]);
         dep.add_reader(vec![Tag { id: 7, rn: 2 }]);
-        dep.logical_population();
+        let err = dep.logical_population().unwrap_err();
+        assert_eq!(
+            err,
+            DeploymentError::InconsistentRn {
+                id: 7,
+                first: 1,
+                second: 2
+            }
+        );
+        assert!(err.to_string().contains("inconsistent RN"));
+        assert!(dep.logical_system().is_err());
     }
 
     #[test]
-    fn coverage_accessor() {
+    fn duplicate_reports_with_matching_rn_are_fine() {
+        let mut dep = MultiReaderDeployment::new();
+        dep.add_reader(vec![Tag { id: 7, rn: 5 }]);
+        dep.add_reader(vec![Tag { id: 7, rn: 5 }]);
+        assert_eq!(union(&dep).cardinality(), 1);
+    }
+
+    #[test]
+    fn coverage_accessor_is_checked() {
         let mut dep = MultiReaderDeployment::new();
         dep.add_reader(vec![tag(1), tag(2)]);
-        assert_eq!(dep.coverage(0).len(), 2);
-        assert_eq!(dep.coverage(0)[1].id, 2);
+        let cov = dep.coverage(0).expect("reader 0 exists");
+        assert_eq!(cov.len(), 2);
+        assert_eq!(cov[1].id, 2);
+        assert!(dep.coverage(1).is_none());
+    }
+
+    #[test]
+    fn surviving_population_drops_failed_readers() {
+        let mut dep = MultiReaderDeployment::new();
+        dep.add_reader((1..=100).map(tag).collect());
+        dep.add_reader((51..=150).map(tag).collect());
+        dep.add_reader((200..=220).map(tag).collect());
+        let survivors = dep.surviving_population(&[2]).expect("valid indices");
+        assert_eq!(survivors.cardinality(), 150);
+        // Overlap keeps shared tags alive when one of their readers dies.
+        let survivors = dep.surviving_population(&[0]).expect("valid indices");
+        assert_eq!(survivors.cardinality(), 100 + 21);
+        let err = dep.surviving_population(&[5]).unwrap_err();
+        assert_eq!(
+            err,
+            DeploymentError::NoSuchReader {
+                reader: 5,
+                readers: 3
+            }
+        );
+        assert!(err.to_string().contains("out of range"));
+    }
+
+    #[test]
+    fn dropout_schedule_accounts_lost_coverage() {
+        let mut dep = MultiReaderDeployment::new();
+        dep.add_reader((1..=100).map(tag).collect());
+        dep.add_reader((51..=150).map(tag).collect());
+        let d = dep.dropout(&[1], 3, 0.5).expect("valid dropout");
+        assert_eq!(d.frame, 3);
+        assert_eq!(d.at_frac, 0.5);
+        assert_eq!(d.readers_lost, 1);
+        assert_eq!(d.survivors.cardinality(), 100);
+        assert_eq!(d.coverage_lost, 50);
+        // at_frac is clamped, not rejected.
+        assert_eq!(dep.dropout(&[1], 0, 7.0).expect("clamped").at_frac, 1.0);
     }
 }

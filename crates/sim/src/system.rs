@@ -5,17 +5,31 @@
 //! every reader broadcast, turnaround, and sensed slot is charged to the
 //! ledger — the execution-time comparison of Figure 10 is produced by the
 //! same code path as the estimates themselves.
+//!
+//! The system is also where the fault layer lives: arming a
+//! [`FaultPlan`] via [`inject_faults`](RfidSystem::inject_faults) makes
+//! every frame pass through the degradation-aware collector — scheduled
+//! aborts are retried with linear backoff and salvaged when the retry
+//! budget runs out, reader dropout switches (mid-frame) to the surviving
+//! coverage, desync offsets rotate the observation, and slot bursts
+//! garble it — while a [`Quality`] record counts every slot lost so no
+//! estimate degrades silently.
 
 use crate::aloha::AlohaFrame;
+use crate::bitmap::Bitmap;
 use crate::channel::{Channel, PerfectChannel};
+use crate::fault::{self, FaultPlan, FrameFaults, Quality};
 use crate::frame::{
     response_counts_with_min_chunk, response_fill_with_min_chunk, sense_aloha, BitFrame,
-    ResponsePlan, MIN_TAGS_PER_THREAD,
+    FrameFill, ResponsePlan, MIN_TAGS_PER_THREAD,
 };
 use crate::ledger::{AirTime, AirTimeLedger};
 use crate::tag::TagPopulation;
 use crate::timing::Timing;
 use rfid_hash::SplitMix64;
+
+/// Bits in the fresh Query command a retry re-broadcasts after an abort.
+const RETRY_QUERY_BITS: u64 = 32;
 
 /// One logical reader plus the tag population in its range.
 pub struct RfidSystem {
@@ -24,6 +38,9 @@ pub struct RfidSystem {
     ledger: AirTimeLedger,
     noise: SplitMix64,
     frame_min_chunk: usize,
+    faults: Option<FaultPlan>,
+    frame_index: u64,
+    quality: Quality,
 }
 
 impl RfidSystem {
@@ -34,13 +51,46 @@ impl RfidSystem {
 
     /// A system with a custom channel model.
     pub fn with_channel(population: TagPopulation, channel: Box<dyn Channel>) -> Self {
+        let quality = Quality {
+            noisy_channel: channel.name() != "perfect",
+            ..Quality::default()
+        };
         Self {
             population,
             channel,
             ledger: AirTimeLedger::new(Timing::c1g2()),
             noise: SplitMix64::new(0xC0FF_EE00_D15E_A5E5),
             frame_min_chunk: MIN_TAGS_PER_THREAD,
+            faults: None,
+            frame_index: 0,
+            quality,
         }
+    }
+
+    /// Arm a deterministic fault schedule. Every subsequent frame passes
+    /// through the degradation-aware collector; the schedule is a pure
+    /// function of the plan's seed and the per-system frame counter (reset
+    /// here), so a faulted run replays bitwise from `(plan, noise seed)`
+    /// at any worker count.
+    pub fn inject_faults(&mut self, plan: FaultPlan) {
+        self.faults = Some(plan);
+        self.frame_index = 0;
+        self.quality = Quality {
+            noisy_channel: self.quality.noisy_channel,
+            ..Quality::default()
+        };
+    }
+
+    /// The armed fault schedule, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.faults.as_ref()
+    }
+
+    /// Degradation accounting for the frames run so far. Always present —
+    /// a clean run reports zero damage — so harnesses can check
+    /// [`Quality::degraded`] unconditionally.
+    pub fn quality(&self) -> &Quality {
+        &self.quality
     }
 
     /// Set the minimum tags-per-thread threshold for the intra-frame
@@ -71,12 +121,15 @@ impl RfidSystem {
     }
 
     /// Ground-truth cardinality (used by the evaluation harness only; no
-    /// estimator reads this).
+    /// estimator reads this). Always the *initial* population — after a
+    /// reader dropout the estimate undercounts relative to this truth,
+    /// which is exactly the damage [`Quality`] flags.
     pub fn true_cardinality(&self) -> usize {
         self.population.cardinality()
     }
 
-    /// The tag population.
+    /// The tag population (the initial deployment; reader dropout only
+    /// affects which tags respond in frames, not this view).
     pub fn population(&self) -> &TagPopulation {
         &self.population
     }
@@ -124,9 +177,179 @@ impl RfidSystem {
         self.ledger.turnaround();
     }
 
+    /// Advance the per-system frame counter and record the observation in
+    /// the quality ledger. Returns the index of the frame that is about to
+    /// run — the key the fault schedule is evaluated at.
+    fn begin_frame(&mut self, observe: usize) -> u64 {
+        let frame = self.frame_index;
+        self.frame_index += 1;
+        self.quality.frames += 1;
+        self.quality.slots_observed += observe as u64;
+        frame
+    }
+
+    /// The faults scheduled for `frame`, if a plan is armed.
+    fn faults_for(&self, frame: u64, observe: usize) -> Option<FrameFaults> {
+        self.faults.as_ref().map(|p| p.frame_faults(frame, observe))
+    }
+
+    /// Split a fault schedule into the attempts whose observations are
+    /// discarded outright and the salvage point of the kept partial (when
+    /// every attempt aborted).
+    fn split_salvage(ff: &FrameFaults) -> (&[usize], Option<usize>) {
+        if ff.salvaged {
+            if let Some((&last, rest)) = ff.abort_points.split_last() {
+                return (rest, Some(last));
+            }
+        }
+        (&ff.abort_points, None)
+    }
+
+    /// True busy/idle fill for a bit-slot frame, honouring a scheduled
+    /// reader dropout: frames before the drop use the full population,
+    /// frames after it the survivors, and the drop frame itself splices
+    /// the two at the scheduled slot.
+    fn bitslot_truth<P: ResponsePlan>(
+        &mut self,
+        w: usize,
+        observe: usize,
+        plan: &P,
+        frame: u64,
+    ) -> FrameFill {
+        let mc = self.frame_min_chunk;
+        let mut drop_hit = None;
+        let fill = match self.faults.as_ref().and_then(|p| p.dropout()) {
+            Some(d) if frame == d.frame => {
+                drop_hit = Some((d.readers_lost, d.coverage_lost));
+                let split = ((d.at_frac * observe as f64) as usize).min(observe);
+                let full =
+                    response_fill_with_min_chunk(self.population.tags(), w, split, plan, mc);
+                let surv =
+                    response_fill_with_min_chunk(d.survivors.tags(), w, observe, plan, mc);
+                let surv_split =
+                    response_fill_with_min_chunk(d.survivors.tags(), w, split, plan, mc);
+                let mut busy = Bitmap::zeros(w);
+                for i in 0..split {
+                    if full.busy.get(i) {
+                        busy.set(i);
+                    }
+                }
+                for i in split..w {
+                    if surv.busy.get(i) {
+                        busy.set(i);
+                    }
+                }
+                FrameFill {
+                    busy,
+                    // Full-population responses land in [0, split), the
+                    // survivors' in [split, observe).
+                    prefix_responses: full.prefix_responses + surv.prefix_responses
+                        - surv_split.prefix_responses,
+                }
+            }
+            Some(d) if frame > d.frame => {
+                response_fill_with_min_chunk(d.survivors.tags(), w, observe, plan, mc)
+            }
+            _ => response_fill_with_min_chunk(self.population.tags(), w, observe, plan, mc),
+        };
+        if let Some((readers, coverage)) = drop_hit {
+            self.quality.readers_failed += readers;
+            self.quality.coverage_lost += coverage;
+        }
+        fill
+    }
+
+    /// The degradation-aware collector for bit-slot frames: runs the
+    /// scheduled abort/retry loop (charging partial air time and linear
+    /// backoff when `timed`), then applies desync rotation, burst
+    /// corruption, and salvage erasure to the truth before sensing it
+    /// through the channel. Without an armed plan this is exactly the
+    /// pre-fault path.
+    fn collect_bitslot_frame(
+        &mut self,
+        fill: FrameFill,
+        observe: usize,
+        frame: u64,
+        timed: bool,
+    ) -> BitFrame {
+        let Some(ff) = self.faults_for(frame, observe) else {
+            if timed {
+                self.ledger.tag_bitslots(observe as u64);
+            }
+            self.ledger.tag_responses(fill.prefix_responses);
+            return BitFrame::sense_truth(
+                &fill.busy,
+                observe,
+                self.channel.as_ref(),
+                &mut self.noise,
+            );
+        };
+
+        // Energy of a partial attempt: the responses scheduled in the slots
+        // that actually ran, charged pro rata (deterministic integer model;
+        // exact at the endpoints).
+        let partial_energy = |slots: usize| -> u64 {
+            if observe == 0 {
+                0
+            } else {
+                fill.prefix_responses * slots as u64 / observe as u64
+            }
+        };
+
+        let (discarded, salvage_at) = Self::split_salvage(&ff);
+        for (attempt, &at) in discarded.iter().enumerate() {
+            if timed {
+                self.ledger.tag_bitslots(at as u64);
+                // Linear backoff: attempt k waits k + 1 turnarounds, then
+                // the retry re-broadcasts a fresh Query.
+                for _ in 0..=attempt {
+                    self.ledger.turnaround();
+                }
+                self.ledger.reader_broadcast(RETRY_QUERY_BITS);
+            }
+            self.ledger.tag_responses(partial_energy(at));
+            // The detector ran until the abort: consume its per-slot noise
+            // draws so noisy channels see the physical stream.
+            for i in 0..at {
+                let _ = self
+                    .channel
+                    .sense_bitslot(u32::from(fill.busy.get(i)), &mut self.noise);
+            }
+        }
+        self.quality.retries += discarded.len() as u64;
+
+        // The kept attempt: full frame on success, the longest partial on
+        // salvage.
+        let kept_slots = salvage_at.unwrap_or(observe);
+        if timed {
+            self.ledger.tag_bitslots(kept_slots as u64);
+        }
+        self.ledger.tag_responses(partial_energy(kept_slots));
+
+        let mut truth = Bitmap::zeros(observe);
+        for i in 0..observe {
+            if fill.busy.get(i) {
+                truth.set(i);
+            }
+        }
+        if ff.desync_offset > 0 {
+            truth = fault::rotate_truth(&truth, ff.desync_offset);
+            self.quality.desync_events += 1;
+        }
+        if let Some(burst) = &ff.burst {
+            self.quality.slots_corrupted += fault::corrupt_truth(&mut truth, burst);
+        }
+        if let Some(at) = salvage_at {
+            self.quality.slots_lost += fault::erase_tail(&mut truth, at);
+            self.quality.aborted_frames += 1;
+        }
+        BitFrame::sense_truth(&truth, observe, self.channel.as_ref(), &mut self.noise)
+    }
+
     /// Run a bit-slot frame of `w` slots but terminate after sensing the
     /// first `observe` slots (the BFCE rough phase observes 1024 of 8192).
-    /// Charges `observe` bit-slots.
+    /// Charges `observe` bit-slots (plus retry overhead under an armed
+    /// fault plan).
     pub fn run_bitslot_frame_prefix<P: ResponsePlan>(
         &mut self,
         w: usize,
@@ -134,20 +357,11 @@ impl RfidSystem {
         plan: &P,
     ) -> BitFrame {
         assert!(observe >= 1 && observe <= w, "observe must lie in [1, w]");
+        let frame = self.begin_frame(observe);
         // Bit-slot sensing only needs busy/idle truth, so the fill kernel
         // accumulates a bitmap (word-level ORs) instead of per-slot counts.
-        let fill = response_fill_with_min_chunk(
-            self.population.tags(),
-            w,
-            observe,
-            plan,
-            self.frame_min_chunk,
-        );
-        self.ledger.tag_bitslots(observe as u64);
-        // Energy: the reader terminates the frame after `observe` slots,
-        // so only tags scheduled in the observed prefix ever transmit.
-        self.ledger.tag_responses(fill.prefix_responses);
-        BitFrame::sense_truth(&fill.busy, observe, self.channel.as_ref(), &mut self.noise)
+        let fill = self.bitslot_truth(w, observe, plan, frame);
+        self.collect_bitslot_frame(fill, observe, frame, true)
     }
 
     /// Run and fully observe a bit-slot frame of `w` slots.
@@ -156,14 +370,76 @@ impl RfidSystem {
     }
 
     /// Run a slotted-Aloha frame of `f` slots (empty/singleton/collision
-    /// observations). Charges `f` Aloha slots.
+    /// observations). Charges `f` Aloha slots (plus retry overhead under an
+    /// armed fault plan).
     pub fn run_aloha_frame<P: ResponsePlan>(&mut self, f: usize, plan: &P) -> AlohaFrame {
         assert!(f >= 1, "frame must have at least one slot");
-        let counts =
-            response_counts_with_min_chunk(self.population.tags(), f, plan, self.frame_min_chunk);
-        self.ledger.aloha_slots(f as u64);
-        self.ledger
-            .tag_responses(counts.iter().map(|&c| c as u64).sum());
+        let frame = self.begin_frame(f);
+        let mc = self.frame_min_chunk;
+        let mut drop_hit = None;
+        let mut counts = match self.faults.as_ref().and_then(|p| p.dropout()) {
+            Some(d) if frame == d.frame => {
+                drop_hit = Some((d.readers_lost, d.coverage_lost));
+                let split = ((d.at_frac * f as f64) as usize).min(f);
+                let full =
+                    response_counts_with_min_chunk(self.population.tags(), f, plan, mc);
+                let surv = response_counts_with_min_chunk(d.survivors.tags(), f, plan, mc);
+                let mut spliced = surv;
+                // analysis:allow(panic-path): split = min(.., f) and both count vectors have length f
+                spliced[..split].copy_from_slice(&full[..split]);
+                spliced
+            }
+            Some(d) if frame > d.frame => {
+                response_counts_with_min_chunk(d.survivors.tags(), f, plan, mc)
+            }
+            _ => response_counts_with_min_chunk(self.population.tags(), f, plan, mc),
+        };
+        if let Some((readers, coverage)) = drop_hit {
+            self.quality.readers_failed += readers;
+            self.quality.coverage_lost += coverage;
+        }
+
+        let Some(ff) = self.faults_for(frame, f) else {
+            self.ledger.aloha_slots(f as u64);
+            self.ledger
+                .tag_responses(counts.iter().map(|&c| c as u64).sum());
+            return sense_aloha(&counts, self.channel.as_ref(), &mut self.noise);
+        };
+
+        let energy_of = |counts: &[u32], slots: usize| -> u64 {
+            // analysis:allow(panic-path): callers pass abort points (< f by FaultPlan construction) or kept_slots <= f == counts.len()
+            counts[..slots].iter().map(|&c| c as u64).sum()
+        };
+        let (discarded, salvage_at) = Self::split_salvage(&ff);
+        for (attempt, &at) in discarded.iter().enumerate() {
+            self.ledger.aloha_slots(at as u64);
+            for _ in 0..=attempt {
+                self.ledger.turnaround();
+            }
+            self.ledger.reader_broadcast(RETRY_QUERY_BITS);
+            self.ledger.tag_responses(energy_of(&counts, at));
+            // analysis:allow(panic-path): abort points are drawn < observe == f == counts.len()
+            for &c in &counts[..at] {
+                let _ = self.channel.sense_aloha(c, &mut self.noise);
+            }
+        }
+        self.quality.retries += discarded.len() as u64;
+
+        let kept_slots = salvage_at.unwrap_or(f);
+        self.ledger.aloha_slots(kept_slots as u64);
+        self.ledger.tag_responses(energy_of(&counts, kept_slots));
+
+        if ff.desync_offset > 0 {
+            counts = fault::rotate_counts(&counts, ff.desync_offset);
+            self.quality.desync_events += 1;
+        }
+        if let Some(burst) = &ff.burst {
+            self.quality.slots_corrupted += fault::corrupt_counts(&mut counts, burst);
+        }
+        if let Some(at) = salvage_at {
+            self.quality.slots_lost += fault::erase_counts_tail(&mut counts, at);
+            self.quality.aborted_frames += 1;
+        }
         sense_aloha(&counts, self.channel.as_ref(), &mut self.noise)
     }
 
@@ -175,19 +451,20 @@ impl RfidSystem {
     /// frames in one observation pass and then charges the real schedule
     /// explicitly via [`charge_broadcasts`](Self::charge_broadcasts),
     /// [`charge_bitslots`](Self::charge_bitslots) and
-    /// [`charge_turnarounds`](Self::charge_turnarounds).
+    /// [`charge_turnarounds`](Self::charge_turnarounds). Faults still
+    /// apply (the batch counts as one frame of the schedule); only the
+    /// *time* accounting is left to the caller.
     pub fn run_uncharged_bitslot_frame<P: ResponsePlan>(
         &mut self,
         w: usize,
         plan: &P,
     ) -> BitFrame {
-        let fill =
-            response_fill_with_min_chunk(self.population.tags(), w, w, plan, self.frame_min_chunk);
+        let frame = self.begin_frame(w);
+        let fill = self.bitslot_truth(w, w, plan, frame);
         // "Uncharged" refers to air *time* only; the tags really do
         // transmit, so the energy counter is always kept accurate. With
         // `observe = w` the prefix count covers every transmission.
-        self.ledger.tag_responses(fill.prefix_responses);
-        BitFrame::sense_truth(&fill.busy, w, self.channel.as_ref(), &mut self.noise)
+        self.collect_bitslot_frame(fill, w, frame, false)
     }
 
     /// Explicitly charge `count` reader broadcasts of `bits` bits each
@@ -223,14 +500,29 @@ impl RfidSystem {
     /// For protocols whose observation can be computed without
     /// materializing the whole frame (e.g. FNEB only needs the position of
     /// the first responder), the estimator computes the true counts of the
-    /// slots the reader actually watches and senses just those.
+    /// slots the reader actually watches and senses just those. An armed
+    /// fault plan degrades this path too (abort/salvage, desync, bursts);
+    /// reader dropout does not apply, since the counts were computed by
+    /// the caller.
     pub fn sense_counts(&mut self, counts: &[u32]) -> BitFrame {
-        BitFrame::sense(
-            counts,
-            counts.len(),
-            self.channel.as_ref(),
-            &mut self.noise,
-        )
+        let observe = counts.len();
+        let frame = self.begin_frame(observe);
+        if self.faults.is_none() {
+            return BitFrame::sense(counts, observe, self.channel.as_ref(), &mut self.noise);
+        }
+        let mut busy = Bitmap::zeros(observe);
+        let mut prefix_responses = 0u64;
+        for (i, &c) in counts.iter().enumerate() {
+            if c > 0 {
+                busy.set(i);
+            }
+            prefix_responses += u64::from(c);
+        }
+        let fill = FrameFill {
+            busy,
+            prefix_responses,
+        };
+        self.collect_bitslot_frame(fill, observe, frame, false)
     }
 }
 
@@ -240,6 +532,7 @@ impl std::fmt::Debug for RfidSystem {
             .field("cardinality", &self.population.cardinality())
             .field("channel", &self.channel.name())
             .field("air_time_us", &self.ledger.snapshot().total_us())
+            .field("faulted", &self.faults.is_some())
             .finish()
     }
 }
@@ -248,6 +541,7 @@ impl std::fmt::Debug for RfidSystem {
 mod tests {
     use super::*;
     use crate::channel::BitErrorChannel;
+    use crate::fault::FaultSpec;
     use crate::tag::Tag;
 
     fn small_system(n: usize) -> RfidSystem {
@@ -394,5 +688,237 @@ mod tests {
         let s = format!("{sys:?}");
         assert!(s.contains("cardinality"));
         assert!(s.contains('3'));
+    }
+
+    // ------------------------------------------------------------------
+    // Fault-layer behaviour.
+    // ------------------------------------------------------------------
+
+    fn id_plan(tag: &Tag, out: &mut Vec<usize>) {
+        out.push(((tag.id - 1) % 64) as usize);
+    }
+
+    #[test]
+    fn quiet_fault_plan_changes_nothing() {
+        let frames = |faulted: bool| {
+            let mut sys = small_system(40);
+            if faulted {
+                sys.inject_faults(FaultPlan::new(FaultSpec::none(), 1234));
+            }
+            let f1 = sys.run_bitslot_frame(64, &id_plan);
+            let f2 = sys.run_bitslot_frame_prefix(64, 32, &id_plan);
+            (
+                f1.busy_bitmap().clone(),
+                f2.busy_bitmap().clone(),
+                sys.air_time().total_us(),
+            )
+        };
+        assert_eq!(frames(false), frames(true));
+        let mut sys = small_system(40);
+        sys.inject_faults(FaultPlan::new(FaultSpec::none(), 1234));
+        sys.run_bitslot_frame(64, &id_plan);
+        assert!(!sys.quality().degraded());
+        assert_eq!(sys.quality().frames, 1);
+        assert_eq!(sys.quality().slots_observed, 64);
+    }
+
+    #[test]
+    fn recovered_retries_preserve_the_observation_and_charge_overhead() {
+        // Abort every first attempt but keep a generous retry budget: the
+        // kept observation is identical to the clean run, the ledger shows
+        // the retries, and quality counts them without flagging
+        // degradation.
+        let spec = FaultSpec {
+            p_frame_abort: 1.0,
+            max_retries: 20,
+            ..FaultSpec::none()
+        };
+        // With p = 1 every draw aborts... so every attempt aborts and the
+        // frame always salvages. Use a schedule that recovers instead:
+        // abort probability high but not certain.
+        let spec = FaultSpec {
+            p_frame_abort: 0.7,
+            max_retries: 30,
+            ..spec
+        };
+        let mut clean = small_system(40);
+        let clean_frame = clean.run_bitslot_frame(64, &id_plan);
+        let clean_air = clean.air_time().total_us();
+
+        let mut sys = small_system(40);
+        sys.inject_faults(FaultPlan::new(spec, 77));
+        let frame = sys.run_bitslot_frame(64, &id_plan);
+        assert_eq!(frame.busy_bitmap(), clean_frame.busy_bitmap());
+        assert!(!sys.quality().degraded(), "{:?}", sys.quality());
+        // Eventually some frame retries (p = 0.7): run a few more.
+        for _ in 0..20 {
+            sys.run_bitslot_frame(64, &id_plan);
+        }
+        assert!(sys.quality().retries > 0);
+        assert!(sys.air_time().total_us() > clean_air);
+    }
+
+    #[test]
+    fn exhausted_retries_salvage_and_flag() {
+        let spec = FaultSpec {
+            p_frame_abort: 1.0,
+            max_retries: 2,
+            ..FaultSpec::none()
+        };
+        let mut sys = small_system(64);
+        sys.inject_faults(FaultPlan::new(spec, 5));
+        let frame = sys.run_bitslot_frame(64, &id_plan);
+        // Salvage keeps the frame length: estimators see `observe` slots.
+        assert_eq!(frame.observed(), 64);
+        let q = sys.quality();
+        assert_eq!(q.aborted_frames, 1);
+        assert_eq!(q.retries, 2);
+        assert!(q.slots_lost > 0);
+        assert!(q.degraded());
+        // The widened requirement is strictly looser.
+        let acc = crate::estimator::Accuracy::new(0.05, 0.05);
+        let wide = q.widened(acc);
+        assert!(wide.epsilon > acc.epsilon);
+        assert!(wide.delta > acc.delta);
+    }
+
+    #[test]
+    fn faulted_runs_replay_bitwise() {
+        let spec = FaultSpec {
+            p_frame_abort: 0.5,
+            max_retries: 1,
+            p_slot_burst: 0.5,
+            burst_len: 8,
+            p_desync: 0.5,
+            max_offset_frac: 0.25,
+        };
+        let run = || {
+            let mut sys = small_system(48);
+            sys.inject_faults(FaultPlan::new(spec, 2024));
+            let mut words = Vec::new();
+            for _ in 0..6 {
+                let f = sys.run_bitslot_frame(64, &id_plan);
+                words.extend_from_slice(f.busy_bitmap().words());
+            }
+            let a = sys.run_aloha_frame(64, &id_plan);
+            (words, a.outcomes().to_vec(), sys.quality().clone(), sys.air_time().total_us().to_bits())
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn desync_rotates_and_burst_corrupts() {
+        let spec = FaultSpec {
+            p_desync: 1.0,
+            max_offset_frac: 0.5,
+            ..FaultSpec::none()
+        };
+        let mut sys = small_system(10);
+        sys.inject_faults(FaultPlan::new(spec, 31));
+        sys.run_bitslot_frame(64, &id_plan);
+        assert_eq!(sys.quality().desync_events, 1);
+        assert!(sys.quality().degraded());
+
+        let spec = FaultSpec {
+            p_slot_burst: 1.0,
+            burst_len: 16,
+            ..FaultSpec::none()
+        };
+        let mut sys = small_system(10);
+        sys.inject_faults(FaultPlan::new(spec, 32));
+        sys.run_bitslot_frame(64, &id_plan);
+        assert_eq!(sys.quality().slots_corrupted, 16);
+    }
+
+    #[test]
+    fn dropout_switches_to_survivors_mid_frame() {
+        use crate::fault::ReaderDropout;
+        // 32 tags; survivors are the first 8. Dropout at frame 1, half way.
+        let all: Vec<Tag> = (0..32u64)
+            .map(|i| Tag {
+                id: i + 1,
+                rn: i as u32,
+            })
+            .collect();
+        let survivors = TagPopulation::new(all[..8].to_vec());
+        let mut sys = RfidSystem::new(TagPopulation::new(all));
+        let plan = |tag: &Tag, out: &mut Vec<usize>| out.push((tag.id - 1) as usize);
+        sys.inject_faults(
+            FaultPlan::new(FaultSpec::none(), 1).with_dropout(ReaderDropout {
+                frame: 1,
+                at_frac: 0.5,
+                survivors,
+                readers_lost: 3,
+                coverage_lost: 24,
+            }),
+        );
+        // Frame 0: before the dropout, all 32 tags respond.
+        let f0 = sys.run_bitslot_frame(32, &plan);
+        assert_eq!(f0.busy_count(), 32);
+        assert_eq!(sys.quality().readers_failed, 0);
+        // Frame 1: spliced — slots [0, 16) from the full population,
+        // [16, 32) only from survivors (tags 1..=8 → all idle there).
+        let f1 = sys.run_bitslot_frame(32, &plan);
+        assert_eq!(f1.busy_count(), 16);
+        assert!((0..16).all(|i| f1.is_busy(i)));
+        assert!((16..32).all(|i| !f1.is_busy(i)));
+        assert_eq!(sys.quality().readers_failed, 3);
+        assert_eq!(sys.quality().coverage_lost, 24);
+        // Frame 2: survivors only.
+        let f2 = sys.run_bitslot_frame(32, &plan);
+        assert_eq!(f2.busy_count(), 8);
+        assert!(sys.quality().degraded());
+        // Ground truth still reports the initial deployment.
+        assert_eq!(sys.true_cardinality(), 32);
+    }
+
+    #[test]
+    fn aloha_salvage_reads_tail_as_empty() {
+        let spec = FaultSpec {
+            p_frame_abort: 1.0,
+            max_retries: 0,
+            ..FaultSpec::none()
+        };
+        let mut sys = small_system(3);
+        let plan = |tag: &Tag, out: &mut Vec<usize>| out.push((tag.id - 1) as usize * 10);
+        sys.inject_faults(FaultPlan::new(spec, 41));
+        let frame = sys.run_aloha_frame(32, &plan);
+        assert_eq!(frame.len(), 32);
+        assert_eq!(sys.quality().aborted_frames, 1);
+        assert!(sys.quality().slots_lost > 0);
+        assert_eq!(
+            frame.empties() + frame.singletons() + frame.collisions(),
+            32
+        );
+    }
+
+    #[test]
+    fn sense_counts_passes_through_fault_layer() {
+        let spec = FaultSpec {
+            p_slot_burst: 1.0,
+            burst_len: 4,
+            ..FaultSpec::none()
+        };
+        let mut sys = small_system(1);
+        sys.inject_faults(FaultPlan::new(spec, 50));
+        let counts = vec![0u32; 64];
+        let frame = sys.sense_counts(&counts);
+        assert_eq!(frame.observed(), 64);
+        assert_eq!(sys.quality().slots_corrupted, 4);
+        // Clean system: unchanged behaviour.
+        let mut clean = small_system(1);
+        let f = clean.sense_counts(&counts);
+        assert_eq!(f.busy_count(), 0);
+    }
+
+    #[test]
+    fn noisy_channel_marks_quality() {
+        let sys = RfidSystem::with_channel(
+            TagPopulation::new(vec![Tag { id: 1, rn: 1 }]),
+            Box::new(BitErrorChannel::new(0.1)),
+        );
+        assert!(sys.quality().noisy_channel);
+        assert!(sys.quality().degraded());
+        assert!(!small_system(1).quality().noisy_channel);
     }
 }

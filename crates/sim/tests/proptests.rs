@@ -6,7 +6,10 @@ use proptest::prelude::*;
 use rfid_hash::SplitMix64;
 use rfid_sim::frame::response_counts;
 use rfid_sim::parallel::{par_fold, par_fold_with_threads};
-use rfid_sim::{AirTimeLedger, BitFrame, Bitmap, PerfectChannel, Tag, Timing};
+use rfid_sim::{
+    AirTimeLedger, BitErrorChannel, BitFrame, Bitmap, CaptureChannel, Channel,
+    ImperfectHashChannel, PerfectChannel, Tag, Timing,
+};
 
 proptest! {
     #[test]
@@ -245,5 +248,105 @@ proptest! {
         let threaded =
             rfid_sim::frame::response_counts_with_threads(&tags, w, &plan, threads);
         prop_assert_eq!(reference, threaded);
+    }
+}
+
+/// Every channel implementation in the workspace, instantiated from two
+/// free parameters so the property sweeps the configuration space too.
+fn channel_family(p1: f64, p2: f64) -> Vec<Box<dyn Channel>> {
+    vec![
+        Box::new(PerfectChannel),
+        Box::new(BitErrorChannel::new(p1)),
+        Box::new(CaptureChannel::new(p1)),
+        Box::new(ImperfectHashChannel::new(p1, p2)),
+    ]
+}
+
+proptest! {
+    /// The `Channel` contract: a 1-bit slot carries no multiplicity
+    /// information, so for every implementation the sensed value *and*
+    /// the post-call noise stream may depend on `responders` only through
+    /// `responders > 0`. The batched frame path replays frames from a
+    /// busy/idle bitmap and silently desynchronizes if any channel
+    /// violates this.
+    #[test]
+    fn bitslot_sensing_depends_only_on_occupancy(
+        seed in any::<u64>(),
+        r1 in 1u32..50_000,
+        r2 in 1u32..50_000,
+        p1 in 0.0f64..1.0,
+        p2 in 0.0f64..1.0,
+    ) {
+        for channel in channel_family(p1, p2) {
+            let mut noise_a = SplitMix64::new(seed);
+            let mut noise_b = SplitMix64::new(seed);
+            let a = channel.sense_bitslot(r1, &mut noise_a);
+            let b = channel.sense_bitslot(r2, &mut noise_b);
+            prop_assert_eq!(a, b, "{}: sensed value depends on multiplicity", channel.name());
+            prop_assert_eq!(
+                noise_a.next_u64(),
+                noise_b.next_u64(),
+                "{}: noise stream depends on multiplicity", channel.name()
+            );
+        }
+    }
+
+    /// Same-seed bit-slot sensing is a pure function: repeating the call
+    /// reproduces both the result and the stream position.
+    #[test]
+    fn bitslot_sensing_replays_bitwise(
+        seed in any::<u64>(),
+        responders in 0u32..1_000,
+        p1 in 0.0f64..1.0,
+        p2 in 0.0f64..1.0,
+    ) {
+        for channel in channel_family(p1, p2) {
+            let mut noise_a = SplitMix64::new(seed);
+            let mut noise_b = SplitMix64::new(seed);
+            let a = channel.sense_bitslot(responders, &mut noise_a);
+            let b = channel.sense_bitslot(responders, &mut noise_b);
+            prop_assert_eq!(a, b, "{}", channel.name());
+            prop_assert_eq!(noise_a.next_u64(), noise_b.next_u64(), "{}", channel.name());
+        }
+    }
+
+    /// The Aloha analogue: outcome and noise stream may depend on the
+    /// responder count only through its empty/singleton/collision class.
+    #[test]
+    fn aloha_sensing_depends_only_on_collision_class(
+        seed in any::<u64>(),
+        r1 in 2u32..50_000,
+        r2 in 2u32..50_000,
+        p1 in 0.0f64..1.0,
+        p2 in 0.0f64..1.0,
+    ) {
+        for channel in channel_family(p1, p2) {
+            let mut noise_a = SplitMix64::new(seed);
+            let mut noise_b = SplitMix64::new(seed);
+            let a = channel.sense_aloha(r1, &mut noise_a);
+            let b = channel.sense_aloha(r2, &mut noise_b);
+            prop_assert_eq!(a, b, "{}: outcome depends on collision size", channel.name());
+            prop_assert_eq!(
+                noise_a.next_u64(),
+                noise_b.next_u64(),
+                "{}: noise stream depends on collision size", channel.name()
+            );
+        }
+    }
+
+    /// Extreme parameters stay within the contract: a fully-errored
+    /// bit-error channel inverts every slot deterministically, and a
+    /// miss-everything imperfect-hash channel reads everything idle.
+    #[test]
+    fn degenerate_channels_are_deterministic(
+        seed in any::<u64>(),
+        responders in 1u32..1_000,
+    ) {
+        let mut noise = SplitMix64::new(seed);
+        prop_assert!(!BitErrorChannel::new(1.0).sense_bitslot(responders, &mut noise));
+        prop_assert!(BitErrorChannel::new(1.0).sense_bitslot(0, &mut noise));
+        prop_assert!(!ImperfectHashChannel::new(1.0, 0.0).sense_bitslot(responders, &mut noise));
+        prop_assert!(ImperfectHashChannel::new(0.0, 1.0).sense_bitslot(0, &mut noise));
+        prop_assert!(!BitErrorChannel::new(0.0).sense_bitslot(0, &mut noise));
     }
 }

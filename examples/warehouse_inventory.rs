@@ -41,7 +41,9 @@ fn main() {
         deployment.add_reader(stock[..2 * third].to_vec());
         deployment.add_reader(stock[third..].to_vec());
         deployment.add_reader(stock[..third].iter().chain(&stock[2 * third..]).copied().collect());
-        let mut system = deployment.logical_system();
+        let mut system = deployment
+            .logical_system()
+            .expect("consistent deployment");
 
         let report = bfce.estimate(&mut system, accuracy, &mut rng);
         let estimate = report.n_hat;

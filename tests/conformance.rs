@@ -137,6 +137,114 @@ fn busy_idle_occupancy_matches_poisson_approximation() {
     );
 }
 
+/// Chi-square conformance for the imperfect-hash fault channel: sensed
+/// through [`ImperfectHashChannel`], the observed busy probability of a
+/// single-hash frame must track the *biased* Poisson law
+/// `p_busy = (1 - p_miss)(1 - e^{-n/f}) + p_ghost e^{-n/f}` — the fault
+/// class injects a quantified occupancy bias, not arbitrary noise.
+#[test]
+fn imperfect_hash_occupancy_matches_the_biased_poisson_law() {
+    use rfid_bfce_repro::sim::ImperfectHashChannel;
+
+    let n = 2_000usize;
+    let w = 1_024usize;
+    let frames = 32usize;
+    let (p_miss, p_ghost) = (0.15, 0.03);
+
+    let mut world = StdRng::seed_from_u64(0xC0F0_0006);
+    let population = WorkloadSpec::T1.generate(n, &mut world);
+    let mut system = RfidSystem::with_channel(
+        population,
+        Box::new(ImperfectHashChannel::new(p_miss, p_ghost)),
+    );
+    system.set_noise_seed(0xC0F0_0007);
+
+    let load = n as f64 / w as f64;
+    let p_truth_busy = 1.0 - (-load).exp();
+    let p_busy = (1.0 - p_miss) * p_truth_busy + p_ghost * (1.0 - p_truth_busy);
+    let e_busy = w as f64 * p_busy;
+    let e_idle = w as f64 - e_busy;
+
+    let mut seeds = StdRng::seed_from_u64(0xC0F0_0008);
+    let mut observed = Vec::with_capacity(2 * frames);
+    let mut expected = Vec::with_capacity(2 * frames);
+    for _ in 0..frames {
+        let plan = SingleHashPlan {
+            seed: seeds.gen::<u32>(),
+            w,
+        };
+        let frame = system.run_bitslot_frame(w, &plan);
+        observed.push(frame.busy_count() as u64);
+        observed.push(frame.idle_count() as u64);
+        expected.push(e_busy);
+        expected.push(e_idle);
+    }
+
+    let stat = chi_square_statistic_against(&observed, &expected);
+    let crit = chi_square_critical(frames as u64, ALPHA);
+    assert!(
+        stat <= crit,
+        "pooled chi-square {stat:.2} exceeds the alpha = {ALPHA} critical value {crit:.2} \
+         (expected busy {e_busy:.1} of {w} under p_miss = {p_miss}, p_ghost = {p_ghost})"
+    );
+}
+
+/// Chi-square conformance for the capture-effect fault channel: over
+/// repeated single-hash Aloha frames, the empty/singleton/collision split
+/// must follow the Poisson occupancy law with every captured collision
+/// moved into the singleton bin:
+/// `p_single' = load e^{-load} + c (1 - e^{-load} - load e^{-load})`.
+#[test]
+fn capture_effect_shifts_singletons_by_the_configured_rate() {
+    use rfid_bfce_repro::sim::CaptureChannel;
+
+    let n = 1_500usize;
+    let f = 1_024usize;
+    let frames = 32usize;
+    let capture = 0.4;
+
+    let mut world = StdRng::seed_from_u64(0xC0F0_0009);
+    let population = WorkloadSpec::T1.generate(n, &mut world);
+    let mut system =
+        RfidSystem::with_channel(population, Box::new(CaptureChannel::new(capture)));
+    system.set_noise_seed(0xC0F0_000A);
+
+    let load = n as f64 / f as f64;
+    let p_empty = (-load).exp();
+    let p_single = load * p_empty;
+    let p_coll = 1.0 - p_empty - p_single;
+    let e_empty = f as f64 * p_empty;
+    let e_single = f as f64 * (p_single + capture * p_coll);
+    let e_coll = f as f64 * (1.0 - capture) * p_coll;
+
+    let mut seeds = StdRng::seed_from_u64(0xC0F0_000B);
+    let mut observed = Vec::with_capacity(3 * frames);
+    let mut expected = Vec::with_capacity(3 * frames);
+    for _ in 0..frames {
+        let plan = SingleHashPlan {
+            seed: seeds.gen::<u32>(),
+            w: f,
+        };
+        let frame = system.run_aloha_frame(f, &plan);
+        observed.push(frame.empties() as u64);
+        observed.push(frame.singletons() as u64);
+        observed.push(frame.collisions() as u64);
+        expected.push(e_empty);
+        expected.push(e_single);
+        expected.push(e_coll);
+    }
+
+    // Each frame fixes one marginal (the three bins sum to f), so the
+    // pooled statistic has 2 degrees of freedom per frame.
+    let stat = chi_square_statistic_against(&observed, &expected);
+    let crit = chi_square_critical(2 * frames as u64, ALPHA);
+    assert!(
+        stat <= crit,
+        "pooled chi-square {stat:.2} exceeds the alpha = {ALPHA} critical value {crit:.2} \
+         (expected singletons {e_single:.1} of {f} at capture = {capture})"
+    );
+}
+
 /// The batched word-level fill path must leave the conformance picture
 /// unchanged: re-running the KS experiment through the reference scalar
 /// path yields the *same* error sample bit for bit (the kernels are

@@ -130,6 +130,55 @@ fn parallel_frame_fill_does_not_depend_on_thread_interleaving() {
     }
 }
 
+/// Fault schedules are part of the determinism contract (ISSUE 6): a
+/// faulted trial sweep must be bitwise replayable from its seed at any
+/// `--jobs` setting. Exercises the fault plan's per-frame substreams, the
+/// retry/salvage collector, and the quality accounting through the same
+/// TrialRunner path the robustness ablation uses.
+#[test]
+fn fault_schedules_replay_bitwise_at_any_job_count() {
+    use rfid_bfce_repro::experiments::engine::TrialRunner;
+    use rfid_bfce_repro::experiments::robustness::FaultClass;
+    use rfid_bfce_repro::hash::stream_seed;
+
+    let classes = [FaultClass::Abort, FaultClass::Burst, FaultClass::Dropout];
+    for (class_idx, class) in classes.iter().enumerate() {
+        let sweep = |jobs: usize| -> Vec<(u64, u64, u64, u64, u32)> {
+            TrialRunner::new(6, stream_seed(1701, class_idx as u64))
+                .jobs(jobs)
+                .map(|ctx| {
+                    let mut system = class.build_system(4_000, 0.6, ctx.seed);
+                    system.set_noise_seed(ctx.seed);
+                    system.set_frame_min_chunk(ctx.frame_min_chunk);
+                    let mut rng = ctx.rng();
+                    let report =
+                        Bfce::paper().estimate(&mut system, Accuracy::paper_default(), &mut rng);
+                    let q = system.quality();
+                    (
+                        report.n_hat.to_bits(),
+                        q.retries,
+                        q.aborted_frames,
+                        q.slots_corrupted,
+                        q.readers_failed,
+                    )
+                })
+        };
+        let serial = sweep(1);
+        assert_eq!(
+            serial,
+            sweep(4),
+            "{}: faulted sweep differs between 1 and 4 workers",
+            class.name()
+        );
+        assert_eq!(
+            serial,
+            sweep(1),
+            "{}: serial faulted sweep drifted on re-run",
+            class.name()
+        );
+    }
+}
+
 /// The batched word-level frame-fill kernel is an exact rewrite of the
 /// scalar path: for the same plan the busy frame and observed response
 /// count must be bit-identical, at any worker count. This is the

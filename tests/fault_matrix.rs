@@ -1,0 +1,225 @@
+//! The fault matrix: every estimator in the workspace, under every fault
+//! class the robustness layer injects.
+//!
+//! Three guarantees per `(estimator, fault class)` cell:
+//!
+//! 1. **No panics.** Degraded observations must degrade the estimate, not
+//!    crash the protocol.
+//! 2. **Flagged or clean.** If the run is degraded, the system's
+//!    [`Quality`] record says so, its counters are internally consistent,
+//!    and the widened `(ε, δ)` it reports is no tighter than the nominal
+//!    requirement. If the run is *not* degraded (every fault recovered or
+//!    none fired), the estimate is bitwise identical to a fault-free run
+//!    of the same seed — recovered retries are estimate-preserving.
+//! 3. **Replayable.** Repeating a faulted cell with the same seed
+//!    reproduces the estimate and the quality record exactly.
+//!
+//! The `estimator-registry` analysis rule requires every
+//! `impl CardinalityEstimator` in the workspace to be mentioned here, so
+//! a new estimator cannot ship without passing the matrix.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rfid_bfce_repro::baselines::{
+    Art, Ezb, Fneb, Lof, Mle, Pet, QInventory, Src, Upe, Zoe, A3,
+};
+use rfid_bfce_repro::experiments::robustness::FaultClass;
+use rfid_bfce_repro::hash::stream_seed;
+use rfid_bfce_repro::prelude::*;
+use rfid_bfce_repro::sim::Quality;
+use rfid_bfce_repro::workloads::WorkloadSpec as Workload;
+
+const N: usize = 5_000;
+const LAMBDA: f64 = 0.5;
+
+/// Every estimator the workspace ships, in CLI-registry order.
+fn estimator_family() -> Vec<Box<dyn CardinalityEstimator>> {
+    vec![
+        Box::new(Bfce::paper()),
+        Box::new(Zoe::default()),
+        Box::new(Src::default()),
+        Box::new(Lof::default()),
+        Box::new(Upe::default()),
+        Box::new(Ezb::default()),
+        Box::new(Fneb::default()),
+        Box::new(Art::default()),
+        Box::new(Mle::default()),
+        Box::new(Pet::default()),
+        Box::new(A3::default()),
+        Box::new(QInventory::default()),
+    ]
+}
+
+/// One faulted estimation run; returns the report and the quality record.
+fn faulted_run(
+    est: &dyn CardinalityEstimator,
+    class: FaultClass,
+    seed: u64,
+) -> (EstimationReport, Quality) {
+    let mut system = class.build_system(N, LAMBDA, seed);
+    system.set_noise_seed(seed);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let report = est.estimate(&mut system, Accuracy::paper_default(), &mut rng);
+    let quality = system.quality().clone();
+    (report, quality)
+}
+
+/// The fault-free twin of [`faulted_run`]: same population stream, same
+/// noise seed, same reader RNG, perfect channel, no fault plan.
+fn clean_run(est: &dyn CardinalityEstimator, seed: u64) -> EstimationReport {
+    let mut world = StdRng::seed_from_u64(stream_seed(seed, 0));
+    let population = Workload::T1.generate(N, &mut world);
+    let mut system = RfidSystem::new(population);
+    system.set_noise_seed(seed);
+    let mut rng = StdRng::seed_from_u64(seed);
+    est.estimate(&mut system, Accuracy::paper_default(), &mut rng)
+}
+
+fn assert_counters_consistent(quality: &Quality, label: &str) {
+    assert!(
+        quality.slots_lost <= quality.slots_observed,
+        "{label}: lost {} > observed {}",
+        quality.slots_lost,
+        quality.slots_observed
+    );
+    assert!(
+        quality.slots_corrupted <= quality.slots_observed,
+        "{label}: corrupted {} > observed {}",
+        quality.slots_corrupted,
+        quality.slots_observed
+    );
+    assert!(
+        quality.aborted_frames <= quality.frames,
+        "{label}: aborted {} > frames {}",
+        quality.aborted_frames,
+        quality.frames
+    );
+    assert!(
+        quality.desync_events <= quality.frames,
+        "{label}: desyncs {} > frames {}",
+        quality.desync_events,
+        quality.frames
+    );
+    if quality.slots_lost > 0 {
+        assert!(
+            quality.aborted_frames > 0,
+            "{label}: slots lost without an aborted frame"
+        );
+    }
+}
+
+#[test]
+fn every_estimator_survives_every_fault_class() {
+    let accuracy = Accuracy::paper_default();
+    for (est_idx, est) in estimator_family().iter().enumerate() {
+        for (class_idx, &class) in FaultClass::all().iter().enumerate() {
+            let label = format!("{} x {}", est.name(), class.name());
+            let seed = stream_seed(0xFA17_AB1E, (est_idx as u64) << 8 | class_idx as u64);
+
+            // Guarantee 1: the cell completes and yields a finite estimate.
+            let (report, quality) = faulted_run(est.as_ref(), class, seed);
+            assert!(
+                report.n_hat.is_finite(),
+                "{label}: non-finite estimate {}",
+                report.n_hat
+            );
+            assert_counters_consistent(&quality, &label);
+
+            if quality.degraded() {
+                // Guarantee 2a: degraded runs widen, never tighten, the
+                // advertised accuracy.
+                let widened = quality.widened(accuracy);
+                assert!(
+                    widened.epsilon >= accuracy.epsilon,
+                    "{label}: widened epsilon {} below nominal",
+                    widened.epsilon
+                );
+                assert!(
+                    widened.delta >= accuracy.delta,
+                    "{label}: widened delta {} below nominal",
+                    widened.delta
+                );
+            } else {
+                // Guarantee 2b: a non-degraded faulted run is
+                // indistinguishable from a fault-free run — recovered
+                // retries must be estimate-preserving.
+                let clean = clean_run(est.as_ref(), seed);
+                assert_eq!(
+                    report.n_hat.to_bits(),
+                    clean.n_hat.to_bits(),
+                    "{label}: non-degraded run diverges from clean twin \
+                     ({} vs {})",
+                    report.n_hat,
+                    clean.n_hat
+                );
+            }
+
+            // Guarantee 3: the cell replays bitwise.
+            let (replay, replay_quality) = faulted_run(est.as_ref(), class, seed);
+            assert_eq!(
+                report.n_hat.to_bits(),
+                replay.n_hat.to_bits(),
+                "{label}: estimate not replayable"
+            );
+            assert_eq!(quality, replay_quality, "{label}: quality not replayable");
+        }
+    }
+}
+
+#[test]
+fn abort_recovery_is_estimate_preserving_on_a_perfect_channel() {
+    // The abort class on a perfect channel: whenever every abort recovers
+    // within the retry budget, the estimate must equal the clean twin's
+    // bitwise, while the retry counter records the overhead.
+    let est = Bfce::paper();
+    let mut recovered = 0u32;
+    for trial in 0..12u64 {
+        let seed = stream_seed(0xAB0_127, trial);
+        let (report, quality) = faulted_run(&est, FaultClass::Abort, seed);
+        if !quality.degraded() {
+            recovered += 1;
+            let clean = clean_run(&est, seed);
+            assert_eq!(report.n_hat.to_bits(), clean.n_hat.to_bits());
+        } else {
+            assert!(quality.aborted_frames > 0);
+        }
+    }
+    assert!(
+        recovered > 0,
+        "no trial recovered cleanly; abort intensity too aggressive for the test"
+    );
+}
+
+#[test]
+fn noisy_channel_classes_always_flag_degradation() {
+    for class in [
+        FaultClass::Capture,
+        FaultClass::ImperfectHash,
+        FaultClass::BitError,
+    ] {
+        let (_, quality) = faulted_run(&Bfce::paper(), class, 99);
+        assert!(
+            quality.degraded(),
+            "{}: noisy channel not flagged",
+            class.name()
+        );
+        assert!(quality.noisy_channel);
+    }
+}
+
+#[test]
+fn dropout_cells_record_lost_coverage_for_frame_running_estimators() {
+    // Estimators that execute reader frames must observe the dropout and
+    // account the lost coverage.
+    let (_, quality) = faulted_run(&Zoe::default(), FaultClass::Dropout, 7);
+    assert!(quality.degraded());
+    assert!(quality.readers_failed > 0);
+    assert!(quality.coverage_lost > 0);
+
+    // Q-inventory never runs frames, so the dropout plan can never fire:
+    // the cell stays clean and therefore bitwise-equal to its twin.
+    let (report, quality) = faulted_run(&QInventory::default(), FaultClass::Dropout, 7);
+    assert!(!quality.degraded());
+    let clean = clean_run(&QInventory::default(), 7);
+    assert_eq!(report.n_hat.to_bits(), clean.n_hat.to_bits());
+}

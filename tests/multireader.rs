@@ -26,10 +26,13 @@ fn overlapping_readers_count_each_tag_once() {
     deployment.add_reader(tags(80_001..140_001));
     deployment.add_reader(tags(1..20_001));
     let union = 140_000usize;
-    assert_eq!(deployment.logical_population().cardinality(), union);
+    let population = deployment
+        .logical_population()
+        .expect("consistent deployment");
+    assert_eq!(population.cardinality(), union);
     assert!(deployment.coverage_entries() > union); // overlaps are real
 
-    let mut system = deployment.logical_system();
+    let mut system = deployment.logical_system().expect("consistent deployment");
     let mut rng = StdRng::seed_from_u64(77);
     let report = Bfce::paper().estimate(&mut system, Accuracy::paper_default(), &mut rng);
     assert!(
@@ -49,7 +52,7 @@ fn disjoint_warehouse_zones_sum_up() {
     deployment.add_reader(tags(50_001..90_001));
     deployment.add_reader(tags(100_001..130_001));
     let total = 30_000 + 40_000 + 30_000;
-    let mut system = deployment.logical_system();
+    let mut system = deployment.logical_system().expect("consistent deployment");
     let mut rng = StdRng::seed_from_u64(5);
     let report = Bfce::paper().estimate(&mut system, Accuracy::paper_default(), &mut rng);
     assert!(report.relative_error(total) < 0.05);
@@ -59,7 +62,7 @@ fn disjoint_warehouse_zones_sum_up() {
 fn single_reader_deployment_degenerates_to_plain_system() {
     let mut deployment = MultiReaderDeployment::new();
     deployment.add_reader(tags(1..10_001));
-    let sys = deployment.logical_system();
+    let sys = deployment.logical_system().expect("consistent deployment");
     assert_eq!(sys.true_cardinality(), 10_000);
     assert_eq!(deployment.reader_count(), 1);
 }
