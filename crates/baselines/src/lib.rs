@@ -53,7 +53,7 @@ pub use mle::Mle;
 pub use pet::Pet;
 pub use src::Src;
 pub use upe::Upe;
-pub use zoe::Zoe;
+pub use zoe::{Zoe, ZoeSlotPlan};
 
 /// Every baseline estimator, boxed, for shoot-out sweeps.
 pub fn all_baselines() -> Vec<Box<dyn rfid_sim::CardinalityEstimator>> {

@@ -19,12 +19,21 @@
 //!   keeps extending the run while under-provisioned — a rough estimate
 //!   that "fairly deviates from the actual cardinality \[leads\] to a sharp
 //!   growth of the required time slots".
+//!
+//! The *simulation* of those single-slot frames is batched: each
+//! [`ZoeSlotPlan`] covers a whole seed batch, deriving per-frame seeds
+//! counter-mode from one batch root and walking each tag's participating
+//! slots by geometric gaps instead of testing every (tag, seed) pair —
+//! see the plan's docs for why this is distribution- and charge-exact.
 
 use crate::common::{clamped_rho, required_trials, ZOE_OPTIMAL_LAMBDA};
 use crate::lof::Lof;
 use rand::RngCore;
+use rfid_hash::mix::{mix_pair, unit_f64};
+use rfid_hash::{stream_seed, SplitMix64};
 use rfid_sim::{
-    Accuracy, CardinalityEstimator, EstimationReport, PhaseReport, RfidSystem, Tag,
+    Accuracy, CardinalityEstimator, EstimationReport, PhaseReport, ResponsePlan, RfidSystem,
+    SlotSink, Tag,
 };
 use rfid_stats::d_for_delta;
 
@@ -57,6 +66,104 @@ impl Default for Zoe {
 /// charged per-slot exactly as the real schedule would be).
 const SLOT_BATCH: usize = 512;
 
+/// One batch of ZOE single-slot frames as a [`ResponsePlan`].
+///
+/// A batch of `batch` logical frames shares one 64-bit `batch_root`; the
+/// 32-bit seed the reader logically broadcasts for frame `i` is derived
+/// from it counter-mode ([`slot_seed`](Self::slot_seed), the same
+/// [`stream_seed`] stream [`SplitMix64::fill_u64`] produces). A tag's
+/// participation across the batch is one per-tag draw stream: seeded from
+/// `mix_pair(tag.id, batch_root)`, the tag walks its participating slots
+/// by **geometric gaps** — `gap = floor(ln(1-u) / ln(1-p))` slots are
+/// skipped between responses, which is exactly the run-length of a
+/// per-slot i.i.d. Bernoulli(`p`) sequence. The walk touches `O(p·batch)`
+/// slots per tag instead of evaluating all `batch` seeds, which is what
+/// removes the per-(tag, slot) hot spot the benchmark baseline flagged.
+///
+/// The scalar `responses()` path and the batched `fill_chunk` override run
+/// the *same* walk, so the two kernels are bitwise-identical by
+/// construction and the proptest suite holds them to it.
+#[derive(Debug, Clone, Copy)]
+pub struct ZoeSlotPlan {
+    batch: usize,
+    batch_root: u64,
+    p: f64,
+    /// `ln(1 - p)`, precomputed once per batch (strictly negative; `-inf`
+    /// at `p = 1`, where every gap collapses to zero and every tag answers
+    /// every slot).
+    ln1mp: f64,
+}
+
+impl ZoeSlotPlan {
+    /// A batch of `batch` single-slot frames with participation `p`,
+    /// seeded from `batch_root`.
+    pub fn new(batch: usize, batch_root: u64, p: f64) -> Self {
+        assert!(batch >= 1, "batch must have at least one slot");
+        assert!(p > 0.0 && p <= 1.0, "participation must lie in (0, 1]");
+        Self {
+            batch,
+            batch_root,
+            p,
+            ln1mp: (-p).ln_1p(),
+        }
+    }
+
+    /// Number of logical single-slot frames in this batch.
+    pub fn batch(&self) -> usize {
+        self.batch
+    }
+
+    /// The participation probability per frame.
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+
+    /// The 32-bit seed the reader logically broadcasts for frame `i` of
+    /// the batch (the high word of the counter-mode [`stream_seed`] draw,
+    /// matching what [`SplitMix64::fill_u64`] would emit).
+    pub fn slot_seed(&self, i: usize) -> u32 {
+        (stream_seed(self.batch_root, i as u64) >> 32) as u32
+    }
+
+    /// Visit every slot of the batch this tag responds in, in increasing
+    /// order. `u ∈ [0, 1)` strictly, so `ln(1-u)` is finite; the remaining-
+    /// slot guard runs before the cast, so the cast never truncates.
+    #[inline]
+    fn walk(&self, tag: &Tag, mut visit: impl FnMut(usize)) {
+        let mut draws = SplitMix64::new(mix_pair(tag.id, self.batch_root));
+        let mut slot = 0usize;
+        while slot < self.batch {
+            let u = unit_f64(draws.next_u64());
+            let gap = (-u).ln_1p() / self.ln1mp;
+            if gap >= (self.batch - slot) as f64 {
+                return;
+            }
+            slot += gap as usize;
+            visit(slot);
+            slot += 1;
+        }
+    }
+}
+
+impl ResponsePlan for ZoeSlotPlan {
+    fn responses(&self, tag: &Tag, out: &mut Vec<usize>) {
+        self.walk(tag, |slot| out.push(slot));
+    }
+
+    fn fill_chunk(&self, tags: &[Tag], sink: &mut SlotSink<'_>) {
+        for tag in tags {
+            self.walk(tag, |slot| sink.record(slot));
+        }
+    }
+
+    /// The geometric walk has no setup cost to amortize — recording
+    /// straight into the sink beats the scratch-buffer loop at every
+    /// population size — so batched dispatch is always on.
+    fn batched_fill_threshold(&self) -> usize {
+        0
+    }
+}
+
 impl Zoe {
     /// Run `count` single-slot frames, returning how many were idle.
     /// Charges per slot: one 32-bit seed broadcast (with its trailing
@@ -68,20 +175,21 @@ impl Zoe {
         count: u64,
         rng: &mut dyn RngCore,
     ) -> u64 {
+        if count == 0 {
+            return 0;
+        }
+        // One estimator-stream draw per call seeds every batch root
+        // deterministically (chunked counter-mode generation, PR-4 style).
+        let batches = count.div_ceil(SLOT_BATCH as u64) as usize;
+        let mut roots = vec![0u64; batches];
+        SplitMix64::new(rng.next_u64()).fill_u64(&mut roots);
         let mut idle = 0u64;
         let mut remaining = count;
-        while remaining > 0 {
+        for &root in &roots {
             let batch = remaining.min(SLOT_BATCH as u64) as usize;
-            let seeds: Vec<u32> = (0..batch).map(|_| rng.next_u32()).collect();
-            // One logical single-slot frame per seed; simulated as one
-            // observation pass with per-slot charging below.
-            let plan = move |tag: &Tag, out: &mut Vec<usize>| {
-                for (i, &seed) in seeds.iter().enumerate() {
-                    if crate::common::participates(tag, seed, p) {
-                        out.push(i);
-                    }
-                }
-            };
+            let plan = ZoeSlotPlan::new(batch, root, p);
+            // One logical single-slot frame per derived seed; simulated as
+            // one observation pass with per-slot charging below.
             let frame = system.run_uncharged_bitslot_frame(batch, &plan);
             idle += frame.idle_count() as u64;
             system.charge_broadcasts(32, batch as u64);
@@ -275,5 +383,88 @@ mod tests {
     #[test]
     fn name_is_zoe() {
         assert_eq!(Zoe::default().name(), "ZOE");
+    }
+
+    // ------------------------------------------------------------------
+    // ZoeSlotPlan: the batched single-slot-frame kernel.
+    // ------------------------------------------------------------------
+
+    fn tags(n: usize) -> Vec<Tag> {
+        (0..n as u64)
+            .map(|i| Tag {
+                id: i * 7 + 3,
+                rn: i as u32,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn walk_visits_increasing_in_range_slots() {
+        let plan = ZoeSlotPlan::new(512, 0xDEAD_BEEF, 0.05);
+        for tag in tags(200) {
+            let mut seen = Vec::new();
+            plan.walk(&tag, |slot| seen.push(slot));
+            assert!(seen.iter().all(|&s| s < 512), "slot out of range");
+            assert!(seen.windows(2).all(|w| w[0] < w[1]), "not increasing");
+        }
+    }
+
+    #[test]
+    fn walk_matches_bernoulli_rate() {
+        // Mean participation over many (tag, slot) pairs tracks p.
+        let p = 0.03;
+        let plan = ZoeSlotPlan::new(512, 42, p);
+        let mut responses = 0u64;
+        let population = tags(2_000);
+        for tag in &population {
+            plan.walk(tag, |_| responses += 1);
+        }
+        let pairs = (population.len() * plan.batch()) as f64;
+        let rate = responses as f64 / pairs;
+        // Binomial sd over ~1M pairs is ~1.7e-4; allow 6 sigma.
+        assert!((rate - p).abs() < 1e-3, "rate = {rate}, p = {p}");
+    }
+
+    #[test]
+    fn full_participation_answers_every_slot() {
+        // p = 1: ln(1-p) = -inf collapses every gap to zero.
+        let plan = ZoeSlotPlan::new(64, 7, 1.0);
+        for tag in tags(5) {
+            let mut seen = Vec::new();
+            plan.walk(&tag, |slot| seen.push(slot));
+            assert_eq!(seen, (0..64).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn scalar_and_batched_kernels_fill_identically() {
+        use rfid_sim::frame::{response_fill, ScalarRef};
+        let plan = ZoeSlotPlan::new(512, 0x5EED, 0.01);
+        let population = tags(3_000);
+        let batched = response_fill(&population, 512, 512, &plan);
+        let scalar = response_fill(&population, 512, 512, &ScalarRef(&plan));
+        assert_eq!(batched, scalar);
+    }
+
+    #[test]
+    fn slot_seeds_follow_the_counter_stream() {
+        use rfid_hash::{stream_seed, SplitMix64};
+        let plan = ZoeSlotPlan::new(16, 99, 0.5);
+        let mut words = vec![0u64; 16];
+        SplitMix64::new(99).fill_u64(&mut words);
+        for (i, &w) in words.iter().enumerate() {
+            assert_eq!(plan.slot_seed(i), (w >> 32) as u32);
+            assert_eq!(w, stream_seed(99, i as u64));
+        }
+        // Distinct across the batch (the reader really does broadcast a
+        // fresh seed per frame).
+        let seeds: std::collections::BTreeSet<u32> =
+            (0..16).map(|i| plan.slot_seed(i)).collect();
+        assert_eq!(seeds.len(), 16);
+    }
+
+    #[test]
+    fn batched_dispatch_is_always_on_for_zoe() {
+        assert_eq!(ZoeSlotPlan::new(1, 0, 0.5).batched_fill_threshold(), 0);
     }
 }

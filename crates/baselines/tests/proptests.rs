@@ -2,6 +2,7 @@
 
 use proptest::prelude::*;
 use rfid_baselines::a3::round_relative_variance;
+use rfid_baselines::ZoeSlotPlan;
 use rfid_baselines::common::{clamped_rho, median, required_trials};
 use rfid_baselines::mle::{mle_solve, FrameObservation};
 use rfid_baselines::upe::collision_lambda;
@@ -100,5 +101,65 @@ proptest! {
         let v2 = round_relative_variance(lambda, f * 2);
         prop_assert!(v1 > 0.0);
         prop_assert!((v2 - v1 / 2.0).abs() < 1e-12 * v1.max(1.0));
+    }
+
+    /// The ZOE slot-batch plan's scalar walk and batched chunk fill are
+    /// the same kernel (ISSUE 7): for arbitrary populations, participation
+    /// probabilities, batch widths, and worker counts, the busy frame and
+    /// observed-response totals agree bit for bit.
+    #[test]
+    fn zoe_slot_plan_scalar_and_batched_fill_identically(
+        raw_tags in prop::collection::vec((any::<u64>(), any::<u32>()), 0..200),
+        batch in 1usize..700,
+        batch_root in any::<u64>(),
+        p_raw in 1e-6f64..1.0,
+        threads in prop::sample::select(vec![1usize, 2, 4, 8]),
+    ) {
+        use rfid_sim::frame::{
+            response_counts_reference, response_fill_with_threads,
+        };
+        use rfid_sim::{ScalarRef, Tag};
+
+        let tags: Vec<Tag> = raw_tags.iter().map(|&(id, rn)| Tag { id, rn }).collect();
+        let plan = ZoeSlotPlan::new(batch, batch_root, p_raw);
+
+        let counts = response_counts_reference(&tags, batch, &plan, usize::MAX);
+        let scalar =
+            response_fill_with_threads(&tags, batch, batch, &ScalarRef(&plan), 1);
+        let batched = response_fill_with_threads(&tags, batch, batch, &plan, threads);
+
+        prop_assert_eq!(scalar.busy.words(), batched.busy.words());
+        prop_assert_eq!(scalar.prefix_responses, batched.prefix_responses);
+        for (slot, &c) in counts.iter().enumerate() {
+            prop_assert_eq!(batched.busy.get(slot), c > 0, "slot {}", slot);
+        }
+        let want: u64 = counts.iter().map(|&c| u64::from(c)).sum();
+        prop_assert_eq!(batched.prefix_responses, want);
+    }
+
+    /// The geometric-skip walk visits each slot independently with
+    /// probability `p`: at `p = 1` every tag answers every slot, and the
+    /// visit sequence is strictly increasing and in range for any `p`.
+    #[test]
+    fn zoe_walk_rate_and_order_are_sane(
+        id in any::<u64>(),
+        rn in any::<u32>(),
+        batch in 1usize..600,
+        batch_root in any::<u64>(),
+        p_raw in 1e-6f64..1.0,
+    ) {
+        use rfid_sim::{ResponsePlan, Tag};
+
+        let tag = Tag { id, rn };
+        let plan = ZoeSlotPlan::new(batch, batch_root, p_raw);
+        let mut slots = Vec::new();
+        plan.responses(&tag, &mut slots);
+        prop_assert!(slots.windows(2).all(|w| w[0] < w[1]), "visits not increasing");
+        prop_assert!(slots.iter().all(|&s| s < batch), "visit out of range");
+        let full = ZoeSlotPlan::new(batch, batch_root, 1.0);
+        let mut everything = Vec::new();
+        full.responses(&tag, &mut everything);
+        let want: Vec<usize> = (0..batch).collect();
+        prop_assert_eq!(everything, want);
     }
 }

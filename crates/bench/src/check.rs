@@ -1,0 +1,185 @@
+//! Checksum drift detection against a committed baseline report.
+//!
+//! The committed `BENCH_frame_fill.json` records, for every benchmark
+//! case, the checksum its kernel produced. Those checksums are pure
+//! functions of the kernel code and its fixed seeds — *not* of timing, rep
+//! counts, or host — so a `--quick` CI run must reproduce the committed
+//! value for every case name it shares with the baseline. A mismatch means
+//! a kernel's observable output changed (an equivalence break or an
+//! intentional redefinition that requires a re-baseline); CI fails on it
+//! while perf numbers stay non-blocking.
+//!
+//! The parser is deliberately a line-oriented scanner rather than a full
+//! JSON parser: the report is emitted by [`crate::json`] with one
+//! `"name"`/`"checksum"` pair per result object, and the scanner only
+//! needs those. It tracks the most recent `"name"` and pairs it with the
+//! next `"checksum"`; the speedups section contains neither key, so it is
+//! inert.
+
+use crate::measure::BenchResult;
+
+/// Extract `(case name, checksum)` pairs from a committed
+/// `rfid-bench/v1` report.
+pub fn committed_checksums(text: &str) -> Vec<(String, u64)> {
+    let mut out = Vec::new();
+    let mut current_name: Option<String> = None;
+    for line in text.lines() {
+        let trimmed = line.trim();
+        if let Some(v) = quoted_value(trimmed, "\"name\": \"") {
+            current_name = Some(v.to_string());
+        } else if let Some(v) = quoted_value(trimmed, "\"checksum\": \"") {
+            if let (Some(name), Ok(sum)) = (current_name.take(), v.parse::<u64>()) {
+                out.push((name, sum));
+            }
+        }
+    }
+    out
+}
+
+/// The string between `prefix` and the next `"` on the line, if the line
+/// starts with `prefix`.
+fn quoted_value<'a>(line: &'a str, prefix: &str) -> Option<&'a str> {
+    let rest = line.strip_prefix(prefix)?;
+    let end = rest.find('"')?;
+    Some(&rest[..end])
+}
+
+/// One checksum disagreement between a run and the committed baseline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Drift {
+    /// The benchmark case name both sides ran.
+    pub name: String,
+    /// The checksum recorded in the committed baseline.
+    pub committed: u64,
+    /// The checksum the current run produced.
+    pub measured: u64,
+}
+
+/// Compare a run against the committed baseline.
+///
+/// Returns `(overlap, drifts)`: how many case names appeared on both
+/// sides, and the cases whose checksums disagree. Cases present on only
+/// one side are ignored — quick mode runs a subset of the full-mode
+/// baseline, and that subset is the contract CI checks.
+pub fn diff_checksums(
+    committed: &[(String, u64)],
+    results: &[BenchResult],
+) -> (usize, Vec<Drift>) {
+    let mut overlap = 0usize;
+    let mut drifts = Vec::new();
+    for r in results {
+        let Some((name, sum)) = committed.iter().find(|(n, _)| *n == r.name) else {
+            continue;
+        };
+        overlap += 1;
+        if *sum != r.checksum {
+            drifts.push(Drift {
+                name: name.clone(),
+                committed: *sum,
+                measured: r.checksum,
+            });
+        }
+    }
+    (overlap, drifts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result(name: &str, checksum: u64) -> BenchResult {
+        BenchResult {
+            group: "g".into(),
+            name: name.into(),
+            params: Vec::new(),
+            warmup: 0,
+            reps: 1,
+            p50_ms: 1.0,
+            p95_ms: 1.0,
+            min_ms: 1.0,
+            mean_ms: 1.0,
+            throughput_per_s: None,
+            checksum,
+        }
+    }
+
+    const SAMPLE: &str = r#"{
+  "schema": "rfid-bench/v1",
+  "results": [
+    {
+      "group": "frame_fill",
+      "name": "frame_fill/scalar/n=1000/threads=1",
+      "p50_ms": 0.5,
+      "checksum": "12345"
+    },
+    {
+      "group": "frame_fill",
+      "name": "frame_fill/batched/n=1000/threads=1",
+      "p50_ms": 0.4,
+      "checksum": "12345"
+    }
+  ],
+  "speedups": [
+    {
+      "group": "frame_fill",
+      "speedup": 1.25
+    }
+  ]
+}"#;
+
+    #[test]
+    fn scanner_pairs_names_with_checksums() {
+        let pairs = committed_checksums(SAMPLE);
+        assert_eq!(
+            pairs,
+            vec![
+                ("frame_fill/scalar/n=1000/threads=1".to_string(), 12345u64),
+                ("frame_fill/batched/n=1000/threads=1".to_string(), 12345u64),
+            ]
+        );
+    }
+
+    #[test]
+    fn matching_checksums_report_no_drift() {
+        let committed = committed_checksums(SAMPLE);
+        let results = vec![result("frame_fill/scalar/n=1000/threads=1", 12345)];
+        let (overlap, drifts) = diff_checksums(&committed, &results);
+        assert_eq!(overlap, 1);
+        assert!(drifts.is_empty());
+    }
+
+    #[test]
+    fn drift_is_reported_with_both_values() {
+        let committed = committed_checksums(SAMPLE);
+        let results = vec![
+            result("frame_fill/scalar/n=1000/threads=1", 999),
+            result("not/in/the/baseline", 1),
+        ];
+        let (overlap, drifts) = diff_checksums(&committed, &results);
+        assert_eq!(overlap, 1);
+        assert_eq!(
+            drifts,
+            vec![Drift {
+                name: "frame_fill/scalar/n=1000/threads=1".into(),
+                committed: 12345,
+                measured: 999,
+            }]
+        );
+    }
+
+    #[test]
+    fn disjoint_runs_have_zero_overlap() {
+        let committed = committed_checksums(SAMPLE);
+        let results = vec![result("other/case", 7)];
+        let (overlap, drifts) = diff_checksums(&committed, &results);
+        assert_eq!(overlap, 0);
+        assert!(drifts.is_empty());
+    }
+
+    #[test]
+    fn scanner_ignores_the_speedups_section_and_noise() {
+        // A name with no checksum before the next name is dropped.
+        let text = "\"name\": \"a\"\n\"name\": \"b\"\n\"checksum\": \"7\"\n\"checksum\": \"8\"";
+        assert_eq!(committed_checksums(text), vec![("b".to_string(), 7u64)]);
+    }
+}

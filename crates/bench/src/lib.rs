@@ -22,10 +22,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod check;
 pub mod json;
 pub mod measure;
 pub mod suites;
 
+pub use check::{committed_checksums, diff_checksums, Drift};
 pub use json::JsonValue;
 pub use measure::{measure, BenchConfig, BenchResult};
-pub use suites::{report_to_json, run_all, speedups, Speedup};
+pub use suites::{
+    drop_oversubscribed, host_threads, report_to_json, run_all, speedups, Speedup,
+};

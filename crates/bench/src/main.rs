@@ -2,14 +2,26 @@
 //!
 //! ```text
 //! cargo run --release -p rfid-bench -- [--quick] [--filter SUBSTR] [--json PATH]
+//!                                      [--check-against PATH]
 //! ```
 //!
-//! * `--quick`   reduced sizes/iterations (the non-blocking CI smoke job);
-//! * `--filter`  only run cases whose name contains the substring;
-//! * `--json`    write the `rfid-bench/v1` report to PATH (schema in
-//!   `BENCHMARKS.md`); without it the report goes to stdout only as a table.
+//! * `--quick`          reduced sizes/iterations (the CI smoke job);
+//! * `--filter`         only run cases whose name contains the substring;
+//! * `--json`           write the `rfid-bench/v1` report to PATH (schema in
+//!   `BENCHMARKS.md`); without it the report goes to stdout only as a table;
+//! * `--check-against`  diff this run's checksums against a committed
+//!   baseline report and exit non-zero on drift (the blocking CI
+//!   kernel-equivalence gate; perf numbers stay non-blocking).
+//!
+//! Full-mode runs refuse to record rows whose `threads` parameter exceeds
+//! the host's hardware threads: a `threads=4` number from a 1-core machine
+//! measures scheduling overhead, not the kernel, so such rows are dropped
+//! with a diagnostic before the table and the JSON report are produced.
 
-use rfid_bench::{report_to_json, run_all, speedups, BenchConfig};
+use rfid_bench::{
+    committed_checksums, diff_checksums, drop_oversubscribed, host_threads, report_to_json,
+    run_all, speedups, BenchConfig,
+};
 
 fn require_value(value: Option<String>, flag: &str, what: &str) -> String {
     value.unwrap_or_else(|| {
@@ -22,6 +34,7 @@ fn main() {
     let mut quick = false;
     let mut filter: Option<String> = None;
     let mut json_path: Option<String> = None;
+    let mut check_path: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -32,10 +45,17 @@ fn main() {
             "--json" => {
                 json_path = Some(require_value(args.next(), "--json", "a path"));
             }
+            "--check-against" => {
+                check_path = Some(require_value(
+                    args.next(),
+                    "--check-against",
+                    "a baseline JSON path",
+                ));
+            }
             "--help" | "-h" => {
                 println!(
-                    "usage: rfid-bench [--quick] [--filter SUBSTR] [--json PATH]\n\
-                     Suites: frame_fill, tag_hash, trial_engine (see BENCHMARKS.md)."
+                    "usage: rfid-bench [--quick] [--filter SUBSTR] [--json PATH] [--check-against PATH]\n\
+                     Suites: frame_fill, zoe_slots, tag_hash, trial_engine (see BENCHMARKS.md)."
                 );
                 return;
             }
@@ -51,10 +71,30 @@ fn main() {
     } else {
         BenchConfig::full()
     };
-    let results = run_all(&cfg, filter.as_deref());
+    let mut results = run_all(&cfg, filter.as_deref());
     if results.is_empty() {
         eprintln!("no benchmark case matches the filter");
         std::process::exit(2);
+    }
+
+    // A full-mode report is baseline material: never record rows the host
+    // could not actually run in parallel.
+    if !cfg.quick {
+        let host = host_threads();
+        let dropped = drop_oversubscribed(&mut results, host);
+        if !dropped.is_empty() {
+            eprintln!(
+                "warning: host has {host} hardware thread(s); dropping {} oversubscribed row(s):",
+                dropped.len()
+            );
+            for name in &dropped {
+                eprintln!("  - {name}");
+            }
+        }
+        if results.is_empty() {
+            eprintln!("every matched case was oversubscribed on this host");
+            std::process::exit(2);
+        }
     }
 
     println!(
@@ -74,8 +114,9 @@ fn main() {
         for s in &sp {
             let params: Vec<String> = s.params.iter().map(|(k, v)| format!("{k}={v}")).collect();
             println!(
-                "speedup {:<11} {:<36} {:>6.2}x  (scalar {:.3} ms -> batched {:.3} ms)",
+                "speedup {:<11} {:<8} {:<32} {:>6.2}x  (scalar {:.3} ms -> {:.3} ms)",
                 s.group,
+                s.variant,
                 params.join(" "),
                 s.speedup,
                 s.scalar_p50_ms,
@@ -88,5 +129,40 @@ fn main() {
         let report = report_to_json(&cfg, &results);
         std::fs::write(&path, report.render()).expect("failed to write the JSON report");
         println!("\nwrote {path}");
+    }
+
+    if let Some(path) = check_path {
+        let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            eprintln!("cannot read baseline {path}: {e}");
+            std::process::exit(2);
+        });
+        let committed = committed_checksums(&text);
+        let (overlap, drifts) = diff_checksums(&committed, &results);
+        if overlap == 0 {
+            eprintln!(
+                "checksum gate: no case name overlaps between this run and {path} \
+                 (wrong baseline file or over-narrow --filter?)"
+            );
+            std::process::exit(2);
+        }
+        if drifts.is_empty() {
+            println!("\nchecksum gate: {overlap} case(s) match {path}");
+        } else {
+            eprintln!(
+                "\nchecksum gate: {} of {overlap} overlapping case(s) DRIFTED from {path}:",
+                drifts.len()
+            );
+            for d in &drifts {
+                eprintln!(
+                    "  - {}: committed {} vs measured {}",
+                    d.name, d.committed, d.measured
+                );
+            }
+            eprintln!(
+                "a kernel's observable output changed; fix the equivalence break \
+                 or re-baseline deliberately"
+            );
+            std::process::exit(1);
+        }
     }
 }

@@ -84,18 +84,19 @@ impl SlotHasher for XorBitgetHasher {
         ((tag.rn ^ seed) as usize) & (w - 1)
     }
 
+    #[inline]
     fn slot_batch(&self, tags: &[TagIdentity], seed: u32, w: usize, out: &mut Vec<usize>) {
         // Hoist the power-of-two check and the mask out of the loop; the
-        // remaining per-tag work is one XOR and one AND.
+        // remaining per-tag work is one XOR and one AND. `extend` over a
+        // slice iterator reserves once and writes without per-element
+        // capacity checks (the TrustedLen specialization), which is what
+        // lets the loop auto-vectorize.
         assert!(
             w.is_power_of_two() && w <= (1usize << 32),
             "XorBitgetHasher requires w to be a power of two <= 2^32, got {w}"
         );
         let mask = w - 1;
-        out.reserve(tags.len());
-        for tag in tags {
-            out.push(((tag.rn ^ seed) as usize) & mask);
-        }
+        out.extend(tags.iter().map(|tag| ((tag.rn ^ seed) as usize) & mask));
     }
 
     fn name(&self) -> &'static str {
@@ -114,13 +115,11 @@ impl SlotHasher for MixHasher {
         bucket(mix_pair(tag.id, seed as u64), w)
     }
 
+    #[inline]
     fn slot_batch(&self, tags: &[TagIdentity], seed: u32, w: usize, out: &mut Vec<usize>) {
         assert!(w >= 1, "w must be positive");
         let seed = seed as u64;
-        out.reserve(tags.len());
-        for tag in tags {
-            out.push(bucket(mix_pair(tag.id, seed), w));
-        }
+        out.extend(tags.iter().map(|tag| bucket(mix_pair(tag.id, seed), w)));
     }
 
     fn name(&self) -> &'static str {

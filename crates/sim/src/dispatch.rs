@@ -1,0 +1,84 @@
+//! Scalar/batched kernel dispatch for frame fills.
+//!
+//! Every [`ResponsePlan`](crate::frame::ResponsePlan) carries two
+//! equivalent executions: the scalar `responses()` path (one scratch-buffer
+//! call per tag) and, for plans on the hot path, a batched `fill_chunk`
+//! override that hoists hashing and dispatch out of the per-tag loop. The
+//! two are held to bitwise-identical frames by the equivalence proptests,
+//! so *which one runs is purely a performance decision* — and the measured
+//! baseline shows the answer depends on the population size: the batched
+//! Bloom kernel loses below a few thousand tags (0.83x at n = 1k in
+//! `BENCH_frame_fill.json`) where its setup cost dominates, and wins 1.2x
+//! to 2.5x above that.
+//!
+//! [`FillDispatch`] encodes that decision per [`RfidSystem`](crate::RfidSystem)
+//! (see `set_fill_dispatch`): force one path, or pick adaptively from the
+//! population size against an n-threshold — the plan's own declared
+//! [`batched_fill_threshold`](crate::frame::ResponsePlan::batched_fill_threshold)
+//! under [`FillDispatch::Auto`], or an explicit override under
+//! [`FillDispatch::Threshold`].
+
+/// Which frame-fill kernel a system uses for a plan with a batched
+/// `fill_chunk` override.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum FillDispatch {
+    /// Always the scalar `responses()` path (the batched override is
+    /// masked via [`ScalarRef`](crate::frame::ScalarRef)).
+    Scalar,
+    /// Always the plan's `fill_chunk` kernel (the default method *is* the
+    /// scalar loop, so plans without an override are unaffected).
+    Batched,
+    /// Batched exactly when the population reaches the plan's own
+    /// [`batched_fill_threshold`](crate::frame::ResponsePlan::batched_fill_threshold).
+    #[default]
+    Auto,
+    /// Batched exactly when the population reaches this explicit
+    /// n-threshold, overriding the plan's declared one.
+    Threshold(usize),
+}
+
+impl FillDispatch {
+    /// Whether the batched kernel runs for `n` tags, given the plan's
+    /// declared break-even threshold.
+    #[inline]
+    pub fn use_batched(self, n: usize, plan_threshold: usize) -> bool {
+        match self {
+            Self::Scalar => false,
+            Self::Batched => true,
+            Self::Auto => n >= plan_threshold,
+            Self::Threshold(t) => n >= t,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forced_modes_ignore_thresholds() {
+        for n in [0usize, 1, 10_000] {
+            assert!(!FillDispatch::Scalar.use_batched(n, 0));
+            assert!(FillDispatch::Batched.use_batched(n, usize::MAX));
+        }
+    }
+
+    #[test]
+    fn auto_uses_the_plan_threshold() {
+        assert!(!FillDispatch::Auto.use_batched(4_095, 4_096));
+        assert!(FillDispatch::Auto.use_batched(4_096, 4_096));
+        assert!(FillDispatch::Auto.use_batched(0, 0));
+    }
+
+    #[test]
+    fn explicit_threshold_overrides_the_plan() {
+        let d = FillDispatch::Threshold(10);
+        assert!(!d.use_batched(9, 0));
+        assert!(d.use_batched(10, usize::MAX));
+    }
+
+    #[test]
+    fn default_is_auto() {
+        assert_eq!(FillDispatch::default(), FillDispatch::Auto);
+    }
+}

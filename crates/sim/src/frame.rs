@@ -10,6 +10,7 @@
 use crate::aloha::{AlohaFrame, AlohaOutcome};
 use crate::bitmap::Bitmap;
 use crate::channel::Channel;
+use crate::dispatch::FillDispatch;
 use crate::parallel::{par_fold_chunks_with_threads, par_fold_with_threads, thread_count};
 use crate::tag::Tag;
 use rfid_hash::SplitMix64;
@@ -17,6 +18,35 @@ use rfid_hash::SplitMix64;
 /// Minimum tags per worker thread before the executor bothers to go
 /// parallel; below this the spawn overhead dominates.
 pub const MIN_TAGS_PER_THREAD: usize = 20_000;
+
+/// Floor on tags per worker when the caller pins an *explicit* worker
+/// count: the request is treated as an upper bound, and the executor never
+/// hands a worker fewer than this many tags.
+///
+/// Without the floor, `response_fill_with_threads(.., threads = 4)` on a
+/// 1 000-tag frame spawns four scoped threads for ~250 tags each — around
+/// 80 µs of actual work behind several hundred µs of spawn/join, and on an
+/// oversubscribed host the occasional descheduled worker showed up as a 9x
+/// p95/p50 blowup in the committed baseline
+/// (`frame_fill/batched/n=1000/threads=4`: p95 1.45 ms vs p50 0.16 ms).
+/// Clamping small frames back to fewer workers removes the thrash; frame
+/// fills are exact commutative-associative aggregation, so the observation
+/// is bitwise identical at any worker count.
+pub const FILL_TAGS_PER_WORKER_FLOOR: usize = 512;
+
+/// Default population size at which a batched `fill_chunk` override starts
+/// winning over the scalar scratch path (see
+/// [`ResponsePlan::batched_fill_threshold`]): the measured Bloom-kernel
+/// break-even sits between the baseline's n = 1k (batched 0.83x) and
+/// n = 10k (batched 1.21x) rows.
+pub const DEFAULT_BATCHED_FILL_THRESHOLD: usize = 4_096;
+
+/// Clamp an explicitly requested worker count so every worker receives at
+/// least [`FILL_TAGS_PER_WORKER_FLOOR`] tags.
+#[inline]
+fn floored_threads(len: usize, threads: usize) -> usize {
+    threads.min((len / FILL_TAGS_PER_WORKER_FLOOR).max(1))
+}
 
 /// Where a frame-fill kernel records tag responses.
 ///
@@ -118,6 +148,35 @@ pub trait ResponsePlan: Sync {
             }
         }
     }
+
+    /// Population size from which this plan's [`fill_chunk`](Self::fill_chunk)
+    /// override beats the scalar scratch path, consulted by
+    /// [`FillDispatch::Auto`].
+    ///
+    /// The default is the measured Bloom-kernel break-even
+    /// ([`DEFAULT_BATCHED_FILL_THRESHOLD`]). Plans whose batched kernel has
+    /// no setup cost to amortize (it strictly dominates the scratch loop)
+    /// return 0; plans without an override never diverge from the scalar
+    /// path, so the value is irrelevant for them.
+    fn batched_fill_threshold(&self) -> usize {
+        DEFAULT_BATCHED_FILL_THRESHOLD
+    }
+}
+
+/// Adapter pinning a plan to its scalar `responses()` path.
+///
+/// Delegates [`responses`](ResponsePlan::responses) and deliberately does
+/// *not* delegate [`fill_chunk`](ResponsePlan::fill_chunk), so the wrapped
+/// plan's batched override is masked and the default scratch-buffer loop
+/// runs instead. This is how the dispatch layer selects the scalar kernel
+/// below the adaptive threshold, and how the benchmark suite measures both
+/// sides of a plan from one implementation.
+pub struct ScalarRef<'a, P: ResponsePlan + ?Sized>(pub &'a P);
+
+impl<P: ResponsePlan + ?Sized> ResponsePlan for ScalarRef<'_, P> {
+    fn responses(&self, tag: &Tag, out: &mut Vec<usize>) {
+        self.0.responses(tag, out)
+    }
 }
 
 impl<F> ResponsePlan for F
@@ -151,9 +210,10 @@ pub fn response_counts_with_min_chunk<P: ResponsePlan>(
     response_counts_with_threads(tags, w, plan, thread_count(tags.len(), min_chunk))
 }
 
-/// [`response_counts`] with an explicit worker count (clamped like
-/// [`par_fold_chunks_with_threads`]). The benchmark suite drives this to
-/// pin exact thread counts.
+/// [`response_counts`] with an explicit worker count, treated as an upper
+/// bound: it is clamped like [`par_fold_chunks_with_threads`] *and* floored
+/// to [`FILL_TAGS_PER_WORKER_FLOOR`] tags per worker, so pinning a large
+/// count on a small frame cannot thrash (the benchmark suite drives this).
 pub fn response_counts_with_threads<P: ResponsePlan>(
     tags: &[Tag],
     w: usize,
@@ -161,6 +221,7 @@ pub fn response_counts_with_threads<P: ResponsePlan>(
     threads: usize,
 ) -> Vec<u32> {
     assert!(w > 0, "frame must have at least one slot");
+    let threads = floored_threads(tags.len(), threads);
     par_fold_chunks_with_threads(
         tags,
         threads,
@@ -190,8 +251,10 @@ pub fn response_counts_reference<P: ResponsePlan>(
 }
 
 /// [`response_counts_reference`] with an explicit worker count — the
-/// benchmark suite pins exact thread counts on both sides of the
-/// scalar/batched comparison.
+/// benchmark suite pins thread counts on both sides of the scalar/batched
+/// comparison. The count is an upper bound, floored to
+/// [`FILL_TAGS_PER_WORKER_FLOOR`] tags per worker like every explicit-count
+/// fill entry point.
 pub fn response_counts_reference_with_threads<P: ResponsePlan>(
     tags: &[Tag],
     w: usize,
@@ -199,6 +262,7 @@ pub fn response_counts_reference_with_threads<P: ResponsePlan>(
     threads: usize,
 ) -> Vec<u32> {
     assert!(w > 0, "frame must have at least one slot");
+    let threads = floored_threads(tags.len(), threads);
     let (counts, _scratch) = par_fold_with_threads(
         tags,
         threads,
@@ -266,8 +330,9 @@ pub fn response_fill_with_min_chunk<P: ResponsePlan>(
     response_fill_with_threads(tags, w, observe, plan, thread_count(tags.len(), min_chunk))
 }
 
-/// [`response_fill`] with an explicit worker count (clamped like
-/// [`par_fold_chunks_with_threads`]).
+/// [`response_fill`] with an explicit worker count, treated as an upper
+/// bound (clamped like [`par_fold_chunks_with_threads`] and floored to
+/// [`FILL_TAGS_PER_WORKER_FLOOR`] tags per worker).
 pub fn response_fill_with_threads<P: ResponsePlan>(
     tags: &[Tag],
     w: usize,
@@ -277,6 +342,7 @@ pub fn response_fill_with_threads<P: ResponsePlan>(
 ) -> FrameFill {
     assert!(w > 0, "frame must have at least one slot");
     assert!(observe <= w, "cannot observe {observe} slots of a {w}-slot frame");
+    let threads = floored_threads(tags.len(), threads);
     let (busy, prefix_responses) = par_fold_chunks_with_threads(
         tags,
         threads,
@@ -292,6 +358,43 @@ pub fn response_fill_with_threads<P: ResponsePlan>(
     FrameFill {
         busy,
         prefix_responses,
+    }
+}
+
+/// Dispatch-aware [`response_fill_with_min_chunk`]: run the plan's batched
+/// `fill_chunk` kernel or its scalar `responses()` path according to
+/// `dispatch` (see [`FillDispatch`]).
+///
+/// The two paths are bitwise-equivalent by the plan contract, so the
+/// returned fill is identical either way; only the wall-clock differs.
+pub fn response_fill_dispatched<P: ResponsePlan>(
+    tags: &[Tag],
+    w: usize,
+    observe: usize,
+    plan: &P,
+    dispatch: FillDispatch,
+    min_chunk: usize,
+) -> FrameFill {
+    if dispatch.use_batched(tags.len(), plan.batched_fill_threshold()) {
+        response_fill_with_min_chunk(tags, w, observe, plan, min_chunk)
+    } else {
+        response_fill_with_min_chunk(tags, w, observe, &ScalarRef(plan), min_chunk)
+    }
+}
+
+/// Dispatch-aware [`response_counts_with_min_chunk`] (the Aloha-side twin
+/// of [`response_fill_dispatched`]).
+pub fn response_counts_dispatched<P: ResponsePlan>(
+    tags: &[Tag],
+    w: usize,
+    plan: &P,
+    dispatch: FillDispatch,
+    min_chunk: usize,
+) -> Vec<u32> {
+    if dispatch.use_batched(tags.len(), plan.batched_fill_threshold()) {
+        response_counts_with_min_chunk(tags, w, plan, min_chunk)
+    } else {
+        response_counts_with_min_chunk(tags, w, &ScalarRef(plan), min_chunk)
     }
 }
 
@@ -606,5 +709,75 @@ mod tests {
     fn zero_width_frame_rejected() {
         let plan = |_t: &Tag, _o: &mut Vec<usize>| {};
         response_counts(&tags(1), 0, &plan);
+    }
+
+    /// A plan whose batched override is deliberately *wrong* (it shifts
+    /// every slot by one), so tests can observe which path actually ran.
+    struct MarkedPlan;
+
+    impl ResponsePlan for MarkedPlan {
+        fn responses(&self, tag: &Tag, out: &mut Vec<usize>) {
+            out.push((tag.id % 8) as usize);
+        }
+
+        fn fill_chunk(&self, tags: &[Tag], sink: &mut SlotSink<'_>) {
+            for tag in tags {
+                sink.record((tag.id % 8) as usize + 8);
+            }
+        }
+
+        fn batched_fill_threshold(&self) -> usize {
+            100
+        }
+    }
+
+    #[test]
+    fn scalar_ref_masks_the_batched_override() {
+        let tags = tags(10);
+        let via_override = response_fill(&tags, 16, 16, &MarkedPlan);
+        let via_scalar = response_fill(&tags, 16, 16, &ScalarRef(&MarkedPlan));
+        // The override marked its slots; the wrapper must not have.
+        assert!((8..16).any(|i| via_override.busy.get(i)));
+        assert!(!(8..16).any(|i| via_scalar.busy.get(i)));
+        assert!((0..8).any(|i| via_scalar.busy.get(i)));
+    }
+
+    #[test]
+    fn dispatch_selects_the_kernel_by_population_size() {
+        let above = tags(200); // over MarkedPlan's threshold of 100
+        let below = tags(50);
+        let marked = |fill: &FrameFill| (8..16).any(|i| fill.busy.get(i));
+        let auto = FillDispatch::Auto;
+        assert!(marked(&response_fill_dispatched(&above, 16, 16, &MarkedPlan, auto, usize::MAX)));
+        assert!(!marked(&response_fill_dispatched(&below, 16, 16, &MarkedPlan, auto, usize::MAX)));
+        // Forced modes ignore the threshold entirely.
+        assert!(marked(&response_fill_dispatched(
+            &below, 16, 16, &MarkedPlan, FillDispatch::Batched, usize::MAX
+        )));
+        assert!(!marked(&response_fill_dispatched(
+            &above, 16, 16, &MarkedPlan, FillDispatch::Scalar, usize::MAX
+        )));
+        // An explicit threshold overrides the plan's declared one.
+        assert!(marked(&response_fill_dispatched(
+            &below, 16, 16, &MarkedPlan, FillDispatch::Threshold(10), usize::MAX
+        )));
+        // The counts twin follows the same selection.
+        let counts = response_counts_dispatched(&below, 16, &MarkedPlan, auto, usize::MAX);
+        assert!(counts[8..].iter().all(|&c| c == 0));
+    }
+
+    #[test]
+    fn explicit_worker_counts_are_floored_for_small_frames() {
+        // 1 000 tags at 4 requested workers clamps to 1 (the satellite-1
+        // tail-latency fix); the observation is identical regardless.
+        assert_eq!(floored_threads(1_000, 4), 1);
+        assert_eq!(floored_threads(FILL_TAGS_PER_WORKER_FLOOR * 4, 4), 4);
+        assert_eq!(floored_threads(FILL_TAGS_PER_WORKER_FLOOR * 2, 4), 2);
+        assert_eq!(floored_threads(0, 4), 1);
+        let tags = tags(1_000);
+        let plan = |tag: &Tag, out: &mut Vec<usize>| out.push((tag.rn % 64) as usize);
+        let one = response_fill_with_threads(&tags, 64, 64, &plan, 1);
+        let four = response_fill_with_threads(&tags, 64, 64, &plan, 4);
+        assert_eq!(one, four);
     }
 }

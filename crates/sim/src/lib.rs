@@ -34,6 +34,7 @@
 pub mod aloha;
 pub mod bitmap;
 pub mod channel;
+pub mod dispatch;
 pub mod estimator;
 pub mod fault;
 pub mod frame;
@@ -50,12 +51,13 @@ pub use bitmap::Bitmap;
 pub use channel::{
     BitErrorChannel, CaptureChannel, Channel, ImperfectHashChannel, PerfectChannel,
 };
+pub use dispatch::FillDispatch;
 pub use fault::{FaultPlan, FaultSpec, Quality, ReaderDropout};
 pub use multireader::{DeploymentError, MultiReaderDeployment};
 pub use estimator::{
     Accuracy, CardinalityEstimator, EstimationReport, PhaseReport,
 };
-pub use frame::{BitFrame, FrameFill, ResponsePlan, SlotSink};
+pub use frame::{BitFrame, FrameFill, ResponsePlan, ScalarRef, SlotSink};
 pub use ledger::{AirTime, AirTimeLedger};
 pub use system::RfidSystem;
 pub use tag::{Tag, TagPopulation};

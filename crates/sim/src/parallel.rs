@@ -477,7 +477,7 @@ mod tests {
                 }
                 for i in 0..k {
                     heap(xs, k - 1, out);
-                    if k % 2 == 0 {
+                    if k.is_multiple_of(2) {
                         xs.swap(i, k - 1);
                     } else {
                         xs.swap(0, k - 1);

@@ -18,10 +18,11 @@
 use crate::aloha::AlohaFrame;
 use crate::bitmap::Bitmap;
 use crate::channel::{Channel, PerfectChannel};
+use crate::dispatch::FillDispatch;
 use crate::fault::{self, FaultPlan, FrameFaults, Quality};
 use crate::frame::{
-    response_counts_with_min_chunk, response_fill_with_min_chunk, sense_aloha, BitFrame,
-    FrameFill, ResponsePlan, MIN_TAGS_PER_THREAD,
+    response_counts_dispatched, response_fill_dispatched, sense_aloha, BitFrame, FrameFill,
+    ResponsePlan, MIN_TAGS_PER_THREAD,
 };
 use crate::ledger::{AirTime, AirTimeLedger};
 use crate::tag::TagPopulation;
@@ -38,6 +39,7 @@ pub struct RfidSystem {
     ledger: AirTimeLedger,
     noise: SplitMix64,
     frame_min_chunk: usize,
+    dispatch: FillDispatch,
     faults: Option<FaultPlan>,
     frame_index: u64,
     quality: Quality,
@@ -61,6 +63,7 @@ impl RfidSystem {
             ledger: AirTimeLedger::new(Timing::c1g2()),
             noise: SplitMix64::new(0xC0FF_EE00_D15E_A5E5),
             frame_min_chunk: MIN_TAGS_PER_THREAD,
+            dispatch: FillDispatch::Auto,
             faults: None,
             frame_index: 0,
             quality,
@@ -108,6 +111,24 @@ impl RfidSystem {
     /// The intra-frame parallel-split threshold in force.
     pub fn frame_min_chunk(&self) -> usize {
         self.frame_min_chunk
+    }
+
+    /// Choose which frame-fill kernel runs for plans that carry a batched
+    /// `fill_chunk` override (see [`FillDispatch`]).
+    ///
+    /// The default, [`FillDispatch::Auto`], defers to each plan's declared
+    /// break-even population size, so small populations take the scalar
+    /// path (which the measured baseline shows is faster there) and large
+    /// ones the batched kernel. Both kernels are held bitwise-equivalent by
+    /// the proptest suite, so this setting never changes an observation —
+    /// only how fast it is computed.
+    pub fn set_fill_dispatch(&mut self, dispatch: FillDispatch) {
+        self.dispatch = dispatch;
+    }
+
+    /// The kernel-dispatch policy in force.
+    pub fn fill_dispatch(&self) -> FillDispatch {
+        self.dispatch
     }
 
     /// Replace the timing model (resets the ledger).
@@ -217,17 +238,18 @@ impl RfidSystem {
         frame: u64,
     ) -> FrameFill {
         let mc = self.frame_min_chunk;
+        let dp = self.dispatch;
         let mut drop_hit = None;
         let fill = match self.faults.as_ref().and_then(|p| p.dropout()) {
             Some(d) if frame == d.frame => {
                 drop_hit = Some((d.readers_lost, d.coverage_lost));
                 let split = ((d.at_frac * observe as f64) as usize).min(observe);
                 let full =
-                    response_fill_with_min_chunk(self.population.tags(), w, split, plan, mc);
+                    response_fill_dispatched(self.population.tags(), w, split, plan, dp, mc);
                 let surv =
-                    response_fill_with_min_chunk(d.survivors.tags(), w, observe, plan, mc);
+                    response_fill_dispatched(d.survivors.tags(), w, observe, plan, dp, mc);
                 let surv_split =
-                    response_fill_with_min_chunk(d.survivors.tags(), w, split, plan, mc);
+                    response_fill_dispatched(d.survivors.tags(), w, split, plan, dp, mc);
                 let mut busy = Bitmap::zeros(w);
                 for i in 0..split {
                     if full.busy.get(i) {
@@ -248,9 +270,9 @@ impl RfidSystem {
                 }
             }
             Some(d) if frame > d.frame => {
-                response_fill_with_min_chunk(d.survivors.tags(), w, observe, plan, mc)
+                response_fill_dispatched(d.survivors.tags(), w, observe, plan, dp, mc)
             }
-            _ => response_fill_with_min_chunk(self.population.tags(), w, observe, plan, mc),
+            _ => response_fill_dispatched(self.population.tags(), w, observe, plan, dp, mc),
         };
         if let Some((readers, coverage)) = drop_hit {
             self.quality.readers_failed += readers;
@@ -376,23 +398,24 @@ impl RfidSystem {
         assert!(f >= 1, "frame must have at least one slot");
         let frame = self.begin_frame(f);
         let mc = self.frame_min_chunk;
+        let dp = self.dispatch;
         let mut drop_hit = None;
         let mut counts = match self.faults.as_ref().and_then(|p| p.dropout()) {
             Some(d) if frame == d.frame => {
                 drop_hit = Some((d.readers_lost, d.coverage_lost));
                 let split = ((d.at_frac * f as f64) as usize).min(f);
                 let full =
-                    response_counts_with_min_chunk(self.population.tags(), f, plan, mc);
-                let surv = response_counts_with_min_chunk(d.survivors.tags(), f, plan, mc);
+                    response_counts_dispatched(self.population.tags(), f, plan, dp, mc);
+                let surv = response_counts_dispatched(d.survivors.tags(), f, plan, dp, mc);
                 let mut spliced = surv;
                 // analysis:allow(panic-path): split = min(.., f) and both count vectors have length f
                 spliced[..split].copy_from_slice(&full[..split]);
                 spliced
             }
             Some(d) if frame > d.frame => {
-                response_counts_with_min_chunk(d.survivors.tags(), f, plan, mc)
+                response_counts_dispatched(d.survivors.tags(), f, plan, dp, mc)
             }
-            _ => response_counts_with_min_chunk(self.population.tags(), f, plan, mc),
+            _ => response_counts_dispatched(self.population.tags(), f, plan, dp, mc),
         };
         if let Some((readers, coverage)) = drop_hit {
             self.quality.readers_failed += readers;
@@ -672,6 +695,27 @@ mod tests {
         let serial = run(usize::MAX);
         assert_eq!(run(1), serial);
         assert_eq!(run(100), serial);
+    }
+
+    #[test]
+    fn fill_dispatch_does_not_change_observations() {
+        let plan = |tag: &Tag, out: &mut Vec<usize>| out.push((tag.id % 256) as usize);
+        let run = |dispatch: FillDispatch| {
+            let mut sys = small_system(5_000);
+            sys.set_fill_dispatch(dispatch);
+            assert_eq!(sys.fill_dispatch(), dispatch);
+            let frame = sys.run_bitslot_frame(256, &plan);
+            let aloha = sys.run_aloha_frame(256, &plan);
+            (
+                frame.busy_bitmap().clone(),
+                aloha.outcomes().to_vec(),
+                sys.air_time().total_us().to_bits(),
+            )
+        };
+        let auto = run(FillDispatch::Auto);
+        assert_eq!(run(FillDispatch::Scalar), auto);
+        assert_eq!(run(FillDispatch::Batched), auto);
+        assert_eq!(run(FillDispatch::Threshold(1)), auto);
     }
 
     #[test]

@@ -249,6 +249,84 @@ proptest! {
             rfid_sim::frame::response_counts_with_threads(&tags, w, &plan, threads);
         prop_assert_eq!(reference, threaded);
     }
+
+    /// Dispatch is routing only: whatever mode or threshold picks the
+    /// kernel, the dispatched fill and count paths are bit-identical to
+    /// the single-thread batched fill and the scalar reference counts.
+    #[test]
+    fn dispatched_paths_match_pure_paths_at_any_threshold(
+        raw_tags in prop::collection::vec((any::<u64>(), any::<u32>()), 0..200),
+        w in 1usize..130,
+        threshold in prop::sample::select(vec![0usize, 1, 50, 128, usize::MAX]),
+    ) {
+        use rfid_sim::FillDispatch;
+        let tags: Vec<Tag> = raw_tags.iter().map(|&(id, rn)| Tag { id, rn }).collect();
+        let plan = SyntheticPlan { seeds: vec![3, 9, 27], w };
+        let modes = [
+            FillDispatch::Scalar,
+            FillDispatch::Batched,
+            FillDispatch::Auto,
+            FillDispatch::Threshold(threshold),
+        ];
+        let base = rfid_sim::frame::response_fill_with_threads(&tags, w, w, &plan, 1);
+        let counts_ref =
+            rfid_sim::frame::response_counts_reference_with_threads(&tags, w, &plan, 1);
+        for mode in modes {
+            let fill = rfid_sim::frame::response_fill_dispatched(
+                &tags, w, w, &plan, mode, usize::MAX,
+            );
+            prop_assert_eq!(
+                base.busy.words(), fill.busy.words(), "fill words, mode {:?}", mode
+            );
+            prop_assert_eq!(
+                base.prefix_responses, fill.prefix_responses, "prefix, mode {:?}", mode
+            );
+            let counts = rfid_sim::frame::response_counts_dispatched(
+                &tags, w, &plan, mode, usize::MAX,
+            );
+            prop_assert_eq!(&counts_ref, &counts, "counts, mode {:?}", mode);
+        }
+    }
+
+    /// `ScalarRef` must expose *only* `responses()`: wrapping any plan —
+    /// even one whose batched override is deliberately wrong — yields a
+    /// fill identical to the scalar reference counts.
+    #[test]
+    fn scalar_ref_always_reproduces_the_reference(
+        raw_tags in prop::collection::vec((any::<u64>(), any::<u32>()), 0..150),
+        w in 2usize..120,
+        shift in 1usize..32,
+    ) {
+        #[derive(Debug)]
+        struct LyingPlan { inner: SyntheticPlan, shift: usize, w: usize }
+        impl rfid_sim::ResponsePlan for LyingPlan {
+            fn responses(&self, tag: &Tag, out: &mut Vec<usize>) {
+                self.inner.responses(tag, out);
+            }
+            fn fill_chunk(&self, tags: &[Tag], sink: &mut rfid_sim::SlotSink<'_>) {
+                let mut scratch = Vec::new();
+                for tag in tags {
+                    scratch.clear();
+                    self.inner.responses(tag, &mut scratch);
+                    for &slot in &scratch {
+                        sink.record((slot + self.shift) % self.w);
+                    }
+                }
+            }
+        }
+        let tags: Vec<Tag> = raw_tags.iter().map(|&(id, rn)| Tag { id, rn }).collect();
+        let plan = LyingPlan { inner: SyntheticPlan { seeds: vec![4, 8], w }, shift, w };
+        let counts =
+            rfid_sim::frame::response_counts_reference(&tags, w, &plan, usize::MAX);
+        let fill = rfid_sim::frame::response_fill_with_threads(
+            &tags, w, w, &rfid_sim::ScalarRef(&plan), 1,
+        );
+        for (slot, &c) in counts.iter().enumerate() {
+            prop_assert_eq!(fill.busy.get(slot), c > 0, "slot {}", slot);
+        }
+        let want: u64 = counts.iter().map(|&c| u64::from(c)).sum();
+        prop_assert_eq!(fill.prefix_responses, want);
+    }
 }
 
 /// Every channel implementation in the workspace, instantiated from two

@@ -49,7 +49,7 @@ pub mod prelude {
     pub use rfid_baselines::{Lof, Src, Zoe};
     pub use rfid_bfce::{Bfce, BfceConfig};
     pub use rfid_sim::{
-        Accuracy, CardinalityEstimator, EstimationReport, RfidSystem,
+        Accuracy, CardinalityEstimator, EstimationReport, FillDispatch, RfidSystem,
     };
     pub use rfid_workloads::WorkloadSpec;
 }

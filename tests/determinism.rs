@@ -222,3 +222,67 @@ fn batched_bloom_fill_is_worker_count_invariant() {
     assert_eq!(four.busy.words(), four_again.busy.words());
     assert_eq!(four.prefix_responses, four_again.prefix_responses);
 }
+
+/// The adaptive scalar/batched dispatch layer (ISSUE 7) must be an
+/// observability no-op: which kernel fills a frame can change the wall
+/// clock but never the estimate, the air-time bill, or the round count.
+/// Audited exactly at the dispatch boundary — populations one below, at,
+/// and one above the default threshold — for every dispatch mode and at
+/// both serial and 4-worker trial sweeps, for an estimator on each frame
+/// path (BFCE: bit frames; ZOE: singleton slot batches).
+#[test]
+fn dispatch_choice_never_changes_observations_at_the_boundary() {
+    use rfid_bfce_repro::experiments::engine::TrialRunner;
+    use rfid_bfce_repro::sim::frame::DEFAULT_BATCHED_FILL_THRESHOLD;
+
+    let estimators: Vec<Box<dyn CardinalityEstimator>> =
+        vec![Box::new(Bfce::paper()), Box::new(Zoe::default())];
+    let populations = [
+        DEFAULT_BATCHED_FILL_THRESHOLD - 1,
+        DEFAULT_BATCHED_FILL_THRESHOLD,
+        DEFAULT_BATCHED_FILL_THRESHOLD + 1,
+    ];
+    let modes = [
+        FillDispatch::Scalar,
+        FillDispatch::Batched,
+        FillDispatch::Auto,
+        FillDispatch::Threshold(DEFAULT_BATCHED_FILL_THRESHOLD),
+    ];
+    for est in &estimators {
+        for &n in &populations {
+            let sweep = |dispatch: FillDispatch, jobs: usize| -> Vec<(u64, u64, u64)> {
+                TrialRunner::new(3, 0x0d15_7a7c_4000 + n as u64)
+                    .jobs(jobs)
+                    .map(|ctx| {
+                        let mut world = StdRng::seed_from_u64(ctx.seed);
+                        let population = WorkloadSpec::T2.generate(n, &mut world);
+                        let mut system = RfidSystem::new(population);
+                        system.set_frame_min_chunk(ctx.frame_min_chunk);
+                        system.set_fill_dispatch(dispatch);
+                        let mut rng = ctx.rng();
+                        let report = est.as_ref().estimate(
+                            &mut system,
+                            Accuracy::paper_default(),
+                            &mut rng,
+                        );
+                        (
+                            report.n_hat.to_bits(),
+                            report.air.total_us().to_bits(),
+                            report.rounds,
+                        )
+                    })
+            };
+            let reference = sweep(FillDispatch::Scalar, 1);
+            for &mode in &modes {
+                for jobs in [1usize, 4] {
+                    assert_eq!(
+                        reference,
+                        sweep(mode, jobs),
+                        "{}: n={n} dispatch={mode:?} jobs={jobs} diverged from scalar serial",
+                        est.name()
+                    );
+                }
+            }
+        }
+    }
+}
