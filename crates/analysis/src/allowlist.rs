@@ -19,6 +19,7 @@
 //! tree gets cleaner.
 
 use crate::rules::{Finding, RuleId};
+use std::collections::BTreeSet;
 
 /// Minimum length of a `justification` string. Short enough not to force
 /// padding, long enough that "ok" or "TODO" cannot pass review.
@@ -94,7 +95,20 @@ impl Allowlist {
 
     /// Split `findings` into (kept, suppressed_count) and append a
     /// [`RuleId::StaleAllow`] finding for every entry that matched nothing.
-    pub fn apply(&self, findings: Vec<Finding>) -> (Vec<Finding>, usize) {
+    ///
+    /// `known_paths` is the set of workspace-relative paths that exist in
+    /// the scanned tree (rule-scanned sources plus the tests corpus). An
+    /// entry whose `path` is absent from it points at a renamed or deleted
+    /// file: such an entry can never suppress anything again, and it is
+    /// reported with a dedicated message — **regardless** of whether the
+    /// matching loop marked it used — so a rename can never leave a
+    /// suppression silently satisfied. Pass an empty set to skip the
+    /// existence check (unit tests exercising pure match logic).
+    pub fn apply(
+        &self,
+        findings: Vec<Finding>,
+        known_paths: &BTreeSet<String>,
+    ) -> (Vec<Finding>, usize) {
         let mut used = vec![false; self.entries.len()];
         let mut kept = Vec::new();
         let mut suppressed = 0;
@@ -113,21 +127,32 @@ impl Allowlist {
             }
         }
         for (entry, used) in self.entries.iter().zip(used) {
-            if !used {
-                kept.push(Finding {
-                    rule: RuleId::StaleAllow,
-                    path: "analysis.toml".to_string(),
-                    line: entry.defined_at,
-                    message: format!(
-                        "allow entry for [{}] {} suppresses nothing; delete it",
-                        entry.rule, entry.path
-                    ),
-                    excerpt: entry
-                        .pattern
-                        .clone()
-                        .unwrap_or_else(|| entry.path.clone()),
-                });
-            }
+            let missing = !known_paths.is_empty() && !known_paths.contains(&entry.path);
+            let message = if missing {
+                format!(
+                    "allow entry for [{}] names '{}', which is not in the scanned \
+                     workspace — the file was renamed or deleted; delete the entry \
+                     or re-point it",
+                    entry.rule, entry.path
+                )
+            } else if !used {
+                format!(
+                    "allow entry for [{}] {} suppresses nothing; delete it",
+                    entry.rule, entry.path
+                )
+            } else {
+                continue;
+            };
+            kept.push(Finding {
+                rule: RuleId::StaleAllow,
+                path: "analysis.toml".to_string(),
+                line: entry.defined_at,
+                message,
+                excerpt: entry
+                    .pattern
+                    .clone()
+                    .unwrap_or_else(|| entry.path.clone()),
+            });
         }
         (kept, suppressed)
     }
@@ -255,7 +280,7 @@ justification = "default noise seed, overridden by every harness"
         let hit = finding(RuleId::SeedHygiene, "crates/sim/src/system.rs", "SplitMix64::new(0xC0FF)");
         let wrong_path = finding(RuleId::SeedHygiene, "crates/sim/src/frame.rs", "SplitMix64::new(0xC0FF)");
         let wrong_rule = finding(RuleId::Unwrap, "crates/sim/src/system.rs", "SplitMix64::new(0xC0FF)");
-        let (kept, suppressed) = list.apply(vec![hit, wrong_path, wrong_rule]);
+        let (kept, suppressed) = list.apply(vec![hit, wrong_path, wrong_rule], &BTreeSet::new());
         assert_eq!(suppressed, 1);
         // wrong_path + wrong_rule kept; entry used, so no stale finding.
         assert_eq!(kept.len(), 2);
@@ -265,11 +290,69 @@ justification = "default noise seed, overridden by every harness"
     #[test]
     fn unused_entries_become_stale_findings() {
         let list = Allowlist::parse(GOOD).expect("valid");
-        let (kept, suppressed) = list.apply(Vec::new());
+        let (kept, suppressed) = list.apply(Vec::new(), &BTreeSet::new());
         assert_eq!(suppressed, 0);
         assert_eq!(kept.len(), 1);
         assert_eq!(kept[0].rule, RuleId::StaleAllow);
         assert_eq!(kept[0].path, "analysis.toml");
+    }
+
+    fn paths(ps: &[&str]) -> BTreeSet<String> {
+        ps.iter().map(|p| p.to_string()).collect()
+    }
+
+    #[test]
+    fn entry_for_a_deleted_file_reports_renamed_or_deleted() {
+        // Regression: the entry's file is gone from the scanned tree. The
+        // generic "suppresses nothing" message hid the root cause; the
+        // entry must name the rename/delete explicitly.
+        let list = Allowlist::parse(GOOD).expect("valid");
+        let known = paths(&["crates/sim/src/frame.rs"]); // system.rs renamed away
+        let (kept, suppressed) = list.apply(Vec::new(), &known);
+        assert_eq!(suppressed, 0);
+        assert_eq!(kept.len(), 1);
+        assert_eq!(kept[0].rule, RuleId::StaleAllow);
+        assert!(
+            kept[0].message.contains("renamed or deleted"),
+            "{}",
+            kept[0].message
+        );
+        assert!(
+            kept[0].message.contains("crates/sim/src/system.rs"),
+            "{}",
+            kept[0].message
+        );
+    }
+
+    #[test]
+    fn entry_for_an_existing_file_keeps_the_generic_stale_message() {
+        let list = Allowlist::parse(GOOD).expect("valid");
+        let known = paths(&["crates/sim/src/system.rs"]);
+        let (kept, _) = list.apply(Vec::new(), &known);
+        assert_eq!(kept.len(), 1);
+        assert!(
+            kept[0].message.contains("suppresses nothing"),
+            "{}",
+            kept[0].message
+        );
+    }
+
+    #[test]
+    fn missing_file_is_flagged_even_when_the_entry_somehow_matched() {
+        // Defence in depth: should future matching ever get looser (e.g. a
+        // pattern-only fallback), an entry pointing at a non-existent file
+        // must still surface — a rename can never silently satisfy it.
+        let list = Allowlist::parse(GOOD).expect("valid");
+        let hit = finding(
+            RuleId::SeedHygiene,
+            "crates/sim/src/system.rs",
+            "SplitMix64::new(0xC0FF)",
+        );
+        let known = paths(&["crates/sim/src/frame.rs"]);
+        let (kept, suppressed) = list.apply(vec![hit], &known);
+        assert_eq!(suppressed, 1, "the match itself still counts");
+        assert_eq!(kept.len(), 1, "{kept:?}");
+        assert!(kept[0].message.contains("renamed or deleted"), "{}", kept[0].message);
     }
 
     #[test]

@@ -1,0 +1,1119 @@
+//! The workspace call graph: which `fn` calls which, across crates.
+//!
+//! Built once per scan from the per-file scope trees ([`scope`](crate::scope))
+//! and token streams. Three steps:
+//!
+//! 1. **Definition harvest** — every `fn` scope becomes an [`FnDef`]
+//!    carrying its crate, enclosing `impl` type/trait, parameter names
+//!    (read from the header token range), and attribute facts
+//!    (`#[doc(hidden)]`, `#[cfg(test)]`). Definitions are sorted by
+//!    `(rel_path, byte_start)` so [`FnId`]s are deterministic regardless
+//!    of the order files were loaded in.
+//! 2. **Symbol tables** — crate-granular `BTreeMap`s: free fns keyed
+//!    `(crate, name)`, methods keyed `(crate, type, name)`, plus a
+//!    workspace-wide method-name index used for `.method(…)` receiver
+//!    calls. Module paths inside a crate are deliberately flattened —
+//!    the workspace never defines two same-named free fns in one crate,
+//!    and when it someday does, both become candidates (an
+//!    over-approximation, never a miss).
+//! 3. **Call-site extraction** — a walk over each fn body's tokens.
+//!    `name(`, `Type::name(`, `path::name(`, and `.name(` forms are
+//!    classified; `use`-imports (including `{group, as rename}` lists)
+//!    resolve bare names across crates; `.method(` calls resolve to
+//!    **every** workspace impl of that method name, which is exactly the
+//!    over-approximation that gives trait-dispatch edges (the
+//!    `ResponsePlan::fill_chunk` family). Anything else is recorded as
+//!    [`Resolution::External`] — never silently dropped, so the JSON dump
+//!    shows precisely where resolution gave up (macros, std, locals).
+//!
+//! Known limits (documented in `ANALYSIS.md`): macro-generated code is
+//! invisible (the lexer sees the un-expanded tokens), trait-object calls
+//! are over-approximated to all same-named impls, and function pointers /
+//! closures passed as values produce no edges.
+
+use crate::json::Value;
+use crate::source::SourceFile;
+use std::collections::{BTreeMap, BTreeSet};
+use std::ops::Range;
+
+/// Index of an [`FnDef`] in [`CallGraph::fns`].
+pub type FnId = usize;
+
+/// One `fn` definition found in the workspace.
+#[derive(Debug, Clone)]
+pub struct FnDef {
+    /// Index of the defining file in the slice the graph was built from.
+    pub file: usize,
+    /// Workspace-relative path of the defining file.
+    pub rel_path: String,
+    /// Crate directory name (`sim`, `hash`, …; `"."` for the root crate).
+    pub crate_name: String,
+    /// The function's name.
+    pub name: String,
+    /// Base name of the `impl` self type, for methods.
+    pub self_type: Option<String>,
+    /// Trait name, when defined inside `impl Trait for Type` or a
+    /// `trait` body (default methods).
+    pub trait_name: Option<String>,
+    /// 1-based line of the body's opening brace.
+    pub line: usize,
+    /// Byte range of the body in the masked text.
+    pub byte_range: Range<usize>,
+    /// Token-index range of the body (tokens strictly inside the braces).
+    pub body_tokens: Range<usize>,
+    /// Token-index range of the header (attributes through parameter list).
+    pub header_tokens: Range<usize>,
+    /// Parameter names, in order (`self` included when present).
+    pub params: Vec<String>,
+    /// Does the header carry `#[doc(hidden)]`?
+    pub doc_hidden: bool,
+    /// Is the definition inside a `#[cfg(test)]` region?
+    pub cfg_test: bool,
+}
+
+impl FnDef {
+    /// `Type::name` for methods, plain `name` for free fns.
+    pub fn qualified_name(&self) -> String {
+        match &self.self_type {
+            Some(t) => format!("{t}::{}", self.name),
+            None => self.name.clone(),
+        }
+    }
+}
+
+/// Where a call site's callee resolved to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Resolution {
+    /// One or more candidate workspace fns (several for `.method(` calls
+    /// that over-approximate trait dispatch).
+    Resolved(Vec<FnId>),
+    /// Not a workspace fn: std, an external crate, a local closure, or a
+    /// tuple-struct constructor. The name is kept for the dump.
+    External(String),
+}
+
+/// One call site inside a workspace fn body.
+#[derive(Debug, Clone)]
+pub struct CallSite {
+    /// The calling fn.
+    pub caller: FnId,
+    /// Index of the calling file (same slice as [`FnDef::file`]).
+    pub file: usize,
+    /// Token index of the callee-name identifier.
+    pub token: usize,
+    /// 1-based line of the callee-name identifier.
+    pub line: usize,
+    /// The callee name as written (last path segment).
+    pub name: String,
+    /// Was this a `.name(` receiver call?
+    pub method_call: bool,
+    /// What the name resolved to.
+    pub resolution: Resolution,
+}
+
+/// The workspace call graph.
+#[derive(Debug, Default)]
+pub struct CallGraph {
+    /// Every fn definition, sorted by `(rel_path, byte_start)`.
+    pub fns: Vec<FnDef>,
+    /// Every call site, sorted by `(caller, token)`.
+    pub calls: Vec<CallSite>,
+    /// Call-site indices grouped by caller, parallel to `fns`.
+    callers: Vec<Vec<usize>>,
+    /// `(file, token) -> call index`, for dataflow lookups.
+    by_token: BTreeMap<(usize, usize), usize>,
+}
+
+/// Map an `extern crate` lib name (as it appears in `use` paths) to the
+/// crate directory name used by [`SourceFile::crate_name`].
+pub fn extern_crate_dir(lib_name: &str) -> Option<String> {
+    match lib_name {
+        "rfid_bfce" => Some("core".to_string()),
+        "rfid_bfce_repro" => Some(".".to_string()),
+        _ => lib_name.strip_prefix("rfid_").map(str::to_string),
+    }
+}
+
+/// Keywords and control forms that look like `name(` in the token stream
+/// but are never workspace calls worth an edge.
+const NON_CALL_IDENTS: &[&str] = &[
+    "if", "while", "for", "match", "return", "loop", "fn", "let", "in",
+    "as", "where", "impl", "dyn", "move", "ref", "mut", "pub", "use",
+    "crate", "super", "self", "Self", "box", "unsafe", "else", "break",
+    "continue",
+];
+
+impl CallGraph {
+    /// Build the graph from every loaded source file. File order does not
+    /// affect the result: definitions and calls are sorted by stable keys.
+    pub fn build(files: &[SourceFile]) -> Self {
+        let fns = harvest_fns(files);
+        let tables = SymbolTables::build(&fns);
+        let imports: Vec<ImportMap> = files.iter().map(ImportMap::parse).collect();
+
+        let mut calls = Vec::new();
+        for (id, def) in fns.iter().enumerate() {
+            let file = &files[def.file];
+            extract_calls(id, def, file, &imports[def.file], &tables, &mut calls);
+        }
+        calls.sort_by(|a, b| {
+            let ka = (&fns[a.caller].rel_path, fns[a.caller].byte_range.start, a.token);
+            let kb = (&fns[b.caller].rel_path, fns[b.caller].byte_range.start, b.token);
+            ka.cmp(&kb)
+        });
+
+        let mut callers = vec![Vec::new(); fns.len()];
+        let mut by_token = BTreeMap::new();
+        for (i, c) in calls.iter().enumerate() {
+            callers[c.caller].push(i);
+            by_token.insert((c.file, c.token), i);
+        }
+        CallGraph {
+            fns,
+            calls,
+            callers,
+            by_token,
+        }
+    }
+
+    /// Call sites made by `caller`.
+    pub fn calls_from(&self, caller: FnId) -> impl Iterator<Item = &CallSite> {
+        self.callers[caller].iter().map(|&i| &self.calls[i])
+    }
+
+    /// The resolution of the call whose callee-name identifier is token
+    /// `token` of file `file`, if that position is a recorded call site.
+    pub fn resolution_at(&self, file: usize, token: usize) -> Option<&CallSite> {
+        self.by_token.get(&(file, token)).map(|&i| &self.calls[i])
+    }
+
+    /// Fn ids whose definition matches `(self_type, name)`; `None` self
+    /// type means free fns.
+    pub fn find_fns(&self, self_type: Option<&str>, name: &str) -> Vec<FnId> {
+        self.fns
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| d.name == name && d.self_type.as_deref() == self_type)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// BFS over resolved edges from `seeds`; returns every reachable fn
+    /// (seeds included).
+    pub fn reachable_from(&self, seeds: &[FnId]) -> BTreeSet<FnId> {
+        let mut seen: BTreeSet<FnId> = seeds.iter().copied().collect();
+        let mut queue: Vec<FnId> = seeds.to_vec();
+        while let Some(id) = queue.pop() {
+            for call in self.calls_from(id) {
+                if let Resolution::Resolved(targets) = &call.resolution {
+                    for &t in targets {
+                        if seen.insert(t) {
+                            queue.push(t);
+                        }
+                    }
+                }
+            }
+        }
+        seen
+    }
+
+    /// Count of resolved edges whose **target** lives in `crate_name`.
+    pub fn resolved_edges_into(&self, crate_name: &str) -> usize {
+        self.calls
+            .iter()
+            .filter_map(|c| match &c.resolution {
+                Resolution::Resolved(ts) => Some(ts),
+                Resolution::External(_) => None,
+            })
+            .flat_map(|ts| ts.iter())
+            .filter(|&&t| self.fns[t].crate_name == crate_name)
+            .count()
+    }
+
+    /// The graph as a JSON value, for `--dump-callgraph` and
+    /// `--format json`. Shape:
+    /// `{ "fns": [...], "calls": [...], "crates": {name: resolved-edges-in} }`.
+    pub fn to_json(&self) -> Value {
+        let fns = self
+            .fns
+            .iter()
+            .map(|d| {
+                let mut obj = vec![
+                    ("crate".to_string(), Value::Str(d.crate_name.clone())),
+                    ("file".to_string(), Value::Str(d.rel_path.clone())),
+                    ("line".to_string(), Value::Num(d.line as f64)),
+                    ("name".to_string(), Value::Str(d.name.clone())),
+                ];
+                if let Some(t) = &d.self_type {
+                    obj.push(("self_type".to_string(), Value::Str(t.clone())));
+                }
+                if let Some(t) = &d.trait_name {
+                    obj.push(("trait".to_string(), Value::Str(t.clone())));
+                }
+                obj.push((
+                    "params".to_string(),
+                    Value::Arr(d.params.iter().cloned().map(Value::Str).collect()),
+                ));
+                if d.doc_hidden {
+                    obj.push(("doc_hidden".to_string(), Value::Bool(true)));
+                }
+                if d.cfg_test {
+                    obj.push(("cfg_test".to_string(), Value::Bool(true)));
+                }
+                Value::Obj(obj)
+            })
+            .collect();
+        let calls = self
+            .calls
+            .iter()
+            .map(|c| {
+                let mut obj = vec![
+                    ("caller".to_string(), Value::Num(c.caller as f64)),
+                    ("line".to_string(), Value::Num(c.line as f64)),
+                    ("name".to_string(), Value::Str(c.name.clone())),
+                ];
+                if c.method_call {
+                    obj.push(("method_call".to_string(), Value::Bool(true)));
+                }
+                match &c.resolution {
+                    Resolution::Resolved(ts) => obj.push((
+                        "targets".to_string(),
+                        Value::Arr(ts.iter().map(|&t| Value::Num(t as f64)).collect()),
+                    )),
+                    Resolution::External(name) => {
+                        obj.push(("external".to_string(), Value::Str(name.clone())))
+                    }
+                }
+                Value::Obj(obj)
+            })
+            .collect();
+        let mut crates: BTreeMap<String, usize> = BTreeMap::new();
+        for d in &self.fns {
+            crates.entry(d.crate_name.clone()).or_insert(0);
+        }
+        for (name, count) in crates.iter_mut() {
+            *count = self.resolved_edges_into(name);
+        }
+        Value::Obj(vec![
+            ("schema".to_string(), Value::Str("rfid-callgraph/v1".to_string())),
+            ("fns".to_string(), Value::Arr(fns)),
+            ("calls".to_string(), Value::Arr(calls)),
+            (
+                "crates".to_string(),
+                Value::Obj(
+                    crates
+                        .into_iter()
+                        .map(|(k, v)| (k, Value::Num(v as f64)))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+/// Harvest every `fn` scope of every file into sorted [`FnDef`]s.
+fn harvest_fns(files: &[SourceFile]) -> Vec<FnDef> {
+    let mut fns = Vec::new();
+    for (file_idx, file) in files.iter().enumerate() {
+        let tree = file.scopes();
+        for scope in &tree.scopes {
+            let name = match &scope.kind {
+                crate::scope::ScopeKind::Fn(name) => name.clone(),
+                _ => continue,
+            };
+            // Enclosing impl/trait: walk the parent chain past blocks.
+            let (mut self_type, mut trait_name) = (None, None);
+            let mut parent = scope.parent;
+            while let Some(p) = parent {
+                match &tree.scopes[p].kind {
+                    crate::scope::ScopeKind::Impl {
+                        trait_name: t,
+                        type_name,
+                    } => {
+                        self_type = Some(type_name.clone());
+                        trait_name = t.clone();
+                        break;
+                    }
+                    crate::scope::ScopeKind::Trait(t) => {
+                        trait_name = Some(t.clone());
+                        break;
+                    }
+                    crate::scope::ScopeKind::Fn(_) => break, // nested fn: free
+                    _ => parent = tree.scopes[p].parent,
+                }
+            }
+            let header = scope.header_tokens.clone();
+            let params = fn_params(file, header.clone());
+            let body_tokens = tokens_in_range(file, &scope.byte_range);
+            fns.push(FnDef {
+                file: file_idx,
+                rel_path: file.rel_path.clone(),
+                crate_name: file.crate_name.clone(),
+                name,
+                self_type,
+                trait_name,
+                line: scope.lines.start,
+                byte_range: scope.byte_range.clone(),
+                body_tokens,
+                header_tokens: header.clone(),
+                params,
+                doc_hidden: header_has_doc_hidden(file, header),
+                cfg_test: scope.cfg_test || file.in_test_region(scope.lines.start),
+            });
+        }
+    }
+    fns.sort_by(|a, b| {
+        (&a.rel_path, a.byte_range.start).cmp(&(&b.rel_path, b.byte_range.start))
+    });
+    fns
+}
+
+/// Token indices whose span lies strictly inside `bytes` (the body braces).
+fn tokens_in_range(file: &SourceFile, bytes: &Range<usize>) -> Range<usize> {
+    let tokens = file.tokens();
+    let start = tokens.partition_point(|t| t.start <= bytes.start);
+    let end = tokens.partition_point(|t| t.end < bytes.end);
+    start..end.max(start)
+}
+
+/// Parameter names from a `fn` header: identifiers directly followed by
+/// `:` at parenthesis depth 1, plus a leading `self`.
+fn fn_params(file: &SourceFile, header: Range<usize>) -> Vec<String> {
+    let mut params = Vec::new();
+    // Find the `fn` keyword, skip the generic list if any (it may itself
+    // contain parens: `fn f<F: Fn(u64) -> u64>(g: F)`), then the params.
+    let mut i = header.start;
+    while i < header.end && file.token_text(i) != "fn" {
+        i += 1;
+    }
+    while i < header.end && file.token_text(i) != "(" && file.token_text(i) != "<" {
+        i += 1;
+    }
+    if i < header.end && file.token_text(i) == "<" {
+        i = skip_angles(file, i, header.end).unwrap_or(header.end);
+    }
+    while i < header.end && file.token_text(i) != "(" {
+        i += 1;
+    }
+    if i >= header.end {
+        return params;
+    }
+    let mut depth = 0i32;
+    let mut angle = 0i32;
+    while i < header.end {
+        let text = file.token_text(i);
+        match text {
+            "(" => depth += 1,
+            ")" => {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            "<" => angle += 1,
+            "<<" => angle += 2,
+            ">" => angle -= 1,
+            ">>" => angle -= 2,
+            "self" if depth == 1 && angle <= 0 => params.push("self".to_string()),
+            _ => {
+                if depth == 1
+                    && angle <= 0
+                    && file.tokens()[i].kind == crate::lexer::TokenKind::Ident
+                    && i + 1 < header.end
+                    && file.token_text(i + 1) == ":"
+                    // `::` lexes as its own token, so a path segment like
+                    // `std::ops` never matches `ident :`.
+                    && (i == header.start || file.token_text(i - 1) != ":")
+                {
+                    params.push(text.to_string());
+                }
+            }
+        }
+        i += 1;
+    }
+    params
+}
+
+/// Does the header carry `#[doc(hidden)]`?
+fn header_has_doc_hidden(file: &SourceFile, header: Range<usize>) -> bool {
+    let mut i = header.start;
+    while i + 5 < header.end {
+        if file.token_text(i) == "#"
+            && file.token_text(i + 1) == "["
+            && file.token_text(i + 2) == "doc"
+            && file.token_text(i + 3) == "("
+            && file.token_text(i + 4) == "hidden"
+            && file.token_text(i + 5) == ")"
+        {
+            return true;
+        }
+        i += 1;
+    }
+    false
+}
+
+/// Crate-granular symbol tables over the harvested definitions.
+struct SymbolTables {
+    /// `(crate, name)` → free-fn ids.
+    free_fns: BTreeMap<(String, String), Vec<FnId>>,
+    /// `(crate, type, name)` → method ids.
+    methods: BTreeMap<(String, String, String), Vec<FnId>>,
+    /// `name` → every method id with that name, workspace-wide (for
+    /// `.method(` receiver calls — the trait-dispatch over-approximation).
+    methods_by_name: BTreeMap<String, Vec<FnId>>,
+    /// `(crate, type)` pairs that exist, to resolve imported type names.
+    types_by_name: BTreeMap<String, Vec<String>>,
+}
+
+impl SymbolTables {
+    fn build(fns: &[FnDef]) -> Self {
+        let mut free_fns: BTreeMap<(String, String), Vec<FnId>> = BTreeMap::new();
+        let mut methods: BTreeMap<(String, String, String), Vec<FnId>> = BTreeMap::new();
+        let mut methods_by_name: BTreeMap<String, Vec<FnId>> = BTreeMap::new();
+        let mut types_by_name: BTreeMap<String, Vec<String>> = BTreeMap::new();
+        for (id, def) in fns.iter().enumerate() {
+            match &def.self_type {
+                Some(t) => {
+                    methods
+                        .entry((def.crate_name.clone(), t.clone(), def.name.clone()))
+                        .or_default()
+                        .push(id);
+                    methods_by_name
+                        .entry(def.name.clone())
+                        .or_default()
+                        .push(id);
+                    let crates = types_by_name.entry(t.clone()).or_default();
+                    if !crates.contains(&def.crate_name) {
+                        crates.push(def.crate_name.clone());
+                    }
+                }
+                None => free_fns
+                    .entry((def.crate_name.clone(), def.name.clone()))
+                    .or_default()
+                    .push(id),
+            }
+        }
+        SymbolTables {
+            free_fns,
+            methods,
+            methods_by_name,
+            types_by_name,
+        }
+    }
+}
+
+/// Per-file `use`-import map: local name → (crate dir, original name).
+/// Only cross-crate and `crate::` imports are recorded; `use x::*` globs
+/// record nothing (resolution then falls back to External, which the dump
+/// makes visible rather than guessing).
+struct ImportMap {
+    names: BTreeMap<String, (String, String)>,
+}
+
+impl ImportMap {
+    fn parse(file: &SourceFile) -> Self {
+        let mut names = BTreeMap::new();
+        let tokens = file.tokens();
+        let mut i = 0;
+        while i < tokens.len() {
+            if file.token_text(i) != "use" {
+                i += 1;
+                continue;
+            }
+            // Find the terminating `;` of this use item.
+            let mut end = i + 1;
+            while end < tokens.len() && file.token_text(end) != ";" {
+                end += 1;
+            }
+            Self::parse_use(file, i + 1, end, &mut names);
+            i = end + 1;
+        }
+        ImportMap { names }
+    }
+
+    /// Parse one `use` path (tokens `start..end`, semicolon excluded).
+    fn parse_use(
+        file: &SourceFile,
+        start: usize,
+        end: usize,
+        names: &mut BTreeMap<String, (String, String)>,
+    ) {
+        // Leading path segments up to a `{` group or the final name.
+        let mut segs: Vec<String> = Vec::new();
+        let mut i = start;
+        while i < end {
+            match file.token_text(i) {
+                "::" => i += 1,
+                "{" => {
+                    // Group: each comma-separated element is one more
+                    // segment chain appended to `segs` (nested groups are
+                    // rare in this workspace; one level is parsed, deeper
+                    // nesting falls through to External at call sites).
+                    let prefix = segs.clone();
+                    let mut elem: Vec<String> = Vec::new();
+                    let mut rename: Option<String> = None;
+                    let mut after_as = false;
+                    let mut depth = 1;
+                    i += 1;
+                    while i < end && depth > 0 {
+                        match file.token_text(i) {
+                            "{" => depth += 1,
+                            "}" => {
+                                depth -= 1;
+                                if depth == 0 {
+                                    Self::record(&prefix, &elem, rename.take(), names);
+                                    break;
+                                }
+                            }
+                            "," if depth == 1 => {
+                                Self::record(&prefix, &elem, rename.take(), names);
+                                elem.clear();
+                                after_as = false;
+                            }
+                            "as" => after_as = true,
+                            "::" => {}
+                            t if file.tokens()[i].kind == crate::lexer::TokenKind::Ident => {
+                                if after_as {
+                                    rename = Some(t.to_string());
+                                } else {
+                                    elem.push(t.to_string());
+                                }
+                            }
+                            _ => {}
+                        }
+                        i += 1;
+                    }
+                    return;
+                }
+                "as" => {
+                    // `use a::b as c;`
+                    if let Some(rename) = (i + 1..end)
+                        .find(|&j| file.tokens()[j].kind == crate::lexer::TokenKind::Ident)
+                        .map(|j| file.token_text(j).to_string())
+                    {
+                        Self::record(&[], &segs, Some(rename), names);
+                    }
+                    return;
+                }
+                "*" => return, // glob: record nothing
+                t if file.tokens()[i].kind == crate::lexer::TokenKind::Ident => {
+                    segs.push(t.to_string());
+                    i += 1;
+                }
+                _ => i += 1,
+            }
+        }
+        Self::record(&[], &segs, None, names);
+    }
+
+    /// Record one import chain (`prefix` + `elem`), optionally renamed.
+    fn record(
+        prefix: &[String],
+        elem: &[String],
+        rename: Option<String>,
+        names: &mut BTreeMap<String, (String, String)>,
+    ) {
+        let mut segs: Vec<&str> = prefix.iter().map(String::as_str).collect();
+        segs.extend(elem.iter().map(String::as_str));
+        if segs.len() < 2 {
+            return; // `use foo;` brings in a crate name, not an item
+        }
+        let head = segs[0];
+        let crate_dir = if head == "crate" || head == "self" || head == "super" {
+            // Same-crate import: the call-site fallback already searches
+            // the defining crate first, so nothing to record.
+            return;
+        } else {
+            match extern_crate_dir(head) {
+                Some(dir) => dir,
+                None => return, // std / external dependency
+            }
+        };
+        let original = segs[segs.len() - 1].to_string();
+        if original == "self" {
+            return;
+        }
+        let local = rename.unwrap_or_else(|| original.clone());
+        names.insert(local, (crate_dir, original));
+    }
+
+    /// Where `name` was imported from, if anywhere.
+    fn lookup(&self, name: &str) -> Option<&(String, String)> {
+        self.names.get(name)
+    }
+}
+
+/// Walk one fn body and record every call site.
+fn extract_calls(
+    caller: FnId,
+    def: &FnDef,
+    file: &SourceFile,
+    imports: &ImportMap,
+    tables: &SymbolTables,
+    out: &mut Vec<CallSite>,
+) {
+    let tokens = file.tokens();
+    let tree = file.scopes();
+    let body = def.body_tokens.clone();
+    for i in body.clone() {
+        if tokens[i].kind != crate::lexer::TokenKind::Ident {
+            continue;
+        }
+        let name = file.token_text(i);
+        if NON_CALL_IDENTS.contains(&name) {
+            continue;
+        }
+        // Callee name must be directly followed by `(`, optionally with a
+        // turbofish `::<…>` between.
+        let after = i + 1;
+        let is_call = (after < body.end && file.token_text(after) == "(")
+            || (after + 1 < body.end
+                && file.token_text(after) == "::"
+                && file.token_text(after + 1) == "<"
+                && matches!(
+                    skip_angles(file, after + 1, body.end),
+                    Some(j) if j < body.end && file.token_text(j) == "("
+                ));
+        if !is_call {
+            continue;
+        }
+        // Not a definition (`fn name(`) and not a macro (`name!(` has the
+        // `!` before the paren, which already failed the check above).
+        if i > 0 && file.token_text(i - 1) == "fn" {
+            continue;
+        }
+        // Tokens belonging to a *nested* fn's body are that fn's calls,
+        // not this one's (nested fns are harvested as their own FnDefs).
+        let innermost = tree
+            .enclosing_fn(tokens[i].start)
+            .map(|(idx, _)| tree.scopes[idx].byte_range.start);
+        if innermost != Some(def.byte_range.start) {
+            continue;
+        }
+        let line = tokens[i].line;
+        let prev = if i > 0 { file.token_text(i - 1) } else { "" };
+        let (resolution, method_call) = if prev == "." {
+            (resolve_method(name, tables), true)
+        } else if prev == "::" {
+            (resolve_path(file, i, def, imports, tables), false)
+        } else {
+            (resolve_bare(name, def, imports, tables), false)
+        };
+        out.push(CallSite {
+            caller,
+            file: def.file,
+            token: i,
+            line,
+            name: name.to_string(),
+            method_call,
+            resolution,
+        });
+    }
+}
+
+/// Skip a `<…>` group starting at token `i` (which must be `<`); returns
+/// the index just past the matching `>`.
+fn skip_angles(file: &SourceFile, i: usize, end: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    let mut j = i;
+    while j < end {
+        match file.token_text(j) {
+            "<" => depth += 1,
+            "<<" => depth += 2,
+            ">" => depth -= 1,
+            ">>" => depth -= 2,
+            _ => {}
+        }
+        j += 1;
+        if depth <= 0 {
+            return Some(j);
+        }
+    }
+    None
+}
+
+/// `.name(` receiver call: every workspace method with that name.
+fn resolve_method(name: &str, tables: &SymbolTables) -> Resolution {
+    match tables.methods_by_name.get(name) {
+        Some(ids) if !ids.is_empty() => Resolution::Resolved(ids.clone()),
+        _ => Resolution::External(format!(".{name}")),
+    }
+}
+
+/// Bare `name(` call: same crate first, then imports. A name that matches
+/// one of the enclosing fn's parameters is a closure invocation — the
+/// param shadows any same-named workspace fn, and the closure's target is
+/// statically unknowable, so it resolves External rather than to a
+/// name-collided workspace fn.
+fn resolve_bare(
+    name: &str,
+    def: &FnDef,
+    imports: &ImportMap,
+    tables: &SymbolTables,
+) -> Resolution {
+    if def.params.iter().any(|p| p == name) {
+        return Resolution::External(format!("closure:{name}"));
+    }
+    if let Some(ids) = tables
+        .free_fns
+        .get(&(def.crate_name.clone(), name.to_string()))
+    {
+        return Resolution::Resolved(ids.clone());
+    }
+    if let Some((crate_dir, original)) = imports.lookup(name) {
+        if let Some(ids) = tables.free_fns.get(&(crate_dir.clone(), original.clone())) {
+            return Resolution::Resolved(ids.clone());
+        }
+    }
+    Resolution::External(name.to_string())
+}
+
+/// Path call `…::name(`: walk the preceding path segments back from the
+/// callee name and classify the head.
+fn resolve_path(
+    file: &SourceFile,
+    name_idx: usize,
+    def: &FnDef,
+    imports: &ImportMap,
+    tables: &SymbolTables,
+) -> Resolution {
+    let name = file.token_text(name_idx).to_string();
+    // Collect the path segments before `name`, innermost first:
+    // `a::B::name(` → segs = ["B", "a"].
+    let mut segs: Vec<String> = Vec::new();
+    let mut j = name_idx;
+    while j >= 2 && file.token_text(j - 1) == "::" {
+        let seg = file.token_text(j - 2);
+        if file.tokens()[j - 2].kind != crate::lexer::TokenKind::Ident
+            && !matches!(seg, "crate" | "self" | "super" | "Self")
+        {
+            break;
+        }
+        segs.push(seg.to_string());
+        j -= 2;
+    }
+    if segs.is_empty() {
+        return Resolution::External(name);
+    }
+    let qualifier = segs[0].clone(); // segment directly before `name`
+    let head = segs[segs.len() - 1].clone(); // outermost segment
+
+    // `Self::name(` — the enclosing impl type.
+    if qualifier == "Self" {
+        if let Some(t) = &def.self_type {
+            if let Some(ids) =
+                tables
+                    .methods
+                    .get(&(def.crate_name.clone(), t.clone(), name.clone()))
+            {
+                return Resolution::Resolved(ids.clone());
+            }
+        }
+        return Resolution::External(format!("Self::{name}"));
+    }
+
+    // Which crate does the path root in?
+    let root_crate = if head == "crate" || head == "self" || head == "super" {
+        Some(def.crate_name.clone())
+    } else {
+        extern_crate_dir(&head)
+    };
+
+    // `Type::name(` where the qualifier is a type: methods table. The
+    // qualifier's crate comes from the explicit path root, the import
+    // map, or (same-crate / glob-imported types) any crate defining it.
+    if qualifier
+        .chars()
+        .next()
+        .is_some_and(|c| c.is_ascii_uppercase())
+    {
+        let mut candidate_crates: Vec<String> = Vec::new();
+        if segs.len() > 1 {
+            if let Some(c) = root_crate.clone() {
+                candidate_crates.push(c);
+            }
+        } else if let Some((crate_dir, original)) = imports.lookup(&qualifier) {
+            // Imported type, possibly renamed: use the original name.
+            if let Some(ids) =
+                tables
+                    .methods
+                    .get(&(crate_dir.clone(), original.clone(), name.clone()))
+            {
+                return Resolution::Resolved(ids.clone());
+            }
+        } else {
+            candidate_crates.push(def.crate_name.clone());
+            if let Some(crates) = tables.types_by_name.get(&qualifier) {
+                for c in crates {
+                    if !candidate_crates.contains(c) {
+                        candidate_crates.push(c.clone());
+                    }
+                }
+            }
+        }
+        for c in candidate_crates {
+            if let Some(ids) = tables.methods.get(&(c, qualifier.clone(), name.clone())) {
+                return Resolution::Resolved(ids.clone());
+            }
+        }
+        return Resolution::External(format!("{qualifier}::{name}"));
+    }
+
+    // Module-qualified free fn: `crate::module::name(` or
+    // `rfid_hash::prng::name(` — flatten the module path to the crate.
+    if let Some(c) = root_crate {
+        if let Some(ids) = tables.free_fns.get(&(c.clone(), name.clone())) {
+            return Resolution::Resolved(ids.clone());
+        }
+        return Resolution::External(format!("{head}::{name}"));
+    }
+    // Lowercase head that is not a workspace crate: maybe an imported
+    // module alias; otherwise external.
+    if let Some((crate_dir, _)) = imports.lookup(&head) {
+        if let Some(ids) = tables.free_fns.get(&(crate_dir.clone(), name.clone())) {
+            return Resolution::Resolved(ids.clone());
+        }
+    }
+    Resolution::External(format!("{head}::{name}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::{SourceFile, TargetKind};
+
+    fn graph(files: &[(&str, &str, &str)]) -> (Vec<SourceFile>, CallGraph) {
+        let sources: Vec<SourceFile> = files
+            .iter()
+            .map(|(path, krate, text)| SourceFile::new(path, krate, TargetKind::Lib, text))
+            .collect();
+        let g = CallGraph::build(&sources);
+        (sources, g)
+    }
+
+    #[test]
+    fn free_fn_calls_resolve_within_a_crate() {
+        let (_, g) = graph(&[(
+            "crates/sim/src/lib.rs",
+            "sim",
+            "pub fn outer() { inner(7); }\npub fn inner(x: u64) -> u64 { x }\n",
+        )]);
+        assert_eq!(g.fns.len(), 2);
+        let outer = g.find_fns(None, "outer")[0];
+        let inner = g.find_fns(None, "inner")[0];
+        let calls: Vec<_> = g.calls_from(outer).collect();
+        assert_eq!(calls.len(), 1);
+        assert_eq!(calls[0].resolution, Resolution::Resolved(vec![inner]));
+        assert_eq!(g.fns[inner].params, vec!["x"]);
+    }
+
+    #[test]
+    fn use_imports_resolve_across_crates() {
+        let (_, g) = graph(&[
+            (
+                "crates/hash/src/lib.rs",
+                "hash",
+                "pub fn stream_seed(master: u64, stream: u64) -> u64 { master ^ stream }\n",
+            ),
+            (
+                "crates/sim/src/lib.rs",
+                "sim",
+                "use rfid_hash::stream_seed;\npub fn go(seed: u64) -> u64 { stream_seed(seed, 1) }\n",
+            ),
+        ]);
+        let go = g.find_fns(None, "go")[0];
+        let seed_fn = g.find_fns(None, "stream_seed")[0];
+        let calls: Vec<_> = g.calls_from(go).collect();
+        assert_eq!(calls.len(), 1);
+        assert_eq!(calls[0].resolution, Resolution::Resolved(vec![seed_fn]));
+    }
+
+    #[test]
+    fn grouped_and_renamed_imports_resolve() {
+        let (_, g) = graph(&[
+            (
+                "crates/hash/src/lib.rs",
+                "hash",
+                "pub fn alpha() {}\npub fn beta() {}\n",
+            ),
+            (
+                "crates/sim/src/lib.rs",
+                "sim",
+                "use rfid_hash::{alpha, beta as b};\npub fn go() { alpha(); b(); }\n",
+            ),
+        ]);
+        let go = g.find_fns(None, "go")[0];
+        let resolved = g
+            .calls_from(go)
+            .filter(|c| matches!(c.resolution, Resolution::Resolved(_)))
+            .count();
+        assert_eq!(resolved, 2);
+    }
+
+    #[test]
+    fn type_method_paths_resolve() {
+        let (_, g) = graph(&[
+            (
+                "crates/hash/src/prng.rs",
+                "hash",
+                "pub struct SplitMix64 { s: u64 }\nimpl SplitMix64 {\n    pub fn new(seed: u64) -> Self { Self { s: seed } }\n}\n",
+            ),
+            (
+                "crates/sim/src/lib.rs",
+                "sim",
+                "use rfid_hash::SplitMix64;\npub fn go(seed: u64) { let _ = SplitMix64::new(seed); }\n",
+            ),
+        ]);
+        let go = g.find_fns(None, "go")[0];
+        let new_fn = g.find_fns(Some("SplitMix64"), "new")[0];
+        let calls: Vec<_> = g.calls_from(go).collect();
+        assert_eq!(calls.len(), 1, "{:?}", calls);
+        assert_eq!(calls[0].resolution, Resolution::Resolved(vec![new_fn]));
+    }
+
+    #[test]
+    fn receiver_method_calls_overapproximate_to_all_impls() {
+        let (_, g) = graph(&[
+            (
+                "crates/core/src/lib.rs",
+                "core",
+                "pub struct A;\nimpl A { pub fn fill_chunk(&self) {} }\n",
+            ),
+            (
+                "crates/baselines/src/lib.rs",
+                "baselines",
+                "pub struct B;\nimpl B { pub fn fill_chunk(&self) {} }\npub fn drive(x: &B) { x.fill_chunk(); }\n",
+            ),
+        ]);
+        let drive = g.find_fns(None, "drive")[0];
+        let calls: Vec<_> = g.calls_from(drive).collect();
+        assert_eq!(calls.len(), 1);
+        match &calls[0].resolution {
+            Resolution::Resolved(ts) => assert_eq!(ts.len(), 2, "both impls are candidates"),
+            other => panic!("expected resolved, got {other:?}"),
+        }
+        assert!(calls[0].method_call);
+    }
+
+    #[test]
+    fn unresolved_calls_are_recorded_as_external() {
+        let (_, g) = graph(&[(
+            "crates/sim/src/lib.rs",
+            "sim",
+            "pub fn go() { std::mem::drop(3); missing(); }\n",
+        )]);
+        let go = g.find_fns(None, "go")[0];
+        let externals: Vec<String> = g
+            .calls_from(go)
+            .filter_map(|c| match &c.resolution {
+                Resolution::External(n) => Some(n.clone()),
+                _ => None,
+            })
+            .collect();
+        assert!(externals.contains(&"std::drop".to_string()), "{externals:?}");
+        assert!(externals.contains(&"missing".to_string()), "{externals:?}");
+    }
+
+    #[test]
+    fn macros_and_definitions_are_not_calls() {
+        let (_, g) = graph(&[(
+            "crates/sim/src/lib.rs",
+            "sim",
+            "pub fn go() { println!(\"x\"); assert!(true); }\n",
+        )]);
+        let go = g.find_fns(None, "go")[0];
+        assert_eq!(g.calls_from(go).count(), 0, "macro invocations are not calls");
+    }
+
+    #[test]
+    fn doc_hidden_and_cfg_test_are_detected() {
+        let (_, g) = graph(&[(
+            "crates/hash/src/lib.rs",
+            "hash",
+            "#[doc(hidden)]\npub fn hidden_kernel() {}\n#[cfg(test)]\nmod tests {\n    fn helper() {}\n}\n",
+        )]);
+        let hidden = g.find_fns(None, "hidden_kernel")[0];
+        assert!(g.fns[hidden].doc_hidden);
+        let helper = g.find_fns(None, "helper")[0];
+        assert!(g.fns[helper].cfg_test);
+    }
+
+    #[test]
+    fn reachability_walks_resolved_edges() {
+        let (_, g) = graph(&[(
+            "crates/sim/src/lib.rs",
+            "sim",
+            "pub fn a() { b(); }\npub fn b() { c(); }\npub fn c() {}\npub fn island() {}\n",
+        )]);
+        let a = g.find_fns(None, "a")[0];
+        let island = g.find_fns(None, "island")[0];
+        let reach = g.reachable_from(&[a]);
+        assert_eq!(reach.len(), 3);
+        assert!(!reach.contains(&island));
+    }
+
+    #[test]
+    fn build_is_deterministic_under_file_order() {
+        let files = [
+            (
+                "crates/hash/src/lib.rs",
+                "hash",
+                "pub fn stream_seed(m: u64, s: u64) -> u64 { m ^ s }\n",
+            ),
+            (
+                "crates/sim/src/lib.rs",
+                "sim",
+                "use rfid_hash::stream_seed;\npub fn go(s: u64) -> u64 { stream_seed(s, 1) }\n",
+            ),
+        ];
+        let (_, g1) = graph(&files);
+        let mut rev = files;
+        rev.reverse();
+        let (_, g2) = graph(&rev);
+        let sig = |g: &CallGraph| {
+            let fns: Vec<_> = g
+                .fns
+                .iter()
+                .map(|d| (d.rel_path.clone(), d.name.clone(), d.line))
+                .collect();
+            let calls: Vec<_> = g
+                .calls
+                .iter()
+                .map(|c| {
+                    (
+                        g.fns[c.caller].qualified_name(),
+                        c.name.clone(),
+                        match &c.resolution {
+                            Resolution::Resolved(ts) => {
+                                ts.iter().map(|&t| g.fns[t].qualified_name()).collect()
+                            }
+                            Resolution::External(n) => vec![format!("ext:{n}")],
+                        },
+                    )
+                })
+                .collect();
+            (fns, calls)
+        };
+        assert_eq!(sig(&g1), sig(&g2));
+    }
+
+    #[test]
+    fn json_dump_counts_resolved_edges_per_crate() {
+        let (_, g) = graph(&[
+            (
+                "crates/hash/src/lib.rs",
+                "hash",
+                "pub fn stream_seed(m: u64, s: u64) -> u64 { m ^ s }\n",
+            ),
+            (
+                "crates/sim/src/lib.rs",
+                "sim",
+                "use rfid_hash::stream_seed;\npub fn go(s: u64) -> u64 { stream_seed(s, 1) }\n",
+            ),
+        ]);
+        assert_eq!(g.resolved_edges_into("hash"), 1);
+        let rendered = g.to_json().write();
+        assert!(rendered.contains("rfid-callgraph/v1"), "{rendered}");
+        assert!(rendered.contains("\"crates\""), "{rendered}");
+    }
+}

@@ -1,0 +1,834 @@
+//! Seed-provenance dataflow over the token stream and the call graph.
+//!
+//! The workspace's determinism contract says every PRNG must be seeded
+//! from a value *derived from a seed parameter* (ultimately routed through
+//! `rfid_hash::stream_seed`). The v2 `seed-hygiene` rule checks the text
+//! of the constructor argument; this pass checks where the value **came
+//! from**, through assignments and across calls.
+//!
+//! The abstract domain is a four-point lattice:
+//!
+//! ```text
+//!                Unknown   (top: mixed or unanalyzable origin)
+//!              /    |    \
+//!    SeedDerived Literal External   (definite origins)
+//!              \    |    /
+//!                bottom    (no evidence yet — Option::None)
+//! ```
+//!
+//! [`join`] is the least upper bound: equal values join to themselves,
+//! different definite values to `Unknown`. Evidence-free expressions
+//! (field reads, std calls, consts of other files) evaluate to `Unknown`,
+//! which no rule flags — the pass only reports origins it can prove.
+//!
+//! Two layers:
+//!
+//! - **Intraprocedural** ([`Dataflow::eval_at`]): a single forward walk
+//!   over a fn body tracking `let` bindings and assignments; expression
+//!   evaluation is a flat join over *evidence atoms* (literals, tracked
+//!   locals, parameters, single-literal `const`s, calls with a known
+//!   return provenance, and recognized wall-clock/entropy externals).
+//!   Loops and branches are not joined — the walk is linear, which biases
+//!   toward `Unknown` (safe: fewer findings), never toward a false claim.
+//! - **Interprocedural** ([`Dataflow::compute`]): a fixpoint that
+//!   propagates actual-argument provenance into callee parameters across
+//!   resolved call-graph edges, and function return summaries (the join
+//!   of `return` expressions and the trailing body expression) back into
+//!   call-site evaluation. Parameters no workspace library caller ever
+//!   supplies stay [`Provenance::SeedDerived`] — they are the trusted
+//!   boundary where a real master seed enters. Call sites inside
+//!   `#[cfg(test)]` regions and non-library targets do not propagate:
+//!   tests and binaries may pass fixed seeds by design.
+
+use crate::callgraph::{CallGraph, FnId, Resolution};
+use crate::lexer::TokenKind;
+use crate::source::{SourceFile, TargetKind};
+use std::collections::BTreeMap;
+use std::ops::Range;
+
+/// Abstract origin of a value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Provenance {
+    /// Transitively derived from a seed parameter (or from a fn boundary
+    /// the workspace never crosses — the trusted entry).
+    SeedDerived,
+    /// Derived from hard-coded numeric literals.
+    Literal,
+    /// Derived from a wall-clock / OS-entropy source.
+    External,
+    /// Mixed or unanalyzable origin. Never flagged.
+    Unknown,
+}
+
+/// Least upper bound of two lattice points.
+pub fn join(a: Provenance, b: Provenance) -> Provenance {
+    if a == b {
+        a
+    } else {
+        Provenance::Unknown
+    }
+}
+
+/// Fn names (last path segment, `.`-methods included) whose call result is
+/// wall-clock or OS-entropy derived.
+const EXTERNAL_SOURCES: &[&str] = &[
+    "now",
+    "elapsed",
+    "thread_rng",
+    "random",
+    "from_entropy",
+    "duration_since",
+    "as_nanos",
+    "as_micros",
+    "as_millis",
+    "as_secs",
+];
+
+/// One piece of evidence inside an expression.
+#[derive(Debug, Clone, Copy)]
+struct Atom {
+    provenance: Provenance,
+    /// Did the evidence arrive through a name or call (as opposed to a
+    /// literal spelled right here)? Direct literals are `seed-hygiene`'s
+    /// territory; the provenance rule only fires on indirect evidence.
+    indirect: bool,
+}
+
+/// The result of evaluating one expression.
+#[derive(Debug, Clone, Copy)]
+pub struct EvalOutcome {
+    /// Joined provenance of all evidence (`Unknown` when none).
+    pub provenance: Provenance,
+    /// Was any evidence indirect (a variable, parameter, const, or call)?
+    pub indirect: bool,
+}
+
+/// The computed dataflow facts for a whole workspace.
+#[derive(Debug)]
+pub struct Dataflow {
+    /// Per fn, per parameter: the join of actual-argument provenances
+    /// from every propagating call site (`None` = no such caller).
+    params: Vec<Vec<Option<Provenance>>>,
+    /// Per fn: return-value provenance summary (`None` = no evidence).
+    ret: Vec<Option<Provenance>>,
+    /// Per file: consts bound to a single numeric literal.
+    literal_consts: Vec<BTreeMap<String, ()>>,
+}
+
+/// Iteration cap for the fixpoint. The lattice has height 2 and joins are
+/// monotone, so convergence is fast; the cap is a guard against a bug, not
+/// a tuning knob.
+const MAX_ROUNDS: usize = 10;
+
+impl Dataflow {
+    /// Run the analysis to fixpoint over `files` and its `graph`.
+    pub fn compute(files: &[SourceFile], graph: &CallGraph) -> Self {
+        let literal_consts = files.iter().map(collect_literal_consts).collect();
+        let mut flow = Dataflow {
+            params: graph.fns.iter().map(|d| vec![None; d.params.len()]).collect(),
+            ret: vec![None; graph.fns.len()],
+            literal_consts,
+        };
+        for _ in 0..MAX_ROUNDS {
+            let mut changed = false;
+            for (id, def) in graph.fns.iter().enumerate() {
+                let file = &files[def.file];
+                let propagate = file.kind == TargetKind::Lib && !def.cfg_test;
+                let walk = flow.walk_fn(id, files, graph, def.body_tokens.end);
+                // Return summary: trailing expression + return statements.
+                let ret = flow.ret_summary(id, files, graph, &walk.env);
+                if flow.ret[id] != ret {
+                    flow.ret[id] = ret;
+                    changed = true;
+                }
+                if !propagate {
+                    continue;
+                }
+                // Push actual-arg provenance into callee params.
+                for (call_token, args) in &walk.calls {
+                    let Some(site) = graph.resolution_at(def.file, *call_token) else {
+                        continue;
+                    };
+                    let Resolution::Resolved(targets) = &site.resolution else {
+                        continue;
+                    };
+                    for &target in targets {
+                        let tdef = &graph.fns[target];
+                        // Receiver calls skip the `self` slot.
+                        let offset = usize::from(
+                            site.method_call && tdef.params.first().is_some_and(|p| p == "self"),
+                        );
+                        for (i, outcome) in args.iter().enumerate() {
+                            let slot = i + offset;
+                            if slot >= flow.params[target].len() {
+                                break;
+                            }
+                            let new = match flow.params[target][slot] {
+                                None => Some(outcome.provenance),
+                                Some(old) => Some(join(old, outcome.provenance)),
+                            };
+                            if flow.params[target][slot] != new {
+                                flow.params[target][slot] = new;
+                                changed = true;
+                            }
+                        }
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        flow
+    }
+
+    /// The provenance of parameter `i` of `f`, as seen from inside `f`.
+    /// Parameters without a propagating workspace caller are the trusted
+    /// seed boundary.
+    pub fn param_provenance(&self, f: FnId, i: usize) -> Provenance {
+        self.params
+            .get(f)
+            .and_then(|p| p.get(i))
+            .copied()
+            .flatten()
+            .unwrap_or(Provenance::SeedDerived)
+    }
+
+    /// The return-provenance summary of `f`, if any evidence exists.
+    pub fn ret_provenance(&self, f: FnId) -> Option<Provenance> {
+        self.ret.get(f).copied().flatten()
+    }
+
+    /// Evaluate the expression spanning tokens `range` inside fn `f`,
+    /// with the local environment built by walking the body up to
+    /// `range.start`.
+    pub fn eval_at(
+        &self,
+        f: FnId,
+        files: &[SourceFile],
+        graph: &CallGraph,
+        range: Range<usize>,
+    ) -> EvalOutcome {
+        let walk = self.walk_fn(f, files, graph, range.start);
+        self.eval_range(f, files, graph, &walk.env, range)
+    }
+
+    /// Walk fn `f`'s body up to token `stop`, building the local
+    /// environment and recording evaluated argument lists of every call.
+    fn walk_fn(
+        &self,
+        f: FnId,
+        files: &[SourceFile],
+        graph: &CallGraph,
+        stop: usize,
+    ) -> WalkResult {
+        let def = &graph.fns[f];
+        let file = &files[def.file];
+        let mut env: BTreeMap<String, Atom> = BTreeMap::new();
+        let mut calls: Vec<(usize, Vec<EvalOutcome>)> = Vec::new();
+        let body = def.body_tokens.clone();
+        let stop = stop.min(body.end);
+        let mut i = body.start;
+        while i < stop {
+            let text = file.token_text(i);
+            // `let [mut] name = expr ;` — track simple bindings. Tuple or
+            // struct patterns clear their names to Unknown instead.
+            if text == "let" {
+                if let Some((names, eq)) = let_binding(file, i, body.end) {
+                    let end = expr_end(file, eq + 1, body.end);
+                    if names.len() == 1 {
+                        let outcome =
+                            self.eval_range(f, files, graph, &env, eq + 1..end);
+                        env.insert(
+                            names[0].clone(),
+                            Atom {
+                                provenance: outcome.provenance,
+                                indirect: true,
+                            },
+                        );
+                    } else {
+                        for name in names {
+                            env.insert(
+                                name,
+                                Atom {
+                                    provenance: Provenance::Unknown,
+                                    indirect: true,
+                                },
+                            );
+                        }
+                    }
+                    // Record calls inside the initializer too.
+                    self.record_calls(f, files, graph, &env, i..end, &mut calls);
+                    i = end;
+                    continue;
+                }
+            }
+            // `name = expr ;` / `name op= expr ;` — reassignment of a
+            // tracked local (compound ops join with the old value).
+            if file.tokens()[i].kind == TokenKind::Ident
+                && env.contains_key(text)
+                && i + 1 < stop
+            {
+                let op = file.token_text(i + 1);
+                let compound = matches!(
+                    op,
+                    "+=" | "-=" | "*=" | "/=" | "%=" | "^=" | "&=" | "|=" | "<<=" | ">>="
+                );
+                if (op == "=" || compound)
+                    && (i == body.start || file.token_text(i - 1) != ".")
+                {
+                    let end = expr_end(file, i + 2, body.end);
+                    let outcome = self.eval_range(f, files, graph, &env, i + 2..end);
+                    let name = text.to_string();
+                    let old = env[&name];
+                    let provenance = if compound {
+                        join(old.provenance, outcome.provenance)
+                    } else {
+                        outcome.provenance
+                    };
+                    env.insert(
+                        name,
+                        Atom {
+                            provenance,
+                            indirect: true,
+                        },
+                    );
+                    self.record_calls(f, files, graph, &env, i..end, &mut calls);
+                    i = end;
+                    continue;
+                }
+            }
+            // Any other call site: evaluate its args for propagation.
+            if graph.resolution_at(def.file, i).is_some() {
+                let args = self.call_args(f, files, graph, &env, i);
+                calls.push((i, args));
+            }
+            i += 1;
+        }
+        WalkResult { env, calls }
+    }
+
+    /// Record every resolved call inside `range` (used for initializer
+    /// expressions, whose tokens the main walk skips over).
+    fn record_calls(
+        &self,
+        f: FnId,
+        files: &[SourceFile],
+        graph: &CallGraph,
+        env: &BTreeMap<String, Atom>,
+        range: Range<usize>,
+        out: &mut Vec<(usize, Vec<EvalOutcome>)>,
+    ) {
+        let def = &graph.fns[f];
+        for i in range {
+            if graph.resolution_at(def.file, i).is_some() {
+                let args = self.call_args(f, files, graph, env, i);
+                out.push((i, args));
+            }
+        }
+    }
+
+    /// Evaluate each top-level argument of the call whose name is at
+    /// token `call`.
+    fn call_args(
+        &self,
+        f: FnId,
+        files: &[SourceFile],
+        graph: &CallGraph,
+        env: &BTreeMap<String, Atom>,
+        call: usize,
+    ) -> Vec<EvalOutcome> {
+        let def = &graph.fns[f];
+        let file = &files[def.file];
+        split_args(file, call, def.body_tokens.end)
+            .into_iter()
+            .map(|r| self.eval_range(f, files, graph, env, r))
+            .collect()
+    }
+
+    /// Flat evidence-join evaluation of a token range.
+    fn eval_range(
+        &self,
+        f: FnId,
+        files: &[SourceFile],
+        graph: &CallGraph,
+        env: &BTreeMap<String, Atom>,
+        range: Range<usize>,
+    ) -> EvalOutcome {
+        let def = &graph.fns[f];
+        let file = &files[def.file];
+        let consts = &self.literal_consts[def.file];
+        let mut atoms: Vec<Atom> = Vec::new();
+        for i in range.clone() {
+            let token = &file.tokens()[i];
+            match token.kind {
+                TokenKind::Int | TokenKind::Float => atoms.push(Atom {
+                    provenance: Provenance::Literal,
+                    indirect: false,
+                }),
+                TokenKind::Ident => {
+                    let text = file.token_text(i);
+                    if text == "self" || text == "Self" {
+                        // A receiver reference carries no origin of its
+                        // own; fields read through it are Unknown below.
+                        continue;
+                    }
+                    let after_dot = i > 0 && file.token_text(i - 1) == ".";
+                    if let Some(site) = graph.resolution_at(def.file, i) {
+                        match &site.resolution {
+                            Resolution::Resolved(targets) => {
+                                // Bottom (no summary yet) contributes
+                                // nothing; the fixpoint grows it later.
+                                let mut ret: Option<Provenance> = None;
+                                for &t in targets {
+                                    if let Some(p) = self.ret_provenance(t) {
+                                        ret = Some(match ret {
+                                            None => p,
+                                            Some(old) => join(old, p),
+                                        });
+                                    }
+                                }
+                                if let Some(p) = ret {
+                                    atoms.push(Atom {
+                                        provenance: p,
+                                        indirect: true,
+                                    });
+                                }
+                            }
+                            Resolution::External(name) => {
+                                let last = name
+                                    .rsplit("::")
+                                    .next()
+                                    .unwrap_or(name)
+                                    .trim_start_matches('.');
+                                let provenance = if EXTERNAL_SOURCES.contains(&last) {
+                                    Provenance::External
+                                } else {
+                                    // std / foreign calls: result origin
+                                    // is unanalyzable — poison toward the
+                                    // top so mixing constants inside PRNG
+                                    // step fns never read as "literal".
+                                    Provenance::Unknown
+                                };
+                                atoms.push(Atom {
+                                    provenance,
+                                    indirect: true,
+                                });
+                            }
+                        }
+                    } else if after_dot {
+                        // Field access: unanalyzable origin.
+                        atoms.push(Atom {
+                            provenance: Provenance::Unknown,
+                            indirect: true,
+                        });
+                    } else if let Some(atom) = env.get(text) {
+                        atoms.push(*atom);
+                    } else if let Some(pi) = def.params.iter().position(|p| p == text) {
+                        atoms.push(Atom {
+                            provenance: self.param_provenance(f, pi),
+                            indirect: true,
+                        });
+                    } else if consts.contains_key(text) {
+                        atoms.push(Atom {
+                            provenance: Provenance::Literal,
+                            indirect: true,
+                        });
+                    }
+                    // Types, path segments, unknown names: no evidence.
+                }
+                _ => {}
+            }
+        }
+        let provenance = atoms
+            .iter()
+            .map(|a| a.provenance)
+            .reduce(join)
+            .unwrap_or(Provenance::Unknown);
+        EvalOutcome {
+            provenance,
+            indirect: atoms.iter().any(|a| a.indirect),
+        }
+    }
+
+    /// Return summary of `f`: the join of every `return <expr>;` and the
+    /// trailing expression of the body, evaluated in the end-of-body env.
+    fn ret_summary(
+        &self,
+        f: FnId,
+        files: &[SourceFile],
+        graph: &CallGraph,
+        env: &BTreeMap<String, Atom>,
+    ) -> Option<Provenance> {
+        let def = &graph.fns[f];
+        let file = &files[def.file];
+        let body = def.body_tokens.clone();
+        let mut result: Option<Provenance> = None;
+        let mut merge = |o: EvalOutcome| {
+            if o.provenance != Provenance::Unknown || o.indirect {
+                result = Some(match result {
+                    None => o.provenance,
+                    Some(old) => join(old, o.provenance),
+                });
+            }
+        };
+        // `return` statements anywhere in the body.
+        let mut i = body.start;
+        while i < body.end {
+            if file.token_text(i) == "return" {
+                let end = expr_end(file, i + 1, body.end);
+                if end > i + 1 {
+                    merge(self.eval_range(f, files, graph, env, i + 1..end));
+                }
+                i = end;
+            } else {
+                i += 1;
+            }
+        }
+        // Trailing expression: tokens after the last `;` or block-`}` at
+        // depth 0. `)`/`]` are NOT statement boundaries — a trailing call
+        // expression ends in one (`Instant::now()`), and treating it as a
+        // boundary would push `tail` past the expression it closes.
+        let mut depth = 0i64;
+        let mut tail = body.start;
+        for i in body.clone() {
+            match file.token_text(i) {
+                "{" | "(" | "[" => depth += 1,
+                "}" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        tail = i + 1;
+                    }
+                }
+                ")" | "]" => depth -= 1,
+                ";" if depth == 0 => tail = i + 1,
+                _ => {}
+            }
+        }
+        if tail < body.end {
+            merge(self.eval_range(f, files, graph, env, tail..body.end));
+        }
+        result
+    }
+}
+
+/// The outcome of walking one fn body.
+struct WalkResult {
+    env: BTreeMap<String, Atom>,
+    /// `(call-name token, evaluated args)` for every resolved call seen.
+    calls: Vec<(usize, Vec<EvalOutcome>)>,
+}
+
+/// Parse `let [mut] name [: ty] =` at token `i`; returns the bound names
+/// and the index of the `=` token. `None` when there is no initializer
+/// before the statement ends.
+fn let_binding(file: &SourceFile, i: usize, end: usize) -> Option<(Vec<String>, usize)> {
+    let mut names = Vec::new();
+    let mut j = i + 1;
+    let mut depth = 0i64;
+    while j < end {
+        let text = file.token_text(j);
+        match text {
+            "=" if depth == 0 => {
+                return if names.is_empty() {
+                    None
+                } else {
+                    Some((names, j))
+                }
+            }
+            "==" | ";" => return None,
+            "(" | "[" | "{" | "<" => {
+                depth += 1;
+                j += 1;
+            }
+            ")" | "]" | "}" | ">" => {
+                depth -= 1;
+                j += 1;
+            }
+            ":" if depth == 0 => {
+                // Type ascription: skip to the `=` (or give up at `;`).
+                while j < end && !matches!(file.token_text(j), "=" | ";") {
+                    j += 1;
+                }
+            }
+            "mut" | "ref" | "&" => j += 1,
+            _ => {
+                if file.tokens()[j].kind == TokenKind::Ident && depth >= 0 {
+                    names.push(text.to_string());
+                }
+                j += 1;
+            }
+        }
+    }
+    None
+}
+
+/// Index one past the end of the expression starting at `start`: the
+/// matching `;` (or an unbalanced closer) at depth 0.
+fn expr_end(file: &SourceFile, start: usize, end: usize) -> usize {
+    let mut depth = 0i64;
+    let mut j = start;
+    while j < end {
+        match file.token_text(j) {
+            "(" | "[" | "{" => depth += 1,
+            ")" | "]" | "}" => {
+                if depth == 0 {
+                    return j;
+                }
+                depth -= 1;
+            }
+            ";" if depth == 0 => return j,
+            _ => {}
+        }
+        j += 1;
+    }
+    end
+}
+
+/// Split the argument list of the call whose name is at `call` into
+/// top-level comma-separated token ranges. Commas inside nested
+/// delimiters or closure parameter pipes do not split.
+pub(crate) fn split_args(file: &SourceFile, call: usize, end: usize) -> Vec<Range<usize>> {
+    // Find the opening paren (possibly past a turbofish).
+    let mut open = call + 1;
+    if open < end && file.token_text(open) == "::" {
+        let mut depth = 0i64;
+        open += 1;
+        while open < end {
+            match file.token_text(open) {
+                "<" => depth += 1,
+                "<<" => depth += 2,
+                ">" => depth -= 1,
+                ">>" => depth -= 2,
+                _ => {}
+            }
+            open += 1;
+            if depth <= 0 {
+                break;
+            }
+        }
+    }
+    if open >= end || file.token_text(open) != "(" {
+        return Vec::new();
+    }
+    let mut args = Vec::new();
+    let mut depth = 0i64;
+    let mut in_pipes = false;
+    let mut arg_start = open + 1;
+    let mut j = open;
+    while j < end {
+        match file.token_text(j) {
+            "(" | "[" | "{" => depth += 1,
+            ")" | "]" | "}" => {
+                depth -= 1;
+                if depth == 0 {
+                    if j > arg_start {
+                        args.push(arg_start..j);
+                    }
+                    return args;
+                }
+            }
+            "|" if depth == 1 => in_pipes = !in_pipes,
+            "," if depth == 1 && !in_pipes => {
+                args.push(arg_start..j);
+                arg_start = j + 1;
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    args
+}
+
+/// `const NAME [: ty] = <single numeric literal> ;` anywhere in the file.
+fn collect_literal_consts(file: &SourceFile) -> BTreeMap<String, ()> {
+    let mut consts = BTreeMap::new();
+    let tokens = file.tokens();
+    let mut i = 0;
+    while i + 1 < tokens.len() {
+        if file.token_text(i) == "const" && tokens[i + 1].kind == TokenKind::Ident {
+            let name = file.token_text(i + 1).to_string();
+            // Find `=` before `;`.
+            let mut j = i + 2;
+            while j < tokens.len() && !matches!(file.token_text(j), "=" | ";") {
+                j += 1;
+            }
+            if j < tokens.len() && file.token_text(j) == "=" {
+                let lit = j + 1 < tokens.len()
+                    && matches!(tokens[j + 1].kind, TokenKind::Int | TokenKind::Float)
+                    && j + 2 < tokens.len()
+                    && file.token_text(j + 2) == ";";
+                if lit {
+                    consts.insert(name, ());
+                }
+            }
+        }
+        i += 1;
+    }
+    consts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::callgraph::CallGraph;
+    use crate::source::{SourceFile, TargetKind};
+
+    const P: [Provenance; 4] = [
+        Provenance::SeedDerived,
+        Provenance::Literal,
+        Provenance::External,
+        Provenance::Unknown,
+    ];
+
+    #[test]
+    fn join_is_commutative_idempotent_and_topped() {
+        for a in P {
+            assert_eq!(join(a, a), a, "idempotent");
+            assert_eq!(join(a, Provenance::Unknown), Provenance::Unknown, "top absorbs");
+            for b in P {
+                assert_eq!(join(a, b), join(b, a), "commutative");
+                for c in P {
+                    assert_eq!(join(join(a, b), c), join(a, join(b, c)), "associative");
+                }
+            }
+        }
+    }
+
+    fn workspace(files: &[(&str, &str, &str)]) -> (Vec<SourceFile>, CallGraph, Dataflow) {
+        let sources: Vec<SourceFile> = files
+            .iter()
+            .map(|(path, krate, text)| SourceFile::new(path, krate, TargetKind::Lib, text))
+            .collect();
+        let graph = CallGraph::build(&sources);
+        let flow = Dataflow::compute(&sources, &graph);
+        (sources, graph, flow)
+    }
+
+    #[test]
+    fn literal_args_propagate_through_two_calls() {
+        let (_, g, flow) = workspace(&[(
+            "crates/sim/src/lib.rs",
+            "sim",
+            "pub fn a() { b(0xDEAD_BEEF); }\n\
+             pub fn b(s: u64) { c(s); }\n\
+             pub fn c(s: u64) { consume(s); }\n\
+             pub fn consume(s: u64) -> u64 { s }\n",
+        )]);
+        let c = g.find_fns(None, "c")[0];
+        assert_eq!(flow.param_provenance(c, 0), Provenance::Literal);
+    }
+
+    #[test]
+    fn uncalled_params_are_the_trusted_seed_boundary() {
+        let (_, g, flow) = workspace(&[(
+            "crates/sim/src/lib.rs",
+            "sim",
+            "pub fn entry(seed: u64) -> u64 { seed }\n",
+        )]);
+        let entry = g.find_fns(None, "entry")[0];
+        assert_eq!(flow.param_provenance(entry, 0), Provenance::SeedDerived);
+    }
+
+    #[test]
+    fn mixed_callers_join_to_unknown() {
+        let (_, g, flow) = workspace(&[(
+            "crates/sim/src/lib.rs",
+            "sim",
+            "pub fn lit() { sink(7); }\n\
+             pub fn seeded(s: u64) { sink(s); }\n\
+             pub fn sink(x: u64) -> u64 { x }\n",
+        )]);
+        // `seeded` itself is uncalled, so its param is SeedDerived;
+        // sink then sees Literal from one caller and SeedDerived from
+        // the other.
+        let sink = g.find_fns(None, "sink")[0];
+        assert_eq!(flow.param_provenance(sink, 0), Provenance::Unknown);
+    }
+
+    #[test]
+    fn cfg_test_callers_do_not_propagate() {
+        let (_, g, flow) = workspace(&[(
+            "crates/sim/src/lib.rs",
+            "sim",
+            "pub fn sink(x: u64) -> u64 { x }\n\
+             #[cfg(test)]\nmod tests {\n    fn t() { super::sink(42); }\n}\n",
+        )]);
+        let sink = g.find_fns(None, "sink")[0];
+        assert_eq!(flow.param_provenance(sink, 0), Provenance::SeedDerived);
+    }
+
+    #[test]
+    fn let_bindings_carry_provenance_to_eval() {
+        let (files, g, flow) = workspace(&[(
+            "crates/sim/src/lib.rs",
+            "sim",
+            "pub fn f() -> u64 { let x = 3; let y = x; y }\n",
+        )]);
+        let f = g.find_fns(None, "f")[0];
+        assert_eq!(flow.ret_provenance(f), Some(Provenance::Literal));
+        let file = &files[0];
+        // Evaluate the trailing `y` expression directly.
+        let y_token = (0..file.tokens().len())
+            .rev()
+            .find(|&i| file.token_text(i) == "y")
+            .expect("fixture");
+        let out = flow.eval_at(f, &files, &g, y_token..y_token + 1);
+        assert_eq!(out.provenance, Provenance::Literal);
+        assert!(out.indirect);
+    }
+
+    #[test]
+    fn return_summaries_feed_call_sites() {
+        let (_, g, flow) = workspace(&[(
+            "crates/sim/src/lib.rs",
+            "sim",
+            "pub fn default_seed() -> u64 { 0xC0FFEE }\n\
+             pub fn f() { sink(default_seed()); }\n\
+             pub fn sink(x: u64) -> u64 { x }\n",
+        )]);
+        let default_seed = g.find_fns(None, "default_seed")[0];
+        assert_eq!(flow.ret_provenance(default_seed), Some(Provenance::Literal));
+        let sink = g.find_fns(None, "sink")[0];
+        assert_eq!(flow.param_provenance(sink, 0), Provenance::Literal);
+    }
+
+    #[test]
+    fn external_sources_taint_expressions() {
+        let (files, g, flow) = workspace(&[(
+            "crates/sim/src/lib.rs",
+            "sim",
+            "pub fn f() { let t = std::time::Instant::now(); consume(t); }\n\
+             pub fn consume(x: u64) -> u64 { x }\n",
+        )]);
+        let consume = g.find_fns(None, "consume")[0];
+        assert_eq!(flow.param_provenance(consume, 0), Provenance::External);
+        let _ = files;
+    }
+
+    #[test]
+    fn field_reads_are_unknown_not_flagged() {
+        let (_, g, flow) = workspace(&[(
+            "crates/sim/src/lib.rs",
+            "sim",
+            "pub struct S { seed: u64 }\n\
+             impl S {\n    pub fn go(&self) { sink(self.seed); }\n}\n\
+             pub fn sink(x: u64) -> u64 { x }\n",
+        )]);
+        let sink = g.find_fns(None, "sink")[0];
+        assert_eq!(flow.param_provenance(sink, 0), Provenance::Unknown);
+    }
+
+    #[test]
+    fn literal_consts_count_as_indirect_literal_evidence() {
+        let (_, g, flow) = workspace(&[(
+            "crates/sim/src/lib.rs",
+            "sim",
+            "const FIXED: u64 = 0xABCD;\n\
+             pub fn f() { sink(FIXED); }\n\
+             pub fn sink(x: u64) -> u64 { x }\n",
+        )]);
+        let sink = g.find_fns(None, "sink")[0];
+        assert_eq!(flow.param_provenance(sink, 0), Provenance::Literal);
+    }
+}

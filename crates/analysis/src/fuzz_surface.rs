@@ -1,0 +1,167 @@
+//! Must-not-panic entry points for the fuzzed analysis front-end.
+//!
+//! The out-of-tree cargo-fuzz targets under `fuzz/fuzz_targets/` are thin
+//! wrappers around these functions, and the in-tree
+//! `tests/fuzz_smoke.rs` drives the same bodies over the seed corpora
+//! plus deterministic mutations — so the invariants are exercised on
+//! every `cargo test` even on hosts without `cargo-fuzz`, and a panic
+//! found by the fuzzer reproduces as a plain unit-test call.
+//!
+//! Each body takes raw fuzzer bytes. Inputs that are not UTF-8 are
+//! ignored (the scanner rejects non-UTF-8 files before any of this code
+//! runs, so feeding the front-end invalid UTF-8 would fuzz a state the
+//! pipeline cannot reach).
+//!
+//! Invariants enforced:
+//! * masking is length- and UTF-8-preserving (only byte→space rewrites);
+//! * `mask → lex → reserialize` reproduces the masked text byte-for-byte
+//!   (no token drops a byte, invents one, or misplaces a span);
+//! * the scope tree's brace matching yields well-formed ranges on
+//!   arbitrary input: every byte range lies inside the file, every child
+//!   range nests inside its parent, and `chain_at` returns scopes that
+//!   actually contain the queried offset;
+//! * `Allowlist::parse` returns `Ok` or `Err` but never panics.
+
+use crate::allowlist::Allowlist;
+use crate::lexer::{lex, reserialize};
+use crate::mask::mask_source;
+use crate::source::{SourceFile, TargetKind};
+
+/// Fuzz body: mask → lex → `reserialize` round-trip.
+pub fn lex_round_trip(data: &[u8]) {
+    let Ok(src) = std::str::from_utf8(data) else {
+        return;
+    };
+    let masked_bytes = mask_source(src);
+    assert_eq!(
+        masked_bytes.len(),
+        src.len(),
+        "masking changed the byte length"
+    );
+    let masked = String::from_utf8(masked_bytes)
+        .expect("masking must keep UTF-8 input UTF-8"); // analysis:allow(unwrap): a fuzz body aborts loudly on violation — the panic IS the oracle
+    let tokens = lex(&masked);
+    let back = reserialize(&tokens, &masked);
+    assert_eq!(
+        back,
+        masked.as_bytes(),
+        "token stream does not reserialize to the masked source"
+    );
+    // Spans must be in order and disjoint — reserialize would already
+    // scramble on overlap, but check directly for a sharper failure.
+    for pair in tokens.windows(2) {
+        assert!(
+            pair[0].end <= pair[1].start,
+            "token spans overlap or regress: {}..{} then {}..{}",
+            pair[0].start,
+            pair[0].end,
+            pair[1].start,
+            pair[1].end
+        );
+    }
+}
+
+/// Fuzz body: scope-tree brace matching on arbitrary (possibly
+/// unbalanced) input.
+pub fn scope_tree(data: &[u8]) {
+    let Ok(src) = std::str::from_utf8(data) else {
+        return;
+    };
+    let file = SourceFile::new("fuzz/input.rs", "sim", TargetKind::Lib, src);
+    let len = file.masked().len();
+    let scopes = &file.scopes().scopes;
+    for (i, scope) in scopes.iter().enumerate() {
+        assert!(
+            scope.byte_range.start <= scope.byte_range.end && scope.byte_range.end <= len,
+            "scope {i} has byte range {:?} outside the {len}-byte file",
+            scope.byte_range
+        );
+        assert!(
+            scope.lines.start <= scope.lines.end,
+            "scope {i} has inverted line range {:?}",
+            scope.lines
+        );
+        if let Some(parent) = scope.parent {
+            assert!(parent < i, "scope {i} points at a later parent {parent}");
+            let p = &scopes[parent].byte_range;
+            assert!(
+                p.start <= scope.byte_range.start && scope.byte_range.end <= p.end,
+                "scope {i} {:?} escapes its parent {parent} {:?}",
+                scope.byte_range,
+                p
+            );
+        }
+    }
+    // chain_at must agree with the ranges it reports.
+    for offset in [0, len / 2, len.saturating_sub(1)] {
+        for idx in file.scopes().chain_at(offset) {
+            assert!(
+                scopes[idx].byte_range.contains(&offset),
+                "chain_at({offset}) returned scope {idx} with range {:?}",
+                scopes[idx].byte_range
+            );
+        }
+    }
+    // Derived queries must hold up too (these walk the same structures).
+    for line in 1..=file.line_count() {
+        let _ = file.in_test_region(line);
+    }
+    let _ = file.scopes().enclosing_fn(len / 2);
+    let _ = file.scopes().describe(len / 2);
+}
+
+/// Fuzz body: `analysis.toml` parsing never panics.
+pub fn allowlist_parse(data: &[u8]) {
+    let Ok(src) = std::str::from_utf8(data) else {
+        return;
+    };
+    match Allowlist::parse(src) {
+        Ok(list) => {
+            // Parsed entries satisfy the parser's own contract.
+            for entry in &list.entries {
+                assert!(
+                    entry.justification.trim().len() >= crate::allowlist::MIN_JUSTIFICATION,
+                    "parser accepted an under-justified entry"
+                );
+                assert!(entry.defined_at >= 1, "entry line numbers are 1-based");
+            }
+        }
+        Err(msg) => assert!(
+            msg.contains("analysis.toml"),
+            "parse errors must point into the file: {msg}"
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bodies_accept_ordinary_rust() {
+        let src = b"pub fn f(x: u64) -> u64 { x * 2 } // comment\n";
+        lex_round_trip(src);
+        scope_tree(src);
+    }
+
+    #[test]
+    fn bodies_ignore_non_utf8() {
+        lex_round_trip(&[0xFF, 0xFE, b'f', b'n']);
+        scope_tree(&[0xFF, 0xFE, b'{']);
+        allowlist_parse(&[0xC0, 0x80]);
+    }
+
+    #[test]
+    fn unbalanced_braces_do_not_panic() {
+        scope_tree(b"}}}{{{fn f( {\n");
+        scope_tree(b"impl { impl { fn");
+        lex_round_trip(b"\"unterminated string\n'x }");
+    }
+
+    #[test]
+    fn allowlist_parse_handles_garbage() {
+        allowlist_parse(b"[[allow]]\nrule = \"unwrap\"\n= = =\n");
+        allowlist_parse(b"rule before any table\n");
+        allowlist_parse("[[allow]]\nrule = \"unwrap\"\npath = \"x\"\njustification = \"long enough to pass the bar\"\n".as_bytes());
+    }
+}

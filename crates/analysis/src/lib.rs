@@ -41,6 +41,9 @@
 #![warn(missing_docs)]
 
 pub mod allowlist;
+pub mod callgraph;
+pub mod dataflow;
+pub mod fuzz_surface;
 pub mod json;
 pub mod lexer;
 pub mod mask;
@@ -51,10 +54,12 @@ pub mod source;
 pub mod suppress;
 
 pub use allowlist::{AllowEntry, Allowlist, MIN_JUSTIFICATION};
+pub use callgraph::CallGraph;
+pub use dataflow::{Dataflow, Provenance};
 pub use output::{render_json, render_sarif, render_text};
 pub use rules::{
-    check_file, check_workspace_registry, Finding, RuleId, ALL_RULES, DETERMINISM_CRATES,
-    REGISTRY_PATH,
+    check_file, check_fold_order, check_kernel_parity, check_seed_provenance,
+    check_workspace_registry, Finding, RuleId, ALL_RULES, DETERMINISM_CRATES, REGISTRY_PATH,
 };
 pub use source::{SourceFile, TargetKind};
 
@@ -102,6 +107,10 @@ pub struct Report {
     pub suppressed: usize,
     /// Findings suppressed by inline `// analysis:allow` comments.
     pub suppressed_inline: usize,
+    /// The workspace call graph the v3 rules ran over (empty for per-file
+    /// scans that never built one). Dumped by `--dump-callgraph` and
+    /// embedded in `--format json` output.
+    pub callgraph: CallGraph,
 }
 
 impl Report {
@@ -150,18 +159,35 @@ pub fn scan_workspace_with(root: &Path, allowlist: &Allowlist) -> Result<Report,
     let tests = tests_corpus(root)?;
     findings.extend(check_workspace_registry(&files, &tests));
 
+    // 4. The v3 whole-program rules: build the call graph once, run the
+    //    provenance fixpoint over it, then the three graph-backed rules.
+    let graph = CallGraph::build(&files);
+    let flow = Dataflow::compute(&files, &graph);
+    findings.extend(check_seed_provenance(&files, &graph, &flow));
+    findings.extend(check_kernel_parity(&files, &graph, &tests));
+    findings.extend(check_fold_order(&files, &graph));
+
     findings.sort_by(|a, b| a.path.cmp(&b.path).then(a.line.cmp(&b.line)));
 
-    // 4. Suppression layers: inline allows first (closest to the code),
-    //    then analysis.toml. Each reports its own stale entries.
+    // 5. Suppression layers: inline allows first (closest to the code),
+    //    then analysis.toml. Each reports its own stale entries; the
+    //    allowlist additionally checks entry paths against every file the
+    //    scan actually saw, so entries for renamed or deleted files are
+    //    called out explicitly rather than lingering as generic debt.
+    let known_paths: std::collections::BTreeSet<String> = files
+        .iter()
+        .chain(tests.iter())
+        .map(|f| f.rel_path.clone())
+        .collect();
     let (findings, suppressed_inline) = suppress::apply_inline(&files, findings);
-    let (mut findings, suppressed) = allowlist.apply(findings);
+    let (mut findings, suppressed) = allowlist.apply(findings, &known_paths);
     findings.sort_by(|a, b| a.path.cmp(&b.path).then(a.line.cmp(&b.line)));
     Ok(Report {
         findings,
         files_scanned,
         suppressed,
         suppressed_inline,
+        callgraph: graph,
     })
 }
 

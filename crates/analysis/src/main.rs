@@ -6,6 +6,7 @@
 //! cargo run -p rfid-analysis -- --format sarif    # SARIF 2.1.0 to stdout (CI)
 //! cargo run -p rfid-analysis -- --explain unwrap  # rationale + compliant pattern
 //! cargo run -p rfid-analysis -- --list-rules      # print the rule set
+//! cargo run -p rfid-analysis -- --dump-callgraph  # workspace call graph as JSON
 //! ```
 //!
 //! Exit codes: `0` clean, `1` findings reported, `2` usage, I/O, or
@@ -19,12 +20,15 @@ const USAGE: &str = "\
 rfid-analysis — workspace determinism linter (see ANALYSIS.md)
 
 USAGE:
-  rfid-analysis [--root DIR] [--format text|json|sarif] [--list-rules] [--explain RULE]
+  rfid-analysis [--root DIR] [--format text|json|sarif] [--dump-callgraph]
+                [--list-rules] [--explain RULE]
 
-  --root DIR     workspace root to scan (default: this workspace)
-  --format KIND  output format: text (default), json, or sarif (SARIF 2.1.0)
-  --explain RULE print a rule's rationale and compliant pattern, then exit
-  --list-rules   print the rule set and exit
+  --root DIR       workspace root to scan (default: this workspace)
+  --format KIND    output format: text (default), json, or sarif (SARIF 2.1.0)
+  --dump-callgraph print the workspace call graph as JSON and exit 0
+                   (findings are not reported in this mode)
+  --explain RULE   print a rule's rationale and compliant pattern, then exit
+  --list-rules     print the rule set and exit
 ";
 
 /// Output format selected by `--format`.
@@ -39,6 +43,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut root: Option<PathBuf> = None;
     let mut format = Format::Text;
+    let mut dump_callgraph = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -73,6 +78,10 @@ fn main() -> ExitCode {
                 };
                 return explain(value);
             }
+            "--dump-callgraph" => {
+                dump_callgraph = true;
+                i += 1;
+            }
             "--list-rules" => {
                 list_rules();
                 return ExitCode::SUCCESS;
@@ -95,6 +104,10 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    if dump_callgraph {
+        println!("{}", report.callgraph.to_json().write());
+        return ExitCode::SUCCESS;
+    }
     match format {
         Format::Text => print!("{}", render_text(&report)),
         Format::Json => println!("{}", render_json(&report)),

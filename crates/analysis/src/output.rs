@@ -61,6 +61,7 @@ pub fn render_json(report: &Report) -> String {
         ("suppressed".into(), Value::int(report.suppressed)),
         ("suppressed_inline".into(), Value::int(report.suppressed_inline)),
         ("findings".into(), Value::Arr(findings)),
+        ("callgraph".into(), report.callgraph.to_json()),
     ])
     .write()
 }
@@ -170,6 +171,7 @@ mod tests {
             files_scanned: 3,
             suppressed: 2,
             suppressed_inline: 1,
+            callgraph: crate::callgraph::CallGraph::default(),
         }
     }
 

@@ -1,0 +1,214 @@
+//! Rule `fold-order`: parallel fold closures may not *call into*
+//! order-sensitive float accumulation.
+//!
+//! `float-reduction` (v2) catches `+=`/`.sum()` over floats written
+//! directly inside a `par_fold`-family closure. It is blind to the same
+//! accumulation hidden one call away: a closure that calls
+//! `merge_stats(acc, x)` where the merge does `acc.mean += …` is exactly
+//! as chunking-dependent, but no float op appears in the closure's text.
+//! This rule closes that hole with the call graph: it computes the set of
+//! workspace fns from which a *float reducer* (a fn whose signature
+//! mentions `f64`/`f32` and whose body accumulates with `+=`/`.sum()`) is
+//! reachable, then flags every resolved call site inside a
+//! `par_fold`/`par_fold_with_threads`/`scope` argument region whose
+//! callee lands in that set. Sites with a genuine order-insensitivity
+//! argument carry an inline `// analysis:allow(fold-order): reason`.
+
+use super::{is_determinism_scope, push, Finding, RuleId};
+use crate::callgraph::CallGraph;
+use crate::source::SourceFile;
+use std::collections::BTreeSet;
+
+/// The fork/join entry points whose argument regions are scanned.
+const FOLD_CALLEES: &[&str] = &["par_fold", "par_fold_with_threads", "scope"];
+
+/// Run the rule over every parallel-fold region in determinism-scoped
+/// files.
+pub fn check_fold_order(files: &[SourceFile], graph: &CallGraph) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let tainted = reducer_closure(files, graph);
+    if tainted.is_empty() {
+        return findings;
+    }
+    for site in &graph.calls {
+        // Method calls are resolved by name over every workspace impl —
+        // too over-approximated to flag on (documented limit); the fold
+        // entry points themselves always sit inside their own argument
+        // region and are the machinery, not a reducer call.
+        if site.method_call || FOLD_CALLEES.contains(&site.name.as_str()) {
+            continue;
+        }
+        let crate::callgraph::Resolution::Resolved(targets) = &site.resolution else {
+            continue;
+        };
+        if !targets.iter().any(|t| tainted.contains(t)) {
+            continue;
+        }
+        let file = &files[site.file];
+        if !is_determinism_scope(file) || file.in_test_region(site.line) {
+            continue;
+        }
+        let in_fold_region = file
+            .call_regions(FOLD_CALLEES)
+            .iter()
+            .any(|r| r.contains(&site.line));
+        if !in_fold_region {
+            continue;
+        }
+        push(
+            findings.as_mut(),
+            file,
+            RuleId::FoldOrder,
+            site.line,
+            format!(
+                "`{}` is called inside a parallel fold and transitively performs \
+                 order-sensitive float accumulation; f64 addition is not associative, so the \
+                 result depends on chunking — collect records and reduce sequentially, or \
+                 justify with an inline allow",
+                site.name,
+            ),
+        );
+    }
+    findings.sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
+    findings.dedup_by(|a, b| a.path == b.path && a.line == b.line && a.message == b.message);
+    findings
+}
+
+/// Fn ids from which a direct float reducer is reachable (including the
+/// reducers themselves): the reverse transitive closure over resolved
+/// **non-method** call edges. Method edges are the name-keyed
+/// over-approximation; propagating taint through them floods the set with
+/// every caller of `push`/`map`/`merge`-shaped names.
+fn reducer_closure(files: &[SourceFile], graph: &CallGraph) -> BTreeSet<usize> {
+    let mut tainted: BTreeSet<usize> = graph
+        .fns
+        .iter()
+        .enumerate()
+        .filter(|(_, d)| is_float_reducer(&files[d.file], d))
+        .map(|(i, _)| i)
+        .collect();
+    loop {
+        let mut grew = false;
+        for site in &graph.calls {
+            if site.method_call {
+                continue;
+            }
+            let crate::callgraph::Resolution::Resolved(targets) = &site.resolution else {
+                continue;
+            };
+            if targets.iter().any(|t| tainted.contains(t)) && tainted.insert(site.caller) {
+                grew = true;
+            }
+        }
+        if !grew {
+            break;
+        }
+    }
+    tainted
+}
+
+/// Direct reducer: the fn's header names a float type and its body
+/// accumulates (`+=`, `.sum()`, `.product()`). Judged over masked lines,
+/// mirroring `float-reduction`'s heuristic.
+fn is_float_reducer(file: &SourceFile, def: &crate::callgraph::FnDef) -> bool {
+    let tokens = file.tokens();
+    if def.body_tokens.is_empty() {
+        return false;
+    }
+    let floaty_header = def
+        .header_tokens
+        .clone()
+        .any(|i| matches!(file.token_text(i), "f64" | "f32"));
+    if !floaty_header {
+        return false;
+    }
+    let first_line = tokens[def.body_tokens.start].line;
+    let last_line = tokens[def.body_tokens.end - 1].line;
+    (first_line..=last_line).any(|line| {
+        let masked = file.masked_line(line);
+        masked.contains("+=")
+            || masked.contains(".sum()")
+            || masked.contains(".sum::<f")
+            || masked.contains(".product()")
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::callgraph::CallGraph;
+    use crate::source::{SourceFile, TargetKind};
+
+    fn run(text: &str) -> Vec<Finding> {
+        let files = vec![SourceFile::new(
+            "crates/sim/src/lib.rs",
+            "sim",
+            TargetKind::Lib,
+            text,
+        )];
+        let graph = CallGraph::build(&files);
+        check_fold_order(&files, &graph)
+    }
+
+    const REDUCER: &str = "pub fn merge(acc: &mut f64, x: f64) {\n    *acc += x;\n}\n";
+
+    #[test]
+    fn reducer_called_in_fold_closure_fires() {
+        let found = run(&format!(
+            "{REDUCER}pub fn drive(xs: &[f64]) {{\n    par_fold(xs, |acc, x| {{\n        merge(acc, *x);\n    }});\n}}\n"
+        ));
+        assert_eq!(found.len(), 1, "{found:?}");
+        assert_eq!(found[0].rule, RuleId::FoldOrder);
+        assert!(found[0].message.contains("`merge`"), "{}", found[0].message);
+    }
+
+    #[test]
+    fn reducer_two_calls_deep_fires() {
+        let found = run(&format!(
+            "{REDUCER}pub fn shim(acc: &mut f64, x: f64) {{ merge(acc, x); }}\n\
+             pub fn drive(xs: &[f64]) {{\n    par_fold(xs, |acc, x| {{\n        shim(acc, *x);\n    }});\n}}\n"
+        ));
+        assert_eq!(found.len(), 1, "{found:?}");
+        assert!(found[0].message.contains("`shim`"), "{}", found[0].message);
+    }
+
+    #[test]
+    fn integer_accumulation_passes() {
+        let found = run(
+            "pub fn bump(acc: &mut u64) { *acc += 1; }\n\
+             pub fn drive(xs: &[u64]) {\n    par_fold(xs, |acc, _x| {\n        bump(acc);\n    });\n}\n",
+        );
+        assert!(found.is_empty(), "u64 += is order-safe: {found:?}");
+    }
+
+    #[test]
+    fn reducer_called_outside_a_fold_passes() {
+        let found = run(&format!(
+            "{REDUCER}pub fn sequential(xs: &[f64]) -> f64 {{\n    let mut acc = 0.0;\n    for x in xs {{ merge(&mut acc, *x); }}\n    acc\n}}\n"
+        ));
+        assert!(found.is_empty(), "sequential reduction is fine: {found:?}");
+    }
+
+    #[test]
+    fn float_fn_without_accumulation_passes() {
+        let found = run(
+            "pub fn scale(x: f64) -> f64 { x * 2.0 }\n\
+             pub fn drive(xs: &[f64]) {\n    par_fold(xs, |acc, x| {\n        scale(*x);\n    });\n}\n",
+        );
+        assert!(found.is_empty(), "pure float math is order-free: {found:?}");
+    }
+
+    #[test]
+    fn non_determinism_crates_pass() {
+        let files = vec![SourceFile::new(
+            "crates/bench/src/lib.rs",
+            "bench",
+            TargetKind::Lib,
+            "pub fn merge(acc: &mut f64, x: f64) { *acc += x; }\n\
+             pub fn drive(xs: &[f64]) {\n    par_fold(xs, |acc, x| {\n        merge(acc, *x);\n    });\n}\n",
+        )];
+        let graph = CallGraph::build(&files);
+        let found = check_fold_order(&files, &graph);
+        assert!(found.is_empty(), "{found:?}");
+    }
+}

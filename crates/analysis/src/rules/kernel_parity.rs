@@ -1,0 +1,282 @@
+//! Rule `kernel-parity`: batched kernels must stay provably equivalent to
+//! a scalar reference.
+//!
+//! PR 4/PR 7 introduced a family of batched fill kernels (`fill_chunk`
+//! overrides, `*_batch`/`*_batched` siblings, `fill_*` buffer fills)
+//! dispatched from [`RfidSystem`]. The repo's convention — every such
+//! kernel has a scalar reference sibling and an equivalence proptest under
+//! `crates/*/tests/` — was enforced only by authors remembering to write
+//! the test. This rule walks the call graph instead: every kernel-shaped
+//! `fn` *reachable from `RfidSystem` dispatch* must
+//!
+//! 1. have a scalar sibling (`responses` on the same type for plan
+//!    kernels, `next_<x>` for `fill_<x>` buffer fills, the suffix-stripped
+//!    name for `*_batch`/`*_batched`), and
+//! 2. be named — directly or via its impl type — in a proptest file under
+//!    some crate's `tests/` directory.
+//!
+//! Kernel-shaped means: matching name pattern *and* a `mut` somewhere in
+//! the parameter list (kernels write into a sink, buffer, or their own
+//! state) — this keeps policy getters like `fill_dispatch()` and
+//! predicates like `use_batched()` out of scope. Trait-default methods are
+//! exempt (the default `fill_chunk` *is* the scalar reference), as are
+//! `#[cfg(test)]` and `#[doc(hidden)]` fns (the latter is the documented
+//! opt-out for deprecated kernels kept only for benchmark comparisons).
+
+use super::{push, Finding, RuleId};
+use crate::callgraph::CallGraph;
+use crate::source::{SourceFile, TargetKind};
+
+/// The dispatch root: kernels are checked only if reachable from here.
+const DISPATCH_TYPE: &str = "RfidSystem";
+
+/// Run the rule. `tests` is the integration-test corpus (crate `tests/`
+/// directories plus the workspace-root `tests/`).
+pub fn check_kernel_parity(
+    files: &[SourceFile],
+    graph: &CallGraph,
+    tests: &[SourceFile],
+) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let seeds: Vec<usize> = graph
+        .fns
+        .iter()
+        .enumerate()
+        .filter(|(_, d)| d.self_type.as_deref() == Some(DISPATCH_TYPE))
+        .map(|(i, _)| i)
+        .collect();
+    if seeds.is_empty() {
+        return findings;
+    }
+    for f in graph.reachable_from(&seeds) {
+        let def = &graph.fns[f];
+        let file = &files[def.file];
+        if file.kind != TargetKind::Lib || def.cfg_test || def.doc_hidden {
+            continue;
+        }
+        // Trait-default methods are the scalar reference, not a kernel.
+        if def.self_type.is_none() && def.trait_name.is_some() {
+            continue;
+        }
+        if !kernel_shaped(file, def) {
+            continue;
+        }
+        let self_type = def.self_type.as_deref();
+        if !has_scalar_sibling(graph, self_type, &def.name) {
+            push(
+                findings.as_mut(),
+                file,
+                RuleId::KernelParity,
+                def.line,
+                format!(
+                    "batched kernel `{}` reachable from {DISPATCH_TYPE} dispatch has no \
+                     scalar reference sibling ({}); add one or mark the kernel \
+                     #[doc(hidden)] with a justification",
+                    def.qualified_name(),
+                    expected_sibling(self_type, &def.name),
+                ),
+            );
+        }
+        if !has_proptest_evidence(tests, self_type, &def.name) {
+            push(
+                findings.as_mut(),
+                file,
+                RuleId::KernelParity,
+                def.line,
+                format!(
+                    "batched kernel `{}` reachable from {DISPATCH_TYPE} dispatch appears in \
+                     no equivalence proptest under crates/*/tests/; add a proptest asserting \
+                     it matches its scalar reference",
+                    def.qualified_name(),
+                ),
+            );
+        }
+    }
+    findings.sort_by(|a, b| (&a.path, a.line, &a.message).cmp(&(&b.path, b.line, &b.message)));
+    findings
+}
+
+/// Does `def` look like a batched kernel? Name pattern plus a `mut` in the
+/// parameter list (kernels write into something).
+fn kernel_shaped(file: &SourceFile, def: &crate::callgraph::FnDef) -> bool {
+    let name = def.name.as_str();
+    let named_like_one = name == "fill_chunk"
+        || name.starts_with("fill_")
+        || name.ends_with("_batched")
+        || name.ends_with("_batch");
+    named_like_one
+        && def
+            .header_tokens
+            .clone()
+            .any(|i| file.token_text(i) == "mut")
+}
+
+/// Is the scalar sibling defined somewhere in the workspace?
+fn has_scalar_sibling(graph: &CallGraph, self_type: Option<&str>, name: &str) -> bool {
+    if name == "fill_chunk" {
+        return !graph.find_fns(self_type, "responses").is_empty();
+    }
+    if let Some(base) = name.strip_suffix("_batched").or_else(|| name.strip_suffix("_batch")) {
+        return !graph.find_fns(self_type, base).is_empty();
+    }
+    if let Some(rest) = name.strip_prefix("fill_") {
+        let next = format!("next_{rest}");
+        return !graph.find_fns(self_type, &next).is_empty()
+            || (self_type.is_some() && !graph.find_fns(self_type, "responses").is_empty());
+    }
+    true
+}
+
+/// Human-readable description of what sibling the rule expected.
+fn expected_sibling(self_type: Option<&str>, name: &str) -> String {
+    if name == "fill_chunk" {
+        return "a `responses` method on the same type".to_string();
+    }
+    if let Some(base) = name.strip_suffix("_batched").or_else(|| name.strip_suffix("_batch")) {
+        return format!("`{base}`");
+    }
+    if let Some(rest) = name.strip_prefix("fill_") {
+        let on = self_type.map(|t| format!(" on `{t}`")).unwrap_or_default();
+        return format!("`next_{rest}` or `responses`{on}");
+    }
+    "a scalar twin".to_string()
+}
+
+/// Does any crate-level proptest file name the kernel or its impl type?
+/// The workspace-root `tests/` corpus deliberately does not count: the
+/// convention places equivalence proptests next to the kernel's crate.
+fn has_proptest_evidence(
+    tests: &[SourceFile],
+    self_type: Option<&str>,
+    name: &str,
+) -> bool {
+    tests.iter().any(|t| {
+        t.rel_path.starts_with("crates/")
+            && t.mentions_ident("proptest")
+            && (t.mentions_ident(name) || self_type.is_some_and(|ty| t.mentions_ident(ty)))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::callgraph::CallGraph;
+    use crate::source::{SourceFile, TargetKind};
+
+    const DISPATCH: &str = "pub struct RfidSystem;\n\
+         impl RfidSystem {\n    pub fn run(&self, p: &Plan, sink: &mut Sink) { p.fill_chunk(sink); }\n}\n";
+
+    fn run(lib: &str, tests_src: &[(&str, &str)]) -> Vec<Finding> {
+        let files = vec![
+            SourceFile::new("crates/sim/src/lib.rs", "sim", TargetKind::Lib, DISPATCH),
+            SourceFile::new("crates/core/src/lib.rs", "core", TargetKind::Lib, lib),
+        ];
+        let graph = CallGraph::build(&files);
+        let tests: Vec<SourceFile> = tests_src
+            .iter()
+            .map(|(p, c)| SourceFile::new(p, "core", TargetKind::Bin, c))
+            .collect();
+        check_kernel_parity(&files, &graph, &tests)
+    }
+
+    const PLAN_WITH_SIBLING: &str = "pub struct Plan;\n\
+         impl Plan {\n\
+             pub fn responses(&self, out: &mut Vec<usize>) { out.push(0); }\n\
+             pub fn fill_chunk(&self, sink: &mut Sink) { sink.record(0); }\n\
+         }\n";
+
+    #[test]
+    fn covered_kernel_passes() {
+        let found = run(
+            PLAN_WITH_SIBLING,
+            &[(
+                "crates/core/tests/proptests.rs",
+                "use proptest::prelude::*;\nfn t() { let p = Plan; }\n",
+            )],
+        );
+        assert!(found.is_empty(), "{found:?}");
+    }
+
+    #[test]
+    fn deleting_the_proptest_fires() {
+        let found = run(PLAN_WITH_SIBLING, &[]);
+        assert_eq!(found.len(), 1, "{found:?}");
+        assert!(found[0].message.contains("no equivalence proptest"), "{}", found[0].message);
+    }
+
+    #[test]
+    fn root_tests_do_not_count_as_evidence() {
+        let found = run(
+            PLAN_WITH_SIBLING,
+            &[(
+                "tests/conformance.rs",
+                "use proptest::prelude::*;\nfn t() { let p = Plan; }\n",
+            )],
+        );
+        assert_eq!(found.len(), 1, "{found:?}");
+    }
+
+    #[test]
+    fn missing_scalar_sibling_fires() {
+        let found = run(
+            "pub struct Plan;\n\
+             impl Plan {\n    pub fn fill_chunk(&self, sink: &mut Sink) { sink.record(0); }\n}\n",
+            &[(
+                "crates/core/tests/proptests.rs",
+                "use proptest::prelude::*;\nfn t() { let p = Plan; }\n",
+            )],
+        );
+        assert_eq!(found.len(), 1, "{found:?}");
+        assert!(found[0].message.contains("scalar reference sibling"), "{}", found[0].message);
+    }
+
+    #[test]
+    fn unreachable_and_policy_fns_are_out_of_scope() {
+        // `lonely_batch` is never called from RfidSystem; `use_batched`
+        // has no `mut` parameter (policy predicate, not a kernel).
+        let found = run(
+            "pub struct Plan;\n\
+             impl Plan {\n\
+                 pub fn responses(&self, out: &mut Vec<usize>) { out.push(0); }\n\
+                 pub fn fill_chunk(&self, sink: &mut Sink) { self.use_batched(1); sink.record(0); }\n\
+                 pub fn use_batched(&self, n: usize) -> bool { n > 0 }\n\
+                 pub fn lonely_batch(&self, out: &mut Vec<u64>) { out.push(1); }\n\
+             }\n",
+            &[(
+                "crates/core/tests/proptests.rs",
+                "use proptest::prelude::*;\nfn t() { let p = Plan; }\n",
+            )],
+        );
+        assert!(found.is_empty(), "{found:?}");
+    }
+
+    #[test]
+    fn doc_hidden_kernels_are_exempt() {
+        let found = run(
+            "pub struct Plan;\n\
+             impl Plan {\n\
+                 pub fn responses(&self, out: &mut Vec<usize>) { out.push(0); }\n\
+                 pub fn fill_chunk(&self, sink: &mut Sink) { self.slots_batch(sink); }\n\
+                 #[doc(hidden)]\n    pub fn slots_batch(&self, sink: &mut Sink) { sink.record(0); }\n\
+             }\n",
+            &[(
+                "crates/core/tests/proptests.rs",
+                "use proptest::prelude::*;\nfn t() { let p = Plan; }\n",
+            )],
+        );
+        assert!(found.is_empty(), "{found:?}");
+    }
+
+    #[test]
+    fn no_dispatch_type_means_no_findings() {
+        let files = vec![SourceFile::new(
+            "crates/core/src/lib.rs",
+            "core",
+            TargetKind::Lib,
+            "pub struct Plan;\nimpl Plan { pub fn fill_chunk(&self, s: &mut Sink) {} }\n",
+        )];
+        let graph = CallGraph::build(&files);
+        let found = check_kernel_parity(&files, &graph, &[]);
+        assert!(found.is_empty(), "fixtures without RfidSystem stay quiet");
+    }
+}

@@ -10,10 +10,16 @@
 //! comparison, and ad-hoc seeds freely.
 
 mod determinism;
+mod fold_order;
+mod kernel_parity;
 mod numeric;
 mod panic_path;
+mod provenance;
 mod registry;
 
+pub use fold_order::check_fold_order;
+pub use kernel_parity::check_kernel_parity;
+pub use provenance::check_seed_provenance;
 pub use registry::{check_workspace_registry, REGISTRY_PATH};
 
 use crate::source::{SourceFile, TargetKind};
@@ -75,6 +81,16 @@ pub enum RuleId {
     /// An `impl CardinalityEstimator` type missing from the CLI registry
     /// or from every integration test.
     EstimatorRegistry,
+    /// A PRNG construction whose seed argument is transitively derived
+    /// from a hard-coded literal or an external (wall-clock/entropy)
+    /// source, traced through the call graph.
+    SeedProvenance,
+    /// A batched kernel reachable from `RfidSystem` dispatch missing its
+    /// scalar reference sibling or an equivalence proptest.
+    KernelParity,
+    /// A call inside a parallel fold closure that transitively performs
+    /// order-sensitive float accumulation.
+    FoldOrder,
     /// A suppression (in `analysis.toml` or inline) that suppressed
     /// nothing, or a malformed inline suppression.
     StaleAllow,
@@ -90,6 +106,9 @@ pub const ALL_RULES: &[RuleId] = &[
     RuleId::FloatSanity,
     RuleId::CastTruncation,
     RuleId::EstimatorRegistry,
+    RuleId::SeedProvenance,
+    RuleId::KernelParity,
+    RuleId::FoldOrder,
     RuleId::StaleAllow,
 ];
 
@@ -106,6 +125,9 @@ impl RuleId {
             RuleId::FloatSanity => "float-sanity",
             RuleId::CastTruncation => "cast-truncation",
             RuleId::EstimatorRegistry => "estimator-registry",
+            RuleId::SeedProvenance => "seed-provenance",
+            RuleId::KernelParity => "kernel-parity",
+            RuleId::FoldOrder => "fold-order",
             RuleId::StaleAllow => "stale-allow",
         }
     }
@@ -145,6 +167,15 @@ impl RuleId {
             }
             RuleId::EstimatorRegistry => {
                 "an `impl CardinalityEstimator` type absent from the CLI registry, from every tests/ file, or from the fault matrix"
+            }
+            RuleId::SeedProvenance => {
+                "PRNG construction whose seed argument transitively derives from a hard-coded literal or wall-clock/entropy source (interprocedural)"
+            }
+            RuleId::KernelParity => {
+                "a batched kernel reachable from RfidSystem dispatch without a scalar reference sibling or an equivalence proptest under crates/*/tests/"
+            }
+            RuleId::FoldOrder => {
+                "a call inside a par_fold / thread::scope closure that transitively performs order-sensitive float accumulation"
             }
             RuleId::StaleAllow => {
                 "a suppression (analysis.toml or inline) that suppresses nothing, or a malformed inline allow"
@@ -235,6 +266,51 @@ impl RuleId {
                      add a `\"name\" => Some(Box::new(X::default()))` registry arm,\n\
                      mention X in a tests/ file (smoke-construct it at least),\n\
                      and add X to estimator_family() in tests/fault_matrix.rs"
+            }
+            RuleId::SeedProvenance => {
+                "seed-hygiene reads the literal text of a seed argument; this rule\n\
+                 asks the dataflow pass where the value *came from*. Provenance is\n\
+                 tracked through let-bindings, reassignments, and call-graph edges\n\
+                 with a four-point lattice (SeedDerived, Literal, External,\n\
+                 Unknown). A PRNG constructor whose seed provably descends from a\n\
+                 hard-coded literal or a wall-clock/entropy call — even through\n\
+                 several intermediate fns — is flagged at the construction site.\n\
+                 Unknown provenance is never flagged; bare literal arguments stay\n\
+                 seed-hygiene findings.\n\n\
+                 Compliant pattern:\n\
+                     fn build(seed: u64) -> SplitMix64 {\n\
+                         SplitMix64::new(rfid_hash::stream_seed(seed, STREAM))\n\
+                     }\n\
+                     // callers thread `seed` down from the CLI / experiment config"
+            }
+            RuleId::KernelParity => {
+                "Every batched kernel (fill_chunk override, *_batch/*_batched\n\
+                 sibling, fill_* buffer fill) reachable from RfidSystem dispatch\n\
+                 must keep a scalar reference sibling and appear in an equivalence\n\
+                 proptest under some crate's tests/ directory — the proptests are\n\
+                 the only thing holding batched and scalar paths bitwise-equal.\n\
+                 Trait-default methods are exempt (they *are* the scalar\n\
+                 reference); #[cfg(test)] and #[doc(hidden)] kernels are skipped\n\
+                 (the latter is the opt-out for deprecated kernels kept only for\n\
+                 benchmark comparisons).\n\n\
+                 Compliant pattern:\n\
+                     impl ResponsePlan for X { fn responses(..) {..}  // scalar\n\
+                                               fn fill_chunk(..) {..} }\n\
+                     // crates/<crate>/tests/proptests.rs: proptest asserting\n\
+                     // X's batched and scalar fills produce identical frames"
+            }
+            RuleId::FoldOrder => {
+                "float-reduction catches `+=` over floats written directly inside\n\
+                 a parallel fold closure; this rule catches the same accumulation\n\
+                 hidden behind a call. Any fn from which a float reducer (float in\n\
+                 the signature, `+=`/`.sum()` in the body) is reachable through\n\
+                 the call graph may not be called from a par_fold /\n\
+                 par_fold_with_threads / thread::scope argument region.\n\n\
+                 Compliant pattern:\n\
+                     collect per-item records inside the fold; run the float\n\
+                     reduction sequentially over the merged, trial-ordered list;\n\
+                     or justify order-insensitivity with an inline\n\
+                     // analysis:allow(fold-order): ..."
             }
             RuleId::StaleAllow => {
                 "Suppressions are debt: each one must keep suppressing a real\n\

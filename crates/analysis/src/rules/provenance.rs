@@ -1,0 +1,234 @@
+//! Rule `seed-provenance`: interprocedural seed-origin checking.
+//!
+//! v2's `seed-hygiene` reads the *text* of a PRNG constructor argument; it
+//! cannot see `let s = 42; SplitMix64::new(s)`, let alone a literal routed
+//! through two function calls. This rule asks the
+//! [`dataflow`](crate::dataflow) pass where the seed value **came from**:
+//! if the joined provenance of the argument expression is
+//! [`Provenance::Literal`] or [`Provenance::External`] *through at least
+//! one indirection* (a variable, parameter, const, or call — bare literal
+//! arguments stay `seed-hygiene`'s finding, so the two rules never
+//! double-report), the construction is flagged at the call site.
+//!
+//! `Unknown` origins are never flagged: the pass reports only origins it
+//! can prove, so field reads, std calls, and mixed expressions stay quiet.
+
+use super::{push, Finding, RuleId, DETERMINISM_CRATES};
+use crate::callgraph::CallGraph;
+use crate::dataflow::{split_args, Dataflow, Provenance};
+use crate::lexer::TokenKind;
+use crate::source::{SourceFile, TargetKind};
+
+/// PRNG type names whose `::new` takes a seed.
+const PRNG_TYPES: &[&str] = &["SplitMix64", "XorShift32"];
+
+/// Free/method constructor names whose first value argument is a seed.
+const SEED_FNS: &[&str] = &["seed_from_u64"];
+
+/// Run the rule over every fn in the call graph.
+pub fn check_seed_provenance(
+    files: &[SourceFile],
+    graph: &CallGraph,
+    flow: &Dataflow,
+) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for (f, def) in graph.fns.iter().enumerate() {
+        let file = &files[def.file];
+        if file.kind != TargetKind::Lib
+            || !DETERMINISM_CRATES.contains(&file.crate_name.as_str())
+            || def.cfg_test
+        {
+            continue;
+        }
+        let tree = file.scopes();
+        for i in def.body_tokens.clone() {
+            let tokens = file.tokens();
+            if tokens[i].kind != TokenKind::Ident {
+                continue;
+            }
+            let name = file.token_text(i);
+            let is_ctor = (name == "new"
+                && i >= 2
+                && file.token_text(i - 1) == "::"
+                && PRNG_TYPES.contains(&file.token_text(i - 2)))
+                || SEED_FNS.contains(&name);
+            if !is_ctor
+                || i + 1 >= def.body_tokens.end
+                || file.token_text(i + 1) != "("
+            {
+                continue;
+            }
+            let line = tokens[i].line;
+            if file.in_test_region(line) {
+                continue;
+            }
+            // Tokens inside a nested fn belong to that fn's analysis.
+            let innermost = tree
+                .enclosing_fn(tokens[i].start)
+                .map(|(idx, _)| tree.scopes[idx].byte_range.start);
+            if innermost != Some(def.byte_range.start) {
+                continue;
+            }
+            let args = split_args(file, i, def.body_tokens.end);
+            let Some(seed_arg) = args.first().cloned() else {
+                continue;
+            };
+            // A bare literal (or literal arithmetic) argument has no
+            // identifiers: that is seed-hygiene's finding, not ours.
+            if !seed_arg
+                .clone()
+                .any(|j| tokens[j].kind == TokenKind::Ident)
+            {
+                continue;
+            }
+            let outcome = flow.eval_at(f, files, graph, seed_arg);
+            if !outcome.indirect {
+                continue;
+            }
+            let origin = match outcome.provenance {
+                Provenance::Literal => "a hard-coded literal",
+                Provenance::External => "a wall-clock/OS-entropy source",
+                Provenance::SeedDerived | Provenance::Unknown => continue,
+            };
+            let ctor = if name == "new" {
+                format!("{}::new", file.token_text(i - 2))
+            } else {
+                name.to_string()
+            };
+            push(
+                findings.as_mut(),
+                file,
+                RuleId::SeedProvenance,
+                line,
+                format!(
+                    "{ctor} seed argument derives from {origin} (traced through \
+                     assignments and calls, not spelled here); route it through \
+                     rfid_hash::stream_seed from a seed parameter"
+                ),
+            );
+        }
+    }
+    findings.sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
+    findings.dedup_by(|a, b| a.path == b.path && a.line == b.line && a.message == b.message);
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::callgraph::CallGraph;
+    use crate::dataflow::Dataflow;
+    use crate::source::{SourceFile, TargetKind};
+
+    fn run(texts: &[(&str, &str, &str)]) -> Vec<Finding> {
+        let files: Vec<SourceFile> = texts
+            .iter()
+            .map(|(p, c, t)| SourceFile::new(p, c, TargetKind::Lib, t))
+            .collect();
+        let graph = CallGraph::build(&files);
+        let flow = Dataflow::compute(&files, &graph);
+        check_seed_provenance(&files, &graph, &flow)
+    }
+
+    #[test]
+    fn literal_through_a_local_variable_fires() {
+        let found = run(&[(
+            "crates/sim/src/lib.rs",
+            "sim",
+            "pub fn f() { let s = 42u64; let _r = SplitMix64::new(s); }\n",
+        )]);
+        assert_eq!(found.len(), 1, "{found:?}");
+        assert_eq!(found[0].rule, RuleId::SeedProvenance);
+        assert!(found[0].message.contains("hard-coded literal"), "{}", found[0].message);
+    }
+
+    #[test]
+    fn literal_two_calls_deep_fires_at_the_constructor() {
+        let found = run(&[(
+            "crates/sim/src/lib.rs",
+            "sim",
+            "pub fn top() { middle(0xDEAD_BEEF); }\n\
+             pub fn middle(s: u64) { bottom(s); }\n\
+             pub fn bottom(s: u64) { let _r = SplitMix64::new(s); }\n",
+        )]);
+        assert_eq!(found.len(), 1, "{found:?}");
+        assert_eq!(found[0].line, 3, "fires at the construction site");
+    }
+
+    #[test]
+    fn bare_literal_arguments_are_seed_hygienes_territory() {
+        let found = run(&[(
+            "crates/sim/src/lib.rs",
+            "sim",
+            "pub fn f() { let _r = SplitMix64::new(42); }\n",
+        )]);
+        assert!(found.is_empty(), "{found:?}");
+    }
+
+    #[test]
+    fn seed_parameters_pass() {
+        let found = run(&[(
+            "crates/sim/src/lib.rs",
+            "sim",
+            "pub fn f(seed: u64) { let _r = SplitMix64::new(seed); }\n",
+        )]);
+        assert!(found.is_empty(), "{found:?}");
+    }
+
+    #[test]
+    fn wall_clock_seeds_fire_interprocedurally() {
+        let found = run(&[(
+            "crates/sim/src/lib.rs",
+            "sim",
+            "pub fn clock_seed() -> u64 { std::time::Instant::now() }\n\
+             pub fn f() { let _r = SplitMix64::new(clock_seed()); }\n",
+        )]);
+        assert_eq!(found.len(), 1, "{found:?}");
+        assert!(found[0].message.contains("wall-clock"), "{}", found[0].message);
+    }
+
+    #[test]
+    fn test_regions_and_out_of_scope_crates_pass() {
+        let found = run(&[(
+            "crates/bench/src/lib.rs",
+            "bench",
+            "pub fn f() { let s = 42u64; let _r = SplitMix64::new(s); }\n",
+        )]);
+        assert!(found.is_empty(), "bench is not determinism-scoped");
+        let found = run(&[(
+            "crates/sim/src/lib.rs",
+            "sim",
+            "#[cfg(test)]\nmod tests {\n    fn t() { let s = 7u64; let _ = SplitMix64::new(s); }\n}\n",
+        )]);
+        assert!(found.is_empty(), "tests may use fixed seeds");
+    }
+
+    #[test]
+    fn mixed_provenance_is_not_flagged() {
+        let found = run(&[(
+            "crates/sim/src/lib.rs",
+            "sim",
+            "pub fn f(seed: u64) { let s = seed ^ 3; let _r = SplitMix64::new(s); }\n",
+        )]);
+        assert!(found.is_empty(), "mixed seed+literal joins to Unknown: {found:?}");
+    }
+
+    #[test]
+    fn literal_seeded_callers_taint_helper_params() {
+        // The inverse direction of the two-deep test: the literal lives at
+        // the *call site*, the constructor in the helper.
+        let found = run(&[(
+            "crates/hash/src/lib.rs",
+            "hash",
+            "pub fn make(seed: u64) -> u64 { seed }\n",
+        ), (
+            "crates/sim/src/lib.rs",
+            "sim",
+            "use rfid_hash::make;\n\
+             pub fn helper(s: u64) { let _r = XorShift32::new(s); }\n\
+             pub fn top() { helper(1234); }\n",
+        )]);
+        assert_eq!(found.len(), 1, "{found:?}");
+        assert!(found[0].path.ends_with("sim/src/lib.rs"));
+    }
+}

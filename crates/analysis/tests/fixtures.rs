@@ -228,6 +228,35 @@ justification = \"fixture: exercising the suppression round-trip\"
 }
 
 #[test]
+fn allow_entry_for_a_renamed_file_reports_the_rename() {
+    // Regression: a rename used to leave the entry indistinguishable from
+    // ordinary "code got cleaner" staleness. The scan must say the file
+    // itself is gone.
+    let fx = Fixture::new("renamed-allow");
+    fx.file(
+        "crates/sim/src/frame2.rs", // the file lives here now
+        "pub fn f(x: u32) -> u32 { x }\n",
+    );
+    fx.file("crates/sim/src/lib.rs", "mod frame2;\n");
+    fx.file(
+        "analysis.toml",
+        "\
+[[allow]]
+rule = \"unwrap\"
+path = \"crates/sim/src/frame.rs\"
+justification = \"fixture: entry left behind by a rename of frame.rs\"
+",
+    );
+    let report = fx.scan();
+    assert_eq!(report.findings.len(), 1, "{:?}", report.findings);
+    let f = &report.findings[0];
+    assert_eq!(f.rule, RuleId::StaleAllow);
+    assert_eq!(f.path, "analysis.toml");
+    assert!(f.message.contains("renamed or deleted"), "{}", f.message);
+    assert!(f.message.contains("crates/sim/src/frame.rs"), "{}", f.message);
+}
+
+#[test]
 fn malformed_allowlist_is_a_hard_error_not_a_silent_pass() {
     let fx = Fixture::new("badtoml");
     fx.file("crates/sim/src/lib.rs", "pub fn ok() {}\n");

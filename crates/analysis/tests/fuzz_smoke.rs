@@ -1,0 +1,148 @@
+//! Deterministic smoke pass over the fuzz surface.
+//!
+//! `fuzz/` proper needs nightly + `cargo-fuzz`; this test keeps the same
+//! bodies honest on every `cargo test` by replaying each seed corpus
+//! through `rfid_analysis::fuzz_surface` and then hammering the bodies
+//! with deterministic mutations of the seeds (byte flips, truncations,
+//! splices) from a fixed-seed xorshift. Any panic the nightly fuzzer
+//! finds lands as a corpus file here and reproduces forever after.
+
+use rfid_analysis::fuzz_surface::{allowlist_parse, lex_round_trip, scope_tree};
+use std::path::{Path, PathBuf};
+
+/// Mutations tried per corpus seed. Small enough to stay sub-second,
+/// large enough to shake out off-by-ones around the mutated regions.
+const MUTATIONS_PER_SEED: u64 = 64;
+
+fn corpus_dir(target: &str) -> PathBuf {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/analysis sits two levels below the root")
+        .join("fuzz")
+        .join("corpus")
+        .join(target)
+}
+
+fn seeds(target: &str) -> Vec<(PathBuf, Vec<u8>)> {
+    let dir = corpus_dir(target);
+    let entries = std::fs::read_dir(&dir)
+        .unwrap_or_else(|e| panic!("read corpus {}: {e}", dir.display()));
+    let mut out: Vec<(PathBuf, Vec<u8>)> = entries
+        .flatten()
+        .map(|entry| {
+            let path = entry.path();
+            let bytes = std::fs::read(&path)
+                .unwrap_or_else(|e| panic!("read seed {}: {e}", path.display()));
+            (path, bytes)
+        })
+        .collect();
+    out.sort();
+    assert!(!out.is_empty(), "empty corpus at {}", dir.display());
+    out
+}
+
+/// Fixed-seed xorshift64* — the mutation schedule must be identical on
+/// every host so a failure here is a failure everywhere.
+struct XorShift(u64);
+
+impl XorShift {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+}
+
+/// Flip bytes, truncate, or splice the seed, deterministically.
+fn mutate(seed: &[u8], rng: &mut XorShift) -> Vec<u8> {
+    let mut bytes = seed.to_vec();
+    if bytes.is_empty() {
+        return vec![(rng.next() & 0xFF) as u8];
+    }
+    match rng.next() % 4 {
+        0 => {
+            // Flip a handful of bytes.
+            for _ in 0..1 + rng.next() % 8 {
+                let i = (rng.next() as usize) % bytes.len();
+                bytes[i] = (rng.next() & 0xFF) as u8;
+            }
+        }
+        1 => {
+            // Truncate mid-token.
+            bytes.truncate((rng.next() as usize) % bytes.len());
+        }
+        2 => {
+            // Splice a chunk onto itself (repeats headers, unbalances braces).
+            let at = (rng.next() as usize) % bytes.len();
+            let chunk: Vec<u8> = bytes[at..].to_vec();
+            bytes.extend_from_slice(&chunk);
+        }
+        _ => {
+            // Insert structural noise where it hurts the most.
+            let noise: &[u8] = match rng.next() % 5 {
+                0 => b"{",
+                1 => b"}",
+                2 => b"\"",
+                3 => b"[[allow]]",
+                _ => b"//",
+            };
+            let at = (rng.next() as usize) % bytes.len();
+            let mut spliced = bytes[..at].to_vec();
+            spliced.extend_from_slice(noise);
+            spliced.extend_from_slice(&bytes[at..]);
+            bytes = spliced;
+        }
+    }
+    bytes
+}
+
+fn drive(target: &str, body: fn(&[u8])) {
+    let mut rng = XorShift(0x5EED_0BAD_F00D_u64);
+    for (path, seed) in seeds(target) {
+        body(&seed);
+        for _ in 0..MUTATIONS_PER_SEED {
+            let mutant = mutate(&seed, &mut rng);
+            // A panic's message won't name the input, so wrap with context.
+            let outcome = std::panic::catch_unwind(|| body(&mutant));
+            if outcome.is_err() {
+                panic!(
+                    "fuzz body '{target}' panicked on a mutation of {} \
+                     ({} bytes); save the input as a corpus file to pin it",
+                    path.display(),
+                    mutant.len()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn lex_round_trip_smoke() {
+    drive("lex_round_trip", lex_round_trip);
+}
+
+#[test]
+fn scope_tree_smoke() {
+    drive("scope_tree", scope_tree);
+}
+
+#[test]
+fn allowlist_parse_smoke() {
+    drive("allowlist_parse", allowlist_parse);
+}
+
+#[test]
+fn bodies_survive_empty_and_tiny_inputs() {
+    for body in [lex_round_trip, scope_tree, allowlist_parse] {
+        body(b"");
+        body(b"{");
+        body(b"}");
+        body(b"\"");
+        body(&[0xFF]);
+    }
+}

@@ -9,8 +9,11 @@
 //! file in the repository, so any Rust construct the workspace adopts
 //! becomes part of the lexer's test corpus automatically.
 
+use rfid_analysis::callgraph::{CallGraph, Resolution};
+use rfid_analysis::dataflow::Dataflow;
 use rfid_analysis::lexer::{lex, reserialize};
 use rfid_analysis::mask::mask_source;
+use rfid_analysis::source::{SourceFile, TargetKind};
 use std::path::{Path, PathBuf};
 
 /// The repository root: two levels above this crate's manifest.
@@ -95,4 +98,167 @@ fn masking_preserves_length_and_line_structure_everywhere() {
             }
         }
     }
+}
+
+/// Load every rule-scanned source of the real workspace the way
+/// `scan_workspace` does: `crates/*/src` plus the root crate's `src/`,
+/// with the crate name derived from the path.
+fn workspace_sources() -> Vec<SourceFile> {
+    let root = workspace_root();
+    let mut roots: Vec<(PathBuf, String)> = vec![(root.join("src"), ".".to_string())];
+    for entry in std::fs::read_dir(root.join("crates")).expect("crates dir").flatten() {
+        let name = entry.file_name().to_string_lossy().into_owned();
+        roots.push((entry.path().join("src"), name));
+    }
+    roots.sort();
+    let mut files = Vec::new();
+    for (dir, crate_name) in roots {
+        if !dir.is_dir() {
+            continue;
+        }
+        let mut paths = Vec::new();
+        collect_rust_files(&dir, &mut paths);
+        paths.sort();
+        for path in paths {
+            let rel = path
+                .strip_prefix(&root)
+                .expect("under root")
+                .to_string_lossy()
+                .replace('\\', "/");
+            let kind = if rel.ends_with("/main.rs") || rel.contains("/bin/") {
+                TargetKind::Bin
+            } else {
+                TargetKind::Lib
+            };
+            let text = std::fs::read_to_string(&path)
+                .unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
+            files.push(SourceFile::new(&rel, &crate_name, kind, &text));
+        }
+    }
+    assert!(files.len() > 50, "only {} sources found", files.len());
+    files
+}
+
+/// One call edge spelled with qualified names instead of indexes:
+/// (caller, callee name, sorted resolved targets or the external tag).
+type EdgeSignature = (String, String, Vec<String>);
+
+/// Order-independent signature of a call graph: named fns plus every call
+/// edge spelled with qualified names instead of indexes.
+fn graph_signature(g: &CallGraph) -> (Vec<String>, Vec<EdgeSignature>) {
+    let mut fns: Vec<String> = g
+        .fns
+        .iter()
+        .map(|d| format!("{}:{}:{}", d.rel_path, d.name, d.line))
+        .collect();
+    fns.sort();
+    let mut calls: Vec<EdgeSignature> = g
+        .calls
+        .iter()
+        .map(|c| {
+            let targets = match &c.resolution {
+                Resolution::Resolved(ts) => {
+                    let mut names: Vec<String> =
+                        ts.iter().map(|&t| g.fns[t].qualified_name()).collect();
+                    names.sort();
+                    names
+                }
+                Resolution::External(n) => vec![format!("ext:{n}")],
+            };
+            (g.fns[c.caller].qualified_name(), c.name.clone(), targets)
+        })
+        .collect();
+    calls.sort();
+    (fns, calls)
+}
+
+#[test]
+fn every_resolved_edge_points_at_a_real_workspace_fn() {
+    let files = workspace_sources();
+    let graph = CallGraph::build(&files);
+    assert!(graph.fns.len() > 100, "suspiciously small fn table");
+    for site in &graph.calls {
+        assert!(site.caller < graph.fns.len(), "caller index out of range");
+        let Resolution::Resolved(targets) = &site.resolution else {
+            continue;
+        };
+        assert!(!targets.is_empty(), "resolved edge with no targets");
+        for &t in targets {
+            let def = &graph.fns[t];
+            assert_eq!(
+                def.name, site.name,
+                "call to `{}` at {}:{} resolved to `{}`",
+                site.name, files[site.file].rel_path, site.line, def.name
+            );
+        }
+    }
+}
+
+#[test]
+fn call_graph_is_deterministic_under_file_order_shuffles() {
+    let files = workspace_sources();
+    let baseline = graph_signature(&CallGraph::build(&files));
+    // Reversal plus a deterministic interleave cover both "sorted input"
+    // and "arbitrary input" orderings without a randomness dependency.
+    let mut reversed = workspace_sources();
+    reversed.reverse();
+    assert_eq!(baseline, graph_signature(&CallGraph::build(&reversed)));
+    let mut interleaved = workspace_sources();
+    interleaved.sort_by_key(|f| {
+        let h = f
+            .rel_path
+            .bytes()
+            .fold(0u64, |a, b| a.wrapping_mul(131).wrapping_add(b as u64));
+        (h, f.rel_path.clone())
+    });
+    assert_eq!(baseline, graph_signature(&CallGraph::build(&interleaved)));
+}
+
+#[test]
+fn every_workspace_crate_receives_resolved_edges() {
+    // Mirror of the CI `--dump-callgraph` gate: if cross-crate resolution
+    // regresses, this fails locally before the workflow does.
+    let files = workspace_sources();
+    let graph = CallGraph::build(&files);
+    let crates: std::collections::BTreeSet<&str> =
+        files.iter().map(|f| f.crate_name.as_str()).collect();
+    for crate_name in crates {
+        if crate_name == "." {
+            continue; // the root bin crate is a dispatch shell, not a callee
+        }
+        assert!(
+            graph.resolved_edges_into(crate_name) >= 1,
+            "no resolved call edges into crate '{crate_name}'"
+        );
+    }
+}
+
+#[test]
+fn dataflow_summaries_are_deterministic_under_file_order() {
+    let files = workspace_sources();
+    let graph = CallGraph::build(&files);
+    let flow = Dataflow::compute(&files, &graph);
+    let summary = |g: &CallGraph, fl: &Dataflow| {
+        let mut rows: Vec<String> = (0..g.fns.len())
+            .map(|f| {
+                let params: Vec<String> = (0..g.fns[f].params.len())
+                    .map(|i| format!("{:?}", fl.param_provenance(f, i)))
+                    .collect();
+                format!(
+                    "{} params=[{}] ret={:?}",
+                    g.fns[f].qualified_name(),
+                    params.join(","),
+                    fl.ret_provenance(f)
+                )
+            })
+            .collect();
+        rows.sort();
+        rows
+    };
+    let baseline = summary(&graph, &flow);
+    let mut reversed = workspace_sources();
+    reversed.reverse();
+    let graph2 = CallGraph::build(&reversed);
+    let flow2 = Dataflow::compute(&reversed, &graph2);
+    assert_eq!(baseline, summary(&graph2, &flow2));
 }

@@ -115,3 +115,49 @@ proptest! {
         prop_assert!((n_hat - g * 8192.0).abs() < 1e-6 * n_hat.abs().max(1.0));
     }
 }
+
+// Kernel-parity leg: the BloomPlan batched fill (`fill_chunk` and its
+// `fill_with` body) must stay bitwise-equivalent to the scalar
+// `responses` walk for every hasher kind, thread count, and persistence
+// setting. The `kernel-parity` analysis rule requires exactly this
+// proptest to exist — deleting it fails the analysis CI job.
+mod bloom_kernel_equivalence {
+    use proptest::prelude::*;
+    use rfid_bfce::{BfceConfig, BloomPlan, HasherKind};
+    use rfid_sim::frame::{response_counts_reference, response_fill_with_threads};
+    use rfid_sim::Tag;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+        #[test]
+        fn bloom_plan_batched_and_scalar_fills_are_identical(
+            n in 1usize..2_000,
+            p_n in 1u32..=1024,
+            seed in any::<u32>(),
+            mix in any::<bool>(),
+            threads in 1usize..5,
+        ) {
+            let hasher = if mix { HasherKind::Mix64 } else { HasherKind::XorBitget };
+            let cfg = BfceConfig { hasher, ..BfceConfig::paper() };
+            let seeds = [
+                seed,
+                seed.wrapping_mul(0x9E37_79B9).wrapping_add(1),
+                seed.rotate_left(13) ^ 0x5EED_CAFE,
+            ];
+            let tags: Vec<Tag> = (0..n as u64)
+                .map(|i| Tag {
+                    id: i + 1,
+                    rn: (i as u32).wrapping_mul(0x9E37_79B9).wrapping_add(seed),
+                })
+                .collect();
+            let plan = BloomPlan::new(&cfg, &seeds, p_n);
+            let reference = response_counts_reference(&tags, cfg.w, &plan, usize::MAX);
+            let fill = response_fill_with_threads(&tags, cfg.w, cfg.w, &plan, threads);
+            for (i, &c) in reference.iter().enumerate() {
+                prop_assert_eq!(fill.busy.get(i), c > 0, "slot {} (threads {})", i, threads);
+            }
+            let total: u64 = reference.iter().map(|&c| c as u64).sum();
+            prop_assert_eq!(fill.prefix_responses, total);
+        }
+    }
+}

@@ -1,0 +1,8 @@
+//! `analysis.toml` parsing must return Ok/Err, never panic.
+#![no_main]
+
+use libfuzzer_sys::fuzz_target;
+
+fuzz_target!(|data: &[u8]| {
+    rfid_analysis::fuzz_surface::allowlist_parse(data);
+});

@@ -1,0 +1,8 @@
+//! mask → lex → reserialize must reproduce the masked input byte-for-byte.
+#![no_main]
+
+use libfuzzer_sys::fuzz_target;
+
+fuzz_target!(|data: &[u8]| {
+    rfid_analysis::fuzz_surface::lex_round_trip(data);
+});

@@ -1,0 +1,8 @@
+//! Scope-tree brace matching must stay well-formed on arbitrary input.
+#![no_main]
+
+use libfuzzer_sys::fuzz_target;
+
+fuzz_target!(|data: &[u8]| {
+    rfid_analysis::fuzz_surface::scope_tree(data);
+});
