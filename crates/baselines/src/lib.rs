@@ -23,6 +23,12 @@
 //!   "traditional identification" the paper scopes itself away from
 //!   (used by the crossover experiment).
 //!
+//! Two *modern* (non-RFID-literature) mergeable-sketch baselines round
+//! out the family for the multi-reader roadmap: [`hllpp`] (HyperLogLog++)
+//! and [`llbeta`] (LogLog-β), both run over the honest
+//! register-collection air protocol in [`registers`] and both producing
+//! snapshots that checkpoint/restore/merge via [`rfid_bfce::Snapshot`].
+//!
 //! Every estimator implements [`rfid_sim::CardinalityEstimator`] and pays
 //! for its traffic through the same air-time ledger as BFCE, so execution
 //! times are directly comparable (Figure 10).
@@ -35,10 +41,13 @@ pub mod art;
 pub mod common;
 pub mod ezb;
 pub mod fneb;
+pub mod hllpp;
 pub mod inventory;
+pub mod llbeta;
 pub mod lof;
 pub mod mle;
 pub mod pet;
+pub mod registers;
 pub mod src;
 pub mod upe;
 pub mod zoe;
@@ -47,7 +56,9 @@ pub use a3::A3;
 pub use art::Art;
 pub use ezb::Ezb;
 pub use fneb::Fneb;
+pub use hllpp::HllPp;
 pub use inventory::QInventory;
+pub use llbeta::LogLogBeta;
 pub use lof::Lof;
 pub use mle::Mle;
 pub use pet::Pet;
@@ -68,5 +79,7 @@ pub fn all_baselines() -> Vec<Box<dyn rfid_sim::CardinalityEstimator>> {
         Box::new(Mle::default()),
         Box::new(Pet::default()),
         Box::new(A3::default()),
+        Box::new(HllPp::default()),
+        Box::new(LogLogBeta::default()),
     ]
 }

@@ -17,10 +17,15 @@ USAGE:
   rfid robustness [--n 8000] [--classes abort,dropout] [--intensities 0.25,0.75]
                  [--estimators bfce,zoe,upe,fneb] [--epsilon 0.05] [--delta 0.05]
                  [--seed 42] [--trials 3] [--jobs 0]
+  rfid snapshot  --n <count> [--sketch hllpp] [--readers 4] [--overlap 0.2]
+                 [--out rfid] [--workload T1] [--seed 42]
+  rfid merge     --inputs a.sketch,b.sketch[,...] [--truth <count>]
   rfid info
   rfid help
 
-Estimators: bfce, zoe, src, lof, upe, ezb, fneb, art, mle, pet, a3, inventory
+Estimators: bfce, zoe, src, lof, upe, ezb, fneb, art, mle, pet, a3, inventory,
+            hllpp, llbeta
+Sketches:   hllpp, llbeta, bloom (the rfid-sketch/v1 wire format)
 Workloads:  T1 (uniform), T2 (approx normal), T3 (normal), sequential, clustered
 Faults:     abort, burst, desync, dropout, capture, imperfect-hash, bit-error
 ";
@@ -138,6 +143,49 @@ impl Default for RobustnessOpts {
     }
 }
 
+/// Options for `snapshot`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SnapshotOpts {
+    /// Total (union) population size across the deployment.
+    pub n: usize,
+    /// Which sketch to collect: `hllpp`, `llbeta`, or `bloom`.
+    pub sketch: String,
+    /// Physical readers in the deployment.
+    pub readers: usize,
+    /// Fraction of each reader's coverage shared with its neighbour,
+    /// in `[0, 1)`.
+    pub overlap: f64,
+    /// Output path prefix; reader `i` writes `<out>.reader<i>.sketch`.
+    pub out: String,
+    /// Tag-ID workload.
+    pub workload: WorkloadSpec,
+    /// RNG seed (also derives the shared broadcast seed all readers use).
+    pub seed: u64,
+}
+
+impl Default for SnapshotOpts {
+    fn default() -> Self {
+        Self {
+            n: 100_000,
+            sketch: "hllpp".into(),
+            readers: 4,
+            overlap: 0.2,
+            out: "rfid".into(),
+            workload: WorkloadSpec::T1,
+            seed: 42,
+        }
+    }
+}
+
+/// Options for `merge`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MergeOpts {
+    /// Snapshot files to fold, in order.
+    pub inputs: Vec<String>,
+    /// Known true cardinality, for a relative-error column.
+    pub truth: Option<usize>,
+}
+
 /// A parsed command line.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Command {
@@ -153,6 +201,10 @@ pub enum Command {
     Diff(DiffOpts),
     /// `rfid robustness …`
     Robustness(RobustnessOpts),
+    /// `rfid snapshot …`
+    Snapshot(SnapshotOpts),
+    /// `rfid merge …`
+    Merge(MergeOpts),
     /// `rfid info`
     Info,
     /// `rfid help` (or no arguments)
@@ -362,6 +414,60 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
             }
             Ok(Command::Robustness(opts))
         }
+        "snapshot" => {
+            let mut opts = SnapshotOpts::default();
+            for (key, value) in key_values(rest)? {
+                match key {
+                    "n" => opts.n = parse_num(key, value)?,
+                    "sketch" => opts.sketch = value.to_ascii_lowercase(),
+                    "readers" => opts.readers = parse_num(key, value)?,
+                    "overlap" => opts.overlap = parse_num(key, value)?,
+                    "out" => opts.out = value.to_string(),
+                    "workload" => opts.workload = parse_workload(value)?,
+                    "seed" => opts.seed = parse_num(key, value)?,
+                    other => {
+                        return Err(ParseError(format!("unknown option --{other}")))
+                    }
+                }
+            }
+            if opts.readers == 0 {
+                return Err(ParseError("--readers must be at least 1".into()));
+            }
+            if !(0.0..1.0).contains(&opts.overlap) {
+                return Err(ParseError("--overlap must lie in [0, 1)".into()));
+            }
+            if opts.out.is_empty() {
+                return Err(ParseError("--out must not be empty".into()));
+            }
+            Ok(Command::Snapshot(opts))
+        }
+        "merge" => {
+            let mut opts = MergeOpts {
+                inputs: Vec::new(),
+                truth: None,
+            };
+            for (key, value) in key_values(rest)? {
+                match key {
+                    "inputs" => {
+                        opts.inputs = value
+                            .split(',')
+                            .map(|s| s.trim().to_string())
+                            .filter(|s| !s.is_empty())
+                            .collect();
+                    }
+                    "truth" => opts.truth = Some(parse_num(key, value)?),
+                    other => {
+                        return Err(ParseError(format!("unknown option --{other}")))
+                    }
+                }
+            }
+            if opts.inputs.is_empty() {
+                return Err(ParseError(
+                    "--inputs needs at least one snapshot file".into(),
+                ));
+            }
+            Ok(Command::Merge(opts))
+        }
         "info" => Ok(Command::Info),
         "help" | "--help" | "-h" => Ok(Command::Help),
         other => Err(ParseError(format!("unknown subcommand '{other}'"))),
@@ -502,6 +608,53 @@ mod tests {
         assert!(parse(&argv("robustness --intensities 1.5")).is_err());
         assert!(parse(&argv("robustness --trials 0")).is_err());
         assert!(parse(&argv("robustness --bogus 1")).is_err());
+        Ok(())
+    }
+
+    #[test]
+    fn snapshot_subcommand() -> Result<(), ParseError> {
+        let Command::Snapshot(o) = parse(&argv(
+            "snapshot --n 50000 --sketch llbeta --readers 8 --overlap 0.3 \
+             --out /tmp/depot --workload t2 --seed 9",
+        ))?
+        else {
+            panic!()
+        };
+        assert_eq!(o.n, 50_000);
+        assert_eq!(o.sketch, "llbeta");
+        assert_eq!(o.readers, 8);
+        assert_eq!(o.overlap, 0.3);
+        assert_eq!(o.out, "/tmp/depot");
+        assert_eq!(o.workload, WorkloadSpec::T2);
+        assert_eq!(o.seed, 9);
+        // Bare invocation uses the defaults; case is normalized.
+        let Command::Snapshot(o) = parse(&argv("snapshot --sketch BLOOM"))? else {
+            panic!()
+        };
+        assert_eq!(o.sketch, "bloom");
+        assert_eq!(o.readers, 4);
+        assert!(parse(&argv("snapshot --readers 0")).is_err());
+        assert!(parse(&argv("snapshot --overlap 1.0")).is_err());
+        assert!(parse(&argv("snapshot --bogus 1")).is_err());
+        Ok(())
+    }
+
+    #[test]
+    fn merge_subcommand() -> Result<(), ParseError> {
+        let Command::Merge(o) =
+            parse(&argv("merge --inputs a.sketch,b.sketch --truth 100000"))?
+        else {
+            panic!()
+        };
+        assert_eq!(o.inputs, vec!["a.sketch", "b.sketch"]);
+        assert_eq!(o.truth, Some(100_000));
+        let Command::Merge(o) = parse(&argv("merge --inputs lone.sketch"))? else {
+            panic!()
+        };
+        assert_eq!(o.truth, None);
+        assert!(parse(&argv("merge")).is_err());
+        assert!(parse(&argv("merge --inputs ,")).is_err());
+        assert!(parse(&argv("merge --truth 5")).is_err());
         Ok(())
     }
 

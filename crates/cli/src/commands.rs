@@ -1,19 +1,34 @@
 //! Subcommand implementations.
 
-use crate::args::{CompareOpts, EstimateOpts, RobustnessOpts, WorkloadOpts};
+use crate::args::{
+    CompareOpts, EstimateOpts, MergeOpts, RobustnessOpts, SnapshotOpts, WorkloadOpts,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use rfid_baselines::{Art, Ezb, Fneb, Lof, Mle, Pet, QInventory, Src, Upe, Zoe, A3};
+use rfid_baselines::{
+    Art, Ezb, Fneb, HllPp, Lof, LogLogBeta, Mle, Pet, QInventory, Src, Upe, Zoe, A3,
+};
 use rfid_experiments::robustness::FaultClass;
 use rfid_experiments::TrialRunner;
 use rfid_bfce::overhead::{nominal_total_seconds, total_bit_slots};
 use rfid_bfce::theory::{gamma_bounds, max_cardinality};
-use rfid_bfce::{Bfce, BfceConfig};
+use rfid_bfce::{merge_all, Bfce, BfceConfig, BloomPlan, BloomSketch, Snapshot};
 use rfid_sim::trace::{aggregate, render};
 use rfid_sim::{
-    Accuracy, BitErrorChannel, CardinalityEstimator, RfidSystem, Timing,
+    Accuracy, BitErrorChannel, CardinalityEstimator, MultiReaderDeployment, RfidSystem,
+    Timing,
 };
 use std::io::Write;
+
+/// Every estimator name [`make_estimator`] accepts, in `rfid help` order.
+///
+/// This is the single registry the test suite derives estimator coverage
+/// from; adding an estimator here without wiring it into
+/// [`make_estimator`] fails the `factory_knows_every_estimator` test.
+pub const ESTIMATOR_NAMES: [&str; 14] = [
+    "bfce", "zoe", "src", "lof", "upe", "ezb", "fneb", "art", "mle", "pet", "a3",
+    "inventory", "hllpp", "llbeta",
+];
 
 /// Build an estimator by CLI name.
 pub fn make_estimator(name: &str) -> Option<Box<dyn CardinalityEstimator>> {
@@ -30,8 +45,21 @@ pub fn make_estimator(name: &str) -> Option<Box<dyn CardinalityEstimator>> {
         "pet" => Some(Box::new(Pet::default())),
         "a3" => Some(Box::new(A3::default())),
         "inventory" => Some(Box::new(QInventory::default())),
+        "hllpp" => Some(Box::new(HllPp::default())),
+        "llbeta" => Some(Box::new(LogLogBeta::default())),
         _ => None,
     }
+}
+
+/// Every registered estimator, boxed, in [`ESTIMATOR_NAMES`] order.
+pub fn all_estimators() -> Vec<Box<dyn CardinalityEstimator>> {
+    ESTIMATOR_NAMES
+        .iter()
+        .map(|name| {
+            // analysis:allow(unwrap): ESTIMATOR_NAMES is the factory's own key list; a miss is a compile-adjacent registry bug caught by every test
+            make_estimator(name).expect("registry name missing from factory")
+        })
+        .collect()
 }
 
 fn build_system(opts: &EstimateOpts, seed: u64) -> RfidSystem {
@@ -314,6 +342,139 @@ pub fn robustness(opts: &RobustnessOpts, out: &mut dyn Write) -> std::io::Result
     Ok(())
 }
 
+/// Split `tags` into per-reader coverages: even contiguous chunks, each
+/// reader also covering an `overlap` fraction of the next reader's chunk
+/// (wrapping), so shared tags exercise the de-duplicating merge.
+fn coverage_split(
+    tags: &[rfid_sim::Tag],
+    readers: usize,
+    overlap: f64,
+) -> Vec<Vec<rfid_sim::Tag>> {
+    let bounds: Vec<usize> = (0..=readers).map(|i| i * tags.len() / readers).collect();
+    (0..readers)
+        .map(|i| {
+            let mut coverage = tags[bounds[i]..bounds[i + 1]].to_vec();
+            if readers > 1 {
+                let next = (i + 1) % readers;
+                let next_chunk = &tags[bounds[next]..bounds[next + 1]];
+                let shared = (overlap * next_chunk.len() as f64) as usize;
+                coverage.extend_from_slice(&next_chunk[..shared]);
+            }
+            coverage
+        })
+        .collect()
+}
+
+/// Serialize one reader's sketch of its own coverage, air time charged to
+/// that reader's system. All readers use the same broadcast seed(s), which
+/// is what makes the snapshots mergeable.
+fn collect_snapshot(
+    sketch: &str,
+    system: &mut RfidSystem,
+    base_seed: u64,
+) -> std::io::Result<Vec<u8>> {
+    let shared = rfid_hash::stream_seed(base_seed, 0x534B_4554) as u32;
+    match sketch {
+        "hllpp" => Ok(HllPp::default().sketch(system, shared).snapshot()),
+        "llbeta" => Ok(LogLogBeta::default().sketch(system, shared).snapshot()),
+        "bloom" => {
+            let cfg = BfceConfig::paper();
+            let seeds: Vec<u32> = (0..cfg.k)
+                .map(|j| rfid_hash::stream_seed(base_seed, j as u64 + 1) as u32)
+                .collect();
+            // The same load-matched persistence the diff pipeline uses:
+            // p ~ w / (k n), quantized to the paper's 1/1024 grid.
+            let n = system.true_cardinality().max(1);
+            let p_n = ((cfg.w as f64 / (cfg.k as f64 * n as f64) * 1024.0).round()
+                as u32)
+                .clamp(1, 1023);
+            let plan = BloomPlan::new(&cfg, &seeds, p_n);
+            let frame = system.run_bitslot_frame(cfg.w, &plan);
+            Ok(BloomSketch::from_frame(&cfg, &frame, &seeds, p_n).snapshot())
+        }
+        other => Err(invalid(format!("unknown sketch '{other}'"))),
+    }
+}
+
+/// `rfid snapshot` — simulate a multi-reader deployment and write one
+/// `rfid-sketch/v1` snapshot file per physical reader.
+///
+/// Note the per-reader persistence caveat for `--sketch bloom`: each
+/// reader load-matches `p` to its *own* coverage, so bloom snapshots only
+/// merge when the readers see similar loads (same-size coverages). The
+/// register sketches (`hllpp`, `llbeta`) have no such coupling.
+pub fn snapshot(opts: &SnapshotOpts, out: &mut dyn Write) -> std::io::Result<()> {
+    let mut rng = StdRng::seed_from_u64(opts.seed ^ 0x9E37_79B9_7F4A_7C15);
+    let population = opts.workload.generate(opts.n, &mut rng);
+
+    let mut deployment = MultiReaderDeployment::new();
+    for coverage in coverage_split(population.tags(), opts.readers, opts.overlap) {
+        deployment.add_reader(coverage);
+    }
+    let truth = deployment
+        .logical_population()
+        .map_err(|e| invalid(e.to_string()))?
+        .cardinality();
+    writeln!(
+        out,
+        "{} deployment: {} readers over {} tags (union {}, overlap {})",
+        opts.sketch, opts.readers, opts.n, truth, opts.overlap
+    )?;
+
+    for reader in 0..opts.readers {
+        let mut system = deployment
+            .reader_system(reader)
+            .map_err(|e| invalid(e.to_string()))?;
+        let bytes = collect_snapshot(&opts.sketch, &mut system, opts.seed)?;
+        let path = format!("{}.reader{}.sketch", opts.out, reader);
+        std::fs::write(&path, &bytes)?;
+        writeln!(
+            out,
+            "reader {:>2}: {:>8} tags  {:>8} bytes  {:.4}s air  -> {}",
+            reader,
+            system.true_cardinality(),
+            bytes.len(),
+            system.air_time().total_seconds(),
+            path,
+        )?;
+    }
+    writeln!(
+        out,
+        "merge with: rfid merge --inputs {} --truth {truth}",
+        (0..opts.readers)
+            .map(|r| format!("{}.reader{r}.sketch", opts.out))
+            .collect::<Vec<_>>()
+            .join(","),
+    )?;
+    Ok(())
+}
+
+/// `rfid merge` — fold per-reader snapshot files into one estimate.
+pub fn merge(opts: &MergeOpts, out: &mut dyn Write) -> std::io::Result<()> {
+    let mut buffers = Vec::with_capacity(opts.inputs.len());
+    for path in &opts.inputs {
+        let bytes = std::fs::read(path).map_err(|e| {
+            std::io::Error::new(e.kind(), format!("{path}: {e}"))
+        })?;
+        buffers.push(bytes);
+    }
+    let merged = merge_all(buffers.iter().map(Vec::as_slice))
+        .map_err(|e| invalid(e.to_string()))?;
+    write!(
+        out,
+        "merged {} snapshots ({}): n_hat = {:.1}",
+        opts.inputs.len(),
+        merged.kind().name(),
+        merged.estimate(),
+    )?;
+    if let Some(truth) = opts.truth {
+        let rel = (merged.estimate() - truth as f64).abs() / truth.max(1) as f64;
+        write!(out, "  rel_err = {rel:.4} (truth {truth})")?;
+    }
+    writeln!(out)?;
+    Ok(())
+}
+
 /// `rfid info` — the paper's headline numbers.
 pub fn info(out: &mut dyn Write) -> std::io::Result<()> {
     let cfg = BfceConfig::paper();
@@ -350,13 +511,26 @@ mod tests {
 
     #[test]
     fn factory_knows_every_estimator() {
-        for name in [
-            "bfce", "zoe", "src", "lof", "upe", "ezb", "fneb", "art", "mle",
-            "pet", "a3", "inventory", "BFCE",
-        ] {
+        for name in ESTIMATOR_NAMES {
             assert!(make_estimator(name).is_some(), "{name}");
         }
+        assert!(make_estimator("BFCE").is_some(), "case-insensitive");
         assert!(make_estimator("nope").is_none());
+    }
+
+    #[test]
+    fn registry_is_the_single_source_of_truth() {
+        let estimators = all_estimators();
+        assert_eq!(estimators.len(), ESTIMATOR_NAMES.len());
+        // Display names are distinct, so `compare` rows are unambiguous.
+        let mut names: Vec<&str> = estimators.iter().map(|e| e.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), ESTIMATOR_NAMES.len());
+        // The help text advertises every registered name.
+        for name in ESTIMATOR_NAMES {
+            assert!(crate::args::USAGE.contains(name), "{name} missing from USAGE");
+        }
     }
 
     #[test]
@@ -505,6 +679,116 @@ mod tests {
             ..RobustnessOpts::default()
         };
         assert!(robustness(&opts, &mut buf).is_err());
+    }
+
+    fn snapshot_opts(prefix: &str, sketch: &str, n: usize, readers: usize) -> SnapshotOpts {
+        SnapshotOpts {
+            n,
+            sketch: sketch.into(),
+            readers,
+            out: std::env::temp_dir()
+                .join(format!("rfid-cli-{prefix}-{}", std::process::id()))
+                .display()
+                .to_string(),
+            ..SnapshotOpts::default()
+        }
+    }
+
+    fn snapshot_paths(opts: &SnapshotOpts) -> Vec<String> {
+        (0..opts.readers)
+            .map(|r| format!("{}.reader{r}.sketch", opts.out))
+            .collect()
+    }
+
+    fn remove_snapshots(opts: &SnapshotOpts) {
+        for path in snapshot_paths(opts) {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+
+    fn merged_n_hat(output: &str) -> f64 {
+        let tail = output.split("n_hat = ").nth(1).expect("n_hat in output");
+        tail.split_whitespace().next().unwrap().parse().expect("numeric n_hat")
+    }
+
+    #[test]
+    fn snapshot_then_merge_recovers_the_union() {
+        let opts = snapshot_opts("roundtrip", "hllpp", 40_000, 4);
+        let s = capture(|out| snapshot(&opts, out));
+        assert!(s.contains("4 readers over 40000 tags"));
+        let inputs = snapshot_paths(&opts);
+        for path in &inputs {
+            assert!(std::path::Path::new(path).exists(), "{path}");
+        }
+
+        let merge_opts = MergeOpts {
+            inputs: inputs.clone(),
+            truth: Some(40_000),
+        };
+        let m = capture(|out| merge(&merge_opts, out));
+        assert!(m.contains("merged 4 snapshots (hllpp)"), "{m}");
+        assert!(m.contains("rel_err"), "{m}");
+        let rel = (merged_n_hat(&m) - 40_000.0).abs() / 40_000.0;
+        assert!(rel < 0.08, "{m}");
+
+        // Merging is order-invariant: reversed inputs, identical output.
+        let reversed = MergeOpts {
+            inputs: inputs.into_iter().rev().collect(),
+            truth: Some(40_000),
+        };
+        assert_eq!(m, capture(|out| merge(&reversed, out)));
+        remove_snapshots(&opts);
+    }
+
+    #[test]
+    fn snapshot_supports_every_sketch_kind() {
+        for sketch in ["llbeta", "bloom"] {
+            let opts = snapshot_opts(sketch, sketch, 8_000, 2);
+            capture(|out| snapshot(&opts, out));
+            let merge_opts = MergeOpts {
+                inputs: snapshot_paths(&opts),
+                truth: None,
+            };
+            let m = capture(|out| merge(&merge_opts, out));
+            // Kind names: "llbeta", "bloom-frame" — both start with the CLI name.
+            assert!(m.contains(&format!("({sketch}")), "{m}");
+            let n_hat = merged_n_hat(&m);
+            // Bloom readers load-match p to their own coverage (4k tags
+            // each here, equal loads), so the merged frame still inverts.
+            let rel = (n_hat - 8_000.0).abs() / 8_000.0;
+            assert!(rel < 0.15, "{sketch}: {m}");
+            remove_snapshots(&opts);
+        }
+    }
+
+    #[test]
+    fn snapshot_rejects_unknown_sketch_and_merge_rejects_mixtures() {
+        let opts = snapshot_opts("bogus", "bogus", 100, 1);
+        let mut buf = Vec::new();
+        assert!(snapshot(&opts, &mut buf).is_err());
+
+        let a = snapshot_opts("mix-a", "hllpp", 1_000, 1);
+        let b = snapshot_opts("mix-b", "bloom", 1_000, 1);
+        capture(|out| snapshot(&a, out));
+        capture(|out| snapshot(&b, out));
+        let merge_opts = MergeOpts {
+            inputs: vec![snapshot_paths(&a).remove(0), snapshot_paths(&b).remove(0)],
+            truth: None,
+        };
+        let err = merge(&merge_opts, &mut Vec::new()).unwrap_err();
+        assert!(err.to_string().contains("kinds differ"), "{err}");
+        remove_snapshots(&a);
+        remove_snapshots(&b);
+    }
+
+    #[test]
+    fn merge_reports_missing_files_by_path() {
+        let merge_opts = MergeOpts {
+            inputs: vec!["/nonexistent/readers.sketch".into()],
+            truth: None,
+        };
+        let err = merge(&merge_opts, &mut Vec::new()).unwrap_err();
+        assert!(err.to_string().contains("/nonexistent/readers.sketch"));
     }
 
     #[test]

@@ -7,6 +7,9 @@
 //! * `trace`    — the event-level air schedule of one BFCE run;
 //! * `workload` — dump a generated tag-ID set;
 //! * `robustness` — estimator accuracy under injected faults;
+//! * `snapshot` — per-reader `rfid-sketch/v1` snapshot files from a
+//!   simulated multi-reader deployment;
+//! * `merge`    — fold snapshot files into one union estimate;
 //! * `info`     — the paper's headline numbers for the current config.
 //!
 //! The argument parser is deliberately dependency-free (`--key value`
@@ -30,6 +33,8 @@ pub fn run(cmd: &Command, out: &mut dyn std::io::Write) -> std::io::Result<()> {
         Command::Workload(opts) => commands::workload(opts, out),
         Command::Diff(opts) => commands::diff(opts, out),
         Command::Robustness(opts) => commands::robustness(opts, out),
+        Command::Snapshot(opts) => commands::snapshot(opts, out),
+        Command::Merge(opts) => commands::merge(opts, out),
         Command::Info => commands::info(out),
         Command::Help => {
             write!(out, "{}", args::USAGE)

@@ -38,6 +38,7 @@ pub mod overhead;
 pub mod params;
 pub mod probe;
 pub mod rough;
+pub mod sketch;
 pub mod theory;
 
 pub use diff::{estimate_changes, DiffOutcome};
@@ -45,4 +46,8 @@ pub use efficiency::{confidence_interval, crlb, ConfidenceInterval};
 pub use estimator::{Bfce, BfceRun, BloomPlan};
 pub use multiset::{estimate_union, UnionOutcome};
 pub use params::{BfceConfig, HasherKind};
+pub use sketch::{
+    merge_all, AnySnapshot, BloomSketch, RegisterFlavor, RegisterSketch, SketchError, SketchKind,
+    Snapshot, WireError,
+};
 pub use theory::{estimate_from_rho, f1, f2, gamma, lambda};

@@ -1,0 +1,348 @@
+//! A snapshotable BFCE Bloom frame.
+//!
+//! [`BloomSketch`] captures everything a back-end needs to treat one
+//! reader's fully-observed Bloom frame as mergeable estimator state: the
+//! frame geometry (`w`, `k`), the broadcast hash seeds, the persistence
+//! numerator, and the busy bitmap. Two sketches built from the **same
+//! seeds and persistence** merge by slot-wise OR, and by the argument in
+//! [`crate::multiset`] the merged bitmap is *exactly* the frame the union
+//! population would have produced — so [`BloomSketch::estimate`] on the
+//! merge is the union-cardinality estimate, each shared tag counted once.
+//!
+//! This is the `multiset::estimate_union` path generalized from "frames
+//! in one process" to "snapshots from k readers, possibly over the wire":
+//! the sketch serializes under `rfid-sketch/v1` (kind 1) and validates
+//! seed/persistence agreement at merge time instead of assuming it.
+
+use super::wire::{Reader, SketchKind, WireError, Writer};
+use crate::params::BfceConfig;
+use crate::theory::{estimate_from_rho, P_GRID};
+use rfid_sim::{BitFrame, Bitmap};
+
+/// Frame-length ceiling accepted on decode: `2^24` slots is three orders
+/// of magnitude past the paper's `w = 8192`, while keeping the bitmap a
+/// hostile snapshot can make us allocate at 2 MiB.
+pub const MAX_WIRE_W: usize = 1 << 24;
+
+/// Hash-seed count ceiling accepted on decode (matches `BloomPlan`'s own
+/// 32-seed limit).
+pub const MAX_WIRE_K: usize = 32;
+
+/// One reader's Bloom frame as checkpointable, mergeable state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BloomSketch {
+    w: usize,
+    seeds: Vec<u32>,
+    p_n: u32,
+    busy: Bitmap,
+}
+
+impl BloomSketch {
+    /// Empty sketch (no busy slots yet) for a `w`-slot frame run with
+    /// `seeds` and persistence numerator `p_n`.
+    ///
+    /// Panics on out-of-range parameters; these are configuration errors
+    /// checked once at protocol setup, not data conditions.
+    pub fn empty(w: usize, seeds: &[u32], p_n: u32) -> Self {
+        assert!((1..=MAX_WIRE_W).contains(&w), "w {w} outside [1, 2^24]");
+        assert!(
+            (1..=MAX_WIRE_K).contains(&seeds.len()),
+            "need 1..=32 hash seeds"
+        );
+        assert!((1..P_GRID).contains(&p_n), "p_n must lie in [1, 1023]");
+        Self {
+            w,
+            seeds: seeds.to_vec(),
+            p_n,
+            busy: Bitmap::zeros(w),
+        }
+    }
+
+    /// Capture a fully-observed frame run under `cfg` with the given
+    /// seeds and persistence.
+    ///
+    /// Panics if the frame was truncated (`observed() != cfg.w`) or the
+    /// seed count disagrees with `cfg.k` — the snapshot would otherwise
+    /// misrepresent what the reader sensed.
+    pub fn from_frame(cfg: &BfceConfig, frame: &BitFrame, seeds: &[u32], p_n: u32) -> Self {
+        assert_eq!(
+            frame.observed(),
+            cfg.w,
+            "only fully-observed frames can be snapshotted"
+        );
+        assert_eq!(seeds.len(), cfg.k, "seed count must match cfg.k");
+        let mut sketch = Self::empty(cfg.w, seeds, p_n);
+        sketch.busy = frame.busy_bitmap().clone();
+        sketch
+    }
+
+    /// Frame length `w`.
+    pub fn w(&self) -> usize {
+        self.w
+    }
+
+    /// The broadcast hash seeds (length = `k`).
+    pub fn seeds(&self) -> &[u32] {
+        &self.seeds
+    }
+
+    /// Persistence numerator (`p = p_n / 1024`).
+    pub fn p_n(&self) -> u32 {
+        self.p_n
+    }
+
+    /// The busy bitmap.
+    pub fn busy(&self) -> &Bitmap {
+        &self.busy
+    }
+
+    /// Idle ratio of the (possibly merged) frame.
+    pub fn rho(&self) -> f64 {
+        (self.w - self.busy.count_ones()) as f64 / self.w as f64
+    }
+
+    /// Check merge compatibility: identical geometry, seeds, and
+    /// persistence.
+    pub fn compatible(&self, other: &BloomSketch) -> Result<(), &'static str> {
+        if self.w != other.w {
+            return Err("frame lengths differ");
+        }
+        if self.seeds != other.seeds {
+            return Err("hash seeds differ");
+        }
+        if self.p_n != other.p_n {
+            return Err("persistence numerators differ");
+        }
+        Ok(())
+    }
+
+    /// Slot-wise OR merge. Panics on incompatibility; the
+    /// [`Snapshot`](super::Snapshot) impl checks first and errors.
+    pub(super) fn merge_unchecked(&mut self, other: &BloomSketch) {
+        self.busy.or_assign(&other.busy);
+    }
+
+    /// Theorem 2 estimate from the sketch's idle ratio, with the same
+    /// degenerate-frame handling as [`crate::multiset::estimate_union`]:
+    /// a saturated frame falls back to the one-idle-slot lower bound, an
+    /// all-idle frame estimates zero.
+    pub fn estimate(&self) -> f64 {
+        let rho = self.rho();
+        let k = self.seeds.len();
+        let p = self.p_n as f64 / P_GRID as f64;
+        if rho <= 0.0 {
+            estimate_from_rho(1.0 / self.w as f64, self.w, k, p)
+        } else if rho >= 1.0 {
+            0.0
+        } else {
+            estimate_from_rho(rho, self.w, k, p)
+        }
+    }
+
+    /// Canonical `rfid-sketch/v1` encoding (kind 1): `w` (u32), `k` (u8),
+    /// `k` seeds (u32 each), `p_n` (u16), then the busy bitmap packed
+    /// 8 slots per byte, LSB-first, trailing padding bits zero.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new(SketchKind::BloomFrame);
+        w.u32(self.w as u32);
+        w.u8(self.seeds.len() as u8);
+        for &s in &self.seeds {
+            w.u32(s);
+        }
+        w.u16(self.p_n as u16);
+        // The Bitmap's backing words are LSB-first with a zeroed tail, so
+        // slicing them into bytes yields the packed form directly.
+        let n_bytes = self.w.div_ceil(8);
+        let mut packed = Vec::with_capacity(n_bytes);
+        'outer: for word in self.busy.words() {
+            for byte in word.to_le_bytes() {
+                if packed.len() == n_bytes {
+                    break 'outer;
+                }
+                packed.push(byte);
+            }
+        }
+        packed.resize(n_bytes, 0);
+        w.bytes(&packed);
+        w.finish()
+    }
+
+    /// Decode the payload following the kind byte (header already
+    /// consumed by [`Reader::open`]), validating ranges and the
+    /// zero-padding canonical-form rule so re-encoding reproduces the
+    /// input exactly.
+    pub(super) fn decode_payload(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let w = r.u32()? as usize;
+        if !(1..=MAX_WIRE_W).contains(&w) {
+            return Err(WireError::Invalid("frame length outside [1, 2^24]"));
+        }
+        let k = r.u8()? as usize;
+        if !(1..=MAX_WIRE_K).contains(&k) {
+            return Err(WireError::Invalid("seed count outside [1, 32]"));
+        }
+        let mut seeds = Vec::with_capacity(k);
+        for _ in 0..k {
+            seeds.push(r.u32()?);
+        }
+        let p_n = r.u16()? as u32;
+        if !(1..P_GRID).contains(&p_n) {
+            return Err(WireError::Invalid("persistence numerator outside [1, 1023]"));
+        }
+        let n_bytes = w.div_ceil(8);
+        let packed = r.bytes(n_bytes)?;
+        let mut busy = Bitmap::zeros(w);
+        let tail_bits = w % 8;
+        if tail_bits != 0 {
+            // analysis:allow(panic-path): r.bytes(n_bytes) returned exactly n_bytes bytes, and w >= 1 makes n_bytes >= 1
+            let tail = packed[n_bytes - 1];
+            if tail >> tail_bits != 0 {
+                return Err(WireError::Invalid("nonzero padding past the last slot"));
+            }
+        }
+        for (word_index, chunk) in packed.chunks(8).enumerate() {
+            let mut word = [0u8; 8];
+            // analysis:allow(panic-path): chunks(8) yields at most 8 bytes, which always fits the 8-byte word
+            word[..chunk.len()].copy_from_slice(chunk);
+            busy.or_word(word_index, u64::from_le_bytes(word));
+        }
+        Ok(Self { w, seeds, p_n, busy })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::estimator::standalone_frame;
+    use rand::rngs::StdRng;
+    use rand::{RngCore, SeedableRng};
+    use rfid_sim::{RfidSystem, Tag, TagPopulation};
+
+    fn tag(i: u64) -> Tag {
+        Tag {
+            id: i + 1,
+            rn: (i as u32).wrapping_mul(0x9E37_79B9).wrapping_add(0xAB),
+        }
+    }
+
+    fn sketch_for(tags: Vec<Tag>, seeds: &[u32], p_n: u32, cfg: &BfceConfig) -> BloomSketch {
+        let mut system = RfidSystem::new(TagPopulation::new(tags));
+        let plan = crate::estimator::BloomPlan::new(cfg, seeds, p_n);
+        let frame = system.run_bitslot_frame(cfg.w, &plan);
+        BloomSketch::from_frame(cfg, &frame, seeds, p_n)
+    }
+
+    fn seeds(seed: u64) -> Vec<u32> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..3).map(|_| rng.next_u32()).collect()
+    }
+
+    #[test]
+    fn merge_matches_the_union_frame_bitwise() {
+        let cfg = BfceConfig::paper();
+        let s = seeds(1);
+        let p_n = 40;
+        let mut a = sketch_for((0..30_000).map(tag).collect(), &s, p_n, &cfg);
+        let b = sketch_for((20_000..60_000).map(tag).collect(), &s, p_n, &cfg);
+        let union = sketch_for((0..60_000).map(tag).collect(), &s, p_n, &cfg);
+        a.merge_unchecked(&b);
+        assert_eq!(a, union);
+    }
+
+    #[test]
+    fn estimate_agrees_with_estimate_union() {
+        let cfg = BfceConfig::paper();
+        let s = seeds(2);
+        let p_n = 35;
+        let mut system = RfidSystem::new(TagPopulation::new((0..50_000).map(tag).collect()));
+        let plan = crate::estimator::BloomPlan::new(&cfg, &s, p_n);
+        let frame = system.run_bitslot_frame(cfg.w, &plan);
+        let sketch = BloomSketch::from_frame(&cfg, &frame, &s, p_n);
+        let union = crate::multiset::estimate_union(&cfg, &[frame], p_n);
+        assert!((sketch.estimate() - union.n_hat).abs() < 1e-9);
+    }
+
+    #[test]
+    fn standalone_frame_feeds_the_sketch() {
+        let cfg = BfceConfig::paper();
+        let mut system = RfidSystem::new(TagPopulation::new((0..40_000).map(tag).collect()));
+        // standalone_frame draws its own seeds; reproduce them from the
+        // same rng stream to label the sketch.
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut seed_rng = StdRng::seed_from_u64(9);
+        let s: Vec<u32> = (0..cfg.k).map(|_| seed_rng.next_u32()).collect();
+        let frame = standalone_frame(&cfg, &mut system, 60, &mut rng);
+        let sketch = BloomSketch::from_frame(&cfg, &frame, &s, 60);
+        let rel = (sketch.estimate() - 40_000.0).abs() / 40_000.0;
+        assert!(rel < 0.05, "estimate {} rel {rel}", sketch.estimate());
+    }
+
+    #[test]
+    fn encode_decode_round_trips_bitwise() {
+        let cfg = BfceConfig::paper();
+        let s = seeds(3);
+        for n in [0usize, 1, 1000, 80_000] {
+            let sketch = sketch_for((0..n as u64).map(tag).collect(), &s, 50, &cfg);
+            let bytes = sketch.encode();
+            let (mut r, kind) = Reader::open(&bytes).expect("open");
+            assert_eq!(kind, SketchKind::BloomFrame);
+            let back = BloomSketch::decode_payload(&mut r).expect("decode");
+            r.finish().expect("consumed");
+            assert_eq!(back, sketch, "n = {n}");
+            assert_eq!(back.encode(), bytes, "re-encode bijection at n = {n}");
+        }
+    }
+
+    #[test]
+    fn non_byte_aligned_widths_round_trip() {
+        for w in [1usize, 7, 8, 9, 63, 64, 65, 1000] {
+            let mut sk = BloomSketch::empty(w, &[1, 2, 3], 100);
+            for i in (0..w).step_by(3) {
+                sk.busy.set(i);
+            }
+            let bytes = sk.encode();
+            let (mut r, _) = Reader::open(&bytes).expect("open");
+            let back = BloomSketch::decode_payload(&mut r).expect("decode");
+            r.finish().expect("consumed");
+            assert_eq!(back, sk, "w = {w}");
+            assert_eq!(back.encode(), bytes, "w = {w}");
+        }
+    }
+
+    #[test]
+    fn nonzero_padding_is_rejected() {
+        let sk = BloomSketch::empty(9, &[1], 10); // 2 packed bytes, 7 padding bits
+        let mut bytes = sk.encode();
+        // The last packed byte sits just before the 8-byte checksum.
+        let idx = bytes.len() - 8 - 1;
+        bytes[idx] |= 0x80;
+        let n = bytes.len();
+        let sum = super::super::wire::checksum(&bytes[..n - 8]);
+        bytes[n - 8..].copy_from_slice(&sum.to_le_bytes());
+        let (mut r, _) = Reader::open(&bytes).expect("open");
+        assert_eq!(
+            BloomSketch::decode_payload(&mut r).unwrap_err(),
+            WireError::Invalid("nonzero padding past the last slot")
+        );
+    }
+
+    #[test]
+    fn incompatible_sketches_are_detected() {
+        let base = BloomSketch::empty(64, &[1, 2, 3], 10);
+        assert!(base.compatible(&BloomSketch::empty(64, &[1, 2, 3], 10)).is_ok());
+        assert!(base.compatible(&BloomSketch::empty(128, &[1, 2, 3], 10)).is_err());
+        assert!(base.compatible(&BloomSketch::empty(64, &[1, 2, 4], 10)).is_err());
+        assert!(base.compatible(&BloomSketch::empty(64, &[1, 2, 3], 11)).is_err());
+    }
+
+    #[test]
+    fn degenerate_frames_estimate_like_estimate_union() {
+        let all_idle = BloomSketch::empty(64, &[1], 10);
+        assert_eq!(all_idle.estimate(), 0.0);
+        let mut saturated = BloomSketch::empty(64, &[1], 10);
+        for i in 0..64 {
+            saturated.busy.set(i);
+        }
+        let expect = estimate_from_rho(1.0 / 64.0, 64, 1, 10.0 / 1024.0);
+        assert!((saturated.estimate() - expect).abs() < 1e-9);
+    }
+}

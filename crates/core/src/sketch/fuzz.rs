@@ -1,0 +1,101 @@
+//! Must-not-panic entry point for the `snapshot_roundtrip` fuzz target.
+//!
+//! Mirrors the pattern of `rfid-analysis`'s `fuzz_surface`: the
+//! out-of-tree cargo-fuzz target under `fuzz/fuzz_targets/` is a thin
+//! wrapper around [`snapshot_roundtrip`], and the in-tree
+//! `crates/core/tests/fuzz_smoke.rs` replays the same body over the seed
+//! corpus plus deterministic mutations on every `cargo test` — so a
+//! crash found by the fuzzer reproduces as a plain unit-test call.
+//!
+//! Invariants enforced on arbitrary bytes:
+//!
+//! * decoding never panics — it returns a value or a strict [`WireError`];
+//! * accepted bytes re-encode **byte-for-byte** (the decoder admits only
+//!   the canonical form, so decode/encode is a bijection on its image);
+//! * every accepted snapshot yields a finite, non-negative estimate;
+//! * self-merge is idempotent and keeps the snapshot identical;
+//! * rejections format into non-empty error messages (the `Display`
+//!   impls are part of the CLI surface).
+
+use super::{AnySnapshot, Snapshot};
+
+/// Fuzz body: strict decode → canonical re-encode → estimate/self-merge
+/// sanity.
+pub fn snapshot_roundtrip(data: &[u8]) {
+    match AnySnapshot::decode(data) {
+        Ok(snap) => {
+            let encoded = snap.snapshot();
+            // analysis:allow(panic-path): this fn is the fuzz oracle — a violated invariant must abort so libFuzzer records the input
+            assert_eq!(
+                encoded, data,
+                "decoder accepted a non-canonical encoding (re-encode differs)"
+            );
+            let estimate = snap.estimate();
+            // analysis:allow(panic-path): fuzz oracle — the panic is the crash report
+            assert!(
+                estimate.is_finite() && estimate >= 0.0,
+                "accepted snapshot produced estimate {estimate}"
+            );
+            let mut merged = snap.clone();
+            merged
+                .merge(&snap)
+                .expect("a snapshot must merge with itself"); // analysis:allow(unwrap): a fuzz body aborts loudly on violation — the panic IS the oracle
+            // analysis:allow(panic-path): fuzz oracle — the panic is the crash report
+            assert_eq!(merged, snap, "self-merge is not idempotent");
+            // analysis:allow(panic-path): fuzz oracle — the panic is the crash report
+            assert_eq!(merged.snapshot(), encoded, "self-merge changed the encoding");
+        }
+        Err(err) => {
+            let msg = err.to_string();
+            // analysis:allow(panic-path): fuzz oracle — the panic is the crash report
+            assert!(!msg.is_empty(), "wire errors must render a message");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{BloomSketch, RegisterFlavor, RegisterSketch};
+    use super::*;
+
+    #[test]
+    fn body_accepts_valid_snapshots() {
+        let mut reg = RegisterSketch::new(RegisterFlavor::HllPp, 12, 61, 3);
+        for i in 0..5_000u64 {
+            reg.observe_identity(i + 1);
+        }
+        snapshot_roundtrip(&reg.snapshot());
+        snapshot_roundtrip(&BloomSketch::empty(8192, &[1, 2, 3], 40).snapshot());
+    }
+
+    #[test]
+    fn body_rejects_garbage_without_panicking() {
+        snapshot_roundtrip(b"");
+        snapshot_roundtrip(b"rfid-sketch/");
+        snapshot_roundtrip(b"rfid-sketch/v1\n");
+        snapshot_roundtrip(b"rfid-sketch/v2\n\x01rest");
+        snapshot_roundtrip(&[0xFF; 64]);
+    }
+
+    #[test]
+    fn body_rejects_truncations_of_valid_snapshots() {
+        let mut reg = RegisterSketch::new(RegisterFlavor::LogLogBeta, 8, 32, 1);
+        for i in 0..2_000u64 {
+            reg.observe_identity(i + 1);
+        }
+        let bytes = reg.snapshot();
+        for cut in 0..bytes.len() {
+            snapshot_roundtrip(&bytes[..cut]);
+        }
+    }
+
+    #[test]
+    fn body_rejects_bit_flips_or_accepts_them_canonically() {
+        let bytes = BloomSketch::empty(64, &[7], 99).snapshot();
+        for i in 0..bytes.len() {
+            let mut corrupt = bytes.clone();
+            corrupt[i] ^= 0x01;
+            snapshot_roundtrip(&corrupt);
+        }
+    }
+}

@@ -1,0 +1,367 @@
+//! Mergeable estimator snapshots (ROADMAP item 2).
+//!
+//! The paper's protocols are one-shot: a reader runs a frame, inverts an
+//! observation, and the state dies with the call. Continuous estimation
+//! over many readers needs that state to outlive the call — to be
+//! **checkpointed** (serialize to bytes), **restored** (bytes back to
+//! state, bitwise-identical), and **merged** (k readers' states folded
+//! into the state one logical reader covering the union would have had).
+//! The [`Snapshot`] trait names those three operations; this module
+//! implements them for:
+//!
+//! * [`BloomSketch`] — a BFCE Bloom frame (busy bitmap + parameters),
+//!   merging by slot-wise OR, generalizing
+//!   [`crate::multiset::estimate_union`] to serialized per-reader state;
+//! * [`RegisterSketch`] — HyperLogLog++ / LogLog-β register files with
+//!   Small → Array → Dense tiered storage, merging by register-wise max.
+//!
+//! Both merges are commutative, associative, and idempotent, and both
+//! representations are **canonical** (a pure function of the logical
+//! content), so merge results are bitwise-deterministic under any merge
+//! order — the property `tests/merge_algebra.rs` checks with proptest and
+//! `tests/determinism.rs` audits across `--jobs` splits.
+//!
+//! Snapshots travel as [`wire`]'s `rfid-sketch/v1` byte strings; the
+//! kind-dispatching [`AnySnapshot`] and [`merge_all`] implement the
+//! back-end side of the protocol without knowing which estimator produced
+//! the state.
+
+pub mod bloom;
+pub mod fuzz;
+pub mod repr;
+pub mod wire;
+
+pub use bloom::BloomSketch;
+pub use repr::{sparse_cap, RegisterFlavor, RegisterSketch, Registers, SMALL_CAP};
+pub use wire::{SketchKind, WireError};
+
+use wire::Reader;
+
+/// Why a snapshot operation failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SketchError {
+    /// The bytes are not a valid `rfid-sketch/v1` snapshot.
+    Wire(WireError),
+    /// The snapshot decodes fine but is not the kind the caller needs
+    /// (e.g. restoring a Bloom sketch from HLL++ bytes).
+    WrongKind {
+        /// What the caller can restore.
+        want: &'static str,
+        /// What the bytes actually carry.
+        got: SketchKind,
+    },
+    /// Both operands decode fine but cannot be merged (parameters or
+    /// kinds disagree).
+    Incompatible {
+        /// Which parameter disagrees.
+        what: &'static str,
+    },
+    /// A fold over zero snapshots.
+    NoSnapshots,
+}
+
+impl From<WireError> for SketchError {
+    fn from(e: WireError) -> Self {
+        SketchError::Wire(e)
+    }
+}
+
+impl std::fmt::Display for SketchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SketchError::Wire(e) => write!(f, "{e}"),
+            SketchError::WrongKind { want, got } => {
+                write!(f, "snapshot kind mismatch: wanted {want}, got {got}")
+            }
+            SketchError::Incompatible { what } => {
+                write!(f, "snapshots cannot be merged: {what}")
+            }
+            SketchError::NoSnapshots => write!(f, "no snapshots to merge"),
+        }
+    }
+}
+
+impl std::error::Error for SketchError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SketchError::Wire(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// Checkpointable, restorable, mergeable estimator state.
+///
+/// Laws (checked by `tests/merge_algebra.rs`):
+///
+/// * `restore(a.snapshot()) == a` bitwise;
+/// * `merge` is commutative, associative, and idempotent (`a ∪ a = a`),
+///   with results bitwise-identical across merge orders;
+/// * `merge` errors (rather than silently corrupting) on incompatible
+///   operands, leaving `self` unchanged.
+pub trait Snapshot: Sized {
+    /// Serialize to a canonical `rfid-sketch/v1` byte string.
+    fn snapshot(&self) -> Vec<u8>;
+
+    /// Rebuild state from a snapshot, strictly validated.
+    fn restore(bytes: &[u8]) -> Result<Self, SketchError>;
+
+    /// Fold `other` into `self` so that `self` describes the union of
+    /// both coverages. On error, `self` is unchanged.
+    fn merge(&mut self, other: &Self) -> Result<(), SketchError>;
+}
+
+impl Snapshot for BloomSketch {
+    fn snapshot(&self) -> Vec<u8> {
+        self.encode()
+    }
+
+    fn restore(bytes: &[u8]) -> Result<Self, SketchError> {
+        let (mut r, kind) = Reader::open(bytes)?;
+        if kind != SketchKind::BloomFrame {
+            return Err(SketchError::WrongKind {
+                want: "bloom-frame",
+                got: kind,
+            });
+        }
+        let sketch = BloomSketch::decode_payload(&mut r)?;
+        r.finish()?;
+        Ok(sketch)
+    }
+
+    fn merge(&mut self, other: &Self) -> Result<(), SketchError> {
+        self.compatible(other)
+            .map_err(|what| SketchError::Incompatible { what })?;
+        self.merge_unchecked(other);
+        Ok(())
+    }
+}
+
+impl Snapshot for RegisterSketch {
+    fn snapshot(&self) -> Vec<u8> {
+        self.encode()
+    }
+
+    fn restore(bytes: &[u8]) -> Result<Self, SketchError> {
+        let (mut r, kind) = Reader::open(bytes)?;
+        let flavor = match kind {
+            SketchKind::HllPp => RegisterFlavor::HllPp,
+            SketchKind::LogLogBeta => RegisterFlavor::LogLogBeta,
+            SketchKind::BloomFrame => {
+                return Err(SketchError::WrongKind {
+                    want: "hllpp or llbeta",
+                    got: kind,
+                })
+            }
+        };
+        let sketch = RegisterSketch::decode_payload(&mut r, flavor)?;
+        r.finish()?;
+        Ok(sketch)
+    }
+
+    fn merge(&mut self, other: &Self) -> Result<(), SketchError> {
+        self.compatible(other)
+            .map_err(|what| SketchError::Incompatible { what })?;
+        self.merge_unchecked(other);
+        Ok(())
+    }
+}
+
+/// A decoded snapshot of any kind — the back-end's view, which needs no
+/// knowledge of the producing estimator to merge and estimate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AnySnapshot {
+    /// A BFCE Bloom-frame sketch.
+    Bloom(BloomSketch),
+    /// A HyperLogLog++ / LogLog-β register sketch.
+    Registers(RegisterSketch),
+}
+
+impl AnySnapshot {
+    /// The wire kind of this snapshot.
+    pub fn kind(&self) -> SketchKind {
+        match self {
+            AnySnapshot::Bloom(_) => SketchKind::BloomFrame,
+            AnySnapshot::Registers(s) => match s.flavor() {
+                RegisterFlavor::HllPp => SketchKind::HllPp,
+                RegisterFlavor::LogLogBeta => SketchKind::LogLogBeta,
+            },
+        }
+    }
+
+    /// The cardinality estimate of the state as it stands.
+    pub fn estimate(&self) -> f64 {
+        match self {
+            AnySnapshot::Bloom(s) => s.estimate(),
+            AnySnapshot::Registers(s) => s.estimate(),
+        }
+    }
+
+    /// Decode any `rfid-sketch/v1` snapshot, dispatching on the kind
+    /// byte.
+    pub fn decode(bytes: &[u8]) -> Result<Self, WireError> {
+        let (mut r, kind) = Reader::open(bytes)?;
+        let snap = match kind {
+            SketchKind::BloomFrame => AnySnapshot::Bloom(BloomSketch::decode_payload(&mut r)?),
+            SketchKind::HllPp => AnySnapshot::Registers(RegisterSketch::decode_payload(
+                &mut r,
+                RegisterFlavor::HllPp,
+            )?),
+            SketchKind::LogLogBeta => AnySnapshot::Registers(RegisterSketch::decode_payload(
+                &mut r,
+                RegisterFlavor::LogLogBeta,
+            )?),
+        };
+        r.finish()?;
+        Ok(snap)
+    }
+}
+
+impl Snapshot for AnySnapshot {
+    fn snapshot(&self) -> Vec<u8> {
+        match self {
+            AnySnapshot::Bloom(s) => s.encode(),
+            AnySnapshot::Registers(s) => s.encode(),
+        }
+    }
+
+    fn restore(bytes: &[u8]) -> Result<Self, SketchError> {
+        Ok(AnySnapshot::decode(bytes)?)
+    }
+
+    fn merge(&mut self, other: &Self) -> Result<(), SketchError> {
+        match (self, other) {
+            (AnySnapshot::Bloom(a), AnySnapshot::Bloom(b)) => a.merge(b),
+            (AnySnapshot::Registers(a), AnySnapshot::Registers(b)) => a.merge(b),
+            (a, b) => Err(SketchError::Incompatible {
+                what: if a.kind() == b.kind() {
+                    "parameters differ"
+                } else {
+                    "sketch kinds differ"
+                },
+            }),
+        }
+    }
+}
+
+/// Fold `k` serialized per-reader snapshots into the state of one logical
+/// reader covering the union — the general reader-merge path.
+///
+/// Every snapshot is strictly decoded and checked compatible with the
+/// first; any failure aborts the fold with the offending error. By the
+/// merge laws the result is bitwise-independent of input order.
+pub fn merge_all<'a, I>(snapshots: I) -> Result<AnySnapshot, SketchError>
+where
+    I: IntoIterator<Item = &'a [u8]>,
+{
+    let mut iter = snapshots.into_iter();
+    let first = iter.next().ok_or(SketchError::NoSnapshots)?;
+    let mut acc = AnySnapshot::restore(first)?;
+    for bytes in iter {
+        let next = AnySnapshot::restore(bytes)?;
+        acc.merge(&next)?;
+    }
+    Ok(acc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn register_sketch(flavor: RegisterFlavor, seed: u32, ids: std::ops::Range<u64>) -> RegisterSketch {
+        let mut sk = RegisterSketch::new(flavor, 12, 61, seed);
+        for i in ids {
+            sk.observe_identity(i + 1);
+        }
+        sk
+    }
+
+    #[test]
+    fn restore_of_snapshot_is_identity_for_both_types() {
+        let reg = register_sketch(RegisterFlavor::HllPp, 5, 0..10_000);
+        let back = RegisterSketch::restore(&reg.snapshot()).expect("restore");
+        assert_eq!(back, reg);
+
+        let mut bloom = BloomSketch::empty(8192, &[1, 2, 3], 100);
+        let back = BloomSketch::restore(&bloom.snapshot()).expect("restore");
+        assert_eq!(back, bloom);
+        bloom.merge(&back).expect("self-merge is idempotent");
+        assert_eq!(back, bloom);
+    }
+
+    #[test]
+    fn any_snapshot_round_trips_and_dispatches() {
+        let reg = register_sketch(RegisterFlavor::LogLogBeta, 3, 0..500);
+        let any = AnySnapshot::decode(&reg.snapshot()).expect("decode");
+        assert_eq!(any.kind(), SketchKind::LogLogBeta);
+        assert_eq!(any.snapshot(), reg.snapshot());
+        assert!((any.estimate() - reg.estimate()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_all_folds_k_readers_into_the_union() {
+        let readers: Vec<Vec<u8>> = (0..8u64)
+            .map(|r| register_sketch(RegisterFlavor::HllPp, 77, r * 5_000..(r + 1) * 5_000 + 2_000).snapshot())
+            .collect();
+        let merged = merge_all(readers.iter().map(|b| b.as_slice())).expect("merge");
+        // Union is 0..37_000 + the trailing overlap = 42_000 distinct ids.
+        let union = register_sketch(RegisterFlavor::HllPp, 77, 0..42_000);
+        assert_eq!(merged.snapshot(), union.snapshot());
+    }
+
+    #[test]
+    fn merge_all_is_order_invariant_bitwise() {
+        let snaps: Vec<Vec<u8>> = (0..5u64)
+            .map(|r| register_sketch(RegisterFlavor::HllPp, 9, r * 100..r * 100 + 350).snapshot())
+            .collect();
+        let fwd = merge_all(snaps.iter().map(|b| b.as_slice())).expect("fwd");
+        let rev = merge_all(snaps.iter().rev().map(|b| b.as_slice())).expect("rev");
+        assert_eq!(fwd.snapshot(), rev.snapshot());
+    }
+
+    #[test]
+    fn merge_all_rejects_empty_and_incompatible_inputs() {
+        assert_eq!(merge_all(std::iter::empty()).unwrap_err(), SketchError::NoSnapshots);
+
+        let a = register_sketch(RegisterFlavor::HllPp, 1, 0..100).snapshot();
+        let b = register_sketch(RegisterFlavor::HllPp, 2, 0..100).snapshot(); // different seed
+        let err = merge_all([a.as_slice(), b.as_slice()]).unwrap_err();
+        assert_eq!(err, SketchError::Incompatible { what: "sketch hash seeds differ" });
+
+        let c = register_sketch(RegisterFlavor::LogLogBeta, 1, 0..100).snapshot();
+        let err = merge_all([a.as_slice(), c.as_slice()]).unwrap_err();
+        assert_eq!(err, SketchError::Incompatible { what: "sketch flavors differ" });
+
+        let d = BloomSketch::empty(64, &[1], 10).snapshot();
+        let err = merge_all([a.as_slice(), d.as_slice()]).unwrap_err();
+        assert_eq!(err, SketchError::Incompatible { what: "sketch kinds differ" });
+
+        let err = merge_all([a.as_slice(), b"garbage".as_slice()]).unwrap_err();
+        assert!(matches!(err, SketchError::Wire(WireError::BadMagic)));
+    }
+
+    #[test]
+    fn failed_merge_leaves_self_unchanged() {
+        let mut a = register_sketch(RegisterFlavor::HllPp, 1, 0..100);
+        let before = a.snapshot();
+        let b = register_sketch(RegisterFlavor::HllPp, 2, 0..100);
+        assert!(a.merge(&b).is_err());
+        assert_eq!(a.snapshot(), before);
+    }
+
+    #[test]
+    fn restoring_the_wrong_kind_errors() {
+        let reg = register_sketch(RegisterFlavor::HllPp, 1, 0..10).snapshot();
+        let err = BloomSketch::restore(&reg).unwrap_err();
+        assert_eq!(
+            err,
+            SketchError::WrongKind { want: "bloom-frame", got: SketchKind::HllPp }
+        );
+        let bloom = BloomSketch::empty(64, &[1], 10).snapshot();
+        let err = RegisterSketch::restore(&bloom).unwrap_err();
+        assert_eq!(
+            err,
+            SketchError::WrongKind { want: "hllpp or llbeta", got: SketchKind::BloomFrame }
+        );
+    }
+}

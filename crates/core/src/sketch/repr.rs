@@ -1,0 +1,748 @@
+//! Tiered register storage and the two LogLog-family register sketches.
+//!
+//! A register sketch holds `m = 2^p` one-byte registers, each the maximum
+//! rank (first-set-bit position) observed among the tags hashing to it.
+//! Small populations touch only a handful of registers, so the storage is
+//! tiered:
+//!
+//! * **Small** — up to [`SMALL_CAP`] `(register, rank)` pairs inline, no
+//!   heap allocation;
+//! * **Array** — a sorted `Vec` of pairs, up to `m / 4` entries;
+//! * **Dense** — the full `m`-byte register file.
+//!
+//! The active tier is a **pure function of the register contents** (the
+//! nonzero count): promotions happen exactly when an insert crosses a
+//! threshold, never on merge order or call history. That canonicality is
+//! what makes the merge algebra hold *bitwise* — `a ∪ b` and `b ∪ a` are
+//! not merely equal as multisets of registers but identical in memory and
+//! on the wire, which the merge-determinism audit and the proptests in
+//! `tests/merge_algebra.rs` check literally.
+//!
+//! [`RegisterSketch`] wraps the tiers with the sketch parameters and the
+//! two estimate formulas:
+//!
+//! * **HyperLogLog++** (Heule, Nunkesser, Hall 2013): the bias-corrected
+//!   raw estimate `α_m · m² / Σ 2^{-M_j}`, falling back to linear counting
+//!   `m · ln(m / z)` in the small range. The 64-bit register hash
+//!   ([`rfid_hash::register_hash`]) removes the need for the 32-bit
+//!   large-range correction.
+//! * **LogLog-β** (Qin, Kim, Tung, Wang 2016): the single closed-form
+//!   `α_∞ · m · (m − z) / (β(m, z) + Σ 2^{-M_j})`, where the polynomial
+//!   `β` absorbs both the small-range and mid-range bias, so there is no
+//!   regime switch at all. The published coefficients are fitted at
+//!   `m = 2^14`; other precisions use them as an approximation (the paper
+//!   notes they drift slowly with `m`), so the conformance harness pins
+//!   LogLog-β at precision 14.
+
+use super::wire::{Reader, WireError, Writer};
+use rfid_hash::register::{register_hash, MAX_RANK, PRECISION_RANGE};
+
+/// Maximum nonzero registers held inline by the Small tier.
+pub const SMALL_CAP: usize = 8;
+
+/// Registers of a precision-`p` sketch (`m = 2^p`).
+#[inline]
+fn m_of(p: u8) -> usize {
+    1usize << p
+}
+
+/// Largest nonzero-register count stored sparsely; one past this and the
+/// sketch is Dense. `m / 4` keeps the sorted-pair tier strictly smaller
+/// than the register file it replaces, floored at [`SMALL_CAP`] so the
+/// Small tier always exists.
+pub fn sparse_cap(p: u8) -> usize {
+    SMALL_CAP.max(m_of(p) / 4)
+}
+
+/// The storage tiers. `PartialEq` here is representational equality — by
+/// the canonical-tier invariant it coincides with register-file equality.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Repr {
+    /// `len` pairs in `pairs[..len]`, sorted by register, ranks nonzero.
+    Small {
+        /// Number of live pairs.
+        len: u8,
+        /// Inline pair storage; entries past `len` are `(0, 0)` filler.
+        pairs: [(u16, u8); SMALL_CAP],
+    },
+    /// Sorted `(register, rank)` pairs, ranks nonzero.
+    Array(Vec<(u16, u8)>),
+    /// The full register file, one byte per register.
+    Dense(Vec<u8>),
+}
+
+/// A tiered register file for one LogLog-family sketch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Registers {
+    precision: u8,
+    repr: Repr,
+}
+
+impl Registers {
+    /// Empty register file with `m = 2^precision` registers.
+    ///
+    /// Panics if `precision` is outside [`PRECISION_RANGE`].
+    pub fn new(precision: u8) -> Self {
+        assert!(
+            PRECISION_RANGE.contains(&precision),
+            "precision {precision} outside {PRECISION_RANGE:?}"
+        );
+        Self {
+            precision,
+            repr: Repr::Small {
+                len: 0,
+                pairs: [(0, 0); SMALL_CAP],
+            },
+        }
+    }
+
+    /// The register-index precision `p`.
+    pub fn precision(&self) -> u8 {
+        self.precision
+    }
+
+    /// Number of registers, `m = 2^p`.
+    pub fn m(&self) -> usize {
+        m_of(self.precision)
+    }
+
+    /// Name of the active tier — `"small"`, `"array"`, or `"dense"` — for
+    /// tests asserting promotion boundaries.
+    pub fn tier(&self) -> &'static str {
+        match &self.repr {
+            Repr::Small { .. } => "small",
+            Repr::Array(_) => "array",
+            Repr::Dense(_) => "dense",
+        }
+    }
+
+    /// Number of registers holding a nonzero rank.
+    pub fn nonzero(&self) -> usize {
+        match &self.repr {
+            Repr::Small { len, .. } => *len as usize,
+            Repr::Array(pairs) => pairs.len(),
+            Repr::Dense(bytes) => bytes.iter().filter(|&&b| b != 0).count(),
+        }
+    }
+
+    /// Rank stored in `register` (0 if never observed). Panics if the
+    /// register is out of range.
+    pub fn get(&self, register: usize) -> u8 {
+        assert!(register < self.m(), "register {register} out of range");
+        let key = register as u16;
+        match &self.repr {
+            // analysis:allow(panic-path): len <= SMALL_CAP is the Small-tier invariant, checked at decode and every insert
+            Repr::Small { len, pairs } => pairs[..*len as usize]
+                .iter()
+                .find(|(r, _)| *r == key)
+                .map_or(0, |&(_, q)| q),
+            Repr::Array(pairs) => pairs
+                .binary_search_by_key(&key, |&(r, _)| r)
+                // analysis:allow(panic-path): binary_search_by_key only returns Ok(i) with i in range
+                .map_or(0, |i| pairs[i].1),
+            // analysis:allow(panic-path): register < m() is this fn's documented precondition, asserted on entry
+            Repr::Dense(bytes) => bytes[register],
+        }
+    }
+
+    /// Raise `register` to at least `rank` (max-merge of one observation).
+    ///
+    /// Panics if the register is out of range or the rank is zero — both
+    /// are caller bugs, not data conditions (wire decoding validates
+    /// before calling in).
+    pub fn observe(&mut self, register: u32, rank: u8) {
+        let m = self.m();
+        assert!((register as usize) < m, "register {register} out of range");
+        assert!(rank >= 1, "rank must be at least 1");
+        let key = register as u16;
+        match &mut self.repr {
+            Repr::Small { len, pairs } => {
+                // analysis:allow(panic-path): len <= SMALL_CAP is the Small-tier invariant, checked at decode and every insert
+                let live = &mut pairs[..*len as usize];
+                match live.iter_mut().find(|(r, _)| *r == key) {
+                    Some((_, q)) => *q = (*q).max(rank),
+                    None if (*len as usize) < SMALL_CAP => {
+                        let n = *len as usize;
+                        // Insert sorted: shift the tail up one slot.
+                        // analysis:allow(panic-path): at <= n < SMALL_CAP in this arm, so at and at + 1 stay in the fixed array
+                        let at = pairs[..n].partition_point(|&(r, _)| r < key);
+                        pairs.copy_within(at..n, at + 1);
+                        // analysis:allow(panic-path): same bound — the guard above admits only n < SMALL_CAP
+                        pairs[at] = (key, rank);
+                        *len += 1;
+                    }
+                    None => {
+                        self.promote(SMALL_CAP + 1);
+                        self.observe(register, rank);
+                    }
+                }
+            }
+            Repr::Array(pairs) => match pairs.binary_search_by_key(&key, |&(r, _)| r) {
+                // analysis:allow(panic-path): binary_search_by_key only returns Ok(i) with i in range
+                Ok(i) => pairs[i].1 = pairs[i].1.max(rank),
+                Err(i) if pairs.len() < sparse_cap(self.precision) => {
+                    pairs.insert(i, (key, rank));
+                }
+                Err(_) => {
+                    self.promote(sparse_cap(self.precision) + 1);
+                    self.observe(register, rank);
+                }
+            },
+            Repr::Dense(bytes) => {
+                // analysis:allow(panic-path): register < m is asserted at the top of observe; Dense always holds m bytes
+                let cell = &mut bytes[register as usize];
+                *cell = (*cell).max(rank);
+            }
+        }
+    }
+
+    /// Promote the representation to whichever tier canonically holds
+    /// `upcoming` nonzero registers. Content is preserved exactly.
+    fn promote(&mut self, upcoming: usize) {
+        let p = self.precision;
+        if upcoming <= sparse_cap(p) {
+            // Small → Array.
+            if let Repr::Small { len, pairs } = &self.repr {
+                let mut v = Vec::with_capacity(sparse_cap(p).min(*len as usize * 2 + 1));
+                // analysis:allow(panic-path): len <= SMALL_CAP is the Small-tier invariant, checked at decode and every insert
+                v.extend_from_slice(&pairs[..*len as usize]);
+                self.repr = Repr::Array(v);
+            }
+        } else {
+            // Small/Array → Dense.
+            let mut bytes = vec![0u8; m_of(p)];
+            // analysis:allow(panic-path): every stored register key is < m (checked at observe/decode), and bytes holds m entries
+            self.for_each_nonzero(|r, q| bytes[r as usize] = q);
+            self.repr = Repr::Dense(bytes);
+        }
+    }
+
+    /// Visit every nonzero register in ascending register order.
+    pub fn for_each_nonzero(&self, mut f: impl FnMut(u16, u8)) {
+        match &self.repr {
+            Repr::Small { len, pairs } => {
+                // analysis:allow(panic-path): len <= SMALL_CAP is the Small-tier invariant, checked at decode and every insert
+                for &(r, q) in &pairs[..*len as usize] {
+                    f(r, q);
+                }
+            }
+            Repr::Array(pairs) => {
+                for &(r, q) in pairs {
+                    f(r, q);
+                }
+            }
+            Repr::Dense(bytes) => {
+                for (r, &q) in bytes.iter().enumerate() {
+                    if q != 0 {
+                        f(r as u16, q);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Max-merge every register of `other` into `self`.
+    ///
+    /// Panics on a precision mismatch; sketch-level merges check
+    /// compatibility first and surface it as an error.
+    pub fn merge_from(&mut self, other: &Registers) {
+        assert_eq!(
+            self.precision, other.precision,
+            "cannot merge registers of different precisions"
+        );
+        // Dense×Dense merges word through the register files directly;
+        // every other combination routes through observe(), which handles
+        // tier promotion at the canonical thresholds.
+        if let (Repr::Dense(a), Repr::Dense(b)) = (&mut self.repr, &other.repr) {
+            for (x, &y) in a.iter_mut().zip(b) {
+                *x = (*x).max(y);
+            }
+            return;
+        }
+        other.for_each_nonzero(|r, q| self.observe(r as u32, q));
+    }
+
+    /// `(zero-register count, Σ_j 2^{-M_j})` over **all** `m` registers —
+    /// zero registers contribute `2^0 = 1` to the harmonic sum. Summation
+    /// runs in ascending register order, so the value is deterministic.
+    pub fn stats(&self) -> (usize, f64) {
+        let zeros = self.m() - self.nonzero();
+        let mut sum = zeros as f64;
+        self.for_each_nonzero(|_, q| sum += 1.0 / (1u64 << q) as f64);
+        (zeros, sum)
+    }
+
+    /// Append the canonical wire encoding of the registers: a tier byte
+    /// (0 = sparse, 1 = dense), then either `count · (u16 register,
+    /// u8 rank)` sorted pairs or the raw `m`-byte register file.
+    pub(super) fn encode_into(&self, w: &mut Writer) {
+        let n = self.nonzero();
+        if n <= sparse_cap(self.precision) {
+            w.u8(0);
+            w.u16(n as u16);
+            self.for_each_nonzero(|r, q| {
+                w.u16(r);
+                w.u8(q);
+            });
+        } else {
+            w.u8(1);
+            match &self.repr {
+                Repr::Dense(bytes) => w.bytes(bytes),
+                // Unreachable under the canonical-tier invariant, but
+                // encode correctly rather than trusting it.
+                _ => {
+                    let mut bytes = vec![0u8; self.m()];
+                    // analysis:allow(panic-path): every stored register key is < m (checked at observe/decode), and bytes holds m entries
+                    self.for_each_nonzero(|r, q| bytes[r as usize] = q);
+                    w.bytes(&bytes);
+                }
+            }
+        }
+    }
+
+    /// Decode registers for a precision-`p` sketch with ranks capped at
+    /// `levels`, validating range, ordering, and canonical-form rules so
+    /// that re-encoding reproduces the input bytes exactly.
+    pub(super) fn decode_from(r: &mut Reader<'_>, p: u8, levels: u8) -> Result<Self, WireError> {
+        let m = m_of(p);
+        let tier = r.u8()?;
+        match tier {
+            0 => {
+                let count = r.u16()? as usize;
+                if count > sparse_cap(p) {
+                    return Err(WireError::Invalid(
+                        "sparse register count above the canonical cap",
+                    ));
+                }
+                let mut regs = Registers::new(p);
+                let mut prev: Option<u16> = None;
+                for _ in 0..count {
+                    let reg = r.u16()?;
+                    let rank = r.u8()?;
+                    if (reg as usize) >= m {
+                        return Err(WireError::Invalid("register index out of range"));
+                    }
+                    if prev.is_some_and(|p| reg <= p) {
+                        return Err(WireError::Invalid(
+                            "sparse registers not strictly ascending",
+                        ));
+                    }
+                    if rank == 0 || rank > levels {
+                        return Err(WireError::Invalid("rank outside [1, levels]"));
+                    }
+                    regs.observe(reg as u32, rank);
+                    prev = Some(reg);
+                }
+                Ok(regs)
+            }
+            1 => {
+                let bytes = r.bytes(m)?;
+                let mut nonzero = 0usize;
+                for &b in bytes {
+                    if b > levels {
+                        return Err(WireError::Invalid("dense rank above levels"));
+                    }
+                    nonzero += usize::from(b != 0);
+                }
+                if nonzero <= sparse_cap(p) {
+                    return Err(WireError::Invalid(
+                        "dense encoding of a sparse register file",
+                    ));
+                }
+                Ok(Registers {
+                    precision: p,
+                    repr: Repr::Dense(bytes.to_vec()),
+                })
+            }
+            _ => Err(WireError::Invalid("unknown register tier byte")),
+        }
+    }
+}
+
+/// Which LogLog-family estimate formula a [`RegisterSketch`] applies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RegisterFlavor {
+    /// HyperLogLog++ (raw + linear-counting small range).
+    HllPp,
+    /// LogLog-β (single closed-form with the β bias polynomial).
+    LogLogBeta,
+}
+
+impl RegisterFlavor {
+    /// Stable lower-case name matching the CLI estimator registry.
+    pub fn name(self) -> &'static str {
+        match self {
+            RegisterFlavor::HllPp => "hllpp",
+            RegisterFlavor::LogLogBeta => "llbeta",
+        }
+    }
+}
+
+/// HyperLogLog bias constant `α_m` (Flajolet et al., with the small-`m`
+/// specializations).
+fn alpha(m: usize) -> f64 {
+    match m {
+        16 => 0.673,
+        32 => 0.697,
+        64 => 0.709,
+        _ => 0.7213 / (1.0 + 1.079 / m as f64),
+    }
+}
+
+/// The LogLog-β bias polynomial in `z` (zero-register count) and
+/// `ln(z + 1)`, coefficients fitted at `m = 2^14` by Qin et al.
+fn beta(z: f64) -> f64 {
+    let zl = (z + 1.0).ln();
+    -0.370393911 * z
+        + 0.070471823 * zl
+        + 0.17393686 * zl.powi(2)
+        + 0.16339839 * zl.powi(3)
+        - 0.09237745 * zl.powi(4)
+        + 0.03738027 * zl.powi(5)
+        - 0.005384159 * zl.powi(6)
+        + 0.00042419 * zl.powi(7)
+}
+
+/// A LogLog-family sketch: parameters + tiered registers + flavor.
+///
+/// Two sketches are mergeable exactly when flavor, precision, rank
+/// levels, and hash seed all agree — then the register-wise `max` of
+/// their files is precisely the sketch of the union population, because
+/// a shared tag hashes identically in both.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegisterSketch {
+    flavor: RegisterFlavor,
+    levels: u8,
+    seed: u32,
+    registers: Registers,
+}
+
+impl RegisterSketch {
+    /// Empty sketch.
+    ///
+    /// Panics if `precision` is outside [`PRECISION_RANGE`] or `levels`
+    /// is outside `[1, MAX_RANK]` — configuration errors, checked once.
+    pub fn new(flavor: RegisterFlavor, precision: u8, levels: u8, seed: u32) -> Self {
+        assert!(
+            (1..=MAX_RANK).contains(&levels),
+            "levels {levels} outside [1, {MAX_RANK}]"
+        );
+        Self {
+            flavor,
+            levels,
+            seed,
+            registers: Registers::new(precision),
+        }
+    }
+
+    /// The estimate formula in force.
+    pub fn flavor(&self) -> RegisterFlavor {
+        self.flavor
+    }
+
+    /// Register-index precision `p`.
+    pub fn precision(&self) -> u8 {
+        self.registers.precision()
+    }
+
+    /// Rank cap (number of rank levels a frame carries per register).
+    pub fn levels(&self) -> u8 {
+        self.levels
+    }
+
+    /// The reader-broadcast hash seed.
+    pub fn seed(&self) -> u32 {
+        self.seed
+    }
+
+    /// The underlying register file.
+    pub fn registers(&self) -> &Registers {
+        &self.registers
+    }
+
+    /// Absorb one tag identity (hash → register/rank → max-merge).
+    pub fn observe_identity(&mut self, identity: u64) {
+        let (register, rank) =
+            register_hash(identity, self.seed, self.precision(), self.levels);
+        self.registers.observe(register, rank);
+    }
+
+    /// Absorb one already-hashed `(register, rank)` observation — the
+    /// form a busy frame slot decodes to.
+    pub fn observe_slot(&mut self, register: u32, rank: u8) {
+        self.registers.observe(register, rank.min(self.levels));
+    }
+
+    /// Check merge compatibility.
+    pub fn compatible(&self, other: &RegisterSketch) -> Result<(), &'static str> {
+        if self.flavor != other.flavor {
+            return Err("sketch flavors differ");
+        }
+        if self.precision() != other.precision() {
+            return Err("sketch precisions differ");
+        }
+        if self.levels != other.levels {
+            return Err("sketch rank levels differ");
+        }
+        if self.seed != other.seed {
+            return Err("sketch hash seeds differ");
+        }
+        Ok(())
+    }
+
+    /// Register-wise max-merge. Panics on incompatibility; the
+    /// [`Snapshot`](super::Snapshot) impl checks first and errors.
+    pub(super) fn merge_unchecked(&mut self, other: &RegisterSketch) {
+        self.registers.merge_from(&other.registers);
+    }
+
+    /// The cardinality estimate under this sketch's flavor.
+    pub fn estimate(&self) -> f64 {
+        let m = self.registers.m();
+        let mf = m as f64;
+        let (zeros, sum) = self.registers.stats();
+        match self.flavor {
+            RegisterFlavor::HllPp => {
+                let raw = alpha(m) * mf * mf / sum;
+                if raw <= 2.5 * mf && zeros > 0 {
+                    // Small-range regime: linear counting on the
+                    // zero-register fraction is far less biased.
+                    mf * (mf / zeros as f64).ln()
+                } else {
+                    raw
+                }
+            }
+            RegisterFlavor::LogLogBeta => {
+                if zeros == m {
+                    return 0.0;
+                }
+                let z = zeros as f64;
+                let alpha_inf = 0.7213 / (1.0 + 1.079 / mf);
+                alpha_inf * mf * (mf - z) / (beta(z) + sum)
+            }
+        }
+    }
+
+    /// Canonical `rfid-sketch/v1` encoding.
+    pub fn encode(&self) -> Vec<u8> {
+        let kind = match self.flavor {
+            RegisterFlavor::HllPp => super::wire::SketchKind::HllPp,
+            RegisterFlavor::LogLogBeta => super::wire::SketchKind::LogLogBeta,
+        };
+        let mut w = Writer::new(kind);
+        w.u8(self.precision());
+        w.u8(self.levels);
+        w.u32(self.seed);
+        self.registers.encode_into(&mut w);
+        w.finish()
+    }
+
+    /// Decode the payload following the kind byte (header already
+    /// consumed by [`Reader::open`]).
+    pub(super) fn decode_payload(
+        r: &mut Reader<'_>,
+        flavor: RegisterFlavor,
+    ) -> Result<Self, WireError> {
+        let precision = r.u8()?;
+        if !PRECISION_RANGE.contains(&precision) {
+            return Err(WireError::Invalid("precision outside [4, 16]"));
+        }
+        let levels = r.u8()?;
+        if !(1..=MAX_RANK).contains(&levels) {
+            return Err(WireError::Invalid("levels outside [1, 61]"));
+        }
+        let seed = r.u32()?;
+        let registers = Registers::decode_from(r, precision, levels)?;
+        Ok(Self {
+            flavor,
+            levels,
+            seed,
+            registers,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiers_promote_at_the_canonical_thresholds() {
+        let p = 8u8; // m = 256, sparse cap = 64
+        let mut regs = Registers::new(p);
+        assert_eq!(regs.tier(), "small");
+        for r in 0..SMALL_CAP as u32 {
+            regs.observe(r, 1);
+        }
+        assert_eq!(regs.tier(), "small");
+        regs.observe(SMALL_CAP as u32, 1);
+        assert_eq!(regs.tier(), "array");
+        for r in SMALL_CAP as u32 + 1..64 {
+            regs.observe(r, 1);
+        }
+        assert_eq!(regs.tier(), "array");
+        assert_eq!(regs.nonzero(), 64);
+        regs.observe(64, 1);
+        assert_eq!(regs.tier(), "dense");
+        assert_eq!(regs.nonzero(), 65);
+    }
+
+    #[test]
+    fn small_precisions_skip_the_array_tier() {
+        // m = 16 → sparse cap = SMALL_CAP, so the 9th register is dense.
+        let mut regs = Registers::new(4);
+        for r in 0..8 {
+            regs.observe(r, 2);
+        }
+        assert_eq!(regs.tier(), "small");
+        regs.observe(8, 2);
+        assert_eq!(regs.tier(), "dense");
+    }
+
+    #[test]
+    fn observe_is_a_max_merge_and_get_reads_back() {
+        let mut regs = Registers::new(10);
+        regs.observe(5, 3);
+        regs.observe(5, 1);
+        assert_eq!(regs.get(5), 3);
+        regs.observe(5, 7);
+        assert_eq!(regs.get(5), 7);
+        assert_eq!(regs.get(6), 0);
+    }
+
+    #[test]
+    fn content_equal_register_files_are_representation_equal() {
+        // Same registers reached via different orders and merge shapes
+        // must compare equal bitwise (canonical tier).
+        let p = 6u8;
+        let mut fwd = Registers::new(p);
+        let mut rev = Registers::new(p);
+        let obs: Vec<(u32, u8)> = (0..40).map(|i| (i % 23, (i % 5) as u8 + 1)).collect();
+        for &(r, q) in &obs {
+            fwd.observe(r, q);
+        }
+        for &(r, q) in obs.iter().rev() {
+            rev.observe(r, q);
+        }
+        assert_eq!(fwd, rev);
+        assert_eq!(fwd.tier(), rev.tier());
+    }
+
+    #[test]
+    fn merge_from_equals_observing_both_streams() {
+        let p = 7u8;
+        let mut a = Registers::new(p);
+        let mut b = Registers::new(p);
+        let mut both = Registers::new(p);
+        for i in 0..300u32 {
+            let (r, q) = (i * 37 % 128, (i % 9) as u8 + 1);
+            if i % 2 == 0 {
+                a.observe(r, q);
+            } else {
+                b.observe(r, q);
+            }
+            both.observe(r, q);
+        }
+        a.merge_from(&b);
+        assert_eq!(a, both);
+    }
+
+    #[test]
+    fn stats_count_zeros_and_harmonic_sum() {
+        let mut regs = Registers::new(4); // m = 16
+        let (z, s) = regs.stats();
+        assert_eq!(z, 16);
+        assert_eq!(s, 16.0);
+        regs.observe(0, 1);
+        regs.observe(1, 2);
+        let (z, s) = regs.stats();
+        assert_eq!(z, 14);
+        assert!((s - (14.0 + 0.5 + 0.25)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hllpp_estimates_are_accurate_across_ranges() {
+        for truth in [10usize, 500, 20_000, 300_000] {
+            let mut sk = RegisterSketch::new(RegisterFlavor::HllPp, 12, 61, 0xC0FFEE);
+            for i in 0..truth as u64 {
+                sk.observe_identity(i + 1);
+            }
+            let rel = (sk.estimate() - truth as f64).abs() / truth as f64;
+            // σ ≈ 1.04 / √4096 ≈ 1.6%; allow 4σ at a fixed seed.
+            assert!(rel < 0.065, "truth {truth}: estimate {} rel {rel}", sk.estimate());
+        }
+    }
+
+    #[test]
+    fn llbeta_estimates_are_accurate_across_ranges() {
+        for truth in [10usize, 500, 20_000, 300_000] {
+            let mut sk = RegisterSketch::new(RegisterFlavor::LogLogBeta, 14, 61, 0xBEE);
+            for i in 0..truth as u64 {
+                sk.observe_identity(i + 1);
+            }
+            let rel = (sk.estimate() - truth as f64).abs() / truth as f64;
+            // σ ≈ 1.04 / √16384 ≈ 0.8%; allow ~4σ at a fixed seed.
+            assert!(rel < 0.035, "truth {truth}: estimate {} rel {rel}", sk.estimate());
+        }
+    }
+
+    #[test]
+    fn empty_sketches_estimate_zero_ish() {
+        let hll = RegisterSketch::new(RegisterFlavor::HllPp, 12, 32, 1);
+        assert_eq!(hll.estimate(), 0.0); // linear counting with z = m
+        let llb = RegisterSketch::new(RegisterFlavor::LogLogBeta, 12, 32, 1);
+        assert_eq!(llb.estimate(), 0.0);
+    }
+
+    #[test]
+    fn merged_sketch_counts_shared_tags_once() {
+        let mk = |range: std::ops::Range<u64>| {
+            let mut sk = RegisterSketch::new(RegisterFlavor::HllPp, 12, 61, 42);
+            for i in range {
+                sk.observe_identity(i + 1);
+            }
+            sk
+        };
+        let mut a = mk(0..60_000);
+        let b = mk(40_000..100_000);
+        let union = mk(0..100_000);
+        a.merge_unchecked(&b);
+        assert_eq!(a, union);
+        let rel = (a.estimate() - 100_000.0).abs() / 100_000.0;
+        assert!(rel < 0.065, "union estimate {} rel {rel}", a.estimate());
+    }
+
+    #[test]
+    fn compatibility_requires_all_four_parameters() {
+        let base = RegisterSketch::new(RegisterFlavor::HllPp, 12, 32, 7);
+        assert!(base
+            .compatible(&RegisterSketch::new(RegisterFlavor::HllPp, 12, 32, 7))
+            .is_ok());
+        for other in [
+            RegisterSketch::new(RegisterFlavor::LogLogBeta, 12, 32, 7),
+            RegisterSketch::new(RegisterFlavor::HllPp, 13, 32, 7),
+            RegisterSketch::new(RegisterFlavor::HllPp, 12, 31, 7),
+            RegisterSketch::new(RegisterFlavor::HllPp, 12, 32, 8),
+        ] {
+            assert!(base.compatible(&other).is_err());
+        }
+    }
+
+    #[test]
+    fn encode_decode_round_trips_every_tier() {
+        for count in [0usize, 3, SMALL_CAP, SMALL_CAP + 1, 200, 2000] {
+            let mut sk = RegisterSketch::new(RegisterFlavor::LogLogBeta, 12, 61, 9);
+            for i in 0..count as u64 {
+                sk.observe_identity(i * 7 + 1);
+            }
+            let bytes = sk.encode();
+            let (mut r, kind) = Reader::open(&bytes).expect("open");
+            assert_eq!(kind, super::super::wire::SketchKind::LogLogBeta);
+            let back = RegisterSketch::decode_payload(&mut r, RegisterFlavor::LogLogBeta)
+                .expect("decode");
+            r.finish().expect("consumed");
+            assert_eq!(back, sk, "count {count}");
+            assert_eq!(back.encode(), bytes, "re-encode bijection at count {count}");
+        }
+    }
+}

@@ -1,0 +1,146 @@
+//! Deterministic smoke pass over the sketch-wire fuzz surface.
+//!
+//! `fuzz/` proper needs nightly + `cargo-fuzz`; this test keeps the
+//! `snapshot_roundtrip` body honest on every `cargo test` by replaying
+//! the seed corpus (valid snapshots of every kind and tier, plus known
+//! rejects) and then hammering the body with deterministic mutations of
+//! the seeds (byte flips, truncations, splices, header surgery) from a
+//! fixed-seed xorshift. Any crash the nightly fuzzer finds lands as a
+//! corpus file here and reproduces forever after.
+
+use rfid_bfce::sketch::fuzz::snapshot_roundtrip;
+use std::path::{Path, PathBuf};
+
+/// Mutations tried per corpus seed. Small enough to stay sub-second,
+/// large enough to shake out off-by-ones around the mutated regions.
+const MUTATIONS_PER_SEED: u64 = 128;
+
+fn corpus_dir() -> PathBuf {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/core sits two levels below the root")
+        .join("fuzz")
+        .join("corpus")
+        .join("snapshot_roundtrip")
+}
+
+fn seeds() -> Vec<(PathBuf, Vec<u8>)> {
+    let dir = corpus_dir();
+    let entries = std::fs::read_dir(&dir)
+        .unwrap_or_else(|e| panic!("read corpus {}: {e}", dir.display()));
+    let mut out: Vec<(PathBuf, Vec<u8>)> = entries
+        .flatten()
+        .map(|entry| {
+            let path = entry.path();
+            let bytes = std::fs::read(&path)
+                .unwrap_or_else(|e| panic!("read seed {}: {e}", path.display()));
+            (path, bytes)
+        })
+        .collect();
+    out.sort();
+    assert!(!out.is_empty(), "empty corpus at {}", dir.display());
+    out
+}
+
+/// Fixed-seed xorshift64* — the mutation schedule must be identical on
+/// every host so a failure here is a failure everywhere.
+struct XorShift(u64);
+
+impl XorShift {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+}
+
+/// Flip bytes/bits, truncate, splice, or corrupt the header,
+/// deterministically. Wire-aware where it matters: single-bit flips probe
+/// the checksum, and tail-region edits probe the trailing-bytes and
+/// padding rules.
+fn mutate(seed: &[u8], rng: &mut XorShift) -> Vec<u8> {
+    let mut bytes = seed.to_vec();
+    if bytes.is_empty() {
+        return vec![(rng.next() & 0xFF) as u8];
+    }
+    match rng.next() % 6 {
+        0 => {
+            // Flip a handful of bytes.
+            for _ in 0..1 + rng.next() % 8 {
+                let i = (rng.next() as usize) % bytes.len();
+                bytes[i] = (rng.next() & 0xFF) as u8;
+            }
+        }
+        1 => {
+            // Single-bit flip: the checksum must catch it.
+            let i = (rng.next() as usize) % bytes.len();
+            bytes[i] ^= 1 << (rng.next() % 8);
+        }
+        2 => {
+            // Truncate anywhere, including inside the magic.
+            bytes.truncate((rng.next() as usize) % bytes.len());
+        }
+        3 => {
+            // Splice a chunk onto itself (duplicated payloads, trailing
+            // bytes after a valid checksum).
+            let at = (rng.next() as usize) % bytes.len();
+            let chunk: Vec<u8> = bytes[at..].to_vec();
+            bytes.extend_from_slice(&chunk);
+        }
+        4 => {
+            // Header surgery: kind byte and version digit live up front.
+            let at = (rng.next() as usize) % bytes.len().min(16);
+            bytes[at] = (rng.next() & 0xFF) as u8;
+        }
+        _ => {
+            // Append noise — must be rejected as trailing bytes.
+            for _ in 0..1 + rng.next() % 9 {
+                bytes.push((rng.next() & 0xFF) as u8);
+            }
+        }
+    }
+    bytes
+}
+
+#[test]
+fn snapshot_roundtrip_smoke() {
+    let mut rng = XorShift(0x5EED_0BAD_F00D_u64);
+    for (path, seed) in seeds() {
+        snapshot_roundtrip(&seed);
+        for _ in 0..MUTATIONS_PER_SEED {
+            let mutant = mutate(&seed, &mut rng);
+            // A panic's message won't name the input, so wrap with context.
+            let outcome = std::panic::catch_unwind(|| snapshot_roundtrip(&mutant));
+            if outcome.is_err() {
+                panic!(
+                    "snapshot_roundtrip panicked on a mutation of {} \
+                     ({} bytes); save the input as a corpus file to pin it",
+                    path.display(),
+                    mutant.len()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn corpus_has_an_accepted_seed_of_every_kind() {
+    // The corpus must keep exercising the *accept* path of all three
+    // sketch kinds, not just rejects — otherwise mutations only ever
+    // prove that garbage errors out.
+    use rfid_bfce::AnySnapshot;
+    let mut kinds = std::collections::BTreeSet::new();
+    for (_, seed) in seeds() {
+        if let Ok(snapshot) = AnySnapshot::decode(&seed) {
+            kinds.insert(snapshot.kind().name());
+        }
+    }
+    for kind in ["bloom-frame", "hllpp", "llbeta"] {
+        assert!(kinds.contains(kind), "no valid {kind} seed in corpus");
+    }
+}

@@ -25,10 +25,12 @@ pub mod mix;
 pub mod opcount;
 pub mod persistence;
 pub mod prng;
+pub mod register;
 pub mod tag_hash;
 
 pub use geometric::geometric_level;
 pub use mix::{mix64, mix_pair};
+pub use register::register_hash;
 pub use opcount::TagOps;
 pub use persistence::PersistenceSampler;
 pub use prng::{stream_seed, SplitMix64, XorShift32};

@@ -1,0 +1,144 @@
+//! 64-bit register hashing for LogLog-family sketches.
+//!
+//! HyperLogLog++ and LogLog-β both split one well-mixed 64-bit hash of a
+//! tag's identity into a **register index** (the top `p` bits, addressing
+//! one of `m = 2^p` registers) and a **rank** (the position of the first
+//! set bit in the remaining `64 - p` bits, 1-based). The 64-bit width is
+//! what makes HyperLogLog++'s "no large-range correction" property hold:
+//! with 32-bit hashes, collisions distort estimates past ~10^8, while a
+//! 64-bit hash keeps the geometric rank law exact far beyond any RFID
+//! deployment size.
+//!
+//! The hash root is [`mix_pair`](crate::mix::mix_pair) over
+//! `(tag identity, reader seed)`, the same primitive the simulator's other
+//! full-avalanche draws use, so sketches are deterministic per
+//! `(tag, seed)` — the property that makes per-reader sketches of a shared
+//! tag *identical* and therefore mergeable by `max` without double
+//! counting.
+
+use crate::mix::mix_pair;
+
+/// Inclusive bounds on the register-index precision `p` (`m = 2^p`
+/// registers). The lower bound keeps the bias-corrected estimators'
+/// constants meaningful; the upper bound keeps register indices in `u16`
+/// for the tiered sparse representations.
+pub const PRECISION_RANGE: std::ops::RangeInclusive<u8> = 4..=16;
+
+/// Maximum representable rank: first-set-bit position in the `64 - p`
+/// hash bits left after the widest supported register index, plus one
+/// for the "all zero" overflow position.
+pub const MAX_RANK: u8 = 61;
+
+/// Split a 64-bit hash of `(identity, seed)` into `(register, rank)`.
+///
+/// * `register` is the top `p` bits of the hash, in `[0, 2^p)`.
+/// * `rank` is the 1-based position of the first set bit among the
+///   remaining `64 - p` bits, clamped to `levels` (so a frame with
+///   `levels` rank slots per register can carry it). The all-zero
+///   remainder — probability `2^-(64-p)` — also clamps to `levels`.
+///
+/// Panics if `p` is outside [`PRECISION_RANGE`] or `levels` is zero;
+/// both are configuration errors, checked once at protocol setup.
+#[inline]
+pub fn register_hash(identity: u64, seed: u32, p: u8, levels: u8) -> (u32, u8) {
+    debug_assert!(
+        PRECISION_RANGE.contains(&p),
+        "precision {p} outside {PRECISION_RANGE:?}"
+    );
+    debug_assert!(levels >= 1, "need at least one rank level");
+    let h = mix_pair(identity, seed as u64);
+    // analysis:allow(cast-truncation): the shift leaves only the top p <= 16 bits, which fit u32 by construction
+    let register = (h >> (64 - p as u32)) as u32;
+    // Shift the register bits out; the rank is counted over what is left.
+    // `leading_zeros` of the shifted value is exact because the low `p`
+    // bits vacated by the shift are zero-filled (they can only lower the
+    // rank *beyond* 64 - p, which the clamp absorbs anyway).
+    // analysis:allow(cast-truncation): a u64 shift count is in [4, 16]; nothing narrows here, the cast only widens p
+    let rest = h << (p as u32);
+    // analysis:allow(cast-truncation): leading_zeros is at most 64, which fits u8 with room to spare
+    let rank = (rest.leading_zeros() as u8).saturating_add(1);
+    (register, rank.min(levels))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_stays_in_range() {
+        for p in [4u8, 8, 12, 16] {
+            let m = 1u32 << p;
+            for i in 0..10_000u64 {
+                let (r, q) = register_hash(i, 7, p, 32);
+                assert!(r < m, "p={p}: register {r} >= {m}");
+                assert!((1..=32).contains(&q), "p={p}: rank {q}");
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_per_identity_and_seed() {
+        assert_eq!(register_hash(42, 7, 12, 32), register_hash(42, 7, 12, 32));
+        assert_ne!(register_hash(42, 7, 12, 32), register_hash(43, 7, 12, 32));
+        // A different seed re-randomizes both coordinates for most tags.
+        let moved = (0..1000u64)
+            .filter(|&i| register_hash(i, 1, 12, 32) != register_hash(i, 2, 12, 32))
+            .count();
+        assert!(moved > 990, "only {moved}/1000 tags moved under a new seed");
+    }
+
+    #[test]
+    fn registers_are_roughly_uniform() {
+        let p = 8u8;
+        let m = 1usize << p;
+        let mut counts = vec![0u32; m];
+        let trials = 256_000u64;
+        for i in 0..trials {
+            counts[register_hash(i, 99, p, 32).0 as usize] += 1;
+        }
+        let expected = trials as f64 / m as f64;
+        for (r, &c) in counts.iter().enumerate() {
+            let dev = (c as f64 - expected).abs() / expected;
+            assert!(dev < 0.15, "register {r} deviates by {dev}");
+        }
+    }
+
+    #[test]
+    fn ranks_follow_the_geometric_law() {
+        // P(rank = q) = 2^-q, so the sample mean of rank is ~2.
+        let trials = 200_000u64;
+        let mut sum = 0u64;
+        let mut hist = [0u64; 8];
+        for i in 0..trials {
+            let (_, q) = register_hash(i, 3, 12, 61);
+            sum += q as u64;
+            if (q as usize) <= hist.len() {
+                hist[q as usize - 1] += 1;
+            }
+        }
+        let mean = sum as f64 / trials as f64;
+        assert!((mean - 2.0).abs() < 0.02, "mean rank {mean}, want ~2");
+        for (i, &c) in hist.iter().enumerate() {
+            let p_hat = c as f64 / trials as f64;
+            let p_want = 0.5f64.powi(i as i32 + 1);
+            assert!(
+                (p_hat - p_want).abs() < 0.01,
+                "P(rank = {}) = {p_hat}, want {p_want}",
+                i + 1
+            );
+        }
+    }
+
+    #[test]
+    fn rank_clamps_to_levels() {
+        for i in 0..50_000u64 {
+            let (_, q) = register_hash(i, 11, 12, 4);
+            assert!((1..=4).contains(&q));
+        }
+        // With a generous cap the same hashes spread past 4.
+        let deep = (0..50_000u64)
+            .filter(|&i| register_hash(i, 11, 12, 32).1 > 4)
+            .count();
+        assert!(deep > 1000, "only {deep} ranks above 4");
+    }
+}

@@ -178,6 +178,24 @@ impl MultiReaderDeployment {
     pub fn logical_system(&self) -> Result<RfidSystem, DeploymentError> {
         Ok(RfidSystem::new(self.logical_population()?))
     }
+
+    /// Build the [`RfidSystem`] one *physical* reader sees: just its own
+    /// coverage, de-duplicated (a reader can hold duplicate entries for a
+    /// tag it scanned twice).
+    ///
+    /// This is the snapshot-production side of the merge path: each
+    /// physical reader runs a sketch protocol over its `reader_system`,
+    /// serializes the sketch, and the back-end folds the per-reader
+    /// snapshots into the logical union — without ever materializing
+    /// [`Self::logical_population`] at estimation time.
+    pub fn reader_system(&self, reader: usize) -> Result<RfidSystem, DeploymentError> {
+        let readers = self.coverages.len();
+        if reader >= readers {
+            return Err(DeploymentError::NoSuchReader { reader, readers });
+        }
+        let population = self.union_where(|r| r == reader)?;
+        Ok(RfidSystem::new(population))
+    }
 }
 
 #[cfg(test)]
@@ -297,6 +315,38 @@ mod tests {
             }
         );
         assert!(err.to_string().contains("out of range"));
+    }
+
+    #[test]
+    fn reader_system_sees_only_its_own_coverage() {
+        let mut dep = MultiReaderDeployment::new();
+        dep.add_reader((1..=100).map(tag).collect());
+        dep.add_reader((51..=150).map(tag).collect());
+        let a = dep.reader_system(0).expect("reader 0 exists");
+        let b = dep.reader_system(1).expect("reader 1 exists");
+        assert_eq!(a.true_cardinality(), 100);
+        assert_eq!(b.true_cardinality(), 100);
+        let err = dep.reader_system(2).unwrap_err();
+        assert_eq!(
+            err,
+            DeploymentError::NoSuchReader {
+                reader: 2,
+                readers: 2
+            }
+        );
+    }
+
+    #[test]
+    fn reader_system_deduplicates_and_checks_rn_within_one_reader() {
+        let mut dep = MultiReaderDeployment::new();
+        dep.add_reader(vec![Tag { id: 9, rn: 4 }, Tag { id: 9, rn: 4 }]);
+        dep.add_reader(vec![Tag { id: 9, rn: 4 }, Tag { id: 9, rn: 8 }]);
+        assert_eq!(
+            dep.reader_system(0).expect("duplicates dedup").true_cardinality(),
+            1
+        );
+        let err = dep.reader_system(1).unwrap_err();
+        assert!(matches!(err, DeploymentError::InconsistentRn { id: 9, .. }));
     }
 
     #[test]

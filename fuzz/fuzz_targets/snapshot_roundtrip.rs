@@ -1,0 +1,10 @@
+//! Any bytes the `rfid-sketch/v1` decoder accepts must re-encode to the
+//! identical bytes (canonical form), estimate to a finite value, and
+//! survive a self-merge unchanged; everything else must be a typed error.
+#![no_main]
+
+use libfuzzer_sys::fuzz_target;
+
+fuzz_target!(|data: &[u8]| {
+    rfid_bfce::sketch::fuzz::snapshot_roundtrip(data);
+});

@@ -245,6 +245,55 @@ fn capture_effect_shifts_singletons_by_the_configured_rate() {
     );
 }
 
+/// KS conformance for the LogLog-family baselines: over repeated
+/// independent hash seeds, the relative errors of both register-sketch
+/// estimators must match their design law `N(0, (1.04 / sqrt(m))^2)` —
+/// the published standard error both HyperLogLog++ and LogLog-β inherit
+/// from the underlying max-rank register file. This pins the *sampling
+/// distribution* of the new baselines, not just a point estimate, with
+/// the same fixed-seed policy as the BFCE checks above.
+#[test]
+fn loglog_family_relative_errors_match_the_design_sigma() {
+    use rfid_bfce_repro::bfce::{RegisterFlavor, RegisterSketch};
+
+    let n = 20_000usize;
+    let precision = 10u8; // m = 1024 => sigma_rel ~ 3.25%
+    let trials = 64usize;
+    let sigma_rel = 1.04 / f64::from(1u32 << precision).sqrt();
+
+    let mut world = StdRng::seed_from_u64(0xC0F0_0010);
+    let population = WorkloadSpec::T1.generate(n, &mut world);
+
+    let m = 512usize;
+    let reference: Vec<f64> = (0..m)
+        .map(|i| sigma_rel * normal_quantile((i as f64 + 0.5) / m as f64))
+        .collect();
+
+    for (flavor, seed_stream) in [
+        (RegisterFlavor::HllPp, 0xC0F0_0011u64),
+        (RegisterFlavor::LogLogBeta, 0xC0F0_0012u64),
+    ] {
+        let mut seeds = StdRng::seed_from_u64(seed_stream);
+        let errors: Vec<f64> = (0..trials)
+            .map(|_| {
+                let mut sketch = RegisterSketch::new(flavor, precision, 32, seeds.gen());
+                for tag in population.tags() {
+                    sketch.observe_identity(tag.id);
+                }
+                (sketch.estimate() - n as f64) / n as f64
+            })
+            .collect();
+
+        let stat = ks_statistic(&errors, &reference);
+        let crit = ks_critical(errors.len(), reference.len(), ALPHA);
+        assert!(
+            stat <= crit,
+            "{flavor:?}: KS statistic {stat:.4} exceeds the alpha = {ALPHA} critical \
+             value {crit:.4} (sigma_rel = {sigma_rel:.5})"
+        );
+    }
+}
+
 /// The batched word-level fill path must leave the conformance picture
 /// unchanged: re-running the KS experiment through the reference scalar
 /// path yields the *same* error sample bit for bit (the kernels are

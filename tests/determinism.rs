@@ -286,3 +286,61 @@ fn dispatch_choice_never_changes_observations_at_the_boundary() {
         }
     }
 }
+
+#[test]
+fn snapshot_merge_is_bitwise_invariant_under_order_and_parallelism() {
+    // The merge-path determinism audit: per-reader snapshots must not
+    // depend on the frame-fill chunking (the knob `--jobs` turns), and
+    // the back-end fold must not depend on the order snapshots arrive —
+    // so a multi-reader estimate is one number, reproducible anywhere.
+    use rfid_bfce_repro::baselines::registers::collect_register_sketch;
+    use rfid_bfce_repro::bfce::{merge_all, RegisterFlavor, Snapshot};
+    use rfid_bfce_repro::sim::multireader::MultiReaderDeployment;
+
+    let mut world = StdRng::seed_from_u64(0xD17E_0001);
+    let population = WorkloadSpec::T2.generate(60_000, &mut world);
+    let mut deployment = MultiReaderDeployment::new();
+    for chunk in population.tags().chunks(60_000 / 8 + 1) {
+        deployment.add_reader(chunk.to_vec());
+    }
+
+    let snapshots_with_chunk = |min_chunk: usize| -> Vec<Vec<u8>> {
+        (0..deployment.reader_count())
+            .map(|reader| {
+                let mut system = deployment.reader_system(reader).expect("in range");
+                system.set_frame_min_chunk(min_chunk);
+                collect_register_sketch(RegisterFlavor::HllPp, 12, 32, &mut system, 0xD17E)
+                    .snapshot()
+            })
+            .collect()
+    };
+
+    // Serial fill, tiny chunks (maximum parallel splits), and a mid-size
+    // chunking must produce byte-identical snapshots per reader.
+    let serial = snapshots_with_chunk(usize::MAX);
+    assert_eq!(serial, snapshots_with_chunk(64));
+    assert_eq!(serial, snapshots_with_chunk(1));
+
+    // And the fold is order-invariant, bit for bit.
+    let forward = merge_all(serial.iter().map(Vec::as_slice)).expect("compatible");
+    let backward =
+        merge_all(serial.iter().rev().map(Vec::as_slice)).expect("compatible");
+    assert_eq!(forward.snapshot(), backward.snapshot());
+    assert_eq!(forward.estimate().to_bits(), backward.estimate().to_bits());
+}
+
+#[test]
+fn register_baselines_replay_exactly_per_seed() {
+    // The two sketch baselines join the per-seed replay contract: same
+    // seed, same estimate and air time; different seed, different draw.
+    use rfid_bfce_repro::baselines::{HllPp, LogLogBeta};
+    let estimators: Vec<Box<dyn CardinalityEstimator>> =
+        vec![Box::new(HllPp::default()), Box::new(LogLogBeta::default())];
+    for est in &estimators {
+        let a = estimate_with(est.as_ref(), 42);
+        let b = estimate_with(est.as_ref(), 42);
+        assert_eq!(a, b, "{} not reproducible", est.name());
+        let c = estimate_with(est.as_ref(), 43);
+        assert_ne!(a.0, c.0, "{} ignores the seed", est.name());
+    }
+}

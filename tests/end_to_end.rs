@@ -4,9 +4,10 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use rfid_bfce_repro::baselines::{Art, Ezb, Fneb, Lof, Mle, Pet, QInventory, Src, Upe, Zoe, A3};
+use rfid_bfce_repro::baselines::{Art, Ezb, Fneb, HllPp, Lof, LogLogBeta, Mle, Pet, QInventory, Src, Upe, Zoe, A3};
 use rfid_bfce_repro::prelude::*;
 use rfid_bfce_repro::sim::CardinalityEstimator;
+use rfid_cli::commands::{all_estimators, make_estimator, ESTIMATOR_NAMES};
 
 fn system(spec: WorkloadSpec, n: usize, seed: u64) -> RfidSystem {
     let mut rng = StdRng::seed_from_u64(seed);
@@ -67,24 +68,16 @@ fn estimators_compose_through_the_trait_object() {
 
 #[test]
 fn every_registered_estimator_answers_through_the_trait() {
-    // One constructor per `impl CardinalityEstimator` in the workspace.
-    // The analysis crate's estimator-registry rule demands every impl
-    // appear in at least one tests/ file, so a new baseline cannot ship
-    // unexercised; this is the canonical place to register it.
-    let estimators: Vec<Box<dyn CardinalityEstimator>> = vec![
-        Box::new(Bfce::paper()),
-        Box::new(Zoe::default()),
-        Box::new(Src::default()),
-        Box::new(Lof::default()),
-        Box::new(Upe::default()),
-        Box::new(Ezb::default()),
-        Box::new(Fneb::default()),
-        Box::new(Art::default()),
-        Box::new(Mle::default()),
-        Box::new(Pet::default()),
-        Box::new(A3::default()),
-        Box::new(QInventory::default()),
-    ];
+    // The estimator set is *derived* from the CLI registry
+    // (`rfid_cli::commands::ESTIMATOR_NAMES`) rather than hand-listed, so
+    // a baseline added to the factory is automatically exercised here and
+    // a stale hardcoded count can never mask a missing registration. The
+    // analysis crate's estimator-registry rule demands every
+    // `impl CardinalityEstimator` appear in at least one tests/ file; the
+    // type-level roll call lives in `workspace_types_cover_the_registry`
+    // below.
+    let estimators = all_estimators();
+    assert_eq!(estimators.len(), ESTIMATOR_NAMES.len());
     let truth = 10_000usize;
     let mut names = std::collections::BTreeSet::new();
     for est in estimators {
@@ -100,6 +93,36 @@ fn every_registered_estimator_answers_through_the_trait() {
             report.n_hat
         );
         assert!(report.air.total_us() > 0.0, "{}: empty air ledger", est.name());
+    }
+}
+
+#[test]
+fn workspace_types_cover_the_registry() {
+    // The type-level roll call: every concrete `impl CardinalityEstimator`
+    // in the workspace must be reachable through the CLI registry, under
+    // the display name its type reports. A type missing from this list has
+    // no CLI name; a name missing from the factory fails `all_estimators`.
+    let concrete: Vec<(&str, Box<dyn CardinalityEstimator>)> = vec![
+        ("bfce", Box::new(Bfce::paper())),
+        ("zoe", Box::new(Zoe::default())),
+        ("src", Box::new(Src::default())),
+        ("lof", Box::new(Lof::default())),
+        ("upe", Box::new(Upe::default())),
+        ("ezb", Box::new(Ezb::default())),
+        ("fneb", Box::new(Fneb::default())),
+        ("art", Box::new(Art::default())),
+        ("mle", Box::new(Mle::default())),
+        ("pet", Box::new(Pet::default())),
+        ("a3", Box::new(A3::default())),
+        ("inventory", Box::new(QInventory::default())),
+        ("hllpp", Box::new(HllPp::default())),
+        ("llbeta", Box::new(LogLogBeta::default())),
+    ];
+    assert_eq!(concrete.len(), ESTIMATOR_NAMES.len());
+    for (cli_name, est) in concrete {
+        assert!(ESTIMATOR_NAMES.contains(&cli_name), "{cli_name}");
+        let from_registry = make_estimator(cli_name).expect(cli_name);
+        assert_eq!(from_registry.name(), est.name(), "{cli_name}");
     }
 }
 

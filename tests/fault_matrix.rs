@@ -21,7 +21,7 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rfid_bfce_repro::baselines::{
-    Art, Ezb, Fneb, Lof, Mle, Pet, QInventory, Src, Upe, Zoe, A3,
+    Art, Ezb, Fneb, HllPp, Lof, LogLogBeta, Mle, Pet, QInventory, Src, Upe, Zoe, A3,
 };
 use rfid_bfce_repro::experiments::robustness::FaultClass;
 use rfid_bfce_repro::hash::stream_seed;
@@ -47,6 +47,8 @@ fn estimator_family() -> Vec<Box<dyn CardinalityEstimator>> {
         Box::new(Pet::default()),
         Box::new(A3::default()),
         Box::new(QInventory::default()),
+        Box::new(HllPp::default()),
+        Box::new(LogLogBeta::default()),
     ]
 }
 

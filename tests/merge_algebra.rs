@@ -1,0 +1,222 @@
+//! The merge algebra, property-tested.
+//!
+//! `Snapshot::merge` claims to be a commutative, associative, idempotent
+//! fold whose identity is the empty sketch, with `restore . snapshot`
+//! the identity on estimators — over every storage tier (Small → Array →
+//! Dense), every sketch flavor, and any reader count. These properties
+//! are what make multi-reader estimation order-independent and therefore
+//! bitwise reproducible; this suite checks them on randomized
+//! populations rather than hand-picked examples.
+//!
+//! Equality throughout is *bitwise* equality of canonical wire bytes,
+//! not estimate closeness: two sketches are "the same" exactly when
+//! their `snapshot()` encodings match byte for byte.
+
+// The proptest! macro expands one property at a time; six bodies in one
+// block outgrow the default recursion limit.
+#![recursion_limit = "512"]
+
+use proptest::prelude::*;
+use rfid_bfce_repro::bfce::sketch::repr::sparse_cap;
+use rfid_bfce_repro::bfce::{
+    merge_all, BfceConfig, BloomPlan, BloomSketch, RegisterFlavor, RegisterSketch,
+    Snapshot,
+};
+use rfid_bfce_repro::sim::{RfidSystem, Tag, TagPopulation};
+
+fn flavor_of(pick: u8) -> RegisterFlavor {
+    if pick % 2 == 0 {
+        RegisterFlavor::HllPp
+    } else {
+        RegisterFlavor::LogLogBeta
+    }
+}
+
+/// A register sketch over `n` synthetic identities drawn from a stream
+/// keyed by `stream` (distinct streams give overlapping-but-different
+/// populations).
+fn sketch_of(
+    flavor: RegisterFlavor,
+    precision: u8,
+    seed: u32,
+    stream: u64,
+    n: usize,
+) -> RegisterSketch {
+    let mut sketch = RegisterSketch::new(flavor, precision, 32, seed);
+    for i in 0..n as u64 {
+        sketch.observe_identity(i.wrapping_mul(2 * stream + 1));
+    }
+    sketch
+}
+
+fn bytes(s: &impl Snapshot) -> Vec<u8> {
+    s.snapshot()
+}
+
+fn merged(a: &RegisterSketch, b: &RegisterSketch) -> RegisterSketch {
+    let mut out = a.clone();
+    out.merge(b).expect("same parameters");
+    out
+}
+
+// Population sizes that land each storage tier at p <= 10 (m <= 1024,
+// sparse cap <= 256): inline Small, sorted Array, and saturated Dense —
+// plus the boundaries where promotions happen.
+fn tier_spanning_n() -> impl Strategy<Value = usize> {
+    prop_oneof![
+        0usize..=10,       // Small, and the Small -> Array crossing
+        10usize..260,      // Array, up to the Array -> Dense crossing
+        500usize..4_000,   // Dense
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn merge_is_commutative(
+        pick in 0u8..2,
+        precision in 4u8..=10,
+        seed in any::<u32>(),
+        a_n in tier_spanning_n(),
+        b_n in tier_spanning_n(),
+    ) {
+        let flavor = flavor_of(pick);
+        let a = sketch_of(flavor, precision, seed, 1, a_n);
+        let b = sketch_of(flavor, precision, seed, 3, b_n);
+        prop_assert_eq!(bytes(&merged(&a, &b)), bytes(&merged(&b, &a)));
+    }
+
+    #[test]
+    fn merge_is_associative(
+        pick in 0u8..2,
+        precision in 4u8..=10,
+        seed in any::<u32>(),
+        ns in (tier_spanning_n(), tier_spanning_n(), tier_spanning_n()),
+    ) {
+        let (a_n, b_n, c_n) = ns;
+        let flavor = flavor_of(pick);
+        let a = sketch_of(flavor, precision, seed, 1, a_n);
+        let b = sketch_of(flavor, precision, seed, 3, b_n);
+        let c = sketch_of(flavor, precision, seed, 5, c_n);
+        let left = merged(&merged(&a, &b), &c);
+        let right = merged(&a, &merged(&b, &c));
+        prop_assert_eq!(bytes(&left), bytes(&right));
+    }
+
+    #[test]
+    fn merge_is_idempotent_with_the_empty_sketch_as_identity(
+        pick in 0u8..2,
+        precision in 4u8..=10,
+        seed in any::<u32>(),
+        n in tier_spanning_n(),
+    ) {
+        let flavor = flavor_of(pick);
+        let a = sketch_of(flavor, precision, seed, 7, n);
+        prop_assert_eq!(bytes(&merged(&a, &a)), bytes(&a));
+        let empty = sketch_of(flavor, precision, seed, 7, 0);
+        prop_assert_eq!(bytes(&merged(&a, &empty)), bytes(&a));
+        prop_assert_eq!(bytes(&merged(&empty, &a)), bytes(&a));
+    }
+
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn restore_of_snapshot_is_bitwise_identity(
+        pick in 0u8..2,
+        precision in 4u8..=10,
+        seed in any::<u32>(),
+        n in tier_spanning_n(),
+    ) {
+        let flavor = flavor_of(pick);
+        let a = sketch_of(flavor, precision, seed, 9, n);
+        let wire = bytes(&a);
+        let back = RegisterSketch::restore(&wire).expect("own snapshot restores");
+        prop_assert_eq!(&back, &a);
+        prop_assert_eq!(bytes(&back), wire);
+        // Tier is canonical in the nonzero count, so it survives the trip.
+        prop_assert_eq!(back.registers().tier(), a.registers().tier());
+        let cap = sparse_cap(precision);
+        let expect_tier = if a.registers().nonzero() <= 8 {
+            "small"
+        } else if a.registers().nonzero() <= cap {
+            "array"
+        } else {
+            "dense"
+        };
+        prop_assert_eq!(a.registers().tier(), expect_tier);
+    }
+
+    #[test]
+    fn any_reader_count_folds_to_the_union(
+        pick in 0u8..2,
+        precision in 4u8..=9,
+        seed in any::<u32>(),
+        reader_ns in prop::collection::vec(0usize..1_500, 1..12),
+    ) {
+        // k readers, each observing a prefix of the same identity stream
+        // (nested coverages — the worst case for double counting): the
+        // fold over per-reader snapshots must equal the largest reader's
+        // sketch, whatever the reader count.
+        let flavor = flavor_of(pick);
+        let snapshots: Vec<Vec<u8>> = reader_ns
+            .iter()
+            .map(|&n| bytes(&sketch_of(flavor, precision, seed, 11, n)))
+            .collect();
+        let folded = merge_all(snapshots.iter().map(Vec::as_slice)).expect("compatible");
+        let biggest = reader_ns.iter().copied().max().unwrap_or(0);
+        let union = sketch_of(flavor, precision, seed, 11, biggest);
+        prop_assert_eq!(folded.snapshot(), bytes(&union));
+    }
+
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn bloom_snapshots_obey_the_same_algebra(
+        seed in any::<u32>(),
+        a_n in 0usize..3_000,
+        b_n in 0usize..3_000,
+    ) {
+        // The BFCE-frame sketch: one real frame per population over the
+        // same seeds and persistence, then the wire-level algebra.
+        let cfg = BfceConfig::paper();
+        let seeds = [seed, seed ^ 0x9E37, seed.wrapping_add(77)];
+        let p_n = 40;
+        let frame_sketch = |n: usize, stream: u64| {
+            let tags: Vec<Tag> = (0..n as u64)
+                .map(|i| Tag {
+                    id: i.wrapping_mul(2 * stream + 1),
+                    rn: i as u32,
+                })
+                .collect();
+            let mut sys = RfidSystem::new(TagPopulation::new(tags));
+            let plan = BloomPlan::new(&cfg, &seeds, p_n);
+            let frame = sys.run_bitslot_frame(cfg.w, &plan);
+            BloomSketch::from_frame(&cfg, &frame, &seeds, p_n)
+        };
+        let a = frame_sketch(a_n, 1);
+        let b = frame_sketch(b_n, 3);
+        let ab = {
+            let mut m = a.clone();
+            m.merge(&b).expect("same parameters");
+            m
+        };
+        let ba = {
+            let mut m = b.clone();
+            m.merge(&a).expect("same parameters");
+            m
+        };
+        prop_assert_eq!(bytes(&ab), bytes(&ba));
+        let again = BloomSketch::restore(&bytes(&a)).expect("own snapshot restores");
+        prop_assert_eq!(bytes(&again), bytes(&a));
+        let mut aa = a.clone();
+        aa.merge(&a).expect("self-merge");
+        prop_assert_eq!(bytes(&aa), bytes(&a));
+    }
+}

@@ -3,9 +3,12 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use rfid_bfce_repro::baselines::registers::collect_register_sketch;
+use rfid_bfce_repro::bfce::{merge_all, RegisterFlavor, Snapshot};
 use rfid_bfce_repro::prelude::*;
 use rfid_bfce_repro::sim::multireader::MultiReaderDeployment;
 use rfid_bfce_repro::sim::Tag;
+use rfid_bfce_repro::stats::d_for_delta;
 
 fn tags(range: std::ops::Range<u64>) -> Vec<Tag> {
     range
@@ -65,4 +68,86 @@ fn single_reader_deployment_degenerates_to_plain_system() {
     let sys = deployment.logical_system().expect("consistent deployment");
     assert_eq!(sys.true_cardinality(), 10_000);
     assert_eq!(deployment.reader_count(), 1);
+}
+
+#[test]
+fn sixty_four_reader_snapshot_merge_meets_the_accuracy_bound() {
+    // The acceptance bar for the snapshot merge path: 64 physical readers
+    // covering a >= 1M-tag union (25% of each reader's coverage shared
+    // with its neighbour), one LogLog-beta snapshot per reader, folded by
+    // the back end — the merged estimate must sit inside the (eps, delta)
+    // band the sketch's precision provably supports, and the folded bytes
+    // must not depend on the order the snapshots arrive in.
+    const READERS: u64 = 64;
+    const CHUNK: u64 = 16_384;
+    const SHARED: u64 = CHUNK / 4;
+    let union = (READERS * CHUNK) as usize; // 1_048_576 distinct tags
+    assert!(union >= 1_000_000);
+
+    let mut deployment = MultiReaderDeployment::new();
+    for reader in 0..READERS {
+        let start = reader * CHUNK;
+        let mut coverage = tags(start..start + CHUNK);
+        // Wrapping overlap into the next reader's zone.
+        let next = (reader + 1) % READERS * CHUNK;
+        coverage.extend(tags(next..next + SHARED));
+        deployment.add_reader(coverage);
+    }
+    assert_eq!(
+        deployment
+            .logical_population()
+            .expect("consistent deployment")
+            .cardinality(),
+        union
+    );
+
+    // Every reader sketches its own coverage under one shared broadcast
+    // seed; only the serialized snapshots travel to the back end.
+    let shared_seed = 0xC0FF_EE64u32;
+    let snapshots: Vec<Vec<u8>> = (0..READERS as usize)
+        .map(|reader| {
+            let mut system = deployment.reader_system(reader).expect("in range");
+            collect_register_sketch(
+                RegisterFlavor::LogLogBeta,
+                14,
+                32,
+                &mut system,
+                shared_seed,
+            )
+            .snapshot()
+        })
+        .collect();
+
+    let folded = merge_all(snapshots.iter().map(Vec::as_slice)).expect("compatible");
+    let reference = folded.snapshot();
+
+    // Bitwise order-invariance: arrival order is operationally arbitrary.
+    let orders: [Vec<usize>; 3] = [
+        (0..64).rev().collect(),                       // reversed
+        (0..64).map(|i| (i * 37) % 64).collect(),      // 37 is coprime to 64
+        (0..32).flat_map(|i| [i, i + 32]).collect(),   // interleaved halves
+    ];
+    for order in orders {
+        let permuted = merge_all(order.iter().map(|&i| snapshots[i].as_slice()))
+            .expect("compatible");
+        assert_eq!(permuted.snapshot(), reference);
+        assert_eq!(
+            permuted.estimate().to_bits(),
+            folded.estimate().to_bits(),
+            "estimate must be bitwise order-invariant"
+        );
+    }
+
+    // Accuracy: precision 14 gives sigma ~ 1.04 / sqrt(2^14); the paper's
+    // (0.05, 0.05) requirement is provably within reach, and this seed
+    // must land inside the band.
+    let (epsilon, delta) = (0.05, 0.05);
+    let sigma = 1.04 / f64::from(1u32 << 14).sqrt();
+    assert!(sigma * d_for_delta(delta) < epsilon, "precision too coarse");
+    let rel = (folded.estimate() - union as f64).abs() / union as f64;
+    assert!(
+        rel < epsilon,
+        "merged estimate {} for union {union} (rel {rel})",
+        folded.estimate()
+    );
 }
