@@ -535,8 +535,12 @@ mod tests {
     #[test]
     fn shootout_includes_every_estimator() {
         let t = run_shootout(Scale::Quick, 6);
-        assert_eq!(t.rows.len(), 11); // BFCE + 10 baselines
+        // BFCE + every registered baseline; derived so growing the
+        // baseline family can't silently shrink the shootout grid.
+        assert_eq!(t.rows.len(), 1 + all_baselines().len());
         assert_eq!(t.rows[0][0], "BFCE");
         assert!(t.rows.iter().any(|r| r[0] == "A3"));
+        assert!(t.rows.iter().any(|r| r[0] == "HLL++"));
+        assert!(t.rows.iter().any(|r| r[0] == "LLBETA"));
     }
 }
