@@ -52,18 +52,36 @@ impl AllowEntry {
     }
 }
 
+/// An `[[allow]]` entry whose `rule` names no rule in the current rule
+/// set. Rules get renamed or retired across engine versions; the entry is
+/// not a parse error (that would brick the whole scan over dead config)
+/// but it can never suppress anything again, so [`Allowlist::apply`]
+/// reports it as a [`RuleId::StaleAllow`] finding — the same treatment a
+/// renamed *file* gets.
+#[derive(Debug, Clone)]
+pub struct RetiredEntry {
+    /// The unrecognized rule name, verbatim.
+    pub rule_name: String,
+    /// Workspace-relative path the entry pointed at.
+    pub path: String,
+    /// 1-based line in `analysis.toml` where the entry starts.
+    pub defined_at: usize,
+}
+
 /// A parsed allowlist.
 #[derive(Debug, Clone, Default)]
 pub struct Allowlist {
     /// The entries, in file order.
     pub entries: Vec<AllowEntry>,
+    /// Entries naming rules that no longer exist, in file order.
+    pub retired: Vec<RetiredEntry>,
 }
 
 impl Allowlist {
     /// Parse `analysis.toml` contents. Returns a human-readable error for
     /// malformed or unjustified entries.
     pub fn parse(text: &str) -> Result<Self, String> {
-        let mut entries = Vec::new();
+        let mut list = Self::default();
         let mut current: Option<RawEntry> = None;
         for (idx, raw_line) in text.lines().enumerate() {
             let line_no = idx + 1;
@@ -73,7 +91,7 @@ impl Allowlist {
             }
             if line == "[[allow]]" {
                 if let Some(raw) = current.take() {
-                    entries.push(raw.finish()?);
+                    list.push(raw.finish()?);
                 }
                 current = Some(RawEntry::new(line_no));
                 continue;
@@ -88,9 +106,16 @@ impl Allowlist {
             raw.set(key, value, line_no)?;
         }
         if let Some(raw) = current.take() {
-            entries.push(raw.finish()?);
+            list.push(raw.finish()?);
         }
-        Ok(Self { entries })
+        Ok(list)
+    }
+
+    fn push(&mut self, entry: ParsedEntry) {
+        match entry {
+            ParsedEntry::Active(e) => self.entries.push(e),
+            ParsedEntry::Retired(e) => self.retired.push(e),
+        }
     }
 
     /// Split `findings` into (kept, suppressed_count) and append a
@@ -154,14 +179,34 @@ impl Allowlist {
                     .unwrap_or_else(|| entry.path.clone()),
             });
         }
+        for entry in &self.retired {
+            kept.push(Finding {
+                rule: RuleId::StaleAllow,
+                path: "analysis.toml".to_string(),
+                line: entry.defined_at,
+                message: format!(
+                    "allow entry for '{}' names rule '{}', which is not in the \
+                     current rule set — the rule was renamed, retired, or is not \
+                     suppressible; delete the entry or re-point it (see --list-rules)",
+                    entry.path, entry.rule_name
+                ),
+                excerpt: entry.rule_name.clone(),
+            });
+        }
         (kept, suppressed)
     }
+}
+
+/// The outcome of parsing one `[[allow]]` table.
+enum ParsedEntry {
+    Active(AllowEntry),
+    Retired(RetiredEntry),
 }
 
 /// An entry under construction during parsing.
 struct RawEntry {
     defined_at: usize,
-    rule: Option<RuleId>,
+    rule: Option<String>,
     path: Option<String>,
     pattern: Option<String>,
     justification: Option<String>,
@@ -180,12 +225,7 @@ impl RawEntry {
 
     fn set(&mut self, key: &str, value: String, line_no: usize) -> Result<(), String> {
         match key {
-            "rule" => {
-                let rule = RuleId::from_name(&value).ok_or_else(|| {
-                    format!("analysis.toml:{line_no}: unknown rule '{value}'")
-                })?;
-                self.rule = Some(rule);
-            }
+            "rule" => self.rule = Some(value),
             "path" => self.path = Some(value),
             "pattern" => self.pattern = Some(value),
             "justification" => self.justification = Some(value),
@@ -196,9 +236,9 @@ impl RawEntry {
         Ok(())
     }
 
-    fn finish(self) -> Result<AllowEntry, String> {
+    fn finish(self) -> Result<ParsedEntry, String> {
         let at = self.defined_at;
-        let rule = self
+        let rule_name = self
             .rule
             .ok_or_else(|| format!("analysis.toml:{at}: entry is missing 'rule'"))?;
         let path = self
@@ -212,13 +252,24 @@ impl RawEntry {
                 "analysis.toml:{at}: justification too short (need ≥ {MIN_JUSTIFICATION} characters explaining why the suppression is sound)"
             ));
         }
-        Ok(AllowEntry {
-            rule,
-            path,
-            pattern: self.pattern,
-            justification,
-            defined_at: at,
-        })
+        // An unrecognized rule name is *not* a parse error: rules get
+        // renamed and retired across engine versions, and a hard error
+        // here would brick every scan over dead config. The entry is kept
+        // aside and reported as stale-allow by `apply` instead.
+        match RuleId::from_name(&rule_name) {
+            Some(rule) => Ok(ParsedEntry::Active(AllowEntry {
+                rule,
+                path,
+                pattern: self.pattern,
+                justification,
+                defined_at: at,
+            })),
+            None => Ok(ParsedEntry::Retired(RetiredEntry {
+                rule_name,
+                path,
+                defined_at: at,
+            })),
+        }
     }
 }
 
@@ -371,11 +422,53 @@ justification = "default noise seed, overridden by every harness"
     }
 
     #[test]
-    fn unknown_rules_and_keys_are_rejected() {
-        let bad = "[[allow]]\nrule = \"bogus\"\npath = \"x.rs\"\njustification = \"long enough to pass the bar\"\n";
-        assert!(Allowlist::parse(bad).expect_err("bad rule").contains("unknown rule"));
-        let bad2 = "[[allow]]\nrule = \"unwrap\"\nseverity = \"low\"\npath = \"x.rs\"\njustification = \"long enough to pass the bar\"\n";
-        assert!(Allowlist::parse(bad2).expect_err("bad key").contains("unknown key"));
+    fn unknown_keys_are_rejected() {
+        let bad = "[[allow]]\nrule = \"unwrap\"\nseverity = \"low\"\npath = \"x.rs\"\njustification = \"long enough to pass the bar\"\n";
+        assert!(Allowlist::parse(bad).expect_err("bad key").contains("unknown key"));
+    }
+
+    #[test]
+    fn an_entry_naming_a_retired_rule_parses_and_reports_stale() {
+        // The rule was renamed or retired in a later engine version; the
+        // entry must not brick the scan (mirroring the renamed-file
+        // treatment), but it must surface loudly.
+        let text = "[[allow]]\nrule = \"determinism-v1\"\npath = \"crates/sim/src/system.rs\"\njustification = \"long enough to pass the bar\"\n";
+        let list = Allowlist::parse(text).expect("parses despite the dead rule");
+        assert!(list.entries.is_empty());
+        assert_eq!(list.retired.len(), 1);
+        assert_eq!(list.retired[0].rule_name, "determinism-v1");
+
+        let (kept, suppressed) = list.apply(Vec::new(), &BTreeSet::new());
+        assert_eq!(suppressed, 0);
+        assert_eq!(kept.len(), 1);
+        assert_eq!(kept[0].rule, RuleId::StaleAllow);
+        assert_eq!(kept[0].path, "analysis.toml");
+        assert_eq!(kept[0].line, 1, "points at the [[allow]] header");
+        assert!(kept[0].message.contains("renamed, retired"), "{}", kept[0].message);
+        assert!(kept[0].message.contains("determinism-v1"), "{}", kept[0].message);
+        assert!(
+            kept[0].message.contains("crates/sim/src/system.rs"),
+            "{}",
+            kept[0].message
+        );
+    }
+
+    #[test]
+    fn a_retired_rule_entry_never_suppresses_anything() {
+        let text = "[[allow]]\nrule = \"determinism-v1\"\npath = \"crates/sim/src/system.rs\"\njustification = \"long enough to pass the bar\"\n";
+        let list = Allowlist::parse(text).expect("parses");
+        let hit = finding(RuleId::Nondeterminism, "crates/sim/src/system.rs", "Instant::now()");
+        let (kept, suppressed) = list.apply(vec![hit], &BTreeSet::new());
+        assert_eq!(suppressed, 0, "dead entries must not swallow live findings");
+        assert_eq!(kept.len(), 2, "the finding plus the stale-allow report: {kept:?}");
+    }
+
+    #[test]
+    fn retired_entries_still_need_path_and_justification() {
+        let bad = "[[allow]]\nrule = \"determinism-v1\"\njustification = \"long enough to pass the bar\"\n";
+        assert!(Allowlist::parse(bad).expect_err("no path").contains("missing 'path'"));
+        let bad2 = "[[allow]]\nrule = \"determinism-v1\"\npath = \"x.rs\"\njustification = \"ok\"\n";
+        assert!(Allowlist::parse(bad2).expect_err("short").contains("justification too short"));
     }
 
     #[test]

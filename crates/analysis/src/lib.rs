@@ -43,6 +43,7 @@
 pub mod allowlist;
 pub mod callgraph;
 pub mod dataflow;
+pub mod effects;
 pub mod fuzz_surface;
 pub mod json;
 pub mod lexer;
@@ -56,9 +57,11 @@ pub mod suppress;
 pub use allowlist::{AllowEntry, Allowlist, MIN_JUSTIFICATION};
 pub use callgraph::CallGraph;
 pub use dataflow::{Dataflow, Provenance};
+pub use effects::{Effect, EffectSet, Effects};
 pub use output::{render_json, render_sarif, render_text};
 pub use rules::{
-    check_file, check_fold_order, check_kernel_parity, check_seed_provenance,
+    check_airtime_conservation, check_file, check_fold_order, check_hotpath,
+    check_kernel_parity, check_seed_provenance, check_snapshot_surface,
     check_workspace_registry, Finding, RuleId, ALL_RULES, DETERMINISM_CRATES, REGISTRY_PATH,
 };
 pub use source::{SourceFile, TargetKind};
@@ -111,6 +114,10 @@ pub struct Report {
     /// scans that never built one). Dumped by `--dump-callgraph` and
     /// embedded in `--format json` output.
     pub callgraph: CallGraph,
+    /// The v4 interprocedural effect summaries (parallel to
+    /// `callgraph.fns`). Dumped by `--dump-effects` and embedded in
+    /// `--format json` output.
+    pub effects: Effects,
 }
 
 impl Report {
@@ -159,13 +166,18 @@ pub fn scan_workspace_with(root: &Path, allowlist: &Allowlist) -> Result<Report,
     let tests = tests_corpus(root)?;
     findings.extend(check_workspace_registry(&files, &tests));
 
-    // 4. The v3 whole-program rules: build the call graph once, run the
-    //    provenance fixpoint over it, then the three graph-backed rules.
+    // 4. The whole-program rules: build the call graph once, run the v3
+    //    provenance fixpoint and the v4 effect fixpoint over it, then the
+    //    graph-backed rules.
     let graph = CallGraph::build(&files);
     let flow = Dataflow::compute(&files, &graph);
+    let effects = Effects::compute(&files, &graph);
     findings.extend(check_seed_provenance(&files, &graph, &flow));
     findings.extend(check_kernel_parity(&files, &graph, &tests));
     findings.extend(check_fold_order(&files, &graph));
+    findings.extend(check_airtime_conservation(&files, &graph, &effects));
+    findings.extend(check_hotpath(&files, &graph, &effects));
+    findings.extend(check_snapshot_surface(&files, &graph));
 
     findings.sort_by(|a, b| a.path.cmp(&b.path).then(a.line.cmp(&b.line)));
 
@@ -188,6 +200,7 @@ pub fn scan_workspace_with(root: &Path, allowlist: &Allowlist) -> Result<Report,
         suppressed,
         suppressed_inline,
         callgraph: graph,
+        effects,
     })
 }
 

@@ -7,6 +7,7 @@
 //! cargo run -p rfid-analysis -- --explain unwrap  # rationale + compliant pattern
 //! cargo run -p rfid-analysis -- --list-rules      # print the rule set
 //! cargo run -p rfid-analysis -- --dump-callgraph  # workspace call graph as JSON
+//! cargo run -p rfid-analysis -- --dump-effects    # rfid-effects/v1 summaries as JSON
 //! ```
 //!
 //! Exit codes: `0` clean, `1` findings reported, `2` usage, I/O, or
@@ -21,12 +22,14 @@ rfid-analysis — workspace determinism linter (see ANALYSIS.md)
 
 USAGE:
   rfid-analysis [--root DIR] [--format text|json|sarif] [--dump-callgraph]
-                [--list-rules] [--explain RULE]
+                [--dump-effects] [--list-rules] [--explain RULE]
 
   --root DIR       workspace root to scan (default: this workspace)
   --format KIND    output format: text (default), json, or sarif (SARIF 2.1.0)
   --dump-callgraph print the workspace call graph as JSON and exit 0
                    (findings are not reported in this mode)
+  --dump-effects   print the rfid-effects/v1 per-fn effect summaries as JSON
+                   and exit 0 (findings are not reported in this mode)
   --explain RULE   print a rule's rationale and compliant pattern, then exit
   --list-rules     print the rule set and exit
 ";
@@ -44,6 +47,7 @@ fn main() -> ExitCode {
     let mut root: Option<PathBuf> = None;
     let mut format = Format::Text;
     let mut dump_callgraph = false;
+    let mut dump_effects = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -82,6 +86,10 @@ fn main() -> ExitCode {
                 dump_callgraph = true;
                 i += 1;
             }
+            "--dump-effects" => {
+                dump_effects = true;
+                i += 1;
+            }
             "--list-rules" => {
                 list_rules();
                 return ExitCode::SUCCESS;
@@ -106,6 +114,10 @@ fn main() -> ExitCode {
     };
     if dump_callgraph {
         println!("{}", report.callgraph.to_json().write());
+        return ExitCode::SUCCESS;
+    }
+    if dump_effects {
+        println!("{}", report.effects.to_json(&report.callgraph).write());
         return ExitCode::SUCCESS;
     }
     match format {

@@ -62,6 +62,7 @@ pub fn render_json(report: &Report) -> String {
         ("suppressed_inline".into(), Value::int(report.suppressed_inline)),
         ("findings".into(), Value::Arr(findings)),
         ("callgraph".into(), report.callgraph.to_json()),
+        ("effects".into(), report.effects.to_json(&report.callgraph)),
     ])
     .write()
 }
@@ -172,6 +173,7 @@ mod tests {
             suppressed: 2,
             suppressed_inline: 1,
             callgraph: crate::callgraph::CallGraph::default(),
+            effects: crate::effects::Effects::default(),
         }
     }
 
@@ -190,6 +192,11 @@ mod tests {
         assert_eq!(findings.len(), 1);
         assert_eq!(findings[0].get("rule").and_then(Value::as_str), Some("unwrap"));
         assert_eq!(findings[0].get("line").and_then(Value::as_num), Some(7.0));
+        assert_eq!(
+            doc.get("effects").and_then(|e| e.get("schema")).and_then(Value::as_str),
+            Some("rfid-effects/v1"),
+            "effect summaries ride along in the JSON report"
+        );
     }
 
     #[test]

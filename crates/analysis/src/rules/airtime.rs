@@ -1,0 +1,200 @@
+//! Rule `airtime-conservation`: every slot-sensing collector reachable
+//! from `RfidSystem` must also reach an air-time charging site.
+//!
+//! The paper's constant-time claim is operationalized as strict air-time
+//! accounting: whenever the simulated reader senses slots (a bitslot or
+//! ALOHA frame, a retry query), the `AirTimeLedger` must be charged the
+//! corresponding bits. The bug class this rule targets is a new collector
+//! that runs a frame but forgets to charge broadcast/retry/response bits —
+//! its experiments silently report free air time and the protocol-cost
+//! comparisons against ZOE/SRC/... stop meaning anything.
+//!
+//! Mechanically: the rule takes every fn reachable from any `RfidSystem`
+//! method and, for each one that is *collector-shaped* (a `sense_*`/
+//! `run_*`/`collect_*` fn whose name mentions `frame`), demands that its
+//! interprocedural effect summary contains `charges-air-time` — i.e. some
+//! `*_BITS` constant use or `AirTimeLedger` primitive is reachable from
+//! the collector itself. Conservation is a *per-frame* invariant, which
+//! is why the name must mention `frame`: per-slot channel primitives
+//! (`Channel::sense_bitslot`, `sense_aloha`) model one slot of PHY and
+//! are charged by the frame loop one layer up — flagging each of them
+//! would demand double charging. Truth oracles (`bitslot_truth` and
+//! friends) are not collector-shaped either: reading ground truth costs
+//! no air time by definition.
+
+use super::{push, Finding, RuleId};
+use crate::callgraph::CallGraph;
+use crate::effects::{Effect, Effects};
+use crate::source::{SourceFile, TargetKind};
+
+/// The reader type whose methods root the reachability walk.
+const DISPATCH_TYPE: &str = "RfidSystem";
+
+/// Run the rule.
+pub fn check_airtime_conservation(
+    files: &[SourceFile],
+    graph: &CallGraph,
+    effects: &Effects,
+) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let seeds: Vec<usize> = graph
+        .fns
+        .iter()
+        .enumerate()
+        .filter(|(_, d)| d.self_type.as_deref() == Some(DISPATCH_TYPE) && !d.cfg_test)
+        .map(|(i, _)| i)
+        .collect();
+    if seeds.is_empty() {
+        return findings;
+    }
+    for f in graph.reachable_from(&seeds) {
+        let def = &graph.fns[f];
+        let file = &files[def.file];
+        if file.kind != TargetKind::Lib || def.cfg_test || def.doc_hidden {
+            continue;
+        }
+        if !collector_shaped(&def.name) {
+            continue;
+        }
+        if effects.summary[f].contains(Effect::ChargesAirTime) {
+            continue;
+        }
+        push(
+            findings.as_mut(),
+            file,
+            RuleId::AirtimeConservation,
+            def.line,
+            format!(
+                "collector `{}` is reachable from {DISPATCH_TYPE} and senses slots, but \
+                 no air-time charging site (a `*_BITS` constant or an AirTimeLedger \
+                 primitive) is reachable from it; charge the broadcast/retry/response \
+                 bits the frame costs, or justify an allow",
+                def.qualified_name(),
+            ),
+        );
+    }
+    findings.sort_by(|a, b| (&a.path, a.line, &a.message).cmp(&(&b.path, b.line, &b.message)));
+    findings
+}
+
+/// Does the fn name look like a frame collector? `sense_*`/`run_*`/
+/// `collect_*` fns that mention `frame` are; per-slot channel primitives
+/// (`sense_bitslot`), truth oracles, and plain helpers are not.
+fn collector_shaped(name: &str) -> bool {
+    (name.starts_with("sense_") || name.starts_with("run_") || name.starts_with("collect_"))
+        && name.contains("frame")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::callgraph::CallGraph;
+    use crate::effects::Effects;
+    use crate::source::{SourceFile, TargetKind};
+
+    fn run(system: &str) -> Vec<Finding> {
+        let files = vec![SourceFile::new(
+            "crates/sim/src/system.rs",
+            "sim",
+            TargetKind::Lib,
+            system,
+        )];
+        let graph = CallGraph::build(&files);
+        let effects = Effects::compute(&files, &graph);
+        check_airtime_conservation(&files, &graph, &effects)
+    }
+
+    const CHARGED: &str = "\
+pub const RETRY_QUERY_BITS: u64 = 32;\n\
+pub struct AirTimeLedger { bits: u64 }\n\
+impl AirTimeLedger { pub fn tag_responses(&mut self, n: u64) { self.bits = self.bits + n; } }\n\
+pub struct RfidSystem { ledger: AirTimeLedger }\n\
+impl RfidSystem {\n\
+    pub fn estimate(&mut self, w: usize) -> usize { self.run_bitslot_frame(w) }\n\
+    pub fn run_bitslot_frame(&mut self, w: usize) -> usize {\n\
+        self.ledger.tag_responses(w as u64);\n\
+        w\n\
+    }\n\
+}\n";
+
+    #[test]
+    fn charged_collectors_pass() {
+        let found = run(CHARGED);
+        assert!(found.is_empty(), "{found:?}");
+    }
+
+    #[test]
+    fn a_collector_that_senses_without_charging_fires() {
+        // The seeded bug class: `run_rogue_frame` walks slots but never
+        // touches a `*_BITS` constant or the ledger.
+        let rogue = "\
+pub struct RfidSystem;\n\
+impl RfidSystem {\n\
+    pub fn estimate(&self, w: usize) -> usize { self.run_rogue_frame(w) }\n\
+    pub fn run_rogue_frame(&self, w: usize) -> usize {\n\
+        let mut hits = 0usize;\n\
+        for s in 0..w { if s % 3 == 0 { hits = hits + 1; } }\n\
+        hits\n\
+    }\n\
+}\n";
+        let found = run(rogue);
+        assert_eq!(found.len(), 1, "{found:?}");
+        assert_eq!(found[0].rule, RuleId::AirtimeConservation);
+        assert!(
+            found[0].message.contains("run_rogue_frame"),
+            "{}",
+            found[0].message
+        );
+        assert!(
+            found[0].message.contains("no air-time charging site"),
+            "{}",
+            found[0].message
+        );
+    }
+
+    #[test]
+    fn charging_through_an_intermediate_fn_counts() {
+        // The collector itself never names the ledger; a helper it calls
+        // does. The interprocedural summary must carry the effect up.
+        let indirect = "\
+pub struct AirTimeLedger { bits: u64 }\n\
+impl AirTimeLedger { pub fn tag_responses(&mut self, n: u64) { self.bits = self.bits + n; } }\n\
+pub struct RfidSystem { ledger: AirTimeLedger }\n\
+impl RfidSystem {\n\
+    pub fn estimate(&mut self, w: usize) -> usize { self.run_bitslot_frame(w) }\n\
+    pub fn run_bitslot_frame(&mut self, w: usize) -> usize { self.charge(w); w }\n\
+    pub fn charge(&mut self, w: usize) { self.ledger.tag_responses(w as u64); }\n\
+}\n";
+        let found = run(indirect);
+        assert!(found.is_empty(), "{found:?}");
+    }
+
+    #[test]
+    fn truth_oracles_and_unreachable_collectors_are_out_of_scope() {
+        // `bitslot_truth` is not collector-shaped; `run_island_frame` is
+        // never reachable from RfidSystem.
+        let src = "\
+pub struct RfidSystem;\n\
+impl RfidSystem {\n\
+    pub fn truth(&self, w: usize) -> usize { self.bitslot_truth(w) }\n\
+    pub fn bitslot_truth(&self, w: usize) -> usize { w }\n\
+}\n\
+pub fn run_island_frame(w: usize) -> usize { w }\n";
+        let found = run(src);
+        assert!(found.is_empty(), "{found:?}");
+    }
+
+    #[test]
+    fn per_slot_channel_primitives_are_not_frame_collectors() {
+        // `sense_bitslot` senses ONE slot; the frame loop above it owns
+        // the charge. Flagging the primitive would demand double charging.
+        let src = "\
+pub struct RfidSystem;\n\
+impl RfidSystem {\n\
+    pub fn estimate(&self, w: usize) -> usize { self.sense_bitslot(w) as usize }\n\
+    pub fn sense_bitslot(&self, responders: usize) -> bool { responders > 0 }\n\
+}\n";
+        let found = run(src);
+        assert!(found.is_empty(), "{found:?}");
+    }
+}

@@ -1,0 +1,245 @@
+//! Rules `hotpath-panic-free` and `hotpath-alloc-free`: the frame-fill
+//! hot loops must not panic or allocate.
+//!
+//! The dispatched fill kernels (`response_fill_dispatched`,
+//! `response_counts_dispatched`, `ZoeSlotPlan::fill_chunk`) run once per
+//! tag per frame — hundreds of millions of iterations in a full
+//! Monte-Carlo sweep. A panic there aborts the whole run far from the bad
+//! input (the panic-path rule's argument, applied transitively), and a
+//! per-slot allocation turns a branch-free bit kernel into a malloc
+//! benchmark (the PR 7 ZOE regression class).
+//!
+//! Both rules walk the same ground: every fn reachable from a hot root
+//! through the call graph, restricted to the kernel crates
+//! ([`HOTPATH_CRATES`]) — the `.method(` over-approximation drags in
+//! same-named methods from glue crates (`cli`, `experiments`) that no hot
+//! loop ever actually executes, and findings there would be pure noise.
+//! For each reachable fn, its *direct* effect seed sites are judged:
+//!
+//! - `panics` seeds fire `hotpath-panic-free`;
+//! - `allocates` seeds fire `hotpath-alloc-free`;
+//! - sites flagged as guards (top-level `assert!` precondition checks,
+//!   pre-loop buffer allocations at block depth 0) are exempt — failing
+//!   fast at the call boundary and hoisting allocation out of the loop
+//!   are the two sanctioned patterns;
+//! - `debug_assert!` never seeds (compiled out of release binaries).
+//!
+//! Golden-pinned sites that must keep their exact shape carry inline
+//! `analysis:allow(hotpath-…)` justifications, same as every other rule.
+
+use super::{push, Finding, RuleId};
+use crate::callgraph::CallGraph;
+use crate::effects::{Effect, Effects};
+use crate::source::{SourceFile, TargetKind};
+
+/// The crates whose fns the hot-path rules judge: where the fill kernels
+/// and their helpers live. Reachable fns in other crates are artifacts of
+/// the `.method(` over-approximation, not hot code.
+pub const HOTPATH_CRATES: &[&str] = &["hash", "sim", "core", "baselines"];
+
+/// Free-fn hot roots: the frame-fill dispatchers.
+const HOT_ROOT_FNS: &[&str] = &["response_fill_dispatched", "response_counts_dispatched"];
+
+/// Method hot roots: `(type, method)` kernels dispatched per frame.
+const HOT_ROOT_METHODS: &[(&str, &str)] = &[("ZoeSlotPlan", "fill_chunk")];
+
+/// Run both hot-path rules over one reachability walk.
+pub fn check_hotpath(
+    files: &[SourceFile],
+    graph: &CallGraph,
+    effects: &Effects,
+) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let seeds: Vec<usize> = graph
+        .fns
+        .iter()
+        .enumerate()
+        .filter(|(_, d)| {
+            !d.cfg_test
+                && (HOT_ROOT_FNS.contains(&d.name.as_str())
+                    || HOT_ROOT_METHODS.iter().any(|(t, m)| {
+                        d.self_type.as_deref() == Some(*t) && d.name == *m
+                    }))
+        })
+        .map(|(i, _)| i)
+        .collect();
+    if seeds.is_empty() {
+        return findings;
+    }
+    for f in graph.reachable_from(&seeds) {
+        let def = &graph.fns[f];
+        let file = &files[def.file];
+        if file.kind != TargetKind::Lib
+            || def.cfg_test
+            || def.doc_hidden
+            || !HOTPATH_CRATES.contains(&def.crate_name.as_str())
+        {
+            continue;
+        }
+        for site in &effects.seeds[f] {
+            if site.guard {
+                continue;
+            }
+            match site.effect {
+                Effect::Panics => push(
+                    findings.as_mut(),
+                    file,
+                    RuleId::HotpathPanicFree,
+                    site.line,
+                    format!(
+                        "{} in `{}` is reachable from the frame-fill hot loop; hot \
+                         kernels must stay panic-free — use .get()/iterators, \
+                         debug_assert!, or hoist the check to a top-of-fn guard",
+                        site.what,
+                        def.qualified_name(),
+                    ),
+                ),
+                Effect::Allocates => push(
+                    findings.as_mut(),
+                    file,
+                    RuleId::HotpathAllocFree,
+                    site.line,
+                    format!(
+                        "{} in `{}` is reachable from the frame-fill hot loop; hot \
+                         kernels must not allocate per slot — hoist the buffer to a \
+                         pre-loop (top-of-fn) allocation or reuse a caller-provided one",
+                        site.what,
+                        def.qualified_name(),
+                    ),
+                ),
+                _ => {}
+            }
+        }
+    }
+    findings.sort_by(|a, b| (&a.path, a.line, &a.message).cmp(&(&b.path, b.line, &b.message)));
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::callgraph::CallGraph;
+    use crate::effects::Effects;
+    use crate::source::{SourceFile, TargetKind};
+
+    fn run(lib: &str) -> Vec<Finding> {
+        let files = vec![SourceFile::new(
+            "crates/sim/src/frame.rs",
+            "sim",
+            TargetKind::Lib,
+            lib,
+        )];
+        let graph = CallGraph::build(&files);
+        let effects = Effects::compute(&files, &graph);
+        check_hotpath(&files, &graph, &effects)
+    }
+
+    #[test]
+    fn a_clean_kernel_passes() {
+        let found = run(
+            "pub fn response_fill_dispatched(tags: &[u64], out: &mut [u64]) {\n\
+                 for (i, t) in tags.iter().enumerate() {\n\
+                     if let Some(slot) = out.get_mut(i % out.len().max(1)) { *slot ^= t; }\n\
+                 }\n\
+             }\n",
+        );
+        assert!(found.is_empty(), "{found:?}");
+    }
+
+    #[test]
+    fn a_nested_unwrap_reachable_from_the_dispatcher_fires() {
+        let found = run(
+            "pub fn response_fill_dispatched(tags: &[u64]) { for t in tags { slot_of(*t); } }\n\
+             pub fn slot_of(t: u64) -> u64 {\n\
+                 let m: Option<u64> = Some(t);\n\
+                 for _ in 0..1 { return m.unwrap(); }\n\
+                 0\n\
+             }\n",
+        );
+        assert_eq!(found.len(), 1, "{found:?}");
+        assert_eq!(found[0].rule, RuleId::HotpathPanicFree);
+        assert!(found[0].message.contains("slot_of"), "{}", found[0].message);
+    }
+
+    #[test]
+    fn a_nested_allocation_fires_but_a_preloop_one_does_not() {
+        let nested = run(
+            "pub fn response_counts_dispatched(tags: &[u64]) -> usize {\n\
+                 let mut n = 0;\n\
+                 for t in tags { let v: Vec<u64> = vec![*t]; n += v.len(); }\n\
+                 n\n\
+             }\n",
+        );
+        assert_eq!(nested.len(), 1, "{nested:?}");
+        assert_eq!(nested[0].rule, RuleId::HotpathAllocFree);
+
+        let preloop = run(
+            "pub fn response_counts_dispatched(tags: &[u64]) -> usize {\n\
+                 let mut out: Vec<u64> = Vec::with_capacity(tags.len());\n\
+                 for t in tags { out.push(*t); }\n\
+                 out.len()\n\
+             }\n",
+        );
+        assert!(preloop.is_empty(), "pre-loop allocation is a guard: {preloop:?}");
+    }
+
+    #[test]
+    fn zoe_fill_chunk_is_a_hot_root() {
+        let found = run(
+            "pub struct ZoeSlotPlan;\n\
+             impl ZoeSlotPlan {\n\
+                 pub fn fill_chunk(&self, tags: &[u64]) -> u64 {\n\
+                     let mut acc = 0;\n\
+                     for t in tags { acc ^= tags[(*t as usize) % tags.len()]; }\n\
+                     acc\n\
+                 }\n\
+             }\n",
+        );
+        assert_eq!(found.len(), 1, "{found:?}");
+        assert_eq!(found[0].rule, RuleId::HotpathPanicFree);
+        assert!(found[0].message.contains("slice indexing"), "{}", found[0].message);
+    }
+
+    #[test]
+    fn top_level_guards_and_debug_asserts_are_exempt() {
+        let found = run(
+            "pub fn response_fill_dispatched(tags: &[u64], w: usize) -> u64 {\n\
+                 assert!(w.is_power_of_two());\n\
+                 let mut acc = 0;\n\
+                 for t in tags { debug_assert!(*t > 0); acc ^= t; }\n\
+                 acc\n\
+             }\n",
+        );
+        assert!(found.is_empty(), "{found:?}");
+    }
+
+    #[test]
+    fn fns_outside_the_kernel_crates_are_not_judged() {
+        let files = vec![
+            SourceFile::new(
+                "crates/sim/src/frame.rs",
+                "sim",
+                TargetKind::Lib,
+                "pub fn response_fill_dispatched(r: &Renderer) { r.draw(); }\n",
+            ),
+            SourceFile::new(
+                "crates/experiments/src/lib.rs",
+                "experiments",
+                TargetKind::Lib,
+                "pub struct Renderer;\n\
+                 impl Renderer { pub fn draw(&self) -> String { let mut s = String::new(); \
+                 for i in 0..3 { s = format!(\"{s}{i}\"); } s } }\n",
+            ),
+        ];
+        let graph = CallGraph::build(&files);
+        let effects = Effects::compute(&files, &graph);
+        let found = check_hotpath(&files, &graph, &effects);
+        assert!(found.is_empty(), "{found:?}");
+    }
+
+    #[test]
+    fn no_hot_roots_means_no_findings() {
+        let found = run("pub fn helper(x: Option<u8>) -> u8 { x.unwrap() }\n");
+        assert!(found.is_empty(), "{found:?}");
+    }
+}

@@ -9,18 +9,24 @@
 //! excluded throughout — tests may use wall clocks, `unwrap`, exact float
 //! comparison, and ad-hoc seeds freely.
 
+mod airtime;
 mod determinism;
 mod fold_order;
+mod hotpath;
 mod kernel_parity;
 mod numeric;
 mod panic_path;
 mod provenance;
 mod registry;
+mod snapshot_surface;
 
+pub use airtime::check_airtime_conservation;
 pub use fold_order::check_fold_order;
+pub use hotpath::check_hotpath;
 pub use kernel_parity::check_kernel_parity;
 pub use provenance::check_seed_provenance;
 pub use registry::{check_workspace_registry, REGISTRY_PATH};
+pub use snapshot_surface::check_snapshot_surface;
 
 use crate::source::{SourceFile, TargetKind};
 use std::fmt;
@@ -91,6 +97,16 @@ pub enum RuleId {
     /// A call inside a parallel fold closure that transitively performs
     /// order-sensitive float accumulation.
     FoldOrder,
+    /// A slot-sensing collector reachable from `RfidSystem` whose effect
+    /// summary never reaches a `charges-air-time` site.
+    AirtimeConservation,
+    /// A `panics` effect seed reachable from the frame-fill hot loop.
+    HotpathPanicFree,
+    /// An `allocates` effect seed reachable from the frame-fill hot loop.
+    HotpathAllocFree,
+    /// A stateful `impl CardinalityEstimator` with no mergeable snapshot
+    /// surface (no `Snapshot` impl, no inherent sketch exporter).
+    SnapshotSurface,
     /// A suppression (in `analysis.toml` or inline) that suppressed
     /// nothing, or a malformed inline suppression.
     StaleAllow,
@@ -109,6 +125,10 @@ pub const ALL_RULES: &[RuleId] = &[
     RuleId::SeedProvenance,
     RuleId::KernelParity,
     RuleId::FoldOrder,
+    RuleId::AirtimeConservation,
+    RuleId::HotpathPanicFree,
+    RuleId::HotpathAllocFree,
+    RuleId::SnapshotSurface,
     RuleId::StaleAllow,
 ];
 
@@ -128,6 +148,10 @@ impl RuleId {
             RuleId::SeedProvenance => "seed-provenance",
             RuleId::KernelParity => "kernel-parity",
             RuleId::FoldOrder => "fold-order",
+            RuleId::AirtimeConservation => "airtime-conservation",
+            RuleId::HotpathPanicFree => "hotpath-panic-free",
+            RuleId::HotpathAllocFree => "hotpath-alloc-free",
+            RuleId::SnapshotSurface => "snapshot-surface",
             RuleId::StaleAllow => "stale-allow",
         }
     }
@@ -176,6 +200,18 @@ impl RuleId {
             }
             RuleId::FoldOrder => {
                 "a call inside a par_fold / thread::scope closure that transitively performs order-sensitive float accumulation"
+            }
+            RuleId::AirtimeConservation => {
+                "a slot-sensing collector reachable from RfidSystem whose interprocedural effect summary never reaches a charges-air-time site"
+            }
+            RuleId::HotpathPanicFree => {
+                "a panics effect seed (unwrap, nested assert/index, panic! family) reachable from the frame-fill dispatch hot loop"
+            }
+            RuleId::HotpathAllocFree => {
+                "an allocates effect seed (container constructor, vec!/format!, collecting adapter) reachable from the frame-fill dispatch hot loop"
+            }
+            RuleId::SnapshotSurface => {
+                "a stateful impl CardinalityEstimator with no Snapshot impl and no inherent sketch/snapshot exporter (cannot join multi-reader merging)"
             }
             RuleId::StaleAllow => {
                 "a suppression (analysis.toml or inline) that suppresses nothing, or a malformed inline allow"
@@ -311,6 +347,62 @@ impl RuleId {
                      reduction sequentially over the merged, trial-ordered list;\n\
                      or justify order-insensitivity with an inline\n\
                      // analysis:allow(fold-order): ..."
+            }
+            RuleId::AirtimeConservation => {
+                "The paper's constant-time claim is operationalized as strict\n\
+                 air-time accounting: whenever a collector senses slots, the\n\
+                 AirTimeLedger must be charged the corresponding bits. This rule\n\
+                 takes every fn reachable from RfidSystem dispatch and, for each\n\
+                 collector-shaped one (sense_*, or run_*/collect_* mentioning\n\
+                 `frame`), demands that its interprocedural effect summary\n\
+                 contains charges-air-time — some *_BITS constant use or\n\
+                 AirTimeLedger primitive reachable from the collector itself.\n\
+                 Otherwise a new collector silently reports free air time and the\n\
+                 protocol-cost comparisons stop meaning anything.\n\n\
+                 Compliant pattern:\n\
+                     self.ledger.reader_broadcast(QUERY_BITS);\n\
+                     let frame = …sense the slots…;\n\
+                     self.ledger.tag_responses(frame.responses() * SLOT_BITS);"
+            }
+            RuleId::HotpathPanicFree => {
+                "The dispatched fill kernels run once per tag per frame —\n\
+                 hundreds of millions of iterations in a full sweep. Any panics\n\
+                 effect seed (unwrap/expect, panic! family, nested assert! or\n\
+                 slice indexing, unchecked_*) in a fn reachable from\n\
+                 response_fill_dispatched / response_counts_dispatched /\n\
+                 ZoeSlotPlan::fill_chunk is flagged at the seed site. Top-level\n\
+                 precondition guards (assert! at block depth 0) and\n\
+                 debug_assert! are exempt — fail fast at the call boundary, keep\n\
+                 the loop body total.\n\n\
+                 Compliant pattern:\n\
+                     xs.get(i) / iterators in the loop body;\n\
+                     assert!(w.is_power_of_two()) as the first statement;\n\
+                     debug_assert! for internal invariants"
+            }
+            RuleId::HotpathAllocFree => {
+                "A per-slot allocation turns a branch-free bit kernel into a\n\
+                 malloc benchmark. Any allocates effect seed (Vec::/Box::/String::\n\
+                 constructors, vec!/format!, .collect()/.to_vec()) in a fn\n\
+                 reachable from the frame-fill dispatchers is flagged at the seed\n\
+                 site, except pre-loop setup at block depth 0 — allocating the\n\
+                 output buffer once before the loop is the sanctioned pattern.\n\n\
+                 Compliant pattern:\n\
+                     let mut out = vec![0u64; words];   // top of fn, once\n\
+                     for chunk in … { fill into &mut out }  // no allocation here"
+            }
+            RuleId::SnapshotSurface => {
+                "Multi-reader continuous estimation (ROADMAP item 2) needs\n\
+                 estimator state that can leave the process and merge. Every\n\
+                 stateful (non-unit-struct) impl CardinalityEstimator must\n\
+                 either impl Snapshot, expose an inherent sketch/snapshot/\n\
+                 to_snapshot exporter returning a mergeable sketch (as\n\
+                 HllPp::sketch does), or record why the protocol cannot keep\n\
+                 mergeable state in an analysis:allow(snapshot-surface)\n\
+                 justification — turning 'only three sketch kinds serialize'\n\
+                 into an enumerable burndown.\n\n\
+                 Compliant pattern:\n\
+                     pub fn sketch(&self, system: &mut RfidSystem, seed: u32)\n\
+                         -> RegisterSketch { … }   // RegisterSketch: Snapshot"
             }
             RuleId::StaleAllow => {
                 "Suppressions are debt: each one must keep suppressing a real\n\

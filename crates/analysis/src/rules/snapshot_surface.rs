@@ -1,0 +1,196 @@
+//! Rule `snapshot-surface`: every stateful estimator must expose a
+//! mergeable snapshot surface, or carry a justified allow.
+//!
+//! ROADMAP item 2 (multi-reader continuous estimation) rides on the PR 9
+//! mergeable-sketch layer: an estimator participates in cross-reader
+//! merging only if its protocol state can leave the process — an
+//! `impl Snapshot for X`, or an inherent exporter (`sketch`/`snapshot`/
+//! `to_snapshot`) returning a snapshot-capable sketch, the way
+//! `HllPp::sketch` and `LogLogBeta::sketch` do. Today only three sketch
+//! kinds serialize; this rule turns that leftover from a prose remark
+//! into an enumerable burndown: every other `impl CardinalityEstimator`
+//! is flagged until it either grows an exporter or records *why* it
+//! cannot have one (the one-shot paper protocols re-run frames instead
+//! of keeping mergeable state) in an `analysis:allow(snapshot-surface)`
+//! justification.
+//!
+//! "Holds mid-protocol state" is over-approximated as "is not a unit
+//! struct": a fieldless estimator has nothing to snapshot and is exempt.
+//! Config-only field structs are *not* auto-exempt — distinguishing
+//! config from protocol state syntactically is not robust, so they
+//! document themselves through the allow text instead.
+
+use super::{Finding, RuleId};
+use crate::callgraph::CallGraph;
+use crate::lexer::TokenKind;
+use crate::source::SourceFile;
+use std::collections::BTreeSet;
+
+/// The estimator trait whose implementors need a snapshot surface.
+const ESTIMATOR_TRAIT: &str = "CardinalityEstimator";
+
+/// The trait that *is* the snapshot surface.
+const SNAPSHOT_TRAIT: &str = "Snapshot";
+
+/// Inherent methods accepted as snapshot evidence: exporters that hand
+/// the caller a mergeable sketch.
+const EVIDENCE_METHODS: &[&str] = &["sketch", "snapshot", "to_snapshot"];
+
+/// Run the rule over the whole scanned workspace.
+pub fn check_snapshot_surface(files: &[SourceFile], graph: &CallGraph) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let mut snapshot_impls: BTreeSet<&str> = BTreeSet::new();
+    let mut unit_structs: BTreeSet<&str> = BTreeSet::new();
+    for file in files {
+        for (trait_name, type_name, _) in file.scopes().trait_impls() {
+            if trait_name == SNAPSHOT_TRAIT {
+                snapshot_impls.insert(type_name);
+            }
+        }
+        let tokens = file.tokens();
+        for i in 0..tokens.len() {
+            // `struct X;` — fieldless, nothing to snapshot. `struct X {`
+            // and `struct X(` both hold state and stay in scope.
+            if file.token_text(i) == "struct"
+                && tokens.get(i + 1).is_some_and(|t| t.kind == TokenKind::Ident)
+                && i + 2 < tokens.len()
+                && file.token_text(i + 2) == ";"
+            {
+                unit_structs.insert(file.token_text(i + 1));
+            }
+        }
+    }
+    for file in files {
+        for (trait_name, type_name, scope) in file.scopes().trait_impls() {
+            if trait_name != ESTIMATOR_TRAIT
+                || unit_structs.contains(type_name)
+                || snapshot_impls.contains(type_name)
+            {
+                continue;
+            }
+            let has_exporter = EVIDENCE_METHODS.iter().any(|m| {
+                graph
+                    .find_fns(Some(type_name), m)
+                    .iter()
+                    .any(|&id| !graph.fns[id].cfg_test)
+            });
+            if has_exporter {
+                continue;
+            }
+            findings.push(Finding {
+                rule: RuleId::SnapshotSurface,
+                path: file.rel_path.clone(),
+                line: scope.lines.start,
+                message: format!(
+                    "estimator `{type_name}` holds mid-protocol state but exposes no \
+                     snapshot surface: no `impl {SNAPSHOT_TRAIT} for {type_name}` and no \
+                     inherent `sketch`/`snapshot`/`to_snapshot` exporter, so multi-reader \
+                     merging (ROADMAP item 2) cannot use it; add a sketch exporter or \
+                     record why the protocol cannot keep mergeable state in an allow"
+                ),
+                excerpt: file.line(scope.lines.start).trim().to_string(),
+            });
+        }
+    }
+    findings.sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::TargetKind;
+
+    fn run(files: &[(&str, &str)]) -> Vec<Finding> {
+        let sources: Vec<SourceFile> = files
+            .iter()
+            .map(|(path, text)| SourceFile::new(path, "baselines", TargetKind::Lib, text))
+            .collect();
+        let graph = CallGraph::build(&sources);
+        check_snapshot_surface(&sources, &graph)
+    }
+
+    #[test]
+    fn a_stateful_estimator_without_a_surface_fires_at_the_impl_line() {
+        let found = run(&[(
+            "crates/baselines/src/zoe.rs",
+            "pub struct Zoe { frames: usize }\n\
+             impl CardinalityEstimator for Zoe {\n\
+                 fn name(&self) -> &str { \"zoe\" }\n\
+             }\n",
+        )]);
+        assert_eq!(found.len(), 1, "{found:?}");
+        assert_eq!(found[0].rule, RuleId::SnapshotSurface);
+        assert_eq!(found[0].line, 2, "points at the impl header");
+        assert!(found[0].message.contains("`Zoe`"), "{}", found[0].message);
+    }
+
+    #[test]
+    fn a_snapshot_impl_anywhere_in_the_workspace_counts() {
+        let found = run(&[
+            (
+                "crates/baselines/src/hllpp.rs",
+                "pub struct HllPp { p: u8 }\n\
+                 impl CardinalityEstimator for HllPp { fn name(&self) -> &str { \"hllpp\" } }\n",
+            ),
+            (
+                "crates/core/src/sketch.rs",
+                "impl Snapshot for HllPp { fn snapshot(&self) -> Vec<u8> { Vec::new() } }\n",
+            ),
+        ]);
+        assert!(found.is_empty(), "{found:?}");
+    }
+
+    #[test]
+    fn an_inherent_sketch_exporter_counts() {
+        let found = run(&[(
+            "crates/baselines/src/llbeta.rs",
+            "pub struct LogLogBeta { p: u8 }\n\
+             impl LogLogBeta { pub fn sketch(&self) -> u8 { self.p } }\n\
+             impl CardinalityEstimator for LogLogBeta { fn name(&self) -> &str { \"llbeta\" } }\n",
+        )]);
+        assert!(found.is_empty(), "{found:?}");
+    }
+
+    #[test]
+    fn a_test_only_exporter_is_not_evidence() {
+        let found = run(&[(
+            "crates/baselines/src/pet.rs",
+            "pub struct Pet { p: u8 }\n\
+             impl CardinalityEstimator for Pet { fn name(&self) -> &str { \"pet\" } }\n\
+             #[cfg(test)]\nmod tests {\n\
+                 impl super::Pet { pub fn snapshot(&self) -> u8 { 0 } }\n\
+             }\n",
+        )]);
+        assert_eq!(found.len(), 1, "{found:?}");
+    }
+
+    #[test]
+    fn unit_struct_estimators_are_exempt() {
+        let found = run(&[(
+            "crates/baselines/src/phantom.rs",
+            "pub struct Phantom;\n\
+             impl CardinalityEstimator for Phantom { fn name(&self) -> &str { \"phantom\" } }\n",
+        )]);
+        assert!(found.is_empty(), "fieldless estimators have no state: {found:?}");
+    }
+
+    #[test]
+    fn tuple_structs_hold_state_and_stay_in_scope() {
+        let found = run(&[(
+            "crates/baselines/src/art.rs",
+            "pub struct Art(pub u8);\n\
+             impl CardinalityEstimator for Art { fn name(&self) -> &str { \"art\" } }\n",
+        )]);
+        assert_eq!(found.len(), 1, "{found:?}");
+    }
+
+    #[test]
+    fn non_estimator_impls_are_ignored() {
+        let found = run(&[(
+            "crates/baselines/src/frame.rs",
+            "pub struct Frame { w: usize }\nimpl Display for Frame {}\n",
+        )]);
+        assert!(found.is_empty(), "{found:?}");
+    }
+}

@@ -548,6 +548,215 @@ fn json_output_carries_the_full_report() {
 }
 
 #[test]
+fn airtime_conservation_catches_a_seeded_uncharged_collector() {
+    // The acceptance fixture for the effect engine: a collector reachable
+    // from RfidSystem that senses slots but never touches a `*_BITS`
+    // constant or the AirTimeLedger must fire; charging through a ledger
+    // primitive (even indirectly) clears it.
+    let fx = Fixture::new("airtime");
+    fx.file("crates/sim/src/lib.rs", "pub mod system;\n");
+    fx.file(
+        "crates/sim/src/system.rs",
+        "\
+pub struct AirTimeLedger { bits: u64 }
+impl AirTimeLedger { pub fn tag_responses(&mut self, n: u64) { self.bits = self.bits + n; } }
+pub struct RfidSystem { ledger: AirTimeLedger }
+impl RfidSystem {
+    pub fn estimate(&mut self, w: usize) -> usize { self.run_rogue_frame(w) }
+    pub fn run_rogue_frame(&mut self, w: usize) -> usize {
+        let mut hits = 0usize;
+        for s in 0..w { if s % 3 == 0 { hits = hits + 1; } }
+        hits
+    }
+}
+",
+    );
+    let report = fx.scan();
+    let hits: Vec<_> = report
+        .findings
+        .iter()
+        .filter(|f| f.rule == RuleId::AirtimeConservation)
+        .collect();
+    assert_eq!(hits.len(), 1, "{:?}", report.findings);
+    assert_eq!(hits[0].path, "crates/sim/src/system.rs");
+    assert_eq!(hits[0].line, 6, "points at the collector's fn header");
+    assert!(hits[0].message.contains("run_rogue_frame"), "{}", hits[0].message);
+    assert!(
+        hits[0].message.contains("no air-time charging site"),
+        "{}",
+        hits[0].message
+    );
+
+    // Charging the ledger inside the collector clears the finding.
+    fx.file(
+        "crates/sim/src/system.rs",
+        "\
+pub struct AirTimeLedger { bits: u64 }
+impl AirTimeLedger { pub fn tag_responses(&mut self, n: u64) { self.bits = self.bits + n; } }
+pub struct RfidSystem { ledger: AirTimeLedger }
+impl RfidSystem {
+    pub fn estimate(&mut self, w: usize) -> usize { self.run_rogue_frame(w) }
+    pub fn run_rogue_frame(&mut self, w: usize) -> usize {
+        self.ledger.tag_responses(w as u64);
+        w
+    }
+}
+",
+    );
+    let report = fx.scan();
+    assert!(report.is_clean(), "{:?}", report.findings);
+}
+
+#[test]
+fn hotpath_rules_fire_on_unguarded_panic_and_alloc_below_kernel_roots() {
+    // A helper reachable from the `response_fill_dispatched` kernel root
+    // allocates and can panic inside its slot loop; both effect rules must
+    // point at the seed sites in the helper, not the root.
+    let fx = Fixture::new("hotpath");
+    fx.file(
+        "crates/sim/src/lib.rs",
+        "\
+pub fn response_fill_dispatched(xs: &[u32], w: usize) -> u32 {
+    helper(xs, w)
+}
+fn helper(xs: &[u32], w: usize) -> u32 {
+    let mut total = 0u32;
+    for i in 0..w {
+        let scratch = vec![0u8; 4];
+        total = total + xs.get(i).copied().unwrap() + scratch[3] as u32;
+    }
+    total
+}
+",
+    );
+    let report = fx.scan();
+    let panics: Vec<_> = report
+        .findings
+        .iter()
+        .filter(|f| f.rule == RuleId::HotpathPanicFree)
+        .collect();
+    let allocs: Vec<_> = report
+        .findings
+        .iter()
+        .filter(|f| f.rule == RuleId::HotpathAllocFree)
+        .collect();
+    assert_eq!(allocs.len(), 1, "{:?}", report.findings);
+    assert_eq!((allocs[0].path.as_str(), allocs[0].line), ("crates/sim/src/lib.rs", 7));
+    assert!(allocs[0].message.contains("helper"), "{}", allocs[0].message);
+    assert_eq!(panics.len(), 1, "{:?}", report.findings);
+    assert_eq!((panics[0].path.as_str(), panics[0].line), ("crates/sim/src/lib.rs", 8));
+    assert!(
+        panics[0].message.contains("frame-fill hot loop"),
+        "{}",
+        panics[0].message
+    );
+}
+
+#[test]
+fn snapshot_surface_fires_for_stateful_estimator_and_clears_with_exporter() {
+    let fx = Fixture::new("snapshot-surface");
+    fx.file(
+        "crates/baselines/src/lib.rs",
+        "\
+pub struct Lingering { registers: u64 }
+impl CardinalityEstimator for Lingering {
+    fn name(&self) -> &'static str { \"LINGER\" }
+}
+",
+    );
+    // Satisfy the estimator-registry legs so the only finding left is the
+    // missing snapshot surface.
+    fx.file(
+        "crates/cli/src/commands.rs",
+        "pub fn build() -> Lingering { Lingering { registers: 0 } }\n",
+    );
+    fx.file(
+        "tests/smoke.rs",
+        "#[test]\nfn t() { let _ = Lingering { registers: 0 }; }\n",
+    );
+    fx.file(
+        "tests/fault_matrix.rs",
+        "#[test]\nfn m() { run(Lingering { registers: 0 }); }\n",
+    );
+    let report = fx.scan();
+    assert_eq!(report.findings.len(), 1, "{:?}", report.findings);
+    let f = &report.findings[0];
+    assert_eq!(f.rule, RuleId::SnapshotSurface);
+    assert_eq!((f.path.as_str(), f.line), ("crates/baselines/src/lib.rs", 2));
+    assert!(f.message.contains("Lingering"), "{}", f.message);
+    assert!(f.message.contains("snapshot surface"), "{}", f.message);
+
+    // An inherent `sketch` exporter is the evidence the rule asks for.
+    fx.file(
+        "crates/baselines/src/lib.rs",
+        "\
+pub struct Lingering { registers: u64 }
+impl CardinalityEstimator for Lingering {
+    fn name(&self) -> &'static str { \"LINGER\" }
+}
+impl Lingering {
+    pub fn sketch(&self) -> u64 { self.registers }
+}
+",
+    );
+    let report = fx.scan();
+    assert!(report.is_clean(), "{:?}", report.findings);
+}
+
+#[test]
+fn effects_json_rides_the_report_and_carries_interprocedural_summaries() {
+    // The `rfid-effects/v1` dump embedded in `--format json` (and printed
+    // by `--dump-effects`) must carry the fixpoint: `outer` allocates only
+    // through `inner`, so its direct set is empty but its summary is not.
+    let fx = Fixture::new("effects-json");
+    fx.file(
+        "crates/workloads/src/lib.rs",
+        "\
+pub fn outer(n: usize) -> Vec<u64> { inner(n) }
+fn inner(n: usize) -> Vec<u64> { vec![0u64; n] }
+",
+    );
+    let report = fx.scan();
+    assert!(report.is_clean(), "{:?}", report.findings);
+    let doc = Value::parse(&render_json(&report)).expect("JSON output parses");
+    let effects = doc.get("effects").expect("effects object rides along");
+    assert_eq!(
+        effects.get("schema").and_then(Value::as_str),
+        Some("rfid-effects/v1")
+    );
+    let fns = effects.get("fns").and_then(Value::as_arr).expect("fns array");
+    let row = |name: &str| {
+        fns.iter()
+            .find(|f| f.get("name").and_then(Value::as_str) == Some(name))
+            .unwrap_or_else(|| panic!("fn `{name}` missing from {fns:?}"))
+    };
+    let names = |v: &Value, key: &str| -> Vec<String> {
+        v.get(key)
+            .and_then(Value::as_arr)
+            .expect("effect list")
+            .iter()
+            .map(|e| e.as_str().expect("effect name").to_string())
+            .collect()
+    };
+    let inner = row("inner");
+    assert_eq!(names(inner, "direct"), vec!["allocates"]);
+    assert_eq!(names(inner, "summary"), vec!["allocates"]);
+    let outer = row("outer");
+    assert_eq!(names(outer, "direct"), Vec::<String>::new());
+    assert_eq!(
+        names(outer, "summary"),
+        vec!["allocates"],
+        "the callee's allocation must propagate into the caller's summary"
+    );
+    let crates = effects.get("crates").expect("crates object");
+    assert_eq!(
+        crates.get("workloads").and_then(Value::as_num),
+        Some(2.0),
+        "both fns carry a non-empty summary"
+    );
+}
+
+#[test]
 fn findings_are_sorted_by_path_then_line() {
     let fx = Fixture::new("sorted");
     fx.file(

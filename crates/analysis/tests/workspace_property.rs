@@ -11,6 +11,7 @@
 
 use rfid_analysis::callgraph::{CallGraph, Resolution};
 use rfid_analysis::dataflow::Dataflow;
+use rfid_analysis::effects::{Effect, Effects};
 use rfid_analysis::lexer::{lex, reserialize};
 use rfid_analysis::mask::mask_source;
 use rfid_analysis::source::{SourceFile, TargetKind};
@@ -229,6 +230,86 @@ fn every_workspace_crate_receives_resolved_edges() {
         assert!(
             graph.resolved_edges_into(crate_name) >= 1,
             "no resolved call edges into crate '{crate_name}'"
+        );
+    }
+}
+
+#[test]
+fn effects_json_is_deterministic_under_file_order_shuffles() {
+    // The `rfid-effects/v1` dump is an archived CI artifact, so it must be
+    // byte-identical regardless of the order the walker yields files in.
+    // Definitions are canonically sorted inside CallGraph::build, which is
+    // what makes string equality (not just set equality) the right bar.
+    let files = workspace_sources();
+    let graph = CallGraph::build(&files);
+    let baseline = Effects::compute(&files, &graph).to_json(&graph).write();
+    assert!(baseline.contains("rfid-effects/v1"));
+
+    let mut reversed = workspace_sources();
+    reversed.reverse();
+    let graph2 = CallGraph::build(&reversed);
+    assert_eq!(
+        baseline,
+        Effects::compute(&reversed, &graph2).to_json(&graph2).write()
+    );
+
+    let mut interleaved = workspace_sources();
+    interleaved.sort_by_key(|f| {
+        let h = f
+            .rel_path
+            .bytes()
+            .fold(0u64, |a, b| a.wrapping_mul(131).wrapping_add(b as u64));
+        (h, f.rel_path.clone())
+    });
+    let graph3 = CallGraph::build(&interleaved);
+    assert_eq!(
+        baseline,
+        Effects::compute(&interleaved, &graph3).to_json(&graph3).write()
+    );
+}
+
+#[test]
+fn effect_summaries_are_monotone_along_call_edges() {
+    // Two lattice invariants of the fixpoint, checked over the real
+    // workspace: a fn's summary contains its own direct seeds, and it
+    // contains every resolved non-test callee's summary (the propagation
+    // rule, transitively closed).
+    let files = workspace_sources();
+    let graph = CallGraph::build(&files);
+    let effects = Effects::compute(&files, &graph);
+    assert_eq!(effects.direct.len(), graph.fns.len());
+    assert_eq!(effects.summary.len(), graph.fns.len());
+    for id in 0..graph.fns.len() {
+        assert!(
+            effects.summary[id].is_superset(effects.direct[id]),
+            "{}: summary lost a direct seed",
+            graph.fns[id].qualified_name()
+        );
+        for call in graph.calls_from(id) {
+            let Resolution::Resolved(targets) = &call.resolution else {
+                continue;
+            };
+            for &t in targets {
+                if graph.fns[t].cfg_test {
+                    continue;
+                }
+                assert!(
+                    effects.summary[id].is_superset(effects.summary[t]),
+                    "{} calls {} but does not absorb its summary",
+                    graph.fns[id].qualified_name(),
+                    graph.fns[t].qualified_name()
+                );
+            }
+        }
+    }
+    // Semantic anchors: the workspace demonstrably charges air time and
+    // draws randomness somewhere, so an all-empty lattice (a broken
+    // harvester) cannot pass.
+    for effect in [Effect::ChargesAirTime, Effect::DrawsRandomness, Effect::Allocates] {
+        assert!(
+            effects.summary.iter().any(|s| s.contains(effect)),
+            "no workspace fn carries {:?} — harvester regression?",
+            effect
         );
     }
 }

@@ -46,6 +46,7 @@ impl Default for A3 {
     }
 }
 
+// analysis:allow(snapshot-surface): one-shot A3 protocol re-runs ALOHA frames per trial; no mergeable per-reader state to export (ROADMAP item 2 burndown)
 impl CardinalityEstimator for A3 {
     fn name(&self) -> &'static str {
         "A3"

@@ -58,6 +58,7 @@ pub fn busy_runs(frame: &BitFrame) -> (usize, usize) {
     (runs, total)
 }
 
+// analysis:allow(snapshot-surface): one-shot ART protocol estimates from per-frame run lengths; no mergeable per-reader state to export (ROADMAP item 2 burndown)
 impl CardinalityEstimator for Art {
     fn name(&self) -> &'static str {
         "ART"

@@ -29,6 +29,7 @@ impl Default for Ezb {
     }
 }
 
+// analysis:allow(snapshot-surface): one-shot EZB protocol estimates from empty/busy counts of fresh frames; no mergeable per-reader state to export (ROADMAP item 2 burndown)
 impl CardinalityEstimator for Ezb {
     fn name(&self) -> &'static str {
         "EZB"

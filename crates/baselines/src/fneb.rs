@@ -42,6 +42,7 @@ impl Default for Fneb {
     }
 }
 
+// analysis:allow(snapshot-surface): one-shot FNEB protocol estimates from first-nonempty-slot positions; no mergeable per-reader state to export (ROADMAP item 2 burndown)
 impl CardinalityEstimator for Fneb {
     fn name(&self) -> &'static str {
         "FNEB"

@@ -1,0 +1,157 @@
+//! Must-not-panic differential fuzz body for the frame-fill kernels.
+//!
+//! Mirrors the pattern of `rfid_bfce::sketch::fuzz`: the out-of-tree
+//! cargo-fuzz target `fuzz/fuzz_targets/fill_kernels_diff.rs` is a thin
+//! wrapper around [`fill_kernels_diff`], and the in-tree
+//! `crates/baselines/tests/fuzz_smoke.rs` replays the same body over the
+//! seed corpus plus deterministic mutations on every `cargo test` — so a
+//! divergence found by the nightly fuzzer reproduces as a plain unit-test
+//! call.
+//!
+//! The property under test is the plan contract the dispatch layer rests
+//! on: for *arbitrary* tags, frame widths, thread counts, and dispatch
+//! modes, the batched `fill_chunk` kernels (Bloom and ZOE — the two plans
+//! with real overrides) must agree **bitwise** with the retained scalar
+//! reference path `response_counts_reference_with_threads`, and every
+//! `response_fill_dispatched` mode must derive the same busy bitmap and
+//! observed-prefix response count from that ground truth.
+
+use crate::ZoeSlotPlan;
+use rfid_bfce::{BfceConfig, BloomPlan, HasherKind};
+use rfid_sim::frame::{
+    response_counts_reference_with_threads, response_counts_with_threads,
+    response_fill_dispatched, ResponsePlan,
+};
+use rfid_sim::{FillDispatch, Tag};
+
+/// Cap on the fuzz-chosen frame width so one iteration stays sub-second.
+const MAX_W: usize = 2048;
+
+/// Cap on the fuzz-built population for the same reason.
+const MAX_TAGS: usize = 256;
+
+/// Fuzz body: decode `(w, observe, plan, threads, p_n, tags…)` from the
+/// bytes, then hold the batched kernels to the scalar reference.
+///
+/// Byte layout (all little-endian, remainder ignored):
+/// `[w: u16][observe: u16][selector: u8][threads: u8][p_n: u16]` followed
+/// by 8-byte tags (`id: u32`-widened, `rn: u32`). Duplicate tag IDs are
+/// deliberately allowed — the kernels take raw slices; ID uniqueness is a
+/// population-level rule enforced elsewhere.
+pub fn fill_kernels_diff(data: &[u8]) {
+    let Some((header, rest)) = data.split_first_chunk::<8>() else {
+        return;
+    };
+    let w = 1 + u16::from_le_bytes([header[0], header[1]]) as usize % MAX_W;
+    let observe = u16::from_le_bytes([header[2], header[3]]) as usize % (w + 1);
+    let selector = header[4];
+    let threads = 1 + header[5] as usize % 8;
+    let p_n = 1 + u16::from_le_bytes([header[6], header[7]]) as u32 % 1023;
+    let tags: Vec<Tag> = rest
+        .chunks_exact(8)
+        .take(MAX_TAGS)
+        .filter_map(|c| {
+            let (id_bytes, rn_rest) = c.split_first_chunk::<4>()?;
+            let rn_bytes = rn_rest.first_chunk::<4>()?;
+            Some(Tag {
+                id: u64::from(u32::from_le_bytes(*id_bytes)),
+                rn: u32::from_le_bytes(*rn_bytes),
+            })
+        })
+        .collect();
+
+    if selector & 1 == 0 {
+        // Bloom kernel. Both hashers are exercised: Mix64 takes any w;
+        // XorBitget requires a power of two, so the width is rounded.
+        let mut cfg = BfceConfig::paper();
+        let seed_base = u32::from(selector) << 8 | p_n;
+        // k spans 1..=4: k = 3 hits the unrolled pair loop (and its
+        // remainder arm on odd populations), the others the generic loop.
+        let k = 1 + (selector >> 1) as usize % 4;
+        let seeds: Vec<u32> = (0..k as u32).map(|i| seed_base ^ (i << 16)).collect();
+        cfg.hasher = HasherKind::Mix64;
+        cfg.w = w;
+        check_plan(&tags, w, observe, threads, &BloomPlan::new(&cfg, &seeds, p_n));
+        let mut pow2_cfg = cfg;
+        pow2_cfg.hasher = HasherKind::XorBitget;
+        pow2_cfg.w = w.next_power_of_two();
+        check_plan(
+            &tags,
+            pow2_cfg.w,
+            observe.min(pow2_cfg.w),
+            threads,
+            &BloomPlan::new(&pow2_cfg, &seeds, p_n),
+        );
+    } else {
+        // ZOE kernel: a batch of w single-slot frames with participation
+        // p_n/1024, rooted at a seed mixed from the population bytes.
+        let batch_root = tags.iter().fold(u64::from(selector), |acc, t| {
+            acc.wrapping_mul(0x100_0000_01B3).wrapping_add(t.id ^ u64::from(t.rn))
+        });
+        let p = f64::from(p_n) / 1024.0;
+        check_plan(&tags, w, observe, threads, &ZoeSlotPlan::new(w, batch_root, p));
+    }
+}
+
+/// Hold one plan to the reference: batched counts, then every dispatch
+/// mode of the bitmap fill, must reproduce the scalar per-tag truth.
+fn check_plan<P: ResponsePlan>(tags: &[Tag], w: usize, observe: usize, threads: usize, plan: &P) {
+    let reference = response_counts_reference_with_threads(tags, w, plan, threads);
+    let batched = response_counts_with_threads(tags, w, plan, threads);
+    assert_eq!(
+        reference, batched,
+        "batched fill_chunk counts diverge from the scalar reference"
+    );
+    let prefix_truth: u64 = reference
+        .iter()
+        .take(observe)
+        .map(|&c| u64::from(c))
+        .sum();
+    for (mode, min_chunk) in [
+        (FillDispatch::Scalar, usize::MAX),
+        (FillDispatch::Batched, 1),
+        (FillDispatch::Auto, usize::MAX),
+        (FillDispatch::Threshold(tags.len() / 2 + 1), 1),
+    ] {
+        let fill = response_fill_dispatched(tags, w, observe, plan, mode, min_chunk);
+        for (slot, &count) in reference.iter().enumerate() {
+            // analysis:allow(panic-path): fuzz oracle — the panic is the crash report
+            assert_eq!(
+                fill.busy.get(slot),
+                count > 0,
+                "{mode:?}: busy bit for slot {slot} disagrees with the reference count"
+            );
+        }
+        // analysis:allow(panic-path): fuzz oracle — the panic is the crash report
+        assert_eq!(
+            fill.prefix_responses, prefix_truth,
+            "{mode:?}: observed-prefix responses diverge from the reference"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn short_inputs_are_ignored() {
+        fill_kernels_diff(&[]);
+        fill_kernels_diff(&[1, 2, 3, 4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn both_plan_families_run_on_a_dense_input() {
+        // Even selector byte → Bloom (both hashers), odd → ZOE. 8-byte
+        // header then three tags.
+        let mut bloom = vec![0x40, 0x00, 0x10, 0x00, 0x06, 0x03, 0x20, 0x00];
+        let mut zoe = vec![0x40, 0x00, 0x10, 0x00, 0x07, 0x03, 0x20, 0x00];
+        for t in 0u8..3 {
+            let tag = [t + 1, 0, 0, 0, 0xA0 ^ t, 0x55, 0, 0];
+            bloom.extend_from_slice(&tag);
+            zoe.extend_from_slice(&tag);
+        }
+        fill_kernels_diff(&bloom);
+        fill_kernels_diff(&zoe);
+    }
+}

@@ -100,6 +100,7 @@ impl Default for QInventory {
     }
 }
 
+// analysis:allow(snapshot-surface): full Q-inventory identifies tags by re-running frames; exact IDs could merge but the protocol keeps no sketch (ROADMAP item 2 burndown)
 impl CardinalityEstimator for QInventory {
     fn name(&self) -> &'static str {
         "Q-inventory"

@@ -41,6 +41,7 @@ pub mod art;
 pub mod common;
 pub mod ezb;
 pub mod fneb;
+pub mod fuzz;
 pub mod hllpp;
 pub mod inventory;
 pub mod llbeta;

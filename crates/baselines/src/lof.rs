@@ -69,6 +69,7 @@ impl Lof {
     }
 }
 
+// analysis:allow(snapshot-surface): one-shot LoF protocol estimates from leading-one positions of fresh frames; no mergeable per-reader state to export (ROADMAP item 2 burndown)
 impl CardinalityEstimator for Lof {
     fn name(&self) -> &'static str {
         "LOF"

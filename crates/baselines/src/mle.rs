@@ -94,6 +94,7 @@ impl Default for Mle {
     }
 }
 
+// analysis:allow(snapshot-surface): one-shot MLE protocol maximizes likelihood over fresh frame outcomes; no mergeable per-reader state to export (ROADMAP item 2 burndown)
 impl CardinalityEstimator for Mle {
     fn name(&self) -> &'static str {
         "MLE"

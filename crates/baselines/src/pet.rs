@@ -89,6 +89,7 @@ impl Pet {
     }
 }
 
+// analysis:allow(snapshot-surface): one-shot PET protocol estimates from collision trees of fresh frames; no mergeable per-reader state to export (ROADMAP item 2 burndown)
 impl CardinalityEstimator for Pet {
     fn name(&self) -> &'static str {
         "PET"

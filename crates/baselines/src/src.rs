@@ -70,6 +70,7 @@ impl Src {
     }
 }
 
+// analysis:allow(snapshot-surface): one-shot SRC protocol re-runs sampled frames per trial; no mergeable per-reader state to export (ROADMAP item 2 burndown)
 impl CardinalityEstimator for Src {
     fn name(&self) -> &'static str {
         "SRC"

@@ -61,6 +61,7 @@ impl Default for Upe {
     }
 }
 
+// analysis:allow(snapshot-surface): one-shot UPE protocol estimates from fresh probabilistic frames; no mergeable per-reader state to export (ROADMAP item 2 burndown)
 impl CardinalityEstimator for Upe {
     fn name(&self) -> &'static str {
         "UPE"

@@ -201,6 +201,7 @@ impl Zoe {
     }
 }
 
+// analysis:allow(snapshot-surface): one-shot ZOE protocol re-runs singleton frames per trial; no mergeable per-reader state to export (ROADMAP item 2 burndown)
 impl CardinalityEstimator for Zoe {
     fn name(&self) -> &'static str {
         "ZOE"

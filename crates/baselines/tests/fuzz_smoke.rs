@@ -1,0 +1,140 @@
+//! Deterministic smoke pass over the frame-fill differential fuzz body.
+//!
+//! `fuzz/` proper needs nightly + `cargo-fuzz`; this test keeps the
+//! `fill_kernels_diff` body honest on every `cargo test` by replaying its
+//! seed corpus (both kernel families, both hashers, the unrolled-pair
+//! remainder arm, degenerate populations) and then hammering the body
+//! with deterministic mutations of the seeds from a fixed-seed xorshift.
+//! Any divergence the nightly fuzzer finds lands as a corpus file here
+//! and reproduces forever after.
+
+use rfid_baselines::fuzz::fill_kernels_diff;
+use std::path::{Path, PathBuf};
+
+/// Mutations tried per corpus seed. The body runs two kernels across four
+/// dispatch modes per call, so this stays smaller than the cheap-body
+/// smoke tests while still probing the header/tag boundaries.
+const MUTATIONS_PER_SEED: u64 = 48;
+
+fn corpus_dir() -> PathBuf {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/baselines sits two levels below the root")
+        .join("fuzz")
+        .join("corpus")
+        .join("fill_kernels_diff")
+}
+
+fn seeds() -> Vec<(PathBuf, Vec<u8>)> {
+    let dir = corpus_dir();
+    let entries = std::fs::read_dir(&dir)
+        .unwrap_or_else(|e| panic!("read corpus {}: {e}", dir.display()));
+    let mut out: Vec<(PathBuf, Vec<u8>)> = entries
+        .flatten()
+        .map(|entry| {
+            let path = entry.path();
+            let bytes = std::fs::read(&path)
+                .unwrap_or_else(|e| panic!("read seed {}: {e}", path.display()));
+            (path, bytes)
+        })
+        .collect();
+    out.sort();
+    assert!(!out.is_empty(), "empty corpus at {}", dir.display());
+    out
+}
+
+/// Fixed-seed xorshift64* — the mutation schedule must be identical on
+/// every host so a failure here is a failure everywhere.
+struct XorShift(u64);
+
+impl XorShift {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+}
+
+/// Flip bytes, truncate, splice, or rewrite the 8-byte header,
+/// deterministically. Header surgery matters most here: width, observe,
+/// selector, and thread bytes steer which kernel and dispatch mode run.
+fn mutate(seed: &[u8], rng: &mut XorShift) -> Vec<u8> {
+    let mut bytes = seed.to_vec();
+    if bytes.is_empty() {
+        return vec![(rng.next() & 0xFF) as u8];
+    }
+    match rng.next() % 5 {
+        0 => {
+            for _ in 0..1 + rng.next() % 8 {
+                let i = (rng.next() as usize) % bytes.len();
+                bytes[i] = (rng.next() & 0xFF) as u8;
+            }
+        }
+        1 => {
+            // Truncate anywhere, including inside the header.
+            bytes.truncate((rng.next() as usize) % bytes.len());
+        }
+        2 => {
+            // Splice a tail chunk onto itself: more tags, ragged last tag.
+            let at = (rng.next() as usize) % bytes.len();
+            let chunk: Vec<u8> = bytes[at..].to_vec();
+            bytes.extend_from_slice(&chunk);
+        }
+        3 => {
+            // Header surgery: w/observe/selector/threads/p_n live up front.
+            let at = (rng.next() as usize) % bytes.len().min(8);
+            bytes[at] = (rng.next() & 0xFF) as u8;
+        }
+        _ => {
+            // Append a partial or whole extra tag.
+            for _ in 0..1 + rng.next() % 9 {
+                bytes.push((rng.next() & 0xFF) as u8);
+            }
+        }
+    }
+    bytes
+}
+
+#[test]
+fn fill_kernels_diff_smoke() {
+    let mut rng = XorShift(0x5EED_0BAD_F00D_u64);
+    for (path, seed) in seeds() {
+        fill_kernels_diff(&seed);
+        for _ in 0..MUTATIONS_PER_SEED {
+            let mutant = mutate(&seed, &mut rng);
+            // A panic's message won't name the input, so wrap with context.
+            let outcome = std::panic::catch_unwind(|| fill_kernels_diff(&mutant));
+            if outcome.is_err() {
+                panic!(
+                    "fill_kernels_diff panicked on a mutation of {} \
+                     ({} bytes); save the input as a corpus file to pin it",
+                    path.display(),
+                    mutant.len()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn corpus_steers_both_kernel_families() {
+    // The selector byte (header offset 4) must keep both sides of the
+    // differential alive: even → Bloom, odd → ZOE. A corpus that decays
+    // to one family silently stops testing the other kernel.
+    let mut bloom = 0usize;
+    let mut zoe = 0usize;
+    for (_, seed) in seeds() {
+        match seed.get(4) {
+            Some(sel) if sel & 1 == 0 => bloom += 1,
+            Some(_) => zoe += 1,
+            None => {}
+        }
+    }
+    assert!(bloom >= 1, "no Bloom-kernel seed in the corpus");
+    assert!(zoe >= 1, "no ZOE-kernel seed in the corpus");
+}

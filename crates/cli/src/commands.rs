@@ -12,7 +12,7 @@ use rfid_experiments::robustness::FaultClass;
 use rfid_experiments::TrialRunner;
 use rfid_bfce::overhead::{nominal_total_seconds, total_bit_slots};
 use rfid_bfce::theory::{gamma_bounds, max_cardinality};
-use rfid_bfce::{merge_all, Bfce, BfceConfig, BloomPlan, BloomSketch, Snapshot};
+use rfid_bfce::{AnySnapshot, Bfce, BfceConfig, BloomPlan, BloomSketch, Snapshot};
 use rfid_sim::trace::{aggregate, render};
 use rfid_sim::{
     Accuracy, BitErrorChannel, CardinalityEstimator, MultiReaderDeployment, RfidSystem,
@@ -450,16 +450,33 @@ pub fn snapshot(opts: &SnapshotOpts, out: &mut dyn Write) -> std::io::Result<()>
 }
 
 /// `rfid merge` — fold per-reader snapshot files into one estimate.
+///
+/// Every input is decoded on its own before the fold starts, so a
+/// corrupted or truncated `.sketch` surfaces as `<path>: <wire error>` —
+/// the typed [`WireError`] rendering, offset and variant included — and
+/// the command exits 1 without blaming the merge step (or a different
+/// file) for a decode failure.
+///
+/// [`WireError`]: rfid_bfce::WireError
 pub fn merge(opts: &MergeOpts, out: &mut dyn Write) -> std::io::Result<()> {
-    let mut buffers = Vec::with_capacity(opts.inputs.len());
+    let mut decoded: Vec<AnySnapshot> = Vec::with_capacity(opts.inputs.len());
     for path in &opts.inputs {
         let bytes = std::fs::read(path).map_err(|e| {
             std::io::Error::new(e.kind(), format!("{path}: {e}"))
         })?;
-        buffers.push(bytes);
+        let snapshot =
+            AnySnapshot::decode(&bytes).map_err(|e| invalid(format!("{path}: {e}")))?;
+        decoded.push(snapshot);
     }
-    let merged = merge_all(buffers.iter().map(Vec::as_slice))
-        .map_err(|e| invalid(e.to_string()))?;
+    let mut inputs = opts.inputs.iter().zip(decoded);
+    let Some((_, mut merged)) = inputs.next() else {
+        return Err(invalid("no snapshot inputs to merge".to_string()));
+    };
+    for (path, snapshot) in inputs {
+        merged
+            .merge(&snapshot)
+            .map_err(|e| invalid(format!("{path}: {e}")))?;
+    }
     write!(
         out,
         "merged {} snapshots ({}): n_hat = {:.1}",
@@ -779,6 +796,103 @@ mod tests {
         assert!(err.to_string().contains("kinds differ"), "{err}");
         remove_snapshots(&a);
         remove_snapshots(&b);
+    }
+
+    #[test]
+    fn merge_renders_every_wire_error_with_file_attribution() {
+        // One corruption recipe per WireError variant. Each must surface
+        // as `<path>: <typed rendering>` — the Display form with its
+        // offset/value detail — never a bare Debug dump, and never blame
+        // the healthy first input.
+        use rfid_bfce::sketch::wire::{checksum, MAGIC};
+
+        let opts = snapshot_opts("wire-errors", "hllpp", 2_000, 1);
+        capture(|out| snapshot(&opts, out));
+        let good_path = snapshot_paths(&opts).remove(0);
+        let good = std::fs::read(&good_path).expect("read snapshot");
+        let body = good[..good.len() - 8].to_vec();
+        // Re-seal a corrupted body under a fresh checksum so decoding
+        // reaches the variant under test instead of tripping on the sum.
+        let reseal = |mut body: Vec<u8>| -> Vec<u8> {
+            let sum = checksum(&body);
+            body.extend_from_slice(&sum.to_le_bytes());
+            body
+        };
+
+        let wrong_version = {
+            let mut b = good.clone();
+            b[13] = b'9'; // rfid-sketch/v9
+            b
+        };
+        let unknown_kind = {
+            let mut b = body.clone();
+            b[MAGIC.len()] = 0x09;
+            reseal(b)
+        };
+        let bad_checksum = {
+            let mut b = good.clone();
+            let last = b.len() - 1;
+            b[last] ^= 0xFF;
+            b
+        };
+        let invalid_field = {
+            // A bloom-frame snapshot whose frame length field is zero.
+            let mut b = MAGIC.to_vec();
+            b.push(0x01); // SketchKind::BloomFrame
+            b.extend_from_slice(&0u32.to_le_bytes());
+            reseal(b)
+        };
+        let trailing = {
+            let mut b = body.clone();
+            b.push(0x00);
+            reseal(b)
+        };
+
+        let cases: Vec<(&str, Vec<u8>, Vec<&str>)> = vec![
+            ("bad-magic", b"definitely not a sketch".to_vec(), vec!["bad magic"]),
+            ("unsupported-version", wrong_version, vec!["version not supported"]),
+            (
+                "truncated",
+                good[..20].to_vec(),
+                vec!["truncated snapshot", "at offset 20"],
+            ),
+            ("unknown-kind", unknown_kind, vec!["unknown sketch kind 0x09"]),
+            ("bad-checksum", bad_checksum, vec!["checksum mismatch"]),
+            (
+                "invalid",
+                invalid_field,
+                vec!["invalid snapshot field", "frame length outside [1, 2^24]"],
+            ),
+            ("trailing-bytes", trailing, vec!["1 trailing bytes"]),
+        ];
+        for (name, bytes, needles) in cases {
+            let path = std::env::temp_dir()
+                .join(format!("rfid-cli-wire-{name}-{}.sketch", std::process::id()))
+                .display()
+                .to_string();
+            std::fs::write(&path, &bytes).expect("write corrupted fixture");
+            let merge_opts = MergeOpts {
+                inputs: vec![good_path.clone(), path.clone()],
+                truth: None,
+            };
+            let err = merge(&merge_opts, &mut Vec::new())
+                .expect_err("corrupted input must fail the merge");
+            let msg = err.to_string();
+            assert!(msg.contains(&path), "{name}: no file attribution — {msg}");
+            assert!(
+                !msg.contains(&good_path),
+                "{name}: blamed the healthy input — {msg}"
+            );
+            for needle in needles {
+                assert!(msg.contains(needle), "{name}: missing `{needle}` — {msg}");
+            }
+            assert!(
+                !msg.contains("WireError") && !msg.contains("Truncated {"),
+                "{name}: bare Debug leaked into the message — {msg}"
+            );
+            let _ = std::fs::remove_file(&path);
+        }
+        remove_snapshots(&opts);
     }
 
     #[test]

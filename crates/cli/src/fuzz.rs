@@ -1,0 +1,51 @@
+//! Must-not-panic fuzz body for the `rfid` argument parser.
+//!
+//! Mirrors the pattern of `rfid_analysis::fuzz_surface` and
+//! `rfid_bfce::sketch::fuzz`: the out-of-tree cargo-fuzz target
+//! `fuzz/fuzz_targets/cli_args.rs` wraps [`cli_args`], and the in-tree
+//! `crates/cli/tests/fuzz_smoke.rs` replays the seed corpus plus
+//! deterministic mutations on every `cargo test`.
+//!
+//! The parser is the first thing untrusted input touches (`rfid` is a
+//! shipped binary), so the invariant is strict: for *any* argument
+//! vector, [`parse`](crate::args::parse) returns a command or a
+//! [`ParseError`](crate::args::ParseError) that renders a non-empty
+//! message — it never panics, whatever the flag soup.
+
+use crate::args::parse;
+
+/// Fuzz body: split the bytes into an argument vector two ways (words and
+/// lines — the latter keeps spaces inside one argument, which a shell can
+/// always produce) and drive the parser with both.
+pub fn cli_args(data: &[u8]) {
+    let text = String::from_utf8_lossy(data);
+    let words: Vec<String> = text.split_whitespace().map(str::to_string).collect();
+    let lines: Vec<String> = text
+        .lines()
+        .map(str::to_string)
+        .filter(|l| !l.is_empty())
+        .collect();
+    for argv in [words, lines] {
+        if let Err(err) = parse(&argv) {
+            let msg = err.to_string();
+            assert!(
+                !msg.is_empty(),
+                "parse errors must render a usable message"
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_and_rejects_without_panicking() {
+        cli_args(b"");
+        cli_args(b"estimate --n 1000 --rounds 2");
+        cli_args(b"merge --inputs a.sketch,b.sketch --truth abc");
+        cli_args(b"--n\n1000\nestimate");
+        cli_args(&[0xFF, 0xFE, b' ', 0x00, b'-', b'-']);
+    }
+}

@@ -21,6 +21,7 @@
 
 pub mod args;
 pub mod commands;
+pub mod fuzz;
 
 pub use args::{parse, Command, ParseError};
 

@@ -1,0 +1,137 @@
+//! Deterministic smoke pass over the argument-parser fuzz body.
+//!
+//! `fuzz/` proper needs nightly + `cargo-fuzz`; this test keeps the
+//! `cli_args` body honest on every `cargo test` by replaying its seed
+//! corpus (valid invocations of the flag-heavy subcommands plus known
+//! malformed soup) and then hammering the body with deterministic
+//! mutations from a fixed-seed xorshift. Any panic the nightly fuzzer
+//! finds lands as a corpus file here and reproduces forever after.
+
+use rfid_cli::fuzz::cli_args;
+use std::path::{Path, PathBuf};
+
+/// Mutations tried per corpus seed — the body is cheap (pure parsing),
+/// so this matches the other text-input smoke tests.
+const MUTATIONS_PER_SEED: u64 = 128;
+
+fn corpus_dir() -> PathBuf {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/cli sits two levels below the root")
+        .join("fuzz")
+        .join("corpus")
+        .join("cli_args")
+}
+
+fn seeds() -> Vec<(PathBuf, Vec<u8>)> {
+    let dir = corpus_dir();
+    let entries = std::fs::read_dir(&dir)
+        .unwrap_or_else(|e| panic!("read corpus {}: {e}", dir.display()));
+    let mut out: Vec<(PathBuf, Vec<u8>)> = entries
+        .flatten()
+        .map(|entry| {
+            let path = entry.path();
+            let bytes = std::fs::read(&path)
+                .unwrap_or_else(|e| panic!("read seed {}: {e}", path.display()));
+            (path, bytes)
+        })
+        .collect();
+    out.sort();
+    assert!(!out.is_empty(), "empty corpus at {}", dir.display());
+    out
+}
+
+/// Fixed-seed xorshift64* — the mutation schedule must be identical on
+/// every host so a failure here is a failure everywhere.
+struct XorShift(u64);
+
+impl XorShift {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+}
+
+/// Flip bytes, truncate, splice, duplicate flags, or inject separators,
+/// deterministically. Separator injection (spaces/newlines) reshapes the
+/// argument vector itself, which is where a parser indexes out of range.
+fn mutate(seed: &[u8], rng: &mut XorShift) -> Vec<u8> {
+    let mut bytes = seed.to_vec();
+    if bytes.is_empty() {
+        return vec![(rng.next() & 0xFF) as u8];
+    }
+    match rng.next() % 5 {
+        0 => {
+            for _ in 0..1 + rng.next() % 8 {
+                let i = (rng.next() as usize) % bytes.len();
+                bytes[i] = (rng.next() & 0xFF) as u8;
+            }
+        }
+        1 => {
+            bytes.truncate((rng.next() as usize) % bytes.len());
+        }
+        2 => {
+            // Splice a chunk onto itself: duplicated flags and values.
+            let at = (rng.next() as usize) % bytes.len();
+            let chunk: Vec<u8> = bytes[at..].to_vec();
+            bytes.extend_from_slice(&chunk);
+        }
+        3 => {
+            // Inject argument separators: split a token in two, or glue a
+            // dangling `--key` with no value onto the end.
+            let i = (rng.next() as usize) % bytes.len();
+            bytes[i] = if rng.next() & 1 == 0 { b' ' } else { b'\n' };
+            bytes.extend_from_slice(b" --");
+        }
+        _ => {
+            for _ in 0..1 + rng.next() % 9 {
+                bytes.push((rng.next() & 0xFF) as u8);
+            }
+        }
+    }
+    bytes
+}
+
+#[test]
+fn cli_args_smoke() {
+    let mut rng = XorShift(0x5EED_0BAD_F00D_u64);
+    for (path, seed) in seeds() {
+        cli_args(&seed);
+        for _ in 0..MUTATIONS_PER_SEED {
+            let mutant = mutate(&seed, &mut rng);
+            // A panic's message won't name the input, so wrap with context.
+            let outcome = std::panic::catch_unwind(|| cli_args(&mutant));
+            if outcome.is_err() {
+                panic!(
+                    "cli_args panicked on a mutation of {} ({} bytes); \
+                     save the input as a corpus file to pin it",
+                    path.display(),
+                    mutant.len()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn corpus_keeps_every_flag_heavy_subcommand_alive() {
+    // Mutations only reach a subcommand's option table if some seed
+    // names it; `estimate`, `merge`, and `snapshot` carry the widest
+    // flag surfaces.
+    let all: Vec<String> = seeds()
+        .into_iter()
+        .map(|(_, bytes)| String::from_utf8_lossy(&bytes).into_owned())
+        .collect();
+    for sub in ["estimate", "merge", "snapshot"] {
+        assert!(
+            all.iter().any(|s| s.contains(sub)),
+            "no corpus seed exercises `{sub}`"
+        );
+    }
+}

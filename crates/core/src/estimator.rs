@@ -58,6 +58,7 @@ impl<'a> BloomPlan<'a> {
         if let &[s0, s1, s2] = self.seeds {
             let mut pairs = tags.chunks_exact(2);
             for pair in pairs.by_ref() {
+                // analysis:allow(hotpath-panic-free): chunks_exact(2) yields slices of exactly two tags
                 // analysis:allow(panic-path): chunks_exact(2) yields slices of exactly two tags
                 let (a, b) = (&pair[0], &pair[1]);
                 let mut sa = PersistenceSampler::new(a.rn, s0);
@@ -102,6 +103,7 @@ impl<'a> BloomPlan<'a> {
             return;
         }
         for tag in tags {
+            // analysis:allow(hotpath-panic-free): seeds carries k >= 1 entries, enforced by BfceConfig::validate at setup
             // analysis:allow(panic-path): seeds carries k >= 1 entries, enforced by BfceConfig::validate at setup
             let mut sampler = PersistenceSampler::new(tag.rn, self.seeds[0]);
             for &seed in self.seeds {
@@ -326,6 +328,7 @@ impl Bfce {
     }
 }
 
+// analysis:allow(snapshot-surface): bloom sketches export via the CLI's collect_snapshot: persistence p is load-matched per reader at deployment time, not estimator state
 impl CardinalityEstimator for Bfce {
     fn name(&self) -> &'static str {
         "BFCE"

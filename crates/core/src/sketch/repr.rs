@@ -131,6 +131,7 @@ impl Registers {
         assert!(register < self.m(), "register {register} out of range");
         let key = register as u16;
         match &self.repr {
+            // analysis:allow(hotpath-panic-free): len <= SMALL_CAP is the Small-tier invariant, checked at decode and every insert
             // analysis:allow(panic-path): len <= SMALL_CAP is the Small-tier invariant, checked at decode and every insert
             Repr::Small { len, pairs } => pairs[..*len as usize]
                 .iter()
@@ -138,8 +139,10 @@ impl Registers {
                 .map_or(0, |&(_, q)| q),
             Repr::Array(pairs) => pairs
                 .binary_search_by_key(&key, |&(r, _)| r)
+                // analysis:allow(hotpath-panic-free): binary_search_by_key only returns Ok(i) with i in range
                 // analysis:allow(panic-path): binary_search_by_key only returns Ok(i) with i in range
                 .map_or(0, |i| pairs[i].1),
+            // analysis:allow(hotpath-panic-free): register < m() is this fn's documented precondition, asserted on entry
             // analysis:allow(panic-path): register < m() is this fn's documented precondition, asserted on entry
             Repr::Dense(bytes) => bytes[register],
         }

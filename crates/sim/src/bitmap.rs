@@ -17,6 +17,7 @@ impl Bitmap {
     pub fn zeros(len: usize) -> Self {
         Self {
             len,
+            // analysis:allow(hotpath-alloc-free): one backing-buffer allocation per frame at construction; the fill loop reuses it
             words: vec![0u64; len.div_ceil(64)],
         }
     }

@@ -106,6 +106,7 @@ impl<'a> SlotSink<'a> {
     pub fn record(&mut self, slot: usize) {
         assert!(slot < self.w, "plan produced slot {} >= w {}", slot, self.w);
         match &mut self.mode {
+            // analysis:allow(hotpath-panic-free): slot < w == counts.len() asserted at fn entry
             // analysis:allow(panic-path): slot < w == counts.len() asserted at fn entry
             SinkMode::Counts { counts } => counts[slot] += 1,
             SinkMode::Busy {

@@ -90,12 +90,14 @@ where
                     acc
                 })
             })
+            // analysis:allow(hotpath-alloc-free): one handle/partial per worker thread, collected once per parallel run — not per slot
             .collect();
         handles
             .into_iter()
             // Re-raise a worker panic with its original payload instead of
             // wrapping it in a second, less informative one.
             .map(|h| h.join().unwrap_or_else(|payload| std::panic::resume_unwind(payload)))
+            // analysis:allow(hotpath-alloc-free): one handle/partial per worker thread, collected once per parallel run — not per slot
             .collect()
     });
     let mut iter = partials.into_iter();
@@ -177,12 +179,14 @@ where
                     acc
                 })
             })
+            // analysis:allow(hotpath-alloc-free): one handle/partial per worker thread, collected once per parallel run — not per slot
             .collect();
         handles
             .into_iter()
             // Re-raise a worker panic with its original payload instead of
             // wrapping it in a second, less informative one.
             .map(|h| h.join().unwrap_or_else(|payload| std::panic::resume_unwind(payload)))
+            // analysis:allow(hotpath-alloc-free): one handle/partial per worker thread, collected once per parallel run — not per slot
             .collect()
     });
     let mut iter = partials.into_iter();

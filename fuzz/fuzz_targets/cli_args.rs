@@ -1,0 +1,9 @@
+//! The `rfid` argument parser must never panic: any argument vector
+//! yields a command or a `ParseError` with a non-empty rendering.
+#![no_main]
+
+use libfuzzer_sys::fuzz_target;
+
+fuzz_target!(|data: &[u8]| {
+    rfid_cli::fuzz::cli_args(data);
+});

@@ -1,0 +1,10 @@
+//! Differential: for arbitrary tags, frame widths, thread counts, and
+//! dispatch modes, the batched fill kernels (Bloom and ZOE) must agree
+//! bitwise with the scalar `response_counts_reference*` path.
+#![no_main]
+
+use libfuzzer_sys::fuzz_target;
+
+fuzz_target!(|data: &[u8]| {
+    rfid_baselines::fuzz::fill_kernels_diff(data);
+});
